@@ -1,0 +1,51 @@
+// Ablation — memory channels (§III-C / §IV-B): "For the sequence length of
+// 50, the memory bandwidth bounds the maximum performance/parallelism.
+// Therefore, more memory channels will further accelerate alignment."
+//
+// Sweeps the number of available channels on a Kintex-7-class device
+// (holding the fabric constant) and on the larger VU9P-class part, and
+// reports the mapper's channel choice, effective bandwidth and the 1 GB
+// scan time per query length.
+
+#include <iostream>
+
+#include "fabp/core/mapper.hpp"
+#include "fabp/util/table.hpp"
+
+int main() {
+  using namespace fabp;
+
+  for (const bool big : {false, true}) {
+    hw::FpgaDevice base = big ? hw::virtex_ultrascale_plus() : hw::kintex7();
+    util::banner(std::cout, "Channel scaling on " + base.name +
+                                "-class fabric");
+    util::Table table{{"channels avail", "query(aa)", "channels used",
+                       "segments", "LUT", "eff. BW", "1GB scan(s)"}};
+    for (std::size_t avail : {1u, 2u, 4u}) {
+      hw::FpgaDevice device = base;
+      device.memory_channels = avail;
+      for (std::size_t residues : {50u, 250u}) {
+        const core::FabpMapping m = core::map_design(device, residues * 3);
+        if (!m.feasible) {
+          table.row().cell(avail).cell(residues).cell("-").cell("-")
+              .cell("does not fit").cell("-").cell("-");
+          continue;
+        }
+        table.row()
+            .cell(avail)
+            .cell(residues)
+            .cell(m.channels)
+            .cell(m.segments)
+            .cell(util::percent_text(m.lut_util, 0))
+            .cell(util::bandwidth_text(m.effective_bandwidth_bps))
+            .cell(1e9 / m.effective_bandwidth_bps, 3);
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\n  reading: the Kintex-7 fabric has no LUT headroom for a"
+               " second channel's 256\n  instances, so extra channels only"
+               " help on larger fabrics — and only for\n  queries that were"
+               " bandwidth-bound (short ones), exactly as §IV-B argues.\n";
+  return 0;
+}

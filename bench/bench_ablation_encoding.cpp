@@ -1,0 +1,128 @@
+// Ablation — why the 6-bit instruction / Type III machinery exists.
+//
+// Baseline: a 4-bit per-element nucleotide mask (one LUT6 per comparator,
+// half FabP's cost) which cannot express the cross-position dependencies
+// of Leu, Arg and Stop.  This harness quantifies what that costs:
+//   1. per-amino-acid codon specificity (accepted codons: biological vs
+//      FabP template vs mask-only),
+//   2. false-hit inflation on random DNA at a realistic threshold,
+//   3. the LUT trade-off per element.
+
+#include <array>
+#include <iostream>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/maskonly.hpp"
+#include "fabp/util/table.hpp"
+
+int main() {
+  using namespace fabp;
+  using bio::AminoAcid;
+
+  util::banner(std::cout, "Codon specificity: biological vs FabP template"
+                          " vs 4-bit mask");
+  util::Table spec{{"amino acid", "biological codons", "template accepts",
+                    "mask accepts", "mask false codons"}};
+  std::size_t total_false = 0;
+  for (AminoAcid aa : bio::kAllAminoAcids) {
+    const std::size_t biological = bio::degeneracy(aa);
+    const std::size_t tmpl = core::template_accepted_codons(aa);
+    const std::size_t mask = core::mask_accepted_codons(aa);
+    if (mask <= tmpl) continue;  // only print the interesting rows
+    total_false += mask - tmpl;
+    spec.row()
+        .cell(std::string(bio::to_three_letter(aa)))
+        .cell(biological)
+        .cell(tmpl)
+        .cell(mask)
+        .cell(mask - tmpl);
+  }
+  spec.print(std::cout);
+  std::cout << "  (all other amino acids: template == mask)\n"
+            << "  total falsely-accepted codons with mask-only encoding: "
+            << total_false << "\n";
+
+  util::banner(std::cout,
+               "False-hit inflation on random DNA (25 aa queries rich in"
+               " Leu/Arg/Ser)");
+  util::Xoshiro256 rng{424242};
+  // Queries with 50% dependent residues — the worst case the codon table
+  // allows, and common in real proteins (Leu+Ser+Arg ~ 22% of Swiss-Prot).
+  const auto rich_protein = [&rng](std::size_t residues) {
+    bio::ProteinSequence p;
+    for (std::size_t i = 0; i < residues; ++i) {
+      if (i % 2 == 0) {
+        constexpr std::array<AminoAcid, 3> dependent{
+            AminoAcid::Leu, AminoAcid::Arg, AminoAcid::Ser};
+        p.push_back(dependent[rng.bounded(3)]);
+      } else {
+        p.push_back(bio::random_protein(1, rng)[0]);
+      }
+    }
+    return p;
+  };
+
+  util::Table hits_table{{"threshold", "FabP hits", "mask-only hits",
+                          "inflation"}};
+  for (const double fraction : {0.55, 0.60, 0.65, 0.70}) {
+    std::size_t fabp_total = 0, mask_total = 0;
+    for (int trial = 0; trial < 4; ++trial) {
+      const bio::ProteinSequence protein = rich_protein(25);
+      const bio::NucleotideSequence ref = bio::random_dna(100'000, rng);
+      const auto threshold =
+          static_cast<std::uint32_t>(75.0 * fraction);
+      fabp_total +=
+          core::golden_hits(core::back_translate(protein), ref, threshold)
+              .size();
+      mask_total +=
+          core::mask_hits(core::mask_encode(protein), ref, threshold).size();
+    }
+    hits_table.row()
+        .cell(util::percent_text(fraction, 0))
+        .cell(fabp_total)
+        .cell(mask_total)
+        .cell(fabp_total == 0
+                  ? std::string(mask_total == 0 ? "1.0x" : "inf")
+                  : util::ratio_text(static_cast<double>(mask_total) /
+                                         static_cast<double>(fabp_total),
+                                     2));
+  }
+  hits_table.print(std::cout);
+
+  util::banner(std::cout, "Concrete cross-talk: a Ser(AGC) gene under an"
+                          " Arg-rich probe");
+  {
+    // Plant a poly-Ser coding region using only AGY codons; probe with a
+    // poly-Arg query.  Mask-only matches it at full score; FabP rejects.
+    bio::ProteinSequence arg_query;
+    for (int i = 0; i < 15; ++i) arg_query.push_back(AminoAcid::Arg);
+    bio::NucleotideSequence agy{bio::SeqKind::Rna};
+    for (int i = 0; i < 15; ++i) {
+      agy.push_back(bio::Nucleotide::A);
+      agy.push_back(bio::Nucleotide::G);
+      agy.push_back(bio::Nucleotide::C);
+    }
+    const auto fabp_score =
+        core::golden_score_at(core::back_translate(arg_query), agy, 0);
+    const auto mask_score =
+        core::mask_score_at(core::mask_encode(arg_query), agy, 0);
+    std::cout << "  poly-Arg query vs AGC-serine region (45 elements):"
+                 " FabP score " << fabp_score << ", mask-only score "
+              << mask_score << "\n";
+  }
+
+  util::banner(std::cout, "Cost per comparator element");
+  util::Table cost{{"encoding", "bits/element", "LUT6/element",
+                    "dependent codons"}};
+  cost.row().cell("FabP 6-bit instruction").cell(6).cell(2).cell("exact");
+  cost.row().cell("4-bit nucleotide mask").cell(4).cell(1).cell(
+      "over-accepts (see above)");
+  cost.print(std::cout);
+
+  std::cout << "\n  the mask baseline halves comparator LUTs but accepts"
+               " codons of *other*\n  amino acids at every Leu/Arg/Stop"
+               " position (e.g. Arg's mask accepts AGU =\n  Ser), which"
+               " inflates hit counts and write-back traffic; FabP's second\n"
+               "  LUT buys exact degenerate matching.\n";
+  return 0;
+}

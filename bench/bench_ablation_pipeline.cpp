@@ -1,0 +1,54 @@
+// Ablation — pipelining and clock closure (§III-C "multi-stage pipelined
+// architecture", §III-D "pipelined Pop-Counter").
+//
+// Builds real alignment-instance netlists (comparator column + Pop-Counter
+// + threshold compare) flat and pipelined, runs static timing on the
+// Kintex-7-class delay model, and reports Fmax against the 200 MHz kernel
+// clock that the paper's 12.8 GB/s AXI figure implies.  Also quantifies
+// the register cost of pipelining.
+
+#include <iostream>
+
+#include "fabp/core/instance.hpp"
+#include "fabp/hw/timing.hpp"
+#include "fabp/util/table.hpp"
+
+int main() {
+  using namespace fabp;
+
+  util::banner(std::cout, "Alignment-instance timing: flat vs pipelined"
+                          " (target 200 MHz)");
+
+  util::Table table{{"elements", "variant", "LUTs", "FFs", "levels",
+                     "path(ns)", "Fmax(MHz)", "meets 200MHz"}};
+  for (std::size_t elements : {36u, 150u, 450u, 750u}) {
+    for (const bool pipelined : {false, true}) {
+      core::InstanceConfig config;
+      config.elements = elements;
+      config.threshold = static_cast<std::uint32_t>(elements * 4 / 5);
+      config.pipelined = pipelined;
+
+      hw::Netlist nl;
+      core::build_alignment_instance(nl, config);
+      const hw::NetlistStats stats = nl.stats();
+      const hw::TimingReport timing = hw::analyze_timing(nl);
+
+      table.row()
+          .cell(elements)
+          .cell(pipelined ? "pipelined" : "flat")
+          .cell(stats.luts)
+          .cell(stats.ffs)
+          .cell(timing.logic_levels)
+          .cell(timing.critical_path_ns, 2)
+          .cell(timing.fmax_hz / 1e6, 0)
+          .cell(timing.meets(200e6) ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\n  the flat datapath misses the kernel clock beyond one"
+               " Pop36 stage; the\n  3-stage pipeline (comparators ->"
+               " Pop36 -> reduction) restores it at the\n  cost of the FF"
+               " column — which is why Table I shows heavy FF use.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// E4 — §III-D in-text ablation: "FabP LUT-level optimized Pop-Counter shows
+// 20% area reduction as compared to the simple HDL description of a
+// tree-adder-style Pop-Counter."
+//
+// Both designs are generated as real LUT netlists (verified bit-exact
+// against std::popcount in the test suite) and their LUT counts compared
+// at the query widths FabP instantiates.  Our tree-adder baseline maps
+// adders at one LUT per sum bit with free carry chains; Vivado's adder
+// synthesis packs harder than that, which is why our measured reduction is
+// larger than the paper's 20% (see EXPERIMENTS.md).
+
+#include <iostream>
+
+#include "fabp/hw/popcount.hpp"
+#include "fabp/util/table.hpp"
+
+int main() {
+  using namespace fabp;
+
+  util::banner(std::cout,
+               "Pop-Counter ablation: handcrafted (Fig. 4) vs tree adder");
+
+  util::Table table{{"width(bits)", "handcrafted LUTs", "tree-adder LUTs",
+                     "reduction", "paper"}};
+  for (std::size_t width : {36u, 150u, 300u, 450u, 600u, 750u}) {
+    const std::size_t hand = hw::popcounter_luts_handcrafted(width);
+    const std::size_t tree = hw::popcounter_luts_tree(width);
+    const double reduction =
+        1.0 - static_cast<double>(hand) / static_cast<double>(tree);
+    table.row()
+        .cell(width)
+        .cell(hand)
+        .cell(tree)
+        .cell(util::percent_text(reduction))
+        .cell(width == 36 ? "~20% (vs synthesized HDL)" : "");
+  }
+  table.print(std::cout);
+
+  std::cout << "\n  per-instance impact: at 750 elements (FabP-250), each of"
+               " the 256 alignment\n  instances saves "
+            << hw::popcounter_luts_tree(750) -
+                   hw::popcounter_luts_handcrafted(750)
+            << " LUTs ("
+            << (hw::popcounter_luts_tree(750) -
+                hw::popcounter_luts_handcrafted(750)) *
+                   256
+            << " device-wide).\n";
+  return 0;
+}

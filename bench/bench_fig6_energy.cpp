@@ -1,0 +1,55 @@
+// E2 — Figure 6(b): energy efficiency of the four platforms across query
+// lengths, normalized to CPU-1T.  Paper headline: FabP 23.2x over GPU and
+// 266.8x over CPU-12T.
+
+#include <iostream>
+
+#include "fabp/perf/figure6.hpp"
+#include "fabp/util/table.hpp"
+
+int main() {
+  using namespace fabp;
+
+  perf::Figure6Config cfg;
+  cfg.cpu_sample_bases = 2 << 20;
+  cfg.db_bases = std::size_t{1} << 30;
+
+  util::banner(std::cout,
+               "Figure 6(b): energy per query vs protein query length");
+
+  const auto rows = perf::run_figure6(cfg);
+
+  util::Table table{{"query(aa)", "CPU-1T(J)", "CPU-12T(J)", "GPU(J)",
+                     "FabP(J)", "FabP power(W)", "eff. vs CPU-12T",
+                     "eff. vs GPU"}};
+  for (const auto& row : rows) {
+    table.row()
+        .cell(row.query_length)
+        .cell(row.cpu1.joules, 1)
+        .cell(row.cpu12.joules, 1)
+        .cell(row.gpu.joules, 3)
+        .cell(row.fabp.joules, 4)
+        .cell(row.fabp.watts, 1)
+        .cell(util::ratio_text(row.cpu12.joules / row.fabp.joules))
+        .cell(util::ratio_text(row.gpu.joules / row.fabp.joules));
+  }
+  table.print(std::cout);
+
+  const perf::Figure6Summary s = perf::summarize(rows);
+  util::Table summary{{"headline", "paper", "measured"}};
+  summary.row()
+      .cell("FabP energy efficiency over GPU")
+      .cell("23.2x")
+      .cell(util::ratio_text(s.fabp_over_gpu_energy));
+  summary.row()
+      .cell("FabP energy efficiency over CPU-12T")
+      .cell("266.8x")
+      .cell(util::ratio_text(s.fabp_over_cpu12_energy));
+  std::cout << '\n';
+  summary.print(std::cout);
+  std::cout << "\n  platform power: CPU-1T " << cfg.cpu.watts_single_thread
+            << " W, CPU-12T " << cfg.cpu.watts_all_threads << " W, GPU "
+            << cfg.gpu.watts << " W; FabP from the utilization-driven FPGA"
+               " power model.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E1 — Figure 6(a): execution time of CPU-1T / CPU-12T (TBLASTN), GPU and
+// FabP across protein query lengths 50..250, normalized to CPU-1T, plus the
+// paper's headline averages (E7): FabP 8.1% over GPU, 24.8x over CPU-12T.
+//
+// CPU rows are measured (our TBLASTN pipeline on a synthetic sample, then
+// rescaled/extrapolated per perf/platform.hpp); GPU rows use the datasheet
+// throughput model; FabP rows come from the cycle-level simulator timing.
+
+#include <cstdio>
+#include <iostream>
+
+#include "fabp/perf/figure6.hpp"
+#include "fabp/util/table.hpp"
+
+int main() {
+  using namespace fabp;
+
+  perf::Figure6Config cfg;
+  cfg.cpu_sample_bases = 2 << 20;          // measured TBLASTN sample
+  cfg.db_bases = std::size_t{1} << 30;     // nominal 1 GB database (paper)
+
+  util::banner(std::cout, "Figure 6(a): performance vs protein query length"
+                          " (normalized to CPU-1T TBLASTN)");
+  std::cout << "  database: 1 GB nominal; CPU measured on "
+            << (cfg.cpu_sample_bases >> 20) << " MiB sample, then scaled\n";
+
+  const auto rows = perf::run_figure6(cfg);
+
+  util::Table table{{"query(aa)", "elements", "CPU-1T(s)", "CPU-12T(s)",
+                     "GPU(s)", "FabP(s)", "speedup CPU-12T", "speedup GPU",
+                     "speedup FabP"}};
+  for (const auto& row : rows) {
+    table.row()
+        .cell(row.query_length)
+        .cell(row.query_elements)
+        .cell(row.cpu1.seconds, 3)
+        .cell(row.cpu12.seconds, 3)
+        .cell(row.gpu.seconds, 4)
+        .cell(row.fabp.seconds, 4)
+        .cell(util::ratio_text(row.speedup_cpu12))
+        .cell(util::ratio_text(row.speedup_gpu))
+        .cell(util::ratio_text(row.speedup_fabp));
+  }
+  table.print(std::cout);
+
+  const perf::Figure6Summary s = perf::summarize(rows);
+  util::Table summary{{"headline", "paper", "measured"}};
+  summary.row()
+      .cell("FabP speedup over GPU")
+      .cell("1.081x (8.1%)")
+      .cell(util::ratio_text(s.fabp_over_gpu_speedup, 3));
+  summary.row()
+      .cell("FabP speedup over CPU-12T")
+      .cell("24.8x")
+      .cell(util::ratio_text(s.fabp_over_cpu12_speedup));
+  std::cout << '\n';
+  summary.print(std::cout);
+  std::cout << "\n  note: CPU rows extrapolate a measured 1-thread rate to"
+               " the i7-8700K\n  (x" << cfg.cpu.host_to_target_speed
+            << " clock/IPC) and model 12T as 12 x "
+            << cfg.cpu.parallel_efficiency << " efficiency.\n";
+  return 0;
+}

@@ -1,0 +1,204 @@
+// E8 — microbenchmarks (google-benchmark): per-component throughput of the
+// encoding, comparator, golden scan, pop-counter netlist, DP aligners and
+// the TBLASTN stages.  These attribute where time goes in the software
+// models; the paper-level numbers live in the bench_fig6_*/bench_table1
+// harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "fabp/align/local.hpp"
+#include "fabp/align/sliding.hpp"
+#include "fabp/bio/generate.hpp"
+#include "fabp/blast/tblastn.hpp"
+#include "fabp/core/accelerator.hpp"
+#include "fabp/blast/seg.hpp"
+#include "fabp/core/comparator.hpp"
+#include "fabp/core/instance.hpp"
+#include "fabp/hw/optimize.hpp"
+#include "fabp/hw/popcount.hpp"
+
+namespace {
+
+using namespace fabp;
+
+util::Xoshiro256& rng() {
+  static util::Xoshiro256 instance{8675309};
+  return instance;
+}
+
+void BM_EncodeQuery(benchmark::State& state) {
+  const auto protein =
+      bio::random_protein(static_cast<std::size_t>(state.range(0)), rng());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::encode_query(protein));
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_EncodeQuery)->Arg(50)->Arg(250);
+
+void BM_ComparatorEval(benchmark::State& state) {
+  const auto q = core::encode_query(bio::random_protein(50, rng()));
+  const auto ref = bio::random_dna(4096, rng());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto r = ref[i & 4095];
+    const auto im1 = ref[(i + 1) & 4095];
+    const auto im2 = ref[(i + 2) & 4095];
+    benchmark::DoNotOptimize(
+        core::comparator_eval(q[i % q.size()], r, im1, im2));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ComparatorEval);
+
+void BM_GoldenScoreAt(benchmark::State& state) {
+  const auto elements = core::back_translate(
+      bio::random_protein(static_cast<std::size_t>(state.range(0)), rng()));
+  const auto ref = bio::random_dna(8192, rng());
+  std::size_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::golden_score_at(elements, ref, p));
+    p = (p + 31) % (ref.size() - elements.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elements.size()));
+}
+BENCHMARK(BM_GoldenScoreAt)->Arg(50)->Arg(250);
+
+void BM_GoldenScan(benchmark::State& state) {
+  const auto elements = core::back_translate(bio::random_protein(50, rng()));
+  const auto ref = bio::random_dna(1 << 16, rng());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::golden_hits(elements, ref, 140));
+  state.SetBytesProcessed(state.iterations() * (1 << 16) / 4);
+}
+BENCHMARK(BM_GoldenScan);
+
+void BM_Pop36Netlist(benchmark::State& state) {
+  hw::Netlist nl;
+  hw::Bus inputs;
+  for (int i = 0; i < 36; ++i) inputs.push_back(nl.add_input());
+  const hw::Bus out = hw::build_pop36(nl, inputs);
+  std::uint64_t v = 0xdeadbeef;
+  for (auto _ : state) {
+    hw::drive_bus(nl, inputs, v);
+    nl.settle();
+    benchmark::DoNotOptimize(hw::read_bus(nl, out));
+    v = v * 6364136223846793005ULL + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Pop36Netlist);
+
+void BM_SmithWatermanCells(benchmark::State& state) {
+  const auto q = bio::random_protein(64, rng());
+  const auto r = bio::random_protein(256, rng());
+  const auto& m = align::SubstitutionMatrix::blosum62();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(align::smith_waterman_score(q, r, m));
+  state.SetItemsProcessed(state.iterations() * 64 * 256);
+}
+BENCHMARK(BM_SmithWatermanCells);
+
+void BM_SlidingHits(benchmark::State& state) {
+  const auto q = bio::random_dna(150, rng());
+  const auto ref = bio::random_dna(1 << 16, rng());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(align::sliding_hits(q, ref, 120));
+  state.SetBytesProcessed(state.iterations() * (1 << 16) / 4);
+}
+BENCHMARK(BM_SlidingHits);
+
+void BM_KmerIndexBuild(benchmark::State& state) {
+  const auto protein =
+      bio::random_protein(static_cast<std::size_t>(state.range(0)), rng());
+  const auto& m = align::SubstitutionMatrix::blosum62();
+  for (auto _ : state) {
+    blast::KmerIndex index{protein, blast::KmerIndexConfig{}, m};
+    benchmark::DoNotOptimize(index.entry_count());
+  }
+}
+BENCHMARK(BM_KmerIndexBuild)->Arg(50)->Arg(250);
+
+void BM_TblastnScan(benchmark::State& state) {
+  const auto protein = bio::random_protein(50, rng());
+  const auto ref = bio::random_dna(1 << 17, rng());
+  const blast::Tblastn engine{protein, blast::TblastnConfig{}};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.search(ref));
+  state.SetBytesProcessed(state.iterations() * (1 << 17));
+}
+BENCHMARK(BM_TblastnScan);
+
+void BM_AcceleratorRun(benchmark::State& state) {
+  core::AcceleratorConfig cfg;
+  cfg.threshold = 130;
+  core::Accelerator acc{cfg};
+  acc.load_query(bio::random_protein(50, rng()));
+  const bio::PackedNucleotides packed{bio::random_dna(1 << 16, rng())};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(acc.run(packed));
+  state.SetBytesProcessed(state.iterations() * (1 << 16) / 4);
+}
+BENCHMARK(BM_AcceleratorRun);
+
+void BM_InstanceNetlistSettle(benchmark::State& state) {
+  core::InstanceConfig cfg;
+  cfg.elements = 36;
+  cfg.threshold = 20;
+  cfg.pipelined = false;
+  hw::Netlist nl;
+  const core::InstancePorts ports = core::build_alignment_instance(nl, cfg);
+  const auto query = core::encode_query(bio::random_protein(12, rng()));
+  const auto ref = bio::random_dna(100, rng());
+  std::size_t pos = 2;
+  for (auto _ : state) {
+    std::vector<bio::Nucleotide> window;
+    window.push_back(ref[pos - 2]);
+    window.push_back(ref[pos - 1]);
+    for (std::size_t i = 0; i < 36; ++i) window.push_back(ref[pos + i]);
+    benchmark::DoNotOptimize(
+        core::simulate_instance(nl, ports, cfg, query, window));
+    pos = 2 + (pos + 1) % 60;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstanceNetlistSettle);
+
+void BM_OptimizePass(benchmark::State& state) {
+  const auto query = core::encode_query(bio::random_protein(12, rng()));
+  core::InstanceConfig cfg;
+  cfg.elements = 36;
+  cfg.threshold = 20;
+  cfg.pipelined = false;
+  cfg.fixed_query = &query;
+  hw::Netlist nl;
+  const core::InstancePorts ports = core::build_alignment_instance(nl, cfg);
+  std::vector<hw::NetId> keep = ports.score;
+  keep.push_back(ports.hit);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hw::optimize(nl, keep).stats.luts_after);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nl.cell_count()));
+}
+BENCHMARK(BM_OptimizePass);
+
+void BM_SegMask(benchmark::State& state) {
+  const auto protein = bio::random_protein(250, rng());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(blast::seg_mask(protein));
+  state.SetItemsProcessed(state.iterations() * 250);
+}
+BENCHMARK(BM_SegMask);
+
+void BM_BackTranslate(benchmark::State& state) {
+  const auto protein = bio::random_protein(250, rng());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::back_translate(protein));
+  state.SetItemsProcessed(state.iterations() * 250);
+}
+BENCHMARK(BM_BackTranslate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// codon_explorer: interactive view of the paper's §III-A/III-B machinery.
+// For a protein given on the command line (default: the paper's worked
+// example Met-Phe-Ser-Arg-Stop), prints per amino acid:
+//   * the biological codon set,
+//   * the degenerate template with element types,
+//   * the 6-bit FabP instructions with field breakdown,
+//   * the generated comparator LUT INIT vectors.
+//
+// Usage: codon_explorer [protein]   (one-letter codes, '*' for stop)
+
+#include <iostream>
+
+#include "fabp/fabp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fabp;
+  using bio::AminoAcid;
+
+  bio::ProteinSequence protein;
+  if (argc > 1) {
+    try {
+      protein = bio::ProteinSequence::parse(argv[1]);
+    } catch (const std::exception& e) {
+      std::cerr << "bad protein string: " << e.what() << '\n';
+      return 1;
+    }
+  } else {
+    protein = bio::ProteinSequence::parse("MFSR*");
+  }
+
+  std::cout << "protein: " << protein.to_string() << "\n\n";
+
+  util::Table table{{"residue", "codons", "template", "types",
+                     "instructions"}};
+  for (AminoAcid aa : protein) {
+    std::string codons;
+    for (const bio::Codon& c : bio::codons_for(aa)) {
+      if (!codons.empty()) codons += ",";
+      codons += c.to_string();
+    }
+    const core::CodonTemplate& t = core::codon_template(aa);
+    std::string tmpl, types, instrs;
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (i) {
+        tmpl += " ";
+        types += " ";
+        instrs += " ";
+      }
+      tmpl += core::to_string(t[i]);
+      switch (t[i].type) {
+        case core::ElementType::ExactI: types += "I"; break;
+        case core::ElementType::ConditionalII: types += "II"; break;
+        case core::ElementType::DependentIII: types += "III"; break;
+      }
+      instrs += core::Instruction::encode(t[i]).to_binary_string();
+    }
+    table.row()
+        .cell(std::string(bio::to_three_letter(aa)))
+        .cell(codons)
+        .cell(tmpl)
+        .cell(types)
+        .cell(instrs);
+  }
+  table.print(std::cout);
+
+  std::cout << "\ninstruction layout: [b5 b4 | b3 b2 | b1 b0] ="
+               " opcode | payload | config\n"
+               "  Type I  : 00 | nucleotide | 00\n"
+               "  Type II : 01 | condition  | 00   (U/C, A/G, G-bar, A/C)\n"
+               "  Type III: 1F | F 0        | mux  (Stop3, Leu3, Arg3, D)\n";
+
+  std::cout << "\ncomparator LUT INITs (directly instantiable as LUT6"
+               " primitives):\n";
+  std::cout << "  history mux LUT : "
+            << core::comparator_mux_lut().init_string() << '\n';
+  std::cout << "  compare LUT     : "
+            << core::comparator_cmp_lut().init_string() << '\n';
+
+  // Show the full Fig. 5(b)-style truth table of one interesting column.
+  std::cout << "\nFig. 5(b) column for the encoded Stop third element"
+               " (S = MSB of ref[i-1]):\n";
+  const core::Instruction stop3 = core::Instruction::encode(
+      core::BackElement::make_dependent(core::Function::Stop3));
+  for (int s = 0; s < 2; ++s) {
+    for (bio::Nucleotide ref : bio::kAllNucleotides) {
+      const bool match = core::comparator_eval(
+          stop3, bio::code(ref), s != 0, false, false);
+      std::cout << "  1-00-" << s << "-" << bio::to_char_rna(ref) << " -> "
+                << (match ? 1 : 0) << '\n';
+    }
+  }
+  return 0;
+}

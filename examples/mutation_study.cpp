@@ -1,0 +1,84 @@
+// mutation_study: how sequence divergence affects FabP's substitution-only
+// scores (§IV-A).  Sweeps protein-level substitution rates and
+// reference-level indel rates, reporting the planted-gene score
+// distribution and the detection rate at the default threshold — the
+// quantitative backing for "FabP only counts the differences".
+//
+// Usage: mutation_study [n_trials] [residues] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fabp/fabp.hpp"
+#include "fabp/util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fabp;
+
+  const std::size_t n_trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400;
+  const std::size_t residues =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4242;
+
+  util::Xoshiro256 rng{seed};
+  const std::size_t elements = residues * 3;
+  const auto threshold = static_cast<std::uint32_t>(elements * 8 / 10);
+
+  std::cout << "query " << residues << " aa (" << elements
+            << " elements), threshold " << threshold << " (80%), "
+            << n_trials << " trials per cell\n\n";
+
+  util::Table table{{"protein subs", "ref indels/kb", "mean score",
+                     "min", "p10", "detected"}};
+  for (const double sub_rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    for (const double indel_rate : {0.0, 0.09}) {
+      util::RunningStats scores;
+      std::vector<double> raw;
+      std::size_t detected = 0;
+      for (std::size_t t = 0; t < n_trials; ++t) {
+        const bio::ProteinSequence gene = bio::random_protein(residues, rng);
+        const bio::ProteinSequence query =
+            bio::mutate_protein(gene, sub_rate, rng);
+
+        bio::NucleotideSequence coding =
+            core::random_template_coding(gene, rng);
+        if (indel_rate > 0.0) {
+          bio::MutationParams params;
+          params.substitution_rate = 0.0;
+          params.indel_events_per_kb = indel_rate;
+          coding = bio::mutate(coding, params, rng).sequence;
+        }
+        // Pad so short (deletion-shortened) regions still align.
+        coding.append(bio::random_dna(12, rng));
+
+        const auto q = core::back_translate(query);
+        std::uint32_t best = 0;
+        if (coding.size() >= q.size())
+          for (std::size_t p = 0; p + q.size() <= coding.size(); ++p)
+            best = std::max(best, core::golden_score_at(q, coding, p));
+        scores.add(best);
+        raw.push_back(best);
+        if (best >= threshold) ++detected;
+      }
+      table.row()
+          .cell(util::percent_text(sub_rate, 0))
+          .cell(indel_rate, 2)
+          .cell(scores.mean(), 1)
+          .cell(scores.min(), 0)
+          .cell(util::percentile(raw, 10.0), 1)
+          .cell(util::percent_text(
+              static_cast<double>(detected) / n_trials, 1));
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading the table: each protein substitution costs at"
+               " most 3 elements, so\nthe 80% threshold tolerates ~6-7%"
+               " divergence; the biological indel rate\n(0.09 events/kb)"
+               " almost never produces an indel inside a " << elements
+            << "-element\nregion, which is the paper's argument for"
+               " dropping indel support.\n";
+  return 0;
+}

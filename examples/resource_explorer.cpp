@@ -1,0 +1,72 @@
+// resource_explorer: what-if tool for the resource mapper (§III-C/IV-B).
+// Sweeps query lengths on a chosen device and prints the placement: number
+// of segments, per-category utilization, effective bandwidth, projected
+// throughput and power.  Useful for sizing a deployment before committing
+// to a card.
+//
+// Usage: resource_explorer [kintex7|vu9p] [max_residues]
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "fabp/core/mapper.hpp"
+#include "fabp/hw/power.hpp"
+#include "fabp/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fabp;
+
+  const std::string device_name = argc > 1 ? argv[1] : "kintex7";
+  const std::size_t max_residues =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 250;
+
+  hw::FpgaDevice device;
+  if (device_name == "vu9p") {
+    device = hw::virtex_ultrascale_plus();
+  } else if (device_name == "kintex7") {
+    device = hw::kintex7();
+  } else {
+    std::cerr << "unknown device '" << device_name
+              << "' (expected kintex7 or vu9p)\n";
+    return 1;
+  }
+
+  std::cout << "device " << device.name << ": "
+            << device.capacity.luts / 1000 << "k LUTs, "
+            << device.capacity.ffs / 1000 << "k FFs, "
+            << device.capacity.dsps << " DSPs, " << device.memory_channels
+            << " channel(s) x "
+            << util::bandwidth_text(device.channel_bandwidth_bps) << " @ "
+            << device.clock_hz / 1e6 << " MHz\n\n";
+
+  const hw::FpgaPowerModel power;
+  util::Table table{{"query(aa)", "segments", "LUT", "FF", "BRAM", "DSP",
+                     "eff. BW", "GB scan(s)", "power(W)", "bottleneck"}};
+  for (std::size_t residues = 25; residues <= max_residues; residues += 25) {
+    const core::FabpMapping m = core::map_design(device, residues * 3);
+    if (!m.feasible) {
+      table.row().cell(residues).cell("does not fit").cell("-").cell("-")
+          .cell("-").cell("-").cell("-").cell("-").cell("-").cell("-");
+      continue;
+    }
+    table.row()
+        .cell(residues)
+        .cell(m.segments)
+        .cell(util::percent_text(m.lut_util, 0))
+        .cell(util::percent_text(m.ff_util, 0))
+        .cell(util::percent_text(m.bram_util, 0))
+        .cell(util::percent_text(m.dsp_util, 0))
+        .cell(util::bandwidth_text(m.effective_bandwidth_bps))
+        .cell(1e9 / m.effective_bandwidth_bps, 3)
+        .cell(power.watts(device, m.used, device.memory_channels), 1)
+        .cell(m.bottleneck == core::Bottleneck::Resources ? "resources"
+                                                          : "bandwidth");
+  }
+  table.print(std::cout);
+
+  std::cout << "\n'GB scan' is the kernel time to stream 1 GB of 2-bit"
+               " packed reference\nthrough the aligner at the effective"
+               " bandwidth.\n";
+  return 0;
+}

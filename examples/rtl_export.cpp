@@ -1,0 +1,104 @@
+// rtl_export: writes the generated structural Verilog for the paper's
+// hand-instantiated blocks — the custom comparator (2x LUT6), the Pop36
+// Pop-Counter (Fig. 4), full pop-counters, and a complete pipelined
+// alignment instance — into an output directory, together with a summary
+// of primitive counts and timing.  These files are the bridge from this
+// model back to a real Vivado flow.
+//
+// Usage: rtl_export [out_dir] [instance_elements]
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "fabp/fabp.hpp"
+
+namespace {
+
+void write_module(const std::filesystem::path& dir,
+                  const fabp::hw::VerilogModule& module) {
+  const auto path = dir / (module.name + ".v");
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot write " + path.string()};
+  out << module.source;
+  std::cout << "  wrote " << path.string() << " (" << module.source.size()
+            << " bytes, " << module.instance_count("LUT6") << " LUT6, "
+            << module.instance_count("FDRE") << " FDRE)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fabp;
+
+  const std::filesystem::path dir = argc > 1 ? argv[1] : "rtl_out";
+  const std::size_t elements =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 36;
+  std::filesystem::create_directories(dir);
+
+  std::cout << "exporting structural Verilog to " << dir << ":\n";
+  write_module(dir, core::emit_comparator_module());
+  write_module(dir, hw::emit_pop36_module());
+  write_module(dir, hw::emit_popcounter_module(150, /*handcrafted=*/true));
+  write_module(dir, hw::emit_popcounter_module(150, /*handcrafted=*/false));
+
+  core::InstanceConfig config;
+  config.elements = elements;
+  config.threshold = static_cast<std::uint32_t>(elements * 4 / 5);
+  config.pipelined = true;
+  write_module(dir, core::emit_instance_module(config));
+
+  // Timing summary for the exported instance.
+  hw::Netlist nl;
+  core::build_alignment_instance(nl, config);
+  const hw::TimingReport t = hw::analyze_timing(nl);
+  std::cout << "\ninstance (" << elements << " elements): "
+            << nl.stats().luts << " LUT6 / " << nl.stats().ffs
+            << " FDRE, critical path " << t.critical_path_ns << " ns ("
+            << t.logic_levels << " levels), Fmax " << t.fmax_hz / 1e6
+            << " MHz\n";
+  std::cout << "comparator LUT INITs: mux "
+            << core::comparator_mux_lut().init_string() << ", cmp "
+            << core::comparator_cmp_lut().init_string() << '\n';
+
+  // Waveform demo: stream a few reference windows through a small
+  // pipelined instance and dump score/hit to VCD (open in GTKWave).
+  {
+    fabp::util::Xoshiro256 rng{99};
+    const auto protein = bio::random_protein(4, rng);
+    const auto query = core::encode_query(protein);
+    core::InstanceConfig wave_cfg;
+    wave_cfg.elements = query.size();
+    wave_cfg.threshold = 9;
+    wave_cfg.pipelined = true;
+
+    hw::Netlist wave_nl;
+    const core::InstancePorts ports =
+        core::build_alignment_instance(wave_nl, wave_cfg);
+    for (std::size_t i = 0; i < query.size(); ++i)
+      for (unsigned b = 0; b < 6; ++b)
+        wave_nl.set_input(ports.query[i][b], query[i].bit(b));
+
+    hw::VcdTrace trace{"fabp_instance"};
+    trace.watch_bus(ports.score, "score");
+    trace.watch(ports.hit, "hit");
+
+    const auto ref = bio::random_dna(60, rng);
+    for (std::size_t cycle = 0; cycle + query.size() + 2 < ref.size();
+         ++cycle) {
+      for (std::size_t i = 0; i < query.size() + 2; ++i) {
+        const auto code = bio::code(ref[cycle + i]);
+        wave_nl.set_input(ports.ref[i][0], (code & 1) != 0);
+        wave_nl.set_input(ports.ref[i][1], (code & 2) != 0);
+      }
+      wave_nl.settle();
+      wave_nl.clock();
+      trace.sample(wave_nl);
+    }
+    const auto vcd_path = (dir / "fabp_instance.vcd").string();
+    trace.write_file(vcd_path);
+    std::cout << "waveform: " << vcd_path << " (" << trace.samples()
+              << " cycles)\n";
+  }
+  return 0;
+}

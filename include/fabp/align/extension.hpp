@@ -1,0 +1,43 @@
+#pragma once
+// Seed-extension primitives used by the TBLASTN-style pipeline:
+//  * X-drop ungapped extension (BLAST stage 2)
+//  * banded affine-gap extension around a seed diagonal (BLAST stage 3)
+
+#include <cstddef>
+#include <span>
+
+#include "fabp/align/scoring.hpp"
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::align {
+
+struct UngappedExtension {
+  int score = 0;
+  // Half-open extent of the extended segment in each sequence.
+  std::size_t query_begin = 0, query_end = 0;
+  std::size_t ref_begin = 0, ref_end = 0;
+
+  std::size_t length() const noexcept { return query_end - query_begin; }
+};
+
+/// Extends an exact/approximate word hit at (query_pos, ref_pos) in both
+/// directions without gaps, stopping when the running score falls more than
+/// `x_drop` below the best seen (Altschul et al. 1990).  `seed_len` symbols
+/// starting at the hit are included unconditionally.
+UngappedExtension ungapped_extend(const bio::ProteinSequence& query,
+                                  const bio::ProteinSequence& ref,
+                                  std::size_t query_pos, std::size_t ref_pos,
+                                  std::size_t seed_len,
+                                  const SubstitutionMatrix& matrix,
+                                  int x_drop = 20);
+
+/// Banded affine-gap local alignment restricted to diagonals within
+/// `bandwidth` of (ref_pos - query_pos).  Returns the best local score in
+/// the band; used as the gapped-extension stage.
+int banded_local_score(const bio::ProteinSequence& query,
+                       const bio::ProteinSequence& ref,
+                       std::size_t query_pos, std::size_t ref_pos,
+                       std::size_t bandwidth, const SubstitutionMatrix& matrix,
+                       GapPenalties gaps = {});
+
+}  // namespace fabp::align

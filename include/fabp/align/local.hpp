@@ -1,0 +1,235 @@
+#pragma once
+// Dynamic-programming aligners (paper §II): Smith-Waterman local alignment
+// with affine gaps (the optimal-result baseline FabP is compared against)
+// and Needleman-Wunsch global alignment.  Both are templated on the symbol
+// type and scoring functor so they serve proteins (BLOSUM62) and
+// nucleotides (match/mismatch) alike.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabp/align/scoring.hpp"
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::align {
+
+/// One aligned-pair operation for traceback rendering.
+enum class EditOp : char { Match = 'M', Insert = 'I', Delete = 'D' };
+
+struct Alignment {
+  int score = 0;
+  // Half-open coordinates of the aligned region in each sequence.
+  std::size_t query_begin = 0, query_end = 0;
+  std::size_t ref_begin = 0, ref_end = 0;
+  std::vector<EditOp> ops;  // query->reference edit script (local region)
+
+  std::size_t matches_or_mismatches() const noexcept {
+    return static_cast<std::size_t>(
+        std::count(ops.begin(), ops.end(), EditOp::Match));
+  }
+  std::size_t indel_ops() const noexcept { return ops.size() - matches_or_mismatches(); }
+
+  /// Compact CIGAR-style text, e.g. "12M1D7M".
+  std::string cigar() const;
+};
+
+namespace detail {
+
+/// Affine-gap Smith-Waterman with full traceback.  O(q*r) time and memory.
+template <typename Sym, typename ScoreFn>
+Alignment smith_waterman_impl(std::span<const Sym> query,
+                              std::span<const Sym> ref, const ScoreFn& score,
+                              GapPenalties gaps) {
+  const std::size_t q = query.size();
+  const std::size_t r = ref.size();
+  Alignment out;
+  if (q == 0 || r == 0) return out;
+
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+  const std::size_t width = r + 1;
+
+  // H: best score ending at (i,j); E: gap in query (deletion from ref view);
+  // F: gap in reference.  Tracebacks stored as 2-bit codes per matrix.
+  std::vector<int> h((q + 1) * width, 0);
+  std::vector<int> e((q + 1) * width, kNegInf);
+  std::vector<int> f((q + 1) * width, kNegInf);
+  std::vector<std::uint8_t> trace((q + 1) * width, 0);
+  // trace bits: 0-1 = H source (0 stop, 1 diag, 2 from E, 3 from F),
+  //             bit 2 = E extends, bit 3 = F extends.
+
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i <= q; ++i) {
+    for (std::size_t j = 1; j <= r; ++j) {
+      const std::size_t idx = i * width + j;
+      const int open_e = h[idx - width] - gaps.open - gaps.extend;
+      const int ext_e = e[idx - width] - gaps.extend;
+      e[idx] = std::max(open_e, ext_e);
+
+      const int open_f = h[idx - 1] - gaps.open - gaps.extend;
+      const int ext_f = f[idx - 1] - gaps.extend;
+      f[idx] = std::max(open_f, ext_f);
+
+      const int diag =
+          h[idx - width - 1] + score(query[i - 1], ref[j - 1]);
+
+      int v = 0;
+      std::uint8_t t = 0;
+      if (diag > v) { v = diag; t = 1; }
+      if (e[idx] > v) { v = e[idx]; t = 2; }
+      if (f[idx] > v) { v = f[idx]; t = 3; }
+      if (ext_e >= open_e) t |= 0b0100;
+      if (ext_f >= open_f) t |= 0b1000;
+      h[idx] = v;
+      trace[idx] = t;
+
+      if (v > best) {
+        best = v;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  out.score = best;
+  if (best == 0) return out;
+
+  // Traceback from the maximum until H hits a stop cell.
+  std::size_t i = best_i, j = best_j;
+  enum class State { H, E, F } state = State::H;
+  std::vector<EditOp> rops;
+  for (;;) {
+    const std::size_t idx = i * width + j;
+    if (state == State::H) {
+      const std::uint8_t source = trace[idx] & 0b11;
+      if (source == 0) break;
+      if (source == 1) {
+        rops.push_back(EditOp::Match);
+        --i; --j;
+      } else if (source == 2) {
+        state = State::E;
+      } else {
+        state = State::F;
+      }
+    } else if (state == State::E) {
+      rops.push_back(EditOp::Insert);  // consumes a query symbol
+      const bool extends = (trace[idx] & 0b0100) != 0;
+      --i;
+      if (!extends) state = State::H;
+    } else {
+      rops.push_back(EditOp::Delete);  // consumes a reference symbol
+      const bool extends = (trace[idx] & 0b1000) != 0;
+      --j;
+      if (!extends) state = State::H;
+    }
+  }
+
+  out.query_begin = i;
+  out.query_end = best_i;
+  out.ref_begin = j;
+  out.ref_end = best_j;
+  out.ops.assign(rops.rbegin(), rops.rend());
+  return out;
+}
+
+/// Score-only Smith-Waterman in O(r) memory (two DP rows).
+template <typename Sym, typename ScoreFn>
+int smith_waterman_score_impl(std::span<const Sym> query,
+                              std::span<const Sym> ref, const ScoreFn& score,
+                              GapPenalties gaps) {
+  const std::size_t q = query.size();
+  const std::size_t r = ref.size();
+  if (q == 0 || r == 0) return 0;
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+  std::vector<int> h(r + 1, 0), e(r + 1, kNegInf);
+  int best = 0;
+  for (std::size_t i = 1; i <= q; ++i) {
+    int h_diag = 0;  // H[i-1][j-1]
+    int f = kNegInf;
+    int h_left = 0;  // H[i][j-1] as it is produced
+    for (std::size_t j = 1; j <= r; ++j) {
+      e[j] = std::max(h[j] - gaps.open - gaps.extend, e[j] - gaps.extend);
+      f = std::max(h_left - gaps.open - gaps.extend, f - gaps.extend);
+      int v = h_diag + score(query[i - 1], ref[j - 1]);
+      v = std::max({0, v, e[j], f});
+      h_diag = h[j];
+      h[j] = v;
+      h_left = v;
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+/// Needleman-Wunsch global score with affine gaps.
+template <typename Sym, typename ScoreFn>
+int needleman_wunsch_score_impl(std::span<const Sym> query,
+                                std::span<const Sym> ref,
+                                const ScoreFn& score, GapPenalties gaps) {
+  const std::size_t q = query.size();
+  const std::size_t r = ref.size();
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+  std::vector<int> h(r + 1), e(r + 1, kNegInf);
+  h[0] = 0;
+  for (std::size_t j = 1; j <= r; ++j)
+    h[j] = -gaps.open - static_cast<int>(j) * gaps.extend;
+
+  for (std::size_t i = 1; i <= q; ++i) {
+    int h_diag = h[0];
+    h[0] = -gaps.open - static_cast<int>(i) * gaps.extend;
+    int f = kNegInf;
+    int h_left = h[0];
+    for (std::size_t j = 1; j <= r; ++j) {
+      e[j] = std::max(h[j] - gaps.open - gaps.extend, e[j] - gaps.extend);
+      f = std::max(h_left - gaps.open - gaps.extend, f - gaps.extend);
+      int v = h_diag + score(query[i - 1], ref[j - 1]);
+      v = std::max({v, e[j], f});
+      h_diag = h[j];
+      h[j] = v;
+      h_left = v;
+    }
+  }
+  return h[r];
+}
+
+}  // namespace detail
+
+// -- Protein instantiations -------------------------------------------------
+
+Alignment smith_waterman(const bio::ProteinSequence& query,
+                         const bio::ProteinSequence& ref,
+                         const SubstitutionMatrix& matrix,
+                         GapPenalties gaps = {});
+
+int smith_waterman_score(const bio::ProteinSequence& query,
+                         const bio::ProteinSequence& ref,
+                         const SubstitutionMatrix& matrix,
+                         GapPenalties gaps = {});
+
+int needleman_wunsch_score(const bio::ProteinSequence& query,
+                           const bio::ProteinSequence& ref,
+                           const SubstitutionMatrix& matrix,
+                           GapPenalties gaps = {});
+
+// -- Nucleotide instantiations ----------------------------------------------
+
+Alignment smith_waterman(const bio::NucleotideSequence& query,
+                         const bio::NucleotideSequence& ref,
+                         NucleotideScoring scoring = {}, GapPenalties gaps = {});
+
+int smith_waterman_score(const bio::NucleotideSequence& query,
+                         const bio::NucleotideSequence& ref,
+                         NucleotideScoring scoring = {}, GapPenalties gaps = {});
+
+int needleman_wunsch_score(const bio::NucleotideSequence& query,
+                           const bio::NucleotideSequence& ref,
+                           NucleotideScoring scoring = {},
+                           GapPenalties gaps = {});
+
+}  // namespace fabp::align

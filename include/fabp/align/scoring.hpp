@@ -1,0 +1,53 @@
+#pragma once
+// Alignment scoring: nucleotide match/mismatch/gap schemes and the BLOSUM62
+// amino-acid substitution matrix used by the TBLASTN baseline.
+
+#include <array>
+#include <cstdint>
+
+#include "fabp/bio/alphabet.hpp"
+
+namespace fabp::align {
+
+/// Affine gap model: opening a gap costs `gap_open`, each further base in
+/// the same gap costs `gap_extend` (both are penalties, i.e. >= 0 here and
+/// subtracted by the DP).
+struct GapPenalties {
+  int open = 11;
+  int extend = 1;
+};
+
+/// Simple nucleotide scoring (BLASTN-style defaults).
+struct NucleotideScoring {
+  int match = 2;
+  int mismatch = -3;
+
+  int operator()(bio::Nucleotide a, bio::Nucleotide b) const noexcept {
+    return a == b ? match : mismatch;
+  }
+};
+
+/// Protein substitution matrix over the 20 standard residues + Stop.
+class SubstitutionMatrix {
+ public:
+  /// The BLOSUM62 matrix (Henikoff & Henikoff 1992), with the BLAST
+  /// convention for the stop symbol: Stop/Stop = +1, Stop/anything = -4.
+  static const SubstitutionMatrix& blosum62();
+
+  int score(bio::AminoAcid a, bio::AminoAcid b) const noexcept {
+    return table_[bio::index(a)][bio::index(b)];
+  }
+
+  int operator()(bio::AminoAcid a, bio::AminoAcid b) const noexcept {
+    return score(a, b);
+  }
+
+  /// Highest score in the matrix (used by seed thresholds).
+  int max_score() const noexcept;
+
+ private:
+  using Row = std::array<std::int8_t, bio::kAminoAcidCount>;
+  std::array<Row, bio::kAminoAcidCount> table_{};
+};
+
+}  // namespace fabp::align

@@ -1,0 +1,45 @@
+#pragma once
+// Substitution-only sliding alignment over plain nucleotide sequences.
+//
+// This is the algorithmic core the paper implements in hardware (§III-C):
+// the query slides across the reference; each offset is an independent
+// alignment instance whose score is the count of matching elements; offsets
+// scoring at or above a threshold are hits.  The degenerate-codon version
+// (matching a *back-translated* query) lives in fabp/reference.hpp — this
+// plain version is used by tests, by the GPU functional stand-in, and as a
+// building block for both.
+
+#include <cstdint>
+#include <vector>
+
+#include "fabp/bio/sequence.hpp"
+#include "fabp/util/thread_pool.hpp"
+
+namespace fabp::align {
+
+struct SlidingHit {
+  std::size_t position = 0;  // reference offset of query element 0
+  std::uint32_t score = 0;   // number of matching elements
+
+  bool operator==(const SlidingHit&) const = default;
+  auto operator<=>(const SlidingHit&) const = default;
+};
+
+/// All offsets with >= threshold matching elements.  O((r-q+1) * q).
+std::vector<SlidingHit> sliding_hits(const bio::NucleotideSequence& query,
+                                     const bio::NucleotideSequence& ref,
+                                     std::uint32_t threshold);
+
+/// Score at a single offset (number of equal elements).
+std::uint32_t sliding_score_at(const bio::NucleotideSequence& query,
+                               const bio::NucleotideSequence& ref,
+                               std::size_t position);
+
+/// Multithreaded variant used as the functional model of the paper's CUDA
+/// implementation: offsets are partitioned across pool workers (one GPU
+/// "thread block" per chunk).  Result is identical to sliding_hits.
+std::vector<SlidingHit> sliding_hits_parallel(
+    const bio::NucleotideSequence& query, const bio::NucleotideSequence& ref,
+    std::uint32_t threshold, util::ThreadPool& pool);
+
+}  // namespace fabp::align

@@ -1,0 +1,78 @@
+#pragma once
+// Nucleotide and amino-acid alphabets.
+//
+// The nucleotide 2-bit codes follow the paper's encoding exactly
+// (Fig. 5(b) legend): A=00, C=01, G=10, U=11.  DNA thymine maps onto the
+// same code as uracil, so a packed reference can hold either DNA or RNA.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fabp::bio {
+
+/// RNA/DNA base with the paper's 2-bit code as the underlying value.
+enum class Nucleotide : std::uint8_t { A = 0b00, C = 0b01, G = 0b10, U = 0b11 };
+
+inline constexpr std::array<Nucleotide, 4> kAllNucleotides{
+    Nucleotide::A, Nucleotide::C, Nucleotide::G, Nucleotide::U};
+
+/// 2-bit code of a nucleotide (A=0, C=1, G=2, U/T=3).
+constexpr std::uint8_t code(Nucleotide n) noexcept {
+  return static_cast<std::uint8_t>(n);
+}
+
+/// Inverse of code(); precondition: bits < 4.
+constexpr Nucleotide nucleotide_from_code(std::uint8_t bits) noexcept {
+  return static_cast<Nucleotide>(bits & 0b11);
+}
+
+/// Upper-case RNA letter (U for the T/U slot).
+char to_char_rna(Nucleotide n) noexcept;
+/// Upper-case DNA letter (T for the T/U slot).
+char to_char_dna(Nucleotide n) noexcept;
+
+/// Parses one letter (case-insensitive; accepts both T and U).
+std::optional<Nucleotide> nucleotide_from_char(char c) noexcept;
+
+/// Watson-Crick complement (A<->U/T, C<->G).
+constexpr Nucleotide complement(Nucleotide n) noexcept {
+  // The 2-bit code is chosen so that complement == bitwise NOT.
+  return static_cast<Nucleotide>(~static_cast<std::uint8_t>(n) & 0b11);
+}
+
+/// The 20 standard amino acids plus the stop signal.
+/// Underlying values are contiguous and stable (used as array indices).
+enum class AminoAcid : std::uint8_t {
+  Ala, Arg, Asn, Asp, Cys, Gln, Glu, Gly, His, Ile,
+  Leu, Lys, Met, Phe, Pro, Ser, Thr, Trp, Tyr, Val,
+  Stop,  // translation terminator '*'
+};
+
+inline constexpr std::size_t kAminoAcidCount = 21;  // 20 + Stop
+
+inline constexpr std::array<AminoAcid, kAminoAcidCount> kAllAminoAcids{
+    AminoAcid::Ala, AminoAcid::Arg, AminoAcid::Asn, AminoAcid::Asp,
+    AminoAcid::Cys, AminoAcid::Gln, AminoAcid::Glu, AminoAcid::Gly,
+    AminoAcid::His, AminoAcid::Ile, AminoAcid::Leu, AminoAcid::Lys,
+    AminoAcid::Met, AminoAcid::Phe, AminoAcid::Pro, AminoAcid::Ser,
+    AminoAcid::Thr, AminoAcid::Trp, AminoAcid::Tyr, AminoAcid::Val,
+    AminoAcid::Stop};
+
+/// Index usable for dense lookup tables.
+constexpr std::size_t index(AminoAcid aa) noexcept {
+  return static_cast<std::size_t>(aa);
+}
+
+/// One-letter IUPAC code ('*' for Stop).
+char to_char(AminoAcid aa) noexcept;
+
+/// Three-letter code ("Ala", ..., "Ter" for Stop).
+std::string_view to_three_letter(AminoAcid aa) noexcept;
+
+/// Parses a one-letter code (case-insensitive; '*' = Stop).
+std::optional<AminoAcid> amino_acid_from_char(char c) noexcept;
+
+}  // namespace fabp::bio

@@ -1,0 +1,65 @@
+#pragma once
+// The standard genetic code (Fig. 2 of the paper).
+//
+// A Codon is three nucleotides; its dense index is
+//   16*code(first) + 4*code(second) + code(third)  in [0, 64).
+// The table is built once at static-initialization time from the canonical
+// RNA codon assignments and exposes both directions:
+//   codon -> amino acid           (translation)
+//   amino acid -> codon list      (back-translation)
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabp/bio/alphabet.hpp"
+
+namespace fabp::bio {
+
+struct Codon {
+  Nucleotide first;
+  Nucleotide second;
+  Nucleotide third;
+
+  constexpr std::uint8_t dense_index() const noexcept {
+    return static_cast<std::uint8_t>(16 * code(first) + 4 * code(second) +
+                                     code(third));
+  }
+
+  static constexpr Codon from_dense_index(std::uint8_t i) noexcept {
+    return Codon{nucleotide_from_code(static_cast<std::uint8_t>(i >> 4)),
+                 nucleotide_from_code(static_cast<std::uint8_t>((i >> 2) & 3)),
+                 nucleotide_from_code(static_cast<std::uint8_t>(i & 3))};
+  }
+
+  Nucleotide operator[](std::size_t pos) const noexcept {
+    return pos == 0 ? first : pos == 1 ? second : third;
+  }
+
+  /// RNA rendering, e.g. "AUG".
+  std::string to_string() const;
+
+  bool operator==(const Codon&) const = default;
+};
+
+inline constexpr std::size_t kCodonCount = 64;
+
+/// Translates one codon under the standard genetic code.
+AminoAcid translate(const Codon& codon) noexcept;
+
+/// All codons that encode `aa`, in dense-index order.
+/// (Stop -> {UAA, UAG, UGA}; Ser -> 6 codons including AGU/AGC.)
+std::span<const Codon> codons_for(AminoAcid aa) noexcept;
+
+/// Number of codons encoding `aa` (its degeneracy).
+std::size_t degeneracy(AminoAcid aa) noexcept;
+
+/// True iff the codon is one of UAA/UAG/UGA.
+bool is_stop(const Codon& codon) noexcept;
+
+/// True iff the codon is AUG.
+bool is_start(const Codon& codon) noexcept;
+
+}  // namespace fabp::bio

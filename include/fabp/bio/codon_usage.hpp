@@ -1,0 +1,58 @@
+#pragma once
+// Codon-usage tables: organisms do not pick synonymous codons uniformly,
+// and reference databases inherit that bias.  Planting genes with a
+// realistic usage profile matters for any experiment whose statistics
+// depend on *which* codons appear (e.g. how often Ser is encoded by the
+// AGY codons FabP's template drops — ~30% in human, not the 1/3 a uniform
+// draw gives).
+
+#include <array>
+#include <span>
+#include <string_view>
+
+#include "fabp/bio/codon.hpp"
+#include "fabp/bio/sequence.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::bio {
+
+/// Relative usage per codon (dense index), normalized per amino acid so
+/// the weights of one residue's synonymous codons sum to ~1.
+class CodonUsage {
+ public:
+  struct Fraction {
+    std::string_view codon;  // RNA text, e.g. "GCU"
+    double fraction;         // within its amino acid
+  };
+
+  /// Uniform over each amino acid's codon set.
+  static CodonUsage uniform();
+  /// Builds from per-codon fractions; codons not listed get weight 0.
+  /// Throws std::invalid_argument on unparseable codon text.
+  static CodonUsage from_fractions(std::span<const Fraction> fractions);
+  /// Human (Homo sapiens) codon usage (Kazusa frequencies).
+  static const CodonUsage& human();
+  /// E. coli K-12 codon usage.
+  static const CodonUsage& ecoli();
+
+  double weight(const Codon& codon) const noexcept {
+    return weights_[codon.dense_index()];
+  }
+
+  /// Draws a codon for `aa` proportionally to the usage weights.
+  Codon sample(AminoAcid aa, util::Xoshiro256& rng) const;
+
+  /// Relative synonymous codon usage of `codon` within its amino acid
+  /// (1.0 = used exactly at the uniform rate).
+  double rscu(const Codon& codon) const;
+
+ private:
+  std::array<double, kCodonCount> weights_{};
+};
+
+/// Codon-bias-aware coding sequence (generalizes random_coding_sequence).
+NucleotideSequence biased_coding_sequence(const ProteinSequence& protein,
+                                          const CodonUsage& usage,
+                                          util::Xoshiro256& rng);
+
+}  // namespace fabp::bio

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal FASTA reader/writer.  Used by the examples and by the synthetic
+// database generator to persist workloads; supports both nucleotide and
+// protein records (records are kept as raw text; typed parsing happens at
+// the call site so one file can mix alphabets, like NCBI dumps do).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fabp::bio {
+
+struct FastaRecord {
+  std::string id;           // token after '>' up to first whitespace
+  std::string description;  // remainder of the header line (may be empty)
+  std::string sequence;     // concatenated sequence lines, whitespace removed
+
+  bool operator==(const FastaRecord&) const = default;
+};
+
+/// Reads every record from a stream.  Throws std::runtime_error on content
+/// before the first header.  An empty stream yields an empty vector.
+std::vector<FastaRecord> read_fasta(std::istream& in);
+
+/// Reads a FASTA file from disk; throws std::runtime_error if unreadable.
+std::vector<FastaRecord> read_fasta_file(const std::string& path);
+
+/// Writes records, wrapping sequence lines at `width` columns.
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width = 70);
+
+/// Writes a FASTA file to disk; throws std::runtime_error if unwritable.
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t width = 70);
+
+}  // namespace fabp::bio

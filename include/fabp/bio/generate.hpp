@@ -1,0 +1,75 @@
+#pragma once
+// Synthetic workload generation — the stand-in for the paper's NCBI nr
+// (protein queries) and nt (1 GB nucleotide reference) datasets.
+//
+// A SyntheticDatabase is random DNA with *planted genes*: proteins whose
+// codon-randomized coding sequences are embedded at known positions.  Query
+// proteins sampled from planted genes are guaranteed true positives, which
+// lets every experiment check that an aligner actually finds what is there,
+// not just that it runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabp/bio/mutation.hpp"
+#include "fabp/bio/sequence.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::bio {
+
+/// Uniform random DNA of the given length and GC content.
+NucleotideSequence random_dna(std::size_t length, util::Xoshiro256& rng,
+                              double gc_content = 0.5);
+
+/// Random protein using the approximate natural amino-acid frequency
+/// distribution (Swiss-Prot composition); never contains Stop.
+ProteinSequence random_protein(std::size_t length, util::Xoshiro256& rng);
+
+/// Uniform-random back-translation: picks a random synonymous codon for
+/// each residue, so degenerate positions are exercised.
+NucleotideSequence random_coding_sequence(const ProteinSequence& protein,
+                                          util::Xoshiro256& rng);
+
+struct PlantedGene {
+  std::size_t dna_position = 0;  // first base of the coding sequence
+  ProteinSequence protein;
+};
+
+struct DatabaseSpec {
+  std::size_t total_bases = 1 << 20;
+  std::size_t gene_count = 16;
+  std::size_t gene_length = 120;  // residues per planted gene
+  double gc_content = 0.5;
+  std::uint64_t seed = 42;
+};
+
+struct SyntheticDatabase {
+  NucleotideSequence dna;          // SeqKind::Dna
+  std::vector<PlantedGene> genes;  // sorted by dna_position
+
+  /// Builds random DNA of spec.total_bases with spec.gene_count planted,
+  /// non-overlapping coding sequences at deterministic pseudo-random
+  /// positions.  Throws std::invalid_argument if the genes cannot fit.
+  static SyntheticDatabase build(const DatabaseSpec& spec);
+};
+
+struct QuerySpec {
+  std::size_t length = 50;           // residues
+  double substitution_rate = 0.0;    // protein-level divergence vs the gene
+  std::uint64_t seed = 7;
+};
+
+struct QuerySet {
+  std::vector<ProteinSequence> queries;
+  /// For each query: index into db.genes it was sampled from, or -1 if the
+  /// query is random background (no planted match).
+  std::vector<int> source_gene;
+};
+
+/// Samples `count` queries; `planted_fraction` of them are substrings of
+/// planted genes (possibly mutated per spec), the rest random background.
+QuerySet sample_queries(const SyntheticDatabase& db, std::size_t count,
+                        const QuerySpec& spec, double planted_fraction = 1.0);
+
+}  // namespace fabp::bio

@@ -1,0 +1,54 @@
+#pragma once
+// Mutation models for workload generation and for the indel-frequency
+// experiment (paper §IV-A, citing Neininger et al. 2019: indels in
+// protein-coding regions have median 0, mean 0.09 and stddev 0.36 events
+// per kilobase; substitutions are far more common).
+
+#include <cstdint>
+
+#include "fabp/bio/sequence.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::bio {
+
+struct MutationParams {
+  /// Per-base probability of a point substitution.
+  double substitution_rate = 0.01;
+  /// Expected indel *events* per kilobase (paper's empirical mean: 0.09).
+  double indel_events_per_kb = 0.0;
+  /// Geometric length distribution parameter for each indel event; mean
+  /// event length = 1 / indel_length_p.
+  double indel_length_p = 0.55;
+  /// Probability an indel event is an insertion (else deletion).
+  double insertion_fraction = 0.5;
+};
+
+struct MutationSummary {
+  std::size_t substitutions = 0;
+  std::size_t indel_events = 0;
+  std::size_t inserted_bases = 0;
+  std::size_t deleted_bases = 0;
+
+  bool has_indel() const noexcept { return indel_events > 0; }
+};
+
+struct MutationResult {
+  NucleotideSequence sequence;
+  MutationSummary summary;
+};
+
+/// Applies the model to a nucleotide sequence.  Substitutions replace a base
+/// with a uniformly-chosen *different* base.  Indel events are drawn
+/// Poisson(indel_events_per_kb * len/1000) and placed uniformly; each event
+/// inserts or deletes a geometric-length run.  Deterministic given `rng`.
+MutationResult mutate(const NucleotideSequence& seq, const MutationParams& p,
+                      util::Xoshiro256& rng);
+
+/// Applies per-residue substitutions to a protein (used to model divergent
+/// homologs for the TBLASTN sensitivity tests).  Each substituted residue is
+/// replaced with a uniformly-chosen different amino acid (never Stop).
+ProteinSequence mutate_protein(const ProteinSequence& seq,
+                               double substitution_rate,
+                               util::Xoshiro256& rng);
+
+}  // namespace fabp::bio

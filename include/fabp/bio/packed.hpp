@@ -1,0 +1,66 @@
+#pragma once
+// 2-bit packed nucleotide storage — the in-DRAM representation of the
+// reference database (paper §III-B: "A, C, G, U ... encoded into 2-bit
+// numbers").  Elements are packed LSB-first into 64-bit words; a 512-bit
+// AXI beat is exactly eight consecutive words = 256 elements (§III-C).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::bio {
+
+inline constexpr std::size_t kElementsPerWord = 32;   // 64 / 2
+inline constexpr std::size_t kAxiBeatBits = 512;
+inline constexpr std::size_t kElementsPerBeat = kAxiBeatBits / 2;  // 256
+
+class PackedNucleotides {
+ public:
+  PackedNucleotides() = default;
+  explicit PackedNucleotides(const NucleotideSequence& seq);
+
+  /// Packs from raw bases.
+  explicit PackedNucleotides(std::span<const Nucleotide> bases);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Size in bytes as stored in DRAM (2 bits/element, zero padded).
+  std::size_t byte_size() const noexcept { return words_.size() * 8; }
+
+  Nucleotide get(std::size_t i) const noexcept {
+    const std::uint64_t word = words_[i / kElementsPerWord];
+    const unsigned shift = 2 * static_cast<unsigned>(i % kElementsPerWord);
+    return nucleotide_from_code(static_cast<std::uint8_t>((word >> shift) & 3));
+  }
+
+  void set(std::size_t i, Nucleotide n) noexcept;
+
+  void push_back(Nucleotide n);
+
+  /// Number of complete-or-partial 512-bit beats covering the data.
+  std::size_t beat_count() const noexcept;
+
+  /// The 512-bit beat at `beat` as eight words; elements past size() are 0
+  /// (decode as A — callers mask by element count).
+  std::array<std::uint64_t, 8> beat(std::size_t beat) const noexcept;
+
+  /// Number of valid elements in beat `beat` (256 except possibly the last).
+  std::size_t beat_elements(std::size_t beat) const noexcept;
+
+  /// Unpacks the whole store back into a sequence of the given kind.
+  NucleotideSequence unpack(SeqKind kind) const;
+
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  bool operator==(const PackedNucleotides&) const = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fabp::bio

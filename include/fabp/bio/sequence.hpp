@@ -1,0 +1,117 @@
+#pragma once
+// Owning sequence types.  A NucleotideSequence carries a Kind tag (DNA vs
+// RNA) that only affects text rendering (T vs U); the in-memory 2-bit
+// representation is shared, mirroring the paper's treatment of the reference
+// database as "DNA/RNA sequences".
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fabp/bio/alphabet.hpp"
+
+namespace fabp::bio {
+
+enum class SeqKind : std::uint8_t { Dna, Rna };
+
+struct LenientParseResult;  // defined below (needs NucleotideSequence)
+
+class NucleotideSequence {
+ public:
+  NucleotideSequence() = default;
+  explicit NucleotideSequence(SeqKind kind) : kind_{kind} {}
+  NucleotideSequence(SeqKind kind, std::vector<Nucleotide> bases)
+      : kind_{kind}, bases_{std::move(bases)} {}
+  NucleotideSequence(SeqKind kind, std::initializer_list<Nucleotide> bases)
+      : kind_{kind}, bases_{bases} {}
+
+  /// Parses letters (whitespace skipped; throws std::invalid_argument on
+  /// anything that is not ACGTU, case-insensitive).
+  static NucleotideSequence parse(SeqKind kind, std::string_view text);
+
+  /// Parses real-world FASTA content: IUPAC ambiguity codes (N, R, Y, S,
+  /// W, K, M, B, D, H, V) are substituted with their first compatible
+  /// base (deterministic), and the substitution count is reported.  This
+  /// is how the 2-bit packed DRAM format of the paper has to treat the
+  /// N-runs that NCBI nt is full of.  Still throws on non-IUPAC letters.
+  static LenientParseResult parse_lenient(SeqKind kind,
+                                          std::string_view text);
+
+  SeqKind kind() const noexcept { return kind_; }
+  std::size_t size() const noexcept { return bases_.size(); }
+  bool empty() const noexcept { return bases_.empty(); }
+
+  Nucleotide operator[](std::size_t i) const noexcept { return bases_[i]; }
+  Nucleotide& operator[](std::size_t i) noexcept { return bases_[i]; }
+
+  const std::vector<Nucleotide>& bases() const noexcept { return bases_; }
+  std::vector<Nucleotide>& bases() noexcept { return bases_; }
+
+  void push_back(Nucleotide n) { bases_.push_back(n); }
+  void append(const NucleotideSequence& other);
+
+  /// Sub-sequence [pos, pos+len) (clamped to the end).
+  NucleotideSequence subsequence(std::size_t pos, std::size_t len) const;
+
+  /// Renders with T (DNA) or U (RNA) depending on kind().
+  std::string to_string() const;
+
+  /// Same bases re-tagged as RNA (DNA transcription, coding-strand view).
+  NucleotideSequence transcribed() const;
+
+  /// Reverse complement (kind preserved).
+  NucleotideSequence reverse_complement() const;
+
+  auto begin() const noexcept { return bases_.begin(); }
+  auto end() const noexcept { return bases_.end(); }
+
+  bool operator==(const NucleotideSequence&) const = default;
+
+ private:
+  SeqKind kind_ = SeqKind::Dna;
+  std::vector<Nucleotide> bases_;
+};
+
+struct LenientParseResult {
+  NucleotideSequence sequence;
+  std::size_t ambiguous = 0;  // IUPAC ambiguity letters substituted
+};
+
+class ProteinSequence {
+ public:
+  ProteinSequence() = default;
+  explicit ProteinSequence(std::vector<AminoAcid> residues)
+      : residues_{std::move(residues)} {}
+  ProteinSequence(std::initializer_list<AminoAcid> residues)
+      : residues_{residues} {}
+
+  /// Parses one-letter codes ('*' allowed; whitespace skipped; throws
+  /// std::invalid_argument on unknown letters).
+  static ProteinSequence parse(std::string_view text);
+
+  std::size_t size() const noexcept { return residues_.size(); }
+  bool empty() const noexcept { return residues_.empty(); }
+
+  AminoAcid operator[](std::size_t i) const noexcept { return residues_[i]; }
+  AminoAcid& operator[](std::size_t i) noexcept { return residues_[i]; }
+
+  const std::vector<AminoAcid>& residues() const noexcept { return residues_; }
+
+  void push_back(AminoAcid aa) { residues_.push_back(aa); }
+
+  ProteinSequence subsequence(std::size_t pos, std::size_t len) const;
+
+  std::string to_string() const;
+
+  auto begin() const noexcept { return residues_.begin(); }
+  auto end() const noexcept { return residues_.end(); }
+
+  bool operator==(const ProteinSequence&) const = default;
+
+ private:
+  std::vector<AminoAcid> residues_;
+};
+
+}  // namespace fabp::bio

@@ -1,0 +1,57 @@
+#pragma once
+// Translation of nucleotide sequences to proteins, including the six-frame
+// translation used by the TBLASTN baseline (three reading frames on each
+// strand).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::bio {
+
+/// Translates in-frame starting at `offset`; trailing 1-2 bases are ignored.
+/// Stop codons become AminoAcid::Stop residues (no truncation) so callers
+/// can segment on them, exactly as BLAST's translated searches do.
+ProteinSequence translate(const NucleotideSequence& nucleotides,
+                          std::size_t offset = 0);
+
+/// Identifies one of the six reading frames of a double-stranded sequence.
+/// Frames 0..2 are the forward strand at offsets 0..2; frames 3..5 are the
+/// reverse-complement strand at offsets 0..2.
+struct FrameId {
+  int frame;  // 0..5
+
+  bool reverse() const noexcept { return frame >= 3; }
+  std::size_t offset() const noexcept {
+    return static_cast<std::size_t>(frame % 3);
+  }
+};
+
+struct TranslatedFrame {
+  FrameId id{};
+  ProteinSequence protein;
+
+  /// Maps a protein position in this frame back to the 0-based nucleotide
+  /// position (on the forward strand) of the codon's first base.
+  std::size_t nucleotide_position(std::size_t protein_pos,
+                                  std::size_t dna_length) const noexcept;
+};
+
+/// All six reading frames of `dna`.
+std::array<TranslatedFrame, 6> six_frame_translate(
+    const NucleotideSequence& dna);
+
+/// Finds open reading frames (start codon .. stop codon, inclusive bounds in
+/// nucleotides on the given sequence/frame) of at least `min_codons` codons.
+struct OpenReadingFrame {
+  std::size_t begin;  // nucleotide index of the AUG
+  std::size_t end;    // one past the stop codon's last nucleotide
+  ProteinSequence protein;  // without the stop residue
+};
+
+std::vector<OpenReadingFrame> find_orfs(const NucleotideSequence& rna,
+                                        std::size_t min_codons);
+
+}  // namespace fabp::bio

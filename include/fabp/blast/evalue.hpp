@@ -1,0 +1,47 @@
+#pragma once
+// Karlin-Altschul statistics for BLAST-style searches: converts raw
+// alignment scores into bit scores and expect values (E-values) given the
+// search space size.  Parameters follow NCBI's published values for
+// BLOSUM62 (ungapped: lambda 0.3176, K 0.134; gapped 11/1: lambda 0.267,
+// K 0.041, H 0.14).
+
+#include <cstddef>
+
+namespace fabp::blast {
+
+struct KarlinAltschulParams {
+  double lambda = 0.267;
+  double k = 0.041;
+  double h = 0.14;
+
+  /// NCBI values for ungapped BLOSUM62 statistics.
+  static KarlinAltschulParams blosum62_ungapped() {
+    return KarlinAltschulParams{0.3176, 0.134, 0.40};
+  }
+  /// NCBI values for gapped BLOSUM62 with open 11 / extend 1.
+  static KarlinAltschulParams blosum62_gapped_11_1() {
+    return KarlinAltschulParams{0.267, 0.041, 0.14};
+  }
+};
+
+/// Normalized bit score: (lambda*S - ln K) / ln 2.
+double bit_score(int raw_score, const KarlinAltschulParams& params);
+
+/// Effective search-space-corrected lengths (BLAST's edge-effect
+/// correction): length - lambda-expected HSP length, floored at 1.
+struct SearchSpace {
+  std::size_t query_length = 0;
+  std::size_t db_length = 0;  // total residues searched (all frames)
+
+  double effective(const KarlinAltschulParams& params) const;
+};
+
+/// Expect value: K * m' * n' * exp(-lambda * S).
+double evalue(int raw_score, const SearchSpace& space,
+              const KarlinAltschulParams& params);
+
+/// Raw score needed for an E-value <= `target` in the given space.
+int score_for_evalue(double target, const SearchSpace& space,
+                     const KarlinAltschulParams& params);
+
+}  // namespace fabp::blast

@@ -1,0 +1,62 @@
+#pragma once
+// Protein k-mer neighborhood index — BLAST stage 1 (paper §II: "All the
+// k-mers of the query sequence in a hash-table ... use k-mers of the
+// reference sequence to find the similar subsequences").
+//
+// For every k-length window of the query we enumerate the *neighborhood*:
+// all k-letter words whose BLOSUM62 score against the window is at least T
+// (NCBI default T=11, k=3).  The index maps packed words to the query
+// positions whose neighborhood contains them; scanning a translated
+// reference is then one table probe per residue — the randomly-scattered
+// memory access pattern the paper identifies as the CPU bottleneck.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabp/align/scoring.hpp"
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::blast {
+
+/// Packs k residues at 5 bits each (supports k <= 5).
+std::uint32_t pack_kmer(std::span<const bio::AminoAcid> residues);
+
+struct KmerIndexConfig {
+  std::size_t k = 3;
+  int neighbor_threshold = 11;  // BLAST's T parameter
+};
+
+class KmerIndex {
+ public:
+  /// Builds the neighborhood index of `query`.  Stop residues never seed;
+  /// if `query_mask` is given (e.g. from blast::seg_mask), windows that
+  /// touch a masked residue are excluded too.
+  KmerIndex(const bio::ProteinSequence& query, const KmerIndexConfig& config,
+            const align::SubstitutionMatrix& matrix,
+            const std::vector<bool>* query_mask = nullptr);
+
+  /// Query positions whose neighborhood contains the word starting at
+  /// `ref_residues[pos]`; empty span if none (or window overruns the end).
+  std::span<const std::uint32_t> lookup(
+      std::span<const bio::AminoAcid> ref_residues, std::size_t pos) const;
+
+  std::span<const std::uint32_t> lookup_packed(std::uint32_t word) const;
+
+  std::size_t k() const noexcept { return config_.k; }
+  std::size_t query_length() const noexcept { return query_length_; }
+
+  /// Total (word, query position) pairs stored — a proxy for hash-table
+  /// size and for the random-access traffic per reference residue.
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+
+ private:
+  KmerIndexConfig config_;
+  std::size_t query_length_ = 0;
+  // CSR layout over the 2^(5k) word space: offsets_[w]..offsets_[w+1] give
+  // the query positions for word w.
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace fabp::blast

@@ -1,0 +1,36 @@
+#pragma once
+// SEG-style low-complexity masking (Wootton & Federhen 1993) — the query
+// filter NCBI's translated searches apply before seeding.  Low-complexity
+// stretches (homopolymers, short repeats) otherwise flood the k-mer
+// neighborhood with spurious hits.
+//
+// This is the classic two-threshold scheme on windowed Shannon entropy:
+// a window whose residue-composition entropy falls below `locut` triggers
+// a masked region, which extends in both directions while the entropy
+// stays below `hicut`.
+
+#include <span>
+#include <vector>
+
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::blast {
+
+struct SegConfig {
+  std::size_t window = 12;
+  double locut = 2.2;  // bits; trigger threshold
+  double hicut = 2.5;  // bits; extension threshold
+};
+
+/// Shannon entropy (bits) of the residue composition of `span`.
+double composition_entropy(std::span<const bio::AminoAcid> residues);
+
+/// Per-residue mask: true = low complexity (exclude from seeding).
+/// Sequences shorter than the window are never masked.
+std::vector<bool> seg_mask(const bio::ProteinSequence& protein,
+                           const SegConfig& config = {});
+
+/// Fraction of masked residues (convenience for reporting).
+double masked_fraction(const std::vector<bool>& mask);
+
+}  // namespace fabp::blast

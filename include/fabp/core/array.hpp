@@ -1,0 +1,49 @@
+#pragma once
+// A slice of the Fig. 3 datapath: N alignment instances sharing one
+// Reference Stream window.  Instance k compares the query against window
+// offsets [k, k + L_q); all instances read the same window nets (the
+// high-fanout sharing the paper manages with FF-based buffers) and each
+// produces its own score and hit flag.
+//
+// The full device instantiates 256 instances x L_q elements — too big to
+// simulate gate-by-gate for fun — but a scaled slice is enough to prove
+// the topology: tests check every instance against the golden model
+// simultaneously, and resource counts scale exactly linearly, which is
+// what the resource mapper assumes.
+
+#include <vector>
+
+#include "fabp/core/instance.hpp"
+
+namespace fabp::core {
+
+struct ArrayPorts {
+  /// Shared query instruction bits (b0..b5 per element).
+  std::vector<std::array<hw::NetId, 6>> query;
+  /// Shared window: 2 history elements + (elements + instances - 1)
+  /// stream elements, 2 bits each, LSB first.
+  std::vector<std::array<hw::NetId, 2>> window;
+  /// Per instance: score bus and hit flag.
+  std::vector<hw::Bus> scores;
+  std::vector<hw::NetId> hits;
+};
+
+struct ArrayConfig {
+  std::size_t elements = 36;    // L_q
+  std::size_t instances = 8;    // parallel alignment positions
+  std::uint32_t threshold = 0;
+  bool pipelined = false;
+};
+
+/// Builds the array with fresh primary inputs.
+ArrayPorts build_instance_array(hw::Netlist& netlist,
+                                const ArrayConfig& config);
+
+/// Drives the shared window (2 history + elements + instances - 1
+/// nucleotides) and query, settles/clocks, and returns every instance's
+/// score.
+std::vector<std::uint32_t> simulate_array(
+    hw::Netlist& netlist, const ArrayPorts& ports, const ArrayConfig& config,
+    const EncodedQuery& query, std::span<const bio::Nucleotide> window);
+
+}  // namespace fabp::core

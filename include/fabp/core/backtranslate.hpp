@@ -1,0 +1,116 @@
+#pragma once
+// Back-translation with element typing (paper §III-A).
+//
+// Every amino acid maps to a 3-element degenerate codon template.  Each
+// element is one of the paper's three types:
+//   Type I   - exact nucleotide (perfect match required),
+//   Type II  - conditional: one of four 2-bit match conditions,
+//   Type III - dependent: the match set depends on an *earlier reference
+//              element* of the same codon (plus D = "don't care", which is
+//              nominally Type II but encoded with the Type III opcode).
+//
+// The dependent functions distill the earlier reference element to a single
+// bit S (see DESIGN.md §1): Stop uses the MSB of ref[i-1], Leu the MSB of
+// ref[i-2], Arg the LSB of ref[i-2].
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fabp/bio/alphabet.hpp"
+#include "fabp/util/rng.hpp"
+#include "fabp/bio/codon.hpp"
+#include "fabp/bio/sequence.hpp"
+
+namespace fabp::core {
+
+enum class ElementType : std::uint8_t { ExactI, ConditionalII, DependentIII };
+
+/// Type II match conditions, numbered with their 2-bit encodings (§III-B):
+/// "Five conditions observed in the codon table (U/C, A/G, G-bar, A/C, and
+/// D)"; D is carried by the Type III opcode as function F:11.
+enum class Condition : std::uint8_t {
+  UorC = 0b00,   // pyrimidines (e.g. Phe 3rd element)
+  AorG = 0b01,   // purines (e.g. Lys 3rd element)
+  NotG = 0b10,   // anything but G (Ile 3rd element)
+  AorC = 0b11,   // Arg 1st element
+};
+
+/// Type III dependent functions (F field).
+enum class Function : std::uint8_t {
+  Stop3 = 0b00,  // Stop 3rd element: dep. on ref[i-1] MSB
+  Leu3 = 0b01,   // Leu 3rd element: dep. on ref[i-2] MSB
+  Arg3 = 0b10,   // Arg 3rd element: dep. on ref[i-2] LSB
+  AnyD = 0b11,   // D: matches every nucleotide
+};
+
+/// One back-translated query element.
+struct BackElement {
+  ElementType type = ElementType::ExactI;
+  bio::Nucleotide exact = bio::Nucleotide::A;  // Type I payload
+  Condition cond = Condition::UorC;            // Type II payload
+  Function func = Function::AnyD;              // Type III payload
+
+  static BackElement make_exact(bio::Nucleotide n) {
+    BackElement e;
+    e.type = ElementType::ExactI;
+    e.exact = n;
+    return e;
+  }
+  static BackElement make_conditional(Condition c) {
+    BackElement e;
+    e.type = ElementType::ConditionalII;
+    e.cond = c;
+    return e;
+  }
+  static BackElement make_dependent(Function f) {
+    BackElement e;
+    e.type = ElementType::DependentIII;
+    e.func = f;
+    return e;
+  }
+
+  /// Behavioral comparator semantics (the specification the LUT pair in
+  /// fabp/core/comparator.hpp is generated from and tested against).
+  /// `ref` is the aligned reference element; `ref_im1`/`ref_im2` the
+  /// reference elements one and two positions earlier (only consulted by
+  /// Type III functions, which by construction sit at codon position 2).
+  bool matches(bio::Nucleotide ref, bio::Nucleotide ref_im1,
+               bio::Nucleotide ref_im2) const noexcept;
+
+  bool operator==(const BackElement&) const = default;
+};
+
+/// The 3-element degenerate template of one amino acid (or Stop).
+struct CodonTemplate {
+  std::array<BackElement, 3> elements;
+
+  const BackElement& operator[](std::size_t i) const noexcept {
+    return elements[i];
+  }
+};
+
+/// Template for `aa` (§III-A; full table in DESIGN.md).  Note: like the
+/// paper, Ser maps to UCD only — the two AGU/AGC codons are not covered
+/// (no Type III function exists for a Ser split in Fig. 5).
+const CodonTemplate& codon_template(bio::AminoAcid aa) noexcept;
+
+/// True iff `codon` is matched by `aa`'s template when aligned against its
+/// own bases (i.e. the template accepts this codon as a source of `aa`).
+bool template_accepts(bio::AminoAcid aa, const bio::Codon& codon) noexcept;
+
+/// Back-translates a protein into 3*size() typed elements.
+std::vector<BackElement> back_translate(const bio::ProteinSequence& protein);
+
+/// Random coding sequence drawing only codons the templates accept (i.e.
+/// excluding AGU/AGC for Ser).  Use when a planted gene must score the
+/// full query length under FabP matching; bio::random_coding_sequence
+/// samples the *biological* codon set instead.
+bio::NucleotideSequence random_template_coding(
+    const bio::ProteinSequence& protein, util::Xoshiro256& rng);
+
+/// Human-readable rendering of a template element ("A", "U/C", "G-bar",
+/// "F:10", "D"), used by the codon_explorer example.
+std::string to_string(const BackElement& element);
+
+}  // namespace fabp::core

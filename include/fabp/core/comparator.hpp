@@ -1,0 +1,67 @@
+#pragma once
+// The FabP custom comparator (paper §III-D, Fig. 5): exactly two LUT6s per
+// query element.
+//
+//   LUT_mux : inputs {cfg0, cfg1, q2, ref_im1_msb, ref_im2_msb, ref_im2_lsb}
+//             output X = q2 when cfg==00, else the selected history bit S.
+//   LUT_cmp : inputs {ref0, ref1, X, q3, q4, q5}
+//             output   = match bit, programmed with the Fig. 5(b) table.
+//
+// Both INIT vectors are *generated* from the behavioral element semantics
+// (BackElement::matches) so the netlist is correct by construction and the
+// test suite checks the 4096-point cross product against the behavioral
+// model.
+
+#include <cstdint>
+
+#include "fabp/core/encoding.hpp"
+#include "fabp/hw/lut.hpp"
+#include "fabp/hw/netlist.hpp"
+#include "fabp/hw/verilog.hpp"
+
+namespace fabp::core {
+
+/// INIT vector of the history multiplexer LUT.
+hw::Lut6 comparator_mux_lut();
+
+/// INIT vector of the comparison LUT (Fig. 5(b)).
+hw::Lut6 comparator_cmp_lut();
+
+/// Pure-function evaluation of the two-LUT cell (no netlist).  `ref` is the
+/// 2-bit reference element code; the three history bits are the distilled
+/// earlier reference bits routed to the mux in Fig. 5(a).
+bool comparator_eval(Instruction q, std::uint8_t ref_code, bool ref_im1_msb,
+                     bool ref_im2_msb, bool ref_im2_lsb);
+
+/// Convenience: evaluate against full nucleotides (distills the history
+/// bits itself); semantics identical to the encoded element's
+/// BackElement::matches.
+bool comparator_eval(Instruction q, bio::Nucleotide ref,
+                     bio::Nucleotide ref_im1, bio::Nucleotide ref_im2);
+
+/// Structural form: instantiates the two LUTs in a netlist.
+struct ComparatorPorts {
+  // Query instruction bits (primary inputs, b0..b5).
+  std::array<hw::NetId, 6> q;
+  // Reference element bits {lsb, msb} and the three history bits.
+  hw::NetId ref0, ref1;
+  hw::NetId ref_im1_msb, ref_im2_msb, ref_im2_lsb;
+  // Match output.
+  hw::NetId match;
+};
+
+/// Adds one comparator cell (2 LUTs) wired to fresh primary inputs.
+ComparatorPorts build_comparator(hw::Netlist& netlist);
+
+/// Adds one comparator cell wired to existing nets (for array builders).
+hw::NetId build_comparator_on(hw::Netlist& netlist,
+                              std::span<const hw::NetId> q_bits,
+                              hw::NetId ref0, hw::NetId ref1,
+                              hw::NetId ref_im1_msb, hw::NetId ref_im2_msb,
+                              hw::NetId ref_im2_lsb);
+
+/// Structural Verilog for one comparator cell — two directly instantiated
+/// LUT6 primitives, exactly as §III-D describes.
+hw::VerilogModule emit_comparator_module();
+
+}  // namespace fabp::core

@@ -1,0 +1,93 @@
+#pragma once
+// FabP 6-bit instruction encoding (paper §III-B).
+//
+// Bit layout, b5 = MSB first:
+//   Type I  : b5b4 = 00 opcode, b3b2 = nucleotide, b1b0 = 00
+//   Type II : b5b4 = 01 opcode, b3b2 = condition,  b1b0 = 00
+//   Type III: b5   = 1 opcode,  b4b3 = function F, b2 = 0, b1b0 = config
+//
+// The config field drives the comparator's history multiplexer (Fig. 5(a)):
+//   00 -> constant (Types I/II and F:11 "D": no dependency)
+//   01 -> LSB of reference element i-2   (Arg,  F:10)
+//   10 -> MSB of reference element i-1   (Stop, F:00)
+//   11 -> MSB of reference element i-2   (Leu,  F:01)
+// The 01/10 assignments are pinned by the paper's worked example, which
+// encodes Arg's third element as 110001 and Stop's as 100010.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabp/core/backtranslate.hpp"
+
+namespace fabp::core {
+
+/// History-mux selector values carried in the config field.
+enum class ConfigSel : std::uint8_t {
+  None = 0b00,     // pass the instruction's own b2 (Types I/II, D)
+  RefIm2Lsb = 0b01,
+  RefIm1Msb = 0b10,
+  RefIm2Msb = 0b11,
+};
+
+class Instruction {
+ public:
+  constexpr Instruction() = default;
+  explicit constexpr Instruction(std::uint8_t bits) noexcept
+      : bits_{static_cast<std::uint8_t>(bits & 0b111111)} {}
+
+  /// Encodes one back-translated element.
+  static Instruction encode(const BackElement& element) noexcept;
+
+  /// Decodes back to the element (exact inverse for encodings produced by
+  /// encode(); throws std::invalid_argument on patterns encode() never
+  /// emits, e.g. nonzero config on a Type I instruction).
+  BackElement decode() const;
+
+  constexpr std::uint8_t bits() const noexcept { return bits_; }
+
+  constexpr bool bit(unsigned i) const noexcept {
+    return ((bits_ >> i) & 1u) != 0;
+  }
+
+  /// True for the single-bit Type III opcode (b5 == 1).
+  constexpr bool is_dependent() const noexcept { return bit(5); }
+  constexpr bool is_exact() const noexcept {
+    return !bit(5) && !bit(4);
+  }
+  constexpr bool is_conditional() const noexcept {
+    return !bit(5) && bit(4);
+  }
+
+  /// b3b2 for Types I/II; b4b3 (the F field) for Type III.
+  constexpr std::uint8_t payload() const noexcept {
+    return is_dependent() ? static_cast<std::uint8_t>((bits_ >> 3) & 0b11)
+                          : static_cast<std::uint8_t>((bits_ >> 2) & 0b11);
+  }
+
+  constexpr ConfigSel config() const noexcept {
+    return static_cast<ConfigSel>(bits_ & 0b11);
+  }
+
+  /// MSB-first binary text, e.g. "010100" (matches the paper's examples).
+  std::string to_binary_string() const;
+
+  bool operator==(const Instruction&) const = default;
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+using EncodedQuery = std::vector<Instruction>;
+
+/// Back-translates and encodes a full protein query (3 instructions per
+/// residue) — the host-side preparation step of §III-B.
+EncodedQuery encode_query(const bio::ProteinSequence& protein);
+
+/// Encodes an already back-translated element sequence.
+EncodedQuery encode_elements(const std::vector<BackElement>& elements);
+
+/// In-DRAM footprint of an encoded query: 6 bits per instruction, packed.
+std::size_t encoded_query_bits(const EncodedQuery& query) noexcept;
+
+}  // namespace fabp::core

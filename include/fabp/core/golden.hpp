@@ -1,0 +1,54 @@
+#pragma once
+// Software golden model of the FabP alignment semantics (§III-C): the
+// back-translated query slides over the reference; each offset's score is
+// the number of element matches under the Type I/II/III rules; offsets
+// scoring >= threshold are hits.  The cycle-level accelerator simulator is
+// property-tested to produce exactly these hits.
+
+#include <cstdint>
+#include <vector>
+
+#include "fabp/bio/packed.hpp"
+#include "fabp/core/encoding.hpp"
+#include "fabp/util/thread_pool.hpp"
+
+namespace fabp::core {
+
+struct Hit {
+  std::size_t position = 0;   // reference element index of query element 0
+  std::uint32_t score = 0;    // matching elements (<= query length)
+
+  bool operator==(const Hit&) const = default;
+  auto operator<=>(const Hit&) const = default;
+};
+
+/// Score of one alignment instance, behavioral element semantics.
+std::uint32_t golden_score_at(const std::vector<BackElement>& query,
+                              const bio::NucleotideSequence& ref,
+                              std::size_t position);
+
+/// All hits at or above threshold.  O((r-q+1) * q).
+std::vector<Hit> golden_hits(const std::vector<BackElement>& query,
+                             const bio::NucleotideSequence& ref,
+                             std::uint32_t threshold);
+
+/// Same scan evaluated through the *encoded instructions and the generated
+/// comparator LUTs* instead of the behavioral element model; used by tests
+/// to pin encoding + LUT generation against the behavioral spec.
+std::vector<Hit> golden_hits_encoded(const EncodedQuery& query,
+                                     const bio::NucleotideSequence& ref,
+                                     std::uint32_t threshold);
+
+/// Parallel behavioral scan (functional model of the paper's CUDA
+/// implementation of the same algorithm).
+std::vector<Hit> golden_hits_parallel(const std::vector<BackElement>& query,
+                                      const bio::NucleotideSequence& ref,
+                                      std::uint32_t threshold,
+                                      util::ThreadPool& pool);
+
+/// End-to-end convenience: back-translate a protein and scan.
+std::vector<Hit> align_protein(const bio::ProteinSequence& protein,
+                               const bio::NucleotideSequence& ref,
+                               std::uint32_t threshold);
+
+}  // namespace fabp::core

@@ -1,0 +1,71 @@
+#pragma once
+// Structural netlist of one FabP *alignment instance* (paper Fig. 3): a
+// column of custom comparators (2 LUT6 each) over the query elements, the
+// handcrafted Pop-Counter aggregating the match bits, and the threshold
+// compare producing the hit flag.  The paper maps the threshold compare
+// onto a DSP; here it is built from the carry chain (an adder against the
+// constant 2^n - T whose carry-out is score >= T) so the whole instance is
+// one self-contained LUT/FF netlist that can be simulated bit-accurately,
+// timed (hw/timing.hpp) and emitted as Verilog.
+//
+// With `pipelined`, registers are inserted after the comparator stage and
+// after the Pop-Counter — the "multi-stage pipelined architecture" of
+// §III-C; scores then appear with a latency of 2 clocks.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fabp/core/encoding.hpp"
+#include "fabp/hw/netlist.hpp"
+#include "fabp/hw/popcount.hpp"
+#include "fabp/hw/verilog.hpp"
+
+namespace fabp::core {
+
+struct InstancePorts {
+  /// Per query element: the six instruction bits (b0..b5).
+  std::vector<std::array<hw::NetId, 6>> query;
+  /// Reference element bits, LSB-first pairs.  ref[0] and ref[1] are the
+  /// two elements *preceding* the instance's window (history for the
+  /// first codon; tie low when aligning at the reference start); element
+  /// i of the window is ref[i + 2].
+  std::vector<std::array<hw::NetId, 2>> ref;
+  /// Raw match bits (before the optional pipeline register).
+  std::vector<hw::NetId> matches;
+  /// Pop-counter output (score), LSB-first.
+  hw::Bus score;
+  /// score >= threshold.
+  hw::NetId hit = hw::kInvalidNet;
+};
+
+struct InstanceConfig {
+  std::size_t elements = 150;   // query length L_q in elements
+  std::uint32_t threshold = 0;  // user-defined hit threshold
+  bool pipelined = true;        // registers between the stages
+  /// When set, the query instruction bits are baked in as constants
+  /// instead of primary inputs (hw/optimize.hpp then specializes the
+  /// comparators).  FabP deliberately does NOT do this — a new query
+  /// would need a bitstream recompile — but it is the classic FPGA
+  /// trade, quantified by bench_ablation_specialize.
+  const EncodedQuery* fixed_query = nullptr;
+};
+
+/// Builds the instance into `netlist` with fresh primary inputs.
+InstancePorts build_alignment_instance(hw::Netlist& netlist,
+                                       const InstanceConfig& config);
+
+/// Drives the instance's inputs from an encoded query and a reference
+/// window (window[0], window[1] = the two history elements; then
+/// config.elements aligned elements), settles (and clocks twice when
+/// pipelined), and returns the observed score.
+std::uint32_t simulate_instance(hw::Netlist& netlist,
+                                const InstancePorts& ports,
+                                const InstanceConfig& config,
+                                const EncodedQuery& query,
+                                std::span<const bio::Nucleotide> window);
+
+/// Structural Verilog for a full instance.
+hw::VerilogModule emit_instance_module(const InstanceConfig& config);
+
+}  // namespace fabp::core

@@ -1,0 +1,82 @@
+#pragma once
+// Resource mapper: places the FabP accelerator onto a device (paper §III-C
+// "FabP uses a set of multiplexers to divide Query Seq. and Reference
+// Stream into multiple segments and process each segment in a cycle" and
+// §IV-B / Table I).
+//
+// Per 512-bit AXI beat the architecture instantiates 256 alignment
+// instances (one per new reference offset).  Each instance needs, per
+// segment-cycle: seg_len custom comparators (2 LUTs each), a seg_len-bit
+// handcrafted pop-counter, a partial-score accumulator when segmented, and
+// a DSP threshold compare (a second DSP accumulates partials when S > 1).
+// The mapper picks the smallest segment count S whose total fits the
+// device; effective DRAM bandwidth is nominal * AXI efficiency / S.
+
+#include <cstdint>
+
+#include "fabp/hw/axi.hpp"
+#include "fabp/hw/device.hpp"
+
+namespace fabp::core {
+
+struct MapperConstants {
+  std::size_t instances_per_beat = 256;   // new offsets per 512-bit beat
+  std::size_t comparator_luts_per_element = 2;  // exact (Fig. 5)
+  double datapath_luts_per_element = 1.0;  // stream fanout / pipelining
+  double segment_mux_luts_per_element = 0.7;  // only when S > 1
+  double lut_overhead = 1.10;             // routing + control factor
+  std::size_t fixed_luts = 20'000;        // AXI datapath, WB, FSM
+  std::size_t score_bits = 10;            // "the alignment score is a
+                                          //  10-bit number" (§IV-B)
+  double pop_ff_per_lut = 0.4;            // pipeline regs inside the PC
+  std::size_t fixed_ffs = 8'000;
+  std::size_t fixed_dsps = 4;
+  double bram_base_bits = 2.0 * 1024 * 1024;   // WB buffer + control
+  double bram_stream_bits = 1.05 * 1024 * 1024;  // AXI FIFOs, scaled 1/S
+  double resource_bound_utilization = 0.85;  // routing-congestion knee
+
+  /// Ablation of the paper's §IV-B design choice: place the query and
+  /// reference-stream buffers in BRAM instead of distributed FFs.  Saves
+  /// FFs but every BRAM port fans out to all 256 instances, which the
+  /// paper avoids ("to avoid the routing congestion that may happen due
+  /// to high fanout of the memory blocks"): modeled as an extra LUT
+  /// replication cost per instance and additional BRAM bits.
+  bool buffers_in_bram = false;
+  double bram_fanout_luts_per_element = 0.8;  // replication/mux overhead
+};
+
+enum class Bottleneck { Bandwidth, Resources };
+
+struct FabpMapping {
+  std::size_t query_elements = 0;  // L_q in elements (3x protein length)
+  std::size_t segments = 1;        // S: cycles per beat group
+  std::size_t channels = 1;        // memory channels actually used
+  std::size_t segment_elements = 0;  // ceil(L_q / S)
+  hw::ResourceBudget used;
+  hw::ResourceBudget capacity;
+  bool feasible = true;
+
+  // Per-category utilization in [0, 1+].
+  double lut_util = 0, ff_util = 0, bram_util = 0, dsp_util = 0;
+
+  // Breakdown (LUTs).
+  std::size_t comparator_luts = 0, popcounter_luts = 0, mux_luts = 0,
+              accumulator_luts = 0, fixed_luts = 0;
+
+  double axi_efficiency = 1.0;
+  double effective_bandwidth_bps = 0.0;  // nominal * efficiency / segments
+  Bottleneck bottleneck = Bottleneck::Bandwidth;
+};
+
+/// Maps a query of `query_elements` 2-bit reference-elements onto `device`.
+/// `query_elements` is the back-translated length (3x residues).
+/// With C memory channels, C beats arrive per cycle and the design
+/// instantiates 256*C alignment instances (§III-C); the mapper picks the
+/// channel count in [1, device.memory_channels] that maximizes effective
+/// bandwidth (fewest channels on ties).
+FabpMapping map_design(const hw::FpgaDevice& device,
+                       std::size_t query_elements,
+                       const MapperConstants& constants = {},
+                       const hw::AxiTimingConfig& axi = {});
+
+}  // namespace fabp::core

@@ -1,0 +1,47 @@
+#pragma once
+// Mask-only encoding baseline — the ablation that motivates FabP's Type
+// III machinery (§III-A/B).
+//
+// The obvious cheap encoding stores, per back-translated element, a 4-bit
+// mask of acceptable nucleotides (union over the amino acid's codons at
+// that position).  It needs only ONE LUT6 per element (4 mask bits + 2
+// reference bits) instead of FabP's two — but it cannot express
+// *dependencies between positions*: Arg's (A/C)G(F:10) degrades to
+// {A,C} G {anything}, which also accepts AGU/AGC (= Ser) and AGGG-style
+// impossibilities.  This module implements that baseline so the benches
+// can quantify the specificity FabP's 6-bit instructions buy.
+
+#include <cstdint>
+#include <vector>
+
+#include "fabp/core/golden.hpp"
+
+namespace fabp::core {
+
+/// One 4-bit mask per element; bit k = nucleotide with code k accepted.
+using MaskQuery = std::vector<std::uint8_t>;
+
+/// Per-position nucleotide mask of `aa` over its biological codon set.
+std::uint8_t position_mask(bio::AminoAcid aa, std::size_t position) noexcept;
+
+/// 3 masks per residue.
+MaskQuery mask_encode(const bio::ProteinSequence& protein);
+
+/// Number of matching elements at `position` under mask-only semantics.
+std::uint32_t mask_score_at(const MaskQuery& query,
+                            const bio::NucleotideSequence& ref,
+                            std::size_t position);
+
+/// All offsets scoring >= threshold (mask-only semantics).
+std::vector<Hit> mask_hits(const MaskQuery& query,
+                           const bio::NucleotideSequence& ref,
+                           std::uint32_t threshold);
+
+/// Codons fully accepted by the mask encoding of `aa` (superset of the
+/// biological set whenever positions are dependent).
+std::size_t mask_accepted_codons(bio::AminoAcid aa);
+
+/// Codons fully accepted by the FabP template of `aa`.
+std::size_t template_accepted_codons(bio::AminoAcid aa);
+
+}  // namespace fabp::core

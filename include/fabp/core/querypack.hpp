@@ -1,0 +1,42 @@
+#pragma once
+// DRAM layout of an encoded query (§III-B: "FabP first creates the
+// back-translated sequence.  Then, it encodes that sequence and stores it
+// in the FPGA main memory (DRAM)").  Instructions are 6 bits; they are
+// packed LSB-first into 64-bit words with no padding, so a 750-element
+// query occupies ceil(750*6/64) = 71 words = 568 bytes — the number the
+// host transfer model charges.
+
+#include <cstdint>
+#include <vector>
+
+#include "fabp/core/encoding.hpp"
+
+namespace fabp::core {
+
+class PackedQuery {
+ public:
+  PackedQuery() = default;
+  explicit PackedQuery(const EncodedQuery& query);
+
+  std::size_t size() const noexcept { return size_; }  // instructions
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Bytes occupied in DRAM (full words).
+  std::size_t byte_size() const noexcept { return words_.size() * 8; }
+
+  /// The i-th 6-bit instruction.
+  Instruction get(std::size_t i) const noexcept;
+
+  /// Full unpack (exact inverse of construction).
+  EncodedQuery unpack() const;
+
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  bool operator==(const PackedQuery&) const = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fabp::core

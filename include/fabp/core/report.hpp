@@ -1,0 +1,52 @@
+#pragma once
+// Hit post-processing — the "predict the functionality of the unknown
+// query sequence" step of Fig. 1.  Raw accelerator hits are element
+// positions in the concatenated database stream; annotation maps them back
+// to records, translates the matched window, computes identity, and
+// (optionally) confirms each hit with a BLOSUM62 Smith-Waterman score
+// against the query protein so downstream users get a BLAST-shaped report.
+
+#include <string>
+#include <vector>
+
+#include "fabp/align/local.hpp"
+#include "fabp/bio/database.hpp"
+#include "fabp/core/golden.hpp"
+
+namespace fabp::core {
+
+struct AnnotatedHit {
+  Hit raw;
+  std::size_t record = 0;          // index into the database
+  std::size_t record_offset = 0;   // element offset within the record
+  double identity = 0.0;           // raw.score / query elements
+  bio::ProteinSequence peptide;    // in-frame translation of the window
+  int blosum_score = 0;            // SW(query, peptide), if confirmed
+  bool confirmed = false;
+
+  bool operator==(const AnnotatedHit&) const = default;
+};
+
+struct AnnotateOptions {
+  bool confirm_with_sw = true;
+  /// Keep only the best hit per (record, offset/dedup_window) bucket.
+  std::size_t dedup_window = 3;
+  /// Drop annotated hits whose SW confirmation falls below this fraction
+  /// of the query's self-score (0 disables the filter).
+  double min_sw_fraction = 0.0;
+};
+
+/// Annotates accelerator/golden hits against the database they were
+/// produced from.  Hits that land in guard regions or span a record
+/// boundary are dropped.  Output is sorted by descending identity, ties
+/// by (record, offset).
+std::vector<AnnotatedHit> annotate_hits(const std::vector<Hit>& hits,
+                                        const bio::ReferenceDatabase& db,
+                                        const bio::ProteinSequence& query,
+                                        const AnnotateOptions& options = {});
+
+/// One-line rendering for reports: "rec=<name> off=<o> id=97.3% sw=210".
+std::string to_string(const AnnotatedHit& hit,
+                      const bio::ReferenceDatabase& db);
+
+}  // namespace fabp::core

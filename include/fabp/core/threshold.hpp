@@ -1,0 +1,45 @@
+#pragma once
+// Threshold selection statistics.
+//
+// FabP reports every offset scoring >= a "user-defined threshold"
+// (§III-C) but the paper never says how to pick it.  Under a random
+// reference model the score of one alignment instance is a sum of
+// independent Bernoulli element matches whose probabilities depend only
+// on the query's element types (Type I matches 1/4 of random bases, U/C
+// style conditions 1/2, G-bar 3/4, D 1, dependent functions in between).
+// That gives a closed-form mean/variance, a normal-approximation false
+// positive rate per offset, and an inversion that picks the smallest
+// threshold meeting a target expected number of random hits for a given
+// database size.
+
+#include <cstdint>
+
+#include "fabp/core/backtranslate.hpp"
+
+namespace fabp::core {
+
+/// P(element matches a uniformly random reference element), given the
+/// element's type (dependent elements are averaged over random history).
+double element_match_probability(const BackElement& element) noexcept;
+
+struct ScoreStatistics {
+  double mean = 0.0;      // expected score at a random offset
+  double variance = 0.0;  // independent-elements variance
+  std::size_t elements = 0;
+
+  double stddev() const noexcept;
+  /// P(score >= threshold) at one random offset (normal approximation
+  /// with continuity correction; exact 0/1 at the extremes).
+  double false_positive_rate(std::uint32_t threshold) const;
+};
+
+/// Statistics of a back-translated query against random sequence.
+ScoreStatistics score_statistics(const std::vector<BackElement>& query);
+
+/// Smallest threshold whose expected number of random hits over
+/// `reference_elements` offsets is <= `expected_hits`.
+std::uint32_t threshold_for_expected_hits(
+    const std::vector<BackElement>& query, std::size_t reference_elements,
+    double expected_hits = 1.0);
+
+}  // namespace fabp::core

@@ -1,0 +1,55 @@
+#pragma once
+// AXI read-channel timing model.
+//
+// The paper (§III-C): "In clock cycles that the AXI port does not have
+// valid data from the DRAM, all the stages of FabP will be stalled".  For a
+// *sequential* access pattern the achieved bandwidth is close to nominal;
+// this model makes that concrete as a deterministic burst pattern — BURST
+// valid beats followed by a fixed re-arbitration gap — plus an optional
+// page-boundary penalty.  Efficiency = burst / (burst + gap).
+
+#include <cstddef>
+
+namespace fabp::hw {
+
+struct AxiTimingConfig {
+  std::size_t burst_beats = 64;     // beats delivered back-to-back
+  std::size_t inter_burst_gap = 3;  // stall cycles between bursts
+  std::size_t page_beats = 2048;    // beats per DRAM page (row)
+  std::size_t page_miss_penalty = 8;  // extra stall cycles at a page crossing
+};
+
+/// Cycle-level read stream: call advance() once per kernel clock; it
+/// reports whether a beat is valid this cycle.  Deterministic.
+class AxiReadStream {
+ public:
+  explicit AxiReadStream(AxiTimingConfig config = {}) noexcept
+      : config_{config} {}
+
+  /// One clock cycle; returns true when a beat of data is delivered.
+  bool advance() noexcept;
+
+  std::size_t beats_delivered() const noexcept { return beats_; }
+  std::size_t cycles_elapsed() const noexcept { return cycles_; }
+
+  /// Fraction of cycles carrying valid data so far (0 if no cycles yet).
+  double efficiency() const noexcept {
+    return cycles_ == 0 ? 0.0
+                        : static_cast<double>(beats_) /
+                              static_cast<double>(cycles_);
+  }
+
+  /// Closed-form steady-state efficiency of the configured pattern.
+  static double steady_state_efficiency(const AxiTimingConfig& c) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  AxiTimingConfig config_;
+  std::size_t beats_ = 0;
+  std::size_t cycles_ = 0;
+  std::size_t in_burst_ = 0;    // beats delivered in the current burst
+  std::size_t stall_left_ = 0;  // pending stall cycles
+};
+
+}  // namespace fabp::hw

@@ -1,0 +1,66 @@
+#pragma once
+// FPGA device descriptions and resource accounting.
+//
+// The "kintex7" entry reproduces the Available row of Table I: 326k LUTs,
+// 407k FFs, 16 Mb BRAM, 840 DSPs, one memory channel at 12.8 GB/s.  At the
+// paper's 512-bit AXI width, 12.8 GB/s corresponds to a 200 MHz kernel
+// clock (64 B x 200 MHz), which is the frequency the models assume.
+
+#include <cstdint>
+#include <string>
+
+namespace fabp::hw {
+
+struct ResourceBudget {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t bram_bits = 0;
+  std::size_t dsps = 0;
+
+  ResourceBudget& operator+=(const ResourceBudget& other) noexcept {
+    luts += other.luts;
+    ffs += other.ffs;
+    bram_bits += other.bram_bits;
+    dsps += other.dsps;
+    return *this;
+  }
+  friend ResourceBudget operator+(ResourceBudget a,
+                                  const ResourceBudget& b) noexcept {
+    a += b;
+    return a;
+  }
+  ResourceBudget operator*(std::size_t n) const noexcept {
+    return ResourceBudget{luts * n, ffs * n, bram_bits * n, dsps * n};
+  }
+  bool fits_in(const ResourceBudget& capacity) const noexcept {
+    return luts <= capacity.luts && ffs <= capacity.ffs &&
+           bram_bits <= capacity.bram_bits && dsps <= capacity.dsps;
+  }
+};
+
+struct FpgaDevice {
+  std::string name;
+  ResourceBudget capacity;
+  std::size_t memory_channels = 1;
+  std::size_t axi_bits = 512;           // per-channel interface width
+  double clock_hz = 200e6;              // kernel clock
+  double channel_bandwidth_bps = 12.8e9;  // nominal per-channel DRAM BW
+
+  /// Elements (2-bit) delivered per valid AXI beat, per channel.
+  std::size_t elements_per_beat() const noexcept { return axi_bits / 2; }
+
+  /// Nominal total bandwidth over all channels, bytes/second.
+  double total_bandwidth_bps() const noexcept {
+    return channel_bandwidth_bps * static_cast<double>(memory_channels);
+  }
+};
+
+/// Mid-range Kintex-7 as characterized in Table I.
+FpgaDevice kintex7();
+
+/// A larger device (for the §IV-B note that "an FPGA with more LUTs can
+/// outperform the GPU-based implementation"): Virtex UltraScale+-class
+/// budget, same single channel unless widened by the caller.
+FpgaDevice virtex_ultrascale_plus();
+
+}  // namespace fabp::hw

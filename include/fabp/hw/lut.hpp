@@ -1,0 +1,55 @@
+#pragma once
+// LUT6 primitive model.
+//
+// A Xilinx LUT6 is a 64-entry truth table: the six input bits form an index
+// (I0 = LSB) and the INIT vector supplies the output.  The paper's custom
+// comparator and Pop-Counter are built by *directly instantiating* LUT6
+// primitives with computed INIT values (§III-D); this type is that INIT
+// computation plus bit-accurate evaluation.
+
+#include <cstdint>
+#include <string>
+
+namespace fabp::hw {
+
+class Lut6 {
+ public:
+  constexpr Lut6() = default;
+  explicit constexpr Lut6(std::uint64_t init) noexcept : init_{init} {}
+
+  /// Builds the INIT vector by sampling `fn` at all 64 input combinations.
+  /// `fn` receives the 6-bit index (I0 = bit 0).
+  template <typename Fn>
+  static Lut6 from_function(Fn&& fn) {
+    std::uint64_t init = 0;
+    for (unsigned idx = 0; idx < 64; ++idx)
+      if (fn(static_cast<std::uint8_t>(idx))) init |= 1ULL << idx;
+    return Lut6{init};
+  }
+
+  constexpr std::uint64_t init() const noexcept { return init_; }
+
+  /// Evaluates with a packed 6-bit input index.
+  constexpr bool eval(std::uint8_t index) const noexcept {
+    return ((init_ >> (index & 63)) & 1ULL) != 0;
+  }
+
+  /// Evaluates with individual input bits (i0 = LSB of the index).
+  constexpr bool eval(bool i0, bool i1, bool i2, bool i3, bool i4,
+                      bool i5) const noexcept {
+    const std::uint8_t index = static_cast<std::uint8_t>(
+        (i0 ? 1 : 0) | (i1 ? 2 : 0) | (i2 ? 4 : 0) | (i3 ? 8 : 0) |
+        (i4 ? 16 : 0) | (i5 ? 32 : 0));
+    return eval(index);
+  }
+
+  /// Xilinx-style INIT attribute text, e.g. "64'hDEADBEEF00000000".
+  std::string init_string() const;
+
+  bool operator==(const Lut6&) const = default;
+
+ private:
+  std::uint64_t init_ = 0;
+};
+
+}  // namespace fabp::hw

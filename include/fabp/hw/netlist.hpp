@@ -1,0 +1,107 @@
+#pragma once
+// A small structural netlist of FPGA primitives (LUT6, FF, constants,
+// primary inputs) with bit-accurate simulation and resource accounting.
+//
+// Construction is bottom-up: a cell may only consume nets that already
+// exist, so creation order is a topological order and combinational
+// settling is a single in-order pass — no event queue needed.  Clocked
+// state (FFs) updates in two phases on clock() so feedback through
+// registers is well defined.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fabp/hw/lut.hpp"
+
+namespace fabp::hw {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kInvalidNet = 0xffffffff;
+
+struct NetlistStats {
+  std::size_t luts = 0;
+  std::size_t ffs = 0;
+  std::size_t carries = 0;  // dedicated carry-chain elements (CARRY4 slots)
+  std::size_t inputs = 0;
+  std::size_t cells = 0;
+};
+
+enum class CellKind : std::uint8_t { Input, Const, Lut, Ff, Carry };
+
+class Netlist {
+ public:
+  /// Read-only view of one cell, for emitters and analyzers.
+  struct CellView {
+    CellKind kind;
+    NetId output;
+    Lut6 lut;                        // meaningful for Lut cells
+    std::span<const NetId> inputs;   // Lut <=6, Ff 1 (D), Carry 3 (a,b,cin)
+    bool const_value;                // Const cells; Ff reset value
+  };
+
+  /// Primary input; value set via set_input().
+  NetId add_input(bool initial = false);
+
+  /// Constant driver.
+  NetId add_const(bool value);
+
+  /// LUT with up to 6 inputs (I0 = inputs[0] = LSB of the truth-table
+  /// index; missing high inputs read as 0).  Throws std::invalid_argument
+  /// if more than 6 inputs or any input net does not exist yet.
+  NetId add_lut(const Lut6& lut, std::span<const NetId> inputs);
+
+  /// Convenience overloads for small fan-in.
+  NetId add_lut(const Lut6& lut, std::initializer_list<NetId> inputs);
+
+  /// D flip-flop; output reads `reset_value` until the first clock().
+  NetId add_ff(NetId d, bool reset_value = false);
+
+  /// Dedicated carry element: out = majority(a, b, cin).  Models the
+  /// slice carry chain (CARRY4/CARRY8), which costs no LUTs on real
+  /// devices; counted separately in stats().
+  NetId add_carry(NetId a, NetId b, NetId cin);
+
+  void set_input(NetId net, bool value);
+
+  /// Propagates all combinational logic (single topological pass).
+  void settle();
+
+  /// Rising clock edge: capture all FF D inputs, update Q, then settle().
+  void clock();
+
+  /// Resets every FF to its reset value and re-settles.
+  void reset();
+
+  bool value(NetId net) const { return values_.at(net); }
+
+  NetlistStats stats() const noexcept;
+
+  std::size_t net_count() const noexcept { return values_.size(); }
+
+  std::size_t cell_count() const noexcept { return cells_.size(); }
+  CellView cell(std::size_t index) const noexcept {
+    const Cell& c = cells_[index];
+    return CellView{c.kind, c.output, c.lut, c.inputs, c.reset_value};
+  }
+
+ private:
+  struct Cell {
+    CellKind kind;
+    NetId output;
+    Lut6 lut;                   // Lut cells
+    std::vector<NetId> inputs;  // Lut: up to 6; Ff: exactly 1 (D)
+    bool reset_value = false;   // Ff cells
+  };
+
+  NetId new_net(bool initial);
+  void check_net(NetId net) const;
+
+  std::vector<Cell> cells_;
+  std::vector<std::uint8_t> values_;  // current value per net
+  std::vector<std::size_t> ff_cells_; // indices into cells_
+};
+
+}  // namespace fabp::hw

@@ -1,0 +1,42 @@
+#pragma once
+// Netlist optimization passes — the LUT-level cleanups a synthesis tool
+// runs after elaboration, reimplemented over our netlist model:
+//   * constant propagation: LUT inputs driven by constants are folded
+//     into the INIT vector (a LUT whose function collapses to 0/1 becomes
+//     a constant; to a single-input identity, an alias),
+//   * carry simplification: majority with a constant leg becomes AND/OR,
+//   * dead-cell elimination: logic not reachable from the kept outputs is
+//     dropped.
+// Used by the instance generators to specialize hardware for a *fixed*
+// query (the paper keeps the query in registers; specializing it into the
+// LUTs instead is the classic FPGA trade — see bench_ablation_specialize).
+
+#include <span>
+#include <vector>
+
+#include "fabp/hw/netlist.hpp"
+
+namespace fabp::hw {
+
+struct OptimizeStats {
+  std::size_t folded_constants = 0;  // cells that became constants
+  std::size_t collapsed_aliases = 0; // identity LUTs removed
+  std::size_t dead_cells = 0;        // unreachable cells dropped
+  std::size_t luts_before = 0, luts_after = 0;
+  std::size_t ffs_before = 0, ffs_after = 0;
+};
+
+struct OptimizeResult {
+  Netlist netlist;
+  /// Maps every old net id to its new net id (constants and aliases map
+  /// to their replacement's net).
+  std::vector<NetId> net_map;
+  OptimizeStats stats;
+};
+
+/// Optimizes `input`, preserving the observability of every net in
+/// `keep` (those are the module outputs).  Primary inputs are preserved
+/// in order, so set_input positions keep working via net_map.
+OptimizeResult optimize(const Netlist& input, std::span<const NetId> keep);
+
+}  // namespace fabp::hw

@@ -1,0 +1,40 @@
+#pragma once
+// FPGA power model.
+//
+// A standard first-order decomposition: static leakage plus dynamic power
+// proportional to toggling capacitance (here: active LUTs/FFs/DSPs at the
+// kernel clock).  Constants are calibrated to the mid-range Kintex-7 class
+// (a fully-utilized design lands near ~11-12 W, consistent with the
+// paper's implied FabP power: 23.2x energy efficiency at 1.081x speedup
+// over a 250 W GPU implies roughly 250 / (23.2/1.081) ~ 11.7 W).
+
+#include "fabp/hw/device.hpp"
+
+namespace fabp::hw {
+
+struct PowerModelConfig {
+  double static_watts = 2.5;          // leakage + I/O + clocking base
+  double watts_per_mega_lut_ghz = 150.0;  // dynamic, per 1e6 LUTs at 1 GHz
+  double watts_per_mega_ff_ghz = 20.0;    // dynamic, per 1e6 FFs at 1 GHz
+  double watts_per_dsp_ghz = 0.01;        // dynamic, per DSP at 1 GHz
+  double dram_watts = 1.2;            // one DRAM channel under streaming
+  double average_toggle_rate = 0.25;  // fraction of nodes switching/cycle
+};
+
+class FpgaPowerModel {
+ public:
+  explicit FpgaPowerModel(PowerModelConfig config = {}) noexcept
+      : config_{config} {}
+
+  /// Total power (W) of a design using `used` resources on `device`,
+  /// with `active_channels` DRAM channels streaming.
+  double watts(const FpgaDevice& device, const ResourceBudget& used,
+               std::size_t active_channels = 1) const noexcept;
+
+  const PowerModelConfig& config() const noexcept { return config_; }
+
+ private:
+  PowerModelConfig config_;
+};
+
+}  // namespace fabp::hw

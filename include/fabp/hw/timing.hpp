@@ -1,0 +1,45 @@
+#pragma once
+// Static timing analysis over the netlist model.
+//
+// A first-order Kintex-7-class delay model: each LUT adds logic delay plus
+// an average routed-net delay; carry elements ride the dedicated chain and
+// are nearly free.  Paths start at primary inputs or FF outputs (Q) and
+// end at FF D pins or designated outputs.  This is what justifies the
+// 200 MHz kernel clock the paper's 12.8 GB/s figure implies, and what the
+// pipelining ablation (pipeline registers between comparator array,
+// Pop-Counter stages and threshold compare) measures against.
+
+#include <cstdint>
+#include <vector>
+
+#include "fabp/hw/netlist.hpp"
+
+namespace fabp::hw {
+
+struct TimingModel {
+  double lut_delay_ns = 0.25;      // LUT6 logic delay (K7 speedgrade -2)
+  double net_delay_ns = 0.45;      // average routed net
+  double carry_delay_ns = 0.03;    // per carry element on the chain
+  double clk_to_q_ns = 0.35;
+  double setup_ns = 0.10;
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;   // worst register-to-register / in-to-out
+  std::size_t logic_levels = 0;    // LUTs on the critical path
+  NetId critical_net = kInvalidNet;
+  double fmax_hz = 0.0;            // 1 / (clk_to_q + path + setup)
+
+  bool meets(double clock_hz) const noexcept { return fmax_hz >= clock_hz; }
+};
+
+/// Analyzes the whole netlist: arrival times propagate from primary inputs
+/// and FF outputs; the report covers the worst path to any FF D pin or any
+/// net (combinational outputs included).
+TimingReport analyze_timing(const Netlist& netlist,
+                            const TimingModel& model = {});
+
+/// Per-net logic depth (LUT count on the deepest path), for ablations.
+std::vector<std::size_t> logic_depths(const Netlist& netlist);
+
+}  // namespace fabp::hw

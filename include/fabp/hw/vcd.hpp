@@ -1,0 +1,51 @@
+#pragma once
+// VCD (Value Change Dump, IEEE 1364) trace writer for the netlist
+// simulator — record selected nets cycle by cycle and inspect the
+// accelerator datapath in GTKWave, like any RTL debug flow.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fabp/hw/netlist.hpp"
+
+namespace fabp::hw {
+
+class VcdTrace {
+ public:
+  /// `timescale` is the VCD timescale text, e.g. "5ns" (one sample per
+  /// clock at 200 MHz).
+  VcdTrace(std::string module_name, std::string timescale = "5ns");
+
+  /// Registers a net under a signal name (call before the first sample).
+  void watch(NetId net, std::string name);
+
+  /// Registers a multi-bit bus under one vector signal.
+  void watch_bus(std::span<const NetId> bus, std::string name);
+
+  /// Captures the current netlist values as the next sample.
+  void sample(const Netlist& netlist);
+
+  std::size_t samples() const noexcept { return samples_; }
+
+  /// Writes header + all recorded changes.
+  void write(std::ostream& os) const;
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Signal {
+    std::string name;
+    std::string id;               // VCD short identifier
+    std::vector<NetId> nets;      // one = scalar; many = vector (MSB first)
+    std::vector<std::string> values;  // per sample, binary text
+  };
+
+  static std::string make_id(std::size_t index);
+
+  std::string module_;
+  std::string timescale_;
+  std::vector<Signal> signals_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace fabp::hw

@@ -1,0 +1,47 @@
+#pragma once
+// Figure-6 harness: sweeps protein query lengths 50..250 over the four
+// platforms (CPU-1T, CPU-12T, GPU, FabP) and reports execution time and
+// energy, normalized to the single-thread CPU — the exact series of
+// Fig. 6(a) and Fig. 6(b) plus the paper's headline averages (E7).
+
+#include <vector>
+
+#include "fabp/perf/models.hpp"
+
+namespace fabp::perf {
+
+struct Figure6Config {
+  std::vector<std::size_t> query_lengths{50, 100, 150, 200, 250};
+  std::size_t db_bases = std::size_t{1} << 30;  // nominal 1 GB database
+  std::size_t cpu_sample_bases = 1 << 21;       // measured CPU sample
+  std::uint64_t seed = 2021;
+  double threshold_fraction = 0.8;  // hit threshold as fraction of elements
+  CpuSpec cpu = i7_8700k();
+  GpuSpec gpu = gtx_1080ti();
+  core::HostConfig host{};          // FabP device + host model
+};
+
+struct Figure6Row {
+  std::size_t query_length = 0;     // residues
+  std::size_t query_elements = 0;   // back-translated elements
+  PlatformResult cpu1, cpu12, gpu, fabp;
+
+  // Speedups (time ratios) and energy-efficiency ratios vs CPU-1T.
+  double speedup_cpu12 = 0, speedup_gpu = 0, speedup_fabp = 0;
+  double energy_cpu12 = 0, energy_gpu = 0, energy_fabp = 0;
+};
+
+struct Figure6Summary {
+  // Paper's headline averages (E7): 8.1% over GPU, 24.8x over CPU-12T;
+  // 23.2x / 266.8x energy efficiency.
+  double fabp_over_gpu_speedup = 0;
+  double fabp_over_cpu12_speedup = 0;
+  double fabp_over_gpu_energy = 0;
+  double fabp_over_cpu12_energy = 0;
+};
+
+std::vector<Figure6Row> run_figure6(const Figure6Config& config);
+
+Figure6Summary summarize(const std::vector<Figure6Row>& rows);
+
+}  // namespace fabp::perf

@@ -1,0 +1,59 @@
+#pragma once
+// Platform descriptors for the Figure-6 cross-platform comparison.
+//
+// The paper's testbed: Intel i7-8700K (TBLASTN, 1 and 12 threads), NVIDIA
+// GTX 1080Ti (the authors' CUDA implementation), and FabP on a Kintex-7.
+// None of that hardware exists in this environment, so the CPU numbers are
+// *measured on the host and rescaled by an explicit clock/IPC factor*, the
+// GPU numbers come from a throughput model built from datasheet constants,
+// and the FabP numbers come from the cycle-level simulator.  Every constant
+// is in this header so the calibration is auditable.
+
+#include <cstddef>
+
+namespace fabp::perf {
+
+/// CPU running the TBLASTN baseline.
+struct CpuSpec {
+  const char* name = "i7-8700K";
+  std::size_t threads = 12;
+  double watts_single_thread = 45.0;  // package power, one active core
+  double watts_all_threads = 95.0;    // TDP under full load
+  /// Throughput scaling from the measuring host to the target CPU
+  /// (clock * IPC advantage of the i7-8700K over the host core).
+  double host_to_target_speed = 1.6;
+  /// Parallel efficiency of the 12-thread TBLASTN run (hash-probe bound
+  /// workloads scale sub-linearly; NCBI reports ~75-85%).
+  double parallel_efficiency = 0.8;
+
+  double speedup_12t() const noexcept {
+    return static_cast<double>(threads) * parallel_efficiency;
+  }
+};
+
+/// GPU running the substitution-only sliding kernel (the paper's CUDA
+/// implementation of the same algorithm FabP runs).
+struct GpuSpec {
+  const char* name = "GTX 1080Ti";
+  std::size_t cuda_cores = 3584;
+  double clock_hz = 1.58e9;
+  double watts = 250.0;
+  double memory_bandwidth_bps = 484e9;
+  /// 2-bit elements packed in a 32-bit word: one LOP3-style compare covers
+  /// 16 elements, but unpacking, popcount and control cost instructions.
+  std::size_t elements_per_word = 16;
+  double instructions_per_word = 7.0;
+  double achieved_occupancy = 0.65;
+
+  /// Sustained element comparisons per second.
+  double comparisons_per_second() const noexcept {
+    return static_cast<double>(cuda_cores) * clock_hz *
+           static_cast<double>(elements_per_word) / instructions_per_word *
+           achieved_occupancy;
+  }
+};
+
+CpuSpec i7_8700k();
+GpuSpec gtx_1080ti();
+
+}  // namespace fabp::perf

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// Every workload generator in this repository takes an explicit seed and is
+// driven by Xoshiro256** (public-domain algorithm by Blackman & Vigna),
+// seeded through SplitMix64.  std::mt19937 is deliberately avoided: its
+// state is large, seeding it well is fiddly, and its output sequence is not
+// stable across standard-library *distributions* — we implement our own
+// bounded-draw helpers so identical seeds give identical workloads on every
+// platform.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace fabp::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into a full RNG state.
+/// Also usable standalone as a fast, decent-quality hash/stream.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_{seed} {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the repository-wide PRNG.  Satisfies
+/// std::uniform_random_bit_generator so it can also feed <random> if needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through SplitMix64 (never all-zero).
+  explicit Xoshiro256(std::uint64_t seed = 0x5eedfab9u) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform in [0, bound).  bound == 0 is a precondition violation.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Standard normal via Box-Muller (no state caching; two draws per call).
+  double normal() noexcept;
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Poisson draw (Knuth for small lambda, normal approximation for large).
+  std::uint64_t poisson(double lambda) noexcept;
+
+  /// Geometric: number of failures before first success, success prob p.
+  std::uint64_t geometric(double p) noexcept;
+
+  /// Draw an index in [0, weights.size()) proportionally to weights.
+  /// All weights must be >= 0 and not all zero.
+  std::size_t weighted(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[bounded(i)]);
+    }
+  }
+
+  /// Independent child stream (jump-free fork via re-seeding; streams from
+  /// distinct fork indices are statistically independent in practice).
+  Xoshiro256 fork(std::uint64_t stream) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace fabp::util

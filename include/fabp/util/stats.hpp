@@ -1,0 +1,47 @@
+#pragma once
+// Streaming and batch statistics used by the mutation-frequency experiment
+// (E5) and the benchmark harnesses.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fabp::util {
+
+/// Welford-style streaming accumulator: numerically stable mean/variance,
+/// plus min/max, usable incrementally from any experiment loop.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Median of a sample (copies; does not reorder the input).
+double median(std::span<const double> xs);
+
+/// p-th percentile (0..100) by linear interpolation between closest ranks.
+double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean; all inputs must be > 0.
+double geomean(std::span<const double> xs);
+
+/// Convenience: arithmetic mean of a span (0 if empty).
+double mean(std::span<const double> xs);
+
+}  // namespace fabp::util

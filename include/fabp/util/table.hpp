@@ -1,0 +1,56 @@
+#pragma once
+// Console table / CSV printer used by every bench harness so the
+// paper-vs-measured output has one consistent, parseable format.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fabp::util {
+
+/// A simple column-aligned text table.  Cells are strings; the `cell`
+/// overloads format numerics with sensible defaults.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+
+  Table& cell(std::string text);
+  Table& cell(const char* text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::size_t value);
+  Table& cell(long long value);
+  Table& cell(int value);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and right-padded columns.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated dump (no quoting beyond replacing ',' with ';').
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double as "12.3x" style ratio text.
+std::string ratio_text(double value, int precision = 1);
+
+/// Formats bytes as "12.8 GB/s"-style text given bytes per second.
+std::string bandwidth_text(double bytes_per_second);
+
+/// Formats seconds with an auto-selected unit (ns/us/ms/s).
+std::string time_text(double seconds);
+
+/// Formats a fraction in [0,1] as a percentage string.
+std::string percent_text(double fraction, int precision = 1);
+
+/// Prints a section banner used by the bench harnesses.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace fabp::util

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal fixed-size thread pool.  Used by the multi-threaded TBLASTN
+// baseline (the paper's "CPU-12T" configuration) and the GPU-algorithm
+// functional stand-in.  Tasks are void() closures; parallel_for splits an
+// index range into contiguous chunks.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fabp::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future resolves when it completes.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [begin, end), split into size() contiguous
+  /// chunks; blocks until all chunks are done.  fn must be thread-safe.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(chunk_begin, chunk_end) over size() contiguous chunks; blocks.
+  /// Prefer this to parallel_for when per-index dispatch cost matters.
+  void parallel_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace fabp::util

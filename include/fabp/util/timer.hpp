@@ -1,0 +1,24 @@
+#pragma once
+// Wall-clock timing helper for the measured (CPU-side) baselines.
+
+#include <chrono>
+
+namespace fabp::util {
+
+class Timer {
+ public:
+  Timer() : start_{clock::now()} {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed wall time in seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fabp::util

@@ -1,0 +1,173 @@
+#include "fabp/align/extension.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace fabp::align {
+
+UngappedExtension ungapped_extend(const bio::ProteinSequence& query,
+                                  const bio::ProteinSequence& ref,
+                                  std::size_t query_pos, std::size_t ref_pos,
+                                  std::size_t seed_len,
+                                  const SubstitutionMatrix& matrix,
+                                  int x_drop) {
+  UngappedExtension out;
+  seed_len = std::min({seed_len, query.size() - query_pos,
+                       ref.size() - ref_pos});
+
+  int score = 0;
+  for (std::size_t k = 0; k < seed_len; ++k)
+    score += matrix(query[query_pos + k], ref[ref_pos + k]);
+
+  // Extend right from the end of the seed.
+  int best = score;
+  std::size_t best_right = seed_len;
+  {
+    int running = score;
+    std::size_t k = seed_len;
+    while (query_pos + k < query.size() && ref_pos + k < ref.size()) {
+      running += matrix(query[query_pos + k], ref[ref_pos + k]);
+      ++k;
+      if (running > best) {
+        best = running;
+        best_right = k;
+      } else if (best - running > x_drop) {
+        break;
+      }
+    }
+  }
+
+  // Extend left from the start of the seed.
+  std::size_t best_left = 0;
+  {
+    int running = best;
+    int best_with_left = best;
+    std::size_t k = 0;
+    while (k < query_pos && k < ref_pos) {
+      ++k;
+      running += matrix(query[query_pos - k], ref[ref_pos - k]);
+      if (running > best_with_left) {
+        best_with_left = running;
+        best_left = k;
+      } else if (best_with_left - running > x_drop) {
+        break;
+      }
+    }
+    best = best_with_left;
+  }
+
+  out.score = best;
+  out.query_begin = query_pos - best_left;
+  out.ref_begin = ref_pos - best_left;
+  out.query_end = query_pos + best_right;
+  out.ref_end = ref_pos + best_right;
+  return out;
+}
+
+int banded_local_score(const bio::ProteinSequence& query,
+                       const bio::ProteinSequence& ref,
+                       std::size_t query_pos, std::size_t ref_pos,
+                       std::size_t bandwidth, const SubstitutionMatrix& matrix,
+                       GapPenalties gaps) {
+  const std::size_t q = query.size();
+  const std::size_t r = ref.size();
+  if (q == 0 || r == 0) return 0;
+  constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+  // Restrict the DP to the reference window the band can actually touch:
+  // columns j-1 in [d0 - band, q + d0 + band).  Without this, every
+  // extension pays O(|ref|) row initialization, which turns a database
+  // scan quadratic.
+  {
+    const std::ptrdiff_t d0_full = static_cast<std::ptrdiff_t>(ref_pos) -
+                                   static_cast<std::ptrdiff_t>(query_pos);
+    const auto bandp = static_cast<std::ptrdiff_t>(bandwidth);
+    const std::size_t w_begin = static_cast<std::size_t>(
+        std::max<std::ptrdiff_t>(0, d0_full - bandp));
+    const std::size_t w_end = static_cast<std::size_t>(std::clamp<
+        std::ptrdiff_t>(static_cast<std::ptrdiff_t>(q) + d0_full + bandp + 1,
+                        0, static_cast<std::ptrdiff_t>(r)));
+    if (w_begin > 0 || w_end < r) {
+      if (w_begin >= w_end) return 0;  // band entirely outside the ref
+      const bio::ProteinSequence window =
+          ref.subsequence(w_begin, w_end - w_begin);
+      return banded_local_score(query, window, query_pos,
+                                ref_pos - w_begin, bandwidth, matrix, gaps);
+    }
+  }
+
+  // Center diagonal d0 = ref_pos - query_pos; allowed j-i in
+  // [d0 - bandwidth, d0 + bandwidth].  DP over the full row extent but cells
+  // outside the band stay at -inf (local zero-floor applies inside only).
+  const std::ptrdiff_t d0 = static_cast<std::ptrdiff_t>(ref_pos) -
+                            static_cast<std::ptrdiff_t>(query_pos);
+  const auto band = static_cast<std::ptrdiff_t>(bandwidth);
+
+  std::vector<int> h(r + 1, kNegInf), e(r + 1, kNegInf);
+  // Row 0: only cells within the band of i=0 are reachable local starts.
+  for (std::size_t j = 0; j <= r; ++j) {
+    const std::ptrdiff_t d = static_cast<std::ptrdiff_t>(j);
+    if (d >= d0 - band && d <= d0 + band) h[j] = 0;
+  }
+
+  int best = 0;
+  for (std::size_t i = 1; i <= q; ++i) {
+    const std::ptrdiff_t lo_d = d0 - band;
+    const std::ptrdiff_t hi_d = d0 + band;
+    const std::ptrdiff_t si = static_cast<std::ptrdiff_t>(i);
+    const std::ptrdiff_t j_lo_s = std::max<std::ptrdiff_t>(1, si + lo_d);
+    const std::ptrdiff_t j_hi_s =
+        std::min<std::ptrdiff_t>(static_cast<std::ptrdiff_t>(r), si + hi_d);
+    if (j_hi_s < j_lo_s) {
+      // Band entirely outside this row's columns: left of column 1 means
+      // later rows may re-enter (the band drifts right with i); right of
+      // column r means no row will.
+      if (si + lo_d > static_cast<std::ptrdiff_t>(r)) break;
+      // Keep column 0 current for the next row's diagonal predecessor:
+      // it is a zero local start iff its own diagonal is in band.
+      h[0] = (-si >= lo_d && -si <= hi_d) ? 0 : kNegInf;
+      continue;
+    }
+    const auto j_lo = static_cast<std::size_t>(j_lo_s);
+    const auto j_hi = static_cast<std::size_t>(j_hi_s);
+
+    int h_diag_prev = (j_lo >= 1) ? h[j_lo - 1] : kNegInf;
+    int f = kNegInf;
+    // The cell left of the band start belongs to this row: it is a valid
+    // zero-scoring local start if its own diagonal is inside the band
+    // (only possible at column 0 after clamping), unreachable otherwise.
+    {
+      const std::ptrdiff_t d_left =
+          static_cast<std::ptrdiff_t>(j_lo) - 1 - si;
+      h[j_lo - 1] = (d_left >= lo_d && d_left <= hi_d) ? 0 : kNegInf;
+    }
+    int h_left = h[j_lo - 1];
+
+    for (std::size_t j = j_lo; j <= j_hi; ++j) {
+      e[j] = std::max(h[j] == kNegInf ? kNegInf
+                                      : h[j] - gaps.open - gaps.extend,
+                      e[j] == kNegInf ? kNegInf : e[j] - gaps.extend);
+      f = std::max(h_left == kNegInf ? kNegInf
+                                     : h_left - gaps.open - gaps.extend,
+                   f == kNegInf ? kNegInf : f - gaps.extend);
+      const int diag = h_diag_prev == kNegInf
+                           ? kNegInf
+                           : h_diag_prev + matrix(query[i - 1], ref[j - 1]);
+      int v = 0;  // local alignment floor inside the band
+      v = std::max({v, diag, e[j], f});
+      h_diag_prev = h[j];
+      h[j] = v;
+      h_left = v;
+      best = std::max(best, v);
+    }
+    // Invalidate the cell right of the band so next row's diag is correct.
+    if (j_hi + 1 <= r) {
+      h[j_hi + 1] = kNegInf;
+      e[j_hi + 1] = kNegInf;
+    }
+  }
+  return best;
+}
+
+}  // namespace fabp::align

@@ -1,0 +1,68 @@
+#include "fabp/align/local.hpp"
+
+#include <sstream>
+
+namespace fabp::align {
+
+std::string Alignment::cigar() const {
+  std::ostringstream os;
+  std::size_t run = 0;
+  char current = 0;
+  for (EditOp op : ops) {
+    const char c = static_cast<char>(op);
+    if (c == current) {
+      ++run;
+      continue;
+    }
+    if (run != 0) os << run << current;
+    current = c;
+    run = 1;
+  }
+  if (run != 0) os << run << current;
+  return os.str();
+}
+
+Alignment smith_waterman(const bio::ProteinSequence& query,
+                         const bio::ProteinSequence& ref,
+                         const SubstitutionMatrix& matrix, GapPenalties gaps) {
+  return detail::smith_waterman_impl<bio::AminoAcid>(
+      query.residues(), ref.residues(), matrix, gaps);
+}
+
+int smith_waterman_score(const bio::ProteinSequence& query,
+                         const bio::ProteinSequence& ref,
+                         const SubstitutionMatrix& matrix, GapPenalties gaps) {
+  return detail::smith_waterman_score_impl<bio::AminoAcid>(
+      query.residues(), ref.residues(), matrix, gaps);
+}
+
+int needleman_wunsch_score(const bio::ProteinSequence& query,
+                           const bio::ProteinSequence& ref,
+                           const SubstitutionMatrix& matrix,
+                           GapPenalties gaps) {
+  return detail::needleman_wunsch_score_impl<bio::AminoAcid>(
+      query.residues(), ref.residues(), matrix, gaps);
+}
+
+Alignment smith_waterman(const bio::NucleotideSequence& query,
+                         const bio::NucleotideSequence& ref,
+                         NucleotideScoring scoring, GapPenalties gaps) {
+  return detail::smith_waterman_impl<bio::Nucleotide>(
+      query.bases(), ref.bases(), scoring, gaps);
+}
+
+int smith_waterman_score(const bio::NucleotideSequence& query,
+                         const bio::NucleotideSequence& ref,
+                         NucleotideScoring scoring, GapPenalties gaps) {
+  return detail::smith_waterman_score_impl<bio::Nucleotide>(
+      query.bases(), ref.bases(), scoring, gaps);
+}
+
+int needleman_wunsch_score(const bio::NucleotideSequence& query,
+                           const bio::NucleotideSequence& ref,
+                           NucleotideScoring scoring, GapPenalties gaps) {
+  return detail::needleman_wunsch_score_impl<bio::Nucleotide>(
+      query.bases(), ref.bases(), scoring, gaps);
+}
+
+}  // namespace fabp::align

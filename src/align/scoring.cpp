@@ -1,0 +1,67 @@
+#include "fabp/align/scoring.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace fabp::align {
+
+namespace {
+
+// BLOSUM62 in the canonical publication order A R N D C Q E G H I L K M F P
+// S T W Y V; remapped below onto the AminoAcid enum order.
+constexpr std::string_view kBlosumOrder = "ARNDCQEGHILKMFPSTWYV";
+
+constexpr std::array<std::array<std::int8_t, 20>, 20> kBlosum62{{
+    {{4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0}},
+    {{-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3}},
+    {{-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3}},
+    {{-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3}},
+    {{0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1}},
+    {{-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2}},
+    {{-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2}},
+    {{0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3}},
+    {{-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3}},
+    {{-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3}},
+    {{-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1}},
+    {{-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2}},
+    {{-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1}},
+    {{-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1}},
+    {{-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2}},
+    {{1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2}},
+    {{0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0}},
+    {{-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3}},
+    {{-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1}},
+    {{0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4}},
+}};
+
+}  // namespace
+
+const SubstitutionMatrix& SubstitutionMatrix::blosum62() {
+  static const SubstitutionMatrix instance = [] {
+    SubstitutionMatrix m;
+    std::array<bio::AminoAcid, 20> order{};
+    for (std::size_t i = 0; i < 20; ++i)
+      order[i] = *bio::amino_acid_from_char(kBlosumOrder[i]);
+
+    // Default everything to the Stop convention first.
+    for (auto& row : m.table_) row.fill(-4);
+    m.table_[bio::index(bio::AminoAcid::Stop)]
+            [bio::index(bio::AminoAcid::Stop)] = 1;
+
+    for (std::size_t i = 0; i < 20; ++i)
+      for (std::size_t j = 0; j < 20; ++j)
+        m.table_[bio::index(order[i])][bio::index(order[j])] =
+            kBlosum62[i][j];
+    return m;
+  }();
+  return instance;
+}
+
+int SubstitutionMatrix::max_score() const noexcept {
+  int best = table_[0][0];
+  for (const auto& row : table_)
+    for (std::int8_t v : row) best = std::max(best, static_cast<int>(v));
+  return best;
+}
+
+}  // namespace fabp::align

@@ -1,0 +1,51 @@
+#include "fabp/align/sliding.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace fabp::align {
+
+std::uint32_t sliding_score_at(const bio::NucleotideSequence& query,
+                               const bio::NucleotideSequence& ref,
+                               std::size_t position) {
+  std::uint32_t score = 0;
+  for (std::size_t i = 0; i < query.size(); ++i)
+    if (query[i] == ref[position + i]) ++score;
+  return score;
+}
+
+std::vector<SlidingHit> sliding_hits(const bio::NucleotideSequence& query,
+                                     const bio::NucleotideSequence& ref,
+                                     std::uint32_t threshold) {
+  std::vector<SlidingHit> hits;
+  if (query.empty() || ref.size() < query.size()) return hits;
+  const std::size_t positions = ref.size() - query.size() + 1;
+  for (std::size_t p = 0; p < positions; ++p) {
+    const std::uint32_t score = sliding_score_at(query, ref, p);
+    if (score >= threshold) hits.push_back(SlidingHit{p, score});
+  }
+  return hits;
+}
+
+std::vector<SlidingHit> sliding_hits_parallel(
+    const bio::NucleotideSequence& query, const bio::NucleotideSequence& ref,
+    std::uint32_t threshold, util::ThreadPool& pool) {
+  std::vector<SlidingHit> hits;
+  if (query.empty() || ref.size() < query.size()) return hits;
+  const std::size_t positions = ref.size() - query.size() + 1;
+
+  std::mutex merge_mutex;
+  pool.parallel_chunks(0, positions, [&](std::size_t lo, std::size_t hi) {
+    std::vector<SlidingHit> local;
+    for (std::size_t p = lo; p < hi; ++p) {
+      const std::uint32_t score = sliding_score_at(query, ref, p);
+      if (score >= threshold) local.push_back(SlidingHit{p, score});
+    }
+    const std::lock_guard lock{merge_mutex};
+    hits.insert(hits.end(), local.begin(), local.end());
+  });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+}  // namespace fabp::align

@@ -1,0 +1,53 @@
+#include "fabp/bio/alphabet.hpp"
+
+#include <cctype>
+
+namespace fabp::bio {
+
+char to_char_rna(Nucleotide n) noexcept {
+  constexpr std::array<char, 4> letters{'A', 'C', 'G', 'U'};
+  return letters[code(n)];
+}
+
+char to_char_dna(Nucleotide n) noexcept {
+  constexpr std::array<char, 4> letters{'A', 'C', 'G', 'T'};
+  return letters[code(n)];
+}
+
+std::optional<Nucleotide> nucleotide_from_char(char c) noexcept {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'A': return Nucleotide::A;
+    case 'C': return Nucleotide::C;
+    case 'G': return Nucleotide::G;
+    case 'U':
+    case 'T': return Nucleotide::U;
+    default: return std::nullopt;
+  }
+}
+
+namespace {
+constexpr std::array<char, kAminoAcidCount> kOneLetter{
+    'A', 'R', 'N', 'D', 'C', 'Q', 'E', 'G', 'H', 'I',
+    'L', 'K', 'M', 'F', 'P', 'S', 'T', 'W', 'Y', 'V', '*'};
+
+constexpr std::array<std::string_view, kAminoAcidCount> kThreeLetter{
+    "Ala", "Arg", "Asn", "Asp", "Cys", "Gln", "Glu", "Gly", "His", "Ile",
+    "Leu", "Lys", "Met", "Phe", "Pro", "Ser", "Thr", "Trp", "Tyr", "Val",
+    "Ter"};
+}  // namespace
+
+char to_char(AminoAcid aa) noexcept { return kOneLetter[index(aa)]; }
+
+std::string_view to_three_letter(AminoAcid aa) noexcept {
+  return kThreeLetter[index(aa)];
+}
+
+std::optional<AminoAcid> amino_acid_from_char(char c) noexcept {
+  const char upper =
+      static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (AminoAcid aa : kAllAminoAcids)
+    if (kOneLetter[index(aa)] == upper) return aa;
+  return std::nullopt;
+}
+
+}  // namespace fabp::bio

@@ -1,0 +1,86 @@
+#include "fabp/bio/codon.hpp"
+
+#include <stdexcept>
+
+namespace fabp::bio {
+
+std::string Codon::to_string() const {
+  return {to_char_rna(first), to_char_rna(second), to_char_rna(third)};
+}
+
+namespace {
+
+// The canonical assignment, written as (RNA codon text, one-letter AA).
+// Source: NCBI standard genetic code (translation table 1), as depicted in
+// Fig. 2 of the paper.
+struct Assignment {
+  const char* codon;
+  char aa;
+};
+
+constexpr std::array<Assignment, 64> kStandardCode{{
+    {"UUU", 'F'}, {"UUC", 'F'}, {"UUA", 'L'}, {"UUG", 'L'},
+    {"CUU", 'L'}, {"CUC", 'L'}, {"CUA", 'L'}, {"CUG", 'L'},
+    {"AUU", 'I'}, {"AUC", 'I'}, {"AUA", 'I'}, {"AUG", 'M'},
+    {"GUU", 'V'}, {"GUC", 'V'}, {"GUA", 'V'}, {"GUG", 'V'},
+    {"UCU", 'S'}, {"UCC", 'S'}, {"UCA", 'S'}, {"UCG", 'S'},
+    {"CCU", 'P'}, {"CCC", 'P'}, {"CCA", 'P'}, {"CCG", 'P'},
+    {"ACU", 'T'}, {"ACC", 'T'}, {"ACA", 'T'}, {"ACG", 'T'},
+    {"GCU", 'A'}, {"GCC", 'A'}, {"GCA", 'A'}, {"GCG", 'A'},
+    {"UAU", 'Y'}, {"UAC", 'Y'}, {"UAA", '*'}, {"UAG", '*'},
+    {"CAU", 'H'}, {"CAC", 'H'}, {"CAA", 'Q'}, {"CAG", 'Q'},
+    {"AAU", 'N'}, {"AAC", 'N'}, {"AAA", 'K'}, {"AAG", 'K'},
+    {"GAU", 'D'}, {"GAC", 'D'}, {"GAA", 'E'}, {"GAG", 'E'},
+    {"UGU", 'C'}, {"UGC", 'C'}, {"UGA", '*'}, {"UGG", 'W'},
+    {"CGU", 'R'}, {"CGC", 'R'}, {"CGA", 'R'}, {"CGG", 'R'},
+    {"AGU", 'S'}, {"AGC", 'S'}, {"AGA", 'R'}, {"AGG", 'R'},
+    {"GGU", 'G'}, {"GGC", 'G'}, {"GGA", 'G'}, {"GGG", 'G'},
+}};
+
+struct CodeTables {
+  std::array<AminoAcid, kCodonCount> codon_to_aa{};
+  std::array<std::vector<Codon>, kAminoAcidCount> aa_to_codons{};
+
+  CodeTables() {
+    for (const auto& [text, letter] : kStandardCode) {
+      Codon codon{*nucleotide_from_char(text[0]),
+                  *nucleotide_from_char(text[1]),
+                  *nucleotide_from_char(text[2])};
+      const auto aa = amino_acid_from_char(letter);
+      if (!aa) throw std::logic_error{"bad genetic code table entry"};
+      codon_to_aa[codon.dense_index()] = *aa;
+    }
+    // Fill the reverse table in dense-index order for determinism.
+    for (std::uint8_t i = 0; i < kCodonCount; ++i) {
+      const Codon codon = Codon::from_dense_index(i);
+      aa_to_codons[index(codon_to_aa[i])].push_back(codon);
+    }
+  }
+};
+
+const CodeTables& tables() {
+  static const CodeTables instance;
+  return instance;
+}
+
+}  // namespace
+
+AminoAcid translate(const Codon& codon) noexcept {
+  return tables().codon_to_aa[codon.dense_index()];
+}
+
+std::span<const Codon> codons_for(AminoAcid aa) noexcept {
+  return tables().aa_to_codons[index(aa)];
+}
+
+std::size_t degeneracy(AminoAcid aa) noexcept { return codons_for(aa).size(); }
+
+bool is_stop(const Codon& codon) noexcept {
+  return translate(codon) == AminoAcid::Stop;
+}
+
+bool is_start(const Codon& codon) noexcept {
+  return codon == Codon{Nucleotide::A, Nucleotide::U, Nucleotide::G};
+}
+
+}  // namespace fabp::bio

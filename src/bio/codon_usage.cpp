@@ -1,0 +1,118 @@
+#include "fabp/bio/codon_usage.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace fabp::bio {
+
+namespace {
+
+// Approximate fractions from the Kazusa codon-usage database.
+constexpr std::array<CodonUsage::Fraction, 64> kHuman{{
+    {"GCU", .27}, {"GCC", .40}, {"GCA", .23}, {"GCG", .11},
+    {"CGU", .08}, {"CGC", .18}, {"CGA", .11}, {"CGG", .20},
+    {"AGA", .21}, {"AGG", .21}, {"AAU", .47}, {"AAC", .53},
+    {"GAU", .46}, {"GAC", .54}, {"UGU", .46}, {"UGC", .54},
+    {"CAA", .27}, {"CAG", .73}, {"GAA", .42}, {"GAG", .58},
+    {"GGU", .16}, {"GGC", .34}, {"GGA", .25}, {"GGG", .25},
+    {"CAU", .42}, {"CAC", .58}, {"AUU", .36}, {"AUC", .47},
+    {"AUA", .17}, {"UUA", .08}, {"UUG", .13}, {"CUU", .13},
+    {"CUC", .20}, {"CUA", .07}, {"CUG", .40}, {"AAA", .43},
+    {"AAG", .57}, {"AUG", 1.0}, {"UUU", .46}, {"UUC", .54},
+    {"CCU", .29}, {"CCC", .32}, {"CCA", .28}, {"CCG", .11},
+    {"UCU", .19}, {"UCC", .22}, {"UCA", .15}, {"UCG", .05},
+    {"AGU", .15}, {"AGC", .24}, {"ACU", .25}, {"ACC", .36},
+    {"ACA", .28}, {"ACG", .11}, {"UGG", 1.0}, {"UAU", .44},
+    {"UAC", .56}, {"GUU", .18}, {"GUC", .24}, {"GUA", .12},
+    {"GUG", .46}, {"UAA", .30}, {"UAG", .24}, {"UGA", .47},
+}};
+
+constexpr std::array<CodonUsage::Fraction, 64> kEcoli{{
+    {"GCU", .16}, {"GCC", .27}, {"GCA", .21}, {"GCG", .36},
+    {"CGU", .38}, {"CGC", .40}, {"CGA", .06}, {"CGG", .10},
+    {"AGA", .04}, {"AGG", .02}, {"AAU", .45}, {"AAC", .55},
+    {"GAU", .63}, {"GAC", .37}, {"UGU", .45}, {"UGC", .55},
+    {"CAA", .35}, {"CAG", .65}, {"GAA", .69}, {"GAG", .31},
+    {"GGU", .34}, {"GGC", .40}, {"GGA", .11}, {"GGG", .15},
+    {"CAU", .57}, {"CAC", .43}, {"AUU", .51}, {"AUC", .42},
+    {"AUA", .07}, {"UUA", .13}, {"UUG", .13}, {"CUU", .10},
+    {"CUC", .10}, {"CUA", .04}, {"CUG", .50}, {"AAA", .77},
+    {"AAG", .23}, {"AUG", 1.0}, {"UUU", .57}, {"UUC", .43},
+    {"CCU", .16}, {"CCC", .12}, {"CCA", .19}, {"CCG", .53},
+    {"UCU", .15}, {"UCC", .15}, {"UCA", .12}, {"UCG", .15},
+    {"AGU", .15}, {"AGC", .28}, {"ACU", .17}, {"ACC", .44},
+    {"ACA", .13}, {"ACG", .27}, {"UGG", 1.0}, {"UAU", .57},
+    {"UAC", .43}, {"GUU", .26}, {"GUC", .22}, {"GUA", .15},
+    {"GUG", .37}, {"UAA", .64}, {"UAG", .07}, {"UGA", .29},
+}};
+
+}  // namespace
+
+CodonUsage CodonUsage::uniform() {
+  CodonUsage usage;
+  for (AminoAcid aa : kAllAminoAcids) {
+    const auto codons = codons_for(aa);
+    for (const Codon& c : codons)
+      usage.weights_[c.dense_index()] =
+          1.0 / static_cast<double>(codons.size());
+  }
+  return usage;
+}
+
+CodonUsage CodonUsage::from_fractions(std::span<const Fraction> fractions) {
+  CodonUsage usage;  // all-zero weights; listed codons fill in
+  for (const Fraction& f : fractions) {
+    if (f.codon.size() != 3)
+      throw std::invalid_argument{"CodonUsage: codon text must be 3 bases"};
+    const auto a = nucleotide_from_char(f.codon[0]);
+    const auto b = nucleotide_from_char(f.codon[1]);
+    const auto c = nucleotide_from_char(f.codon[2]);
+    if (!a || !b || !c)
+      throw std::invalid_argument{"CodonUsage: bad codon text"};
+    usage.weights_[Codon{*a, *b, *c}.dense_index()] = f.fraction;
+  }
+  return usage;
+}
+
+const CodonUsage& CodonUsage::human() {
+  static const CodonUsage instance = from_fractions(kHuman);
+  return instance;
+}
+
+const CodonUsage& CodonUsage::ecoli() {
+  static const CodonUsage instance = from_fractions(kEcoli);
+  return instance;
+}
+
+Codon CodonUsage::sample(AminoAcid aa, util::Xoshiro256& rng) const {
+  const auto codons = codons_for(aa);
+  std::vector<double> weights;
+  weights.reserve(codons.size());
+  for (const Codon& c : codons) weights.push_back(weight(c));
+  return codons[rng.weighted(weights)];
+}
+
+double CodonUsage::rscu(const Codon& codon) const {
+  const AminoAcid aa = translate(codon);
+  const auto codons = codons_for(aa);
+  double total = 0.0;
+  for (const Codon& c : codons) total += weight(c);
+  if (total == 0.0) return 0.0;
+  return weight(codon) / (total / static_cast<double>(codons.size()));
+}
+
+NucleotideSequence biased_coding_sequence(const ProteinSequence& protein,
+                                          const CodonUsage& usage,
+                                          util::Xoshiro256& rng) {
+  NucleotideSequence rna{SeqKind::Rna};
+  rna.bases().reserve(protein.size() * 3);
+  for (AminoAcid aa : protein) {
+    const Codon codon = usage.sample(aa, rng);
+    rna.push_back(codon.first);
+    rna.push_back(codon.second);
+    rna.push_back(codon.third);
+  }
+  return rna;
+}
+
+}  // namespace fabp::bio

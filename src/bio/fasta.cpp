@@ -1,0 +1,67 @@
+#include "fabp/bio/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fabp::bio {
+
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  std::vector<FastaRecord> records;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      FastaRecord record;
+      const std::size_t ws = line.find_first_of(" \t", 1);
+      if (ws == std::string::npos) {
+        record.id = line.substr(1);
+      } else {
+        record.id = line.substr(1, ws - 1);
+        const std::size_t desc = line.find_first_not_of(" \t", ws);
+        if (desc != std::string::npos) record.description = line.substr(desc);
+      }
+      records.push_back(std::move(record));
+      have_record = true;
+      continue;
+    }
+    if (!have_record)
+      throw std::runtime_error{"FASTA: sequence data before first header"};
+    for (char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c)))
+        records.back().sequence.push_back(c);
+  }
+  return records;
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open FASTA file: " + path};
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,
+                 std::size_t width) {
+  if (width == 0) width = 70;
+  for (const auto& record : records) {
+    out << '>' << record.id;
+    if (!record.description.empty()) out << ' ' << record.description;
+    out << '\n';
+    for (std::size_t pos = 0; pos < record.sequence.size(); pos += width)
+      out << record.sequence.substr(pos, width) << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<FastaRecord>& records,
+                      std::size_t width) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"cannot write FASTA file: " + path};
+  write_fasta(out, records, width);
+}
+
+}  // namespace fabp::bio

@@ -1,0 +1,117 @@
+#include "fabp/bio/generate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "fabp/bio/codon.hpp"
+
+namespace fabp::bio {
+
+NucleotideSequence random_dna(std::size_t length, util::Xoshiro256& rng,
+                              double gc_content) {
+  NucleotideSequence seq{SeqKind::Dna};
+  seq.bases().reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const bool gc = rng.chance(gc_content);
+    if (gc)
+      seq.push_back(rng.chance(0.5) ? Nucleotide::G : Nucleotide::C);
+    else
+      seq.push_back(rng.chance(0.5) ? Nucleotide::A : Nucleotide::U);
+  }
+  return seq;
+}
+
+namespace {
+
+// Approximate Swiss-Prot amino-acid composition (percent); order matches
+// the AminoAcid enum (Ala..Val); Stop is excluded from random proteins.
+constexpr std::array<double, 20> kAaFrequency{
+    8.25, 5.53, 4.06, 5.45, 1.37, 3.93, 6.75, 7.07, 2.27, 5.96,
+    9.66, 5.84, 2.42, 3.86, 4.74, 6.56, 5.34, 1.08, 2.92, 6.87};
+
+}  // namespace
+
+ProteinSequence random_protein(std::size_t length, util::Xoshiro256& rng) {
+  ProteinSequence protein;
+  for (std::size_t i = 0; i < length; ++i) {
+    const std::size_t pick = rng.weighted(kAaFrequency);
+    protein.push_back(static_cast<AminoAcid>(pick));
+  }
+  return protein;
+}
+
+NucleotideSequence random_coding_sequence(const ProteinSequence& protein,
+                                          util::Xoshiro256& rng) {
+  NucleotideSequence rna{SeqKind::Rna};
+  rna.bases().reserve(protein.size() * 3);
+  for (AminoAcid aa : protein) {
+    const auto options = codons_for(aa);
+    const Codon codon = options[rng.bounded(options.size())];
+    rna.push_back(codon.first);
+    rna.push_back(codon.second);
+    rna.push_back(codon.third);
+  }
+  return rna;
+}
+
+SyntheticDatabase SyntheticDatabase::build(const DatabaseSpec& spec) {
+  util::Xoshiro256 rng{spec.seed};
+  SyntheticDatabase db;
+  db.dna = random_dna(spec.total_bases, rng, spec.gc_content);
+
+  const std::size_t gene_bases = spec.gene_length * 3;
+  if (spec.gene_count * gene_bases > spec.total_bases)
+    throw std::invalid_argument{
+        "SyntheticDatabase: planted genes exceed database size"};
+
+  // Place genes in equal-width slots with a random offset inside each slot,
+  // guaranteeing non-overlap without rejection sampling.
+  const std::size_t slot = spec.total_bases / std::max<std::size_t>(
+                                                  1, spec.gene_count);
+  for (std::size_t g = 0; g < spec.gene_count; ++g) {
+    const std::size_t slack = slot - gene_bases;
+    const std::size_t offset = slack == 0 ? 0 : rng.bounded(slack);
+    const std::size_t pos = g * slot + offset;
+
+    PlantedGene gene;
+    gene.dna_position = pos;
+    gene.protein = random_protein(spec.gene_length, rng);
+    const NucleotideSequence coding = random_coding_sequence(gene.protein, rng);
+    for (std::size_t i = 0; i < coding.size(); ++i)
+      db.dna[pos + i] = coding[i];
+    db.genes.push_back(std::move(gene));
+  }
+  return db;
+}
+
+QuerySet sample_queries(const SyntheticDatabase& db, std::size_t count,
+                        const QuerySpec& spec, double planted_fraction) {
+  util::Xoshiro256 rng{spec.seed};
+  QuerySet set;
+  set.queries.reserve(count);
+  set.source_gene.reserve(count);
+
+  for (std::size_t q = 0; q < count; ++q) {
+    const bool planted = !db.genes.empty() && rng.chance(planted_fraction);
+    if (!planted) {
+      set.queries.push_back(random_protein(spec.length, rng));
+      set.source_gene.push_back(-1);
+      continue;
+    }
+    const std::size_t gene_idx = rng.bounded(db.genes.size());
+    const PlantedGene& gene = db.genes[gene_idx];
+    const std::size_t max_len = gene.protein.size();
+    const std::size_t len = std::min(spec.length, max_len);
+    const std::size_t start =
+        len == max_len ? 0 : rng.bounded(max_len - len + 1);
+    ProteinSequence query = gene.protein.subsequence(start, len);
+    if (spec.substitution_rate > 0.0)
+      query = mutate_protein(query, spec.substitution_rate, rng);
+    set.queries.push_back(std::move(query));
+    set.source_gene.push_back(static_cast<int>(gene_idx));
+  }
+  return set;
+}
+
+}  // namespace fabp::bio

@@ -1,0 +1,99 @@
+#include "fabp/bio/mutation.hpp"
+
+#include <algorithm>
+
+namespace fabp::bio {
+
+namespace {
+
+Nucleotide different_base(Nucleotide original, util::Xoshiro256& rng) {
+  // Draw from the three other codes by offsetting 1..3 in code space.
+  const auto offset = static_cast<std::uint8_t>(1 + rng.bounded(3));
+  return nucleotide_from_code(
+      static_cast<std::uint8_t>((code(original) + offset) & 0b11));
+}
+
+Nucleotide random_base(util::Xoshiro256& rng) {
+  return nucleotide_from_code(static_cast<std::uint8_t>(rng.bounded(4)));
+}
+
+}  // namespace
+
+MutationResult mutate(const NucleotideSequence& seq, const MutationParams& p,
+                      util::Xoshiro256& rng) {
+  MutationResult result;
+  result.sequence = NucleotideSequence{seq.kind()};
+
+  // Draw indel events first so their placement does not depend on how many
+  // substitutions happened (keeps the two processes independent, as in the
+  // underlying biology).
+  const double lambda =
+      p.indel_events_per_kb * static_cast<double>(seq.size()) / 1000.0;
+  const std::uint64_t events = rng.poisson(lambda);
+
+  // Event descriptor: position (pre-mutation index), insert?, length.
+  struct Event {
+    std::size_t pos;
+    bool insertion;
+    std::size_t length;
+  };
+  std::vector<Event> indels;
+  indels.reserve(events);
+  for (std::uint64_t e = 0; e < events; ++e) {
+    const std::size_t pos = seq.empty() ? 0 : rng.bounded(seq.size());
+    const bool ins = rng.chance(p.insertion_fraction);
+    const std::size_t len = 1 + rng.geometric(std::clamp(p.indel_length_p,
+                                                         0.01, 1.0));
+    indels.push_back(Event{pos, ins, len});
+  }
+  std::sort(indels.begin(), indels.end(),
+            [](const Event& a, const Event& b) { return a.pos < b.pos; });
+  result.summary.indel_events = indels.size();
+
+  std::size_t next_event = 0;
+  std::size_t skip_remaining = 0;  // active deletion run
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    while (next_event < indels.size() && indels[next_event].pos == i) {
+      const Event& ev = indels[next_event++];
+      if (ev.insertion) {
+        for (std::size_t k = 0; k < ev.length; ++k)
+          result.sequence.push_back(random_base(rng));
+        result.summary.inserted_bases += ev.length;
+      } else {
+        skip_remaining += ev.length;
+      }
+    }
+    if (skip_remaining > 0) {
+      --skip_remaining;
+      ++result.summary.deleted_bases;
+      continue;
+    }
+    Nucleotide base = seq[i];
+    if (rng.chance(p.substitution_rate)) {
+      base = different_base(base, rng);
+      ++result.summary.substitutions;
+    }
+    result.sequence.push_back(base);
+  }
+  return result;
+}
+
+ProteinSequence mutate_protein(const ProteinSequence& seq,
+                               double substitution_rate,
+                               util::Xoshiro256& rng) {
+  ProteinSequence out;
+  for (AminoAcid aa : seq) {
+    if (aa != AminoAcid::Stop && rng.chance(substitution_rate)) {
+      AminoAcid replacement = aa;
+      while (replacement == aa) {
+        // 20 standard residues; never substitute *into* Stop.
+        replacement = kAllAminoAcids[rng.bounded(kAminoAcidCount - 1)];
+      }
+      aa = replacement;
+    }
+    out.push_back(aa);
+  }
+  return out;
+}
+
+}  // namespace fabp::bio

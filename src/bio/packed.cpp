@@ -1,0 +1,60 @@
+#include "fabp/bio/packed.hpp"
+
+#include "fabp/util/bitops.hpp"
+
+namespace fabp::bio {
+
+PackedNucleotides::PackedNucleotides(const NucleotideSequence& seq)
+    : PackedNucleotides{std::span<const Nucleotide>{seq.bases()}} {}
+
+PackedNucleotides::PackedNucleotides(std::span<const Nucleotide> bases) {
+  words_.assign(util::ceil_div(bases.size(), kElementsPerWord), 0);
+  size_ = bases.size();
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    const unsigned shift = 2 * static_cast<unsigned>(i % kElementsPerWord);
+    words_[i / kElementsPerWord] |=
+        static_cast<std::uint64_t>(code(bases[i])) << shift;
+  }
+}
+
+void PackedNucleotides::set(std::size_t i, Nucleotide n) noexcept {
+  const unsigned shift = 2 * static_cast<unsigned>(i % kElementsPerWord);
+  std::uint64_t& word = words_[i / kElementsPerWord];
+  word = (word & ~(0b11ULL << shift)) |
+         (static_cast<std::uint64_t>(code(n)) << shift);
+}
+
+void PackedNucleotides::push_back(Nucleotide n) {
+  if (size_ % kElementsPerWord == 0) words_.push_back(0);
+  ++size_;
+  set(size_ - 1, n);
+}
+
+std::size_t PackedNucleotides::beat_count() const noexcept {
+  return util::ceil_div(size_, kElementsPerBeat);
+}
+
+std::array<std::uint64_t, 8> PackedNucleotides::beat(
+    std::size_t beat) const noexcept {
+  std::array<std::uint64_t, 8> out{};
+  const std::size_t base = beat * 8;
+  for (std::size_t w = 0; w < 8; ++w)
+    if (base + w < words_.size()) out[w] = words_[base + w];
+  return out;
+}
+
+std::size_t PackedNucleotides::beat_elements(std::size_t beat) const noexcept {
+  const std::size_t begin = beat * kElementsPerBeat;
+  if (begin >= size_) return 0;
+  const std::size_t remaining = size_ - begin;
+  return remaining < kElementsPerBeat ? remaining : kElementsPerBeat;
+}
+
+NucleotideSequence PackedNucleotides::unpack(SeqKind kind) const {
+  NucleotideSequence seq{kind};
+  seq.bases().reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) seq.push_back(get(i));
+  return seq;
+}
+
+}  // namespace fabp::bio

@@ -1,0 +1,130 @@
+#include "fabp/bio/sequence.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace fabp::bio {
+
+NucleotideSequence NucleotideSequence::parse(SeqKind kind,
+                                             std::string_view text) {
+  NucleotideSequence seq{kind};
+  seq.bases_.reserve(text.size());
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const auto n = nucleotide_from_char(c);
+    if (!n)
+      throw std::invalid_argument{std::string{"invalid nucleotide letter: "} +
+                                  c};
+    seq.bases_.push_back(*n);
+  }
+  return seq;
+}
+
+LenientParseResult NucleotideSequence::parse_lenient(
+    SeqKind kind, std::string_view text) {
+  // First compatible base per IUPAC ambiguity letter.
+  static constexpr struct {
+    char letter;
+    Nucleotide base;
+  } kIupac[] = {
+      {'N', Nucleotide::A}, {'R', Nucleotide::A}, {'Y', Nucleotide::C},
+      {'S', Nucleotide::C}, {'W', Nucleotide::A}, {'K', Nucleotide::G},
+      {'M', Nucleotide::A}, {'B', Nucleotide::C}, {'D', Nucleotide::A},
+      {'H', Nucleotide::A}, {'V', Nucleotide::A},
+  };
+
+  LenientParseResult result;
+  result.sequence = NucleotideSequence{kind};
+  result.sequence.bases_.reserve(text.size());
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (const auto n = nucleotide_from_char(c)) {
+      result.sequence.bases_.push_back(*n);
+      continue;
+    }
+    const char upper =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    bool handled = false;
+    for (const auto& entry : kIupac) {
+      if (entry.letter == upper) {
+        result.sequence.bases_.push_back(entry.base);
+        ++result.ambiguous;
+        handled = true;
+        break;
+      }
+    }
+    if (!handled)
+      throw std::invalid_argument{
+          std::string{"invalid nucleotide letter: "} + c};
+  }
+  return result;
+}
+
+void NucleotideSequence::append(const NucleotideSequence& other) {
+  bases_.insert(bases_.end(), other.bases_.begin(), other.bases_.end());
+}
+
+NucleotideSequence NucleotideSequence::subsequence(std::size_t pos,
+                                                   std::size_t len) const {
+  NucleotideSequence out{kind_};
+  if (pos >= bases_.size()) return out;
+  const std::size_t end = std::min(bases_.size(), pos + len);
+  out.bases_.assign(bases_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    bases_.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+std::string NucleotideSequence::to_string() const {
+  std::string text;
+  text.reserve(bases_.size());
+  const bool rna = kind_ == SeqKind::Rna;
+  for (Nucleotide n : bases_)
+    text.push_back(rna ? to_char_rna(n) : to_char_dna(n));
+  return text;
+}
+
+NucleotideSequence NucleotideSequence::transcribed() const {
+  return NucleotideSequence{SeqKind::Rna, bases_};
+}
+
+NucleotideSequence NucleotideSequence::reverse_complement() const {
+  NucleotideSequence out{kind_};
+  out.bases_.reserve(bases_.size());
+  for (auto it = bases_.rbegin(); it != bases_.rend(); ++it)
+    out.bases_.push_back(complement(*it));
+  return out;
+}
+
+ProteinSequence ProteinSequence::parse(std::string_view text) {
+  ProteinSequence seq;
+  seq.residues_.reserve(text.size());
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const auto aa = amino_acid_from_char(c);
+    if (!aa)
+      throw std::invalid_argument{std::string{"invalid amino acid letter: "} +
+                                  c};
+    seq.residues_.push_back(*aa);
+  }
+  return seq;
+}
+
+ProteinSequence ProteinSequence::subsequence(std::size_t pos,
+                                             std::size_t len) const {
+  ProteinSequence out;
+  if (pos >= residues_.size()) return out;
+  const std::size_t end = std::min(residues_.size(), pos + len);
+  out.residues_.assign(residues_.begin() + static_cast<std::ptrdiff_t>(pos),
+                       residues_.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+std::string ProteinSequence::to_string() const {
+  std::string text;
+  text.reserve(residues_.size());
+  for (AminoAcid aa : residues_) text.push_back(to_char(aa));
+  return text;
+}
+
+}  // namespace fabp::bio

@@ -1,0 +1,74 @@
+#include "fabp/bio/translation.hpp"
+
+#include "fabp/bio/codon.hpp"
+
+namespace fabp::bio {
+
+ProteinSequence translate(const NucleotideSequence& nucleotides,
+                          std::size_t offset) {
+  ProteinSequence protein;
+  if (offset >= nucleotides.size()) return protein;
+  const std::size_t usable = nucleotides.size() - offset;
+  protein = ProteinSequence{std::vector<AminoAcid>{}};
+  std::vector<AminoAcid> residues;
+  residues.reserve(usable / 3);
+  for (std::size_t i = offset; i + 3 <= nucleotides.size(); i += 3) {
+    residues.push_back(bio::translate(
+        Codon{nucleotides[i], nucleotides[i + 1], nucleotides[i + 2]}));
+  }
+  return ProteinSequence{std::move(residues)};
+}
+
+std::size_t TranslatedFrame::nucleotide_position(
+    std::size_t protein_pos, std::size_t dna_length) const noexcept {
+  const std::size_t codon_start = id.offset() + 3 * protein_pos;
+  if (!id.reverse()) return codon_start;
+  // Reverse strand: position `codon_start` on the reverse-complement maps to
+  // forward-strand position (len - 1 - codon_start), and the codon occupies
+  // the two bases *before* it on the forward strand; report its 5' end.
+  return dna_length - codon_start - 3;
+}
+
+std::array<TranslatedFrame, 6> six_frame_translate(
+    const NucleotideSequence& dna) {
+  std::array<TranslatedFrame, 6> frames;
+  const NucleotideSequence rc = dna.reverse_complement();
+  for (int f = 0; f < 6; ++f) {
+    const bool rev = f >= 3;
+    frames[static_cast<std::size_t>(f)] = TranslatedFrame{
+        FrameId{f},
+        translate(rev ? rc : dna, static_cast<std::size_t>(f % 3))};
+  }
+  return frames;
+}
+
+std::vector<OpenReadingFrame> find_orfs(const NucleotideSequence& rna,
+                                        std::size_t min_codons) {
+  std::vector<OpenReadingFrame> orfs;
+  for (std::size_t frame = 0; frame < 3; ++frame) {
+    std::size_t start = rna.size();  // sentinel: no open start
+    ProteinSequence pending;
+    for (std::size_t i = frame; i + 3 <= rna.size(); i += 3) {
+      const Codon codon{rna[i], rna[i + 1], rna[i + 2]};
+      if (start == rna.size()) {
+        if (is_start(codon)) {
+          start = i;
+          pending = ProteinSequence{};
+          pending.push_back(AminoAcid::Met);
+        }
+        continue;
+      }
+      if (is_stop(codon)) {
+        if (pending.size() >= min_codons)
+          orfs.push_back(OpenReadingFrame{start, i + 3, pending});
+        start = rna.size();
+        pending = ProteinSequence{};
+        continue;
+      }
+      pending.push_back(translate(codon));
+    }
+  }
+  return orfs;
+}
+
+}  // namespace fabp::bio

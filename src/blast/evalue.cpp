@@ -1,0 +1,37 @@
+#include "fabp/blast/evalue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fabp::blast {
+
+double bit_score(int raw_score, const KarlinAltschulParams& params) {
+  return (params.lambda * raw_score - std::log(params.k)) / std::log(2.0);
+}
+
+double SearchSpace::effective(const KarlinAltschulParams& params) const {
+  // Expected HSP length l = ln(K m n) / H; subtract from both lengths.
+  const double m = static_cast<double>(std::max<std::size_t>(1, query_length));
+  const double n = static_cast<double>(std::max<std::size_t>(1, db_length));
+  const double l = std::log(params.k * m * n) / std::max(params.h, 1e-6);
+  const double m_eff = std::max(1.0, m - l);
+  const double n_eff = std::max(1.0, n - l);
+  return m_eff * n_eff;
+}
+
+double evalue(int raw_score, const SearchSpace& space,
+              const KarlinAltschulParams& params) {
+  return params.k * space.effective(params) *
+         std::exp(-params.lambda * raw_score);
+}
+
+int score_for_evalue(double target, const SearchSpace& space,
+                     const KarlinAltschulParams& params) {
+  // Invert E = K * mn * exp(-lambda S)  ->  S = ln(K mn / E) / lambda.
+  target = std::max(target, 1e-300);
+  const double s =
+      std::log(params.k * space.effective(params) / target) / params.lambda;
+  return static_cast<int>(std::ceil(std::max(0.0, s)));
+}
+
+}  // namespace fabp::blast

@@ -1,0 +1,110 @@
+#include "fabp/blast/kmer_index.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fabp::blast {
+
+std::uint32_t pack_kmer(std::span<const bio::AminoAcid> residues) {
+  std::uint32_t word = 0;
+  for (bio::AminoAcid aa : residues)
+    word = (word << 5) | static_cast<std::uint32_t>(bio::index(aa));
+  return word;
+}
+
+namespace {
+
+// Enumerates all words w (over the 20 standard residues) with
+// sum_i matrix(w[i], window[i]) >= threshold, invoking sink(packed_word).
+// DFS with a best-remaining-score bound prunes the 20^k space hard.
+template <typename Sink>
+void enumerate_neighborhood(std::span<const bio::AminoAcid> window,
+                            const align::SubstitutionMatrix& matrix,
+                            int threshold, Sink&& sink) {
+  const std::size_t k = window.size();
+  // max_tail[i] = best achievable score from positions i..k-1.
+  std::vector<int> max_tail(k + 1, 0);
+  for (std::size_t i = k; i-- > 0;) {
+    int best = -127;
+    for (std::size_t a = 0; a < 20; ++a)
+      best = std::max(best,
+                      matrix.score(static_cast<bio::AminoAcid>(a), window[i]));
+    max_tail[i] = max_tail[i + 1] + best;
+  }
+
+  const auto dfs = [&](auto&& self, std::size_t depth, std::uint32_t word,
+                       int score) -> void {
+    if (depth == k) {
+      if (score >= threshold) sink(word);
+      return;
+    }
+    for (std::size_t a = 0; a < 20; ++a) {
+      const int next =
+          score + matrix.score(static_cast<bio::AminoAcid>(a), window[depth]);
+      if (next + max_tail[depth + 1] >= threshold)
+        self(self, depth + 1,
+             (word << 5) | static_cast<std::uint32_t>(a), next);
+    }
+  };
+  dfs(dfs, 0, 0, 0);
+}
+
+}  // namespace
+
+KmerIndex::KmerIndex(const bio::ProteinSequence& query,
+                     const KmerIndexConfig& config,
+                     const align::SubstitutionMatrix& matrix,
+                     const std::vector<bool>* query_mask)
+    : config_{config}, query_length_{query.size()} {
+  if (config_.k == 0 || config_.k > 5)
+    throw std::invalid_argument{"KmerIndex: k must be in [1,5]"};
+
+  const std::size_t words = std::size_t{1} << (5 * config_.k);
+  std::vector<std::uint32_t> counts(words + 1, 0);
+
+  // Pass 1: count neighborhood sizes per word.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  if (query.size() >= config_.k) {
+    for (std::size_t p = 0; p + config_.k <= query.size(); ++p) {
+      const std::span<const bio::AminoAcid> window{
+          query.residues().data() + p, config_.k};
+      bool excluded = false;
+      for (std::size_t k = 0; k < config_.k; ++k) {
+        if (window[k] == bio::AminoAcid::Stop) excluded = true;
+        if (query_mask && (*query_mask)[p + k]) excluded = true;
+      }
+      if (excluded) continue;
+      enumerate_neighborhood(window, matrix, config_.neighbor_threshold,
+                             [&](std::uint32_t word) {
+                               pairs.emplace_back(
+                                   word, static_cast<std::uint32_t>(p));
+                             });
+    }
+  }
+
+  for (const auto& [word, pos] : pairs) counts[word + 1]++;
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  offsets_ = counts;
+  entries_.resize(pairs.size());
+  // Counting-sort fill (stable in query-position order per word).
+  std::vector<std::uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [word, pos] : pairs) entries_[cursor[word]++] = pos;
+}
+
+std::span<const std::uint32_t> KmerIndex::lookup(
+    std::span<const bio::AminoAcid> ref_residues, std::size_t pos) const {
+  if (pos + config_.k > ref_residues.size()) return {};
+  for (std::size_t i = 0; i < config_.k; ++i)
+    if (ref_residues[pos + i] == bio::AminoAcid::Stop) return {};
+  return lookup_packed(pack_kmer(ref_residues.subspan(pos, config_.k)));
+}
+
+std::span<const std::uint32_t> KmerIndex::lookup_packed(
+    std::uint32_t word) const {
+  if (word + 1 >= offsets_.size()) return {};
+  const std::uint32_t begin = offsets_[word];
+  const std::uint32_t end = offsets_[word + 1];
+  return {entries_.data() + begin, entries_.data() + end};
+}
+
+}  // namespace fabp::blast

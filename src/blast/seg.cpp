@@ -1,0 +1,68 @@
+#include "fabp/blast/seg.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace fabp::blast {
+
+double composition_entropy(std::span<const bio::AminoAcid> residues) {
+  if (residues.empty()) return 0.0;
+  std::array<std::size_t, bio::kAminoAcidCount> counts{};
+  for (bio::AminoAcid aa : residues) counts[bio::index(aa)]++;
+  const double n = static_cast<double>(residues.size());
+  double h = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<bool> seg_mask(const bio::ProteinSequence& protein,
+                           const SegConfig& config) {
+  const std::size_t n = protein.size();
+  std::vector<bool> mask(n, false);
+  const std::size_t w = config.window;
+  if (w == 0 || n < w) return mask;
+
+  // Windowed entropies, indexed by window start.
+  const std::size_t windows = n - w + 1;
+  std::vector<double> entropy(windows);
+  for (std::size_t s = 0; s < windows; ++s)
+    entropy[s] = composition_entropy(
+        std::span<const bio::AminoAcid>{protein.residues().data() + s, w});
+
+  // Two-threshold hysteresis over window starts: a sub-locut window opens
+  // a region; it grows over adjacent sub-hicut windows in both directions.
+  std::vector<bool> window_masked(windows, false);
+  for (std::size_t s = 0; s < windows; ++s) {
+    if (entropy[s] >= config.locut || window_masked[s]) continue;
+    std::size_t lo = s, hi = s;
+    while (lo > 0 && entropy[lo - 1] < config.hicut) --lo;
+    while (hi + 1 < windows && entropy[hi + 1] < config.hicut) ++hi;
+    for (std::size_t k = lo; k <= hi; ++k) window_masked[k] = true;
+  }
+
+  // A residue is masked when every window covering it is masked — the
+  // conservative intersection rule keeps region boundaries tight.
+  std::vector<std::size_t> covering(n, 0), masked_covering(n, 0);
+  for (std::size_t s = 0; s < windows; ++s)
+    for (std::size_t k = s; k < s + w; ++k) {
+      ++covering[k];
+      if (window_masked[s]) ++masked_covering[k];
+    }
+  for (std::size_t k = 0; k < n; ++k)
+    mask[k] = covering[k] > 0 && masked_covering[k] == covering[k];
+  return mask;
+}
+
+double masked_fraction(const std::vector<bool>& mask) {
+  if (mask.empty()) return 0.0;
+  std::size_t masked = 0;
+  for (bool m : mask)
+    if (m) ++masked;
+  return static_cast<double>(masked) / static_cast<double>(mask.size());
+}
+
+}  // namespace fabp::blast

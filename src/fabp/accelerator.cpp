@@ -1,0 +1,211 @@
+#include "fabp/core/accelerator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fabp/core/comparator.hpp"
+#include "fabp/util/bitops.hpp"
+
+namespace fabp::core {
+
+using bio::Nucleotide;
+
+Accelerator::Accelerator(AcceleratorConfig config)
+    : config_{std::move(config)} {}
+
+const FabpMapping& Accelerator::load_query(
+    const bio::ProteinSequence& protein) {
+  return load_encoded(encode_query(protein));
+}
+
+const FabpMapping& Accelerator::load_encoded(EncodedQuery query) {
+  if (query.empty())
+    throw std::invalid_argument{"Accelerator: empty query"};
+  query_ = std::move(query);
+  elements_.clear();
+  elements_.reserve(query_.size());
+  for (const Instruction& instr : query_)
+    elements_.push_back(instr.decode());
+
+  mapping_ =
+      map_design(config_.device, query_.size(), config_.mapper, config_.axi);
+  if (!mapping_.feasible)
+    throw std::invalid_argument{
+        "Accelerator: query does not fit the device even fully segmented"};
+  return mapping_;
+}
+
+AcceleratorRun Accelerator::run(
+    const bio::PackedNucleotides& reference) const {
+  if (query_.empty())
+    throw std::logic_error{"Accelerator: no query loaded"};
+
+  AcceleratorRun out;
+  out.mapping = mapping_;
+  const std::size_t lq = query_.size();
+  const std::size_t lr = reference.size();
+  if (lr < lq) {
+    finalize_timing(out, lr);
+    return out;
+  }
+
+  const std::size_t elements_per_beat = bio::kElementsPerBeat;
+  const std::size_t total_beats = reference.beat_count();
+  const std::size_t last_position = lr - lq;  // inclusive
+
+  // Reference Stream buffer: previous L_q tail + the incoming 256 elements
+  // (§III-C: L_ref_stream = L_q + 256).  Front-padded with A for beat 0.
+  std::vector<Nucleotide> window(lq + elements_per_beat, Nucleotide::A);
+
+  hw::AxiReadStream axi{config_.axi};
+  constexpr std::size_t kFifoDepth = 8;  // AXI read FIFO, in beat groups
+  const std::size_t channels = std::max<std::size_t>(1, mapping_.channels);
+  const std::size_t total_groups = util::ceil_div(total_beats, channels);
+  std::size_t fetched_groups = 0, fifo = 0, busy = 0;
+
+  for (std::size_t beat = 0; beat < total_beats; ++beat) {
+    // Beats arrive in lockstep groups of `channels` per cycle; the AXI
+    // side refills the FIFO every cycle it can, so when the datapath is
+    // segmented (busy cycles) DRAM stalls hide behind compute.  Cycle
+    // accounting happens once per group; one iteration of the inner loop
+    // = one cycle.
+    if (beat % channels == 0) {
+      for (;;) {
+        if (fetched_groups < total_groups && fifo < kFifoDepth &&
+            axi.advance()) {
+          ++fifo;
+          ++fetched_groups;
+        }
+        if (busy > 0) {
+          --busy;
+          ++out.compute_cycles;
+          continue;
+        }
+        if (fifo == 0) {
+          ++out.stall_cycles;
+          continue;
+        }
+        break;  // a group is ready and the datapath is free: consume it
+      }
+      --fifo;
+      busy = mapping_.segments - 1;
+    }
+    ++out.beats;
+
+    // Shift the tail and load the 256 new elements from the beat words.
+    std::copy(window.end() - static_cast<std::ptrdiff_t>(lq), window.end(),
+              window.begin());
+    const auto words = reference.beat(beat);
+    for (std::size_t k = 0; k < elements_per_beat; ++k) {
+      const std::uint64_t word = words[k / 32];
+      const unsigned shift = 2 * static_cast<unsigned>(k % 32);
+      window[lq + k] = bio::nucleotide_from_code(
+          static_cast<std::uint8_t>((word >> shift) & 3));
+    }
+
+    // Alignment positions completed by this beat: p needs elements
+    // [p, p+lq) and those must all have arrived (p + lq <= end) with the
+    // last one arriving in *this* beat (p + lq > end - 256).
+    const std::size_t window_start_abs = beat * elements_per_beat;
+    const auto end = static_cast<std::ptrdiff_t>(window_start_abs +
+                                                 elements_per_beat);
+    const auto slq = static_cast<std::ptrdiff_t>(lq);
+    const std::ptrdiff_t first_abs = std::max<std::ptrdiff_t>(
+        0, end - static_cast<std::ptrdiff_t>(elements_per_beat) - slq + 1);
+    const std::ptrdiff_t last_abs = std::min<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(last_position), end - slq);
+
+    if (first_abs <= last_abs) {
+      for (std::size_t p = static_cast<std::size_t>(first_abs);
+           p <= static_cast<std::size_t>(last_abs); ++p) {
+        // Window index of absolute element a: a - (window_start_abs - lq).
+        const std::size_t base = p + lq - window_start_abs;
+        std::uint32_t score = 0;
+        if (config_.use_lut_path) {
+          for (std::size_t i = 0; i < lq; ++i) {
+            const Nucleotide r = window[base + i];
+            const Nucleotide im1 =
+                base + i >= 1 ? window[base + i - 1] : Nucleotide::A;
+            const Nucleotide im2 =
+                base + i >= 2 ? window[base + i - 2] : Nucleotide::A;
+            if (comparator_eval(query_[i], r, im1, im2)) ++score;
+          }
+        } else {
+          for (std::size_t i = 0; i < lq; ++i) {
+            const Nucleotide r = window[base + i];
+            const Nucleotide im1 =
+                base + i >= 1 ? window[base + i - 1] : Nucleotide::A;
+            const Nucleotide im2 =
+                base + i >= 2 ? window[base + i - 2] : Nucleotide::A;
+            if (elements_[i].matches(r, im1, im2)) ++score;
+          }
+        }
+        if (score >= config_.threshold) out.hits.push_back(Hit{p, score});
+      }
+    }
+
+  }
+  out.compute_cycles += busy;  // drain the last beat's segment cycles
+
+  finalize_timing(out, lr);
+  return out;
+}
+
+AcceleratorRun Accelerator::estimate(std::size_t reference_elements,
+                                     double expected_hit_density) const {
+  if (query_.empty())
+    throw std::logic_error{"Accelerator: no query loaded"};
+  AcceleratorRun out;
+  out.mapping = mapping_;
+  out.beats = util::ceil_div(reference_elements, bio::kElementsPerBeat);
+  // Steady state of the FIFO-overlapped pipeline: beats arrive in groups
+  // of `channels` per cycle; cycles per group = max(1/efficiency,
+  // segments); stalls only surface when the AXI side is slower than the
+  // segmented datapath.
+  const std::size_t groups =
+      util::ceil_div(out.beats, std::max<std::size_t>(1, mapping_.channels));
+  const double axi_eff = mapping_.axi_efficiency;
+  const double segs = static_cast<double>(mapping_.segments);
+  const double per_group = std::max(1.0 / axi_eff, segs);
+  out.compute_cycles = groups * (mapping_.segments - 1);
+  out.stall_cycles = static_cast<std::size_t>(std::llround(
+      static_cast<double>(groups) * (per_group - segs)));
+  const double hits = expected_hit_density *
+                      static_cast<double>(reference_elements);
+  out.hits.clear();
+  out.wb_cycles = static_cast<std::size_t>(std::llround(
+      hits * static_cast<double>(config_.wb_bytes_per_hit) / 64.0));
+  out.cycles = groups + out.stall_cycles + out.compute_cycles +
+               out.wb_cycles + config_.pipeline_depth;
+  const double freq = config_.device.clock_hz;
+  out.kernel_seconds = static_cast<double>(out.cycles) / freq;
+  out.effective_bandwidth_bps =
+      (static_cast<double>(reference_elements) / 4.0) / out.kernel_seconds;
+  const hw::FpgaPowerModel power{config_.power};
+  out.watts = power.watts(config_.device, mapping_.used, mapping_.channels);
+  out.joules = out.watts * out.kernel_seconds;
+  return out;
+}
+
+void Accelerator::finalize_timing(AcceleratorRun& out,
+                                  std::size_t reference_elements) const {
+  out.wb_cycles = util::ceil_div(
+      out.hits.size() * config_.wb_bytes_per_hit, 64);
+  const std::size_t groups =
+      util::ceil_div(out.beats, std::max<std::size_t>(1, mapping_.channels));
+  out.cycles = groups + out.stall_cycles + out.compute_cycles +
+               out.wb_cycles + config_.pipeline_depth;
+  out.kernel_seconds =
+      static_cast<double>(out.cycles) / config_.device.clock_hz;
+  out.effective_bandwidth_bps =
+      out.kernel_seconds == 0.0
+          ? 0.0
+          : (static_cast<double>(reference_elements) / 4.0) /
+                out.kernel_seconds;
+  const hw::FpgaPowerModel power{config_.power};
+  out.watts = power.watts(config_.device, mapping_.used, mapping_.channels);
+  out.joules = out.watts * out.kernel_seconds;
+}
+
+}  // namespace fabp::core

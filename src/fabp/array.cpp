@@ -1,0 +1,94 @@
+#include "fabp/core/array.hpp"
+
+#include <stdexcept>
+
+#include "fabp/core/comparator.hpp"
+#include "fabp/util/bitops.hpp"
+
+namespace fabp::core {
+
+ArrayPorts build_instance_array(hw::Netlist& netlist,
+                                const ArrayConfig& config) {
+  if (config.elements == 0 || config.instances == 0)
+    throw std::invalid_argument{"instance array: zero dimensions"};
+
+  ArrayPorts ports;
+  ports.query.resize(config.elements);
+  for (auto& q : ports.query)
+    for (auto& bit : q) bit = netlist.add_input();
+
+  const std::size_t window_elements =
+      2 + config.elements + config.instances - 1;
+  ports.window.resize(window_elements);
+  for (auto& w : ports.window)
+    for (auto& bit : w) bit = netlist.add_input();
+
+  for (std::size_t k = 0; k < config.instances; ++k) {
+    // Instance k's comparator column over shared window nets.
+    std::vector<hw::NetId> matches;
+    matches.reserve(config.elements);
+    for (std::size_t i = 0; i < config.elements; ++i) {
+      const auto& r = ports.window[k + i + 2];
+      const auto& r1 = ports.window[k + i + 1];
+      const auto& r2 = ports.window[k + i];
+      matches.push_back(build_comparator_on(
+          netlist, ports.query[i], r[0], r[1], r1[1], r2[1], r2[0]));
+    }
+    if (config.pipelined)
+      for (auto& net : matches) net = netlist.add_ff(net);
+
+    hw::Bus score = hw::build_popcounter_handcrafted(netlist, matches);
+    if (config.pipelined)
+      for (auto& net : score) net = netlist.add_ff(net);
+
+    // Threshold compare (carry chain), as in the single instance.
+    const std::size_t n = score.size();
+    const std::uint64_t max_score = std::uint64_t{1} << n;
+    hw::NetId hit;
+    if (config.threshold == 0) {
+      hit = netlist.add_const(true);
+    } else if (config.threshold >= max_score) {
+      hit = netlist.add_const(false);
+    } else {
+      const std::uint64_t constant = max_score - config.threshold;
+      hw::Bus const_bus;
+      for (std::size_t b = 0; b < n; ++b)
+        const_bus.push_back(netlist.add_const(((constant >> b) & 1) != 0));
+      const hw::Bus sum = hw::add_buses(netlist, const_bus, score);
+      hit = sum[n];
+    }
+    ports.scores.push_back(std::move(score));
+    ports.hits.push_back(hit);
+  }
+  return ports;
+}
+
+std::vector<std::uint32_t> simulate_array(
+    hw::Netlist& netlist, const ArrayPorts& ports, const ArrayConfig& config,
+    const EncodedQuery& query, std::span<const bio::Nucleotide> window) {
+  if (query.size() != config.elements ||
+      window.size() != ports.window.size())
+    throw std::invalid_argument{"simulate_array: size mismatch"};
+
+  for (std::size_t i = 0; i < query.size(); ++i)
+    for (unsigned b = 0; b < 6; ++b)
+      netlist.set_input(ports.query[i][b], query[i].bit(b));
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const std::uint8_t code = bio::code(window[i]);
+    netlist.set_input(ports.window[i][0], (code & 1) != 0);
+    netlist.set_input(ports.window[i][1], (code & 2) != 0);
+  }
+  netlist.settle();
+  if (config.pipelined) {
+    netlist.clock();
+    netlist.clock();
+  }
+  std::vector<std::uint32_t> scores;
+  scores.reserve(ports.scores.size());
+  for (const hw::Bus& score : ports.scores)
+    scores.push_back(
+        static_cast<std::uint32_t>(hw::read_bus(netlist, score)));
+  return scores;
+}
+
+}  // namespace fabp::core

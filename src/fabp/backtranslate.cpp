@@ -1,0 +1,198 @@
+#include "fabp/core/backtranslate.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fabp::core {
+
+using bio::AminoAcid;
+using bio::Nucleotide;
+
+bool BackElement::matches(Nucleotide ref, Nucleotide ref_im1,
+                          Nucleotide ref_im2) const noexcept {
+  switch (type) {
+    case ElementType::ExactI:
+      return ref == exact;
+    case ElementType::ConditionalII:
+      switch (cond) {
+        // With the paper's 2-bit codes (A=00,C=01,G=10,U=11) the pyrimidine
+        // set {C,U} is exactly "LSB set" and the purine set {A,G} "LSB
+        // clear"; {A,C} is "MSB clear".
+        case Condition::UorC: return (bio::code(ref) & 0b01) != 0;
+        case Condition::AorG: return (bio::code(ref) & 0b01) == 0;
+        case Condition::NotG: return ref != Nucleotide::G;
+        case Condition::AorC: return (bio::code(ref) & 0b10) == 0;
+      }
+      return false;
+    case ElementType::DependentIII: {
+      const bool im1_msb = (bio::code(ref_im1) & 0b10) != 0;
+      const bool im2_msb = (bio::code(ref_im2) & 0b10) != 0;
+      const bool im2_lsb = (bio::code(ref_im2) & 0b01) != 0;
+      switch (func) {
+        case Function::Stop3:
+          // ref[i-1] == A (MSB 0): third may be A or G; == G (MSB 1): A only.
+          return im1_msb ? ref == Nucleotide::A
+                         : (bio::code(ref) & 0b01) == 0;
+        case Function::Leu3:
+          // ref[i-2] == C (MSB 0): any; == U (MSB 1): A or G.
+          return im2_msb ? (bio::code(ref) & 0b01) == 0 : true;
+        case Function::Arg3:
+          // ref[i-2] == A (LSB 0): A or G; == C (LSB 1): any.
+          return im2_lsb ? true : (bio::code(ref) & 0b01) == 0;
+        case Function::AnyD:
+          return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+constexpr Nucleotide A = Nucleotide::A;
+constexpr Nucleotide C = Nucleotide::C;
+constexpr Nucleotide G = Nucleotide::G;
+constexpr Nucleotide U = Nucleotide::U;
+
+CodonTemplate exact3(Nucleotide a, Nucleotide b, Nucleotide c) {
+  return CodonTemplate{{BackElement::make_exact(a),
+                        BackElement::make_exact(b),
+                        BackElement::make_exact(c)}};
+}
+
+CodonTemplate exact2_cond(Nucleotide a, Nucleotide b, Condition c) {
+  return CodonTemplate{{BackElement::make_exact(a),
+                        BackElement::make_exact(b),
+                        BackElement::make_conditional(c)}};
+}
+
+CodonTemplate exact2_any(Nucleotide a, Nucleotide b) {
+  return CodonTemplate{{BackElement::make_exact(a),
+                        BackElement::make_exact(b),
+                        BackElement::make_dependent(Function::AnyD)}};
+}
+
+struct TemplateTable {
+  std::array<CodonTemplate, bio::kAminoAcidCount> table;
+
+  TemplateTable() {
+    auto set = [&](AminoAcid aa, CodonTemplate t) {
+      table[bio::index(aa)] = t;
+    };
+    // Four-codon boxes: XY + D.
+    set(AminoAcid::Ala, exact2_any(G, C));
+    set(AminoAcid::Gly, exact2_any(G, G));
+    set(AminoAcid::Pro, exact2_any(C, C));
+    set(AminoAcid::Thr, exact2_any(A, C));
+    set(AminoAcid::Val, exact2_any(G, U));
+    set(AminoAcid::Ser, exact2_any(U, C));  // UCD only; AGY dropped (paper)
+    // Two-codon boxes: XY + U/C or A/G.
+    set(AminoAcid::Phe, exact2_cond(U, U, Condition::UorC));
+    set(AminoAcid::Tyr, exact2_cond(U, A, Condition::UorC));
+    set(AminoAcid::Cys, exact2_cond(U, G, Condition::UorC));
+    set(AminoAcid::His, exact2_cond(C, A, Condition::UorC));
+    set(AminoAcid::Asn, exact2_cond(A, A, Condition::UorC));
+    set(AminoAcid::Asp, exact2_cond(G, A, Condition::UorC));
+    set(AminoAcid::Gln, exact2_cond(C, A, Condition::AorG));
+    set(AminoAcid::Lys, exact2_cond(A, A, Condition::AorG));
+    set(AminoAcid::Glu, exact2_cond(G, A, Condition::AorG));
+    // Ile: AU + anything-but-G.
+    set(AminoAcid::Ile, exact2_cond(A, U, Condition::NotG));
+    // Met / Trp: unique codons.
+    set(AminoAcid::Met, exact3(A, U, G));
+    set(AminoAcid::Trp, exact3(U, G, G));
+    // Leu: (U/C) U (F:01)  — covers CUN plus UUR.
+    set(AminoAcid::Leu,
+        CodonTemplate{{BackElement::make_conditional(Condition::UorC),
+                       BackElement::make_exact(U),
+                       BackElement::make_dependent(Function::Leu3)}});
+    // Arg: (A/C) G (F:10)  — covers CGN plus AGR.
+    set(AminoAcid::Arg,
+        CodonTemplate{{BackElement::make_conditional(Condition::AorC),
+                       BackElement::make_exact(G),
+                       BackElement::make_dependent(Function::Arg3)}});
+    // Stop: U (A/G) (F:00)  — covers UAA/UAG/UGA.
+    set(AminoAcid::Stop,
+        CodonTemplate{{BackElement::make_exact(U),
+                       BackElement::make_conditional(Condition::AorG),
+                       BackElement::make_dependent(Function::Stop3)}});
+  }
+};
+
+const TemplateTable& templates() {
+  static const TemplateTable instance;
+  return instance;
+}
+
+}  // namespace
+
+const CodonTemplate& codon_template(AminoAcid aa) noexcept {
+  return templates().table[bio::index(aa)];
+}
+
+bool template_accepts(AminoAcid aa, const bio::Codon& codon) noexcept {
+  const CodonTemplate& t = codon_template(aa);
+  // Element i aligns with codon base i; dependencies look back within the
+  // same codon (Type III only occurs at position 2).
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Nucleotide im1 = i >= 1 ? codon[i - 1] : Nucleotide::A;
+    const Nucleotide im2 = i >= 2 ? codon[i - 2] : Nucleotide::A;
+    if (!t[i].matches(codon[i], im1, im2)) return false;
+  }
+  return true;
+}
+
+std::vector<BackElement> back_translate(const bio::ProteinSequence& protein) {
+  std::vector<BackElement> elements;
+  elements.reserve(protein.size() * 3);
+  for (AminoAcid aa : protein) {
+    const CodonTemplate& t = codon_template(aa);
+    elements.push_back(t[0]);
+    elements.push_back(t[1]);
+    elements.push_back(t[2]);
+  }
+  return elements;
+}
+
+bio::NucleotideSequence random_template_coding(
+    const bio::ProteinSequence& protein, util::Xoshiro256& rng) {
+  bio::NucleotideSequence rna{bio::SeqKind::Rna};
+  rna.bases().reserve(protein.size() * 3);
+  for (AminoAcid aa : protein) {
+    std::vector<bio::Codon> accepted;
+    for (const bio::Codon& c : bio::codons_for(aa))
+      if (template_accepts(aa, c)) accepted.push_back(c);
+    const bio::Codon codon = accepted[rng.bounded(accepted.size())];
+    rna.push_back(codon.first);
+    rna.push_back(codon.second);
+    rna.push_back(codon.third);
+  }
+  return rna;
+}
+
+std::string to_string(const BackElement& element) {
+  switch (element.type) {
+    case ElementType::ExactI:
+      return std::string(1, bio::to_char_rna(element.exact));
+    case ElementType::ConditionalII:
+      switch (element.cond) {
+        case Condition::UorC: return "U/C";
+        case Condition::AorG: return "A/G";
+        case Condition::NotG: return "G-bar";
+        case Condition::AorC: return "A/C";
+      }
+      return "?";
+    case ElementType::DependentIII:
+      switch (element.func) {
+        case Function::Stop3: return "F:00";
+        case Function::Leu3: return "F:01";
+        case Function::Arg3: return "F:10";
+        case Function::AnyD: return "D";
+      }
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace fabp::core

@@ -1,0 +1,81 @@
+#include "fabp/core/encoding.hpp"
+
+#include <stdexcept>
+
+namespace fabp::core {
+
+namespace {
+
+ConfigSel config_for(Function f) noexcept {
+  switch (f) {
+    case Function::Stop3: return ConfigSel::RefIm1Msb;
+    case Function::Leu3: return ConfigSel::RefIm2Msb;
+    case Function::Arg3: return ConfigSel::RefIm2Lsb;
+    case Function::AnyD: return ConfigSel::None;
+  }
+  return ConfigSel::None;
+}
+
+}  // namespace
+
+Instruction Instruction::encode(const BackElement& element) noexcept {
+  std::uint8_t bits = 0;
+  switch (element.type) {
+    case ElementType::ExactI:
+      bits = static_cast<std::uint8_t>(0b00'00'00 |
+                                       (bio::code(element.exact) << 2));
+      break;
+    case ElementType::ConditionalII:
+      bits = static_cast<std::uint8_t>(
+          0b01'00'00 | (static_cast<std::uint8_t>(element.cond) << 2));
+      break;
+    case ElementType::DependentIII:
+      bits = static_cast<std::uint8_t>(
+          0b10'00'00 | (static_cast<std::uint8_t>(element.func) << 3) |
+          static_cast<std::uint8_t>(config_for(element.func)));
+      break;
+  }
+  return Instruction{bits};
+}
+
+BackElement Instruction::decode() const {
+  if (is_dependent()) {
+    if (bit(2))
+      throw std::invalid_argument{"Instruction: Type III with b2 set"};
+    const auto func = static_cast<Function>(payload());
+    if (config() != config_for(func))
+      throw std::invalid_argument{
+          "Instruction: config does not match the Type III function"};
+    return BackElement::make_dependent(func);
+  }
+  if (config() != ConfigSel::None)
+    throw std::invalid_argument{"Instruction: Type I/II with nonzero config"};
+  if (is_exact())
+    return BackElement::make_exact(bio::nucleotide_from_code(payload()));
+  return BackElement::make_conditional(static_cast<Condition>(payload()));
+}
+
+std::string Instruction::to_binary_string() const {
+  std::string text(6, '0');
+  for (unsigned i = 0; i < 6; ++i)
+    if (bit(5 - i)) text[i] = '1';
+  return text;
+}
+
+EncodedQuery encode_query(const bio::ProteinSequence& protein) {
+  return encode_elements(back_translate(protein));
+}
+
+EncodedQuery encode_elements(const std::vector<BackElement>& elements) {
+  EncodedQuery query;
+  query.reserve(elements.size());
+  for (const BackElement& e : elements)
+    query.push_back(Instruction::encode(e));
+  return query;
+}
+
+std::size_t encoded_query_bits(const EncodedQuery& query) noexcept {
+  return query.size() * 6;
+}
+
+}  // namespace fabp::core

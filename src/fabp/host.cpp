@@ -1,0 +1,123 @@
+#include "fabp/core/host.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fabp/core/querypack.hpp"
+
+namespace fabp::core {
+
+Session::Session(HostConfig config) : config_{std::move(config)} {}
+
+void Session::upload_reference(const bio::NucleotideSequence& reference) {
+  upload_reference(bio::PackedNucleotides{reference});
+}
+
+void Session::upload_reference(bio::PackedNucleotides reference) {
+  reference_ = std::move(reference);
+  reference_uploaded_ = true;
+  reverse_ = bio::PackedNucleotides{};
+  if (config_.search_both_strands) {
+    // Host-side preparation: the reverse-complement copy the card streams
+    // for the second pass.
+    bio::NucleotideSequence rc =
+        reference_.unpack(bio::SeqKind::Dna).reverse_complement();
+    reverse_ = bio::PackedNucleotides{rc};
+  }
+}
+
+HostRunReport Session::align(const bio::ProteinSequence& query,
+                             std::uint32_t threshold) {
+  if (!reference_uploaded_)
+    throw std::logic_error{"Session: no reference uploaded"};
+
+  AcceleratorConfig acc_config = config_.accelerator;
+  acc_config.threshold = threshold;
+  Accelerator accelerator{acc_config};
+  accelerator.load_query(query);
+  AcceleratorRun run = accelerator.run(reference_);
+
+  std::vector<Hit> reverse_hits;
+  if (config_.search_both_strands) {
+    AcceleratorRun rc_run = accelerator.run(reverse_);
+    // Map RC positions back to forward coordinates of the window start.
+    const std::size_t lr = reference_.size();
+    const std::size_t lq = accelerator.encoded_query().size();
+    for (const Hit& hit : rc_run.hits)
+      reverse_hits.push_back(Hit{lr - hit.position - lq, hit.score});
+    std::sort(reverse_hits.begin(), reverse_hits.end());
+    // Account the second pass in the kernel time.
+    run.cycles += rc_run.cycles;
+    run.kernel_seconds += rc_run.kernel_seconds;
+    run.joules += rc_run.joules;
+  }
+
+  HostRunReport report =
+      finish(query, std::move(run), reference_.byte_size());
+  report.reverse_hits = std::move(reverse_hits);
+  return report;
+}
+
+HostRunReport Session::estimate(const bio::ProteinSequence& query,
+                                std::uint32_t threshold,
+                                std::size_t bytes) const {
+  AcceleratorConfig acc_config = config_.accelerator;
+  acc_config.threshold = threshold;
+  Accelerator accelerator{acc_config};
+  accelerator.load_query(query);
+  AcceleratorRun run = accelerator.estimate(bytes * 4 /* elements */);
+  return finish(query, std::move(run), bytes);
+}
+
+Session::BatchReport Session::align_batch(
+    std::span<const bio::ProteinSequence> queries,
+    double threshold_fraction) {
+  BatchReport batch;
+  batch.per_query.reserve(queries.size());
+  for (const bio::ProteinSequence& query : queries) {
+    const auto threshold = static_cast<std::uint32_t>(
+        threshold_fraction * static_cast<double>(query.size() * 3));
+    HostRunReport report = align(query, threshold);
+    batch.total_s += report.total_s;
+    batch.total_joules += report.joules;
+    batch.total_hits += report.hits.size();
+    batch.per_query.push_back(std::move(report));
+  }
+  batch.queries_per_second =
+      batch.total_s > 0.0
+          ? static_cast<double>(queries.size()) / batch.total_s
+          : 0.0;
+  return batch;
+}
+
+HostRunReport Session::finish(const bio::ProteinSequence& query,
+                              AcceleratorRun run,
+                              std::size_t reference_bytes) const {
+  HostRunReport report;
+  report.mapping = run.mapping;
+  report.hits = std::move(run.hits);
+
+  const double pcie = config_.pcie_bandwidth_bps;
+  const double ref_bytes = static_cast<double>(reference_bytes);
+  report.reference_transfer_s =
+      config_.reference_resident ? 0.0 : ref_bytes / pcie;
+
+  // Encoded query as transferred: 6-bit instructions packed into words.
+  const PackedQuery packed{encode_query(query)};
+  const auto query_bytes = static_cast<double>(packed.byte_size());
+  report.query_transfer_s = query_bytes / pcie + config_.invoke_overhead_s;
+
+  report.kernel_s = run.kernel_seconds;
+
+  const double result_bytes =
+      static_cast<double>(report.hits.size()) * 8.0 + 64.0;
+  report.readback_s = result_bytes / pcie;
+
+  report.total_s = report.reference_transfer_s + report.query_transfer_s +
+                   report.kernel_s + report.readback_s;
+  report.watts = run.watts;
+  report.joules = run.watts * report.total_s;
+  return report;
+}
+
+}  // namespace fabp::core

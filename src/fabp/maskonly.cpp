@@ -1,0 +1,61 @@
+#include "fabp/core/maskonly.hpp"
+
+namespace fabp::core {
+
+std::uint8_t position_mask(bio::AminoAcid aa, std::size_t position) noexcept {
+  std::uint8_t mask = 0;
+  for (const bio::Codon& c : bio::codons_for(aa))
+    mask |= static_cast<std::uint8_t>(1u << bio::code(c[position]));
+  return mask;
+}
+
+MaskQuery mask_encode(const bio::ProteinSequence& protein) {
+  MaskQuery query;
+  query.reserve(protein.size() * 3);
+  for (bio::AminoAcid aa : protein)
+    for (std::size_t p = 0; p < 3; ++p)
+      query.push_back(position_mask(aa, p));
+  return query;
+}
+
+std::uint32_t mask_score_at(const MaskQuery& query,
+                            const bio::NucleotideSequence& ref,
+                            std::size_t position) {
+  std::uint32_t score = 0;
+  for (std::size_t i = 0; i < query.size(); ++i)
+    if (query[i] & (1u << bio::code(ref[position + i]))) ++score;
+  return score;
+}
+
+std::vector<Hit> mask_hits(const MaskQuery& query,
+                           const bio::NucleotideSequence& ref,
+                           std::uint32_t threshold) {
+  std::vector<Hit> hits;
+  if (query.empty() || ref.size() < query.size()) return hits;
+  for (std::size_t p = 0; p + query.size() <= ref.size(); ++p) {
+    const std::uint32_t score = mask_score_at(query, ref, p);
+    if (score >= threshold) hits.push_back(Hit{p, score});
+  }
+  return hits;
+}
+
+std::size_t mask_accepted_codons(bio::AminoAcid aa) {
+  std::size_t accepted = 0;
+  for (std::uint8_t i = 0; i < bio::kCodonCount; ++i) {
+    const bio::Codon c = bio::Codon::from_dense_index(i);
+    bool all = true;
+    for (std::size_t p = 0; p < 3; ++p)
+      if ((position_mask(aa, p) & (1u << bio::code(c[p]))) == 0) all = false;
+    if (all) ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t template_accepted_codons(bio::AminoAcid aa) {
+  std::size_t accepted = 0;
+  for (std::uint8_t i = 0; i < bio::kCodonCount; ++i)
+    if (template_accepts(aa, bio::Codon::from_dense_index(i))) ++accepted;
+  return accepted;
+}
+
+}  // namespace fabp::core

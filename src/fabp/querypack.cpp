@@ -1,0 +1,37 @@
+#include "fabp/core/querypack.hpp"
+
+#include "fabp/util/bitops.hpp"
+
+namespace fabp::core {
+
+PackedQuery::PackedQuery(const EncodedQuery& query) : size_{query.size()} {
+  words_.assign(util::ceil_div(size_ * 6, 64), 0);
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    const std::size_t bit = i * 6;
+    const std::size_t word = bit / 64;
+    const unsigned shift = static_cast<unsigned>(bit % 64);
+    const auto value = static_cast<std::uint64_t>(query[i].bits());
+    words_[word] |= value << shift;
+    if (shift > 58)  // instruction straddles a word boundary
+      words_[word + 1] |= value >> (64 - shift);
+  }
+}
+
+Instruction PackedQuery::get(std::size_t i) const noexcept {
+  const std::size_t bit = i * 6;
+  const std::size_t word = bit / 64;
+  const unsigned shift = static_cast<unsigned>(bit % 64);
+  std::uint64_t value = words_[word] >> shift;
+  if (shift > 58 && word + 1 < words_.size())
+    value |= words_[word + 1] << (64 - shift);
+  return Instruction{static_cast<std::uint8_t>(value & 0b111111)};
+}
+
+EncodedQuery PackedQuery::unpack() const {
+  EncodedQuery query;
+  query.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) query.push_back(get(i));
+  return query;
+}
+
+}  // namespace fabp::core

@@ -1,0 +1,95 @@
+#include "fabp/core/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fabp/bio/translation.hpp"
+
+namespace fabp::core {
+
+std::vector<AnnotatedHit> annotate_hits(const std::vector<Hit>& hits,
+                                        const bio::ReferenceDatabase& db,
+                                        const bio::ProteinSequence& query,
+                                        const AnnotateOptions& options) {
+  std::vector<AnnotatedHit> out;
+  const std::size_t elements = query.size() * 3;
+  if (elements == 0) return out;
+
+  const int self_score = [&] {
+    const auto& m = align::SubstitutionMatrix::blosum62();
+    int s = 0;
+    for (bio::AminoAcid aa : query) s += m.score(aa, aa);
+    return s;
+  }();
+
+  for (const Hit& hit : hits) {
+    if (!db.window_within_record(hit.position, elements)) continue;
+    const auto loc = db.locate(hit.position);
+
+    AnnotatedHit annotated;
+    annotated.raw = hit;
+    annotated.record = loc->record;
+    annotated.record_offset = loc->offset;
+    annotated.identity =
+        static_cast<double>(hit.score) / static_cast<double>(elements);
+
+    // In-frame translation of the matched window (the back-translated
+    // query aligns codon-for-codon by construction).
+    bio::NucleotideSequence window{bio::SeqKind::Rna};
+    for (std::size_t i = 0; i < elements; ++i)
+      window.push_back(db.packed().get(hit.position + i));
+    annotated.peptide = bio::translate(window);
+
+    if (options.confirm_with_sw) {
+      annotated.blosum_score = align::smith_waterman_score(
+          query, annotated.peptide, align::SubstitutionMatrix::blosum62());
+      annotated.confirmed = true;
+      if (options.min_sw_fraction > 0.0 &&
+          annotated.blosum_score <
+              options.min_sw_fraction * static_cast<double>(self_score))
+        continue;
+    }
+    out.push_back(std::move(annotated));
+  }
+
+  // Deduplicate near-identical offsets: keep the best-scoring hit within
+  // each dedup window on the same record.
+  if (options.dedup_window > 0 && !out.empty()) {
+    std::sort(out.begin(), out.end(),
+              [](const AnnotatedHit& a, const AnnotatedHit& b) {
+                return std::tie(a.record, a.record_offset) <
+                       std::tie(b.record, b.record_offset);
+              });
+    std::vector<AnnotatedHit> deduped;
+    for (AnnotatedHit& hit : out) {
+      if (!deduped.empty() && deduped.back().record == hit.record &&
+          hit.record_offset - deduped.back().record_offset <
+              options.dedup_window) {
+        if (hit.raw.score > deduped.back().raw.score)
+          deduped.back() = std::move(hit);
+        continue;
+      }
+      deduped.push_back(std::move(hit));
+    }
+    out = std::move(deduped);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const AnnotatedHit& a, const AnnotatedHit& b) {
+              if (a.identity != b.identity) return a.identity > b.identity;
+              return std::tie(a.record, a.record_offset) <
+                     std::tie(b.record, b.record_offset);
+            });
+  return out;
+}
+
+std::string to_string(const AnnotatedHit& hit,
+                      const bio::ReferenceDatabase& db) {
+  std::ostringstream os;
+  os << "rec=" << db.name(hit.record) << " off=" << hit.record_offset
+     << " id=" << static_cast<int>(hit.identity * 1000) / 10.0 << "%";
+  if (hit.confirmed) os << " sw=" << hit.blosum_score;
+  return os.str();
+}
+
+}  // namespace fabp::core

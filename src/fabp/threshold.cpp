@@ -1,0 +1,73 @@
+#include "fabp/core/threshold.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace fabp::core {
+
+double element_match_probability(const BackElement& element) noexcept {
+  switch (element.type) {
+    case ElementType::ExactI:
+      return 0.25;
+    case ElementType::ConditionalII:
+      switch (element.cond) {
+        case Condition::UorC:
+        case Condition::AorG:
+        case Condition::AorC: return 0.5;
+        case Condition::NotG: return 0.75;
+      }
+      return 0.5;
+    case ElementType::DependentIII:
+      switch (element.func) {
+        // Averaged over a uniformly random history element.
+        case Function::Stop3: return 0.375;  // (1/2 + 1/4) / 2
+        case Function::Leu3: return 0.75;    // (1 + 1/2) / 2
+        case Function::Arg3: return 0.75;
+        case Function::AnyD: return 1.0;
+      }
+      return 1.0;
+  }
+  return 0.25;
+}
+
+double ScoreStatistics::stddev() const noexcept { return std::sqrt(variance); }
+
+double ScoreStatistics::false_positive_rate(std::uint32_t threshold) const {
+  if (threshold == 0) return 1.0;
+  if (static_cast<double>(threshold) > static_cast<double>(elements))
+    return 0.0;
+  if (variance <= 0.0)
+    return static_cast<double>(threshold) <= mean ? 1.0 : 0.0;
+  // Normal approximation with continuity correction:
+  // P(S >= t) ~= Q((t - 0.5 - mean) / sd).
+  const double z = (static_cast<double>(threshold) - 0.5 - mean) / stddev();
+  return 0.5 * std::erfc(z / std::numbers::sqrt2);
+}
+
+ScoreStatistics score_statistics(const std::vector<BackElement>& query) {
+  ScoreStatistics stats;
+  stats.elements = query.size();
+  for (const BackElement& e : query) {
+    const double p = element_match_probability(e);
+    stats.mean += p;
+    stats.variance += p * (1.0 - p);
+  }
+  return stats;
+}
+
+std::uint32_t threshold_for_expected_hits(
+    const std::vector<BackElement>& query, std::size_t reference_elements,
+    double expected_hits) {
+  const ScoreStatistics stats = score_statistics(query);
+  const double offsets = static_cast<double>(
+      reference_elements > query.size()
+          ? reference_elements - query.size() + 1
+          : 1);
+  const double target_fpr =
+      expected_hits <= 0.0 ? 0.0 : expected_hits / offsets;
+  for (std::uint32_t t = 0; t <= query.size(); ++t)
+    if (stats.false_positive_rate(t) <= target_fpr) return t;
+  return static_cast<std::uint32_t>(query.size()) + 1;  // unreachable FPR
+}
+
+}  // namespace fabp::core

@@ -1,0 +1,48 @@
+#include "fabp/hw/axi.hpp"
+
+namespace fabp::hw {
+
+bool AxiReadStream::advance() noexcept {
+  ++cycles_;
+  if (stall_left_ > 0) {
+    --stall_left_;
+    return false;
+  }
+  ++beats_;
+  ++in_burst_;
+
+  // Schedule stalls *after* this beat if it closed a burst or a page.
+  if (config_.page_beats != 0 && beats_ % config_.page_beats == 0) {
+    stall_left_ += config_.page_miss_penalty;
+    in_burst_ = 0;
+  } else if (config_.burst_beats != 0 && in_burst_ >= config_.burst_beats) {
+    stall_left_ += config_.inter_burst_gap;
+    in_burst_ = 0;
+  }
+  return true;
+}
+
+double AxiReadStream::steady_state_efficiency(
+    const AxiTimingConfig& c) noexcept {
+  if (c.burst_beats == 0) return 0.0;
+  // Per page: page_beats data cycles, a gap after each full burst except
+  // where the page penalty replaces it, plus the page penalty itself.
+  const double beats = static_cast<double>(c.page_beats);
+  const double bursts_per_page =
+      c.page_beats == 0 ? 1.0
+                        : static_cast<double>(c.page_beats) /
+                              static_cast<double>(c.burst_beats);
+  const double gap_cycles =
+      (bursts_per_page - 1.0) * static_cast<double>(c.inter_burst_gap) +
+      static_cast<double>(c.page_miss_penalty);
+  return beats / (beats + gap_cycles);
+}
+
+void AxiReadStream::reset() noexcept {
+  beats_ = 0;
+  cycles_ = 0;
+  in_burst_ = 0;
+  stall_left_ = 0;
+}
+
+}  // namespace fabp::hw

@@ -1,0 +1,35 @@
+#include "fabp/hw/device.hpp"
+
+namespace fabp::hw {
+
+FpgaDevice kintex7() {
+  FpgaDevice dev;
+  dev.name = "kintex7";
+  dev.capacity = ResourceBudget{
+      /*luts=*/326'000,
+      /*ffs=*/407'000,
+      /*bram_bits=*/static_cast<std::size_t>(16) * 1024 * 1024,  // 16 Mb
+      /*dsps=*/840};
+  dev.memory_channels = 1;
+  dev.axi_bits = 512;
+  dev.clock_hz = 200e6;
+  dev.channel_bandwidth_bps = 12.8e9;
+  return dev;
+}
+
+FpgaDevice virtex_ultrascale_plus() {
+  FpgaDevice dev;
+  dev.name = "vu9p";
+  dev.capacity = ResourceBudget{
+      /*luts=*/1'182'000,
+      /*ffs=*/2'364'000,
+      /*bram_bits=*/static_cast<std::size_t>(75) * 1024 * 1024,
+      /*dsps=*/6'840};
+  dev.memory_channels = 4;
+  dev.axi_bits = 512;
+  dev.clock_hz = 250e6;
+  dev.channel_bandwidth_bps = 16e9;
+  return dev;
+}
+
+}  // namespace fabp::hw

@@ -1,0 +1,15 @@
+#include "fabp/hw/lut.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace fabp::hw {
+
+std::string Lut6::init_string() const {
+  std::ostringstream os;
+  os << "64'h" << std::hex << std::uppercase << std::setfill('0')
+     << std::setw(16) << init_;
+  return os.str();
+}
+
+}  // namespace fabp::hw

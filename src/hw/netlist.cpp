@@ -1,0 +1,115 @@
+#include "fabp/hw/netlist.hpp"
+
+namespace fabp::hw {
+
+NetId Netlist::new_net(bool initial) {
+  values_.push_back(initial ? 1 : 0);
+  return static_cast<NetId>(values_.size() - 1);
+}
+
+void Netlist::check_net(NetId net) const {
+  if (net >= values_.size())
+    throw std::invalid_argument{"netlist: use of undefined net"};
+}
+
+NetId Netlist::add_input(bool initial) {
+  const NetId out = new_net(initial);
+  cells_.push_back(Cell{CellKind::Input, out, Lut6{}, {}, false});
+  return out;
+}
+
+NetId Netlist::add_const(bool value) {
+  const NetId out = new_net(value);
+  cells_.push_back(Cell{CellKind::Const, out, Lut6{}, {}, value});
+  return out;
+}
+
+NetId Netlist::add_lut(const Lut6& lut, std::span<const NetId> inputs) {
+  if (inputs.size() > 6)
+    throw std::invalid_argument{"netlist: LUT with more than 6 inputs"};
+  for (NetId in : inputs) check_net(in);
+  const NetId out = new_net(false);
+  cells_.push_back(Cell{CellKind::Lut, out, lut,
+                        std::vector<NetId>{inputs.begin(), inputs.end()},
+                        false});
+  return out;
+}
+
+NetId Netlist::add_lut(const Lut6& lut, std::initializer_list<NetId> inputs) {
+  return add_lut(lut, std::span<const NetId>{inputs.begin(), inputs.size()});
+}
+
+NetId Netlist::add_ff(NetId d, bool reset_value) {
+  check_net(d);
+  const NetId out = new_net(reset_value);
+  cells_.push_back(
+      Cell{CellKind::Ff, out, Lut6{}, std::vector<NetId>{d}, reset_value});
+  ff_cells_.push_back(cells_.size() - 1);
+  return out;
+}
+
+NetId Netlist::add_carry(NetId a, NetId b, NetId cin) {
+  check_net(a);
+  check_net(b);
+  check_net(cin);
+  const NetId out = new_net(false);
+  cells_.push_back(Cell{CellKind::Carry, out, Lut6{},
+                        std::vector<NetId>{a, b, cin}, false});
+  return out;
+}
+
+void Netlist::set_input(NetId net, bool value) {
+  check_net(net);
+  values_[net] = value ? 1 : 0;
+}
+
+void Netlist::settle() {
+  // Cells were created bottom-up, so one in-order pass fully settles the
+  // combinational logic.  FF outputs hold their registered value.
+  for (const Cell& cell : cells_) {
+    if (cell.kind == CellKind::Lut) {
+      std::uint8_t index = 0;
+      for (std::size_t i = 0; i < cell.inputs.size(); ++i)
+        if (values_[cell.inputs[i]])
+          index |= static_cast<std::uint8_t>(1u << i);
+      values_[cell.output] = cell.lut.eval(index) ? 1 : 0;
+    } else if (cell.kind == CellKind::Carry) {
+      const int ones = values_[cell.inputs[0]] + values_[cell.inputs[1]] +
+                       values_[cell.inputs[2]];
+      values_[cell.output] = ones >= 2 ? 1 : 0;
+    }
+  }
+}
+
+void Netlist::clock() {
+  // Phase 1: capture D pins; phase 2: drive Qs; then re-settle.
+  std::vector<std::uint8_t> captured(ff_cells_.size());
+  for (std::size_t i = 0; i < ff_cells_.size(); ++i)
+    captured[i] = values_[cells_[ff_cells_[i]].inputs[0]];
+  for (std::size_t i = 0; i < ff_cells_.size(); ++i)
+    values_[cells_[ff_cells_[i]].output] = captured[i];
+  settle();
+}
+
+void Netlist::reset() {
+  for (std::size_t idx : ff_cells_)
+    values_[cells_[idx].output] = cells_[idx].reset_value ? 1 : 0;
+  settle();
+}
+
+NetlistStats Netlist::stats() const noexcept {
+  NetlistStats s;
+  s.cells = cells_.size();
+  for (const Cell& cell : cells_) {
+    switch (cell.kind) {
+      case CellKind::Lut: ++s.luts; break;
+      case CellKind::Ff: ++s.ffs; break;
+      case CellKind::Carry: ++s.carries; break;
+      case CellKind::Input: ++s.inputs; break;
+      case CellKind::Const: break;
+    }
+  }
+  return s;
+}
+
+}  // namespace fabp::hw

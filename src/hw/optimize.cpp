@@ -1,0 +1,208 @@
+#include "fabp/hw/optimize.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace fabp::hw {
+
+namespace {
+
+/// Value lattice entry for an old net during the rebuild.
+struct Binding {
+  std::optional<bool> constant;  // known constant value
+  NetId net = kInvalidNet;       // otherwise: the new netlist's net
+};
+
+}  // namespace
+
+OptimizeResult optimize(const Netlist& input, std::span<const NetId> keep) {
+  OptimizeResult result;
+  result.stats.luts_before = input.stats().luts;
+  result.stats.ffs_before = input.stats().ffs;
+
+  // ---- Phase 1: liveness (backward over creation order). -----------------
+  std::vector<bool> net_live(input.net_count(), false);
+  for (NetId net : keep) net_live.at(net) = true;
+  for (std::size_t i = input.cell_count(); i-- > 0;) {
+    const auto cell = input.cell(i);
+    if (!net_live[cell.output]) continue;
+    for (NetId in : cell.inputs) net_live[in] = true;
+  }
+
+  // ---- Phase 2: forward rebuild with constant folding. -------------------
+  std::vector<Binding> bindings(input.net_count());
+  Netlist& out = result.netlist;
+
+  // Lazily materialized constant nets in the new netlist.
+  NetId const_nets[2] = {kInvalidNet, kInvalidNet};
+  const auto const_net = [&](bool value) {
+    NetId& slot = const_nets[value ? 1 : 0];
+    if (slot == kInvalidNet) slot = out.add_const(value);
+    return slot;
+  };
+  const auto as_net = [&](const Binding& b) {
+    return b.constant ? const_net(*b.constant) : b.net;
+  };
+
+  for (std::size_t i = 0; i < input.cell_count(); ++i) {
+    const auto cell = input.cell(i);
+    Binding& bound = bindings[cell.output];
+
+    switch (cell.kind) {
+      case CellKind::Input:
+        // Inputs are always re-emitted so caller-side input ordering (and
+        // therefore set_input via net_map) is preserved.
+        bound.net = out.add_input();
+        break;
+
+      case CellKind::Const:
+        bound.constant = cell.const_value;
+        break;
+
+      case CellKind::Lut: {
+        if (!net_live[cell.output]) {
+          ++result.stats.dead_cells;
+          break;
+        }
+        // Partition inputs into known constants and live signals.
+        std::vector<std::size_t> unknown;  // positions into cell.inputs
+        for (std::size_t k = 0; k < cell.inputs.size(); ++k)
+          if (!bindings[cell.inputs[k]].constant) unknown.push_back(k);
+
+        // Specialize the INIT over the unknown inputs only.
+        const std::size_t r = unknown.size();
+        std::uint64_t init = 0;
+        for (std::uint64_t assign = 0; assign < (1ULL << r); ++assign) {
+          std::uint8_t index = 0;
+          for (std::size_t k = 0; k < cell.inputs.size(); ++k) {
+            const Binding& b = bindings[cell.inputs[k]];
+            bool bit;
+            if (b.constant) {
+              bit = *b.constant;
+            } else {
+              const std::size_t pos = static_cast<std::size_t>(
+                  std::find(unknown.begin(), unknown.end(), k) -
+                  unknown.begin());
+              bit = (assign >> pos) & 1;
+            }
+            if (bit) index |= static_cast<std::uint8_t>(1u << k);
+          }
+          if (cell.lut.eval(index)) init |= 1ULL << assign;
+        }
+
+        const std::uint64_t full = (r >= 6) ? ~0ULL : ((1ULL << (1ULL << r)) - 1);
+        if ((init & full) == 0) {
+          bound.constant = false;
+          ++result.stats.folded_constants;
+          break;
+        }
+        if ((init & full) == full) {
+          bound.constant = true;
+          ++result.stats.folded_constants;
+          break;
+        }
+        // Identity of a single remaining input? (init pattern of
+        // projection onto variable p: bit set iff assign has bit p.)
+        bool aliased = false;
+        for (std::size_t p = 0; p < r && !aliased; ++p) {
+          std::uint64_t projection = 0;
+          for (std::uint64_t assign = 0; assign < (1ULL << r); ++assign)
+            if ((assign >> p) & 1) projection |= 1ULL << assign;
+          if ((init & full) == projection) {
+            bound.net = bindings[cell.inputs[unknown[p]]].net;
+            ++result.stats.collapsed_aliases;
+            aliased = true;
+          }
+        }
+        if (aliased) break;
+
+        std::vector<NetId> new_inputs;
+        new_inputs.reserve(r);
+        for (std::size_t p = 0; p < r; ++p)
+          new_inputs.push_back(bindings[cell.inputs[unknown[p]]].net);
+        bound.net = out.add_lut(Lut6{init}, new_inputs);
+        break;
+      }
+
+      case CellKind::Carry: {
+        if (!net_live[cell.output]) {
+          ++result.stats.dead_cells;
+          break;
+        }
+        // majority(a, b, cin) with known legs simplifies; symmetric, so
+        // sort the bindings into constants and signals.
+        std::vector<bool> consts;
+        std::vector<NetId> signals;
+        for (NetId in : cell.inputs) {
+          const Binding& b = bindings[in];
+          if (b.constant)
+            consts.push_back(*b.constant);
+          else
+            signals.push_back(b.net);
+        }
+        const std::size_t ones = static_cast<std::size_t>(
+            std::count(consts.begin(), consts.end(), true));
+        if (signals.empty()) {
+          bound.constant = ones >= 2;
+          ++result.stats.folded_constants;
+        } else if (signals.size() == 1) {
+          if (ones == 2) {
+            bound.constant = true;
+            ++result.stats.folded_constants;
+          } else if (ones == 0) {
+            bound.constant = false;
+            ++result.stats.folded_constants;
+          } else {  // maj(a, 1, 0) == a
+            bound.net = signals[0];
+            ++result.stats.collapsed_aliases;
+          }
+        } else if (signals.size() == 2) {
+          // maj(a, b, 0) = a&b ; maj(a, b, 1) = a|b — one small LUT.
+          const Lut6 lut = ones == 0
+                               ? Lut6::from_function([](std::uint8_t idx) {
+                                   return (idx & 3) == 3;
+                                 })
+                               : Lut6::from_function([](std::uint8_t idx) {
+                                   return (idx & 3) != 0;
+                                 });
+          bound.net = out.add_lut(lut, {signals[0], signals[1]});
+        } else {
+          bound.net = out.add_carry(signals[0], signals[1], signals[2]);
+        }
+        break;
+      }
+
+      case CellKind::Ff: {
+        if (!net_live[cell.output]) {
+          ++result.stats.dead_cells;
+          break;
+        }
+        const Binding& d = bindings[cell.inputs[0]];
+        if (d.constant && *d.constant == cell.const_value) {
+          // Register of a constant matching its reset value: constant.
+          bound.constant = *d.constant;
+          ++result.stats.folded_constants;
+        } else {
+          bound.net = out.add_ff(as_net(d), cell.const_value);
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- net_map: every old net to a usable new net. -----------------------
+  result.net_map.assign(input.net_count(), kInvalidNet);
+  for (std::size_t n = 0; n < input.net_count(); ++n) {
+    const Binding& b = bindings[n];
+    if (b.constant)
+      result.net_map[n] = const_net(*b.constant);
+    else
+      result.net_map[n] = b.net;  // may stay invalid for dead nets
+  }
+
+  result.stats.luts_after = out.stats().luts;
+  result.stats.ffs_after = out.stats().ffs;
+  return result;
+}
+
+}  // namespace fabp::hw

@@ -1,0 +1,23 @@
+#include "fabp/hw/power.hpp"
+
+namespace fabp::hw {
+
+double FpgaPowerModel::watts(const FpgaDevice& device,
+                             const ResourceBudget& used,
+                             std::size_t active_channels) const noexcept {
+  const double ghz = device.clock_hz / 1e9;
+  const double toggle = config_.average_toggle_rate;
+  const double lut_w = config_.watts_per_mega_lut_ghz *
+                       (static_cast<double>(used.luts) / 1e6) * ghz * toggle /
+                       0.25;  // constants are quoted at 25% toggle
+  const double ff_w = config_.watts_per_mega_ff_ghz *
+                      (static_cast<double>(used.ffs) / 1e6) * ghz * toggle /
+                      0.25;
+  const double dsp_w =
+      config_.watts_per_dsp_ghz * static_cast<double>(used.dsps) * ghz;
+  const double dram_w =
+      config_.dram_watts * static_cast<double>(active_channels);
+  return config_.static_watts + lut_w + ff_w + dsp_w + dram_w;
+}
+
+}  // namespace fabp::hw

@@ -1,0 +1,85 @@
+#include "fabp/hw/timing.hpp"
+
+#include <algorithm>
+
+namespace fabp::hw {
+
+TimingReport analyze_timing(const Netlist& netlist, const TimingModel& model) {
+  // Arrival time per net, in ns.  Inputs, constants and FF outputs launch
+  // at t=0 (clk-to-q added at the end, once, for the register-to-register
+  // figure).  Creation order is topological, so one pass suffices.
+  std::vector<double> arrival(netlist.net_count(), 0.0);
+  std::vector<std::size_t> levels(netlist.net_count(), 0);
+
+  TimingReport report;
+  const auto consider = [&](double t, std::size_t level, NetId net) {
+    if (t > report.critical_path_ns) {
+      report.critical_path_ns = t;
+      report.logic_levels = level;
+      report.critical_net = net;
+    }
+  };
+
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto cell = netlist.cell(i);
+    switch (cell.kind) {
+      case CellKind::Input:
+      case CellKind::Const:
+        arrival[cell.output] = 0.0;
+        break;
+      case CellKind::Lut: {
+        double worst = 0.0;
+        std::size_t level = 0;
+        for (NetId in : cell.inputs) {
+          worst = std::max(worst, arrival[in]);
+          level = std::max(level, levels[in]);
+        }
+        arrival[cell.output] = worst + model.lut_delay_ns +
+                               model.net_delay_ns;
+        levels[cell.output] = level + 1;
+        consider(arrival[cell.output], levels[cell.output], cell.output);
+        break;
+      }
+      case CellKind::Carry: {
+        double worst = 0.0;
+        std::size_t level = 0;
+        for (NetId in : cell.inputs) {
+          worst = std::max(worst, arrival[in]);
+          level = std::max(level, levels[in]);
+        }
+        arrival[cell.output] = worst + model.carry_delay_ns;
+        levels[cell.output] = level;  // carry chain adds no LUT level
+        consider(arrival[cell.output], levels[cell.output], cell.output);
+        break;
+      }
+      case CellKind::Ff:
+        // D pin is a path endpoint; Q relaunches at 0.
+        consider(arrival[cell.inputs[0]], levels[cell.inputs[0]],
+                 cell.inputs[0]);
+        arrival[cell.output] = 0.0;
+        levels[cell.output] = 0;
+        break;
+    }
+  }
+
+  report.fmax_hz =
+      1e9 / (model.clk_to_q_ns + report.critical_path_ns + model.setup_ns);
+  return report;
+}
+
+std::vector<std::size_t> logic_depths(const Netlist& netlist) {
+  std::vector<std::size_t> levels(netlist.net_count(), 0);
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const auto cell = netlist.cell(i);
+    if (cell.kind == CellKind::Lut || cell.kind == CellKind::Carry) {
+      std::size_t level = 0;
+      for (NetId in : cell.inputs) level = std::max(level, levels[in]);
+      levels[cell.output] = level + (cell.kind == CellKind::Lut ? 1 : 0);
+    } else if (cell.kind == CellKind::Ff) {
+      levels[cell.output] = 0;
+    }
+  }
+  return levels;
+}
+
+}  // namespace fabp::hw

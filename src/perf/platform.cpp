@@ -1,0 +1,9 @@
+#include "fabp/perf/platform.hpp"
+
+namespace fabp::perf {
+
+CpuSpec i7_8700k() { return CpuSpec{}; }
+
+GpuSpec gtx_1080ti() { return GpuSpec{}; }
+
+}  // namespace fabp::perf

@@ -1,0 +1,32 @@
+#include "fabp/util/bitops.hpp"
+
+namespace fabp::util {
+
+std::size_t BitVector::count_range(std::size_t begin,
+                                   std::size_t end) const noexcept {
+  if (begin >= end || begin >= size_) return 0;
+  if (end > size_) end = size_;
+
+  std::size_t total = 0;
+  std::size_t first_word = begin >> 6;
+  std::size_t last_word = (end - 1) >> 6;
+
+  if (first_word == last_word) {
+    const unsigned lo = static_cast<unsigned>(begin & 63);
+    const unsigned len = static_cast<unsigned>(end - begin);
+    return static_cast<std::size_t>(
+        std::popcount(bits(words_[first_word], lo, len)));
+  }
+
+  // Head word (partial), full middle words, tail word (partial).
+  total += static_cast<std::size_t>(std::popcount(
+      words_[first_word] >> (begin & 63)));
+  for (std::size_t w = first_word + 1; w < last_word; ++w)
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  const unsigned tail_len = static_cast<unsigned>(((end - 1) & 63) + 1);
+  total += static_cast<std::size_t>(
+      std::popcount(bits(words_[last_word], 0, tail_len)));
+  return total;
+}
+
+}  // namespace fabp::util

@@ -1,0 +1,116 @@
+#include "fabp/util/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace fabp::util {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm{seed};
+  for (auto& w : s_) w = sm.next();
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply-shift with rejection of the biased low range.
+  using u128 = unsigned __int128;
+  std::uint64_t x = next();
+  u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<u128>(x) * static_cast<u128>(bound);
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Xoshiro256::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(bounded(span));
+}
+
+double Xoshiro256::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Xoshiro256::normal() noexcept {
+  // Box-Muller; guard the log argument away from zero.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Xoshiro256::poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth: multiply uniforms until below exp(-lambda).
+    const double threshold = std::exp(-lambda);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > threshold);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction, clamped at zero.
+  const double draw = normal(lambda, std::sqrt(lambda)) + 0.5;
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw);
+}
+
+std::uint64_t Xoshiro256::geometric(double p) noexcept {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return std::numeric_limits<std::uint64_t>::max();
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::size_t Xoshiro256::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  double draw = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw < 0.0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+Xoshiro256 Xoshiro256::fork(std::uint64_t stream) noexcept {
+  SplitMix64 sm{s_[0] ^ (stream * 0xd1342543de82ef95ULL)};
+  Xoshiro256 child{sm.next()};
+  return child;
+}
+
+}  // namespace fabp::util

@@ -1,0 +1,122 @@
+#include "fabp/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace fabp::util {
+
+Table::Table(std::vector<std::string> header) : header_{std::move(header)} {}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string text) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string{text}); }
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+Table& Table::cell(long long value) { return cell(std::to_string(value)); }
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& text = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << text;
+    }
+    os << '\n';
+  };
+
+  print_row(header_);
+  os << "  ";
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    os << std::string(widths[c], '-') << "  ";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto sanitize = [](std::string s) {
+    std::replace(s.begin(), s.end(), ',', ';');
+    return s;
+  };
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << sanitize(header_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << sanitize(row[c]);
+    os << '\n';
+  }
+}
+
+std::string ratio_text(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << "x";
+  return os.str();
+}
+
+std::string bandwidth_text(double bytes_per_second) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes_per_second >= 1e9)
+    os << bytes_per_second / 1e9 << " GB/s";
+  else if (bytes_per_second >= 1e6)
+    os << bytes_per_second / 1e6 << " MB/s";
+  else if (bytes_per_second >= 1e3)
+    os << bytes_per_second / 1e3 << " KB/s";
+  else
+    os << bytes_per_second << " B/s";
+  return os.str();
+}
+
+std::string time_text(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0)
+    os << seconds << " s";
+  else if (abs >= 1e-3)
+    os << seconds * 1e3 << " ms";
+  else if (abs >= 1e-6)
+    os << seconds * 1e6 << " us";
+  else
+    os << seconds * 1e9 << " ns";
+  return os.str();
+}
+
+std::string percent_text(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << "  " << title << '\n'
+     << std::string(72, '=') << '\n';
+}
+
+}  // namespace fabp::util

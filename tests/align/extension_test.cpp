@@ -1,0 +1,153 @@
+#include "fabp/align/extension.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/align/local.hpp"
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::align {
+namespace {
+
+using bio::ProteinSequence;
+
+const SubstitutionMatrix& blosum() {
+  return SubstitutionMatrix::blosum62();
+}
+
+TEST(UngappedExtend, ExtendsPerfectMatchFully) {
+  const auto q = ProteinSequence::parse("MKWVTFISLL");
+  const auto r = ProteinSequence::parse("AAAMKWVTFISLLAAA");
+  // Seed at query 3, ref 6 ('V'), word length 3.
+  const auto ext = ungapped_extend(q, r, 3, 6, 3, blosum());
+  EXPECT_EQ(ext.query_begin, 0u);
+  EXPECT_EQ(ext.query_end, 10u);
+  EXPECT_EQ(ext.ref_begin, 3u);
+  EXPECT_EQ(ext.ref_end, 13u);
+  int expected = 0;
+  for (std::size_t i = 0; i < q.size(); ++i)
+    expected += blosum().score(q[i], q[i]);
+  EXPECT_EQ(ext.score, expected);
+}
+
+TEST(UngappedExtend, XDropStopsAtJunk) {
+  // Match region followed by strong mismatches; extension must not drag
+  // far into the junk.
+  const auto q = ProteinSequence::parse("WWWWWPPPPP");
+  const auto r = ProteinSequence::parse("WWWWWGGGGG");
+  const auto ext = ungapped_extend(q, r, 0, 0, 3, blosum(), 10);
+  EXPECT_EQ(ext.query_begin, 0u);
+  EXPECT_EQ(ext.query_end, 5u);  // stops after the W block
+  EXPECT_EQ(ext.score, 5 * blosum().score(bio::AminoAcid::Trp,
+                                          bio::AminoAcid::Trp));
+}
+
+TEST(UngappedExtend, SeedAtSequenceEdges) {
+  const auto q = ProteinSequence::parse("MKW");
+  const auto r = ProteinSequence::parse("MKW");
+  const auto ext = ungapped_extend(q, r, 0, 0, 3, blosum());
+  EXPECT_EQ(ext.query_begin, 0u);
+  EXPECT_EQ(ext.query_end, 3u);
+}
+
+TEST(UngappedExtend, SeedLenClampedAtEnd) {
+  const auto q = ProteinSequence::parse("MKW");
+  const auto r = ProteinSequence::parse("AAMKW");
+  const auto ext = ungapped_extend(q, r, 2, 4, 3, blosum());
+  EXPECT_LE(ext.query_end, q.size());
+  EXPECT_LE(ext.ref_end, r.size());
+}
+
+TEST(UngappedExtend, NeverExceedsSmithWaterman) {
+  // Ungapped extension is a restriction of local alignment.
+  util::Xoshiro256 rng{29};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = bio::random_protein(20, rng);
+    const auto r = bio::random_protein(40, rng);
+    const std::size_t qp = rng.bounded(q.size() - 3);
+    const std::size_t rp = rng.bounded(r.size() - 3);
+    const auto ext = ungapped_extend(q, r, qp, rp, 3, blosum());
+    EXPECT_LE(ext.score,
+              smith_waterman_score(q, r, blosum(), GapPenalties{1000, 1000}) +
+                  0)
+        << trial;
+  }
+}
+
+TEST(BandedLocal, PerfectMatchEqualsFullSw) {
+  const auto q = ProteinSequence::parse("MKWVTFISLL");
+  const auto r = ProteinSequence::parse("CCCMKWVTFISLLCCC");
+  const int banded = banded_local_score(q, r, 0, 3, 8, blosum());
+  EXPECT_EQ(banded, smith_waterman_score(q, r, blosum()));
+}
+
+TEST(BandedLocal, NarrowBandMissesOffDiagonal) {
+  // Alignment requiring a 3-residue shift; band of 1 cannot reach it but a
+  // band of 8 can.
+  const auto q = ProteinSequence::parse("MKWVTFISLL");
+  const auto r = ProteinSequence::parse("MKWCCCVTFISLL");
+  const int wide = banded_local_score(q, r, 0, 0, 8, blosum());
+  const int narrow = banded_local_score(q, r, 0, 0, 1, blosum());
+  EXPECT_GE(wide, narrow);
+}
+
+TEST(BandedLocal, NeverExceedsFullSw) {
+  util::Xoshiro256 rng{31};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = bio::random_protein(15, rng);
+    const auto r = bio::random_protein(40, rng);
+    const std::size_t rp = rng.bounded(r.size());
+    const int banded = banded_local_score(q, r, 0, rp, 5, blosum());
+    const int full = smith_waterman_score(q, r, blosum());
+    EXPECT_LE(banded, full) << trial;
+    EXPECT_GE(banded, 0);
+  }
+}
+
+TEST(BandedLocal, WideBandConvergesToFullSw) {
+  util::Xoshiro256 rng{37};
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto q = bio::random_protein(12, rng);
+    const auto r = bio::random_protein(25, rng);
+    const int banded = banded_local_score(q, r, 0, 0, r.size() + q.size(),
+                                          blosum());
+    EXPECT_EQ(banded, smith_waterman_score(q, r, blosum())) << trial;
+  }
+}
+
+TEST(BandedLocal, SeedFarIntoQueryRegressions) {
+  // Regression: a seed with subject position far *left* of the query
+  // position puts the whole band left of column 1 for early rows (the
+  // j_hi underflow crash found by the Figure-6 harness).
+  util::Xoshiro256 rng{41};
+  const auto q = bio::random_protein(250, rng);
+  const auto r = bio::random_protein(300, rng);
+  for (std::size_t qp : {0u, 100u, 249u})
+    for (std::size_t rp : {0u, 3u, 299u}) {
+      const int s = banded_local_score(q, r, qp, rp, 16, blosum());
+      EXPECT_GE(s, 0);
+      EXPECT_LE(s, smith_waterman_score(q, r, blosum()));
+    }
+}
+
+TEST(BandedLocal, OffsetBandMatchesFullSwWhenWide) {
+  // Wide band centered on an arbitrary off-zero diagonal still spans the
+  // whole matrix, so it must equal full Smith-Waterman.
+  util::Xoshiro256 rng{43};
+  const auto q = bio::random_protein(15, rng);
+  const auto r = bio::random_protein(30, rng);
+  const int full = smith_waterman_score(q, r, blosum());
+  EXPECT_EQ(banded_local_score(q, r, 10, 2, q.size() + r.size(), blosum()),
+            full);
+  EXPECT_EQ(banded_local_score(q, r, 2, 25, q.size() + r.size(), blosum()),
+            full);
+}
+
+TEST(BandedLocal, EmptySequences) {
+  EXPECT_EQ(banded_local_score(ProteinSequence{}, ProteinSequence{}, 0, 0, 4,
+                               blosum()),
+            0);
+}
+
+}  // namespace
+}  // namespace fabp::align

@@ -1,0 +1,187 @@
+#include "fabp/align/local.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::align {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+using bio::SeqKind;
+
+NucleotideSequence dna(const char* text) {
+  return NucleotideSequence::parse(SeqKind::Dna, text);
+}
+
+TEST(SmithWaterman, PerfectNucleotideMatch) {
+  const auto q = dna("ACGTACGT");
+  const auto r = dna("TTTACGTACGTTTT");
+  const Alignment a = smith_waterman(q, r);
+  EXPECT_EQ(a.score, 8 * NucleotideScoring{}.match);
+  EXPECT_EQ(a.query_begin, 0u);
+  EXPECT_EQ(a.query_end, 8u);
+  EXPECT_EQ(a.ref_begin, 3u);
+  EXPECT_EQ(a.ref_end, 11u);
+  EXPECT_EQ(a.cigar(), "8M");
+}
+
+TEST(SmithWaterman, EmptyInputsScoreZero) {
+  const auto q = dna("");
+  const auto r = dna("ACGT");
+  EXPECT_EQ(smith_waterman(q, r).score, 0);
+  EXPECT_EQ(smith_waterman_score(q, r), 0);
+}
+
+TEST(SmithWaterman, NoSimilarityScoresZero) {
+  const auto q = dna("AAAA");
+  const auto r = dna("CCCC");
+  // Local alignment never goes negative; a single mismatch start is
+  // rejected by the zero floor.
+  EXPECT_EQ(smith_waterman(q, r).score, 0);
+}
+
+TEST(SmithWaterman, GapInReference) {
+  // Query has an extra base relative to the reference hit region.
+  const auto q = dna("ACGTTTTACG");
+  const auto r = dna("ACGTTTACG");
+  const Alignment a = smith_waterman(q, r, NucleotideScoring{},
+                                     GapPenalties{3, 1});
+  // Expect one insertion (query-consuming) op in the traceback.
+  std::size_t inserts = 0;
+  for (EditOp op : a.ops)
+    if (op == EditOp::Insert) ++inserts;
+  EXPECT_EQ(inserts, 1u);
+  EXPECT_EQ(a.score, 9 * 2 - 3 - 1);
+}
+
+TEST(SmithWaterman, TracebackScoreConsistent) {
+  // Property: recomputing the score from the traceback ops equals score.
+  util::Xoshiro256 rng{11};
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = bio::random_dna(30, rng);
+    const auto r = bio::random_dna(80, rng);
+    const NucleotideScoring scoring;
+    const GapPenalties gaps{4, 1};
+    const Alignment a = smith_waterman(q, r, scoring, gaps);
+    int recomputed = 0;
+    std::size_t qi = a.query_begin, ri = a.ref_begin;
+    bool in_gap_q = false, in_gap_r = false;
+    for (EditOp op : a.ops) {
+      if (op == EditOp::Match) {
+        recomputed += scoring(q[qi++], r[ri++]);
+        in_gap_q = in_gap_r = false;
+      } else if (op == EditOp::Insert) {
+        recomputed -= in_gap_q ? gaps.extend : gaps.open + gaps.extend;
+        in_gap_q = true;
+        in_gap_r = false;
+        ++qi;
+      } else {
+        recomputed -= in_gap_r ? gaps.extend : gaps.open + gaps.extend;
+        in_gap_r = true;
+        in_gap_q = false;
+        ++ri;
+      }
+    }
+    EXPECT_EQ(recomputed, a.score) << "trial " << trial;
+    EXPECT_EQ(qi, a.query_end);
+    EXPECT_EQ(ri, a.ref_end);
+  }
+}
+
+TEST(SmithWaterman, ScoreOnlyMatchesTraceback) {
+  util::Xoshiro256 rng{13};
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto q = bio::random_dna(25, rng);
+    const auto r = bio::random_dna(60, rng);
+    EXPECT_EQ(smith_waterman_score(q, r), smith_waterman(q, r).score);
+  }
+}
+
+TEST(SmithWaterman, ProteinBlosumAlignment) {
+  const auto q = ProteinSequence::parse("MKWVTFISLL");
+  const auto r = ProteinSequence::parse("GGGMKWVTFISLLGGG");
+  const Alignment a =
+      smith_waterman(q, r, SubstitutionMatrix::blosum62());
+  EXPECT_EQ(a.query_begin, 0u);
+  EXPECT_EQ(a.query_end, 10u);
+  EXPECT_EQ(a.ref_begin, 3u);
+  int expected = 0;
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (std::size_t i = 0; i < q.size(); ++i) expected += m.score(q[i], q[i]);
+  EXPECT_EQ(a.score, expected);
+}
+
+TEST(SmithWaterman, SubstitutionToleratedByBlosum) {
+  const auto q = ProteinSequence::parse("MKWVTFISLL");
+  auto r_mut = ProteinSequence::parse("MKWVTFISLL");
+  r_mut[5] = bio::AminoAcid::Tyr;  // F->Y scores +3, still positive
+  const Alignment a =
+      smith_waterman(q, r_mut, SubstitutionMatrix::blosum62());
+  EXPECT_EQ(a.ops.size(), 10u);  // still one contiguous match block
+}
+
+TEST(SmithWatermanProperty, ScoreNeverNegativeAndBounded) {
+  util::Xoshiro256 rng{17};
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto q = bio::random_protein(20, rng);
+    const auto r = bio::random_protein(50, rng);
+    const int s = smith_waterman_score(q, r, m);
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, static_cast<int>(q.size()) * m.max_score());
+  }
+}
+
+TEST(SmithWatermanProperty, MonotoneUnderConcatenation) {
+  // Appending reference context can never *reduce* the local score.
+  util::Xoshiro256 rng{19};
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = bio::random_dna(15, rng);
+    const auto r1 = bio::random_dna(40, rng);
+    auto r2 = r1;
+    r2.append(bio::random_dna(20, rng));
+    EXPECT_LE(smith_waterman_score(q, r1), smith_waterman_score(q, r2));
+  }
+}
+
+TEST(NeedlemanWunsch, IdenticalSequences) {
+  const auto q = dna("ACGTACGT");
+  EXPECT_EQ(needleman_wunsch_score(q, q), 8 * 2);
+}
+
+TEST(NeedlemanWunsch, GlobalGapCost) {
+  const auto q = dna("ACGT");
+  const auto r = dna("ACGTAA");
+  // Global: must pay for the two dangling reference bases.
+  const GapPenalties gaps{2, 1};
+  EXPECT_EQ(needleman_wunsch_score(q, r, NucleotideScoring{}, gaps),
+            4 * 2 - (2 + 2 * 1));
+}
+
+TEST(NeedlemanWunsch, NeverExceedsLocal) {
+  util::Xoshiro256 rng{23};
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto q = bio::random_dna(20, rng);
+    const auto r = bio::random_dna(30, rng);
+    EXPECT_LE(needleman_wunsch_score(q, r), smith_waterman_score(q, r));
+  }
+}
+
+TEST(Alignment, CigarRuns) {
+  Alignment a;
+  a.ops = {EditOp::Match, EditOp::Match, EditOp::Delete, EditOp::Match,
+           EditOp::Insert, EditOp::Insert};
+  EXPECT_EQ(a.cigar(), "2M1D1M2I");
+  EXPECT_EQ(a.matches_or_mismatches(), 3u);
+  EXPECT_EQ(a.indel_ops(), 3u);
+}
+
+TEST(Alignment, EmptyCigar) {
+  EXPECT_EQ(Alignment{}.cigar(), "");
+}
+
+}  // namespace
+}  // namespace fabp::align

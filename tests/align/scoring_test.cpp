@@ -1,0 +1,63 @@
+#include "fabp/align/scoring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fabp::align {
+namespace {
+
+using bio::AminoAcid;
+
+TEST(NucleotideScoring, MatchMismatch) {
+  NucleotideScoring s;
+  EXPECT_EQ(s(bio::Nucleotide::A, bio::Nucleotide::A), s.match);
+  EXPECT_EQ(s(bio::Nucleotide::A, bio::Nucleotide::G), s.mismatch);
+}
+
+TEST(Blosum62, IsSymmetric) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (AminoAcid a : bio::kAllAminoAcids)
+    for (AminoAcid b : bio::kAllAminoAcids)
+      EXPECT_EQ(m.score(a, b), m.score(b, a))
+          << bio::to_char(a) << bio::to_char(b);
+}
+
+TEST(Blosum62, DiagonalIsPositive) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  for (AminoAcid a : bio::kAllAminoAcids)
+    EXPECT_GT(m.score(a, a), 0) << bio::to_char(a);
+}
+
+TEST(Blosum62, CanonicalEntries) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  // Spot values from the published matrix.
+  EXPECT_EQ(m.score(AminoAcid::Trp, AminoAcid::Trp), 11);
+  EXPECT_EQ(m.score(AminoAcid::Cys, AminoAcid::Cys), 9);
+  EXPECT_EQ(m.score(AminoAcid::Ala, AminoAcid::Ala), 4);
+  EXPECT_EQ(m.score(AminoAcid::Leu, AminoAcid::Ile), 2);
+  EXPECT_EQ(m.score(AminoAcid::Trp, AminoAcid::Gly), -2);
+  EXPECT_EQ(m.score(AminoAcid::Asp, AminoAcid::Glu), 2);
+  EXPECT_EQ(m.score(AminoAcid::Arg, AminoAcid::Lys), 2);
+  EXPECT_EQ(m.score(AminoAcid::Pro, AminoAcid::Phe), -4);
+}
+
+TEST(Blosum62, StopConvention) {
+  const auto& m = SubstitutionMatrix::blosum62();
+  EXPECT_EQ(m.score(AminoAcid::Stop, AminoAcid::Stop), 1);
+  for (AminoAcid a : bio::kAllAminoAcids) {
+    if (a == AminoAcid::Stop) continue;
+    EXPECT_EQ(m.score(AminoAcid::Stop, a), -4);
+  }
+}
+
+TEST(Blosum62, MaxScoreIsTrpTrp) {
+  EXPECT_EQ(SubstitutionMatrix::blosum62().max_score(), 11);
+}
+
+TEST(GapPenalties, Defaults) {
+  GapPenalties g;
+  EXPECT_EQ(g.open, 11);
+  EXPECT_EQ(g.extend, 1);
+}
+
+}  // namespace
+}  // namespace fabp::align

@@ -1,0 +1,80 @@
+#include "fabp/align/sliding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::align {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::SeqKind;
+
+NucleotideSequence dna(const char* text) {
+  return NucleotideSequence::parse(SeqKind::Dna, text);
+}
+
+TEST(Sliding, ExactMatchFound) {
+  const auto q = dna("ACGT");
+  const auto r = dna("TTACGTTT");
+  const auto hits = sliding_hits(q, r, 4);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].position, 2u);
+  EXPECT_EQ(hits[0].score, 4u);
+}
+
+TEST(Sliding, ThresholdFiltersPartialMatches) {
+  const auto q = dna("AAAA");
+  const auto r = dna("AAATAAAA");
+  EXPECT_EQ(sliding_hits(q, r, 4).size(), 1u);   // only the perfect hit
+  EXPECT_EQ(sliding_hits(q, r, 3).size(), 5u);   // all offsets score >= 3
+}
+
+TEST(Sliding, ScoreAtMatchesBruteForce) {
+  util::Xoshiro256 rng{3};
+  const auto q = bio::random_dna(20, rng);
+  const auto r = bio::random_dna(100, rng);
+  for (std::size_t p = 0; p + q.size() <= r.size(); ++p) {
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < q.size(); ++i)
+      if (q[i] == r[p + i]) ++expected;
+    EXPECT_EQ(sliding_score_at(q, r, p), expected);
+  }
+}
+
+TEST(Sliding, EmptyQueryOrShortReference) {
+  EXPECT_TRUE(sliding_hits(dna(""), dna("ACGT"), 0).empty());
+  EXPECT_TRUE(sliding_hits(dna("ACGTACGT"), dna("ACG"), 0).empty());
+}
+
+TEST(Sliding, ThresholdZeroReportsEveryPosition) {
+  const auto q = dna("AC");
+  const auto r = dna("GGGGG");
+  EXPECT_EQ(sliding_hits(q, r, 0).size(), 4u);
+}
+
+TEST(Sliding, ParallelMatchesSerial) {
+  util::Xoshiro256 rng{5};
+  util::ThreadPool pool{4};
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto q = bio::random_dna(15, rng);
+    const auto r = bio::random_dna(500, rng);
+    const auto threshold = static_cast<std::uint32_t>(rng.bounded(16));
+    EXPECT_EQ(sliding_hits_parallel(q, r, threshold, pool),
+              sliding_hits(q, r, threshold))
+        << trial;
+  }
+}
+
+TEST(Sliding, HitsSortedByPosition) {
+  util::Xoshiro256 rng{7};
+  const auto q = bio::random_dna(8, rng);
+  const auto r = bio::random_dna(300, rng);
+  const auto hits = sliding_hits(q, r, 2);
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_LT(hits[i - 1].position, hits[i].position);
+}
+
+}  // namespace
+}  // namespace fabp::align

@@ -1,0 +1,99 @@
+#include "fabp/bio/alphabet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+namespace fabp::bio {
+namespace {
+
+TEST(Nucleotide, PaperTwoBitCodes) {
+  // §III-B / Fig. 5(b): A=00, C=01, G=10, U=11.
+  EXPECT_EQ(code(Nucleotide::A), 0b00);
+  EXPECT_EQ(code(Nucleotide::C), 0b01);
+  EXPECT_EQ(code(Nucleotide::G), 0b10);
+  EXPECT_EQ(code(Nucleotide::U), 0b11);
+}
+
+TEST(Nucleotide, CodeRoundTrip) {
+  for (Nucleotide n : kAllNucleotides)
+    EXPECT_EQ(nucleotide_from_code(code(n)), n);
+}
+
+TEST(Nucleotide, CharConversionRna) {
+  EXPECT_EQ(to_char_rna(Nucleotide::A), 'A');
+  EXPECT_EQ(to_char_rna(Nucleotide::C), 'C');
+  EXPECT_EQ(to_char_rna(Nucleotide::G), 'G');
+  EXPECT_EQ(to_char_rna(Nucleotide::U), 'U');
+}
+
+TEST(Nucleotide, CharConversionDna) {
+  EXPECT_EQ(to_char_dna(Nucleotide::U), 'T');
+  EXPECT_EQ(to_char_dna(Nucleotide::A), 'A');
+}
+
+TEST(Nucleotide, ParseAcceptsBothTAndU) {
+  EXPECT_EQ(nucleotide_from_char('T'), Nucleotide::U);
+  EXPECT_EQ(nucleotide_from_char('U'), Nucleotide::U);
+  EXPECT_EQ(nucleotide_from_char('t'), Nucleotide::U);
+  EXPECT_EQ(nucleotide_from_char('a'), Nucleotide::A);
+  EXPECT_EQ(nucleotide_from_char('X'), std::nullopt);
+  EXPECT_EQ(nucleotide_from_char('\0'), std::nullopt);
+}
+
+TEST(Nucleotide, ComplementPairs) {
+  EXPECT_EQ(complement(Nucleotide::A), Nucleotide::U);
+  EXPECT_EQ(complement(Nucleotide::U), Nucleotide::A);
+  EXPECT_EQ(complement(Nucleotide::C), Nucleotide::G);
+  EXPECT_EQ(complement(Nucleotide::G), Nucleotide::C);
+}
+
+TEST(Nucleotide, ComplementIsInvolution) {
+  for (Nucleotide n : kAllNucleotides)
+    EXPECT_EQ(complement(complement(n)), n);
+}
+
+TEST(AminoAcid, CountAndIndexing) {
+  EXPECT_EQ(kAminoAcidCount, 21u);
+  for (std::size_t i = 0; i < kAminoAcidCount; ++i)
+    EXPECT_EQ(index(kAllAminoAcids[i]), i);
+}
+
+TEST(AminoAcid, OneLetterRoundTrip) {
+  for (AminoAcid aa : kAllAminoAcids) {
+    const char c = to_char(aa);
+    EXPECT_EQ(amino_acid_from_char(c), aa) << c;
+  }
+}
+
+TEST(AminoAcid, CaseInsensitiveParse) {
+  EXPECT_EQ(amino_acid_from_char('m'), AminoAcid::Met);
+  EXPECT_EQ(amino_acid_from_char('M'), AminoAcid::Met);
+  EXPECT_EQ(amino_acid_from_char('*'), AminoAcid::Stop);
+}
+
+TEST(AminoAcid, RejectsNonResidueLetters) {
+  // B, J, O, U, X, Z are not in the 20+Stop alphabet here.
+  for (char c : {'B', 'J', 'O', 'U', 'X', 'Z', '1', ' '})
+    EXPECT_EQ(amino_acid_from_char(c), std::nullopt) << c;
+}
+
+TEST(AminoAcid, ThreeLetterCodes) {
+  EXPECT_EQ(to_three_letter(AminoAcid::Met), "Met");
+  EXPECT_EQ(to_three_letter(AminoAcid::Phe), "Phe");
+  EXPECT_EQ(to_three_letter(AminoAcid::Stop), "Ter");
+  // All 21 distinct.
+  std::set<std::string_view> seen;
+  for (AminoAcid aa : kAllAminoAcids) seen.insert(to_three_letter(aa));
+  EXPECT_EQ(seen.size(), kAminoAcidCount);
+}
+
+TEST(AminoAcid, OneLetterCodesDistinct) {
+  std::set<char> seen;
+  for (AminoAcid aa : kAllAminoAcids) seen.insert(to_char(aa));
+  EXPECT_EQ(seen.size(), kAminoAcidCount);
+}
+
+}  // namespace
+}  // namespace fabp::bio

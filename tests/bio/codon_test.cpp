@@ -1,0 +1,116 @@
+#include "fabp/bio/codon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace fabp::bio {
+namespace {
+
+Codon codon(const char* text) {
+  return Codon{*nucleotide_from_char(text[0]), *nucleotide_from_char(text[1]),
+               *nucleotide_from_char(text[2])};
+}
+
+TEST(Codon, DenseIndexRoundTrip) {
+  for (std::uint8_t i = 0; i < kCodonCount; ++i) {
+    const Codon c = Codon::from_dense_index(i);
+    EXPECT_EQ(c.dense_index(), i);
+  }
+}
+
+TEST(Codon, DenseIndicesDistinct) {
+  std::set<std::uint8_t> seen;
+  for (std::uint8_t i = 0; i < kCodonCount; ++i)
+    seen.insert(Codon::from_dense_index(i).dense_index());
+  EXPECT_EQ(seen.size(), kCodonCount);
+}
+
+TEST(Codon, ToString) {
+  EXPECT_EQ(codon("AUG").to_string(), "AUG");
+  EXPECT_EQ(codon("UUU").to_string(), "UUU");
+}
+
+TEST(Codon, SubscriptOperator) {
+  const Codon c = codon("ACG");
+  EXPECT_EQ(c[0], Nucleotide::A);
+  EXPECT_EQ(c[1], Nucleotide::C);
+  EXPECT_EQ(c[2], Nucleotide::G);
+}
+
+TEST(GeneticCode, CanonicalAssignments) {
+  // Spot checks straight from the codon table (Fig. 2).
+  EXPECT_EQ(translate(codon("AUG")), AminoAcid::Met);
+  EXPECT_EQ(translate(codon("UGG")), AminoAcid::Trp);
+  EXPECT_EQ(translate(codon("UUU")), AminoAcid::Phe);
+  EXPECT_EQ(translate(codon("UUC")), AminoAcid::Phe);
+  EXPECT_EQ(translate(codon("UAA")), AminoAcid::Stop);
+  EXPECT_EQ(translate(codon("UAG")), AminoAcid::Stop);
+  EXPECT_EQ(translate(codon("UGA")), AminoAcid::Stop);
+  EXPECT_EQ(translate(codon("GCU")), AminoAcid::Ala);
+  EXPECT_EQ(translate(codon("CGA")), AminoAcid::Arg);
+  EXPECT_EQ(translate(codon("AGA")), AminoAcid::Arg);
+  EXPECT_EQ(translate(codon("AGU")), AminoAcid::Ser);
+  EXPECT_EQ(translate(codon("UCG")), AminoAcid::Ser);
+  EXPECT_EQ(translate(codon("AUA")), AminoAcid::Ile);
+  EXPECT_EQ(translate(codon("CUG")), AminoAcid::Leu);
+  EXPECT_EQ(translate(codon("UUA")), AminoAcid::Leu);
+}
+
+TEST(GeneticCode, EveryCodonTranslates) {
+  // All 64 codons map to one of the 21 symbols; counts match the standard
+  // degeneracies.
+  std::map<AminoAcid, int> counts;
+  for (std::uint8_t i = 0; i < kCodonCount; ++i)
+    counts[translate(Codon::from_dense_index(i))]++;
+  int total = 0;
+  for (const auto& [aa, n] : counts) total += n;
+  EXPECT_EQ(total, 64);
+  EXPECT_EQ(counts[AminoAcid::Met], 1);
+  EXPECT_EQ(counts[AminoAcid::Trp], 1);
+  EXPECT_EQ(counts[AminoAcid::Leu], 6);
+  EXPECT_EQ(counts[AminoAcid::Arg], 6);
+  EXPECT_EQ(counts[AminoAcid::Ser], 6);
+  EXPECT_EQ(counts[AminoAcid::Stop], 3);
+  EXPECT_EQ(counts[AminoAcid::Ile], 3);
+  EXPECT_EQ(counts[AminoAcid::Ala], 4);
+}
+
+TEST(GeneticCode, BackTranslationConsistency) {
+  // codons_for is the exact inverse of translate.
+  for (AminoAcid aa : kAllAminoAcids) {
+    for (const Codon& c : codons_for(aa)) EXPECT_EQ(translate(c), aa);
+    EXPECT_EQ(degeneracy(aa), codons_for(aa).size());
+  }
+  std::size_t total = 0;
+  for (AminoAcid aa : kAllAminoAcids) total += degeneracy(aa);
+  EXPECT_EQ(total, kCodonCount);
+}
+
+TEST(GeneticCode, CodonsForReturnsSortedDense) {
+  for (AminoAcid aa : kAllAminoAcids) {
+    const auto codons = codons_for(aa);
+    for (std::size_t i = 1; i < codons.size(); ++i)
+      EXPECT_LT(codons[i - 1].dense_index(), codons[i].dense_index());
+  }
+}
+
+TEST(GeneticCode, StartStopPredicates) {
+  EXPECT_TRUE(is_start(codon("AUG")));
+  EXPECT_FALSE(is_start(codon("AUA")));
+  EXPECT_TRUE(is_stop(codon("UAA")));
+  EXPECT_TRUE(is_stop(codon("UGA")));
+  EXPECT_FALSE(is_stop(codon("UGG")));
+}
+
+TEST(GeneticCode, PheExample) {
+  // The paper's running example: Phe <- {UUU, UUC}.
+  const auto codons = codons_for(AminoAcid::Phe);
+  ASSERT_EQ(codons.size(), 2u);
+  EXPECT_EQ(codons[0].to_string(), "UUC");  // dense order: C < U
+  EXPECT_EQ(codons[1].to_string(), "UUU");
+}
+
+}  // namespace
+}  // namespace fabp::bio

@@ -1,0 +1,113 @@
+#include "fabp/bio/codon_usage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/bio/translation.hpp"
+
+namespace fabp::bio {
+namespace {
+
+Codon codon(const char* text) {
+  return Codon{*nucleotide_from_char(text[0]), *nucleotide_from_char(text[1]),
+               *nucleotide_from_char(text[2])};
+}
+
+TEST(CodonUsage, UniformWeightsSumToOnePerAminoAcid) {
+  const CodonUsage u = CodonUsage::uniform();
+  for (AminoAcid aa : kAllAminoAcids) {
+    double total = 0;
+    for (const Codon& c : codons_for(aa)) total += u.weight(c);
+    EXPECT_NEAR(total, 1.0, 1e-9) << to_three_letter(aa);
+  }
+}
+
+TEST(CodonUsage, TablesCoverEveryCodon) {
+  for (const CodonUsage* usage : {&CodonUsage::human(),
+                                  &CodonUsage::ecoli()}) {
+    for (AminoAcid aa : kAllAminoAcids) {
+      double total = 0;
+      for (const Codon& c : codons_for(aa)) total += usage->weight(c);
+      EXPECT_NEAR(total, 1.0, 0.03) << to_three_letter(aa);
+    }
+  }
+}
+
+TEST(CodonUsage, KnownBiases) {
+  const CodonUsage& human = CodonUsage::human();
+  // Human Leu: CUG dominates; UUA is rare.
+  EXPECT_GT(human.weight(codon("CUG")), human.weight(codon("UUA")) * 3);
+  // Human Ala: GCC > GCG.
+  EXPECT_GT(human.weight(codon("GCC")), human.weight(codon("GCG")));
+
+  const CodonUsage& ecoli = CodonUsage::ecoli();
+  // E. coli Arg: CGU/CGC strongly preferred over AGG.
+  EXPECT_GT(ecoli.weight(codon("CGU")), ecoli.weight(codon("AGG")) * 5);
+  // E. coli Lys: AAA preferred.
+  EXPECT_GT(ecoli.weight(codon("AAA")), ecoli.weight(codon("AAG")));
+}
+
+TEST(CodonUsage, RscuCentersAtOne) {
+  const CodonUsage u = CodonUsage::uniform();
+  for (std::uint8_t i = 0; i < kCodonCount; ++i)
+    EXPECT_NEAR(u.rscu(Codon::from_dense_index(i)), 1.0, 1e-9);
+  // Human CUG has RSCU > 1 (over-used), CUA < 1.
+  EXPECT_GT(CodonUsage::human().rscu(codon("CUG")), 1.5);
+  EXPECT_LT(CodonUsage::human().rscu(codon("CUA")), 0.7);
+}
+
+TEST(CodonUsage, SampleRespectsWeights) {
+  util::Xoshiro256 rng{931};
+  const CodonUsage& human = CodonUsage::human();
+  std::map<std::uint8_t, int> counts;
+  constexpr int kDraws = 30'000;
+  for (int i = 0; i < kDraws; ++i)
+    counts[human.sample(AminoAcid::Leu, rng).dense_index()]++;
+  const double cug = counts[codon("CUG").dense_index()];
+  const double uua = counts[codon("UUA").dense_index()];
+  EXPECT_NEAR(cug / kDraws, 0.40, 0.02);
+  EXPECT_NEAR(uua / kDraws, 0.08, 0.02);
+}
+
+TEST(CodonUsage, SampleAlwaysSynonymous) {
+  util::Xoshiro256 rng{937};
+  for (AminoAcid aa : kAllAminoAcids)
+    for (int i = 0; i < 50; ++i)
+      EXPECT_EQ(translate(CodonUsage::human().sample(aa, rng)), aa);
+}
+
+TEST(CodonUsage, BiasedCodingSequenceTranslatesBack) {
+  util::Xoshiro256 rng{941};
+  const ProteinSequence protein = random_protein(120, rng);
+  const NucleotideSequence coding =
+      biased_coding_sequence(protein, CodonUsage::human(), rng);
+  EXPECT_EQ(translate(coding), protein);
+}
+
+TEST(CodonUsage, HumanSerineAgyFractionMatters) {
+  // ~39% of human Ser codons are AGY — the codons FabP's template drops.
+  util::Xoshiro256 rng{947};
+  int agy = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Codon c = CodonUsage::human().sample(AminoAcid::Ser, rng);
+    if (c.first == Nucleotide::A) ++agy;
+  }
+  EXPECT_NEAR(static_cast<double>(agy) / kDraws, 0.39, 0.03);
+}
+
+TEST(CodonUsage, FromFractionsValidation) {
+  const CodonUsage::Fraction bad_len[] = {{"AU", 1.0}};
+  EXPECT_THROW(CodonUsage::from_fractions(bad_len), std::invalid_argument);
+  const CodonUsage::Fraction bad_char[] = {{"AXG", 1.0}};
+  EXPECT_THROW(CodonUsage::from_fractions(bad_char), std::invalid_argument);
+  const CodonUsage::Fraction ok[] = {{"AUG", 1.0}};
+  const CodonUsage u = CodonUsage::from_fractions(ok);
+  EXPECT_DOUBLE_EQ(u.weight(codon("AUG")), 1.0);
+  EXPECT_DOUBLE_EQ(u.weight(codon("UUU")), 0.0);
+}
+
+}  // namespace
+}  // namespace fabp::bio

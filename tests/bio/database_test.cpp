@@ -1,0 +1,174 @@
+#include "fabp/bio/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::bio {
+namespace {
+
+TEST(ReferenceDatabase, EmptyDatabase) {
+  ReferenceDatabase db;
+  EXPECT_EQ(db.record_count(), 0u);
+  EXPECT_EQ(db.total_bases(), 0u);
+  EXPECT_FALSE(db.locate(0).has_value());
+}
+
+TEST(ReferenceDatabase, SingleRecordRoundTrip) {
+  util::Xoshiro256 rng{701};
+  const NucleotideSequence seq = random_dna(500, rng);
+  ReferenceDatabase db;
+  const std::size_t idx = db.add("chr1", seq);
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(db.record_count(), 1u);
+  EXPECT_EQ(db.name(0), "chr1");
+  EXPECT_EQ(db.record_length(0), 500u);
+  EXPECT_EQ(db.total_bases(), 500u);
+  // Packed store holds the record plus the guard.
+  EXPECT_EQ(db.packed().size(), 500u + ReferenceDatabase::kGuardElements);
+  for (std::size_t i = 0; i < 500; ++i)
+    EXPECT_EQ(db.packed().get(i), seq[i]);
+}
+
+TEST(ReferenceDatabase, LocateMapsGlobalToRecord) {
+  util::Xoshiro256 rng{703};
+  ReferenceDatabase db;
+  db.add("a", random_dna(100, rng));
+  db.add("b", random_dna(200, rng));
+
+  const auto a0 = db.locate(0);
+  ASSERT_TRUE(a0);
+  EXPECT_EQ(a0->record, 0u);
+  EXPECT_EQ(a0->offset, 0u);
+
+  const auto a99 = db.locate(99);
+  ASSERT_TRUE(a99);
+  EXPECT_EQ(a99->record, 0u);
+  EXPECT_EQ(a99->offset, 99u);
+
+  // Inside the guard between a and b: no record.
+  EXPECT_FALSE(db.locate(100).has_value());
+  EXPECT_FALSE(
+      db.locate(100 + ReferenceDatabase::kGuardElements - 1).has_value());
+
+  const std::size_t b_begin = 100 + ReferenceDatabase::kGuardElements;
+  const auto b0 = db.locate(b_begin);
+  ASSERT_TRUE(b0);
+  EXPECT_EQ(b0->record, 1u);
+  EXPECT_EQ(b0->offset, 0u);
+  const auto b_last = db.locate(b_begin + 199);
+  ASSERT_TRUE(b_last);
+  EXPECT_EQ(b_last->offset, 199u);
+  EXPECT_FALSE(db.locate(b_begin + 200).has_value());
+}
+
+TEST(ReferenceDatabase, WindowWithinRecord) {
+  util::Xoshiro256 rng{709};
+  ReferenceDatabase db;
+  db.add("a", random_dna(100, rng));
+  db.add("b", random_dna(100, rng));
+  EXPECT_TRUE(db.window_within_record(0, 100));
+  EXPECT_FALSE(db.window_within_record(1, 100));   // runs past record end
+  EXPECT_FALSE(db.window_within_record(100, 10));  // starts in the guard
+  EXPECT_FALSE(db.window_within_record(0, 0));
+  const std::size_t b_begin = 100 + ReferenceDatabase::kGuardElements;
+  EXPECT_TRUE(db.window_within_record(b_begin + 50, 50));
+}
+
+TEST(ReferenceDatabase, FromFasta) {
+  const std::vector<FastaRecord> records{
+      FastaRecord{"r1", "", "ACGTACGT"},
+      FastaRecord{"r2", "desc", "GGGCCC"},
+  };
+  const ReferenceDatabase db = ReferenceDatabase::from_fasta(records);
+  EXPECT_EQ(db.record_count(), 2u);
+  EXPECT_EQ(db.name(1), "r2");
+  EXPECT_EQ(db.record_length(0), 8u);
+  EXPECT_EQ(db.total_bases(), 14u);
+}
+
+TEST(ReferenceDatabase, FromFastaRejectsNonNucleotide) {
+  EXPECT_THROW(
+      ReferenceDatabase::from_fasta({FastaRecord{"p", "", "MKWV"}}),
+      std::invalid_argument);
+}
+
+TEST(ReferenceDatabase, FromFastaLenientHandlesNs) {
+  // Real NCBI nt records contain N runs; lenient mode packs them and
+  // reports the substitution count.
+  const ReferenceDatabase db = ReferenceDatabase::from_fasta(
+      {FastaRecord{"contig", "", "ACGTNNNNACGT"}}, /*lenient=*/true);
+  EXPECT_EQ(db.record_length(0), 12u);
+  EXPECT_EQ(db.ambiguous_bases(), 4u);
+  // Ns decode as A (the documented first-compatible substitution).
+  EXPECT_EQ(db.packed().get(4), Nucleotide::A);
+}
+
+TEST(ReferenceDatabase, GuardsDecodeAsA) {
+  util::Xoshiro256 rng{719};
+  ReferenceDatabase db;
+  db.add("a", random_dna(10, rng));
+  for (std::size_t i = 10; i < 10 + ReferenceDatabase::kGuardElements; ++i)
+    EXPECT_EQ(db.packed().get(i), Nucleotide::A);
+}
+
+TEST(ReferenceDatabase, SaveLoadRoundTrip) {
+  util::Xoshiro256 rng{733};
+  ReferenceDatabase db;
+  db.add("alpha", random_dna(300, rng));
+  db.add("beta with spaces", random_dna(450, rng));
+  db.add("", random_dna(1, rng));  // empty name, tiny record
+
+  std::stringstream buffer;
+  db.save(buffer);
+  const ReferenceDatabase loaded = ReferenceDatabase::load(buffer);
+
+  EXPECT_EQ(loaded.record_count(), db.record_count());
+  EXPECT_EQ(loaded.total_bases(), db.total_bases());
+  for (std::size_t r = 0; r < db.record_count(); ++r) {
+    EXPECT_EQ(loaded.name(r), db.name(r));
+    EXPECT_EQ(loaded.record_length(r), db.record_length(r));
+  }
+  EXPECT_EQ(loaded.packed(), db.packed());
+}
+
+TEST(ReferenceDatabase, SaveLoadFile) {
+  util::Xoshiro256 rng{739};
+  ReferenceDatabase db;
+  db.add("chr", random_dna(1000, rng));
+  const std::string path = testing::TempDir() + "/fabp_db_test.bin";
+  db.save_file(path);
+  const ReferenceDatabase loaded = ReferenceDatabase::load_file(path);
+  EXPECT_EQ(loaded.packed(), db.packed());
+  std::remove(path.c_str());
+}
+
+TEST(ReferenceDatabase, LoadRejectsGarbage) {
+  std::stringstream bad{"not a database"};
+  EXPECT_THROW(ReferenceDatabase::load(bad), std::runtime_error);
+  std::stringstream truncated{std::string{"FABPDB1\n"}};
+  EXPECT_THROW(ReferenceDatabase::load(truncated), std::runtime_error);
+}
+
+TEST(ReferenceDatabase, LoadMissingFileThrows) {
+  EXPECT_THROW(ReferenceDatabase::load_file("/nonexistent/db.bin"),
+               std::runtime_error);
+}
+
+TEST(ReferenceDatabase, ConcatenatedMatchesPacked) {
+  util::Xoshiro256 rng{727};
+  ReferenceDatabase db;
+  db.add("a", random_dna(77, rng));
+  db.add("b", random_dna(33, rng));
+  const NucleotideSequence cat = db.concatenated();
+  EXPECT_EQ(cat.size(), db.packed().size());
+  for (std::size_t i = 0; i < cat.size(); ++i)
+    EXPECT_EQ(cat[i], db.packed().get(i));
+}
+
+}  // namespace
+}  // namespace fabp::bio

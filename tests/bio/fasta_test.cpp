@@ -1,0 +1,85 @@
+#include "fabp/bio/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fabp::bio {
+namespace {
+
+TEST(Fasta, ReadsSingleRecord) {
+  std::istringstream in{">seq1 a description\nACGT\nACGT\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "seq1");
+  EXPECT_EQ(records[0].description, "a description");
+  EXPECT_EQ(records[0].sequence, "ACGTACGT");
+}
+
+TEST(Fasta, ReadsMultipleRecords) {
+  std::istringstream in{">a\nAC\n>b desc\nGT\nGT\n>c\n\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].sequence, "AC");
+  EXPECT_EQ(records[1].sequence, "GTGT");
+  EXPECT_EQ(records[2].sequence, "");
+}
+
+TEST(Fasta, HeaderWithoutDescription) {
+  std::istringstream in{">only_id\nAA\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "only_id");
+  EXPECT_TRUE(records[0].description.empty());
+}
+
+TEST(Fasta, HandlesCrLf) {
+  std::istringstream in{">x\r\nACGT\r\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+}
+
+TEST(Fasta, RejectsLeadingSequence) {
+  std::istringstream in{"ACGT\n>x\nAC\n"};
+  EXPECT_THROW(read_fasta(in), std::runtime_error);
+}
+
+TEST(Fasta, EmptyStreamYieldsNothing) {
+  std::istringstream in{""};
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(Fasta, WriteWrapsLines) {
+  std::ostringstream out;
+  write_fasta(out, {FastaRecord{"id", "d", "AAAAABBBBBCC"}}, 5);
+  EXPECT_EQ(out.str(), ">id d\nAAAAA\nBBBBB\nCC\n");
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  const std::vector<FastaRecord> records{
+      FastaRecord{"r1", "first", std::string(200, 'A')},
+      FastaRecord{"r2", "", "MFSRW"},
+  };
+  std::stringstream buffer;
+  write_fasta(buffer, records);
+  const auto parsed = read_fasta(buffer);
+  EXPECT_EQ(parsed, records);
+}
+
+TEST(Fasta, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/fabp_fasta_test.fa";
+  const std::vector<FastaRecord> records{FastaRecord{"g", "x y", "ACGTACGT"}};
+  write_fasta_file(path, records);
+  EXPECT_EQ(read_fasta_file(path), records);
+  std::remove(path.c_str());
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/nope.fa"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fabp::bio

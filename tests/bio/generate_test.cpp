@@ -1,0 +1,168 @@
+#include "fabp/bio/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "fabp/bio/codon.hpp"
+#include "fabp/bio/translation.hpp"
+
+namespace fabp::bio {
+namespace {
+
+TEST(RandomDna, LengthAndAlphabet) {
+  util::Xoshiro256 rng{1};
+  const NucleotideSequence seq = random_dna(1000, rng);
+  EXPECT_EQ(seq.size(), 1000u);
+  EXPECT_EQ(seq.kind(), SeqKind::Dna);
+}
+
+TEST(RandomDna, GcContentRespected) {
+  util::Xoshiro256 rng{2};
+  for (double gc : {0.2, 0.5, 0.8}) {
+    const NucleotideSequence seq = random_dna(20'000, rng, gc);
+    std::size_t gc_count = 0;
+    for (Nucleotide n : seq)
+      if (n == Nucleotide::G || n == Nucleotide::C) ++gc_count;
+    EXPECT_NEAR(static_cast<double>(gc_count) / 20'000.0, gc, 0.02);
+  }
+}
+
+TEST(RandomProtein, NoStopResidues) {
+  util::Xoshiro256 rng{3};
+  const ProteinSequence p = random_protein(5000, rng);
+  for (AminoAcid aa : p) EXPECT_NE(aa, AminoAcid::Stop);
+}
+
+TEST(RandomProtein, CommonResiduesMoreFrequent) {
+  util::Xoshiro256 rng{4};
+  const ProteinSequence p = random_protein(50'000, rng);
+  std::size_t leu = 0, trp = 0;
+  for (AminoAcid aa : p) {
+    if (aa == AminoAcid::Leu) ++leu;
+    if (aa == AminoAcid::Trp) ++trp;
+  }
+  // Leu ~9.7%, Trp ~1.1% in the Swiss-Prot composition.
+  EXPECT_GT(leu, trp * 4);
+}
+
+TEST(RandomCodingSequence, TranslatesBack) {
+  util::Xoshiro256 rng{5};
+  const ProteinSequence p = random_protein(200, rng);
+  const NucleotideSequence coding = random_coding_sequence(p, rng);
+  EXPECT_EQ(coding.size(), p.size() * 3);
+  EXPECT_EQ(translate(coding), p);
+}
+
+TEST(RandomCodingSequence, UsesSynonymousVariety) {
+  // Over many Leu codons, more than one synonymous codon should appear.
+  util::Xoshiro256 rng{6};
+  ProteinSequence p;
+  for (int i = 0; i < 200; ++i) p.push_back(AminoAcid::Leu);
+  const NucleotideSequence coding = random_coding_sequence(p, rng);
+  std::set<std::string> codons;
+  for (std::size_t i = 0; i < coding.size(); i += 3)
+    codons.insert(coding.subsequence(i, 3).to_string());
+  EXPECT_GT(codons.size(), 3u);
+}
+
+TEST(SyntheticDatabase, BuildsRequestedShape) {
+  DatabaseSpec spec;
+  spec.total_bases = 100'000;
+  spec.gene_count = 10;
+  spec.gene_length = 60;
+  const SyntheticDatabase db = SyntheticDatabase::build(spec);
+  EXPECT_EQ(db.dna.size(), spec.total_bases);
+  ASSERT_EQ(db.genes.size(), spec.gene_count);
+  for (const auto& gene : db.genes)
+    EXPECT_EQ(gene.protein.size(), spec.gene_length);
+}
+
+TEST(SyntheticDatabase, GenesDoNotOverlapAndAreSorted) {
+  DatabaseSpec spec;
+  spec.total_bases = 50'000;
+  spec.gene_count = 8;
+  spec.gene_length = 50;
+  const SyntheticDatabase db = SyntheticDatabase::build(spec);
+  for (std::size_t g = 1; g < db.genes.size(); ++g)
+    EXPECT_GE(db.genes[g].dna_position,
+              db.genes[g - 1].dna_position + 3 * spec.gene_length);
+}
+
+TEST(SyntheticDatabase, PlantedGenesTranslateInPlace) {
+  DatabaseSpec spec;
+  spec.total_bases = 30'000;
+  spec.gene_count = 5;
+  spec.gene_length = 40;
+  const SyntheticDatabase db = SyntheticDatabase::build(spec);
+  for (const auto& gene : db.genes) {
+    const NucleotideSequence coding =
+        db.dna.subsequence(gene.dna_position, gene.protein.size() * 3);
+    EXPECT_EQ(translate(coding), gene.protein);
+  }
+}
+
+TEST(SyntheticDatabase, DeterministicForSeed) {
+  DatabaseSpec spec;
+  spec.total_bases = 10'000;
+  spec.gene_count = 3;
+  spec.gene_length = 30;
+  const SyntheticDatabase a = SyntheticDatabase::build(spec);
+  const SyntheticDatabase b = SyntheticDatabase::build(spec);
+  EXPECT_EQ(a.dna, b.dna);
+}
+
+TEST(SyntheticDatabase, ThrowsWhenGenesDoNotFit) {
+  DatabaseSpec spec;
+  spec.total_bases = 100;
+  spec.gene_count = 10;
+  spec.gene_length = 10;
+  EXPECT_THROW(SyntheticDatabase::build(spec), std::invalid_argument);
+}
+
+TEST(SampleQueries, PlantedQueriesAreSubstrings) {
+  DatabaseSpec spec;
+  spec.total_bases = 60'000;
+  spec.gene_count = 6;
+  spec.gene_length = 80;
+  const SyntheticDatabase db = SyntheticDatabase::build(spec);
+
+  QuerySpec qspec;
+  qspec.length = 30;
+  const QuerySet qs = sample_queries(db, 20, qspec, 1.0);
+  ASSERT_EQ(qs.queries.size(), 20u);
+  for (std::size_t i = 0; i < qs.queries.size(); ++i) {
+    ASSERT_GE(qs.source_gene[i], 0);
+    const auto& gene = db.genes[static_cast<std::size_t>(qs.source_gene[i])];
+    EXPECT_NE(gene.protein.to_string().find(qs.queries[i].to_string()),
+              std::string::npos);
+  }
+}
+
+TEST(SampleQueries, BackgroundQueriesMarked) {
+  DatabaseSpec spec;
+  spec.total_bases = 20'000;
+  spec.gene_count = 2;
+  spec.gene_length = 40;
+  const SyntheticDatabase db = SyntheticDatabase::build(spec);
+  QuerySpec qspec;
+  qspec.length = 25;
+  const QuerySet qs = sample_queries(db, 50, qspec, 0.0);
+  for (int g : qs.source_gene) EXPECT_EQ(g, -1);
+}
+
+TEST(SampleQueries, QueryLengthClampedToGene) {
+  DatabaseSpec spec;
+  spec.total_bases = 20'000;
+  spec.gene_count = 2;
+  spec.gene_length = 20;
+  const SyntheticDatabase db = SyntheticDatabase::build(spec);
+  QuerySpec qspec;
+  qspec.length = 100;  // longer than any gene
+  const QuerySet qs = sample_queries(db, 5, qspec, 1.0);
+  for (const auto& q : qs.queries) EXPECT_EQ(q.size(), 20u);
+}
+
+}  // namespace
+}  // namespace fabp::bio

@@ -1,0 +1,133 @@
+#include "fabp/bio/mutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/stats.hpp"
+
+namespace fabp::bio {
+namespace {
+
+TEST(Mutation, ZeroRatesAreIdentity) {
+  util::Xoshiro256 rng{1};
+  const NucleotideSequence seq = random_dna(500, rng);
+  const MutationResult r = mutate(seq, MutationParams{0.0, 0.0}, rng);
+  EXPECT_EQ(r.sequence, seq);
+  EXPECT_EQ(r.summary.substitutions, 0u);
+  EXPECT_EQ(r.summary.indel_events, 0u);
+}
+
+TEST(Mutation, SubstitutionsChangeBasesNotLength) {
+  util::Xoshiro256 rng{2};
+  const NucleotideSequence seq = random_dna(2000, rng);
+  MutationParams p;
+  p.substitution_rate = 0.1;
+  const MutationResult r = mutate(seq, p, rng);
+  EXPECT_EQ(r.sequence.size(), seq.size());
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    if (seq[i] != r.sequence[i]) ++diffs;
+  EXPECT_EQ(diffs, r.summary.substitutions);
+  EXPECT_NEAR(static_cast<double>(diffs) / 2000.0, 0.1, 0.03);
+}
+
+TEST(Mutation, SubstitutionNeverKeepsBase) {
+  // With rate 1.0 every base must change.
+  util::Xoshiro256 rng{3};
+  const NucleotideSequence seq = random_dna(300, rng);
+  MutationParams p;
+  p.substitution_rate = 1.0;
+  const MutationResult r = mutate(seq, p, rng);
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_NE(seq[i], r.sequence[i]) << i;
+}
+
+TEST(Mutation, InsertionGrowsSequence) {
+  util::Xoshiro256 rng{4};
+  const NucleotideSequence seq = random_dna(1000, rng);
+  MutationParams p;
+  p.indel_events_per_kb = 50.0;  // force many events
+  p.insertion_fraction = 1.0;
+  const MutationResult r = mutate(seq, p, rng);
+  EXPECT_EQ(r.sequence.size(), seq.size() + r.summary.inserted_bases);
+  EXPECT_GT(r.summary.indel_events, 0u);
+  EXPECT_EQ(r.summary.deleted_bases, 0u);
+}
+
+TEST(Mutation, DeletionShrinksSequence) {
+  util::Xoshiro256 rng{5};
+  const NucleotideSequence seq = random_dna(1000, rng);
+  MutationParams p;
+  p.indel_events_per_kb = 50.0;
+  p.insertion_fraction = 0.0;
+  const MutationResult r = mutate(seq, p, rng);
+  EXPECT_EQ(r.sequence.size(), seq.size() - r.summary.deleted_bases);
+  EXPECT_GT(r.summary.deleted_bases, 0u);
+  EXPECT_EQ(r.summary.inserted_bases, 0u);
+}
+
+TEST(Mutation, EmpiricalIndelRateMatchesPaper) {
+  // Paper §IV-A (citing Neininger et al.): mean 0.09 indel events/kb.
+  // Over many kb the empirical event rate should recover the parameter.
+  util::Xoshiro256 rng{6};
+  MutationParams p;
+  p.indel_events_per_kb = 0.09;
+  util::RunningStats events_per_kb;
+  for (int trial = 0; trial < 400; ++trial) {
+    const NucleotideSequence seq = random_dna(5000, rng);
+    const MutationResult r = mutate(seq, p, rng);
+    events_per_kb.add(static_cast<double>(r.summary.indel_events) / 5.0);
+  }
+  EXPECT_NEAR(events_per_kb.mean(), 0.09, 0.02);
+}
+
+TEST(Mutation, DeterministicGivenSeed) {
+  const NucleotideSequence seq = [] {
+    util::Xoshiro256 rng{7};
+    return random_dna(500, rng);
+  }();
+  MutationParams p;
+  p.substitution_rate = 0.05;
+  p.indel_events_per_kb = 2.0;
+  util::Xoshiro256 rng_a{8}, rng_b{8};
+  const MutationResult a = mutate(seq, p, rng_a);
+  const MutationResult b = mutate(seq, p, rng_b);
+  EXPECT_EQ(a.sequence, b.sequence);
+  EXPECT_EQ(a.summary.substitutions, b.summary.substitutions);
+}
+
+TEST(Mutation, EmptySequence) {
+  util::Xoshiro256 rng{9};
+  MutationParams p;
+  p.substitution_rate = 0.5;
+  const MutationResult r = mutate(NucleotideSequence{SeqKind::Dna}, p, rng);
+  EXPECT_TRUE(r.sequence.empty());
+}
+
+TEST(MutateProtein, RateZeroIdentity) {
+  util::Xoshiro256 rng{10};
+  const ProteinSequence p = random_protein(100, rng);
+  EXPECT_EQ(mutate_protein(p, 0.0, rng), p);
+}
+
+TEST(MutateProtein, ChangesResidues) {
+  util::Xoshiro256 rng{11};
+  const ProteinSequence p = random_protein(500, rng);
+  const ProteinSequence m = mutate_protein(p, 1.0, rng);
+  ASSERT_EQ(m.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_NE(m[i], p[i]);
+    EXPECT_NE(m[i], AminoAcid::Stop);
+  }
+}
+
+TEST(MutateProtein, StopsAreNeverMutated) {
+  util::Xoshiro256 rng{12};
+  ProteinSequence p;
+  for (int i = 0; i < 50; ++i) p.push_back(AminoAcid::Stop);
+  const ProteinSequence m = mutate_protein(p, 1.0, rng);
+  EXPECT_EQ(m, p);
+}
+
+}  // namespace
+}  // namespace fabp::bio

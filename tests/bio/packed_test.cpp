@@ -1,0 +1,106 @@
+#include "fabp/bio/packed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::bio {
+namespace {
+
+TEST(Packed, EmptyStore) {
+  PackedNucleotides p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.beat_count(), 0u);
+  EXPECT_EQ(p.byte_size(), 0u);
+}
+
+TEST(Packed, PackUnpackRoundTrip) {
+  util::Xoshiro256 rng{5};
+  for (std::size_t len : {1u, 31u, 32u, 33u, 255u, 256u, 257u, 1000u}) {
+    const NucleotideSequence seq = random_dna(len, rng);
+    const PackedNucleotides packed{seq};
+    EXPECT_EQ(packed.size(), len);
+    EXPECT_EQ(packed.unpack(SeqKind::Dna), seq) << len;
+  }
+}
+
+TEST(Packed, GetMatchesSequence) {
+  util::Xoshiro256 rng{6};
+  const NucleotideSequence seq = random_dna(500, rng);
+  const PackedNucleotides packed{seq};
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(packed.get(i), seq[i]) << i;
+}
+
+TEST(Packed, SetOverwrites) {
+  PackedNucleotides p{NucleotideSequence::parse(SeqKind::Dna, "AAAA")};
+  p.set(2, Nucleotide::G);
+  EXPECT_EQ(p.get(2), Nucleotide::G);
+  EXPECT_EQ(p.get(1), Nucleotide::A);
+  EXPECT_EQ(p.get(3), Nucleotide::A);
+}
+
+TEST(Packed, PushBackAcrossWordBoundary) {
+  PackedNucleotides p;
+  util::Xoshiro256 rng{7};
+  NucleotideSequence expected{SeqKind::Dna};
+  for (int i = 0; i < 100; ++i) {
+    const auto n = nucleotide_from_code(
+        static_cast<std::uint8_t>(rng.bounded(4)));
+    p.push_back(n);
+    expected.push_back(n);
+  }
+  EXPECT_EQ(p.unpack(SeqKind::Dna), expected);
+}
+
+TEST(Packed, TwoBitsPerElement) {
+  // 256 elements = 512 bits = 64 bytes = exactly one AXI beat.
+  util::Xoshiro256 rng{8};
+  const PackedNucleotides p{random_dna(256, rng)};
+  EXPECT_EQ(p.byte_size(), 64u);
+  EXPECT_EQ(p.beat_count(), 1u);
+  EXPECT_EQ(p.beat_elements(0), 256u);
+}
+
+TEST(Packed, BeatPartitioning) {
+  util::Xoshiro256 rng{9};
+  const PackedNucleotides p{random_dna(600, rng)};
+  EXPECT_EQ(p.beat_count(), 3u);
+  EXPECT_EQ(p.beat_elements(0), 256u);
+  EXPECT_EQ(p.beat_elements(1), 256u);
+  EXPECT_EQ(p.beat_elements(2), 88u);
+  EXPECT_EQ(p.beat_elements(3), 0u);
+}
+
+TEST(Packed, BeatWordsDecodeCorrectly) {
+  util::Xoshiro256 rng{10};
+  const NucleotideSequence seq = random_dna(520, rng);
+  const PackedNucleotides p{seq};
+  for (std::size_t b = 0; b < p.beat_count(); ++b) {
+    const auto words = p.beat(b);
+    const std::size_t n = p.beat_elements(b);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint64_t word = words[k / 32];
+      const auto code = static_cast<std::uint8_t>(
+          (word >> (2 * (k % 32))) & 3);
+      EXPECT_EQ(nucleotide_from_code(code), seq[b * kElementsPerBeat + k]);
+    }
+  }
+}
+
+TEST(Packed, PaddingDecodesAsA) {
+  const PackedNucleotides p{NucleotideSequence::parse(SeqKind::Dna, "GG")};
+  const auto words = p.beat(0);
+  // Elements beyond size decode as code 0 == A.
+  EXPECT_EQ((words[0] >> 4) & 3, 0u);
+}
+
+TEST(Packed, ConstantsAreConsistent) {
+  EXPECT_EQ(kElementsPerWord, 32u);
+  EXPECT_EQ(kElementsPerBeat, 256u);
+  EXPECT_EQ(kAxiBeatBits, 512u);
+}
+
+}  // namespace
+}  // namespace fabp::bio

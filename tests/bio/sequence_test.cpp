@@ -1,0 +1,148 @@
+#include "fabp/bio/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fabp::bio {
+namespace {
+
+TEST(NucleotideSequence, ParseDnaRoundTrip) {
+  const auto seq = NucleotideSequence::parse(SeqKind::Dna, "ACGTACGT");
+  EXPECT_EQ(seq.size(), 8u);
+  EXPECT_EQ(seq.to_string(), "ACGTACGT");
+}
+
+TEST(NucleotideSequence, ParseRnaRendersU) {
+  const auto seq = NucleotideSequence::parse(SeqKind::Rna, "ACGU");
+  EXPECT_EQ(seq.to_string(), "ACGU");
+}
+
+TEST(NucleotideSequence, ParseAcceptsTForRna) {
+  // T and U share one code; rendering follows the kind tag.
+  const auto seq = NucleotideSequence::parse(SeqKind::Rna, "ACGT");
+  EXPECT_EQ(seq.to_string(), "ACGU");
+}
+
+TEST(NucleotideSequence, ParseSkipsWhitespace) {
+  const auto seq = NucleotideSequence::parse(SeqKind::Dna, "AC GT\nAC\tGT");
+  EXPECT_EQ(seq.size(), 8u);
+}
+
+TEST(NucleotideSequence, ParseRejectsInvalid) {
+  EXPECT_THROW(NucleotideSequence::parse(SeqKind::Dna, "ACGX"),
+               std::invalid_argument);
+}
+
+TEST(NucleotideSequence, LenientParseSubstitutesIupac) {
+  const auto result =
+      NucleotideSequence::parse_lenient(SeqKind::Dna, "ACGTNNRY");
+  EXPECT_EQ(result.sequence.size(), 8u);
+  EXPECT_EQ(result.ambiguous, 4u);
+  // Plain bases untouched.
+  EXPECT_EQ(result.sequence.subsequence(0, 4).to_string(), "ACGT");
+  // N/R -> A, Y -> C (first compatible base).
+  EXPECT_EQ(result.sequence[4], Nucleotide::A);
+  EXPECT_EQ(result.sequence[6], Nucleotide::A);
+  EXPECT_EQ(result.sequence[7], Nucleotide::C);
+}
+
+TEST(NucleotideSequence, LenientParseAllAmbiguityCodes) {
+  const auto result =
+      NucleotideSequence::parse_lenient(SeqKind::Dna, "NRYSWKMBDHV");
+  EXPECT_EQ(result.sequence.size(), 11u);
+  EXPECT_EQ(result.ambiguous, 11u);
+}
+
+TEST(NucleotideSequence, LenientParseStillRejectsGarbage) {
+  EXPECT_THROW(NucleotideSequence::parse_lenient(SeqKind::Dna, "ACGX"),
+               std::invalid_argument);
+  EXPECT_THROW(NucleotideSequence::parse_lenient(SeqKind::Dna, "AC1"),
+               std::invalid_argument);
+}
+
+TEST(NucleotideSequence, LenientParseCleanInputHasNoSubstitutions) {
+  const auto result =
+      NucleotideSequence::parse_lenient(SeqKind::Rna, "ACGU ACGU");
+  EXPECT_EQ(result.ambiguous, 0u);
+  EXPECT_EQ(result.sequence,
+            NucleotideSequence::parse(SeqKind::Rna, "ACGUACGU"));
+}
+
+TEST(NucleotideSequence, TranscribedKeepsBasesChangesKind) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "ATGC");
+  const auto rna = dna.transcribed();
+  EXPECT_EQ(rna.kind(), SeqKind::Rna);
+  EXPECT_EQ(rna.to_string(), "AUGC");
+  EXPECT_EQ(rna.bases(), dna.bases());
+}
+
+TEST(NucleotideSequence, ReverseComplement) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "AACGTT");
+  EXPECT_EQ(dna.reverse_complement().to_string(), "AACGTT");  // palindrome
+  const auto dna2 = NucleotideSequence::parse(SeqKind::Dna, "AAACCC");
+  EXPECT_EQ(dna2.reverse_complement().to_string(), "GGGTTT");
+}
+
+TEST(NucleotideSequence, ReverseComplementInvolution) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "ATGCGTATCCGAT");
+  EXPECT_EQ(dna.reverse_complement().reverse_complement(), dna);
+}
+
+TEST(NucleotideSequence, Subsequence) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "ATGCGT");
+  EXPECT_EQ(dna.subsequence(1, 3).to_string(), "TGC");
+  EXPECT_EQ(dna.subsequence(4, 10).to_string(), "GT");  // clamped
+  EXPECT_TRUE(dna.subsequence(10, 2).empty());
+}
+
+TEST(NucleotideSequence, AppendConcatenates) {
+  auto a = NucleotideSequence::parse(SeqKind::Dna, "AT");
+  const auto b = NucleotideSequence::parse(SeqKind::Dna, "GC");
+  a.append(b);
+  EXPECT_EQ(a.to_string(), "ATGC");
+}
+
+TEST(NucleotideSequence, IndexWriteAccess) {
+  auto seq = NucleotideSequence::parse(SeqKind::Dna, "AAAA");
+  seq[2] = Nucleotide::G;
+  EXPECT_EQ(seq.to_string(), "AAGA");
+}
+
+TEST(ProteinSequence, ParseRoundTrip) {
+  const auto p = ProteinSequence::parse("MFSR*");
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.to_string(), "MFSR*");
+  EXPECT_EQ(p[0], AminoAcid::Met);
+  EXPECT_EQ(p[4], AminoAcid::Stop);
+}
+
+TEST(ProteinSequence, ParseRejectsInvalid) {
+  EXPECT_THROW(ProteinSequence::parse("MFX"), std::invalid_argument);
+}
+
+TEST(ProteinSequence, ParseSkipsWhitespace) {
+  EXPECT_EQ(ProteinSequence::parse("MF SR\n").size(), 4u);
+}
+
+TEST(ProteinSequence, Subsequence) {
+  const auto p = ProteinSequence::parse("MFSRW");
+  EXPECT_EQ(p.subsequence(1, 2).to_string(), "FS");
+  EXPECT_EQ(p.subsequence(3, 99).to_string(), "RW");
+  EXPECT_TRUE(p.subsequence(9, 1).empty());
+}
+
+TEST(ProteinSequence, PushBack) {
+  ProteinSequence p;
+  p.push_back(AminoAcid::Met);
+  p.push_back(AminoAcid::Trp);
+  EXPECT_EQ(p.to_string(), "MW");
+}
+
+TEST(ProteinSequence, Equality) {
+  EXPECT_EQ(ProteinSequence::parse("MF"), ProteinSequence::parse("MF"));
+  EXPECT_NE(ProteinSequence::parse("MF"), ProteinSequence::parse("FM"));
+}
+
+}  // namespace
+}  // namespace fabp::bio

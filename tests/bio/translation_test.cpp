@@ -1,0 +1,123 @@
+#include "fabp/bio/translation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+
+namespace fabp::bio {
+namespace {
+
+TEST(Translate, SimplePeptide) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AUGUUUUCU");
+  EXPECT_EQ(translate(rna).to_string(), "MFS");
+}
+
+TEST(Translate, StopsBecomeResidues) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AUGUAAUGG");
+  EXPECT_EQ(translate(rna).to_string(), "M*W");
+}
+
+TEST(Translate, OffsetFrames) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AAUGUUU");
+  EXPECT_EQ(translate(rna, 1).to_string(), "MF");
+}
+
+TEST(Translate, TrailingBasesIgnored) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AUGUU");
+  EXPECT_EQ(translate(rna).to_string(), "M");
+}
+
+TEST(Translate, OffsetPastEndIsEmpty) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AUG");
+  EXPECT_TRUE(translate(rna, 5).empty());
+}
+
+TEST(SixFrame, ProducesSixFrames) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "ATGAAACCCGGG");
+  const auto frames = six_frame_translate(dna);
+  EXPECT_EQ(frames[0].id.frame, 0);
+  EXPECT_EQ(frames[5].id.frame, 5);
+  EXPECT_EQ(frames[0].protein.to_string(), "MKPG");
+  // Frame 1 drops one base: TGA AAC CCG GG -> *, N, P
+  EXPECT_EQ(frames[1].protein.to_string(), "*NP");
+}
+
+TEST(SixFrame, ReverseFramesUseReverseComplement) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "ATGAAA");
+  // revcomp = TTTCAT -> frame 3 translates TTTCAT = F, H... FH? TTT=F CAT=H.
+  const auto frames = six_frame_translate(dna);
+  EXPECT_EQ(frames[3].protein.to_string(), "FH");
+}
+
+TEST(SixFrame, FrameLengthsCoverSequence) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna,
+                                             "ATGAAACCCGGGTTTAA");
+  const auto frames = six_frame_translate(dna);
+  for (const auto& f : frames) {
+    const std::size_t expect = (dna.size() - f.id.offset()) / 3;
+    EXPECT_EQ(f.protein.size(), expect) << f.id.frame;
+  }
+}
+
+TEST(SixFrame, NucleotidePositionForward) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "AATGAAACCC");
+  const auto frames = six_frame_translate(dna);
+  EXPECT_EQ(frames[0].nucleotide_position(0, dna.size()), 0u);
+  EXPECT_EQ(frames[0].nucleotide_position(2, dna.size()), 6u);
+  EXPECT_EQ(frames[1].nucleotide_position(1, dna.size()), 4u);
+}
+
+TEST(SixFrame, NucleotidePositionReverseMapsInsideSequence) {
+  const auto dna = NucleotideSequence::parse(SeqKind::Dna, "ATGAAACCCGGG");
+  const auto frames = six_frame_translate(dna);
+  for (int f = 3; f < 6; ++f) {
+    const auto& frame = frames[static_cast<std::size_t>(f)];
+    for (std::size_t p = 0; p < frame.protein.size(); ++p) {
+      const std::size_t pos = frame.nucleotide_position(p, dna.size());
+      EXPECT_LE(pos + 3, dna.size()) << "frame " << f << " residue " << p;
+    }
+  }
+}
+
+TEST(SixFrame, PlantedProteinRecoverableFromSomeFrame) {
+  util::Xoshiro256 rng{77};
+  const ProteinSequence protein = random_protein(30, rng);
+  const NucleotideSequence coding = random_coding_sequence(protein, rng);
+  // Embed at offset 1 in a DNA context.
+  auto dna = NucleotideSequence::parse(SeqKind::Dna, "G");
+  dna.append(NucleotideSequence{SeqKind::Dna, coding.bases()});
+  dna.push_back(Nucleotide::C);
+  dna.push_back(Nucleotide::C);
+
+  const auto frames = six_frame_translate(dna);
+  bool found = false;
+  const std::string want = protein.to_string();
+  for (const auto& frame : frames)
+    if (frame.protein.to_string().find(want) != std::string::npos)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(FindOrfs, DetectsSimpleOrf) {
+  // AUG AAA UAA = Met Lys Stop.
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "CCAUGAAAUAACC");
+  const auto orfs = find_orfs(rna, 1);
+  ASSERT_EQ(orfs.size(), 1u);
+  EXPECT_EQ(orfs[0].begin, 2u);
+  EXPECT_EQ(orfs[0].end, 11u);
+  EXPECT_EQ(orfs[0].protein.to_string(), "MK");
+}
+
+TEST(FindOrfs, RespectsMinimumLength) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AUGAAAUAA");
+  EXPECT_EQ(find_orfs(rna, 2).size(), 1u);
+  EXPECT_EQ(find_orfs(rna, 3).size(), 0u);
+}
+
+TEST(FindOrfs, NoStopNoOrf) {
+  const auto rna = NucleotideSequence::parse(SeqKind::Rna, "AUGAAAAAA");
+  EXPECT_TRUE(find_orfs(rna, 1).empty());
+}
+
+}  // namespace
+}  // namespace fabp::bio

@@ -1,0 +1,85 @@
+#include "fabp/blast/evalue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fabp::blast {
+namespace {
+
+TEST(KarlinAltschul, PublishedParameterSets) {
+  const auto ungapped = KarlinAltschulParams::blosum62_ungapped();
+  EXPECT_NEAR(ungapped.lambda, 0.3176, 1e-4);
+  EXPECT_NEAR(ungapped.k, 0.134, 1e-4);
+  const auto gapped = KarlinAltschulParams::blosum62_gapped_11_1();
+  EXPECT_NEAR(gapped.lambda, 0.267, 1e-4);
+  EXPECT_NEAR(gapped.k, 0.041, 1e-4);
+}
+
+TEST(BitScore, MonotoneInRawScore) {
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  double prev = bit_score(0, params);
+  for (int s = 1; s < 200; s += 10) {
+    const double b = bit_score(s, params);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(BitScore, KnownValue) {
+  // S=50 with gapped params: (0.267*50 - ln 0.041)/ln2 ~ 23.87 bits.
+  const double b =
+      bit_score(50, KarlinAltschulParams::blosum62_gapped_11_1());
+  EXPECT_NEAR(b, 23.87, 0.05);
+}
+
+TEST(Evalue, DecreasesWithScore) {
+  const SearchSpace space{100, 1'000'000};
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  double prev = evalue(10, space, params);
+  for (int s = 20; s <= 100; s += 10) {
+    const double e = evalue(s, space, params);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Evalue, GrowsWithDatabase) {
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  const double small = evalue(60, SearchSpace{100, 1'000'000}, params);
+  const double large = evalue(60, SearchSpace{100, 1'000'000'000}, params);
+  EXPECT_GT(large, small);
+}
+
+TEST(Evalue, EffectiveSpaceSmallerThanRaw) {
+  const SearchSpace space{100, 1'000'000};
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  EXPECT_LT(space.effective(params), 100.0 * 1'000'000.0);
+  EXPECT_GT(space.effective(params), 0.0);
+}
+
+TEST(ScoreForEvalue, InvertsEvalue) {
+  const SearchSpace space{150, 500'000'000};
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  for (double target : {10.0, 1e-3, 1e-10}) {
+    const int s = score_for_evalue(target, space, params);
+    EXPECT_LE(evalue(s, space, params), target * 1.0001);
+    if (s > 0) {
+      EXPECT_GT(evalue(s - 1, space, params), target);
+    }
+  }
+}
+
+TEST(ScoreForEvalue, NeverNegative) {
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  EXPECT_GE(score_for_evalue(1e30, SearchSpace{10, 100}, params), 0);
+}
+
+TEST(Evalue, TinyTargetsClamped) {
+  const SearchSpace space{100, 1'000'000};
+  const auto params = KarlinAltschulParams::blosum62_gapped_11_1();
+  // Should not overflow / UB with a zero target.
+  const int s = score_for_evalue(0.0, space, params);
+  EXPECT_GT(s, 100);
+}
+
+}  // namespace
+}  // namespace fabp::blast

@@ -1,0 +1,141 @@
+#include "fabp/blast/kmer_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::blast {
+namespace {
+
+using bio::AminoAcid;
+using bio::ProteinSequence;
+
+const align::SubstitutionMatrix& blosum() {
+  return align::SubstitutionMatrix::blosum62();
+}
+
+int word_score(std::span<const AminoAcid> a, std::span<const AminoAcid> b) {
+  int s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += blosum().score(a[i], b[i]);
+  return s;
+}
+
+TEST(PackKmer, DistinctWordsDistinctCodes) {
+  const auto a = ProteinSequence::parse("MKW");
+  const auto b = ProteinSequence::parse("MKV");
+  EXPECT_NE(pack_kmer(std::span{a.residues()}),
+            pack_kmer(std::span{b.residues()}));
+}
+
+TEST(PackKmer, FiveBitsPerResidue) {
+  const auto w = ProteinSequence::parse("AAA");  // Ala index 0
+  EXPECT_EQ(pack_kmer(std::span{w.residues()}), 0u);
+  const auto v = ProteinSequence::parse("AAR");  // Arg index 1
+  EXPECT_EQ(pack_kmer(std::span{v.residues()}), 1u);
+}
+
+TEST(KmerIndex, SelfWordsAlwaysIndexed) {
+  // Every query word's neighborhood contains the word itself when its
+  // self-score clears T (true for essentially all BLOSUM62 3-mers).
+  const auto query = ProteinSequence::parse("MKWVTFISLLFL");
+  KmerIndex index{query, KmerIndexConfig{3, 11}, blosum()};
+  const auto& residues = query.residues();
+  for (std::size_t p = 0; p + 3 <= residues.size(); ++p) {
+    const std::span<const AminoAcid> word{residues.data() + p, 3};
+    if (word_score(word, word) < 11) continue;
+    const auto positions = index.lookup(residues, p);
+    EXPECT_NE(std::find(positions.begin(), positions.end(), p),
+              positions.end())
+        << "position " << p;
+  }
+}
+
+TEST(KmerIndex, LookupRespectsThresholdExactly) {
+  // Property: for random probe words, lookup hits exactly the query
+  // positions whose window scores >= T against the probe.
+  util::Xoshiro256 rng{41};
+  const ProteinSequence query = bio::random_protein(40, rng);
+  const int t = 11;
+  KmerIndex index{query, KmerIndexConfig{3, t}, blosum()};
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const ProteinSequence probe = bio::random_protein(3, rng);
+    const std::span<const AminoAcid> probe_span{probe.residues()};
+    const auto positions = index.lookup(probe_span, 0);
+
+    for (std::size_t p = 0; p + 3 <= query.size(); ++p) {
+      const std::span<const AminoAcid> window{query.residues().data() + p, 3};
+      const bool expected = word_score(probe_span, window) >= t;
+      const bool found = std::find(positions.begin(), positions.end(), p) !=
+                         positions.end();
+      EXPECT_EQ(found, expected) << "trial " << trial << " pos " << p;
+    }
+  }
+}
+
+TEST(KmerIndex, EntriesSortedPerWord) {
+  util::Xoshiro256 rng{43};
+  const ProteinSequence query = bio::random_protein(60, rng);
+  KmerIndex index{query, KmerIndexConfig{3, 13}, blosum()};
+  // Probe a bunch of packed words directly.
+  for (std::uint32_t w = 0; w < (1u << 15); w += 997) {
+    const auto positions = index.lookup_packed(w);
+    for (std::size_t i = 1; i < positions.size(); ++i)
+      EXPECT_LT(positions[i - 1], positions[i]);
+  }
+}
+
+TEST(KmerIndex, StopWordsNeverSeed) {
+  auto query = ProteinSequence::parse("MKW");
+  query.push_back(AminoAcid::Stop);
+  query.push_back(AminoAcid::Lys);
+  query.push_back(AminoAcid::Trp);
+  KmerIndex index{query, KmerIndexConfig{3, 5}, blosum()};
+  // Any window overlapping the stop (positions 1,2,3) is absent.
+  const auto& residues = query.residues();
+  for (std::size_t p = 1; p <= 3; ++p) {
+    const auto positions = index.lookup(residues, p);
+    EXPECT_TRUE(positions.empty()) << p;
+  }
+}
+
+TEST(KmerIndex, HigherThresholdSmallerIndex) {
+  util::Xoshiro256 rng{47};
+  const ProteinSequence query = bio::random_protein(80, rng);
+  const KmerIndex loose{query, KmerIndexConfig{3, 9}, blosum()};
+  const KmerIndex strict{query, KmerIndexConfig{3, 14}, blosum()};
+  EXPECT_GT(loose.entry_count(), strict.entry_count());
+}
+
+TEST(KmerIndex, ShortQueryYieldsEmptyIndex) {
+  const auto query = ProteinSequence::parse("MK");
+  KmerIndex index{query, KmerIndexConfig{3, 11}, blosum()};
+  EXPECT_EQ(index.entry_count(), 0u);
+}
+
+TEST(KmerIndex, RejectsBadK) {
+  const auto query = ProteinSequence::parse("MKWMKW");
+  EXPECT_THROW((KmerIndex{query, KmerIndexConfig{0, 11}, blosum()}),
+               std::invalid_argument);
+  EXPECT_THROW((KmerIndex{query, KmerIndexConfig{6, 11}, blosum()}),
+               std::invalid_argument);
+}
+
+TEST(KmerIndex, LookupPastEndEmpty) {
+  const auto query = ProteinSequence::parse("MKWMKW");
+  KmerIndex index{query, KmerIndexConfig{3, 11}, blosum()};
+  EXPECT_TRUE(index.lookup(query.residues(), 4).empty());
+  EXPECT_TRUE(index.lookup(query.residues(), 100).empty());
+}
+
+TEST(KmerIndex, K2Works) {
+  const auto query = ProteinSequence::parse("WWCC");
+  KmerIndex index{query, KmerIndexConfig{2, 10}, blosum()};
+  // WW self-score 22 >= 10; CC self-score 18 >= 10.
+  EXPECT_FALSE(index.lookup(query.residues(), 0).empty());
+  EXPECT_FALSE(index.lookup(query.residues(), 2).empty());
+}
+
+}  // namespace
+}  // namespace fabp::blast

@@ -1,0 +1,134 @@
+#include "fabp/blast/seg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/blast/tblastn.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::blast {
+namespace {
+
+using bio::AminoAcid;
+using bio::ProteinSequence;
+
+TEST(Entropy, UniformCompositionIsMaximal) {
+  // 12 distinct residues -> log2(12) bits.
+  ProteinSequence p = ProteinSequence::parse("ARNDCQEGHILK");
+  EXPECT_NEAR(composition_entropy(p.residues()), std::log2(12.0), 1e-9);
+}
+
+TEST(Entropy, HomopolymerIsZero) {
+  ProteinSequence p = ProteinSequence::parse("AAAAAAAAAAAA");
+  EXPECT_EQ(composition_entropy(p.residues()), 0.0);
+}
+
+TEST(Entropy, EmptyIsZero) {
+  EXPECT_EQ(composition_entropy({}), 0.0);
+}
+
+TEST(Seg, HomopolymerFullyMasked) {
+  ProteinSequence p;
+  for (int i = 0; i < 40; ++i) p.push_back(AminoAcid::Ala);
+  const auto mask = seg_mask(p);
+  EXPECT_NEAR(masked_fraction(mask), 1.0, 1e-9);
+}
+
+TEST(Seg, RandomProteinMostlyUnmasked) {
+  util::Xoshiro256 rng{501};
+  const ProteinSequence p = bio::random_protein(500, rng);
+  const auto mask = seg_mask(p);
+  EXPECT_LT(masked_fraction(mask), 0.05);
+}
+
+TEST(Seg, DipeptideRepeatMasked) {
+  ProteinSequence p;
+  for (int i = 0; i < 30; ++i) {
+    p.push_back(AminoAcid::Gln);
+    p.push_back(AminoAcid::Pro);
+  }
+  const auto mask = seg_mask(p);
+  EXPECT_GT(masked_fraction(mask), 0.9);
+}
+
+TEST(Seg, MixedSequenceMasksOnlyTheRepeat) {
+  util::Xoshiro256 rng{503};
+  ProteinSequence p = bio::random_protein(60, rng);
+  const std::size_t repeat_begin = p.size();
+  for (int i = 0; i < 25; ++i) p.push_back(AminoAcid::Ser);
+  const std::size_t repeat_end = p.size();
+  const ProteinSequence tail = bio::random_protein(60, rng);
+  for (AminoAcid aa : tail) p.push_back(aa);
+
+  const auto mask = seg_mask(p);
+  // Core of the repeat masked...
+  for (std::size_t i = repeat_begin + 8; i + 8 < repeat_end; ++i)
+    EXPECT_TRUE(mask[i]) << i;
+  // ...random flanks mostly untouched.
+  std::size_t masked_flank = 0;
+  for (std::size_t i = 0; i < 40; ++i)
+    if (mask[i]) ++masked_flank;
+  EXPECT_LT(masked_flank, 5u);
+}
+
+TEST(Seg, ShortSequencesNeverMasked) {
+  ProteinSequence p = ProteinSequence::parse("AAAAA");  // shorter than window
+  EXPECT_EQ(masked_fraction(seg_mask(p)), 0.0);
+}
+
+TEST(Seg, MaskedFractionEmpty) {
+  EXPECT_EQ(masked_fraction({}), 0.0);
+}
+
+TEST(Seg, KmerIndexSkipsMaskedWindows) {
+  util::Xoshiro256 rng{509};
+  ProteinSequence p;
+  for (int i = 0; i < 30; ++i) p.push_back(AminoAcid::Lys);  // poly-K
+  const auto mask = seg_mask(p);
+  ASSERT_GT(masked_fraction(mask), 0.9);
+
+  const auto& matrix = align::SubstitutionMatrix::blosum62();
+  const KmerIndex unmasked{p, KmerIndexConfig{}, matrix};
+  const KmerIndex masked{p, KmerIndexConfig{}, matrix, &mask};
+  EXPECT_GT(unmasked.entry_count(), 0u);
+  EXPECT_EQ(masked.entry_count(), 0u);
+}
+
+TEST(Seg, TblastnWithMaskAvoidsLowComplexitySeeds) {
+  // Query: half poly-Q, half a real planted gene fragment.  Against random
+  // DNA plus a planted poly-Q-rich region, the masked search probes far
+  // fewer seeds and still finds the informative half.
+  util::Xoshiro256 rng{521};
+  ProteinSequence informative = bio::random_protein(30, rng);
+  ProteinSequence query;
+  for (int i = 0; i < 30; ++i) query.push_back(AminoAcid::Gln);
+  for (AminoAcid aa : informative) query.push_back(aa);
+
+  bio::NucleotideSequence dna = bio::random_dna(20'000, rng);
+  const auto coding = bio::random_coding_sequence(informative, rng);
+  for (std::size_t i = 0; i < coding.size(); ++i) dna[7'000 + i] = coding[i];
+  // A genomic poly-Q (CAG repeat) stretch that would seed wildly.
+  for (std::size_t i = 0; i < 300; i += 3) {
+    dna[12'000 + i] = bio::Nucleotide::C;
+    dna[12'001 + i] = bio::Nucleotide::A;
+    dna[12'002 + i] = bio::Nucleotide::G;
+  }
+
+  TblastnConfig with_mask;
+  TblastnConfig without_mask;
+  without_mask.mask_query = false;
+
+  const auto masked = Tblastn{query, with_mask}.search(dna);
+  const auto unmasked = Tblastn{query, without_mask}.search(dna);
+
+  EXPECT_LT(masked.stats.seed_hits, unmasked.stats.seed_hits / 2);
+  bool found = false;
+  for (const auto& hit : masked.hits)
+    if (hit.dna_position >= 6'990 && hit.dna_position <= 7'100) found = true;
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace fabp::blast

@@ -1,0 +1,240 @@
+#include "fabp/blast/tblastn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::blast {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+using bio::SeqKind;
+
+// Builds a reference with one planted coding sequence for `protein` at a
+// known position and random context around it.
+struct Planted {
+  NucleotideSequence dna;
+  std::size_t position;
+};
+
+Planted plant(const ProteinSequence& protein, std::size_t context,
+              std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  Planted out;
+  out.dna = bio::random_dna(context, rng);
+  const NucleotideSequence coding =
+      bio::random_coding_sequence(protein, rng);
+  out.position = context / 2;
+  NucleotideSequence dna = bio::random_dna(context, rng);
+  for (std::size_t i = 0; i < coding.size(); ++i)
+    dna[out.position + i] = coding[i];
+  out.dna = dna;
+  return out;
+}
+
+TblastnConfig fast_config() {
+  TblastnConfig cfg;
+  cfg.evalue_cutoff = 1e3;  // permissive for small test databases
+  return cfg;
+}
+
+TEST(Tblastn, FindsPlantedGeneInForwardFrame) {
+  util::Xoshiro256 rng{51};
+  const ProteinSequence protein = bio::random_protein(40, rng);
+  const Planted planted = plant(protein, 6000, 52);
+
+  Tblastn engine{protein, fast_config()};
+  const TblastnResult result = engine.search(planted.dna);
+  ASSERT_FALSE(result.hits.empty());
+
+  bool found = false;
+  for (const auto& hit : result.hits) {
+    if (hit.dna_position >= planted.position &&
+        hit.dna_position < planted.position + 3 * protein.size())
+      found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tblastn, FindsGeneOnReverseStrand) {
+  util::Xoshiro256 rng{53};
+  const ProteinSequence protein = bio::random_protein(35, rng);
+  Planted planted = plant(protein, 5000, 54);
+  const NucleotideSequence flipped = planted.dna.reverse_complement();
+
+  Tblastn engine{protein, fast_config()};
+  const TblastnResult result = engine.search(flipped);
+  ASSERT_FALSE(result.hits.empty());
+  bool reverse_frame = false;
+  for (const auto& hit : result.hits)
+    if (hit.frame >= 3) reverse_frame = true;
+  EXPECT_TRUE(reverse_frame);
+}
+
+TEST(Tblastn, ToleratesProteinDivergence) {
+  util::Xoshiro256 rng{55};
+  const ProteinSequence protein = bio::random_protein(50, rng);
+  const ProteinSequence diverged = bio::mutate_protein(protein, 0.15, rng);
+  const Planted planted = plant(protein, 8000, 56);
+
+  Tblastn engine{diverged, fast_config()};
+  const TblastnResult result = engine.search(planted.dna);
+  bool found = false;
+  for (const auto& hit : result.hits)
+    if (hit.dna_position >= planted.position &&
+        hit.dna_position < planted.position + 3 * protein.size())
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Tblastn, RandomQueryAgainstRandomDnaFindsLittle) {
+  util::Xoshiro256 rng{57};
+  const ProteinSequence query = bio::random_protein(40, rng);
+  const NucleotideSequence dna = bio::random_dna(6000, rng);
+  TblastnConfig cfg;
+  cfg.evalue_cutoff = 1e-3;  // strict
+  Tblastn engine{query, cfg};
+  const TblastnResult result = engine.search(dna);
+  EXPECT_TRUE(result.hits.empty());
+}
+
+TEST(Tblastn, StatsAccountPipelineStages) {
+  util::Xoshiro256 rng{59};
+  const ProteinSequence protein = bio::random_protein(30, rng);
+  const Planted planted = plant(protein, 4000, 60);
+  Tblastn engine{protein, fast_config()};
+  const TblastnResult result = engine.search(planted.dna);
+  const TblastnStats& s = result.stats;
+  EXPECT_GT(s.residues_scanned, 0u);
+  EXPECT_GT(s.word_probes, 0u);
+  EXPECT_GT(s.seed_hits, 0u);
+  EXPECT_GE(s.seed_hits, s.two_hit_pairs);
+  EXPECT_GE(s.two_hit_pairs, s.ungapped_extensions);
+  EXPECT_GE(s.ungapped_extensions, s.gapped_extensions);
+  EXPECT_EQ(s.hsps_reported, result.hits.size());
+}
+
+TEST(Tblastn, SingleHitModeFindsMoreSeeds) {
+  util::Xoshiro256 rng{61};
+  const ProteinSequence protein = bio::random_protein(30, rng);
+  const Planted planted = plant(protein, 4000, 62);
+
+  TblastnConfig two_hit = fast_config();
+  TblastnConfig one_hit = fast_config();
+  one_hit.two_hit = false;
+
+  const auto r2 = Tblastn{protein, two_hit}.search(planted.dna);
+  const auto r1 = Tblastn{protein, one_hit}.search(planted.dna);
+  EXPECT_GE(r1.stats.ungapped_extensions, r2.stats.ungapped_extensions);
+}
+
+TEST(Tblastn, HitsAreSortedAndScored) {
+  util::Xoshiro256 rng{63};
+  const ProteinSequence protein = bio::random_protein(40, rng);
+  const Planted planted = plant(protein, 6000, 64);
+  Tblastn engine{protein, fast_config()};
+  const TblastnResult result = engine.search(planted.dna);
+  for (std::size_t i = 1; i < result.hits.size(); ++i) {
+    EXPECT_LE(result.hits[i - 1].frame, result.hits[i].frame);
+  }
+  for (const auto& hit : result.hits) {
+    EXPECT_GT(hit.score, 0);
+    EXPECT_GT(hit.bits, 0.0);
+    EXPECT_GE(hit.evalue, 0.0);
+    EXPECT_LE(hit.query_begin, hit.query_end);
+    EXPECT_LE(hit.subject_begin, hit.subject_end);
+    EXPECT_LT(hit.dna_position, planted.dna.size());
+  }
+}
+
+TEST(Tblastn, ParallelSearchFindsPlantedGene) {
+  util::Xoshiro256 rng{65};
+  const ProteinSequence protein = bio::random_protein(30, rng);
+  const Planted planted = plant(protein, 300'000, 66);
+
+  util::ThreadPool pool{4};
+  Tblastn engine{protein, fast_config()};
+  const TblastnResult parallel =
+      engine.search_parallel(planted.dna, pool, 1 << 16);
+
+  bool found = false;
+  for (const auto& hit : parallel.hits)
+    if (hit.dna_position >= planted.position &&
+        hit.dna_position < planted.position + 3 * protein.size())
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Tblastn, ParallelSmallInputFallsBackToSerial) {
+  util::Xoshiro256 rng{67};
+  const ProteinSequence protein = bio::random_protein(25, rng);
+  const Planted planted = plant(protein, 3000, 68);
+  util::ThreadPool pool{2};
+  Tblastn engine{protein, fast_config()};
+  const auto serial = engine.search(planted.dna);
+  const auto parallel = engine.search_parallel(planted.dna, pool, 1 << 20);
+  EXPECT_EQ(serial.hits.size(), parallel.hits.size());
+}
+
+TEST(Tblastn, ReportedEvaluesRespectTheCutoff) {
+  util::Xoshiro256 rng{69};
+  const ProteinSequence protein = bio::random_protein(35, rng);
+  const Planted planted = plant(protein, 8000, 70);
+  TblastnConfig cfg;
+  cfg.evalue_cutoff = 1e-2;
+  Tblastn engine{protein, cfg};
+  const auto result = engine.search(planted.dna);
+  for (const auto& hit : result.hits) {
+    EXPECT_LE(hit.evalue, cfg.evalue_cutoff * 1.0001);
+    EXPECT_GT(hit.bits, 0.0);
+  }
+}
+
+TEST(Tblastn, SearchIsDeterministic) {
+  util::Xoshiro256 rng{71};
+  const ProteinSequence protein = bio::random_protein(30, rng);
+  const Planted planted = plant(protein, 5000, 72);
+  Tblastn engine{protein, fast_config()};
+  const auto a = engine.search(planted.dna);
+  const auto b = engine.search(planted.dna);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.stats.seed_hits, b.stats.seed_hits);
+}
+
+TEST(Tblastn, AlignHitProducesFullTraceback) {
+  util::Xoshiro256 rng{73};
+  const ProteinSequence protein = bio::random_protein(40, rng);
+  const Planted planted = plant(protein, 6000, 74);
+  Tblastn engine{protein, fast_config()};
+  const auto result = engine.search(planted.dna);
+  ASSERT_FALSE(result.hits.empty());
+
+  // Take the best hit (the planted gene) and traceback.
+  const TblastnHit best = *std::max_element(
+      result.hits.begin(), result.hits.end(),
+      [](const TblastnHit& a, const TblastnHit& b) {
+        return a.score < b.score;
+      });
+  const align::Alignment alignment = engine.align_hit(best, planted.dna);
+  // Full-length, gap-free identity alignment of the planted gene.
+  EXPECT_EQ(alignment.cigar(), std::to_string(protein.size()) + "M");
+  EXPECT_EQ(alignment.query_begin, 0u);
+  EXPECT_EQ(alignment.query_end, protein.size());
+  EXPECT_GE(alignment.score, best.score);
+  // Subject extent covers the reported HSP (frame coordinates).
+  EXPECT_LE(alignment.ref_begin, best.subject_begin);
+  EXPECT_GE(alignment.ref_end, best.subject_end);
+}
+
+TEST(Tblastn, TinyReferenceNoCrash) {
+  const ProteinSequence protein = ProteinSequence::parse("MKWVTF");
+  Tblastn engine{protein, fast_config()};
+  const auto result =
+      engine.search(NucleotideSequence::parse(SeqKind::Dna, "AC"));
+  EXPECT_TRUE(result.hits.empty());
+}
+
+}  // namespace
+}  // namespace fabp::blast

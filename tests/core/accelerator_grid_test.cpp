@@ -1,0 +1,84 @@
+// Parameterized sweep: the accelerator simulator must equal the golden
+// model over a grid of (query length, threshold fraction, device), with
+// planted genes guaranteeing hit-rich workloads.
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/accelerator.hpp"
+
+namespace fabp::core {
+namespace {
+
+struct GridParam {
+  std::size_t residues;
+  int threshold_percent;
+  bool big_device;
+
+  friend std::ostream& operator<<(std::ostream& os, const GridParam& p) {
+    return os << p.residues << "aa_t" << p.threshold_percent << "_"
+              << (p.big_device ? "vu9p" : "k7");
+  }
+};
+
+class AcceleratorGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(AcceleratorGrid, MatchesGoldenModel) {
+  const GridParam param = GetParam();
+  util::Xoshiro256 rng{1000 + param.residues * 7 +
+                       static_cast<std::uint64_t>(param.threshold_percent)};
+
+  const bio::ProteinSequence protein =
+      bio::random_protein(param.residues, rng);
+  bio::NucleotideSequence ref = bio::random_dna(4000, rng);
+  const bio::NucleotideSequence coding = random_template_coding(protein, rng);
+  const std::size_t pos = 700 + rng.bounded(2000);
+  for (std::size_t i = 0; i < coding.size(); ++i) ref[pos + i] = coding[i];
+
+  const auto elements = back_translate(protein);
+  const auto threshold = static_cast<std::uint32_t>(
+      elements.size() * static_cast<std::size_t>(param.threshold_percent) /
+      100);
+
+  AcceleratorConfig cfg;
+  cfg.threshold = threshold;
+  if (param.big_device) cfg.device = hw::virtex_ultrascale_plus();
+  Accelerator acc{cfg};
+  acc.load_query(protein);
+  const AcceleratorRun run = acc.run(bio::PackedNucleotides{ref});
+
+  EXPECT_EQ(run.hits, golden_hits(elements, ref, threshold));
+
+  // The planted gene is present at full score when the threshold allows.
+  if (param.threshold_percent <= 100) {
+    bool found = false;
+    for (const Hit& h : run.hits)
+      if (h.position == pos) found = true;
+    EXPECT_TRUE(found);
+  }
+
+  // Timing invariants hold on every grid point.
+  EXPECT_GT(run.cycles, 0u);
+  EXPECT_EQ(run.beats, (ref.size() + 255) / 256);
+  EXPECT_LE(run.mapping.used.luts, run.mapping.capacity.luts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AcceleratorGrid,
+    ::testing::Values(
+        GridParam{5, 60, false}, GridParam{5, 100, false},
+        GridParam{30, 70, false}, GridParam{30, 90, false},
+        GridParam{85, 80, false},   // first segmented length on the K7
+        GridParam{85, 100, false},
+        GridParam{130, 75, false},  // two segments
+        GridParam{250, 80, false},  // four segments
+        GridParam{250, 80, true},   // multi-channel device
+        GridParam{60, 85, true}),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      std::ostringstream os;
+      os << info.param;
+      return os.str();
+    });
+
+}  // namespace
+}  // namespace fabp::core

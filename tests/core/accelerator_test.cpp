@@ -1,0 +1,214 @@
+#include "fabp/core/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::PackedNucleotides;
+using bio::ProteinSequence;
+
+AcceleratorConfig config_with_threshold(std::uint32_t t) {
+  AcceleratorConfig cfg;
+  cfg.threshold = t;
+  return cfg;
+}
+
+TEST(Accelerator, RequiresLoadedQuery) {
+  Accelerator acc;
+  EXPECT_THROW(acc.run(PackedNucleotides{}), std::logic_error);
+  EXPECT_THROW(acc.estimate(1000), std::logic_error);
+  EXPECT_THROW(acc.load_query(ProteinSequence{}), std::invalid_argument);
+}
+
+TEST(Accelerator, HitsMatchGoldenModelRandomized) {
+  // The central property: the cycle-level simulator produces exactly the
+  // golden model's hits, across query lengths spanning beat boundaries
+  // and references of several beats.
+  util::Xoshiro256 rng{111};
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t residues = 4 + rng.bounded(40);  // 12..132 elements
+    const ProteinSequence protein = bio::random_protein(residues, rng);
+    NucleotideSequence ref = bio::random_dna(300 + rng.bounded(1500), rng);
+    // Plant the query so high-threshold hits exist.
+    const NucleotideSequence coding =
+        bio::random_coding_sequence(protein, rng);
+    const std::size_t pos = rng.bounded(ref.size() - coding.size());
+    for (std::size_t i = 0; i < coding.size(); ++i) ref[pos + i] = coding[i];
+
+    const auto threshold = static_cast<std::uint32_t>(
+        (residues * 3 * (60 + rng.bounded(41))) / 100);  // 60-100%
+
+    Accelerator acc{config_with_threshold(threshold)};
+    acc.load_query(protein);
+    const AcceleratorRun run = acc.run(PackedNucleotides{ref});
+
+    const auto expected =
+        golden_hits(back_translate(protein), ref, threshold);
+    EXPECT_EQ(run.hits, expected) << "trial " << trial << " residues "
+                                  << residues << " t " << threshold;
+  }
+}
+
+TEST(Accelerator, LutPathIdenticalToBehavioralPath) {
+  util::Xoshiro256 rng{113};
+  const ProteinSequence protein = bio::random_protein(20, rng);
+  NucleotideSequence ref = bio::random_dna(2000, rng);
+
+  AcceleratorConfig fast = config_with_threshold(40);
+  AcceleratorConfig lut = fast;
+  lut.use_lut_path = true;
+
+  Accelerator a{fast}, b{lut};
+  a.load_query(protein);
+  b.load_query(protein);
+  const PackedNucleotides packed{ref};
+  EXPECT_EQ(a.run(packed).hits, b.run(packed).hits);
+}
+
+TEST(Accelerator, QueryLongerThanBeat) {
+  // 100 residues = 300 elements > 256: positions span three beats.
+  util::Xoshiro256 rng{117};
+  const ProteinSequence protein = bio::random_protein(100, rng);
+  NucleotideSequence ref = bio::random_dna(3000, rng);
+  const NucleotideSequence coding = random_template_coding(protein, rng);
+  for (std::size_t i = 0; i < coding.size(); ++i) ref[411 + i] = coding[i];
+
+  const auto threshold = static_cast<std::uint32_t>(coding.size());
+  Accelerator acc{config_with_threshold(threshold)};
+  acc.load_query(protein);
+  const AcceleratorRun run = acc.run(PackedNucleotides{ref});
+  ASSERT_EQ(run.hits.size(),
+            golden_hits(back_translate(protein), ref, threshold).size());
+  bool found = false;
+  for (const Hit& h : run.hits)
+    if (h.position == 411) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Accelerator, ReferenceShorterThanQueryYieldsNoHits) {
+  util::Xoshiro256 rng{119};
+  const ProteinSequence protein = bio::random_protein(30, rng);
+  Accelerator acc{config_with_threshold(0)};
+  acc.load_query(protein);
+  const AcceleratorRun run = acc.run(PackedNucleotides{
+      bio::random_dna(50, rng)});
+  EXPECT_TRUE(run.hits.empty());
+}
+
+TEST(Accelerator, CycleAccountingIsConsistent) {
+  util::Xoshiro256 rng{127};
+  const ProteinSequence protein = bio::random_protein(10, rng);
+  Accelerator acc{config_with_threshold(31)};
+  acc.load_query(protein);
+  const AcceleratorRun run =
+      acc.run(PackedNucleotides{bio::random_dna(10'000, rng)});
+
+  EXPECT_EQ(run.beats, (10'000 + 255) / 256);
+  EXPECT_EQ(run.cycles, run.beats + run.stall_cycles + run.compute_cycles +
+                            run.wb_cycles + acc.config().pipeline_depth);
+  EXPECT_GT(run.kernel_seconds, 0.0);
+  EXPECT_GT(run.watts, 0.0);
+  EXPECT_NEAR(run.joules, run.watts * run.kernel_seconds, 1e-12);
+}
+
+TEST(Accelerator, StallsMatchAxiEfficiency) {
+  util::Xoshiro256 rng{131};
+  const ProteinSequence protein = bio::random_protein(10, rng);
+  Accelerator acc{config_with_threshold(30)};
+  acc.load_query(protein);
+  const AcceleratorRun run =
+      acc.run(PackedNucleotides{bio::random_dna(100'000, rng)});
+  const double measured_eff =
+      static_cast<double>(run.beats) /
+      static_cast<double>(run.beats + run.stall_cycles);
+  EXPECT_NEAR(measured_eff, acc.mapping().axi_efficiency, 0.01);
+}
+
+TEST(Accelerator, SegmentedQueryAddsComputeCycles) {
+  util::Xoshiro256 rng{137};
+  const ProteinSequence protein = bio::random_protein(250, rng);
+  Accelerator acc{config_with_threshold(750)};
+  const FabpMapping& m = acc.load_query(protein);
+  ASSERT_GT(m.segments, 1u);
+  const AcceleratorRun run =
+      acc.run(PackedNucleotides{bio::random_dna(20'000, rng)});
+  EXPECT_EQ(run.compute_cycles, run.beats * (m.segments - 1));
+}
+
+TEST(Accelerator, EstimateMatchesRunTimingClosely) {
+  util::Xoshiro256 rng{139};
+  const ProteinSequence protein = bio::random_protein(50, rng);
+  Accelerator acc{config_with_threshold(150)};
+  acc.load_query(protein);
+
+  const std::size_t elements = 200'000;
+  const AcceleratorRun run =
+      acc.run(PackedNucleotides{bio::random_dna(elements, rng)});
+  const AcceleratorRun est = acc.estimate(elements);
+  EXPECT_NEAR(static_cast<double>(est.cycles),
+              static_cast<double>(run.cycles),
+              static_cast<double>(run.cycles) * 0.02);
+}
+
+TEST(Accelerator, EstimateBandwidthMatchesMapping) {
+  util::Xoshiro256 rng{149};
+  for (std::size_t residues : {50u, 250u}) {
+    const ProteinSequence protein = bio::random_protein(residues, rng);
+    Accelerator acc{config_with_threshold(0)};
+    acc.load_query(protein);
+    const AcceleratorRun est = acc.estimate(100'000'000);
+    EXPECT_NEAR(est.effective_bandwidth_bps,
+                acc.mapping().effective_bandwidth_bps,
+                acc.mapping().effective_bandwidth_bps * 0.02)
+        << residues;
+  }
+}
+
+TEST(Accelerator, ThresholdZeroEmitsEveryPosition) {
+  util::Xoshiro256 rng{151};
+  const ProteinSequence protein = bio::random_protein(5, rng);
+  Accelerator acc{config_with_threshold(0)};
+  acc.load_query(protein);
+  const NucleotideSequence ref = bio::random_dna(700, rng);
+  const AcceleratorRun run = acc.run(PackedNucleotides{ref});
+  EXPECT_EQ(run.hits.size(), ref.size() - 15 + 1);
+}
+
+TEST(Accelerator, RunIsDeterministic) {
+  util::Xoshiro256 rng{159};
+  const ProteinSequence protein = bio::random_protein(15, rng);
+  Accelerator acc{config_with_threshold(30)};
+  acc.load_query(protein);
+  const PackedNucleotides packed{bio::random_dna(5000, rng)};
+  const AcceleratorRun a = acc.run(packed);
+  const AcceleratorRun b = acc.run(packed);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+}
+
+TEST(Accelerator, ReloadingQueryReplacesState) {
+  util::Xoshiro256 rng{160};
+  Accelerator acc{config_with_threshold(0)};
+  acc.load_query(bio::random_protein(10, rng));
+  EXPECT_EQ(acc.encoded_query().size(), 30u);
+  acc.load_query(bio::random_protein(20, rng));
+  EXPECT_EQ(acc.encoded_query().size(), 60u);
+  EXPECT_EQ(acc.mapping().query_elements, 60u);
+}
+
+TEST(Accelerator, MappingExposedAfterLoad) {
+  util::Xoshiro256 rng{157};
+  Accelerator acc;
+  const ProteinSequence protein = bio::random_protein(50, rng);
+  const FabpMapping& m = acc.load_query(protein);
+  EXPECT_EQ(m.query_elements, 150u);
+  EXPECT_EQ(acc.encoded_query().size(), 150u);
+}
+
+}  // namespace
+}  // namespace fabp::core

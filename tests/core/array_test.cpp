@@ -1,0 +1,113 @@
+#include "fabp/core/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/golden.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::Nucleotide;
+
+std::vector<Nucleotide> make_window(const bio::NucleotideSequence& ref,
+                                    std::size_t pos, std::size_t n) {
+  std::vector<Nucleotide> w;
+  w.push_back(pos >= 2 ? ref[pos - 2] : Nucleotide::A);
+  w.push_back(pos >= 1 ? ref[pos - 1] : Nucleotide::A);
+  for (std::size_t i = 0; i < n; ++i) w.push_back(ref[pos + i]);
+  return w;
+}
+
+TEST(InstanceArray, EveryInstanceMatchesGoldenModel) {
+  util::Xoshiro256 rng{1301};
+  for (const bool pipelined : {false, true}) {
+    const bio::ProteinSequence protein = bio::random_protein(6, rng);
+    const EncodedQuery query = encode_query(protein);
+    const auto elements = back_translate(protein);
+
+    ArrayConfig config;
+    config.elements = query.size();
+    config.instances = 7;
+    config.pipelined = pipelined;
+
+    hw::Netlist nl;
+    const ArrayPorts ports = build_instance_array(nl, config);
+
+    const bio::NucleotideSequence ref = bio::random_dna(300, rng);
+    for (std::size_t pos = 2; pos + query.size() + config.instances <
+                              ref.size();
+         pos += 23) {
+      const auto window = make_window(
+          ref, pos, query.size() + config.instances - 1);
+      const auto scores =
+          simulate_array(nl, ports, config, query, window);
+      ASSERT_EQ(scores.size(), config.instances);
+      for (std::size_t k = 0; k < config.instances; ++k)
+        EXPECT_EQ(scores[k], golden_score_at(elements, ref, pos + k))
+            << "pipelined=" << pipelined << " pos=" << pos << " k=" << k;
+    }
+  }
+}
+
+TEST(InstanceArray, HitFlagsFollowThreshold) {
+  util::Xoshiro256 rng{1303};
+  const bio::ProteinSequence protein = bio::random_protein(5, rng);
+  const EncodedQuery query = encode_query(protein);
+
+  ArrayConfig config;
+  config.elements = query.size();
+  config.instances = 5;
+  config.threshold = 10;
+
+  hw::Netlist nl;
+  const ArrayPorts ports = build_instance_array(nl, config);
+  const bio::NucleotideSequence ref = bio::random_dna(120, rng);
+  const auto window =
+      make_window(ref, 2, query.size() + config.instances - 1);
+  const auto scores = simulate_array(nl, ports, config, query, window);
+  for (std::size_t k = 0; k < config.instances; ++k)
+    EXPECT_EQ(nl.value(ports.hits[k]), scores[k] >= config.threshold) << k;
+}
+
+TEST(InstanceArray, ResourcesScaleLinearlyInInstances) {
+  // The mapper's core assumption: N instances cost N x one instance
+  // (comparators + pop-counter + threshold), sharing only the window.
+  const auto luts_for = [](std::size_t instances) {
+    ArrayConfig config;
+    config.elements = 24;
+    config.instances = instances;
+    config.threshold = 12;
+    hw::Netlist nl;
+    build_instance_array(nl, config);
+    return nl.stats().luts;
+  };
+  const std::size_t one = luts_for(1);
+  EXPECT_EQ(luts_for(4), 4 * one);
+  EXPECT_EQ(luts_for(9), 9 * one);
+}
+
+TEST(InstanceArray, SharedWindowFanout) {
+  // Window inputs are shared: input count grows by 2 per extra instance
+  // (one more stream element), not by 2*L_q.
+  ArrayConfig config;
+  config.elements = 30;
+  config.instances = 1;
+  hw::Netlist a;
+  build_instance_array(a, config);
+  config.instances = 9;
+  hw::Netlist b;
+  build_instance_array(b, config);
+  EXPECT_EQ(b.stats().inputs - a.stats().inputs, 8u * 2u);
+}
+
+TEST(InstanceArray, RejectsZeroDimensions) {
+  hw::Netlist nl;
+  EXPECT_THROW(build_instance_array(nl, ArrayConfig{0, 4, 0, false}),
+               std::invalid_argument);
+  EXPECT_THROW(build_instance_array(nl, ArrayConfig{12, 0, 0, false}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -1,0 +1,220 @@
+#include "fabp/core/backtranslate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fabp::core {
+namespace {
+
+using bio::AminoAcid;
+using bio::Codon;
+using bio::Nucleotide;
+
+// The one intentional deviation from "template accepts exactly the codons
+// of this amino acid": Ser's AGU/AGC are not covered (paper §III-A treats
+// Ser as UCD).
+bool is_dropped_ser_codon(const Codon& c) {
+  return translate(c) == AminoAcid::Ser && c.first == Nucleotide::A;
+}
+
+TEST(Templates, AcceptExactlyTheRightCodons) {
+  // Cross product: every template against every codon.  The template of
+  // amino acid X must accept codon c iff translate(c) == X, modulo the
+  // documented AGY-Ser exception.
+  for (AminoAcid aa : bio::kAllAminoAcids) {
+    for (std::uint8_t i = 0; i < bio::kCodonCount; ++i) {
+      const Codon c = Codon::from_dense_index(i);
+      bool expected = bio::translate(c) == aa;
+      if (aa == AminoAcid::Ser && is_dropped_ser_codon(c)) expected = false;
+      EXPECT_EQ(template_accepts(aa, c), expected)
+          << bio::to_three_letter(aa) << " vs " << c.to_string();
+    }
+  }
+}
+
+TEST(Templates, PaperWorkedExamples) {
+  // §III-A: Phe = UU(U/C); Ile = AU(G-bar); Ser = UCD;
+  // Leu = (U/C)U(F:01); Arg = (A/C)G(F:10); Stop = U(A/G)(F:00).
+  const CodonTemplate& phe = codon_template(AminoAcid::Phe);
+  EXPECT_EQ(phe[0], BackElement::make_exact(Nucleotide::U));
+  EXPECT_EQ(phe[1], BackElement::make_exact(Nucleotide::U));
+  EXPECT_EQ(phe[2], BackElement::make_conditional(Condition::UorC));
+
+  const CodonTemplate& ile = codon_template(AminoAcid::Ile);
+  EXPECT_EQ(ile[2], BackElement::make_conditional(Condition::NotG));
+
+  const CodonTemplate& ser = codon_template(AminoAcid::Ser);
+  EXPECT_EQ(ser[2], BackElement::make_dependent(Function::AnyD));
+
+  const CodonTemplate& leu = codon_template(AminoAcid::Leu);
+  EXPECT_EQ(leu[0], BackElement::make_conditional(Condition::UorC));
+  EXPECT_EQ(leu[1], BackElement::make_exact(Nucleotide::U));
+  EXPECT_EQ(leu[2], BackElement::make_dependent(Function::Leu3));
+
+  const CodonTemplate& arg = codon_template(AminoAcid::Arg);
+  EXPECT_EQ(arg[0], BackElement::make_conditional(Condition::AorC));
+  EXPECT_EQ(arg[1], BackElement::make_exact(Nucleotide::G));
+  EXPECT_EQ(arg[2], BackElement::make_dependent(Function::Arg3));
+
+  const CodonTemplate& stop = codon_template(AminoAcid::Stop);
+  EXPECT_EQ(stop[0], BackElement::make_exact(Nucleotide::U));
+  EXPECT_EQ(stop[1], BackElement::make_conditional(Condition::AorG));
+  EXPECT_EQ(stop[2], BackElement::make_dependent(Function::Stop3));
+}
+
+TEST(Templates, TypeIIIOnlyAtCodonPositionTwo) {
+  for (AminoAcid aa : bio::kAllAminoAcids) {
+    const CodonTemplate& t = codon_template(aa);
+    EXPECT_NE(t[0].type, ElementType::DependentIII)
+        << bio::to_three_letter(aa);
+    EXPECT_NE(t[1].type, ElementType::DependentIII)
+        << bio::to_three_letter(aa);
+  }
+}
+
+TEST(Templates, ElementTypeCensus) {
+  // The codon table yields a fixed census over the 21 templates:
+  // unique codons (Met, Trp) are all Type I; four-codon boxes end in D...
+  std::size_t type1 = 0, type2 = 0, type3 = 0;
+  for (AminoAcid aa : bio::kAllAminoAcids) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      switch (codon_template(aa)[i].type) {
+        case ElementType::ExactI: ++type1; break;
+        case ElementType::ConditionalII: ++type2; break;
+        case ElementType::DependentIII: ++type3; break;
+      }
+    }
+  }
+  EXPECT_EQ(type1 + type2 + type3, 63u);
+  // First elements: 19 exact + 2 conditional (Leu U/C, Arg A/C).
+  // Second elements: 20 exact + 1 conditional (Stop A/G).
+  // Third elements: 2 exact (Met, Trp), 10 conditional (six U/C boxes,
+  // three A/G boxes, Ile G-bar), 9 dependent (six D four-codon boxes
+  // incl. Ser, plus Leu3/Arg3/Stop3).
+  EXPECT_EQ(type1, 19u + 20u + 2u);
+  EXPECT_EQ(type2, 2u + 1u + 10u);
+  EXPECT_EQ(type3, 9u);
+}
+
+TEST(BackElement, ExactMatchSemantics) {
+  const BackElement e = BackElement::make_exact(Nucleotide::G);
+  for (Nucleotide r : bio::kAllNucleotides)
+    EXPECT_EQ(e.matches(r, Nucleotide::A, Nucleotide::A),
+              r == Nucleotide::G);
+}
+
+TEST(BackElement, ConditionalSemantics) {
+  const auto matches_set = [](Condition c,
+                              std::initializer_list<Nucleotide> set) {
+    const BackElement e = BackElement::make_conditional(c);
+    for (Nucleotide r : bio::kAllNucleotides) {
+      const bool expected =
+          std::find(set.begin(), set.end(), r) != set.end();
+      EXPECT_EQ(e.matches(r, Nucleotide::A, Nucleotide::A), expected)
+          << static_cast<int>(c) << " " << bio::to_char_rna(r);
+    }
+  };
+  matches_set(Condition::UorC, {Nucleotide::U, Nucleotide::C});
+  matches_set(Condition::AorG, {Nucleotide::A, Nucleotide::G});
+  matches_set(Condition::NotG, {Nucleotide::A, Nucleotide::C, Nucleotide::U});
+  matches_set(Condition::AorC, {Nucleotide::A, Nucleotide::C});
+}
+
+TEST(BackElement, DependentStopSemantics) {
+  const BackElement e = BackElement::make_dependent(Function::Stop3);
+  // Previous (i-1) = A: third of stop may be A or G (UAA, UAG).
+  EXPECT_TRUE(e.matches(Nucleotide::A, Nucleotide::A, Nucleotide::U));
+  EXPECT_TRUE(e.matches(Nucleotide::G, Nucleotide::A, Nucleotide::U));
+  EXPECT_FALSE(e.matches(Nucleotide::C, Nucleotide::A, Nucleotide::U));
+  EXPECT_FALSE(e.matches(Nucleotide::U, Nucleotide::A, Nucleotide::U));
+  // Previous = G: only A (UGA).
+  EXPECT_TRUE(e.matches(Nucleotide::A, Nucleotide::G, Nucleotide::U));
+  EXPECT_FALSE(e.matches(Nucleotide::G, Nucleotide::G, Nucleotide::U));
+}
+
+TEST(BackElement, DependentLeuSemantics) {
+  const BackElement e = BackElement::make_dependent(Function::Leu3);
+  // First element (i-2) = C: CUN — anything.
+  for (Nucleotide r : bio::kAllNucleotides)
+    EXPECT_TRUE(e.matches(r, Nucleotide::U, Nucleotide::C));
+  // First element = U: UUR — A or G only.
+  EXPECT_TRUE(e.matches(Nucleotide::A, Nucleotide::U, Nucleotide::U));
+  EXPECT_TRUE(e.matches(Nucleotide::G, Nucleotide::U, Nucleotide::U));
+  EXPECT_FALSE(e.matches(Nucleotide::C, Nucleotide::U, Nucleotide::U));
+  EXPECT_FALSE(e.matches(Nucleotide::U, Nucleotide::U, Nucleotide::U));
+}
+
+TEST(BackElement, DependentArgSemantics) {
+  const BackElement e = BackElement::make_dependent(Function::Arg3);
+  // First element (i-2) = C: CGN — anything.
+  for (Nucleotide r : bio::kAllNucleotides)
+    EXPECT_TRUE(e.matches(r, Nucleotide::G, Nucleotide::C));
+  // First element = A: AGR — A or G only.
+  EXPECT_TRUE(e.matches(Nucleotide::A, Nucleotide::G, Nucleotide::A));
+  EXPECT_TRUE(e.matches(Nucleotide::G, Nucleotide::G, Nucleotide::A));
+  EXPECT_FALSE(e.matches(Nucleotide::C, Nucleotide::G, Nucleotide::A));
+  EXPECT_FALSE(e.matches(Nucleotide::U, Nucleotide::G, Nucleotide::A));
+}
+
+TEST(BackElement, DependentDMatchesEverything) {
+  const BackElement e = BackElement::make_dependent(Function::AnyD);
+  for (Nucleotide r : bio::kAllNucleotides)
+    for (Nucleotide p1 : bio::kAllNucleotides)
+      for (Nucleotide p2 : bio::kAllNucleotides)
+        EXPECT_TRUE(e.matches(r, p1, p2));
+}
+
+TEST(BackTranslate, TripleLength) {
+  const auto protein = bio::ProteinSequence::parse("MFSR");
+  EXPECT_EQ(back_translate(protein).size(), 12u);
+}
+
+TEST(BackTranslate, PaperQueryExample) {
+  // §III-B: Met-Phe-Ser-Arg-Stop back-translates to
+  // AUG - UU(U/C) - UCD - (A/C)G(F:10) - U(A/G)(F:00).
+  bio::ProteinSequence q = bio::ProteinSequence::parse("MFS");
+  q.push_back(bio::AminoAcid::Arg);
+  q.push_back(bio::AminoAcid::Stop);
+  const auto elements = back_translate(q);
+  ASSERT_EQ(elements.size(), 15u);
+  EXPECT_EQ(to_string(elements[0]), "A");
+  EXPECT_EQ(to_string(elements[1]), "U");
+  EXPECT_EQ(to_string(elements[2]), "G");
+  EXPECT_EQ(to_string(elements[3]), "U");
+  EXPECT_EQ(to_string(elements[4]), "U");
+  EXPECT_EQ(to_string(elements[5]), "U/C");
+  EXPECT_EQ(to_string(elements[6]), "U");
+  EXPECT_EQ(to_string(elements[7]), "C");
+  EXPECT_EQ(to_string(elements[8]), "D");
+  EXPECT_EQ(to_string(elements[9]), "A/C");
+  EXPECT_EQ(to_string(elements[10]), "G");
+  EXPECT_EQ(to_string(elements[11]), "F:10");
+  EXPECT_EQ(to_string(elements[12]), "U");
+  EXPECT_EQ(to_string(elements[13]), "A/G");
+  EXPECT_EQ(to_string(elements[14]), "F:00");
+}
+
+TEST(BackTranslate, EveryCodonOfEveryResidueMatchesItsTemplate) {
+  // Generate a random coding sequence for each amino acid and verify the
+  // back-translated elements match it position-wise (excluding AGY-Ser).
+  for (AminoAcid aa : bio::kAllAminoAcids) {
+    for (const Codon& c : bio::codons_for(aa)) {
+      if (aa == AminoAcid::Ser && is_dropped_ser_codon(c)) continue;
+      const CodonTemplate& t = codon_template(aa);
+      EXPECT_TRUE(t[0].matches(c.first, Nucleotide::A, Nucleotide::A));
+      EXPECT_TRUE(t[1].matches(c.second, c.first, Nucleotide::A));
+      EXPECT_TRUE(t[2].matches(c.third, c.second, c.first))
+          << bio::to_three_letter(aa) << " " << c.to_string();
+    }
+  }
+}
+
+TEST(ToString, RendersAllForms) {
+  EXPECT_EQ(to_string(BackElement::make_exact(Nucleotide::C)), "C");
+  EXPECT_EQ(to_string(BackElement::make_conditional(Condition::NotG)),
+            "G-bar");
+  EXPECT_EQ(to_string(BackElement::make_dependent(Function::Stop3)), "F:00");
+  EXPECT_EQ(to_string(BackElement::make_dependent(Function::AnyD)), "D");
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -1,0 +1,148 @@
+#include "fabp/core/comparator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fabp::core {
+namespace {
+
+using bio::Nucleotide;
+
+std::vector<BackElement> all_valid_elements() {
+  std::vector<BackElement> out;
+  for (Nucleotide n : bio::kAllNucleotides)
+    out.push_back(BackElement::make_exact(n));
+  for (auto c : {Condition::UorC, Condition::AorG, Condition::NotG,
+                 Condition::AorC})
+    out.push_back(BackElement::make_conditional(c));
+  for (auto f : {Function::Stop3, Function::Leu3, Function::Arg3,
+                 Function::AnyD})
+    out.push_back(BackElement::make_dependent(f));
+  return out;
+}
+
+TEST(ComparatorLuts, ExactlyTwoLutsPerCell) {
+  hw::Netlist nl;
+  build_comparator(nl);
+  EXPECT_EQ(nl.stats().luts, 2u);  // the paper's headline claim (§III-D)
+}
+
+TEST(ComparatorLuts, InitVectorsAreStable) {
+  // The generated INITs are deterministic; pin them so accidental changes
+  // to the spec functions are caught.
+  EXPECT_EQ(comparator_mux_lut(), comparator_mux_lut());
+  EXPECT_EQ(comparator_cmp_lut(), comparator_cmp_lut());
+  EXPECT_NE(comparator_mux_lut().init(), 0u);
+  EXPECT_NE(comparator_cmp_lut().init(), 0u);
+}
+
+TEST(ComparatorEval, MatchesBehavioralModelExhaustively) {
+  // Every valid instruction x every reference element x every pair of
+  // history nucleotides: the two-LUT cell must reproduce
+  // BackElement::matches exactly.  12 * 4 * 4 * 4 = 768 combinations.
+  for (const BackElement& e : all_valid_elements()) {
+    const Instruction instr = Instruction::encode(e);
+    for (Nucleotide ref : bio::kAllNucleotides)
+      for (Nucleotide im1 : bio::kAllNucleotides)
+        for (Nucleotide im2 : bio::kAllNucleotides)
+          EXPECT_EQ(comparator_eval(instr, ref, im1, im2),
+                    e.matches(ref, im1, im2))
+              << instr.to_binary_string() << " ref "
+              << bio::to_char_rna(ref) << " im1 " << bio::to_char_rna(im1)
+              << " im2 " << bio::to_char_rna(im2);
+  }
+}
+
+TEST(ComparatorEval, Figure5bConditionalColumn) {
+  // The highlighted column of Fig. 5(b): instruction 01-00-00 (U/C)
+  // matches reference U and C only.
+  const Instruction instr{0b010000};
+  EXPECT_FALSE(comparator_eval(instr, Nucleotide::A, Nucleotide::A,
+                               Nucleotide::A));
+  EXPECT_TRUE(comparator_eval(instr, Nucleotide::C, Nucleotide::A,
+                              Nucleotide::A));
+  EXPECT_FALSE(comparator_eval(instr, Nucleotide::G, Nucleotide::A,
+                               Nucleotide::A));
+  EXPECT_TRUE(comparator_eval(instr, Nucleotide::U, Nucleotide::A,
+                              Nucleotide::A));
+}
+
+TEST(ComparatorEval, Figure5bExactColumns) {
+  // 00-A (000000): matches A only; 00-G (001000): matches G only.
+  for (Nucleotide ref : bio::kAllNucleotides) {
+    EXPECT_EQ(comparator_eval(Instruction{0b000000}, ref, Nucleotide::A,
+                              Nucleotide::A),
+              ref == Nucleotide::A);
+    EXPECT_EQ(comparator_eval(Instruction{0b001000}, ref, Nucleotide::A,
+                              Nucleotide::A),
+              ref == Nucleotide::G);
+  }
+}
+
+TEST(ComparatorEval, Figure5bDependentStopColumns) {
+  // 1-00 (Stop3), S = MSB of ref[i-1]:
+  //   S=0 rows: A->1 C->0 G->1 U->0 ;  S=1 rows: A->1 C->0 G->0 U->0.
+  const Instruction stop3 =
+      Instruction::encode(BackElement::make_dependent(Function::Stop3));
+  const auto eval_with_s0 = [&](Nucleotide ref) {
+    return comparator_eval(stop3, ref, Nucleotide::A, Nucleotide::A);
+  };
+  const auto eval_with_s1 = [&](Nucleotide ref) {
+    return comparator_eval(stop3, ref, Nucleotide::G, Nucleotide::A);
+  };
+  EXPECT_TRUE(eval_with_s0(Nucleotide::A));
+  EXPECT_FALSE(eval_with_s0(Nucleotide::C));
+  EXPECT_TRUE(eval_with_s0(Nucleotide::G));
+  EXPECT_FALSE(eval_with_s0(Nucleotide::U));
+  EXPECT_TRUE(eval_with_s1(Nucleotide::A));
+  EXPECT_FALSE(eval_with_s1(Nucleotide::C));
+  EXPECT_FALSE(eval_with_s1(Nucleotide::G));
+  EXPECT_FALSE(eval_with_s1(Nucleotide::U));
+}
+
+TEST(ComparatorEval, Figure5bDColumnAllOnes) {
+  const Instruction d =
+      Instruction::encode(BackElement::make_dependent(Function::AnyD));
+  for (Nucleotide ref : bio::kAllNucleotides)
+    for (Nucleotide im1 : bio::kAllNucleotides)
+      for (Nucleotide im2 : bio::kAllNucleotides)
+        EXPECT_TRUE(comparator_eval(d, ref, im1, im2));
+}
+
+TEST(ComparatorNetlist, MatchesPureEvalExhaustively) {
+  // The structural netlist (two LUT cells + wires) against the pure
+  // two-LUT evaluation, over the full input cross product including
+  // raw history bits.
+  hw::Netlist nl;
+  const ComparatorPorts ports = build_comparator(nl);
+
+  for (const BackElement& e : all_valid_elements()) {
+    const Instruction instr = Instruction::encode(e);
+    for (std::uint8_t ref = 0; ref < 4; ++ref)
+      for (int h = 0; h < 8; ++h) {
+        const bool im1_msb = h & 1, im2_msb = (h >> 1) & 1,
+                   im2_lsb = (h >> 2) & 1;
+        for (unsigned b = 0; b < 6; ++b)
+          nl.set_input(ports.q[b], instr.bit(b));
+        nl.set_input(ports.ref0, ref & 1);
+        nl.set_input(ports.ref1, (ref >> 1) & 1);
+        nl.set_input(ports.ref_im1_msb, im1_msb);
+        nl.set_input(ports.ref_im2_msb, im2_msb);
+        nl.set_input(ports.ref_im2_lsb, im2_lsb);
+        nl.settle();
+        EXPECT_EQ(nl.value(ports.match),
+                  comparator_eval(instr, ref, im1_msb, im2_msb, im2_lsb))
+            << instr.to_binary_string() << " ref=" << int(ref)
+            << " h=" << h;
+      }
+  }
+}
+
+TEST(ComparatorNetlist, ArrayOfCellsSharesNothing) {
+  // Building N cells costs exactly 2N LUTs (no hidden sharing).
+  hw::Netlist nl;
+  for (int i = 0; i < 10; ++i) build_comparator(nl);
+  EXPECT_EQ(nl.stats().luts, 20u);
+}
+
+}  // namespace
+}  // namespace fabp::core

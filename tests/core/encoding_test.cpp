@@ -1,0 +1,171 @@
+#include "fabp/core/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fabp::core {
+namespace {
+
+using bio::AminoAcid;
+using bio::Nucleotide;
+
+TEST(Instruction, TypeIEncoding) {
+  // Type I: opcode 00, nucleotide in b3b2, config 00.
+  const Instruction a =
+      Instruction::encode(BackElement::make_exact(Nucleotide::A));
+  EXPECT_EQ(a.to_binary_string(), "000000");
+  const Instruction u =
+      Instruction::encode(BackElement::make_exact(Nucleotide::U));
+  EXPECT_EQ(u.to_binary_string(), "001100");
+  const Instruction g =
+      Instruction::encode(BackElement::make_exact(Nucleotide::G));
+  EXPECT_EQ(g.to_binary_string(), "001000");
+  EXPECT_TRUE(a.is_exact());
+  EXPECT_FALSE(a.is_conditional());
+  EXPECT_FALSE(a.is_dependent());
+}
+
+TEST(Instruction, TypeIIEncoding) {
+  // Type II: opcode 01, condition in b3b2 (U/C=00, A/G=01, G-bar=10,
+  // A/C=11), config 00.
+  EXPECT_EQ(Instruction::encode(BackElement::make_conditional(
+                                    Condition::UorC)).to_binary_string(),
+            "010000");
+  EXPECT_EQ(Instruction::encode(BackElement::make_conditional(
+                                    Condition::AorG)).to_binary_string(),
+            "010100");
+  EXPECT_EQ(Instruction::encode(BackElement::make_conditional(
+                                    Condition::NotG)).to_binary_string(),
+            "011000");
+  EXPECT_EQ(Instruction::encode(BackElement::make_conditional(
+                                    Condition::AorC)).to_binary_string(),
+            "011100");
+}
+
+TEST(Instruction, TypeIIIEncodingMatchesPaperExamples) {
+  // §III-B worked example: Arg third element = 110001, Stop third = 100010.
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::Arg3))
+                .to_binary_string(),
+            "110001");
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::Stop3))
+                .to_binary_string(),
+            "100010");
+  // Leu (F:01) selects ref[i-2] MSB (config 11); D has no dependency.
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::Leu3))
+                .to_binary_string(),
+            "101011");
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::AnyD))
+                .to_binary_string(),
+            "111000");
+}
+
+TEST(Instruction, ConfigSelectors) {
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::Arg3))
+                .config(),
+            ConfigSel::RefIm2Lsb);
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::Stop3))
+                .config(),
+            ConfigSel::RefIm1Msb);
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::Leu3))
+                .config(),
+            ConfigSel::RefIm2Msb);
+  EXPECT_EQ(Instruction::encode(BackElement::make_dependent(Function::AnyD))
+                .config(),
+            ConfigSel::None);
+  EXPECT_EQ(Instruction::encode(BackElement::make_exact(Nucleotide::C))
+                .config(),
+            ConfigSel::None);
+}
+
+std::vector<BackElement> all_valid_elements() {
+  std::vector<BackElement> out;
+  for (Nucleotide n : bio::kAllNucleotides)
+    out.push_back(BackElement::make_exact(n));
+  for (auto c : {Condition::UorC, Condition::AorG, Condition::NotG,
+                 Condition::AorC})
+    out.push_back(BackElement::make_conditional(c));
+  for (auto f : {Function::Stop3, Function::Leu3, Function::Arg3,
+                 Function::AnyD})
+    out.push_back(BackElement::make_dependent(f));
+  return out;
+}
+
+TEST(Instruction, EncodeDecodeRoundTripAllElements) {
+  for (const BackElement& e : all_valid_elements()) {
+    const Instruction i = Instruction::encode(e);
+    EXPECT_EQ(i.decode(), e) << i.to_binary_string();
+  }
+}
+
+TEST(Instruction, AllTwelveEncodingsDistinct) {
+  std::set<std::uint8_t> seen;
+  for (const BackElement& e : all_valid_elements())
+    seen.insert(Instruction::encode(e).bits());
+  EXPECT_EQ(seen.size(), 12u);
+}
+
+TEST(Instruction, DecodeRejectsMalformed) {
+  // Type I with nonzero config.
+  EXPECT_THROW(Instruction{0b000001}.decode(), std::invalid_argument);
+  // Type III with b2 set.
+  EXPECT_THROW(Instruction{0b100110}.decode(), std::invalid_argument);
+  // Type III with wrong config for the function (Stop with config 01).
+  EXPECT_THROW(Instruction{0b100001}.decode(), std::invalid_argument);
+}
+
+TEST(Instruction, ExhaustiveSixBitSpace) {
+  // Every one of the 64 raw patterns either decodes to an element whose
+  // re-encoding is bit-identical (canonical patterns), or throws
+  // (patterns encode() never emits).  Exactly 12 are canonical.
+  std::size_t canonical = 0;
+  for (std::uint8_t bits = 0; bits < 64; ++bits) {
+    const Instruction instr{bits};
+    try {
+      const BackElement element = instr.decode();
+      EXPECT_EQ(Instruction::encode(element), instr)
+          << instr.to_binary_string();
+      ++canonical;
+    } catch (const std::invalid_argument&) {
+      // non-canonical pattern: fine
+    }
+  }
+  EXPECT_EQ(canonical, 12u);
+}
+
+TEST(Instruction, SixBitMask) {
+  const Instruction i{0xFF};
+  EXPECT_EQ(i.bits(), 0b111111);
+}
+
+TEST(EncodeQuery, PaperExampleFullQuery) {
+  // Met-Phe-Ser-Arg-Stop, all 15 instructions (our §III-B layout).
+  bio::ProteinSequence q = bio::ProteinSequence::parse("MFS");
+  q.push_back(AminoAcid::Arg);
+  q.push_back(AminoAcid::Stop);
+  const EncodedQuery enc = encode_query(q);
+  ASSERT_EQ(enc.size(), 15u);
+  const std::vector<std::string> expected{
+      "000000", "001100", "001000",   // A U G
+      "001100", "001100", "010000",   // U U (U/C)
+      "001100", "000100", "111000",   // U C D
+      "011100", "001000", "110001",   // (A/C) G (F:10)
+      "001100", "010100", "100010",   // U (A/G) (F:00)
+  };
+  for (std::size_t i = 0; i < enc.size(); ++i)
+    EXPECT_EQ(enc[i].to_binary_string(), expected[i]) << i;
+}
+
+TEST(EncodeQuery, SixBitsPerElement) {
+  const auto q = bio::ProteinSequence::parse("MFWK");
+  const EncodedQuery enc = encode_query(q);
+  EXPECT_EQ(encoded_query_bits(enc), q.size() * 3 * 6);
+}
+
+TEST(EncodeElements, MatchesEncodeQuery) {
+  const auto q = bio::ProteinSequence::parse("ARNDCQEGHILKMFPSTWYV");
+  EXPECT_EQ(encode_query(q), encode_elements(back_translate(q)));
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -1,0 +1,217 @@
+#include "fabp/core/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/align/sliding.hpp"
+#include "fabp/bio/generate.hpp"
+#include "fabp/bio/translation.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+using bio::SeqKind;
+
+TEST(Golden, PerfectCodingSequenceScoresFull) {
+  // A template-compatible coding sequence of the query protein must score
+  // the full query length at the planted position (that is the whole
+  // point of the degenerate matching).
+  util::Xoshiro256 rng{71};
+  for (int trial = 0; trial < 20; ++trial) {
+    const ProteinSequence protein = bio::random_protein(25, rng);
+    const NucleotideSequence coding = random_template_coding(protein, rng);
+    const auto query = back_translate(protein);
+    EXPECT_EQ(golden_score_at(query, coding, 0), query.size()) << trial;
+  }
+}
+
+TEST(Golden, BiologicalCodingLosesOnlySerAgy) {
+  // bio::random_coding_sequence samples the full biological codon set;
+  // the only mismatches FabP matching can produce are the dropped AGY
+  // serine codons, each costing exactly 2 of its 3 elements.
+  util::Xoshiro256 rng{72};
+  for (int trial = 0; trial < 20; ++trial) {
+    const ProteinSequence protein = bio::random_protein(40, rng);
+    const NucleotideSequence coding =
+        bio::random_coding_sequence(protein, rng);
+    std::size_t agy = 0;
+    for (std::size_t i = 0; i < protein.size(); ++i)
+      if (protein[i] == bio::AminoAcid::Ser &&
+          coding[3 * i] == bio::Nucleotide::A)
+        ++agy;
+    const auto query = back_translate(protein);
+    EXPECT_EQ(golden_score_at(query, coding, 0), query.size() - 2 * agy)
+        << trial;
+  }
+}
+
+TEST(Golden, EveryCodonChoiceOfLeuArgSerScoresFull) {
+  // Degenerate positions: all codon choices for the six-fold degenerate
+  // amino acids must be accepted (minus the documented AGY-Ser drop).
+  for (bio::AminoAcid aa : {bio::AminoAcid::Leu, bio::AminoAcid::Arg}) {
+    ProteinSequence p;
+    p.push_back(aa);
+    const auto query = back_translate(p);
+    for (const bio::Codon& c : bio::codons_for(aa)) {
+      NucleotideSequence ref{SeqKind::Rna,
+                             {c.first, c.second, c.third}};
+      EXPECT_EQ(golden_score_at(query, ref, 0), 3u)
+          << bio::to_three_letter(aa) << " " << c.to_string();
+    }
+  }
+}
+
+TEST(Golden, SerAgyCodonsScorePartial) {
+  ProteinSequence p;
+  p.push_back(bio::AminoAcid::Ser);
+  const auto query = back_translate(p);
+  // AGU: A vs U (no), G vs C (no), U vs D (yes) -> 1.
+  const NucleotideSequence agu =
+      NucleotideSequence::parse(SeqKind::Rna, "AGU");
+  EXPECT_EQ(golden_score_at(query, agu, 0), 1u);
+}
+
+TEST(Golden, HitsAtThreshold) {
+  util::Xoshiro256 rng{73};
+  const ProteinSequence protein = bio::random_protein(10, rng);
+  const NucleotideSequence coding = random_template_coding(protein, rng);
+  NucleotideSequence ref = bio::random_dna(500, rng);
+  for (std::size_t i = 0; i < coding.size(); ++i) ref[137 + i] = coding[i];
+
+  const auto query = back_translate(protein);
+  const auto hits = golden_hits(query, ref, static_cast<std::uint32_t>(
+                                                query.size()));
+  ASSERT_FALSE(hits.empty());
+  bool found = false;
+  for (const Hit& h : hits)
+    if (h.position == 137) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Golden, ThresholdMonotonicity) {
+  util::Xoshiro256 rng{79};
+  const ProteinSequence protein = bio::random_protein(8, rng);
+  const NucleotideSequence ref = bio::random_dna(400, rng);
+  const auto query = back_translate(protein);
+  std::size_t prev = golden_hits(query, ref, 0).size();
+  EXPECT_EQ(prev, ref.size() - query.size() + 1);
+  for (std::uint32_t t = 1; t <= query.size(); t += 4) {
+    const std::size_t n = golden_hits(query, ref, t).size();
+    EXPECT_LE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Golden, ScoreNeverBelowPlainHamming) {
+  // Degenerate matching accepts at least everything an exact comparison
+  // of any single back-translated representative accepts.
+  util::Xoshiro256 rng{83};
+  for (int trial = 0; trial < 10; ++trial) {
+    const ProteinSequence protein = bio::random_protein(12, rng);
+    const NucleotideSequence representative =
+        bio::random_coding_sequence(protein, rng);
+    const NucleotideSequence ref = bio::random_dna(300, rng);
+    const auto query = back_translate(protein);
+    for (std::size_t p = 0; p + query.size() <= ref.size(); p += 7) {
+      const std::uint32_t degenerate = golden_score_at(query, ref, p);
+      const std::uint32_t exact =
+          align::sliding_score_at(representative, ref, p);
+      EXPECT_GE(degenerate, exact) << trial << " " << p;
+    }
+  }
+}
+
+TEST(Golden, EncodedPathIdenticalToBehavioral) {
+  // golden_hits (behavioral elements) vs golden_hits_encoded (through the
+  // instruction encoding and the generated comparator LUTs).
+  util::Xoshiro256 rng{89};
+  for (int trial = 0; trial < 10; ++trial) {
+    const ProteinSequence protein = bio::random_protein(15, rng);
+    const NucleotideSequence ref = bio::random_dna(600, rng);
+    const auto elements = back_translate(protein);
+    const EncodedQuery encoded = encode_query(protein);
+    for (std::uint32_t t : {20u, 30u, 40u}) {
+      EXPECT_EQ(golden_hits(elements, ref, t),
+                golden_hits_encoded(encoded, ref, t))
+          << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(Golden, ParallelIdenticalToSerial) {
+  util::Xoshiro256 rng{97};
+  util::ThreadPool pool{4};
+  const ProteinSequence protein = bio::random_protein(12, rng);
+  const NucleotideSequence ref = bio::random_dna(2000, rng);
+  const auto query = back_translate(protein);
+  for (std::uint32_t t : {15u, 25u, 36u}) {
+    EXPECT_EQ(golden_hits_parallel(query, ref, t, pool),
+              golden_hits(query, ref, t));
+  }
+}
+
+TEST(Golden, EmptyAndShortInputs) {
+  const std::vector<BackElement> empty;
+  const NucleotideSequence ref = NucleotideSequence::parse(SeqKind::Dna,
+                                                           "ACGT");
+  EXPECT_TRUE(golden_hits(empty, ref, 0).empty());
+
+  util::Xoshiro256 rng{101};
+  const auto query = back_translate(bio::random_protein(10, rng));
+  const NucleotideSequence tiny = bio::random_dna(10, rng);
+  EXPECT_TRUE(golden_hits(query, tiny, 0).empty());
+}
+
+TEST(Golden, AlignProteinConvenience) {
+  util::Xoshiro256 rng{103};
+  const ProteinSequence protein = bio::random_protein(10, rng);
+  const NucleotideSequence coding = random_template_coding(protein, rng);
+  const auto hits = align_protein(protein, coding, 30);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].position, 0u);
+  EXPECT_EQ(hits[0].score, 30u);
+}
+
+TEST(Golden, CodonsScoreIndependently) {
+  // Type III dependencies never cross codon boundaries, so the score of a
+  // two-residue query factors into per-codon scores — exhaustively over
+  // all residue pairs and a sample of reference windows.
+  util::Xoshiro256 rng{109};
+  for (bio::AminoAcid a : bio::kAllAminoAcids) {
+    for (bio::AminoAcid b : bio::kAllAminoAcids) {
+      ProteinSequence pair;
+      pair.push_back(a);
+      pair.push_back(b);
+      const auto q_pair = back_translate(pair);
+      ProteinSequence first, second;
+      first.push_back(a);
+      second.push_back(b);
+      const auto q_a = back_translate(first);
+      const auto q_b = back_translate(second);
+
+      const NucleotideSequence window = bio::random_dna(6, rng);
+      const auto combined = golden_score_at(q_pair, window, 0);
+      const auto part_a = golden_score_at(q_a, window, 0);
+      const auto part_b =
+          golden_score_at(q_b, window.subsequence(3, 3), 0);
+      EXPECT_EQ(combined, part_a + part_b)
+          << bio::to_three_letter(a) << "+" << bio::to_three_letter(b);
+    }
+  }
+}
+
+TEST(Golden, DnaReferenceWorksLikeRna) {
+  // T and U share a code; a DNA-kind reference matches identically.
+  util::Xoshiro256 rng{107};
+  const ProteinSequence protein = bio::random_protein(8, rng);
+  const NucleotideSequence coding_rna =
+      bio::random_coding_sequence(protein, rng);
+  const NucleotideSequence coding_dna{SeqKind::Dna, coding_rna.bases()};
+  const auto query = back_translate(protein);
+  EXPECT_EQ(golden_score_at(query, coding_rna, 0),
+            golden_score_at(query, coding_dna, 0));
+}
+
+}  // namespace
+}  // namespace fabp::core

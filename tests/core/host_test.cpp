@@ -1,0 +1,194 @@
+#include "fabp/core/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+
+TEST(Session, RequiresUploadedReference) {
+  Session session;
+  util::Xoshiro256 rng{161};
+  EXPECT_THROW(session.align(bio::random_protein(10, rng), 0),
+               std::logic_error);
+}
+
+TEST(Session, EndToEndFindsPlantedGene) {
+  util::Xoshiro256 rng{163};
+  const ProteinSequence protein = bio::random_protein(30, rng);
+  NucleotideSequence ref = bio::random_dna(5000, rng);
+  const NucleotideSequence coding = random_template_coding(protein, rng);
+  for (std::size_t i = 0; i < coding.size(); ++i) ref[1234 + i] = coding[i];
+
+  Session session;
+  session.upload_reference(ref);
+  const HostRunReport report =
+      session.align(protein, static_cast<std::uint32_t>(coding.size()));
+
+  bool found = false;
+  for (const Hit& h : report.hits)
+    if (h.position == 1234) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Session, ReportTimesArePositiveAndSum) {
+  util::Xoshiro256 rng{167};
+  Session session;
+  session.upload_reference(bio::random_dna(10'000, rng));
+  const HostRunReport r = session.align(bio::random_protein(20, rng), 40);
+  EXPECT_GT(r.query_transfer_s, 0.0);
+  EXPECT_GT(r.kernel_s, 0.0);
+  EXPECT_GT(r.readback_s, 0.0);
+  EXPECT_EQ(r.reference_transfer_s, 0.0);  // resident by default
+  EXPECT_NEAR(r.total_s,
+              r.reference_transfer_s + r.query_transfer_s + r.kernel_s +
+                  r.readback_s,
+              1e-12);
+  EXPECT_NEAR(r.joules, r.watts * r.total_s, 1e-12);
+}
+
+TEST(Session, NonResidentReferenceChargesTransfer) {
+  util::Xoshiro256 rng{173};
+  HostConfig cfg;
+  cfg.reference_resident = false;
+  Session session{cfg};
+  session.upload_reference(bio::random_dna(40'000, rng));
+  const HostRunReport r = session.align(bio::random_protein(15, rng), 45);
+  EXPECT_GT(r.reference_transfer_s, 0.0);
+  // 40,000 bases at 2 bits each = 10,000 packed bytes, at 12 GB/s.
+  EXPECT_NEAR(r.reference_transfer_s, 10'000.0 / 12e9, 1e-9);
+}
+
+TEST(Session, EstimateScalesWithDatabaseSize) {
+  util::Xoshiro256 rng{179};
+  Session session;
+  const ProteinSequence protein = bio::random_protein(50, rng);
+  const HostRunReport small = session.estimate(protein, 100, 1 << 20);
+  const HostRunReport large = session.estimate(protein, 100, 1 << 26);
+  EXPECT_GT(large.kernel_s, small.kernel_s * 50);
+  EXPECT_NEAR(large.kernel_s / small.kernel_s, 64.0, 2.0);
+}
+
+TEST(Session, EstimateKernelMatchesBandwidthModel) {
+  util::Xoshiro256 rng{181};
+  Session session;
+  const ProteinSequence protein = bio::random_protein(50, rng);
+  const std::size_t bytes = 1 << 28;  // 256 MiB packed
+  const HostRunReport r = session.estimate(protein, 120, bytes);
+  const double expected =
+      static_cast<double>(bytes) / r.mapping.effective_bandwidth_bps;
+  EXPECT_NEAR(r.kernel_s, expected, expected * 0.02);
+}
+
+TEST(Session, BatchAlignsEveryQuery) {
+  util::Xoshiro256 rng{193};
+  Session session;
+  NucleotideSequence ref = bio::random_dna(8000, rng);
+  std::vector<ProteinSequence> queries;
+  std::vector<std::size_t> positions;
+  for (int q = 0; q < 3; ++q) {
+    const ProteinSequence protein = bio::random_protein(20, rng);
+    const NucleotideSequence coding = random_template_coding(protein, rng);
+    const std::size_t pos = 1000 + static_cast<std::size_t>(q) * 2000;
+    for (std::size_t i = 0; i < coding.size(); ++i) ref[pos + i] = coding[i];
+    queries.push_back(protein);
+    positions.push_back(pos);
+  }
+  session.upload_reference(ref);
+
+  const Session::BatchReport batch = session.align_batch(queries, 0.95);
+  ASSERT_EQ(batch.per_query.size(), 3u);
+  for (int q = 0; q < 3; ++q) {
+    bool found = false;
+    for (const Hit& h : batch.per_query[static_cast<std::size_t>(q)].hits)
+      if (h.position == positions[static_cast<std::size_t>(q)]) found = true;
+    EXPECT_TRUE(found) << q;
+  }
+  EXPECT_GE(batch.total_hits, 3u);
+  EXPECT_GT(batch.queries_per_second, 0.0);
+  double sum = 0;
+  for (const auto& r : batch.per_query) sum += r.total_s;
+  EXPECT_NEAR(batch.total_s, sum, 1e-12);
+}
+
+TEST(Session, BothStrandsFindsReverseGene) {
+  util::Xoshiro256 rng{199};
+  const ProteinSequence protein = bio::random_protein(25, rng);
+  const NucleotideSequence coding = random_template_coding(protein, rng);
+
+  // Plant the gene on the REVERSE strand: insert rc(coding) forward.
+  NucleotideSequence ref = bio::random_dna(4000, rng);
+  const NucleotideSequence rc_coding = coding.reverse_complement();
+  const std::size_t pos = 1500;
+  for (std::size_t i = 0; i < rc_coding.size(); ++i)
+    ref[pos + i] = rc_coding[i];
+
+  HostConfig cfg;
+  cfg.search_both_strands = true;
+  Session session{cfg};
+  session.upload_reference(ref);
+  const auto threshold = static_cast<std::uint32_t>(coding.size());
+  const HostRunReport report = session.align(protein, threshold);
+
+  // Forward scan misses it; the reverse scan reports it at the forward
+  // coordinate of the planted window.
+  bool forward_found = false;
+  for (const Hit& h : report.hits)
+    if (h.position == pos) forward_found = true;
+  EXPECT_FALSE(forward_found);
+
+  bool reverse_found = false;
+  for (const Hit& h : report.reverse_hits)
+    if (h.position == pos) reverse_found = true;
+  EXPECT_TRUE(reverse_found);
+}
+
+TEST(Session, BothStrandsDoublesKernelTime) {
+  util::Xoshiro256 rng{211};
+  const NucleotideSequence ref = bio::random_dna(50'000, rng);
+  const ProteinSequence query = bio::random_protein(20, rng);
+
+  Session single;
+  single.upload_reference(ref);
+  const double one = single.align(query, 55).kernel_s;
+
+  HostConfig cfg;
+  cfg.search_both_strands = true;
+  Session both{cfg};
+  both.upload_reference(ref);
+  const double two = both.align(query, 55).kernel_s;
+  EXPECT_NEAR(two / one, 2.0, 0.05);
+}
+
+TEST(Session, SingleStrandReportsNoReverseHits) {
+  util::Xoshiro256 rng{223};
+  Session session;
+  session.upload_reference(bio::random_dna(2000, rng));
+  const auto report = session.align(bio::random_protein(10, rng), 0);
+  EXPECT_TRUE(report.reverse_hits.empty());
+}
+
+TEST(Session, BatchEmptyIsFine) {
+  Session session;
+  util::Xoshiro256 rng{197};
+  session.upload_reference(bio::random_dna(1000, rng));
+  const auto batch = session.align_batch({}, 0.9);
+  EXPECT_TRUE(batch.per_query.empty());
+  EXPECT_EQ(batch.total_s, 0.0);
+  EXPECT_EQ(batch.queries_per_second, 0.0);
+}
+
+TEST(Session, LongQueryUsesSegmentedMapping) {
+  util::Xoshiro256 rng{191};
+  Session session;
+  const HostRunReport r =
+      session.estimate(bio::random_protein(250, rng), 600, 1 << 24);
+  EXPECT_GT(r.mapping.segments, 1u);
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -1,0 +1,264 @@
+#include "fabp/core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/golden.hpp"
+#include "fabp/hw/optimize.hpp"
+#include "fabp/hw/timing.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::Nucleotide;
+
+// Full window for simulate_instance: two history elements then the aligned
+// region of the reference.
+std::vector<Nucleotide> window_at(const bio::NucleotideSequence& ref,
+                                  std::size_t pos, std::size_t elements) {
+  std::vector<Nucleotide> w;
+  w.push_back(pos >= 2 ? ref[pos - 2] : Nucleotide::A);
+  w.push_back(pos >= 1 ? ref[pos - 1] : Nucleotide::A);
+  for (std::size_t i = 0; i < elements; ++i) w.push_back(ref[pos + i]);
+  return w;
+}
+
+TEST(Instance, ScoreMatchesGoldenModelRandomized) {
+  util::Xoshiro256 rng{401};
+  for (const bool pipelined : {false, true}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::size_t residues = 4 + rng.bounded(8);
+      const bio::ProteinSequence protein =
+          bio::random_protein(residues, rng);
+      const EncodedQuery query = encode_query(protein);
+      const auto elements = back_translate(protein);
+
+      InstanceConfig config;
+      config.elements = query.size();
+      config.threshold = 0;
+      config.pipelined = pipelined;
+
+      hw::Netlist nl;
+      const InstancePorts ports = build_alignment_instance(nl, config);
+
+      const bio::NucleotideSequence ref = bio::random_dna(200, rng);
+      for (std::size_t pos = 2; pos + query.size() <= ref.size();
+           pos += 13) {
+        const auto window = window_at(ref, pos, query.size());
+        const std::uint32_t hw_score =
+            simulate_instance(nl, ports, config, query, window);
+        EXPECT_EQ(hw_score, golden_score_at(elements, ref, pos))
+            << "pipelined=" << pipelined << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(Instance, HitFlagImplementsThreshold) {
+  util::Xoshiro256 rng{409};
+  const bio::ProteinSequence protein = bio::random_protein(6, rng);
+  const EncodedQuery query = encode_query(protein);
+
+  InstanceConfig config;
+  config.elements = query.size();
+  config.threshold = 15;
+  config.pipelined = false;
+
+  hw::Netlist nl;
+  const InstancePorts ports = build_alignment_instance(nl, config);
+
+  const bio::NucleotideSequence ref = bio::random_dna(400, rng);
+  const bio::NucleotideSequence coding = random_template_coding(protein, rng);
+  bio::NucleotideSequence planted = ref;
+  for (std::size_t i = 0; i < coding.size(); ++i) planted[50 + i] = coding[i];
+
+  bool saw_hit = false, saw_miss = false;
+  for (std::size_t pos = 2; pos + query.size() <= planted.size(); pos += 3) {
+    const auto window = window_at(planted, pos, query.size());
+    const std::uint32_t score =
+        simulate_instance(nl, ports, config, query, window);
+    const bool hit = nl.value(ports.hit);
+    EXPECT_EQ(hit, score >= config.threshold) << pos;
+    saw_hit |= hit;
+    saw_miss |= !hit;
+  }
+  EXPECT_TRUE(saw_hit);
+  EXPECT_TRUE(saw_miss);
+}
+
+TEST(Instance, UnreachableThresholdNeverHits) {
+  util::Xoshiro256 rng{419};
+  const bio::ProteinSequence protein = bio::random_protein(4, rng);
+  InstanceConfig config;
+  config.elements = 12;
+  config.threshold = 4096;  // > 2^score_bits
+  config.pipelined = false;
+  hw::Netlist nl;
+  const InstancePorts ports = build_alignment_instance(nl, config);
+  const auto window = window_at(bio::random_dna(20, rng), 2, 12);
+  simulate_instance(nl, ports, config, encode_query(protein), window);
+  EXPECT_FALSE(nl.value(ports.hit));
+}
+
+TEST(Instance, ResourceCountsMatchTheory) {
+  InstanceConfig config;
+  config.elements = 36;
+  config.threshold = 20;
+  config.pipelined = false;
+  hw::Netlist nl;
+  build_alignment_instance(nl, config);
+  const hw::NetlistStats s = nl.stats();
+  // 2 LUTs per comparator + Pop36 (33) + threshold adder (score width).
+  EXPECT_EQ(s.luts, 2u * 36 + hw::popcounter_luts_handcrafted(36) + 6);
+  EXPECT_EQ(s.ffs, 0u);
+}
+
+TEST(Instance, PipeliningAddsRegistersAndMeetsClock) {
+  InstanceConfig config;
+  config.elements = 150;  // FabP-50
+  config.threshold = 120;
+
+  config.pipelined = false;
+  hw::Netlist flat;
+  build_alignment_instance(flat, config);
+  const hw::TimingReport flat_timing = hw::analyze_timing(flat);
+
+  config.pipelined = true;
+  hw::Netlist piped;
+  build_alignment_instance(piped, config);
+  const hw::TimingReport piped_timing = hw::analyze_timing(piped);
+
+  EXPECT_GT(piped.stats().ffs, flat.stats().ffs);
+  EXPECT_LT(piped_timing.critical_path_ns, flat_timing.critical_path_ns);
+  // The pipelined instance closes timing at the paper-implied 200 MHz.
+  EXPECT_TRUE(piped_timing.meets(200e6))
+      << piped_timing.critical_path_ns << " ns";
+}
+
+TEST(Instance, VerilogEmission) {
+  InstanceConfig config;
+  config.elements = 9;
+  config.threshold = 5;
+  config.pipelined = true;
+  const hw::VerilogModule m = emit_instance_module(config);
+  EXPECT_EQ(m.name, "fabp_instance");
+  // Emission instantiates exactly the netlist's primitives.
+  hw::Netlist reference;
+  build_alignment_instance(reference, config);
+  EXPECT_EQ(m.instance_count("LUT6"), reference.stats().luts);
+  EXPECT_EQ(m.instance_count("FDRE"), reference.stats().ffs);
+  EXPECT_GT(m.instance_count("FDRE"), 9u);
+  EXPECT_NE(m.source.find("output wire hit"), std::string::npos);
+}
+
+TEST(Instance, PipelineStreamsBackToBackWindows) {
+  // Feed a NEW reference window every clock (as the real datapath does at
+  // one beat per cycle) and check that scores emerge 3 cycles later, in
+  // order — i.e. the pipeline registers actually decouple the stages.
+  util::Xoshiro256 rng{431};
+  const bio::ProteinSequence protein = bio::random_protein(5, rng);
+  const EncodedQuery query = encode_query(protein);
+  const auto elements = back_translate(protein);
+
+  InstanceConfig config;
+  config.elements = query.size();
+  config.threshold = 0;
+  config.pipelined = true;
+
+  hw::Netlist nl;
+  const InstancePorts ports = build_alignment_instance(nl, config);
+
+  // Static query bits.
+  for (std::size_t i = 0; i < query.size(); ++i)
+    for (unsigned b = 0; b < 6; ++b)
+      nl.set_input(ports.query[i][b], query[i].bit(b));
+
+  const bio::NucleotideSequence ref = bio::random_dna(100, rng);
+  const std::size_t positions = 40;
+  constexpr std::size_t kLatency = 3;
+
+  // The score for the window driven during cycle c is registered at the
+  // end of cycle c + kLatency - 1 (three FF stages).
+  std::vector<std::uint32_t> observed;
+  for (std::size_t cycle = 0; cycle < positions + kLatency - 1; ++cycle) {
+    // Drive window for position `cycle` (pipelining: new input each clock).
+    const std::size_t pos = std::min(cycle, positions - 1) + 2;
+    for (std::size_t i = 0; i < query.size() + 2; ++i) {
+      const auto code = bio::code(ref[pos - 2 + i]);
+      nl.set_input(ports.ref[i][0], (code & 1) != 0);
+      nl.set_input(ports.ref[i][1], (code & 2) != 0);
+    }
+    nl.settle();
+    nl.clock();
+    if (cycle + 1 >= kLatency)
+      observed.push_back(
+          static_cast<std::uint32_t>(hw::read_bus(nl, ports.score)));
+  }
+
+  ASSERT_EQ(observed.size(), positions);
+  for (std::size_t p = 0; p < positions; ++p)
+    EXPECT_EQ(observed[p], golden_score_at(elements, ref, p + 2)) << p;
+}
+
+TEST(Instance, FixedQuerySpecializationPreservesScores) {
+  util::Xoshiro256 rng{439};
+  const bio::ProteinSequence protein = bio::random_protein(8, rng);
+  const EncodedQuery query = encode_query(protein);
+  const auto elements = back_translate(protein);
+
+  InstanceConfig config;
+  config.elements = query.size();
+  config.threshold = 12;
+  config.pipelined = false;
+  config.fixed_query = &query;
+
+  hw::Netlist nl;
+  const InstancePorts ports = build_alignment_instance(nl, config);
+  std::vector<hw::NetId> keep = ports.score;
+  keep.push_back(ports.hit);
+  auto optimized = hw::optimize(nl, keep);
+
+  // Substantially smaller than the runtime-query netlist.
+  hw::Netlist runtime_nl;
+  InstanceConfig runtime_cfg = config;
+  runtime_cfg.fixed_query = nullptr;
+  build_alignment_instance(runtime_nl, runtime_cfg);
+  EXPECT_LT(optimized.stats.luts_after, runtime_nl.stats().luts);
+
+  // And still scores correctly: drive only the reference inputs.
+  const bio::NucleotideSequence ref = bio::random_dna(120, rng);
+  hw::Netlist& opt = optimized.netlist;
+  for (std::size_t pos = 2; pos + query.size() <= ref.size(); pos += 7) {
+    for (std::size_t i = 0; i < query.size() + 2; ++i) {
+      const auto code = bio::code(ref[pos - 2 + i]);
+      opt.set_input(optimized.net_map[ports.ref[i][0]], (code & 1) != 0);
+      opt.set_input(optimized.net_map[ports.ref[i][1]], (code & 2) != 0);
+    }
+    opt.settle();
+    std::uint64_t score = 0;
+    for (std::size_t b = 0; b < ports.score.size(); ++b)
+      if (opt.value(optimized.net_map[ports.score[b]])) score |= 1ULL << b;
+    EXPECT_EQ(score, golden_score_at(elements, ref, pos)) << pos;
+    EXPECT_EQ(opt.value(optimized.net_map[ports.hit]),
+              score >= config.threshold);
+  }
+}
+
+TEST(Instance, FixedQueryLengthMismatchThrows) {
+  util::Xoshiro256 rng{443};
+  const EncodedQuery query = encode_query(bio::random_protein(4, rng));
+  InstanceConfig config;
+  config.elements = 15;  // != 12
+  config.fixed_query = &query;
+  hw::Netlist nl;
+  EXPECT_THROW(build_alignment_instance(nl, config), std::invalid_argument);
+}
+
+TEST(Instance, RejectsZeroElements) {
+  hw::Netlist nl;
+  EXPECT_THROW(build_alignment_instance(nl, InstanceConfig{0, 0, false}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -1,0 +1,98 @@
+#include "fabp/core/maskonly.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::AminoAcid;
+using bio::Nucleotide;
+
+TEST(MaskOnly, PositionMasksMatchCodonTable) {
+  // Met = AUG exactly.
+  EXPECT_EQ(position_mask(AminoAcid::Met, 0), 1u << bio::code(Nucleotide::A));
+  EXPECT_EQ(position_mask(AminoAcid::Met, 1), 1u << bio::code(Nucleotide::U));
+  EXPECT_EQ(position_mask(AminoAcid::Met, 2), 1u << bio::code(Nucleotide::G));
+  // Phe third position: U or C.
+  EXPECT_EQ(position_mask(AminoAcid::Phe, 2),
+            (1u << bio::code(Nucleotide::U)) |
+                (1u << bio::code(Nucleotide::C)));
+  // Leu third position: all four (UUR + CUN).
+  EXPECT_EQ(position_mask(AminoAcid::Leu, 2), 0b1111);
+}
+
+TEST(MaskOnly, MaskIsSupersetOfTemplate) {
+  // Every codon the template accepts, the mask accepts too.
+  for (AminoAcid aa : bio::kAllAminoAcids)
+    EXPECT_GE(mask_accepted_codons(aa), template_accepted_codons(aa))
+        << bio::to_three_letter(aa);
+}
+
+TEST(MaskOnly, DependentAminoAcidsOverAccept) {
+  // The whole point of Type III: mask-only accepts extra codons exactly
+  // for the three dependent amino acids + none elsewhere.
+  for (AminoAcid aa : bio::kAllAminoAcids) {
+    const std::size_t extra =
+        mask_accepted_codons(aa) - template_accepted_codons(aa);
+    const bool dependent = aa == AminoAcid::Leu || aa == AminoAcid::Arg ||
+                           aa == AminoAcid::Stop ||
+                           aa == AminoAcid::Ser;  // Ser: AGY re-enters union
+    if (dependent)
+      EXPECT_GT(extra, 0u) << bio::to_three_letter(aa);
+    else
+      EXPECT_EQ(extra, 0u) << bio::to_three_letter(aa);
+  }
+}
+
+TEST(MaskOnly, ArgMaskAcceptsSerCodon) {
+  // (A/C) G {any} accepts AGU, which is Ser.
+  const bio::Codon agu{Nucleotide::A, Nucleotide::G, Nucleotide::U};
+  EXPECT_FALSE(template_accepts(AminoAcid::Arg, agu));
+  bool mask_accepts = true;
+  for (std::size_t p = 0; p < 3; ++p)
+    if ((position_mask(AminoAcid::Arg, p) & (1u << bio::code(agu[p]))) == 0)
+      mask_accepts = false;
+  EXPECT_TRUE(mask_accepts);
+}
+
+TEST(MaskOnly, ScoreDominatesGoldenScore) {
+  // Mask-only can only over-match, never under-match.
+  util::Xoshiro256 rng{901};
+  for (int trial = 0; trial < 20; ++trial) {
+    const bio::ProteinSequence protein = bio::random_protein(15, rng);
+    const bio::NucleotideSequence ref = bio::random_dna(300, rng);
+    const auto elements = back_translate(protein);
+    const MaskQuery masks = mask_encode(protein);
+    for (std::size_t p = 0; p + masks.size() <= ref.size(); p += 11)
+      EXPECT_GE(mask_score_at(masks, ref, p),
+                golden_score_at(elements, ref, p))
+          << trial << ":" << p;
+  }
+}
+
+TEST(MaskOnly, HitsSupersetOfGoldenHits) {
+  util::Xoshiro256 rng{907};
+  const bio::ProteinSequence protein = bio::random_protein(12, rng);
+  const bio::NucleotideSequence ref = bio::random_dna(2000, rng);
+  const auto golden = golden_hits(back_translate(protein), ref, 30);
+  const auto masked = mask_hits(mask_encode(protein), ref, 30);
+  // Every golden hit position appears among the mask hits.
+  for (const Hit& g : golden) {
+    bool found = false;
+    for (const Hit& m : masked)
+      if (m.position == g.position) found = true;
+    EXPECT_TRUE(found) << g.position;
+  }
+  EXPECT_GE(masked.size(), golden.size());
+}
+
+TEST(MaskOnly, EncodeLengthIsThreePerResidue) {
+  util::Xoshiro256 rng{911};
+  const bio::ProteinSequence protein = bio::random_protein(7, rng);
+  EXPECT_EQ(mask_encode(protein).size(), 21u);
+}
+
+}  // namespace
+}  // namespace fabp::core

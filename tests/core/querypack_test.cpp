@@ -1,0 +1,54 @@
+#include "fabp/core/querypack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+
+namespace fabp::core {
+namespace {
+
+TEST(PackedQuery, EmptyQuery) {
+  PackedQuery p{EncodedQuery{}};
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.byte_size(), 0u);
+}
+
+TEST(PackedQuery, RoundTripRandomQueries) {
+  util::Xoshiro256 rng{601};
+  for (std::size_t residues : {1u, 10u, 11u, 50u, 250u}) {
+    const EncodedQuery query =
+        encode_query(bio::random_protein(residues, rng));
+    const PackedQuery packed{query};
+    EXPECT_EQ(packed.size(), query.size());
+    EXPECT_EQ(packed.unpack(), query) << residues;
+    for (std::size_t i = 0; i < query.size(); ++i)
+      EXPECT_EQ(packed.get(i), query[i]) << residues << ":" << i;
+  }
+}
+
+TEST(PackedQuery, WordStraddlingInstructions) {
+  // Element 10 occupies bits 60..65: crosses the first word boundary.
+  util::Xoshiro256 rng{607};
+  const EncodedQuery query = encode_query(bio::random_protein(8, rng));
+  ASSERT_GE(query.size(), 12u);
+  const PackedQuery packed{query};
+  EXPECT_EQ(packed.get(10), query[10]);
+  EXPECT_EQ(packed.get(11), query[11]);
+}
+
+TEST(PackedQuery, DramFootprintMatchesPaperArithmetic) {
+  // 750 elements * 6 bits = 4500 bits = 71 words = 568 bytes.
+  util::Xoshiro256 rng{613};
+  const PackedQuery packed{encode_query(bio::random_protein(250, rng))};
+  EXPECT_EQ(packed.byte_size(), 568u);
+}
+
+TEST(PackedQuery, SixBitDensity) {
+  util::Xoshiro256 rng{617};
+  const EncodedQuery query = encode_query(bio::random_protein(64, rng));
+  const PackedQuery packed{query};
+  EXPECT_LE(packed.byte_size() * 8, query.size() * 6 + 63);
+}
+
+}  // namespace
+}  // namespace fabp::core

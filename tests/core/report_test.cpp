@@ -1,0 +1,142 @@
+#include "fabp/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/accelerator.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+using bio::ReferenceDatabase;
+
+struct Fixture {
+  ReferenceDatabase db;
+  ProteinSequence query;
+  std::size_t planted_record = 0;
+  std::size_t planted_offset = 0;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  util::Xoshiro256 rng{seed};
+  Fixture f;
+  f.query = bio::random_protein(20, rng);
+  const NucleotideSequence coding = random_template_coding(f.query, rng);
+
+  f.db.add("background0", bio::random_dna(2000, rng));
+  NucleotideSequence with_gene = bio::random_dna(3000, rng);
+  f.planted_offset = 1200;
+  for (std::size_t i = 0; i < coding.size(); ++i)
+    with_gene[f.planted_offset + i] = coding[i];
+  f.planted_record = f.db.add("target", with_gene);
+  f.db.add("background1", bio::random_dna(1000, rng));
+  return f;
+}
+
+std::vector<Hit> scan(const Fixture& f, std::uint32_t threshold) {
+  AcceleratorConfig cfg;
+  cfg.threshold = threshold;
+  Accelerator acc{cfg};
+  acc.load_query(f.query);
+  return acc.run(f.db.packed()).hits;
+}
+
+TEST(Report, AnnotatesThePlantedHit) {
+  const Fixture f = make_fixture(801);
+  const auto hits = scan(f, 60);  // full score
+  const auto annotated = annotate_hits(hits, f.db, f.query);
+  ASSERT_FALSE(annotated.empty());
+  const AnnotatedHit& best = annotated.front();
+  EXPECT_EQ(best.record, f.planted_record);
+  EXPECT_EQ(best.record_offset, f.planted_offset);
+  EXPECT_DOUBLE_EQ(best.identity, 1.0);
+  // The in-frame translation of the window is exactly the query protein.
+  EXPECT_EQ(best.peptide, f.query);
+  EXPECT_TRUE(best.confirmed);
+  // Full BLOSUM self-score.
+  const auto& m = align::SubstitutionMatrix::blosum62();
+  int self = 0;
+  for (bio::AminoAcid aa : f.query) self += m.score(aa, aa);
+  EXPECT_EQ(best.blosum_score, self);
+}
+
+TEST(Report, DropsGuardAndBoundaryHits) {
+  const Fixture f = make_fixture(809);
+  // Threshold 0 produces hits everywhere, including guard regions.
+  const auto hits = scan(f, 0);
+  const auto annotated = annotate_hits(hits, f.db, f.query,
+                                       AnnotateOptions{false, 0, 0.0});
+  for (const AnnotatedHit& hit : annotated) {
+    EXPECT_TRUE(f.db.window_within_record(hit.raw.position,
+                                          f.query.size() * 3));
+  }
+}
+
+TEST(Report, DedupKeepsBestInWindow) {
+  const Fixture f = make_fixture(811);
+  // Low threshold: the planted gene produces a cluster of nearby hits.
+  const auto hits = scan(f, 40);
+  AnnotateOptions opts;
+  opts.dedup_window = 6;
+  opts.confirm_with_sw = false;
+  const auto annotated = annotate_hits(hits, f.db, f.query, opts);
+  for (std::size_t i = 1; i < annotated.size(); ++i) {
+    if (annotated[i].record != annotated[i - 1].record) continue;
+    // After sorting by identity the offsets are not ordered; re-check by
+    // scanning pairs.
+  }
+  // No two surviving hits on the same record are closer than the window.
+  for (std::size_t i = 0; i < annotated.size(); ++i)
+    for (std::size_t j = i + 1; j < annotated.size(); ++j) {
+      if (annotated[i].record != annotated[j].record) continue;
+      const std::size_t d =
+          annotated[i].record_offset > annotated[j].record_offset
+              ? annotated[i].record_offset - annotated[j].record_offset
+              : annotated[j].record_offset - annotated[i].record_offset;
+      EXPECT_GE(d, opts.dedup_window);
+    }
+}
+
+TEST(Report, SwFilterRemovesWeakHits) {
+  const Fixture f = make_fixture(821);
+  const auto hits = scan(f, 42);  // 70% of 60 elements: noisy
+  AnnotateOptions strict;
+  strict.min_sw_fraction = 0.9;
+  const auto filtered = annotate_hits(hits, f.db, f.query, strict);
+  AnnotateOptions loose;
+  loose.min_sw_fraction = 0.0;
+  const auto unfiltered = annotate_hits(hits, f.db, f.query, loose);
+  EXPECT_LE(filtered.size(), unfiltered.size());
+  ASSERT_FALSE(filtered.empty());
+  EXPECT_EQ(filtered.front().record_offset, f.planted_offset);
+}
+
+TEST(Report, SortedByIdentityDescending) {
+  const Fixture f = make_fixture(823);
+  const auto hits = scan(f, 40);
+  const auto annotated = annotate_hits(hits, f.db, f.query);
+  for (std::size_t i = 1; i < annotated.size(); ++i)
+    EXPECT_GE(annotated[i - 1].identity, annotated[i].identity);
+}
+
+TEST(Report, ToStringContainsRecordName) {
+  const Fixture f = make_fixture(827);
+  const auto hits = scan(f, 60);
+  const auto annotated = annotate_hits(hits, f.db, f.query);
+  ASSERT_FALSE(annotated.empty());
+  const std::string line = to_string(annotated.front(), f.db);
+  EXPECT_NE(line.find("rec=target"), std::string::npos);
+  EXPECT_NE(line.find("id=100"), std::string::npos);
+  EXPECT_NE(line.find("sw="), std::string::npos);
+}
+
+TEST(Report, EmptyInputsAreFine) {
+  const Fixture f = make_fixture(829);
+  EXPECT_TRUE(annotate_hits({}, f.db, f.query).empty());
+  EXPECT_TRUE(annotate_hits({Hit{0, 1}}, f.db, ProteinSequence{}).empty());
+}
+
+}  // namespace
+}  // namespace fabp::core

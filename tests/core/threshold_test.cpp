@@ -1,0 +1,135 @@
+#include "fabp/core/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/golden.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::AminoAcid;
+using bio::Nucleotide;
+
+TEST(Threshold, ElementProbabilities) {
+  EXPECT_DOUBLE_EQ(
+      element_match_probability(BackElement::make_exact(Nucleotide::G)),
+      0.25);
+  EXPECT_DOUBLE_EQ(element_match_probability(
+                       BackElement::make_conditional(Condition::UorC)),
+                   0.5);
+  EXPECT_DOUBLE_EQ(element_match_probability(
+                       BackElement::make_conditional(Condition::NotG)),
+                   0.75);
+  EXPECT_DOUBLE_EQ(element_match_probability(
+                       BackElement::make_dependent(Function::AnyD)),
+                   1.0);
+  EXPECT_DOUBLE_EQ(element_match_probability(
+                       BackElement::make_dependent(Function::Stop3)),
+                   0.375);
+}
+
+TEST(Threshold, EmpiricalProbabilitiesMatchModel) {
+  // Monte-Carlo each element type against random bases + random history.
+  util::Xoshiro256 rng{1101};
+  std::vector<BackElement> all;
+  for (Nucleotide n : bio::kAllNucleotides)
+    all.push_back(BackElement::make_exact(n));
+  for (auto c : {Condition::UorC, Condition::AorG, Condition::NotG,
+                 Condition::AorC})
+    all.push_back(BackElement::make_conditional(c));
+  for (auto f : {Function::Stop3, Function::Leu3, Function::Arg3,
+                 Function::AnyD})
+    all.push_back(BackElement::make_dependent(f));
+
+  constexpr int kDraws = 40'000;
+  for (const BackElement& e : all) {
+    int matches = 0;
+    for (int i = 0; i < kDraws; ++i) {
+      const auto r = bio::nucleotide_from_code(
+          static_cast<std::uint8_t>(rng.bounded(4)));
+      const auto im1 = bio::nucleotide_from_code(
+          static_cast<std::uint8_t>(rng.bounded(4)));
+      const auto im2 = bio::nucleotide_from_code(
+          static_cast<std::uint8_t>(rng.bounded(4)));
+      if (e.matches(r, im1, im2)) ++matches;
+    }
+    EXPECT_NEAR(static_cast<double>(matches) / kDraws,
+                element_match_probability(e), 0.01)
+        << to_string(e);
+  }
+}
+
+TEST(Threshold, StatisticsAccumulate) {
+  bio::ProteinSequence protein;
+  protein.push_back(AminoAcid::Met);  // AUG: three Type I
+  const auto stats = score_statistics(back_translate(protein));
+  EXPECT_EQ(stats.elements, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.75);
+  EXPECT_DOUBLE_EQ(stats.variance, 3 * 0.25 * 0.75);
+}
+
+TEST(Threshold, FprMonotoneDecreasing) {
+  util::Xoshiro256 rng{1103};
+  const auto query = back_translate(bio::random_protein(40, rng));
+  const auto stats = score_statistics(query);
+  double prev = 1.0;
+  for (std::uint32_t t = 0; t <= query.size(); t += 5) {
+    const double fpr = stats.false_positive_rate(t);
+    EXPECT_LE(fpr, prev + 1e-12);
+    EXPECT_GE(fpr, 0.0);
+    EXPECT_LE(fpr, 1.0);
+    prev = fpr;
+  }
+  EXPECT_EQ(stats.false_positive_rate(0), 1.0);
+  EXPECT_EQ(stats.false_positive_rate(
+                static_cast<std::uint32_t>(query.size()) + 1),
+            0.0);
+}
+
+TEST(Threshold, PredictedFprMatchesEmpiricalScan) {
+  // The normal approximation must land near the measured random-hit rate.
+  util::Xoshiro256 rng{1109};
+  const bio::ProteinSequence protein = bio::random_protein(20, rng);
+  const auto query = back_translate(protein);
+  const auto stats = score_statistics(query);
+  const bio::NucleotideSequence ref = bio::random_dna(300'000, rng);
+
+  // Pick a threshold with a measurable tail (~1e-3).
+  std::uint32_t threshold = 0;
+  while (stats.false_positive_rate(threshold) > 1e-3) ++threshold;
+  const double predicted = stats.false_positive_rate(threshold);
+
+  const auto hits = golden_hits(query, ref, threshold);
+  const double offsets = static_cast<double>(ref.size() - query.size() + 1);
+  const double measured = static_cast<double>(hits.size()) / offsets;
+  // Within a factor ~2 (tail approximations + element correlation).
+  EXPECT_GT(measured, predicted / 2.5);
+  EXPECT_LT(measured, predicted * 2.5);
+}
+
+TEST(Threshold, ForExpectedHitsScalesWithDatabase) {
+  util::Xoshiro256 rng{1117};
+  const auto query = back_translate(bio::random_protein(50, rng));
+  const auto small =
+      threshold_for_expected_hits(query, 1 << 20, 1.0);
+  const auto large =
+      threshold_for_expected_hits(query, std::size_t{1} << 32, 1.0);
+  EXPECT_GT(large, small);  // bigger space needs a stricter threshold
+  EXPECT_LE(large, query.size() + 1);
+}
+
+TEST(Threshold, ForExpectedHitsControlsRandomHits) {
+  util::Xoshiro256 rng{1123};
+  const bio::ProteinSequence protein = bio::random_protein(25, rng);
+  const auto query = back_translate(protein);
+  const bio::NucleotideSequence ref = bio::random_dna(400'000, rng);
+  const auto threshold =
+      threshold_for_expected_hits(query, ref.size(), 1.0);
+  const auto hits = golden_hits(query, ref, threshold);
+  // Expected <= 1; allow generous Monte-Carlo slack.
+  EXPECT_LE(hits.size(), 8u);
+}
+
+}  // namespace
+}  // namespace fabp::core

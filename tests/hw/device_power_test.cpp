@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "fabp/hw/device.hpp"
+#include "fabp/hw/power.hpp"
+
+namespace fabp::hw {
+namespace {
+
+TEST(ResourceBudget, Arithmetic) {
+  const ResourceBudget a{100, 200, 300, 4};
+  const ResourceBudget b{1, 2, 3, 1};
+  const ResourceBudget sum = a + b;
+  EXPECT_EQ(sum.luts, 101u);
+  EXPECT_EQ(sum.ffs, 202u);
+  EXPECT_EQ(sum.bram_bits, 303u);
+  EXPECT_EQ(sum.dsps, 5u);
+
+  const ResourceBudget scaled = b * 10;
+  EXPECT_EQ(scaled.luts, 10u);
+  EXPECT_EQ(scaled.dsps, 10u);
+}
+
+TEST(ResourceBudget, FitsIn) {
+  const ResourceBudget cap{100, 100, 100, 100};
+  EXPECT_TRUE((ResourceBudget{100, 100, 100, 100}).fits_in(cap));
+  EXPECT_FALSE((ResourceBudget{101, 0, 0, 0}).fits_in(cap));
+  EXPECT_FALSE((ResourceBudget{0, 0, 0, 101}).fits_in(cap));
+}
+
+TEST(Device, Kintex7MatchesTableIAvailableRow) {
+  const FpgaDevice dev = kintex7();
+  EXPECT_EQ(dev.capacity.luts, 326'000u);
+  EXPECT_EQ(dev.capacity.ffs, 407'000u);
+  EXPECT_EQ(dev.capacity.bram_bits, 16u * 1024 * 1024);
+  EXPECT_EQ(dev.capacity.dsps, 840u);
+  EXPECT_DOUBLE_EQ(dev.channel_bandwidth_bps, 12.8e9);
+  EXPECT_EQ(dev.memory_channels, 1u);
+}
+
+TEST(Device, AxiWidthImpliesClock) {
+  // 512 bits/beat at 200 MHz = 12.8 GB/s: the paper's bandwidth identity.
+  const FpgaDevice dev = kintex7();
+  EXPECT_EQ(dev.elements_per_beat(), 256u);
+  EXPECT_DOUBLE_EQ(dev.clock_hz * 64.0, dev.channel_bandwidth_bps);
+}
+
+TEST(Device, BiggerDeviceHasMoreOfEverything) {
+  const FpgaDevice k7 = kintex7();
+  const FpgaDevice vu = virtex_ultrascale_plus();
+  EXPECT_GT(vu.capacity.luts, k7.capacity.luts);
+  EXPECT_GT(vu.capacity.dsps, k7.capacity.dsps);
+  EXPECT_GT(vu.total_bandwidth_bps(), k7.total_bandwidth_bps());
+}
+
+TEST(Power, StaticFloorWithNoLogic) {
+  const FpgaPowerModel model;
+  const double w = model.watts(kintex7(), ResourceBudget{}, 0);
+  EXPECT_NEAR(w, model.config().static_watts, 1e-9);
+}
+
+TEST(Power, GrowsWithUtilization) {
+  const FpgaPowerModel model;
+  const FpgaDevice dev = kintex7();
+  const double low = model.watts(dev, ResourceBudget{50'000, 20'000, 0, 100});
+  const double high =
+      model.watts(dev, ResourceBudget{300'000, 150'000, 0, 600});
+  EXPECT_GT(high, low);
+}
+
+TEST(Power, FullKintex7InPaperImpliedRange) {
+  // The paper's energy numbers imply FabP draws roughly 10-13 W (see
+  // perf/platform.hpp).  A near-full device should land in that range.
+  const FpgaPowerModel model;
+  const FpgaDevice dev = kintex7();
+  const double w = model.watts(
+      dev, ResourceBudget{290'000, 140'000, 3'000'000, 520}, 1);
+  EXPECT_GT(w, 8.0);
+  EXPECT_LT(w, 16.0);
+}
+
+TEST(Power, DramChannelsAdd) {
+  const FpgaPowerModel model;
+  const FpgaDevice dev = kintex7();
+  const ResourceBudget used{10'000, 10'000, 0, 0};
+  const double one = model.watts(dev, used, 1);
+  const double four = model.watts(dev, used, 4);
+  EXPECT_NEAR(four - one, 3 * model.config().dram_watts, 1e-9);
+}
+
+}  // namespace
+}  // namespace fabp::hw

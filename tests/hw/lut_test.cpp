@@ -1,0 +1,67 @@
+#include "fabp/hw/lut.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fabp::hw {
+namespace {
+
+TEST(Lut6, DefaultIsAllZero) {
+  Lut6 lut;
+  for (unsigned i = 0; i < 64; ++i) EXPECT_FALSE(lut.eval(i));
+}
+
+TEST(Lut6, FromFunctionSamplesAllEntries) {
+  const Lut6 parity = Lut6::from_function([](std::uint8_t idx) {
+    return __builtin_popcount(idx) % 2 == 1;
+  });
+  for (unsigned i = 0; i < 64; ++i)
+    EXPECT_EQ(parity.eval(static_cast<std::uint8_t>(i)),
+              __builtin_popcount(i) % 2 == 1);
+}
+
+TEST(Lut6, BitwiseEvalMatchesIndexEval) {
+  const Lut6 lut = Lut6::from_function(
+      [](std::uint8_t idx) { return (idx * 0x9e3779b9u >> 28) & 1; });
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(lut.eval(i & 1, (i >> 1) & 1, (i >> 2) & 1, (i >> 3) & 1,
+                       (i >> 4) & 1, (i >> 5) & 1),
+              lut.eval(static_cast<std::uint8_t>(i)));
+  }
+}
+
+TEST(Lut6, IndexIsMaskedTo6Bits) {
+  const Lut6 lut{1};  // only entry 0 set
+  EXPECT_TRUE(lut.eval(static_cast<std::uint8_t>(64)));  // 64 & 63 == 0
+  EXPECT_TRUE(lut.eval(static_cast<std::uint8_t>(128)));
+}
+
+TEST(Lut6, ConstantFunctions) {
+  const Lut6 zero = Lut6::from_function([](std::uint8_t) { return false; });
+  const Lut6 one = Lut6::from_function([](std::uint8_t) { return true; });
+  EXPECT_EQ(zero.init(), 0u);
+  EXPECT_EQ(one.init(), ~0ULL);
+}
+
+TEST(Lut6, AndOrGateTruthTables) {
+  const Lut6 and2 = Lut6::from_function(
+      [](std::uint8_t idx) { return (idx & 0b11) == 0b11; });
+  EXPECT_FALSE(and2.eval(false, false, false, false, false, false));
+  EXPECT_FALSE(and2.eval(true, false, false, false, false, false));
+  EXPECT_TRUE(and2.eval(true, true, false, false, false, false));
+  // Upper inputs are don't-care in this function.
+  EXPECT_TRUE(and2.eval(true, true, true, true, true, true));
+}
+
+TEST(Lut6, InitStringFormat) {
+  EXPECT_EQ(Lut6{0}.init_string(), "64'h0000000000000000");
+  EXPECT_EQ(Lut6{0xDEADBEEFULL}.init_string(), "64'h00000000DEADBEEF");
+  EXPECT_EQ(Lut6{~0ULL}.init_string(), "64'hFFFFFFFFFFFFFFFF");
+}
+
+TEST(Lut6, Equality) {
+  EXPECT_EQ(Lut6{5}, Lut6{5});
+  EXPECT_NE(Lut6{5}, Lut6{6});
+}
+
+}  // namespace
+}  // namespace fabp::hw

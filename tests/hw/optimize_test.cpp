@@ -1,0 +1,176 @@
+#include "fabp/hw/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/hw/popcount.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::hw {
+namespace {
+
+const Lut6 kAnd2 = Lut6::from_function(
+    [](std::uint8_t idx) { return (idx & 3) == 3; });
+const Lut6 kXor2 = Lut6::from_function(
+    [](std::uint8_t idx) { return ((idx ^ (idx >> 1)) & 1) != 0; });
+const Lut6 kBuf = Lut6::from_function(
+    [](std::uint8_t idx) { return (idx & 1) != 0; });
+
+TEST(Optimize, ConstantInputsFoldIntoInit) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId one = nl.add_const(true);
+  const NetId y = nl.add_lut(kAnd2, {a, one});  // a & 1 == a
+  auto result = optimize(nl, {&y, 1});
+  EXPECT_EQ(result.stats.collapsed_aliases, 1u);
+  EXPECT_EQ(result.netlist.stats().luts, 0u);
+  // y now aliases the (new) input net.
+  EXPECT_NE(result.net_map[y], kInvalidNet);
+}
+
+TEST(Optimize, ConstantFunctionBecomesConst) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId zero = nl.add_const(false);
+  const NetId y = nl.add_lut(kAnd2, {a, zero});  // a & 0 == 0
+  auto result = optimize(nl, {&y, 1});
+  EXPECT_EQ(result.stats.folded_constants, 1u);
+  EXPECT_EQ(result.netlist.stats().luts, 0u);
+  result.netlist.settle();
+  EXPECT_FALSE(result.netlist.value(result.net_map[y]));
+}
+
+TEST(Optimize, DeadLogicRemoved) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId b = nl.add_input();
+  const NetId kept = nl.add_lut(kXor2, {a, b});
+  nl.add_lut(kAnd2, {a, b});  // dead
+  nl.add_lut(kBuf, {kept});   // dead
+  auto result = optimize(nl, {&kept, 1});
+  EXPECT_EQ(result.stats.dead_cells, 2u);
+  EXPECT_EQ(result.netlist.stats().luts, 1u);
+}
+
+TEST(Optimize, CarrySimplifications) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId b = nl.add_input();
+  const NetId zero = nl.add_const(false);
+  const NetId one = nl.add_const(true);
+  const NetId and_like = nl.add_carry(a, b, zero);  // a & b
+  const NetId or_like = nl.add_carry(a, b, one);    // a | b
+  const NetId alias = nl.add_carry(a, one, zero);   // a
+  const NetId constant = nl.add_carry(one, one, zero);  // 1
+  const NetId keep[] = {and_like, or_like, alias, constant};
+  auto result = optimize(nl, keep);
+
+  Netlist& opt = result.netlist;
+  EXPECT_EQ(opt.stats().carries, 0u);
+  EXPECT_EQ(opt.stats().luts, 2u);  // AND + OR
+  for (int v = 0; v < 4; ++v) {
+    opt.set_input(result.net_map[a], v & 1);
+    opt.set_input(result.net_map[b], (v >> 1) & 1);
+    opt.settle();
+    EXPECT_EQ(opt.value(result.net_map[and_like]), (v & 1) && (v >> 1));
+    EXPECT_EQ(opt.value(result.net_map[or_like]), (v & 1) || (v >> 1));
+    EXPECT_EQ(opt.value(result.net_map[alias]), (v & 1) != 0);
+    EXPECT_TRUE(opt.value(result.net_map[constant]));
+  }
+}
+
+TEST(Optimize, FfOfMatchingConstantFolds) {
+  Netlist nl;
+  const NetId zero = nl.add_const(false);
+  const NetId q = nl.add_ff(zero, false);
+  auto result = optimize(nl, {&q, 1});
+  EXPECT_EQ(result.netlist.stats().ffs, 0u);
+  result.netlist.settle();
+  EXPECT_FALSE(result.netlist.value(result.net_map[q]));
+}
+
+TEST(Optimize, FfOfMismatchedConstantKept) {
+  Netlist nl;
+  const NetId one = nl.add_const(true);
+  const NetId q = nl.add_ff(one, false);  // 0 until first clock, then 1
+  auto result = optimize(nl, {&q, 1});
+  EXPECT_EQ(result.netlist.stats().ffs, 1u);
+  Netlist& opt = result.netlist;
+  opt.settle();
+  EXPECT_FALSE(opt.value(result.net_map[q]));
+  opt.clock();
+  EXPECT_TRUE(opt.value(result.net_map[q]));
+}
+
+TEST(Optimize, RandomNetlistEquivalence) {
+  // Random combinational netlists with sprinkled constants: optimized and
+  // original agree on all kept outputs for random stimuli.
+  util::Xoshiro256 rng{1009};
+  for (int trial = 0; trial < 20; ++trial) {
+    Netlist nl;
+    std::vector<NetId> inputs, nets;
+    for (int i = 0; i < 6; ++i) {
+      inputs.push_back(nl.add_input());
+      nets.push_back(inputs.back());
+    }
+    nets.push_back(nl.add_const(false));
+    nets.push_back(nl.add_const(true));
+    std::vector<NetId> outputs;
+    for (int c = 0; c < 25; ++c) {
+      const std::size_t fan = 1 + rng.bounded(4);
+      std::vector<NetId> ins;
+      for (std::size_t k = 0; k < fan; ++k)
+        ins.push_back(nets[rng.bounded(nets.size())]);
+      const NetId y = nl.add_lut(Lut6{rng.next()}, ins);
+      nets.push_back(y);
+      if (rng.chance(0.4)) outputs.push_back(y);
+    }
+    if (outputs.empty()) outputs.push_back(nets.back());
+
+    auto result = optimize(nl, outputs);
+    Netlist opt = result.netlist;
+    EXPECT_LE(opt.stats().luts, nl.stats().luts);
+
+    for (int vec = 0; vec < 50; ++vec) {
+      const std::uint64_t stimulus = rng.next();
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const bool bit = (stimulus >> i) & 1;
+        nl.set_input(inputs[i], bit);
+        opt.set_input(result.net_map[inputs[i]], bit);
+      }
+      nl.settle();
+      opt.settle();
+      for (NetId out : outputs)
+        EXPECT_EQ(opt.value(result.net_map[out]), nl.value(out))
+            << "trial " << trial << " vec " << vec;
+    }
+  }
+}
+
+TEST(Optimize, SpecializedPopcounterShrinks) {
+  // Tie 30 of 36 pop-counter inputs to constant zero: the optimizer must
+  // shrink it dramatically while preserving the live 6-bit behavior.
+  Netlist nl;
+  Bus in;
+  for (int i = 0; i < 6; ++i) in.push_back(nl.add_input());
+  const NetId zero = nl.add_const(false);
+  for (int i = 6; i < 36; ++i) in.push_back(zero);
+  const Bus count = build_pop36(nl, in);
+
+  auto result = optimize(nl, count);
+  EXPECT_LT(result.netlist.stats().luts, nl.stats().luts / 2);
+
+  Netlist opt = result.netlist;
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    for (int i = 0; i < 6; ++i)
+      opt.set_input(result.net_map[in[static_cast<std::size_t>(i)]],
+                    (v >> i) & 1);
+    opt.settle();
+    std::uint64_t observed = 0;
+    for (std::size_t b = 0; b < count.size(); ++b)
+      if (opt.value(result.net_map[count[b]])) observed |= 1ULL << b;
+    EXPECT_EQ(observed, static_cast<std::uint64_t>(__builtin_popcountll(v)));
+  }
+}
+
+}  // namespace
+}  // namespace fabp::hw

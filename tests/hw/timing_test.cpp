@@ -1,0 +1,101 @@
+#include "fabp/hw/timing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/hw/popcount.hpp"
+
+namespace fabp::hw {
+namespace {
+
+const Lut6 kBuf = Lut6::from_function(
+    [](std::uint8_t idx) { return (idx & 1) != 0; });
+
+TEST(Timing, EmptyNetlistHasZeroPath) {
+  Netlist nl;
+  nl.add_input();
+  const TimingReport r = analyze_timing(nl);
+  EXPECT_EQ(r.critical_path_ns, 0.0);
+  EXPECT_EQ(r.logic_levels, 0u);
+  EXPECT_GT(r.fmax_hz, 1e9);  // only clk-to-q + setup
+}
+
+TEST(Timing, ChainDepthAccumulates) {
+  Netlist nl;
+  NetId x = nl.add_input();
+  for (int i = 0; i < 5; ++i) x = nl.add_lut(kBuf, {x});
+  const TimingModel model;
+  const TimingReport r = analyze_timing(nl, model);
+  EXPECT_EQ(r.logic_levels, 5u);
+  EXPECT_NEAR(r.critical_path_ns,
+              5 * (model.lut_delay_ns + model.net_delay_ns), 1e-9);
+}
+
+TEST(Timing, RegisterCutsThePath) {
+  Netlist nl;
+  NetId x = nl.add_input();
+  for (int i = 0; i < 4; ++i) x = nl.add_lut(kBuf, {x});
+  x = nl.add_ff(x);
+  for (int i = 0; i < 3; ++i) x = nl.add_lut(kBuf, {x});
+  const TimingReport r = analyze_timing(nl);
+  EXPECT_EQ(r.logic_levels, 4u);  // the pre-register half dominates
+}
+
+TEST(Timing, CarryChainIsCheap) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId b = nl.add_input();
+  NetId carry = nl.add_const(false);
+  for (int i = 0; i < 16; ++i) carry = nl.add_carry(a, b, carry);
+  const TimingModel model;
+  const TimingReport r = analyze_timing(nl, model);
+  EXPECT_EQ(r.logic_levels, 0u);
+  EXPECT_NEAR(r.critical_path_ns, 16 * model.carry_delay_ns, 1e-9);
+}
+
+TEST(Timing, FmaxInverseOfPath) {
+  Netlist nl;
+  NetId x = nl.add_input();
+  for (int i = 0; i < 3; ++i) x = nl.add_lut(kBuf, {x});
+  const TimingModel model;
+  const TimingReport r = analyze_timing(nl, model);
+  EXPECT_NEAR(r.fmax_hz * (model.clk_to_q_ns + r.critical_path_ns +
+                           model.setup_ns),
+              1e9, 1.0);
+  EXPECT_TRUE(r.meets(r.fmax_hz * 0.99));
+  EXPECT_FALSE(r.meets(r.fmax_hz * 1.01));
+}
+
+TEST(Timing, Pop36MeetsTheKernelClock) {
+  // One Pop36 stage must close at 200 MHz (5 ns) on the K7-class model —
+  // the paper runs the whole pipeline at the 12.8 GB/s-implied clock.
+  Netlist nl;
+  Bus in;
+  for (int i = 0; i < 36; ++i) in.push_back(nl.add_input());
+  build_pop36(nl, in);
+  const TimingReport r = analyze_timing(nl);
+  EXPECT_TRUE(r.meets(200e6)) << r.critical_path_ns << " ns, "
+                              << r.logic_levels << " levels";
+}
+
+TEST(Timing, WidePopcounterNeedsPipelining) {
+  // A full 750-bit single-cycle pop-counter misses 200 MHz — this is why
+  // the design registers between stages (§III-C "multi-stage pipelined").
+  Netlist nl;
+  Bus in;
+  for (int i = 0; i < 750; ++i) in.push_back(nl.add_input());
+  build_popcounter_handcrafted(nl, in);
+  const TimingReport r = analyze_timing(nl);
+  EXPECT_FALSE(r.meets(200e6));
+  EXPECT_GT(r.logic_levels, 6u);
+}
+
+TEST(Timing, LogicDepthsMatchReport) {
+  Netlist nl;
+  NetId x = nl.add_input();
+  for (int i = 0; i < 4; ++i) x = nl.add_lut(kBuf, {x});
+  const auto depths = logic_depths(nl);
+  EXPECT_EQ(depths[x], 4u);
+}
+
+}  // namespace
+}  // namespace fabp::hw

@@ -1,0 +1,123 @@
+#include "fabp/hw/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/hw/popcount.hpp"
+
+namespace fabp::hw {
+namespace {
+
+// Structural sanity: balanced parens, one module/endmodule pair.
+void expect_well_formed(const VerilogModule& m) {
+  EXPECT_NE(m.source.find("module " + m.name), std::string::npos);
+  EXPECT_NE(m.source.find("endmodule"), std::string::npos);
+  long depth = 0;
+  for (char c : m.source) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(m.source.find(";;"), std::string::npos);
+}
+
+TEST(Verilog, SimpleLutModule) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId b = nl.add_input();
+  const Lut6 and2 = Lut6::from_function(
+      [](std::uint8_t idx) { return (idx & 3) == 3; });
+  const NetId y = nl.add_lut(and2, {a, b});
+  const VerilogModule m = emit_verilog(
+      nl, "and_gate", {VerilogPort{"a", a}, VerilogPort{"b", b}},
+      {VerilogPort{"y", y}});
+  expect_well_formed(m);
+  EXPECT_EQ(m.instance_count("LUT6"), 1u);
+  EXPECT_NE(m.source.find(".INIT(" + and2.init_string() + ")"),
+            std::string::npos);
+  EXPECT_NE(m.source.find("input wire a"), std::string::npos);
+  EXPECT_NE(m.source.find("output wire y"), std::string::npos);
+  // No clock for pure combinational logic.
+  EXPECT_EQ(m.source.find("clk"), std::string::npos);
+}
+
+TEST(Verilog, FlipFlopAddsClockAndReset) {
+  Netlist nl;
+  const NetId d = nl.add_input();
+  const NetId q = nl.add_ff(d);
+  const VerilogModule m = emit_verilog(nl, "reg1", {VerilogPort{"d", d}},
+                                       {VerilogPort{"q", q}});
+  expect_well_formed(m);
+  EXPECT_EQ(m.instance_count("FDRE"), 1u);
+  EXPECT_NE(m.source.find("input wire clk"), std::string::npos);
+  EXPECT_NE(m.source.find("input wire rst"), std::string::npos);
+}
+
+TEST(Verilog, CarryEmittedAsAssign) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId b = nl.add_input();
+  const NetId c = nl.add_input();
+  const NetId y = nl.add_carry(a, b, c);
+  const VerilogModule m = emit_verilog(
+      nl, "carry1",
+      {VerilogPort{"a", a}, VerilogPort{"b", b}, VerilogPort{"c", c}},
+      {VerilogPort{"y", y}});
+  expect_well_formed(m);
+  EXPECT_NE(m.source.find("// carry"), std::string::npos);
+}
+
+TEST(Verilog, UnlistedInputsTiedLow) {
+  Netlist nl;
+  const NetId a = nl.add_input();
+  const NetId hidden = nl.add_input();
+  const Lut6 or2 = Lut6::from_function(
+      [](std::uint8_t idx) { return (idx & 3) != 0; });
+  const NetId y = nl.add_lut(or2, {a, hidden});
+  const VerilogModule m =
+      emit_verilog(nl, "tied", {VerilogPort{"a", a}}, {VerilogPort{"y", y}});
+  expect_well_formed(m);
+  EXPECT_NE(m.source.find("= 1'b0;"), std::string::npos);
+}
+
+TEST(Verilog, Pop36ModuleHasPaperStructure) {
+  const VerilogModule m = emit_pop36_module();
+  expect_well_formed(m);
+  EXPECT_EQ(m.name, "fabp_pop36");
+  EXPECT_EQ(m.instance_count("LUT6"), 33u);  // Fig. 4 structure
+  for (int i = 0; i < 36; ++i)
+    EXPECT_NE(m.source.find("input wire b" + std::to_string(i)),
+              std::string::npos)
+        << i;
+  for (int i = 0; i < 6; ++i)
+    EXPECT_NE(m.source.find("output wire count" + std::to_string(i)),
+              std::string::npos)
+        << i;
+}
+
+TEST(Verilog, PopcounterModulesMatchLutHelpers) {
+  for (std::size_t width : {36u, 72u, 150u}) {
+    const VerilogModule hand = emit_popcounter_module(width, true);
+    const VerilogModule tree = emit_popcounter_module(width, false);
+    expect_well_formed(hand);
+    expect_well_formed(tree);
+    EXPECT_EQ(hand.instance_count("LUT6"),
+              popcounter_luts_handcrafted(width));
+    EXPECT_EQ(tree.instance_count("LUT6"), popcounter_luts_tree(width));
+  }
+}
+
+TEST(Verilog, EmissionIsDeterministic) {
+  EXPECT_EQ(emit_pop36_module().source, emit_pop36_module().source);
+}
+
+TEST(Verilog, RejectsInvalidPortNet) {
+  Netlist nl;
+  (void)nl.add_input();
+  EXPECT_THROW(
+      emit_verilog(nl, "bad", {VerilogPort{"x", kInvalidNet}}, {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fabp::hw

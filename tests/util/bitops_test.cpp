@@ -1,0 +1,111 @@
+#include "fabp/util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/util/rng.hpp"
+
+namespace fabp::util {
+namespace {
+
+TEST(BitOps, BitsExtraction) {
+  EXPECT_EQ(bits(0b110110, 1, 3), 0b011u);
+  EXPECT_EQ(bits(0xffffffffffffffffULL, 0, 64), 0xffffffffffffffffULL);
+  EXPECT_EQ(bits(0xff, 4, 4), 0xfu);
+  EXPECT_EQ(bits(0xff, 8, 4), 0u);
+}
+
+TEST(BitOps, SingleBit) {
+  EXPECT_TRUE(bit(0b100, 2));
+  EXPECT_FALSE(bit(0b100, 1));
+  EXPECT_FALSE(bit(0, 63));
+  EXPECT_TRUE(bit(1ULL << 63, 63));
+}
+
+TEST(BitOps, WithBit) {
+  EXPECT_EQ(with_bit(0, 3, true), 0b1000u);
+  EXPECT_EQ(with_bit(0b1111, 1, false), 0b1101u);
+  EXPECT_EQ(with_bit(0b1000, 3, true), 0b1000u);
+}
+
+TEST(BitOps, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_EQ(ceil_div(256, 64), 4u);
+}
+
+TEST(BitVector, StartsEmpty) {
+  BitVector bv;
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.count(), 0u);
+}
+
+TEST(BitVector, ConstructedWithValue) {
+  BitVector zeros{100, false};
+  EXPECT_EQ(zeros.size(), 100u);
+  EXPECT_EQ(zeros.count(), 0u);
+
+  BitVector ones{100, true};
+  EXPECT_EQ(ones.count(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_TRUE(ones.get(i));
+}
+
+TEST(BitVector, SetAndGet) {
+  BitVector bv{130};
+  bv.set(0, true);
+  bv.set(64, true);
+  bv.set(129, true);
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(64));
+  EXPECT_TRUE(bv.get(129));
+  EXPECT_FALSE(bv.get(1));
+  EXPECT_EQ(bv.count(), 3u);
+  bv.set(64, false);
+  EXPECT_EQ(bv.count(), 2u);
+}
+
+TEST(BitVector, PushBackGrows) {
+  BitVector bv;
+  for (int i = 0; i < 200; ++i) bv.push_back(i % 3 == 0);
+  EXPECT_EQ(bv.size(), 200u);
+  std::size_t expected = 0;
+  for (int i = 0; i < 200; ++i)
+    if (i % 3 == 0) ++expected;
+  EXPECT_EQ(bv.count(), expected);
+}
+
+TEST(BitVector, CountRangeMatchesBruteForce) {
+  Xoshiro256 rng{99};
+  BitVector bv{300};
+  for (std::size_t i = 0; i < 300; ++i) bv.set(i, rng.chance(0.4));
+
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t a = rng.bounded(301);
+    const std::size_t b = rng.bounded(301);
+    const std::size_t lo = std::min(a, b), hi = std::max(a, b);
+    std::size_t expected = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+      if (bv.get(i)) ++expected;
+    EXPECT_EQ(bv.count_range(lo, hi), expected) << lo << ".." << hi;
+  }
+}
+
+TEST(BitVector, CountRangeClampsEnd) {
+  BitVector bv{10, true};
+  EXPECT_EQ(bv.count_range(5, 100), 5u);
+  EXPECT_EQ(bv.count_range(20, 30), 0u);
+  EXPECT_EQ(bv.count_range(7, 7), 0u);
+  EXPECT_EQ(bv.count_range(8, 3), 0u);
+}
+
+TEST(BitVector, EqualityComparesContent) {
+  BitVector a{70}, b{70};
+  a.set(69, true);
+  EXPECT_NE(a, b);
+  b.set(69, true);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fabp::util

@@ -1,0 +1,179 @@
+#include "fabp/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+namespace fabp::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1}, b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ZeroSeedIsUsable) {
+  Xoshiro256 rng{0};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng.next());
+  EXPECT_GT(seen.size(), 60u);  // not stuck
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng{7};
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BoundedOneAlwaysZero) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng{11};
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) buckets[rng.bounded(8)]++;
+  for (int count : buckets) {
+    EXPECT_GT(count, kDraws / 8 * 0.9);
+    EXPECT_LT(count, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng{3};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng{5};
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceExtremes) {
+  Xoshiro256 rng{5};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-1.0));
+    EXPECT_TRUE(rng.chance(2.0));
+  }
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng{17};
+  int heads = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.chance(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.3, 0.02);
+}
+
+TEST(Xoshiro256, NormalMoments) {
+  Xoshiro256 rng{23};
+  double sum = 0, sum_sq = 0;
+  constexpr int kDraws = 50'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, PoissonMeanSmallLambda) {
+  Xoshiro256 rng{31};
+  double sum = 0;
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.poisson(2.5));
+  EXPECT_NEAR(sum / kDraws, 2.5, 0.1);
+}
+
+TEST(Xoshiro256, PoissonMeanLargeLambda) {
+  Xoshiro256 rng{37};
+  double sum = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / kDraws, 100.0, 1.0);
+}
+
+TEST(Xoshiro256, PoissonZeroLambda) {
+  Xoshiro256 rng{37};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Xoshiro256, GeometricMean) {
+  Xoshiro256 rng{41};
+  double sum = 0;
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i)
+    sum += static_cast<double>(rng.geometric(0.5));
+  // Mean failures before success = (1-p)/p = 1.
+  EXPECT_NEAR(sum / kDraws, 1.0, 0.05);
+}
+
+TEST(Xoshiro256, WeightedRespectsWeights) {
+  Xoshiro256 rng{43};
+  const std::array<double, 3> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 40'000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.weighted(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Xoshiro256, ShufflePreservesElements) {
+  Xoshiro256 rng{47};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Xoshiro256, ForkProducesIndependentStreams) {
+  Xoshiro256 parent{53};
+  Xoshiro256 a = parent.fork(1);
+  Xoshiro256 b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace fabp::util

@@ -1,0 +1,70 @@
+#include "fabp/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fabp::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t{{"name", "value"}};
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("beta").cell(std::size_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.5"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t{{"a", "b"}};
+  t.row().cell("x,y").cell(2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx;y,2\n");
+}
+
+TEST(Table, CellWithoutRowStartsOne) {
+  Table t{{"a"}};
+  t.cell("implicit");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Formatting, RatioText) {
+  EXPECT_EQ(ratio_text(24.84, 1), "24.8x");
+  EXPECT_EQ(ratio_text(1.0, 2), "1.00x");
+}
+
+TEST(Formatting, BandwidthText) {
+  EXPECT_EQ(bandwidth_text(12.8e9), "12.8 GB/s");
+  EXPECT_EQ(bandwidth_text(3.2e6), "3.2 MB/s");
+  EXPECT_EQ(bandwidth_text(1.5e3), "1.5 KB/s");
+  EXPECT_EQ(bandwidth_text(12.0), "12.0 B/s");
+}
+
+TEST(Formatting, TimeText) {
+  EXPECT_EQ(time_text(2.5), "2.50 s");
+  EXPECT_EQ(time_text(1.5e-3), "1.50 ms");
+  EXPECT_EQ(time_text(2e-6), "2.00 us");
+  EXPECT_EQ(time_text(3e-9), "3.00 ns");
+}
+
+TEST(Formatting, PercentText) {
+  EXPECT_EQ(percent_text(0.58, 0), "58%");
+  EXPECT_EQ(percent_text(0.981, 1), "98.1%");
+}
+
+TEST(Formatting, Banner) {
+  std::ostringstream os;
+  banner(os, "Table I");
+  EXPECT_NE(os.str().find("Table I"), std::string::npos);
+  EXPECT_NE(os.str().find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fabp::util

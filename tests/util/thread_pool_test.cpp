@@ -1,0 +1,90 @@
+#include "fabp/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace fabp::util {
+namespace {
+
+TEST(ThreadPool, AtLeastOneWorker) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool{2};
+  std::atomic<int> value{0};
+  pool.submit([&] { value = 42; }).get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool{2};
+  auto future = pool.submit([] { throw std::runtime_error{"boom"}; });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i)
+    futures.push_back(pool.submit([&] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> touched(500);
+  pool.parallel_for(0, 500, [&](std::size_t i) { touched[i]++; });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelChunksPartitionExactly) {
+  ThreadPool pool{3};
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_chunks(10, 100, [&](std::size_t lo, std::size_t hi) {
+    const std::lock_guard lock{m};
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 10u);
+  EXPECT_EQ(chunks.back().second, 100u);
+  for (std::size_t i = 1; i < chunks.size(); ++i)
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);  // no gaps/overlap
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  ThreadPool pool{4};
+  std::vector<long> values(1000);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, values.size(),
+                    [&](std::size_t i) { sum += values[i]; });
+  EXPECT_EQ(sum.load(), 1000L * 1001 / 2);
+}
+
+TEST(ThreadPool, MoreChunksThanElements) {
+  ThreadPool pool{8};
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 3, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace fabp::util

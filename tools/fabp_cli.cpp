@@ -1,0 +1,171 @@
+// fabp — command-line front end for the library.
+//
+//   fabp encode <protein>                      back-translate + encode
+//   fabp search <ref.fa> <queries.fa> [thr]    database search with reports
+//   fabp tblastn <ref.fa> <queries.fa>         CPU-baseline search
+//   fabp map <residues> [kintex7|vu9p]         resource mapping (Table I)
+//   fabp rtl <out_dir> [elements]              export structural Verilog
+//
+// Exit code 0 on success, 1 on usage/product errors.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fabp/fabp.hpp"
+
+namespace {
+
+using namespace fabp;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  fabp encode <protein>\n"
+      "  fabp search <ref.fa> <queries.fa> [threshold-fraction]\n"
+      "  fabp tblastn <ref.fa> <queries.fa>\n"
+      "  fabp map <residues> [kintex7|vu9p]\n"
+      "  fabp rtl <out_dir> [elements]\n";
+  return 1;
+}
+
+int cmd_encode(const std::string& text) {
+  const auto protein = bio::ProteinSequence::parse(text);
+  const auto elements = core::back_translate(protein);
+  const auto instructions = core::encode_query(protein);
+  for (std::size_t i = 0; i < protein.size(); ++i) {
+    std::cout << bio::to_three_letter(protein[i]) << ": ";
+    for (std::size_t k = 0; k < 3; ++k)
+      std::cout << core::to_string(elements[3 * i + k])
+                << (k < 2 ? " " : "  ->  ");
+    for (std::size_t k = 0; k < 3; ++k)
+      std::cout << instructions[3 * i + k].to_binary_string()
+                << (k < 2 ? " " : "\n");
+  }
+  const core::PackedQuery packed{instructions};
+  std::cout << "packed: " << packed.byte_size() << " bytes in DRAM\n";
+  return 0;
+}
+
+int cmd_search(const std::string& ref_path, const std::string& query_path,
+               double threshold_fraction) {
+  const auto db =
+      bio::ReferenceDatabase::from_fasta(bio::read_fasta_file(ref_path));
+  std::cerr << "database: " << db.record_count() << " records, "
+            << db.total_bases() << " bases\n";
+
+  std::vector<bio::ProteinSequence> queries;
+  std::vector<std::string> names;
+  for (const auto& record : bio::read_fasta_file(query_path)) {
+    queries.push_back(bio::ProteinSequence::parse(record.sequence));
+    names.push_back(record.id);
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries\n";
+    return 1;
+  }
+
+  core::Session session;
+  session.upload_reference(db.packed());
+  const auto batch = session.align_batch(queries, threshold_fraction);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto annotated =
+        core::annotate_hits(batch.per_query[q].hits, db, queries[q]);
+    std::cout << names[q] << "\t" << annotated.size() << " hit(s)\n";
+    for (const auto& hit : annotated)
+      std::cout << "  " << core::to_string(hit, db) << '\n';
+  }
+  std::cerr << "modeled card time: " << util::time_text(batch.total_s)
+            << " (" << batch.queries_per_second << " queries/s)\n";
+  return 0;
+}
+
+int cmd_tblastn(const std::string& ref_path, const std::string& query_path) {
+  const auto refs = bio::read_fasta_file(ref_path);
+  const auto queries = bio::read_fasta_file(query_path);
+  util::Timer timer;
+  for (const auto& qrecord : queries) {
+    const auto query = bio::ProteinSequence::parse(qrecord.sequence);
+    blast::Tblastn engine{query, blast::TblastnConfig{}};
+    for (const auto& rrecord : refs) {
+      const auto ref =
+          bio::NucleotideSequence::parse(bio::SeqKind::Dna, rrecord.sequence);
+      const auto result = engine.search(ref);
+      for (const auto& hit : result.hits)
+        std::cout << qrecord.id << "\t" << rrecord.id << "\t"
+                  << hit.dna_position << "\tframe=" << hit.frame
+                  << "\tbits=" << hit.bits << "\te=" << hit.evalue << '\n';
+    }
+  }
+  std::cerr << "wall time: " << util::time_text(timer.seconds()) << '\n';
+  return 0;
+}
+
+int cmd_map(std::size_t residues, const std::string& device_name) {
+  hw::FpgaDevice device =
+      device_name == "vu9p" ? hw::virtex_ultrascale_plus() : hw::kintex7();
+  const core::FabpMapping m = core::map_design(device, residues * 3);
+  if (!m.feasible) {
+    std::cout << "does not fit on " << device.name << '\n';
+    return 1;
+  }
+  std::cout << "device " << device.name << ", query " << residues << " aa ("
+            << m.query_elements << " elements)\n"
+            << "  segments " << m.segments << ", channels " << m.channels
+            << '\n'
+            << "  LUT " << util::percent_text(m.lut_util, 1) << "  FF "
+            << util::percent_text(m.ff_util, 1) << "  BRAM "
+            << util::percent_text(m.bram_util, 1) << "  DSP "
+            << util::percent_text(m.dsp_util, 1) << '\n'
+            << "  effective bandwidth "
+            << util::bandwidth_text(m.effective_bandwidth_bps) << " ("
+            << (m.bottleneck == core::Bottleneck::Resources ? "resource"
+                                                            : "bandwidth")
+            << "-bound)\n";
+  return 0;
+}
+
+int cmd_rtl(const std::string& out_dir, std::size_t elements) {
+  std::filesystem::create_directories(out_dir);
+  const auto write = [&](const hw::VerilogModule& m) {
+    std::ofstream out{std::filesystem::path(out_dir) / (m.name + ".v")};
+    out << m.source;
+    std::cout << m.name << ".v: " << m.instance_count("LUT6") << " LUT6, "
+              << m.instance_count("FDRE") << " FDRE\n";
+  };
+  write(core::emit_comparator_module());
+  write(hw::emit_pop36_module());
+  core::InstanceConfig config;
+  config.elements = elements;
+  config.threshold = static_cast<std::uint32_t>(elements * 4 / 5);
+  write(core::emit_instance_module(config));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "encode" && argc == 3) return cmd_encode(argv[2]);
+    if (command == "search" && (argc == 4 || argc == 5))
+      return cmd_search(argv[2], argv[3],
+                        argc == 5 ? std::strtod(argv[4], nullptr) : 0.85);
+    if (command == "tblastn" && argc == 4)
+      return cmd_tblastn(argv[2], argv[3]);
+    if (command == "map" && (argc == 3 || argc == 4))
+      return cmd_map(std::strtoull(argv[2], nullptr, 10),
+                     argc == 4 ? argv[3] : "kintex7");
+    if (command == "rtl" && (argc == 3 || argc == 4))
+      return cmd_rtl(argv[2],
+                     argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 36);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
