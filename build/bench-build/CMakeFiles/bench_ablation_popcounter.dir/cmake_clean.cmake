@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_popcounter"
+  "../bench/bench_ablation_popcounter.pdb"
+  "CMakeFiles/bench_ablation_popcounter.dir/bench_ablation_popcounter.cpp.o"
+  "CMakeFiles/bench_ablation_popcounter.dir/bench_ablation_popcounter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_popcounter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_indel_accuracy"
+  "../bench/bench_indel_accuracy.pdb"
+  "CMakeFiles/bench_indel_accuracy.dir/bench_indel_accuracy.cpp.o"
+  "CMakeFiles/bench_indel_accuracy.dir/bench_indel_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indel_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codon_explorer.dir/codon_explorer.cpp.o"
+  "CMakeFiles/codon_explorer.dir/codon_explorer.cpp.o.d"
+  "codon_explorer"
+  "codon_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codon_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutation_study.dir/mutation_study.cpp.o"
+  "CMakeFiles/mutation_study.dir/mutation_study.cpp.o.d"
+  "mutation_study"
+  "mutation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_explorer.dir/resource_explorer.cpp.o"
+  "CMakeFiles/resource_explorer.dir/resource_explorer.cpp.o.d"
+  "resource_explorer"
+  "resource_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

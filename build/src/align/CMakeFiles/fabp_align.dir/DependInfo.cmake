@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/extension.cpp" "src/align/CMakeFiles/fabp_align.dir/extension.cpp.o" "gcc" "src/align/CMakeFiles/fabp_align.dir/extension.cpp.o.d"
+  "/root/repo/src/align/local.cpp" "src/align/CMakeFiles/fabp_align.dir/local.cpp.o" "gcc" "src/align/CMakeFiles/fabp_align.dir/local.cpp.o.d"
+  "/root/repo/src/align/scoring.cpp" "src/align/CMakeFiles/fabp_align.dir/scoring.cpp.o" "gcc" "src/align/CMakeFiles/fabp_align.dir/scoring.cpp.o.d"
+  "/root/repo/src/align/sliding.cpp" "src/align/CMakeFiles/fabp_align.dir/sliding.cpp.o" "gcc" "src/align/CMakeFiles/fabp_align.dir/sliding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

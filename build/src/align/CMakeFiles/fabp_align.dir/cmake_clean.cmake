@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_align.dir/extension.cpp.o"
+  "CMakeFiles/fabp_align.dir/extension.cpp.o.d"
+  "CMakeFiles/fabp_align.dir/local.cpp.o"
+  "CMakeFiles/fabp_align.dir/local.cpp.o.d"
+  "CMakeFiles/fabp_align.dir/scoring.cpp.o"
+  "CMakeFiles/fabp_align.dir/scoring.cpp.o.d"
+  "CMakeFiles/fabp_align.dir/sliding.cpp.o"
+  "CMakeFiles/fabp_align.dir/sliding.cpp.o.d"
+  "libfabp_align.a"
+  "libfabp_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

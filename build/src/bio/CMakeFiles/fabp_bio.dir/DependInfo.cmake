@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cpp" "src/bio/CMakeFiles/fabp_bio.dir/alphabet.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/alphabet.cpp.o.d"
+  "/root/repo/src/bio/codon.cpp" "src/bio/CMakeFiles/fabp_bio.dir/codon.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/codon.cpp.o.d"
+  "/root/repo/src/bio/codon_usage.cpp" "src/bio/CMakeFiles/fabp_bio.dir/codon_usage.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/codon_usage.cpp.o.d"
+  "/root/repo/src/bio/database.cpp" "src/bio/CMakeFiles/fabp_bio.dir/database.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/database.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/fabp_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/generate.cpp" "src/bio/CMakeFiles/fabp_bio.dir/generate.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/generate.cpp.o.d"
+  "/root/repo/src/bio/mutation.cpp" "src/bio/CMakeFiles/fabp_bio.dir/mutation.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/mutation.cpp.o.d"
+  "/root/repo/src/bio/packed.cpp" "src/bio/CMakeFiles/fabp_bio.dir/packed.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/packed.cpp.o.d"
+  "/root/repo/src/bio/sequence.cpp" "src/bio/CMakeFiles/fabp_bio.dir/sequence.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/sequence.cpp.o.d"
+  "/root/repo/src/bio/translation.cpp" "src/bio/CMakeFiles/fabp_bio.dir/translation.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_bio.dir/alphabet.cpp.o"
+  "CMakeFiles/fabp_bio.dir/alphabet.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/codon.cpp.o"
+  "CMakeFiles/fabp_bio.dir/codon.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/codon_usage.cpp.o"
+  "CMakeFiles/fabp_bio.dir/codon_usage.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/database.cpp.o"
+  "CMakeFiles/fabp_bio.dir/database.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/fasta.cpp.o"
+  "CMakeFiles/fabp_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/generate.cpp.o"
+  "CMakeFiles/fabp_bio.dir/generate.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/mutation.cpp.o"
+  "CMakeFiles/fabp_bio.dir/mutation.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/packed.cpp.o"
+  "CMakeFiles/fabp_bio.dir/packed.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/sequence.cpp.o"
+  "CMakeFiles/fabp_bio.dir/sequence.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/translation.cpp.o"
+  "CMakeFiles/fabp_bio.dir/translation.cpp.o.d"
+  "libfabp_bio.a"
+  "libfabp_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

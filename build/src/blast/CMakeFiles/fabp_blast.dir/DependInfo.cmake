@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blast/evalue.cpp" "src/blast/CMakeFiles/fabp_blast.dir/evalue.cpp.o" "gcc" "src/blast/CMakeFiles/fabp_blast.dir/evalue.cpp.o.d"
+  "/root/repo/src/blast/kmer_index.cpp" "src/blast/CMakeFiles/fabp_blast.dir/kmer_index.cpp.o" "gcc" "src/blast/CMakeFiles/fabp_blast.dir/kmer_index.cpp.o.d"
+  "/root/repo/src/blast/seg.cpp" "src/blast/CMakeFiles/fabp_blast.dir/seg.cpp.o" "gcc" "src/blast/CMakeFiles/fabp_blast.dir/seg.cpp.o.d"
+  "/root/repo/src/blast/tblastn.cpp" "src/blast/CMakeFiles/fabp_blast.dir/tblastn.cpp.o" "gcc" "src/blast/CMakeFiles/fabp_blast.dir/tblastn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/align/CMakeFiles/fabp_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

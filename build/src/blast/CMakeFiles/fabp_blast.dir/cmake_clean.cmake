@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_blast.dir/evalue.cpp.o"
+  "CMakeFiles/fabp_blast.dir/evalue.cpp.o.d"
+  "CMakeFiles/fabp_blast.dir/kmer_index.cpp.o"
+  "CMakeFiles/fabp_blast.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/fabp_blast.dir/seg.cpp.o"
+  "CMakeFiles/fabp_blast.dir/seg.cpp.o.d"
+  "CMakeFiles/fabp_blast.dir/tblastn.cpp.o"
+  "CMakeFiles/fabp_blast.dir/tblastn.cpp.o.d"
+  "libfabp_blast.a"
+  "libfabp_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabp/accelerator.cpp" "src/fabp/CMakeFiles/fabp_core.dir/accelerator.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/accelerator.cpp.o.d"
+  "/root/repo/src/fabp/array.cpp" "src/fabp/CMakeFiles/fabp_core.dir/array.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/array.cpp.o.d"
+  "/root/repo/src/fabp/backtranslate.cpp" "src/fabp/CMakeFiles/fabp_core.dir/backtranslate.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/backtranslate.cpp.o.d"
+  "/root/repo/src/fabp/comparator.cpp" "src/fabp/CMakeFiles/fabp_core.dir/comparator.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/comparator.cpp.o.d"
+  "/root/repo/src/fabp/encoding.cpp" "src/fabp/CMakeFiles/fabp_core.dir/encoding.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/encoding.cpp.o.d"
+  "/root/repo/src/fabp/golden.cpp" "src/fabp/CMakeFiles/fabp_core.dir/golden.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/golden.cpp.o.d"
+  "/root/repo/src/fabp/host.cpp" "src/fabp/CMakeFiles/fabp_core.dir/host.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/host.cpp.o.d"
+  "/root/repo/src/fabp/instance.cpp" "src/fabp/CMakeFiles/fabp_core.dir/instance.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/instance.cpp.o.d"
+  "/root/repo/src/fabp/mapper.cpp" "src/fabp/CMakeFiles/fabp_core.dir/mapper.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/fabp/maskonly.cpp" "src/fabp/CMakeFiles/fabp_core.dir/maskonly.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/maskonly.cpp.o.d"
+  "/root/repo/src/fabp/querypack.cpp" "src/fabp/CMakeFiles/fabp_core.dir/querypack.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/querypack.cpp.o.d"
+  "/root/repo/src/fabp/report.cpp" "src/fabp/CMakeFiles/fabp_core.dir/report.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/report.cpp.o.d"
+  "/root/repo/src/fabp/threshold.cpp" "src/fabp/CMakeFiles/fabp_core.dir/threshold.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_core.dir/accelerator.cpp.o"
+  "CMakeFiles/fabp_core.dir/accelerator.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/array.cpp.o"
+  "CMakeFiles/fabp_core.dir/array.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/backtranslate.cpp.o"
+  "CMakeFiles/fabp_core.dir/backtranslate.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/comparator.cpp.o"
+  "CMakeFiles/fabp_core.dir/comparator.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/encoding.cpp.o"
+  "CMakeFiles/fabp_core.dir/encoding.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/golden.cpp.o"
+  "CMakeFiles/fabp_core.dir/golden.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/host.cpp.o"
+  "CMakeFiles/fabp_core.dir/host.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/instance.cpp.o"
+  "CMakeFiles/fabp_core.dir/instance.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/mapper.cpp.o"
+  "CMakeFiles/fabp_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/maskonly.cpp.o"
+  "CMakeFiles/fabp_core.dir/maskonly.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/querypack.cpp.o"
+  "CMakeFiles/fabp_core.dir/querypack.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/report.cpp.o"
+  "CMakeFiles/fabp_core.dir/report.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/threshold.cpp.o"
+  "CMakeFiles/fabp_core.dir/threshold.cpp.o.d"
+  "libfabp_core.a"
+  "libfabp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

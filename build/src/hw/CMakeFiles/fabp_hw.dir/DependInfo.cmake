@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/axi.cpp" "src/hw/CMakeFiles/fabp_hw.dir/axi.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/axi.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/fabp_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/lut.cpp" "src/hw/CMakeFiles/fabp_hw.dir/lut.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/lut.cpp.o.d"
+  "/root/repo/src/hw/netlist.cpp" "src/hw/CMakeFiles/fabp_hw.dir/netlist.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/netlist.cpp.o.d"
+  "/root/repo/src/hw/optimize.cpp" "src/hw/CMakeFiles/fabp_hw.dir/optimize.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/optimize.cpp.o.d"
+  "/root/repo/src/hw/popcount.cpp" "src/hw/CMakeFiles/fabp_hw.dir/popcount.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/popcount.cpp.o.d"
+  "/root/repo/src/hw/power.cpp" "src/hw/CMakeFiles/fabp_hw.dir/power.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/power.cpp.o.d"
+  "/root/repo/src/hw/timing.cpp" "src/hw/CMakeFiles/fabp_hw.dir/timing.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/timing.cpp.o.d"
+  "/root/repo/src/hw/vcd.cpp" "src/hw/CMakeFiles/fabp_hw.dir/vcd.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/vcd.cpp.o.d"
+  "/root/repo/src/hw/verilog.cpp" "src/hw/CMakeFiles/fabp_hw.dir/verilog.cpp.o" "gcc" "src/hw/CMakeFiles/fabp_hw.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

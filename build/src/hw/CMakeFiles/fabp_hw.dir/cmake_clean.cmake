@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_hw.dir/axi.cpp.o"
+  "CMakeFiles/fabp_hw.dir/axi.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/device.cpp.o"
+  "CMakeFiles/fabp_hw.dir/device.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/lut.cpp.o"
+  "CMakeFiles/fabp_hw.dir/lut.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/netlist.cpp.o"
+  "CMakeFiles/fabp_hw.dir/netlist.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/optimize.cpp.o"
+  "CMakeFiles/fabp_hw.dir/optimize.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/popcount.cpp.o"
+  "CMakeFiles/fabp_hw.dir/popcount.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/power.cpp.o"
+  "CMakeFiles/fabp_hw.dir/power.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/timing.cpp.o"
+  "CMakeFiles/fabp_hw.dir/timing.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/vcd.cpp.o"
+  "CMakeFiles/fabp_hw.dir/vcd.cpp.o.d"
+  "CMakeFiles/fabp_hw.dir/verilog.cpp.o"
+  "CMakeFiles/fabp_hw.dir/verilog.cpp.o.d"
+  "libfabp_hw.a"
+  "libfabp_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_perf.dir/figure6.cpp.o"
+  "CMakeFiles/fabp_perf.dir/figure6.cpp.o.d"
+  "CMakeFiles/fabp_perf.dir/models.cpp.o"
+  "CMakeFiles/fabp_perf.dir/models.cpp.o.d"
+  "CMakeFiles/fabp_perf.dir/platform.cpp.o"
+  "CMakeFiles/fabp_perf.dir/platform.cpp.o.d"
+  "libfabp_perf.a"
+  "libfabp_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

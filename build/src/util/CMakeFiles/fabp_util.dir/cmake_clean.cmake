@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_util.dir/bitops.cpp.o"
+  "CMakeFiles/fabp_util.dir/bitops.cpp.o.d"
+  "CMakeFiles/fabp_util.dir/rng.cpp.o"
+  "CMakeFiles/fabp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/fabp_util.dir/stats.cpp.o"
+  "CMakeFiles/fabp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fabp_util.dir/table.cpp.o"
+  "CMakeFiles/fabp_util.dir/table.cpp.o.d"
+  "CMakeFiles/fabp_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fabp_util.dir/thread_pool.cpp.o.d"
+  "libfabp_util.a"
+  "libfabp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

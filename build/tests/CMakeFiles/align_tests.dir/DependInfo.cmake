@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/align/extension_test.cpp" "tests/CMakeFiles/align_tests.dir/align/extension_test.cpp.o" "gcc" "tests/CMakeFiles/align_tests.dir/align/extension_test.cpp.o.d"
+  "/root/repo/tests/align/local_test.cpp" "tests/CMakeFiles/align_tests.dir/align/local_test.cpp.o" "gcc" "tests/CMakeFiles/align_tests.dir/align/local_test.cpp.o.d"
+  "/root/repo/tests/align/scoring_test.cpp" "tests/CMakeFiles/align_tests.dir/align/scoring_test.cpp.o" "gcc" "tests/CMakeFiles/align_tests.dir/align/scoring_test.cpp.o.d"
+  "/root/repo/tests/align/sliding_test.cpp" "tests/CMakeFiles/align_tests.dir/align/sliding_test.cpp.o" "gcc" "tests/CMakeFiles/align_tests.dir/align/sliding_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/fabp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabp/CMakeFiles/fabp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/fabp_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/fabp_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_tests.dir/align/extension_test.cpp.o"
+  "CMakeFiles/align_tests.dir/align/extension_test.cpp.o.d"
+  "CMakeFiles/align_tests.dir/align/local_test.cpp.o"
+  "CMakeFiles/align_tests.dir/align/local_test.cpp.o.d"
+  "CMakeFiles/align_tests.dir/align/scoring_test.cpp.o"
+  "CMakeFiles/align_tests.dir/align/scoring_test.cpp.o.d"
+  "CMakeFiles/align_tests.dir/align/sliding_test.cpp.o"
+  "CMakeFiles/align_tests.dir/align/sliding_test.cpp.o.d"
+  "align_tests"
+  "align_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_tests.dir/bio/alphabet_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/alphabet_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/codon_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/codon_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/codon_usage_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/codon_usage_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/database_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/database_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/fasta_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/fasta_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/generate_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/generate_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/mutation_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/mutation_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/packed_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/packed_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/sequence_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/sequence_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/translation_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/translation_test.cpp.o.d"
+  "bio_tests"
+  "bio_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_tests.dir/blast/evalue_test.cpp.o"
+  "CMakeFiles/blast_tests.dir/blast/evalue_test.cpp.o.d"
+  "CMakeFiles/blast_tests.dir/blast/kmer_index_test.cpp.o"
+  "CMakeFiles/blast_tests.dir/blast/kmer_index_test.cpp.o.d"
+  "CMakeFiles/blast_tests.dir/blast/seg_test.cpp.o"
+  "CMakeFiles/blast_tests.dir/blast/seg_test.cpp.o.d"
+  "CMakeFiles/blast_tests.dir/blast/tblastn_test.cpp.o"
+  "CMakeFiles/blast_tests.dir/blast/tblastn_test.cpp.o.d"
+  "blast_tests"
+  "blast_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

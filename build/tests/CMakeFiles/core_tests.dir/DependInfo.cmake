@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/accelerator_grid_test.cpp" "tests/CMakeFiles/core_tests.dir/core/accelerator_grid_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/accelerator_grid_test.cpp.o.d"
+  "/root/repo/tests/core/accelerator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/accelerator_test.cpp.o.d"
+  "/root/repo/tests/core/array_test.cpp" "tests/CMakeFiles/core_tests.dir/core/array_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/array_test.cpp.o.d"
+  "/root/repo/tests/core/backtranslate_test.cpp" "tests/CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o.d"
+  "/root/repo/tests/core/comparator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/comparator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/comparator_test.cpp.o.d"
+  "/root/repo/tests/core/encoding_test.cpp" "tests/CMakeFiles/core_tests.dir/core/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/encoding_test.cpp.o.d"
+  "/root/repo/tests/core/golden_test.cpp" "tests/CMakeFiles/core_tests.dir/core/golden_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/golden_test.cpp.o.d"
+  "/root/repo/tests/core/host_test.cpp" "tests/CMakeFiles/core_tests.dir/core/host_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/host_test.cpp.o.d"
+  "/root/repo/tests/core/instance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/instance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/instance_test.cpp.o.d"
+  "/root/repo/tests/core/mapper_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mapper_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mapper_test.cpp.o.d"
+  "/root/repo/tests/core/maskonly_test.cpp" "tests/CMakeFiles/core_tests.dir/core/maskonly_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/maskonly_test.cpp.o.d"
+  "/root/repo/tests/core/querypack_test.cpp" "tests/CMakeFiles/core_tests.dir/core/querypack_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/querypack_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/threshold_test.cpp" "tests/CMakeFiles/core_tests.dir/core/threshold_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/threshold_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/fabp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabp/CMakeFiles/fabp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/fabp_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/fabp_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

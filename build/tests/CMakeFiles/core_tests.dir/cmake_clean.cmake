@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/accelerator_grid_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/accelerator_grid_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/accelerator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/accelerator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/array_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/array_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/comparator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/comparator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/encoding_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/encoding_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/golden_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/golden_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/host_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/host_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/instance_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/instance_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mapper_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mapper_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/maskonly_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/maskonly_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/querypack_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/querypack_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/threshold_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/threshold_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/axi_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/axi_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/axi_test.cpp.o.d"
+  "/root/repo/tests/hw/device_power_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/device_power_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/device_power_test.cpp.o.d"
+  "/root/repo/tests/hw/lut_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/lut_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/lut_test.cpp.o.d"
+  "/root/repo/tests/hw/netlist_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/netlist_test.cpp.o.d"
+  "/root/repo/tests/hw/optimize_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/optimize_test.cpp.o.d"
+  "/root/repo/tests/hw/popcount_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/popcount_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/popcount_test.cpp.o.d"
+  "/root/repo/tests/hw/timing_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/timing_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/timing_test.cpp.o.d"
+  "/root/repo/tests/hw/vcd_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/vcd_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/vcd_test.cpp.o.d"
+  "/root/repo/tests/hw/verilog_test.cpp" "tests/CMakeFiles/hw_tests.dir/hw/verilog_test.cpp.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/verilog_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/fabp_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabp/CMakeFiles/fabp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/fabp_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/fabp_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabp_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

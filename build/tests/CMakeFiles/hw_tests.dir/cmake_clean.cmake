@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/axi_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/axi_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/device_power_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/device_power_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/lut_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/lut_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/netlist_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/netlist_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/optimize_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/optimize_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/popcount_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/popcount_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/timing_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/timing_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/vcd_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/vcd_test.cpp.o.d"
+  "CMakeFiles/hw_tests.dir/hw/verilog_test.cpp.o"
+  "CMakeFiles/hw_tests.dir/hw/verilog_test.cpp.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

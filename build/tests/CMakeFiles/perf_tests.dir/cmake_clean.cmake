@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tests.dir/perf/models_test.cpp.o"
+  "CMakeFiles/perf_tests.dir/perf/models_test.cpp.o.d"
+  "perf_tests"
+  "perf_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabp_cli.dir/fabp_cli.cpp.o"
+  "CMakeFiles/fabp_cli.dir/fabp_cli.cpp.o.d"
+  "fabp"
+  "fabp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
