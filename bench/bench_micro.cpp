@@ -6,11 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "fabp/align/local.hpp"
 #include "fabp/align/sliding.hpp"
 #include "fabp/bio/generate.hpp"
 #include "fabp/blast/tblastn.hpp"
 #include "fabp/core/accelerator.hpp"
+#include "fabp/core/bitscan.hpp"
 #include "fabp/blast/seg.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/core/instance.hpp"
@@ -73,6 +78,26 @@ void BM_GoldenScan(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * (1 << 16) / 4);
 }
 BENCHMARK(BM_GoldenScan);
+
+void BM_BitScanScan(benchmark::State& state) {
+  // Same workload as BM_GoldenScan through the bit-sliced engine, scanning
+  // a prebuilt BitScanReference (the Session reuse model).
+  const auto elements = core::back_translate(bio::random_protein(50, rng()));
+  const core::BitScanQuery query{elements};
+  const core::BitScanReference ref{bio::random_dna(1 << 16, rng())};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::bitscan_hits(query, ref, 140));
+  state.SetBytesProcessed(state.iterations() * (1 << 16) / 4);
+}
+BENCHMARK(BM_BitScanScan);
+
+void BM_BitScanCompileReference(benchmark::State& state) {
+  const bio::PackedNucleotides packed{bio::random_dna(1 << 16, rng())};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::BitScanReference{packed});
+  state.SetBytesProcessed(state.iterations() * (1 << 16) / 4);
+}
+BENCHMARK(BM_BitScanCompileReference);
 
 void BM_Pop36Netlist(benchmark::State& state) {
   hw::Netlist nl;
@@ -201,4 +226,25 @@ BENCHMARK(BM_BackTranslate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaulting to a JSON dump next to the console
+// reporter so scripts get machine-readable output without extra flags.
+// Any explicit --benchmark_out= on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args{argv, argv + argc};
+  std::string out = "--benchmark_out=BENCH_micro.json";
+  std::string fmt = "--benchmark_out_format=json";
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view{argv[i]}.starts_with("--benchmark_out="))
+      user_out = true;
+  if (!user_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

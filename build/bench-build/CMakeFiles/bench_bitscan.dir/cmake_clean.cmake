@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bitscan"
+  "../bench/bench_bitscan.pdb"
+  "CMakeFiles/bench_bitscan.dir/bench_bitscan.cpp.o"
+  "CMakeFiles/bench_bitscan.dir/bench_bitscan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bitscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -247,5 +247,7 @@ bench-build/CMakeFiles/bench_crossover.dir/bench_crossover.cpp.o: \
  /root/repo/include/fabp/core/backtranslate.hpp \
  /root/repo/include/fabp/bio/codon.hpp \
  /root/repo/include/fabp/hw/power.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/perf/platform.hpp \
  /root/repo/include/fabp/util/table.hpp

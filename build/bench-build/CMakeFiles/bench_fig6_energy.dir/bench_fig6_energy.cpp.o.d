@@ -247,5 +247,7 @@ bench-build/CMakeFiles/bench_fig6_energy.dir/bench_fig6_energy.cpp.o: \
  /root/repo/include/fabp/core/mapper.hpp \
  /root/repo/include/fabp/hw/axi.hpp /root/repo/include/fabp/hw/device.hpp \
  /root/repo/include/fabp/hw/power.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/perf/platform.hpp \
  /root/repo/include/fabp/util/table.hpp

@@ -248,6 +248,8 @@ bench-build/CMakeFiles/bench_micro.dir/bench_micro.cpp.o: \
  /root/repo/include/fabp/core/mapper.hpp \
  /root/repo/include/fabp/hw/axi.hpp /root/repo/include/fabp/hw/device.hpp \
  /root/repo/include/fabp/hw/power.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/core/comparator.hpp \
  /root/repo/include/fabp/hw/lut.hpp \
  /root/repo/include/fabp/hw/netlist.hpp \

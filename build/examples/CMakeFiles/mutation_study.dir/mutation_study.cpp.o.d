@@ -223,12 +223,13 @@ examples/CMakeFiles/mutation_study.dir/mutation_study.cpp.o: \
  /root/repo/include/fabp/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/include/fabp/bio/alphabet.hpp /usr/include/c++/12/optional \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
+ /root/repo/include/fabp/bio/packed.hpp \
+ /root/repo/include/fabp/bio/sequence.hpp \
  /root/repo/include/fabp/bio/codon.hpp \
  /root/repo/include/fabp/bio/codon_usage.hpp \
- /root/repo/include/fabp/bio/sequence.hpp \
  /root/repo/include/fabp/bio/database.hpp \
  /root/repo/include/fabp/bio/fasta.hpp \
- /root/repo/include/fabp/bio/packed.hpp \
  /root/repo/include/fabp/bio/generate.hpp \
  /root/repo/include/fabp/bio/mutation.hpp \
  /root/repo/include/fabp/bio/translation.hpp \
@@ -261,6 +262,7 @@ examples/CMakeFiles/mutation_study.dir/mutation_study.cpp.o: \
  /root/repo/include/fabp/core/mapper.hpp \
  /root/repo/include/fabp/core/array.hpp \
  /root/repo/include/fabp/core/instance.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
  /root/repo/include/fabp/core/comparator.hpp \
  /root/repo/include/fabp/core/host.hpp \
  /root/repo/include/fabp/core/maskonly.hpp \

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/bio/alphabet.cpp" "src/bio/CMakeFiles/fabp_bio.dir/alphabet.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/alphabet.cpp.o.d"
+  "/root/repo/src/bio/bitplanes.cpp" "src/bio/CMakeFiles/fabp_bio.dir/bitplanes.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/bitplanes.cpp.o.d"
   "/root/repo/src/bio/codon.cpp" "src/bio/CMakeFiles/fabp_bio.dir/codon.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/codon.cpp.o.d"
   "/root/repo/src/bio/codon_usage.cpp" "src/bio/CMakeFiles/fabp_bio.dir/codon_usage.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/codon_usage.cpp.o.d"
   "/root/repo/src/bio/database.cpp" "src/bio/CMakeFiles/fabp_bio.dir/database.cpp.o" "gcc" "src/bio/CMakeFiles/fabp_bio.dir/database.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/fabp_bio.dir/alphabet.cpp.o"
   "CMakeFiles/fabp_bio.dir/alphabet.cpp.o.d"
+  "CMakeFiles/fabp_bio.dir/bitplanes.cpp.o"
+  "CMakeFiles/fabp_bio.dir/bitplanes.cpp.o.d"
   "CMakeFiles/fabp_bio.dir/codon.cpp.o"
   "CMakeFiles/fabp_bio.dir/codon.cpp.o.d"
   "CMakeFiles/fabp_bio.dir/codon_usage.cpp.o"

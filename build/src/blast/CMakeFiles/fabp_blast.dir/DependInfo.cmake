@@ -16,9 +16,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabp/CMakeFiles/fabp_core.dir/DependInfo.cmake"
   "/root/repo/build/src/align/CMakeFiles/fabp_align.dir/DependInfo.cmake"
   "/root/repo/build/src/bio/CMakeFiles/fabp_bio.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/fabp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/fabp_hw.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/fabp/accelerator.cpp" "src/fabp/CMakeFiles/fabp_core.dir/accelerator.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/accelerator.cpp.o.d"
   "/root/repo/src/fabp/array.cpp" "src/fabp/CMakeFiles/fabp_core.dir/array.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/array.cpp.o.d"
   "/root/repo/src/fabp/backtranslate.cpp" "src/fabp/CMakeFiles/fabp_core.dir/backtranslate.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/backtranslate.cpp.o.d"
+  "/root/repo/src/fabp/bitscan.cpp" "src/fabp/CMakeFiles/fabp_core.dir/bitscan.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/bitscan.cpp.o.d"
   "/root/repo/src/fabp/comparator.cpp" "src/fabp/CMakeFiles/fabp_core.dir/comparator.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/comparator.cpp.o.d"
   "/root/repo/src/fabp/encoding.cpp" "src/fabp/CMakeFiles/fabp_core.dir/encoding.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/encoding.cpp.o.d"
   "/root/repo/src/fabp/golden.cpp" "src/fabp/CMakeFiles/fabp_core.dir/golden.cpp.o" "gcc" "src/fabp/CMakeFiles/fabp_core.dir/golden.cpp.o.d"

@@ -251,6 +251,8 @@ src/fabp/CMakeFiles/fabp_core.dir/accelerator.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/core/comparator.hpp \
  /root/repo/include/fabp/hw/lut.hpp \
  /root/repo/include/fabp/hw/netlist.hpp \

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/fabp_core.dir/array.cpp.o.d"
   "CMakeFiles/fabp_core.dir/backtranslate.cpp.o"
   "CMakeFiles/fabp_core.dir/backtranslate.cpp.o.d"
+  "CMakeFiles/fabp_core.dir/bitscan.cpp.o"
+  "CMakeFiles/fabp_core.dir/bitscan.cpp.o.d"
   "CMakeFiles/fabp_core.dir/comparator.cpp.o"
   "CMakeFiles/fabp_core.dir/comparator.cpp.o.d"
   "CMakeFiles/fabp_core.dir/encoding.cpp.o"

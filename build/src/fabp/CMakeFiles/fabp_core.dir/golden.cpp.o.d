@@ -221,11 +221,8 @@ src/fabp/CMakeFiles/fabp_core.dir/golden.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/core/comparator.hpp \
  /root/repo/include/fabp/hw/lut.hpp \
  /root/repo/include/fabp/hw/netlist.hpp \

@@ -244,6 +244,8 @@ src/perf/CMakeFiles/fabp_perf.dir/figure6.cpp.o: \
  /root/repo/include/fabp/core/mapper.hpp \
  /root/repo/include/fabp/hw/axi.hpp /root/repo/include/fabp/hw/device.hpp \
  /root/repo/include/fabp/hw/power.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/perf/platform.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

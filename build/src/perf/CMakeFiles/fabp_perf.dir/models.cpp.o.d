@@ -243,6 +243,8 @@ src/perf/CMakeFiles/fabp_perf.dir/models.cpp.o: \
  /root/repo/include/fabp/core/mapper.hpp \
  /root/repo/include/fabp/hw/axi.hpp /root/repo/include/fabp/hw/device.hpp \
  /root/repo/include/fabp/hw/power.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
  /root/repo/include/fabp/perf/platform.hpp \
  /root/repo/include/fabp/util/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \

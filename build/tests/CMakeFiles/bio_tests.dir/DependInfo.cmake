@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/bio/alphabet_test.cpp" "tests/CMakeFiles/bio_tests.dir/bio/alphabet_test.cpp.o" "gcc" "tests/CMakeFiles/bio_tests.dir/bio/alphabet_test.cpp.o.d"
+  "/root/repo/tests/bio/bitplanes_test.cpp" "tests/CMakeFiles/bio_tests.dir/bio/bitplanes_test.cpp.o" "gcc" "tests/CMakeFiles/bio_tests.dir/bio/bitplanes_test.cpp.o.d"
   "/root/repo/tests/bio/codon_test.cpp" "tests/CMakeFiles/bio_tests.dir/bio/codon_test.cpp.o" "gcc" "tests/CMakeFiles/bio_tests.dir/bio/codon_test.cpp.o.d"
   "/root/repo/tests/bio/codon_usage_test.cpp" "tests/CMakeFiles/bio_tests.dir/bio/codon_usage_test.cpp.o" "gcc" "tests/CMakeFiles/bio_tests.dir/bio/codon_usage_test.cpp.o.d"
   "/root/repo/tests/bio/database_test.cpp" "tests/CMakeFiles/bio_tests.dir/bio/database_test.cpp.o" "gcc" "tests/CMakeFiles/bio_tests.dir/bio/database_test.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/bio_tests.dir/bio/alphabet_test.cpp.o"
   "CMakeFiles/bio_tests.dir/bio/alphabet_test.cpp.o.d"
+  "CMakeFiles/bio_tests.dir/bio/bitplanes_test.cpp.o"
+  "CMakeFiles/bio_tests.dir/bio/bitplanes_test.cpp.o.d"
   "CMakeFiles/bio_tests.dir/bio/codon_test.cpp.o"
   "CMakeFiles/bio_tests.dir/bio/codon_test.cpp.o.d"
   "CMakeFiles/bio_tests.dir/bio/codon_usage_test.cpp.o"

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/accelerator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/accelerator_test.cpp.o.d"
   "/root/repo/tests/core/array_test.cpp" "tests/CMakeFiles/core_tests.dir/core/array_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/array_test.cpp.o.d"
   "/root/repo/tests/core/backtranslate_test.cpp" "tests/CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o.d"
+  "/root/repo/tests/core/bitscan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/bitscan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/bitscan_test.cpp.o.d"
   "/root/repo/tests/core/comparator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/comparator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/comparator_test.cpp.o.d"
   "/root/repo/tests/core/encoding_test.cpp" "tests/CMakeFiles/core_tests.dir/core/encoding_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/encoding_test.cpp.o.d"
   "/root/repo/tests/core/golden_test.cpp" "tests/CMakeFiles/core_tests.dir/core/golden_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/golden_test.cpp.o.d"

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_tests.dir/core/array_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o"
   "CMakeFiles/core_tests.dir/core/backtranslate_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/bitscan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/bitscan_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/comparator_test.cpp.o"
   "CMakeFiles/core_tests.dir/core/comparator_test.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/encoding_test.cpp.o"

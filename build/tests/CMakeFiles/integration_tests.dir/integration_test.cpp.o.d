@@ -312,12 +312,13 @@ tests/CMakeFiles/integration_tests.dir/integration_test.cpp.o: \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/thread /root/repo/include/fabp/util/timer.hpp \
  /usr/include/c++/12/chrono /root/repo/include/fabp/bio/alphabet.hpp \
+ /root/repo/include/fabp/bio/bitplanes.hpp \
+ /root/repo/include/fabp/bio/packed.hpp \
+ /root/repo/include/fabp/bio/sequence.hpp \
  /root/repo/include/fabp/bio/codon.hpp \
  /root/repo/include/fabp/bio/codon_usage.hpp \
- /root/repo/include/fabp/bio/sequence.hpp \
  /root/repo/include/fabp/bio/database.hpp \
  /root/repo/include/fabp/bio/fasta.hpp \
- /root/repo/include/fabp/bio/packed.hpp \
  /root/repo/include/fabp/bio/generate.hpp \
  /root/repo/include/fabp/bio/mutation.hpp \
  /root/repo/include/fabp/bio/translation.hpp \
@@ -347,6 +348,7 @@ tests/CMakeFiles/integration_tests.dir/integration_test.cpp.o: \
  /root/repo/include/fabp/core/mapper.hpp \
  /root/repo/include/fabp/core/array.hpp \
  /root/repo/include/fabp/core/instance.hpp \
+ /root/repo/include/fabp/core/bitscan.hpp \
  /root/repo/include/fabp/core/comparator.hpp \
  /root/repo/include/fabp/core/host.hpp \
  /root/repo/include/fabp/core/maskonly.hpp \

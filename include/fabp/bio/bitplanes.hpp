@@ -1,0 +1,78 @@
+#pragma once
+// Per-nucleotide occurrence bitplanes over a 2-bit packed reference — the
+// transposed ("bit-sliced") view the software scan engine consumes: bit j
+// of a plane describes reference element j.  Planes are derived straight
+// from the packed words (two packed 64-bit words yield one 64-bit plane
+// word), so building them is a linear pass of cheap SWAR bit-compaction.
+//
+// Besides the four occurrence planes the class carries the raw code
+// bitplanes (lsb/msb of each element's 2-bit code) and the *preceding
+// element* history planes (msb of element j-1, msb/lsb of element j-2)
+// that Type III dependent comparisons consult.  All planes are tail-masked:
+// bits at positions >= size() are zero even though the packed store pads
+// its last word with A (code 00), and every plane carries one extra zero
+// guard word so 64-bit fetches at any bit offset < size() stay in bounds.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabp/bio/packed.hpp"
+
+namespace fabp::bio {
+
+class NucleotideBitplanes {
+ public:
+  NucleotideBitplanes() = default;
+  explicit NucleotideBitplanes(const PackedNucleotides& packed);
+  explicit NucleotideBitplanes(const NucleotideSequence& seq);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Words covering size() positions: ceil(size / 64).
+  std::size_t word_count() const noexcept { return word_count_; }
+
+  /// Words actually stored per plane: word_count() + 1 zero guard word
+  /// (also at least 1 for the empty sequence, so spans are never empty).
+  std::size_t padded_word_count() const noexcept { return word_count_ + 1; }
+
+  /// Bit j set iff ref[j] == n.
+  std::span<const std::uint64_t> occurrence(Nucleotide n) const noexcept {
+    return occurrence_[code(n)];
+  }
+  /// Bit j = LSB of ref[j]'s 2-bit code (set for C and U).
+  std::span<const std::uint64_t> lsb() const noexcept { return lsb_; }
+  /// Bit j = MSB of ref[j]'s 2-bit code (set for G and U).
+  std::span<const std::uint64_t> msb() const noexcept { return msb_; }
+
+  /// Bit j = MSB of ref[j-1]'s code; bit 0 is 0 (no predecessor).
+  std::span<const std::uint64_t> prev1_msb() const noexcept {
+    return prev1_msb_;
+  }
+  /// Bit j = MSB of ref[j-2]'s code; bits 0..1 are 0.
+  std::span<const std::uint64_t> prev2_msb() const noexcept {
+    return prev2_msb_;
+  }
+  /// Bit j = LSB of ref[j-2]'s code; bits 0..1 are 0.
+  std::span<const std::uint64_t> prev2_lsb() const noexcept {
+    return prev2_lsb_;
+  }
+
+  /// Bit j set iff j < size() — the tail mask complement-style planes
+  /// (e.g. "not G") must be intersected with.
+  std::span<const std::uint64_t> valid() const noexcept { return valid_; }
+
+ private:
+  using Plane = std::vector<std::uint64_t>;
+
+  std::size_t size_ = 0;
+  std::size_t word_count_ = 0;
+  std::array<Plane, 4> occurrence_;
+  Plane lsb_, msb_;
+  Plane prev1_msb_, prev2_msb_, prev2_lsb_;
+  Plane valid_;
+};
+
+}  // namespace fabp::bio

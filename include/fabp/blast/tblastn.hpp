@@ -40,6 +40,16 @@ struct TblastnConfig {
   double evalue_cutoff = 10.0;
   KarlinAltschulParams stats = KarlinAltschulParams::blosum62_gapped_11_1();
   align::GapPenalties gaps{};        // 11 / 1
+
+  /// Bit-sliced seeding prefilter: back-translate the query under the
+  /// FabP template semantics, scan both strands of the reference with the
+  /// bit-sliced engine, and run the (hash-probe-bound) seeding scan only
+  /// inside padded windows around high-scoring positions.  Large speedup
+  /// when matches are coding-near-exact; trades sensitivity for distant
+  /// homology (the windowing can miss weak HSPs), so off by default.
+  bool bitscan_prefilter = false;
+  double prefilter_fraction = 0.6;   // threshold / (3 * query residues)
+  std::size_t prefilter_pad = 96;    // reference bases kept around a hit
 };
 
 struct TblastnHit {
@@ -82,7 +92,16 @@ class Tblastn {
               align::SubstitutionMatrix::blosum62());
 
   /// Searches one nucleotide reference (all six frames), single-threaded.
+  /// Routes through the bit-sliced prefilter when
+  /// config().bitscan_prefilter is set.
   TblastnResult search(const bio::NucleotideSequence& reference) const;
+
+  /// Prefiltered search (see TblastnConfig::bitscan_prefilter): seeds only
+  /// inside reference windows the bit-sliced back-translation scan marks
+  /// as candidates.  Exposed directly so callers can compare against the
+  /// full scan regardless of the config flag.
+  TblastnResult search_prefiltered(
+      const bio::NucleotideSequence& reference) const;
 
   /// Multi-threaded search: the reference is cut into overlapping chunks
   /// distributed over the pool.  Hits are de-duplicated at chunk seams.

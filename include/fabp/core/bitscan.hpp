@@ -1,0 +1,111 @@
+#pragma once
+// Bit-sliced software scan engine: scores 64 candidate alignment positions
+// per machine word instead of one element comparison per inner-loop step.
+//
+// The trick: every query element, whatever its type, is a *fixed predicate
+// on (ref[j], ref[j-1], ref[j-2])* — so over a whole reference it compiles
+// to one match bitplane (bit j = "this element matches at reference index
+// j"), built from the fabp::bio::NucleotideBitplanes occurrence / history
+// planes with a handful of AND/OR/NOT word ops.  Only 12 distinct
+// predicates exist (4 Type I exacts, 4 Type II conditions, 4 Type III
+// functions), so a reference is "compiled" once into at most 12 planes and
+// any query scans against them.
+//
+// Scanning then works a block of 64 positions at a time: for query element
+// i, fetch 64 bits of its kind's plane at bit offset (block_base + i) and
+// add them into vertical (bit-sliced SWAR) counters; after all elements,
+// a borrow-propagation compare against the threshold yields a 64-bit hit
+// mask, and Hit records are materialised only for set bits.  The result is
+// bit-for-bit identical to the scalar golden_hits oracle (locked down by
+// the differential tests in tests/core/bitscan_test.cpp).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fabp/bio/bitplanes.hpp"
+#include "fabp/core/golden.hpp"
+
+namespace fabp::core {
+
+/// Distinct comparator predicates an element can compile to: Type I per
+/// nucleotide (0..3), Type II per condition (4..7), Type III per function
+/// (8..11).
+inline constexpr std::size_t kElementKindCount = 12;
+
+/// Kind index of one element as used *away from the query start* (i >= 2,
+/// where both history elements exist — the only placement back_translate
+/// ever produces for Type III).
+std::size_t element_kind(const BackElement& element) noexcept;
+
+/// A reference compiled for bit-sliced scanning: one match bitplane per
+/// element kind, padded with a zero guard word for unaligned fetches.
+/// Building it is O(12 * size / 64) word ops; reuse it across queries
+/// (the planes depend only on the reference).
+class BitScanReference {
+ public:
+  BitScanReference() = default;
+  explicit BitScanReference(const bio::NucleotideBitplanes& planes);
+  explicit BitScanReference(const bio::PackedNucleotides& packed)
+      : BitScanReference{bio::NucleotideBitplanes{packed}} {}
+  explicit BitScanReference(const bio::NucleotideSequence& seq)
+      : BitScanReference{bio::NucleotideBitplanes{seq}} {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Plane words for `kind` (padded_word_count words, last one zero).
+  const std::uint64_t* plane(std::size_t kind) const noexcept {
+    return planes_[kind].data();
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<std::vector<std::uint64_t>, kElementKindCount> planes_;
+};
+
+/// A query compiled to per-element plane indices.  Elements at offsets 0
+/// and 1 get their kind adjusted so the scalar oracle's "missing history
+/// reads as A" convention is reproduced exactly even for hand-built
+/// queries that place Type III elements before offset 2.
+class BitScanQuery {
+ public:
+  BitScanQuery() = default;
+  explicit BitScanQuery(const std::vector<BackElement>& query);
+  explicit BitScanQuery(const EncodedQuery& query);
+
+  std::size_t size() const noexcept { return kinds_.size(); }
+  bool empty() const noexcept { return kinds_.empty(); }
+
+  const std::vector<std::uint8_t>& kinds() const noexcept { return kinds_; }
+
+ private:
+  std::vector<std::uint8_t> kinds_;
+};
+
+/// All hits with score >= threshold, identical (contents and order) to
+/// golden_hits on the same inputs.
+std::vector<Hit> bitscan_hits(const BitScanQuery& query,
+                              const BitScanReference& reference,
+                              std::uint32_t threshold);
+
+/// Appends hits whose position lies in [begin, end) — the building block
+/// of the threaded scan (positions are clamped to the valid range).
+void bitscan_range(const BitScanQuery& query,
+                   const BitScanReference& reference, std::uint32_t threshold,
+                   std::size_t begin, std::size_t end, std::vector<Hit>& out);
+
+/// Convenience one-shot form (compiles query and reference internally).
+std::vector<Hit> bitscan_hits(const std::vector<BackElement>& query,
+                              const bio::NucleotideSequence& reference,
+                              std::uint32_t threshold);
+
+/// Multicore scan: reference positions are chunked over the pool; chunks
+/// are merged in chunk order, so the output is deterministic and exactly
+/// equal to the single-threaded scan.
+std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
+                                       const BitScanReference& reference,
+                                       std::uint32_t threshold,
+                                       util::ThreadPool& pool);
+
+}  // namespace fabp::core

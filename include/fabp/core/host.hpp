@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fabp/core/accelerator.hpp"
+#include "fabp/core/bitscan.hpp"
 
 namespace fabp::core {
 
@@ -78,6 +79,15 @@ class Session {
   BatchReport align_batch(std::span<const bio::ProteinSequence> queries,
                           double threshold_fraction);
 
+  /// Pure-software scan of the resident reference through the bit-sliced
+  /// engine (no accelerator timing model): returns exactly the hits
+  /// align() reports for the forward strand.  The reference planes are
+  /// compiled on first use and cached across queries; pass a pool to
+  /// chunk the scan over threads (output is identical either way).
+  std::vector<Hit> software_hits(const bio::ProteinSequence& query,
+                                 std::uint32_t threshold,
+                                 util::ThreadPool* pool = nullptr);
+
   const bio::PackedNucleotides& reference() const noexcept {
     return reference_;
   }
@@ -91,6 +101,8 @@ class Session {
   bio::PackedNucleotides reference_;
   bio::PackedNucleotides reverse_;  // RC copy when search_both_strands
   bool reference_uploaded_ = false;
+  BitScanReference bitscan_reference_;  // lazy, for software_hits
+  bool bitscan_ready_ = false;
 };
 
 }  // namespace fabp::core

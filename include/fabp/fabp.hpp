@@ -33,6 +33,7 @@
 #include "fabp/util/timer.hpp"
 
 #include "fabp/bio/alphabet.hpp"
+#include "fabp/bio/bitplanes.hpp"
 #include "fabp/bio/codon.hpp"
 #include "fabp/bio/codon_usage.hpp"
 #include "fabp/bio/database.hpp"
@@ -67,6 +68,7 @@
 #include "fabp/core/accelerator.hpp"
 #include "fabp/core/array.hpp"
 #include "fabp/core/backtranslate.hpp"
+#include "fabp/core/bitscan.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/core/encoding.hpp"
 #include "fabp/core/golden.hpp"

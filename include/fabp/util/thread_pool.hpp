@@ -40,6 +40,20 @@ class ThreadPool {
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Like parallel_chunks but also passes the chunk index (0-based, in
+  /// range order).  The chunk layout is a pure function of (begin, end,
+  /// size()), so callers can produce deterministic ordered merges by
+  /// writing into a per-chunk slot and concatenating in index order.
+  void parallel_indexed_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Number of chunks parallel_chunks/parallel_indexed_chunks will use for
+  /// a range of `total` indices.
+  std::size_t chunk_count(std::size_t total) const noexcept {
+    return std::min(total, size());
+  }
+
  private:
   void worker_loop();
 

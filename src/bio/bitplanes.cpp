@@ -1,0 +1,80 @@
+#include "fabp/bio/bitplanes.hpp"
+
+#include "fabp/util/bitops.hpp"
+
+namespace fabp::bio {
+
+namespace {
+
+// Compacts the 32 even-indexed bits of `x` into the low half of the result
+// (the classic Morton-decode half-shuffle).
+std::uint64_t compress_even_bits(std::uint64_t x) noexcept {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return x;
+}
+
+// Shifts a plane towards higher positions by `by` bits: out[j] = in[j-by],
+// zero-filled at the bottom.  Operates over `words` logical words.
+std::vector<std::uint64_t> shift_up(const std::vector<std::uint64_t>& in,
+                                    std::size_t words, unsigned by) {
+  std::vector<std::uint64_t> out(in.size(), 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t v = in[w] << by;
+    if (w > 0) v |= in[w - 1] >> (64 - by);
+    out[w] = v;
+  }
+  return out;
+}
+
+}  // namespace
+
+NucleotideBitplanes::NucleotideBitplanes(const PackedNucleotides& packed) {
+  size_ = packed.size();
+  word_count_ = util::ceil_div(size_, 64);
+  const std::size_t padded = padded_word_count();
+  for (Plane* p : {&lsb_, &msb_, &valid_})
+    p->assign(padded, 0);
+  for (Plane& p : occurrence_) p.assign(padded, 0);
+
+  const std::span<const std::uint64_t> words = packed.words();
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    const std::uint64_t lo = 2 * w < words.size() ? words[2 * w] : 0;
+    const std::uint64_t hi =
+        2 * w + 1 < words.size() ? words[2 * w + 1] : 0;
+    lsb_[w] = compress_even_bits(lo) | (compress_even_bits(hi) << 32);
+    msb_[w] =
+        compress_even_bits(lo >> 1) | (compress_even_bits(hi >> 1) << 32);
+  }
+
+  // Tail mask, then occurrence planes.  The packed store pads with code 00
+  // (A), so lsb/msb are already zero past size(); occurrence(A) is the one
+  // plane that must be masked explicitly.
+  for (std::size_t w = 0; w < word_count_; ++w) valid_[w] = ~0ULL;
+  const unsigned tail = static_cast<unsigned>(size_ & 63);
+  if (tail != 0) valid_[word_count_ - 1] = (1ULL << tail) - 1;
+  for (std::size_t w = 0; w < word_count_; ++w) {
+    occurrence_[code(Nucleotide::A)][w] = ~(lsb_[w] | msb_[w]) & valid_[w];
+    occurrence_[code(Nucleotide::C)][w] = lsb_[w] & ~msb_[w];
+    occurrence_[code(Nucleotide::G)][w] = msb_[w] & ~lsb_[w];
+    occurrence_[code(Nucleotide::U)][w] = lsb_[w] & msb_[w];
+  }
+
+  prev1_msb_ = shift_up(msb_, word_count_, 1);
+  prev2_msb_ = shift_up(msb_, word_count_, 2);
+  prev2_lsb_ = shift_up(lsb_, word_count_, 2);
+  // History bits shifted past the end describe real predecessors of
+  // positions that do not exist; mask them for a clean invariant (every
+  // plane is zero at bit j >= size()).
+  for (Plane* p : {&prev1_msb_, &prev2_msb_, &prev2_lsb_})
+    for (std::size_t w = 0; w < word_count_; ++w) (*p)[w] &= valid_[w];
+}
+
+NucleotideBitplanes::NucleotideBitplanes(const NucleotideSequence& seq)
+    : NucleotideBitplanes{PackedNucleotides{seq}} {}
+
+}  // namespace fabp::bio

@@ -1,8 +1,11 @@
 #include "fabp/blast/tblastn.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <mutex>
+
+#include "fabp/core/bitscan.hpp"
 
 namespace fabp::blast {
 
@@ -34,9 +37,83 @@ Tblastn::Tblastn(bio::ProteinSequence query, TblastnConfig config,
       index_{query_, config.index, matrix, &query_mask_} {}
 
 TblastnResult Tblastn::search(const bio::NucleotideSequence& reference) const {
+  if (config_.bitscan_prefilter) return search_prefiltered(reference);
   // Six-frame residue count: ~2 residues per base over both strands.
   const std::size_t db_residues = reference.size() * 2;
   return search_frames(reference, 0, db_residues);
+}
+
+TblastnResult Tblastn::search_prefiltered(
+    const bio::NucleotideSequence& reference) const {
+  const std::size_t qbases = 3 * query_.size();
+  if (qbases == 0 || reference.size() < qbases)
+    return search_frames(reference, 0, reference.size() * 2);
+
+  // Candidate discovery: scan both strands with the bit-sliced engine at a
+  // fraction of the full back-translated score.
+  const auto elements = core::back_translate(query_);
+  const auto threshold = static_cast<std::uint32_t>(std::ceil(
+      config_.prefilter_fraction * static_cast<double>(elements.size())));
+  const core::BitScanQuery compiled{elements};
+  const std::size_t lr = reference.size();
+
+  // Forward hit at p covers bases [p, p + qbases); a hit at p on the
+  // reverse complement covers forward bases [lr - p - qbases, lr - p).
+  std::vector<std::pair<std::size_t, std::size_t>> intervals;
+  for (const core::Hit& hit :
+       core::bitscan_hits(compiled, core::BitScanReference{reference},
+                          threshold))
+    intervals.emplace_back(hit.position, hit.position + qbases);
+  for (const core::Hit& hit :
+       core::bitscan_hits(
+           compiled, core::BitScanReference{reference.reverse_complement()},
+           threshold))
+    intervals.emplace_back(lr - hit.position - qbases, lr - hit.position);
+
+  TblastnResult merged;
+  if (intervals.empty()) return merged;
+
+  // Pad, clamp, and coalesce overlapping windows.
+  for (auto& [lo, hi] : intervals) {
+    lo = lo > config_.prefilter_pad ? lo - config_.prefilter_pad : 0;
+    hi = std::min(lr, hi + config_.prefilter_pad);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  std::vector<std::pair<std::size_t, std::size_t>> windows;
+  for (const auto& [lo, hi] : intervals) {
+    if (!windows.empty() && lo <= windows.back().second)
+      windows.back().second = std::max(windows.back().second, hi);
+    else
+      windows.emplace_back(lo, hi);
+  }
+
+  // Seed only inside the candidate windows; statistics use the full
+  // database size so E-values stay comparable with the unfiltered scan.
+  const std::size_t db_residues = lr * 2;
+  for (const auto& [lo, hi] : windows) {
+    const bio::NucleotideSequence window = reference.subsequence(lo, hi - lo);
+    TblastnResult local = search_frames(window, lo, db_residues);
+    merged.stats += local.stats;
+    merged.hits.insert(merged.hits.end(), local.hits.begin(),
+                       local.hits.end());
+  }
+
+  std::sort(merged.hits.begin(), merged.hits.end(),
+            [](const TblastnHit& a, const TblastnHit& b) {
+              return std::tie(a.dna_position, a.query_begin, a.query_end,
+                              a.score, a.frame) <
+                     std::tie(b.dna_position, b.query_begin, b.query_end,
+                              b.score, b.frame);
+            });
+  merged.hits.erase(
+      std::unique(merged.hits.begin(), merged.hits.end(),
+                  [](const TblastnHit& a, const TblastnHit& b) {
+                    return a.dna_position == b.dna_position &&
+                           a.query_begin == b.query_begin &&
+                           a.query_end == b.query_end && a.score == b.score;
+                  }),
+      merged.hits.end());
+  return merged;
 }
 
 TblastnResult Tblastn::search_frames(const bio::NucleotideSequence& reference,

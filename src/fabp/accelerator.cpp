@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "fabp/core/bitscan.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/util/bitops.hpp"
 
@@ -54,6 +55,16 @@ AcceleratorRun Accelerator::run(
   const std::size_t total_beats = reference.beat_count();
   const std::size_t last_position = lr - lq;  // inclusive
 
+  // Default functional path: the bit-sliced scan engine produces the hit
+  // list up front (bit-exact with the per-position behavioral evaluation —
+  // see tests/core/bitscan_test.cpp), and the beat loop below is reduced
+  // to pure cycle accounting.  The LUT path keeps the element-by-element
+  // evaluation through the generated comparator LUTs as the oracle.
+  if (!config_.use_lut_path) {
+    out.hits = bitscan_hits(BitScanQuery{elements_},
+                            BitScanReference{reference}, config_.threshold);
+  }
+
   // Reference Stream buffer: previous L_q tail + the incoming 256 elements
   // (§III-C: L_ref_stream = L_q + 256).  Front-padded with A for beat 0.
   std::vector<Nucleotide> window(lq + elements_per_beat, Nucleotide::A);
@@ -92,6 +103,7 @@ AcceleratorRun Accelerator::run(
       busy = mapping_.segments - 1;
     }
     ++out.beats;
+    if (!config_.use_lut_path) continue;  // hits already computed bit-sliced
 
     // Shift the tail and load the 256 new elements from the beat words.
     std::copy(window.end() - static_cast<std::ptrdiff_t>(lq), window.end(),
@@ -122,24 +134,13 @@ AcceleratorRun Accelerator::run(
         // Window index of absolute element a: a - (window_start_abs - lq).
         const std::size_t base = p + lq - window_start_abs;
         std::uint32_t score = 0;
-        if (config_.use_lut_path) {
-          for (std::size_t i = 0; i < lq; ++i) {
-            const Nucleotide r = window[base + i];
-            const Nucleotide im1 =
-                base + i >= 1 ? window[base + i - 1] : Nucleotide::A;
-            const Nucleotide im2 =
-                base + i >= 2 ? window[base + i - 2] : Nucleotide::A;
-            if (comparator_eval(query_[i], r, im1, im2)) ++score;
-          }
-        } else {
-          for (std::size_t i = 0; i < lq; ++i) {
-            const Nucleotide r = window[base + i];
-            const Nucleotide im1 =
-                base + i >= 1 ? window[base + i - 1] : Nucleotide::A;
-            const Nucleotide im2 =
-                base + i >= 2 ? window[base + i - 2] : Nucleotide::A;
-            if (elements_[i].matches(r, im1, im2)) ++score;
-          }
+        for (std::size_t i = 0; i < lq; ++i) {
+          const Nucleotide r = window[base + i];
+          const Nucleotide im1 =
+              base + i >= 1 ? window[base + i - 1] : Nucleotide::A;
+          const Nucleotide im2 =
+              base + i >= 2 ? window[base + i - 2] : Nucleotide::A;
+          if (comparator_eval(query_[i], r, im1, im2)) ++score;
         }
         if (score >= config_.threshold) out.hits.push_back(Hit{p, score});
       }

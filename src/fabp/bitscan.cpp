@@ -1,0 +1,207 @@
+#include "fabp/core/bitscan.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace fabp::core {
+
+namespace {
+
+// Vertical counter planes: enough bits for any practical query length
+// (count <= query length, so bit_width(qlen) planes carry it).
+constexpr unsigned kMaxCounterBits = 33;
+
+// Kind indices shared with element_kind(); named where the compile step
+// needs to substitute a degenerate kind for missing history.
+constexpr std::uint8_t kKindAorG = 4 + static_cast<std::uint8_t>(Condition::AorG);
+constexpr std::uint8_t kKindAny = 8 + static_cast<std::uint8_t>(Function::AnyD);
+
+}  // namespace
+
+std::size_t element_kind(const BackElement& element) noexcept {
+  switch (element.type) {
+    case ElementType::ExactI:
+      return bio::code(element.exact);
+    case ElementType::ConditionalII:
+      return 4 + static_cast<std::size_t>(element.cond);
+    case ElementType::DependentIII:
+      return 8 + static_cast<std::size_t>(element.func);
+  }
+  return kKindAny;
+}
+
+BitScanReference::BitScanReference(const bio::NucleotideBitplanes& planes) {
+  size_ = planes.size();
+  const std::size_t words = planes.word_count();
+  // Two zero guard words: an unaligned fetch for the last block's last
+  // element reads up to 62 bits past the final plane word.
+  const std::size_t padded = words + 2;
+  for (auto& plane : planes_) plane.assign(padded, 0);
+
+  const auto eq_a = planes.occurrence(bio::Nucleotide::A);
+  const auto eq_c = planes.occurrence(bio::Nucleotide::C);
+  const auto eq_g = planes.occurrence(bio::Nucleotide::G);
+  const auto eq_u = planes.occurrence(bio::Nucleotide::U);
+  const auto lsb = planes.lsb();
+  const auto msb = planes.msb();
+  const auto p1m = planes.prev1_msb();
+  const auto p2m = planes.prev2_msb();
+  const auto p2l = planes.prev2_lsb();
+  const auto valid = planes.valid();
+
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t v = valid[w];
+    // Type I: occurrence planes verbatim.
+    planes_[0][w] = eq_a[w];
+    planes_[1][w] = eq_c[w];
+    planes_[2][w] = eq_g[w];
+    planes_[3][w] = eq_u[w];
+    // Type II conditions on the 2-bit code: U/C = LSB set, A/G = LSB
+    // clear, G-bar, A/C = MSB clear.
+    planes_[4][w] = lsb[w];
+    planes_[5][w] = v & ~lsb[w];
+    planes_[6][w] = v & ~eq_g[w];
+    planes_[7][w] = v & ~msb[w];
+    // Type III: select per position between the S=1 and S=0 match sets
+    // with the history plane (BackElement::matches, vectorised).
+    planes_[8][w] = (p1m[w] & eq_a[w]) | (v & ~p1m[w] & ~lsb[w]);  // Stop3
+    planes_[9][w] = v & ~(p2m[w] & lsb[w]);                        // Leu3
+    planes_[10][w] = p2l[w] | (v & ~lsb[w]);                       // Arg3
+    planes_[11][w] = v;                                            // D
+  }
+}
+
+BitScanQuery::BitScanQuery(const std::vector<BackElement>& query) {
+  kinds_.reserve(query.size());
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    std::uint8_t kind = static_cast<std::uint8_t>(element_kind(query[i]));
+    // The scalar oracle substitutes A for history reads before the query
+    // start (i-1 at i==0, i-2 at i<2).  A's code is 00, which collapses
+    // Stop3/Arg3 to the purine condition and Leu3 to "any".  Well-formed
+    // queries never place Type III before offset 2, but the engine must
+    // agree with the oracle on every input.
+    if (i < 2 && query[i].type == ElementType::DependentIII) {
+      switch (query[i].func) {
+        case Function::Stop3:
+          if (i == 0) kind = kKindAorG;
+          break;
+        case Function::Leu3:
+          kind = kKindAny;
+          break;
+        case Function::Arg3:
+          kind = kKindAorG;
+          break;
+        case Function::AnyD:
+          break;
+      }
+    }
+    kinds_.push_back(kind);
+  }
+}
+
+BitScanQuery::BitScanQuery(const EncodedQuery& query) {
+  std::vector<BackElement> elements;
+  elements.reserve(query.size());
+  for (const Instruction& instr : query) elements.push_back(instr.decode());
+  *this = BitScanQuery{elements};
+}
+
+void bitscan_range(const BitScanQuery& query,
+                   const BitScanReference& reference, std::uint32_t threshold,
+                   std::size_t begin, std::size_t end, std::vector<Hit>& out) {
+  const std::size_t qlen = query.size();
+  if (qlen == 0 || reference.size() < qlen) return;
+  const std::size_t positions = reference.size() - qlen + 1;
+  end = std::min(end, positions);
+  if (begin >= end) return;
+  if (threshold > qlen) return;  // scores never exceed the element count
+
+  const unsigned nbits = static_cast<unsigned>(std::bit_width(qlen));
+  std::vector<const std::uint64_t*> planes(qlen);
+  const std::vector<std::uint8_t>& kinds = query.kinds();
+  for (std::size_t i = 0; i < qlen; ++i)
+    planes[i] = reference.plane(kinds[i]);
+
+  for (std::size_t base = begin; base < end; base += 64) {
+    const std::size_t block = std::min<std::size_t>(64, end - base);
+
+    // Accumulate per-position scores in vertical counters: lane j of
+    // counter plane b is bit b of the score at position base + j.
+    std::uint64_t counters[kMaxCounterBits] = {};
+    for (std::size_t i = 0; i < qlen; ++i) {
+      const std::size_t offset = base + i;
+      const std::uint64_t* plane = planes[i];
+      const std::size_t w = offset >> 6;
+      const unsigned s = static_cast<unsigned>(offset & 63);
+      std::uint64_t match = plane[w] >> s;
+      if (s != 0) match |= plane[w + 1] << (64 - s);
+
+      std::uint64_t carry = match;  // ripple-add 1 into every set lane
+      for (unsigned b = 0; carry != 0; ++b) {
+        const std::uint64_t overflow = counters[b] & carry;
+        counters[b] ^= carry;
+        carry = overflow;
+      }
+    }
+
+    // score >= threshold per lane: subtract the broadcast threshold and
+    // keep lanes with no borrow-out.
+    std::uint64_t borrow = 0;
+    for (unsigned b = 0; b < nbits; ++b) {
+      const std::uint64_t tb = ((threshold >> b) & 1u) ? ~0ULL : 0ULL;
+      borrow = (~counters[b] & (tb | borrow)) | (tb & borrow);
+    }
+    std::uint64_t hits = ~borrow;
+    if (block < 64) hits &= (1ULL << block) - 1;
+
+    while (hits != 0) {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(hits));
+      hits &= hits - 1;
+      std::uint32_t score = 0;
+      for (unsigned b = 0; b < nbits; ++b)
+        score |= static_cast<std::uint32_t>((counters[b] >> lane) & 1u) << b;
+      out.push_back(Hit{base + lane, score});
+    }
+  }
+}
+
+std::vector<Hit> bitscan_hits(const BitScanQuery& query,
+                              const BitScanReference& reference,
+                              std::uint32_t threshold) {
+  std::vector<Hit> hits;
+  if (query.empty() || reference.size() < query.size()) return hits;
+  bitscan_range(query, reference, threshold, 0,
+                reference.size() - query.size() + 1, hits);
+  return hits;
+}
+
+std::vector<Hit> bitscan_hits(const std::vector<BackElement>& query,
+                              const bio::NucleotideSequence& reference,
+                              std::uint32_t threshold) {
+  return bitscan_hits(BitScanQuery{query}, BitScanReference{reference},
+                      threshold);
+}
+
+std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
+                                       const BitScanReference& reference,
+                                       std::uint32_t threshold,
+                                       util::ThreadPool& pool) {
+  std::vector<Hit> hits;
+  if (query.empty() || reference.size() < query.size()) return hits;
+  const std::size_t positions = reference.size() - query.size() + 1;
+
+  std::vector<std::vector<Hit>> chunks(pool.chunk_count(positions));
+  pool.parallel_indexed_chunks(
+      0, positions, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        bitscan_range(query, reference, threshold, lo, hi, chunks[c]);
+      });
+
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  hits.reserve(total);
+  for (const auto& chunk : chunks)
+    hits.insert(hits.end(), chunk.begin(), chunk.end());
+  return hits;
+}
+
+}  // namespace fabp::core

@@ -1,8 +1,6 @@
 #include "fabp/core/golden.hpp"
 
-#include <algorithm>
-#include <mutex>
-
+#include "fabp/core/bitscan.hpp"
 #include "fabp/core/comparator.hpp"
 
 namespace fabp::core {
@@ -64,24 +62,29 @@ std::vector<Hit> golden_hits_parallel(const std::vector<BackElement>& query,
   if (query.empty() || ref.size() < query.size()) return hits;
   const std::size_t positions = ref.size() - query.size() + 1;
 
-  std::mutex merge_mutex;
-  pool.parallel_chunks(0, positions, [&](std::size_t lo, std::size_t hi) {
-    std::vector<Hit> local;
-    for (std::size_t p = lo; p < hi; ++p) {
-      const std::uint32_t score = golden_score_at(query, ref, p);
-      if (score >= threshold) local.push_back(Hit{p, score});
-    }
-    const std::lock_guard lock{merge_mutex};
-    hits.insert(hits.end(), local.begin(), local.end());
-  });
-  std::sort(hits.begin(), hits.end());
+  // Per-chunk slots concatenated in chunk order: the merged output is
+  // structurally identical (contents *and* ordering) to the serial scan,
+  // independent of worker scheduling.
+  std::vector<std::vector<Hit>> chunks(pool.chunk_count(positions));
+  pool.parallel_indexed_chunks(
+      0, positions, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        std::vector<Hit>& local = chunks[c];
+        for (std::size_t p = lo; p < hi; ++p) {
+          const std::uint32_t score = golden_score_at(query, ref, p);
+          if (score >= threshold) local.push_back(Hit{p, score});
+        }
+      });
+  for (const auto& chunk : chunks)
+    hits.insert(hits.end(), chunk.begin(), chunk.end());
   return hits;
 }
 
 std::vector<Hit> align_protein(const bio::ProteinSequence& protein,
                                const bio::NucleotideSequence& ref,
                                std::uint32_t threshold) {
-  return golden_hits(back_translate(protein), ref, threshold);
+  // Default software path: the bit-sliced engine (differentially pinned to
+  // the scalar golden_hits oracle above).
+  return bitscan_hits(back_translate(protein), ref, threshold);
 }
 
 }  // namespace fabp::core

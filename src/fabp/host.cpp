@@ -16,6 +16,7 @@ void Session::upload_reference(const bio::NucleotideSequence& reference) {
 void Session::upload_reference(bio::PackedNucleotides reference) {
   reference_ = std::move(reference);
   reference_uploaded_ = true;
+  bitscan_ready_ = false;
   reverse_ = bio::PackedNucleotides{};
   if (config_.search_both_strands) {
     // Host-side preparation: the reverse-complement copy the card streams
@@ -88,6 +89,21 @@ Session::BatchReport Session::align_batch(
           ? static_cast<double>(queries.size()) / batch.total_s
           : 0.0;
   return batch;
+}
+
+std::vector<Hit> Session::software_hits(const bio::ProteinSequence& query,
+                                        std::uint32_t threshold,
+                                        util::ThreadPool* pool) {
+  if (!reference_uploaded_)
+    throw std::logic_error{"Session: no reference uploaded"};
+  if (!bitscan_ready_) {
+    bitscan_reference_ = BitScanReference{reference_};
+    bitscan_ready_ = true;
+  }
+  const BitScanQuery compiled{back_translate(query)};
+  return pool ? bitscan_hits_parallel(compiled, bitscan_reference_,
+                                      threshold, *pool)
+              : bitscan_hits(compiled, bitscan_reference_, threshold);
 }
 
 HostRunReport Session::finish(const bio::ProteinSequence& query,

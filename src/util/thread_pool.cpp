@@ -55,9 +55,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 void ThreadPool::parallel_chunks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_indexed_chunks(
+      begin, end,
+      [&fn](std::size_t, std::size_t lo, std::size_t hi) { fn(lo, hi); });
+}
+
+void ThreadPool::parallel_indexed_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, size());
+  const std::size_t chunks = chunk_count(total);
   const std::size_t chunk_size = (total + chunks - 1) / chunks;
 
   std::vector<std::future<void>> futures;
@@ -66,7 +74,7 @@ void ThreadPool::parallel_chunks(
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(lo + chunk_size, end);
     if (lo >= hi) break;
-    futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
+    futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
   }
   for (auto& f : futures) f.get();
 }

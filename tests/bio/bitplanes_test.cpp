@@ -1,0 +1,122 @@
+#include "fabp/bio/bitplanes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/util/bitops.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::bio {
+namespace {
+
+bool plane_bit(std::span<const std::uint64_t> plane, std::size_t i) {
+  return util::bit(plane[i / 64], static_cast<unsigned>(i % 64));
+}
+
+TEST(Bitplanes, OccurrenceMatchesSequence) {
+  util::Xoshiro256 rng{11};
+  const NucleotideSequence seq = random_dna(300, rng);
+  const NucleotideBitplanes planes{seq};
+  ASSERT_EQ(planes.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    for (Nucleotide n : kAllNucleotides)
+      EXPECT_EQ(plane_bit(planes.occurrence(n), i), seq[i] == n) << i;
+    EXPECT_EQ(plane_bit(planes.lsb(), i), (code(seq[i]) & 1) != 0) << i;
+    EXPECT_EQ(plane_bit(planes.msb(), i), (code(seq[i]) & 2) != 0) << i;
+  }
+}
+
+TEST(Bitplanes, OccurrencePlanesPartitionPositions) {
+  // Every valid position belongs to exactly one occurrence plane, and the
+  // four planes OR together to the valid mask.
+  util::Xoshiro256 rng{13};
+  const NucleotideBitplanes planes{random_dna(517, rng)};
+  for (std::size_t w = 0; w < planes.word_count(); ++w) {
+    std::uint64_t any = 0;
+    for (Nucleotide n : kAllNucleotides) {
+      EXPECT_EQ(any & planes.occurrence(n)[w], 0u) << w;
+      any |= planes.occurrence(n)[w];
+    }
+    EXPECT_EQ(any, planes.valid()[w]) << w;
+  }
+}
+
+TEST(Bitplanes, HistoryPlanesAreShiftedCodes) {
+  util::Xoshiro256 rng{17};
+  const NucleotideSequence seq = random_dna(200, rng);
+  const NucleotideBitplanes planes{seq};
+  EXPECT_FALSE(plane_bit(planes.prev1_msb(), 0));
+  EXPECT_FALSE(plane_bit(planes.prev2_msb(), 0));
+  EXPECT_FALSE(plane_bit(planes.prev2_lsb(), 1));
+  for (std::size_t i = 1; i < seq.size(); ++i)
+    EXPECT_EQ(plane_bit(planes.prev1_msb(), i), (code(seq[i - 1]) & 2) != 0)
+        << i;
+  for (std::size_t i = 2; i < seq.size(); ++i) {
+    EXPECT_EQ(plane_bit(planes.prev2_msb(), i), (code(seq[i - 2]) & 2) != 0)
+        << i;
+    EXPECT_EQ(plane_bit(planes.prev2_lsb(), i), (code(seq[i - 2]) & 1) != 0)
+        << i;
+  }
+}
+
+TEST(Bitplanes, TailWordIsMasked) {
+  // Lengths straddling word boundaries: every plane must be zero at bit
+  // positions >= size(), even though the packed store pads with A (00).
+  for (std::size_t len : {1u, 63u, 64u, 65u, 127u, 128u, 130u, 200u}) {
+    // All-A input maximises the hazard: the padding is indistinguishable
+    // from data in the packed words.
+    NucleotideSequence seq{SeqKind::Dna};
+    for (std::size_t i = 0; i < len; ++i) seq.push_back(Nucleotide::A);
+    const NucleotideBitplanes planes{seq};
+    const std::size_t padded_bits = planes.padded_word_count() * 64;
+    for (std::size_t i = len; i < padded_bits; ++i) {
+      for (Nucleotide n : kAllNucleotides)
+        EXPECT_FALSE(plane_bit(planes.occurrence(n), i)) << len << " " << i;
+      EXPECT_FALSE(plane_bit(planes.valid(), i)) << len << " " << i;
+      EXPECT_FALSE(plane_bit(planes.prev1_msb(), i)) << len << " " << i;
+      EXPECT_FALSE(plane_bit(planes.prev2_msb(), i)) << len << " " << i;
+      EXPECT_FALSE(plane_bit(planes.prev2_lsb(), i)) << len << " " << i;
+    }
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_TRUE(plane_bit(planes.occurrence(Nucleotide::A), i));
+      EXPECT_TRUE(plane_bit(planes.valid(), i));
+    }
+  }
+}
+
+TEST(Bitplanes, GuardWordStaysZeroOnRandomData) {
+  util::Xoshiro256 rng{23};
+  for (std::size_t len : {64u, 128u, 192u}) {  // exact multiples of 64
+    const NucleotideBitplanes planes{random_dna(len, rng)};
+    ASSERT_EQ(planes.padded_word_count(), planes.word_count() + 1);
+    for (Nucleotide n : kAllNucleotides)
+      EXPECT_EQ(planes.occurrence(n)[planes.word_count()], 0u) << len;
+    EXPECT_EQ(planes.valid()[planes.word_count()], 0u) << len;
+    EXPECT_EQ(planes.prev1_msb()[planes.word_count()], 0u) << len;
+  }
+}
+
+TEST(Bitplanes, EmptySequence) {
+  const NucleotideBitplanes planes{NucleotideSequence{}};
+  EXPECT_TRUE(planes.empty());
+  EXPECT_EQ(planes.word_count(), 0u);
+  EXPECT_EQ(planes.padded_word_count(), 1u);
+  EXPECT_EQ(planes.valid()[0], 0u);
+}
+
+TEST(Bitplanes, PackedAndSequenceConstructorsAgree) {
+  util::Xoshiro256 rng{29};
+  const NucleotideSequence seq = random_dna(333, rng);
+  const PackedNucleotides packed{seq};
+  const NucleotideBitplanes from_seq{seq};
+  const NucleotideBitplanes from_packed{packed};
+  ASSERT_EQ(from_seq.size(), from_packed.size());
+  for (std::size_t w = 0; w < from_seq.padded_word_count(); ++w) {
+    for (Nucleotide n : kAllNucleotides)
+      EXPECT_EQ(from_seq.occurrence(n)[w], from_packed.occurrence(n)[w]);
+    EXPECT_EQ(from_seq.prev2_lsb()[w], from_packed.prev2_lsb()[w]);
+  }
+}
+
+}  // namespace
+}  // namespace fabp::bio

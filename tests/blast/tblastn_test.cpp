@@ -228,6 +228,64 @@ TEST(Tblastn, AlignHitProducesFullTraceback) {
   EXPECT_GE(alignment.ref_end, best.subject_end);
 }
 
+TEST(Tblastn, BitscanPrefilterFindsPlantedGeneWithFewerProbes) {
+  util::Xoshiro256 rng{81};
+  const ProteinSequence protein = bio::random_protein(40, rng);
+  const Planted planted = plant(protein, 20000, 82);
+
+  Tblastn full{protein, fast_config()};
+  const TblastnResult reference_result = full.search(planted.dna);
+
+  TblastnConfig cfg = fast_config();
+  cfg.bitscan_prefilter = true;
+  Tblastn filtered{protein, cfg};
+  const TblastnResult result = filtered.search(planted.dna);
+
+  // The planted gene survives the prefilter...
+  bool found = false;
+  for (const auto& hit : result.hits)
+    if (hit.dna_position >= planted.position &&
+        hit.dna_position < planted.position + 3 * protein.size())
+      found = true;
+  EXPECT_TRUE(found);
+  // ...and the seeding scan touched a fraction of the residues the full
+  // scan grinds through (that is the point of the prefilter).
+  ASSERT_GT(reference_result.stats.word_probes, 0u);
+  EXPECT_LT(result.stats.word_probes,
+            reference_result.stats.word_probes / 4);
+}
+
+TEST(Tblastn, BitscanPrefilterFindsReverseStrandGene) {
+  util::Xoshiro256 rng{83};
+  const ProteinSequence protein = bio::random_protein(35, rng);
+  const Planted planted = plant(protein, 12000, 84);
+  const NucleotideSequence flipped = planted.dna.reverse_complement();
+
+  TblastnConfig cfg = fast_config();
+  cfg.bitscan_prefilter = true;
+  Tblastn engine{protein, cfg};
+  const TblastnResult result = engine.search(flipped);
+  ASSERT_FALSE(result.hits.empty());
+  bool reverse_frame = false;
+  for (const auto& hit : result.hits)
+    if (hit.frame >= 3) reverse_frame = true;
+  EXPECT_TRUE(reverse_frame);
+}
+
+TEST(Tblastn, BitscanPrefilterNoCandidatesMeansNoHits) {
+  // A background-only reference with a high prefilter fraction: the scan
+  // yields no candidate windows and the search returns cleanly.
+  util::Xoshiro256 rng{85};
+  const ProteinSequence protein = bio::random_protein(45, rng);
+  TblastnConfig cfg = fast_config();
+  cfg.bitscan_prefilter = true;
+  cfg.prefilter_fraction = 0.95;
+  Tblastn engine{protein, cfg};
+  const auto result = engine.search(bio::random_dna(8000, rng));
+  EXPECT_TRUE(result.hits.empty());
+  EXPECT_EQ(result.stats.word_probes, 0u);
+}
+
 TEST(Tblastn, TinyReferenceNoCrash) {
   const ProteinSequence protein = ProteinSequence::parse("MKWVTF");
   Tblastn engine{protein, fast_config()};

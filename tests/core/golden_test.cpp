@@ -151,6 +151,30 @@ TEST(Golden, ParallelIdenticalToSerial) {
   }
 }
 
+TEST(Golden, ParallelMergeIsDeterministic) {
+  // The chunk-ordered merge must reproduce the serial scan *exactly* —
+  // same contents in the same order — for any pool size, chunk boundary
+  // layout, and run (no scheduling dependence).  threshold 0 makes every
+  // position a hit, so ordering mistakes cannot hide.
+  util::Xoshiro256 rng{113};
+  const ProteinSequence protein = bio::random_protein(9, rng);
+  const auto query = back_translate(protein);
+  for (std::size_t len : {27u, 500u, 1000u, 1025u}) {
+    const NucleotideSequence ref = bio::random_dna(len, rng);
+    const auto serial = golden_hits(query, ref, 0);
+    for (std::size_t threads : {1u, 2u, 3u, 5u, 8u, 16u}) {
+      util::ThreadPool pool{threads};
+      for (int run = 0; run < 3; ++run) {
+        const auto parallel = golden_hits_parallel(query, ref, 0, pool);
+        ASSERT_EQ(parallel.size(), serial.size()) << len << " " << threads;
+        for (std::size_t i = 0; i < serial.size(); ++i)
+          ASSERT_EQ(parallel[i], serial[i])
+              << len << " " << threads << " index " << i;
+      }
+    }
+  }
+}
+
 TEST(Golden, EmptyAndShortInputs) {
   const std::vector<BackElement> empty;
   const NucleotideSequence ref = NucleotideSequence::parse(SeqKind::Dna,
