@@ -1,13 +1,21 @@
 // E9 — software scan engines: the scalar golden oracle vs the bit-sliced
-// 64-lane engine, single-threaded and chunked over the thread pool, on a
-// multi-megabase reference.  All three engines must produce identical hit
-// lists (checked here, not just in the unit tests).  Alongside the console
-// table the harness writes BENCH_bitscan.json so CI and scripts can track
-// the speedup without scraping text.
+// engine at every lane width the host can run (64-lane SWAR, 256-lane
+// AVX2, 512-lane AVX-512), plus the thread-pool scan and a multi-query
+// batch sweep (sequential per-query scans vs one batched pass that keeps
+// each block of reference planes hot across the whole batch).  Every
+// engine and every batch lane must produce identical hit lists (checked
+// here, not just in the unit tests).  Alongside the console tables the
+// harness writes BENCH_bitscan.json so CI and scripts can track the
+// speedups without scraping text.
 //
 //   bench_bitscan [bases] [query_residues] [reps] [json_path]
+//                 [batch_bases] [batch_residues]
 //
 // Defaults: 4,000,000 bases, 20 residues, best-of-3, BENCH_bitscan.json.
+// The batch sweep defaults to its own 48 Mbp x 6 aa configuration: plane
+// amortisation pays off in the memory-bound regime (reference planes much
+// larger than L2, thin per-block compute), which a 4 Mbp reference on a
+// big-L3 server never enters.
 
 #include <algorithm>
 #include <cstdlib>
@@ -20,6 +28,7 @@
 #include "fabp/bio/generate.hpp"
 #include "fabp/core/bitscan.hpp"
 #include "fabp/core/golden.hpp"
+#include "fabp/util/cpuid.hpp"
 #include "fabp/util/table.hpp"
 #include "fabp/util/thread_pool.hpp"
 #include "fabp/util/timer.hpp"
@@ -37,10 +46,18 @@ struct EngineResult {
   std::size_t hits;
 };
 
-// Best-of-`reps` wall time; the scan result of the last repetition is kept
-// so the harness can cross-check the engines against each other.
-template <typename Fn>
-double best_of(int reps, std::vector<core::Hit>& out, Fn&& fn) {
+struct BatchResult {
+  std::string kernel;
+  std::size_t batch;
+  double sequential_s;   // per-query scans, one after another
+  double batched_s;      // one pass, all queries per cached block
+  double batch_speedup;  // sequential_s / batched_s
+};
+
+// Best-of-`reps` wall time; the result of the last repetition is kept so
+// the harness can cross-check the engines against each other.
+template <typename Out, typename Fn>
+double best_of(int reps, Out& out, Fn&& fn) {
   double best = 0.0;
   for (int r = 0; r < reps; ++r) {
     util::Timer timer;
@@ -53,8 +70,10 @@ double best_of(int reps, std::vector<core::Hit>& out, Fn&& fn) {
 
 void write_json(const std::string& path, std::size_t bases,
                 std::size_t residues, std::size_t elements,
-                std::uint32_t threshold, int reps,
-                const std::vector<EngineResult>& results) {
+                std::uint32_t threshold, int reps, std::size_t batch_bases,
+                std::size_t batch_residues,
+                const std::vector<EngineResult>& results,
+                const std::vector<BatchResult>& batches) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"bitscan\",\n"
@@ -63,7 +82,10 @@ void write_json(const std::string& path, std::size_t bases,
      << "    \"query_residues\": " << residues << ",\n"
      << "    \"query_elements\": " << elements << ",\n"
      << "    \"threshold\": " << threshold << ",\n"
-     << "    \"repetitions\": " << reps << "\n"
+     << "    \"repetitions\": " << reps << ",\n"
+     << "    \"cpu_isa\": \"" << util::cpu_isa_summary() << "\",\n"
+     << "    \"active_kernel\": \"" << core::active_scan_kernel().name
+     << "\"\n"
      << "  },\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -73,6 +95,20 @@ void write_json(const std::string& path, std::size_t bases,
        << ", \"bases_per_second\": " << r.bases_per_second
        << ", \"speedup_vs_scalar\": " << r.speedup << ", \"hits\": "
        << r.hits << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"batch_config\": {\n"
+     << "    \"reference_bases\": " << batch_bases << ",\n"
+     << "    \"query_residues\": " << batch_residues << "\n"
+     << "  },\n"
+     << "  \"batch\": [\n";
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const BatchResult& b = batches[i];
+    os << "    {\"kernel\": \"" << b.kernel << "\", \"batch_size\": "
+       << b.batch << ", \"sequential_seconds\": " << b.sequential_s
+       << ", \"batched_seconds\": " << b.batched_s
+       << ", \"batch_speedup\": " << b.batch_speedup << "}"
+       << (i + 1 < batches.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -88,6 +124,10 @@ int main(int argc, char** argv) {
   // inf/nan.
   const int reps = std::max(argc > 3 ? std::atoi(argv[3]) : 3, 1);
   const std::string json_path = argc > 4 ? argv[4] : "BENCH_bitscan.json";
+  const std::size_t batch_bases =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 48'000'000;
+  const std::size_t batch_residues =
+      argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 6;
 
   util::Xoshiro256 rng{424242};
   const bio::ProteinSequence protein = bio::random_protein(residues, rng);
@@ -109,6 +149,9 @@ int main(int argc, char** argv) {
   util::banner(std::cout, "Software scan engines, " +
                               std::to_string(bases / 1'000'000) + " Mbp x " +
                               std::to_string(residues) + " aa query");
+  std::cout << "  cpu: " << util::cpu_isa_summary()
+            << ", dispatched kernel: " << core::active_scan_kernel().name
+            << " (set FABP_FORCE_ISA=scalar|swar64|avx2|avx512 to pin)\n\n";
 
   // Reference compilation is part of the bit-sliced engines' setup cost —
   // report it, but time the scans against a prebuilt BitScanReference
@@ -122,33 +165,49 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   util::ThreadPool pool{hw_threads};
 
-  std::vector<core::Hit> scalar_hits, bitscan, threaded;
+  std::vector<core::Hit> scalar_hits;
   const double scalar_s = best_of(reps, scalar_hits, [&] {
     return core::golden_hits(elements, reference, threshold);
   });
-  const double bitscan_s = best_of(reps, bitscan, [&] {
-    return core::bitscan_hits(compiled_query, compiled_ref, threshold);
-  });
+  std::vector<EngineResult> results{
+      {"scalar_golden", 1, scalar_s, static_cast<double>(bases) / scalar_s,
+       1.0, scalar_hits.size()}};
+
+  // Lane-width sweep: one row per SIMD-width kernel the host can run.
+  std::vector<const core::ScanKernel*> kernels;
+  for (core::ScanIsa isa : {core::ScanIsa::Swar64, core::ScanIsa::Avx2,
+                            core::ScanIsa::Avx512})
+    if (const core::ScanKernel* kernel = core::scan_kernel_for(isa))
+      kernels.push_back(kernel);
+
+  bool mismatch = false;
+  const std::size_t positions = bases - elements.size() + 1;
+  for (const core::ScanKernel* kernel : kernels) {
+    std::vector<core::Hit> hits;
+    const double s = best_of(reps, hits, [&] {
+      std::vector<core::Hit> out;
+      kernel->range(compiled_query, compiled_ref, threshold, 0, positions,
+                    out);
+      return out;
+    });
+    mismatch |= hits != scalar_hits;
+    results.push_back({kernel->name, 1, s,
+                       static_cast<double>(bases) / s, scalar_s / s,
+                       hits.size()});
+  }
+
+  // Thread-pool scan through whatever kernel the dispatcher picked.
+  std::vector<core::Hit> threaded;
   const double threaded_s = best_of(reps, threaded, [&] {
     return core::bitscan_hits_parallel(compiled_query, compiled_ref,
                                        threshold, pool);
   });
-
-  if (bitscan != scalar_hits || threaded != scalar_hits) {
-    std::cerr << "ENGINE MISMATCH: bit-sliced output differs from the"
-                 " scalar oracle\n";
-    return 1;
-  }
-
-  const std::vector<EngineResult> results{
-      {"scalar_golden", 1, scalar_s, static_cast<double>(bases) / scalar_s,
-       1.0, scalar_hits.size()},
-      {"bitscan", 1, bitscan_s, static_cast<double>(bases) / bitscan_s,
-       scalar_s / bitscan_s, bitscan.size()},
-      {"bitscan_parallel", hw_threads, threaded_s,
-       static_cast<double>(bases) / threaded_s, scalar_s / threaded_s,
-       threaded.size()},
-  };
+  mismatch |= threaded != scalar_hits;
+  results.push_back({std::string{core::active_scan_kernel().name} +
+                         "_parallel",
+                     hw_threads, threaded_s,
+                     static_cast<double>(bases) / threaded_s,
+                     scalar_s / threaded_s, threaded.size()});
 
   util::Table table{{"engine", "threads", "time", "Mbases/s", "speedup",
                      "hits"}};
@@ -163,11 +222,78 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   std::cout << "\n  reference compile (12 planes): "
-            << util::time_text(compile_s) << " (amortised across queries)\n"
-            << "  hit lists identical across all engines.\n";
+            << util::time_text(compile_s) << " (amortised across queries)\n";
+
+  // Batch sweep: B distinct queries against one compiled reference,
+  // sequential per-query scans vs one batched pass per kernel.  The
+  // batched pass amortises reference-plane traffic: every cached block is
+  // scored against all B queries before the scan moves on.  This pays in
+  // the memory-bound regime — planes much larger than L2 with thin
+  // per-block compute — so the sweep uses its own (large-reference,
+  // short-query) configuration.
+  const bio::NucleotideSequence batch_reference =
+      bio::random_dna(batch_bases, rng);
+  const core::BitScanReference batch_ref{batch_reference};
+  std::vector<core::BitScanQuery> batch_queries;
+  std::vector<std::vector<core::BackElement>> batch_elements;
+  std::vector<std::uint32_t> batch_thresholds;
+  std::size_t batch_positions = batch_bases;
+  for (std::size_t q = 0; q < 32; ++q) {
+    const bio::ProteinSequence p = bio::random_protein(batch_residues, rng);
+    batch_elements.push_back(core::back_translate(p));
+    batch_queries.emplace_back(batch_elements.back());
+    batch_thresholds.push_back(static_cast<std::uint32_t>(
+        batch_elements.back().size() * 4 / 5));
+    batch_positions = std::min(batch_positions,
+                               batch_bases - batch_elements.back().size() + 1);
+  }
+
+  std::cout << "\n  batch sweep: " << batch_bases / 1'000'000 << " Mbp x "
+            << batch_residues << " aa queries\n\n";
+  std::vector<BatchResult> batches;
+  util::Table batch_table{{"kernel", "batch", "sequential", "batched",
+                           "batch speedup"}};
+  for (const core::ScanKernel* kernel : kernels) {
+    for (std::size_t batch : {std::size_t{1}, std::size_t{8},
+                              std::size_t{32}}) {
+      using HitLists = std::vector<std::vector<core::Hit>>;
+      HitLists sequential;
+      const double seq_s = best_of(reps, sequential, [&] {
+        HitLists outs(batch);
+        for (std::size_t q = 0; q < batch; ++q)
+          kernel->range(batch_queries[q], batch_ref, batch_thresholds[q], 0,
+                        batch_positions, outs[q]);
+        return outs;
+      });
+      HitLists batched;
+      const double bat_s = best_of(reps, batched, [&] {
+        HitLists outs(batch);
+        kernel->range_batch(batch_queries.data(), batch_thresholds.data(),
+                            batch, batch_ref, 0, batch_positions,
+                            outs.data());
+        return outs;
+      });
+      mismatch |= batched != sequential;
+      batches.push_back({kernel->name, batch, seq_s, bat_s, seq_s / bat_s});
+      batch_table.row()
+          .cell(kernel->name)
+          .cell(batch)
+          .cell(util::time_text(seq_s))
+          .cell(util::time_text(bat_s))
+          .cell(util::ratio_text(seq_s / bat_s));
+    }
+  }
+  batch_table.print(std::cout);
+
+  if (mismatch) {
+    std::cerr << "ENGINE MISMATCH: some kernel differs from the scalar"
+                 " oracle\n";
+    return 1;
+  }
+  std::cout << "\n  hit lists identical across all engines and batches.\n";
 
   write_json(json_path, bases, residues, elements.size(), threshold, reps,
-             results);
+             batch_bases, batch_residues, results, batches);
   std::cout << "  wrote " << json_path << "\n";
   return 0;
 }

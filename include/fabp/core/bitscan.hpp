@@ -11,16 +11,27 @@
 // functions), so a reference is "compiled" once into at most 12 planes and
 // any query scans against them.
 //
-// Scanning then works a block of 64 positions at a time: for query element
-// i, fetch 64 bits of its kind's plane at bit offset (block_base + i) and
-// add them into vertical (bit-sliced SWAR) counters; after all elements,
-// a borrow-propagation compare against the threshold yields a 64-bit hit
-// mask, and Hit records are materialised only for set bits.  The result is
-// bit-for-bit identical to the scalar golden_hits oracle (locked down by
-// the differential tests in tests/core/bitscan_test.cpp).
+// Scanning then works a block of N positions at a time (N = the lane width
+// of the selected kernel): for query element i, fetch N bits of its kind's
+// plane at bit offset (block_base + i) and add them into vertical
+// (bit-sliced SWAR) counters; after all elements, a borrow-propagation
+// compare against the threshold yields an N-bit hit mask, and Hit records
+// are materialised only for set bits.  The result is bit-for-bit identical
+// to the scalar golden_hits oracle (locked down by the differential tests
+// in tests/core/bitscan_test.cpp and tests/core/bitscan_kernels_test.cpp).
+//
+// The block loop is ISA-dispatched: the same vertical-counter algorithm is
+// instantiated at 64 lanes (portable uint64_t SWAR), 256 lanes (AVX2) and
+// 512 lanes (AVX-512F), each compiled in its own TU with the matching -m
+// flags so the binary stays runnable on any x86-64.  The widest kernel the
+// CPU + OS support is selected once at startup (util/cpuid.hpp); the
+// FABP_FORCE_ISA=scalar|swar64|avx2|avx512 environment variable overrides
+// the choice for testing (ignored when the named ISA is unavailable).
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <string_view>
 #include <vector>
 
 #include "fabp/bio/bitplanes.hpp"
@@ -39,9 +50,10 @@ inline constexpr std::size_t kElementKindCount = 12;
 std::size_t element_kind(const BackElement& element) noexcept;
 
 /// A reference compiled for bit-sliced scanning: one match bitplane per
-/// element kind, padded with a zero guard word for unaligned fetches.
-/// Building it is O(12 * size / 64) word ops; reuse it across queries
-/// (the planes depend only on the reference).
+/// element kind, padded with zero guard words sized for the widest kernel's
+/// unaligned fetches (an AVX-512 fetch reads up to 8 words past the last
+/// data word).  Building it is O(12 * size / 64) word ops; reuse it across
+/// queries (the planes depend only on the reference).
 class BitScanReference {
  public:
   BitScanReference() = default;
@@ -107,5 +119,74 @@ std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
                                        const BitScanReference& reference,
                                        std::uint32_t threshold,
                                        util::ThreadPool& pool);
+
+// ---------------------------------------------------------------------------
+// ISA-dispatched scan kernels.
+
+/// Instruction sets the block scan loop is instantiated for.  Scalar is a
+/// per-position reference loop over the same planes (no SWAR counters) —
+/// the slowest path, kept reachable for differential testing; Swar64 is
+/// the portable baseline, always available.
+enum class ScanIsa { Scalar, Swar64, Avx2, Avx512 };
+
+inline constexpr std::size_t kScanIsaCount = 4;
+
+/// All ISA values, widest last — handy for test sweeps.
+inline constexpr std::array<ScanIsa, kScanIsaCount> kAllScanIsas{
+    ScanIsa::Scalar, ScanIsa::Swar64, ScanIsa::Avx2, ScanIsa::Avx512};
+
+/// One scan implementation: the per-block inner loop (plane fetch → SWAR
+/// counter add → borrow-propagate threshold compare) at a fixed lane
+/// width, plus its multi-query batch form.  All kernels produce output
+/// bit-for-bit identical to golden_hits (contents and order).
+struct ScanKernel {
+  ScanIsa isa;
+  const char* name;     // "scalar" | "swar64" | "avx2" | "avx512"
+  unsigned lanes;       // positions scored per block (1, 64, 256, 512)
+
+  /// Appends hits with position in [begin, end), clamped to the valid
+  /// range — same contract as bitscan_range.
+  void (*range)(const BitScanQuery& query, const BitScanReference& reference,
+                std::uint32_t threshold, std::size_t begin, std::size_t end,
+                std::vector<Hit>& out);
+
+  /// Batch form: walks the reference blocks of [begin, end) once and
+  /// scores every query against each block while its plane words are hot
+  /// in cache.  outs[q] receives exactly what range() would append for
+  /// (queries[q], thresholds[q]) over the same span.
+  void (*range_batch)(const BitScanQuery* queries,
+                      const std::uint32_t* thresholds, std::size_t count,
+                      const BitScanReference& reference, std::size_t begin,
+                      std::size_t end, std::vector<Hit>* outs);
+};
+
+/// Kernel for `isa`, or nullptr when it is not compiled in or the running
+/// CPU/OS cannot execute it.  Scalar and Swar64 never return nullptr.
+const ScanKernel* scan_kernel_for(ScanIsa isa) noexcept;
+
+/// Parses a FABP_FORCE_ISA value ("scalar", "swar64", "avx2", "avx512");
+/// returns false on unknown names.
+bool scan_isa_from_name(std::string_view name, ScanIsa& out) noexcept;
+
+/// The kernel every bitscan_* entry point dispatches to: the widest ISA
+/// the host supports, unless FABP_FORCE_ISA selects an available narrower
+/// one.  Resolved once on first use.
+const ScanKernel& active_scan_kernel() noexcept;
+
+// ---------------------------------------------------------------------------
+// Multi-query batch scanning.
+
+/// Scans every query of a batch against the reference in one pass over the
+/// reference planes: each cached block of plane words is scored against
+/// all queries before moving on, so plane traffic is amortised across the
+/// batch instead of re-streamed per query.  outs[q] is exactly
+/// bitscan_hits(queries[q], reference, thresholds[q]) — contents and
+/// order.  thresholds.size() must equal queries.size().  With a pool the
+/// position range is chunked over threads and merged deterministically in
+/// chunk order, like bitscan_hits_parallel.
+std::vector<std::vector<Hit>> bitscan_hits_batch(
+    std::span<const BitScanQuery> queries, const BitScanReference& reference,
+    std::span<const std::uint32_t> thresholds,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace fabp::core

@@ -8,6 +8,7 @@
 // FPGA DRAM, aligning the sequences, and writing the results").
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,7 +69,12 @@ class Session {
   /// Aligns a batch of queries against the resident reference, reusing
   /// the card (the paper's deployment model: the database is transferred
   /// once, queries stream through).  Thresholds are per-query fractions of
-  /// the query's element count.
+  /// the query's element count.  The functional hit lists for the whole
+  /// batch are produced in one multi-query pass over the cached reference
+  /// bit-planes (bitscan_hits_batch) — each block of plane words is scored
+  /// against every query while it is hot in cache — and the per-query
+  /// accelerator runs reduce to cycle/energy accounting; reports are
+  /// bit-for-bit identical to calling align() per query.
   struct BatchReport {
     std::vector<HostRunReport> per_query;
     double total_s = 0.0;
@@ -88,12 +94,33 @@ class Session {
                                  std::uint32_t threshold,
                                  util::ThreadPool* pool = nullptr);
 
+  /// Batch form of software_hits: all queries are scored in one pass over
+  /// the cached reference planes (see bitscan_hits_batch); element [q] of
+  /// the result equals software_hits(queries[q], thresholds[q]) exactly.
+  /// thresholds.size() must equal queries.size().
+  std::vector<std::vector<Hit>> software_hits_batch(
+      std::span<const bio::ProteinSequence> queries,
+      std::span<const std::uint32_t> thresholds,
+      util::ThreadPool* pool = nullptr);
+
   const bio::PackedNucleotides& reference() const noexcept {
     return reference_;
   }
   const HostConfig& config() const noexcept { return config_; }
 
  private:
+  /// align() with optional precomputed forward/reverse hit lists (from a
+  /// batch scan); null pointers fall back to scanning inside the run.
+  HostRunReport align_impl(const bio::ProteinSequence& query,
+                           std::uint32_t threshold,
+                           const std::vector<Hit>* forward_hits,
+                           const std::vector<Hit>* reverse_hits);
+
+  /// Lazily compiled bit-planes of the resident reference (and its RC
+  /// copy); invalidated by upload_reference.
+  const BitScanReference& forward_planes();
+  const BitScanReference& reverse_planes();
+
   HostRunReport finish(const bio::ProteinSequence& query,
                        AcceleratorRun run, std::size_t reference_bytes) const;
 
@@ -101,8 +128,10 @@ class Session {
   bio::PackedNucleotides reference_;
   bio::PackedNucleotides reverse_;  // RC copy when search_both_strands
   bool reference_uploaded_ = false;
-  BitScanReference bitscan_reference_;  // lazy, for software_hits
+  BitScanReference bitscan_reference_;  // lazy, for software scans
   bool bitscan_ready_ = false;
+  BitScanReference bitscan_reverse_;  // lazy RC planes for batch aligns
+  bool bitscan_reverse_ready_ = false;
 };
 
 }  // namespace fabp::core

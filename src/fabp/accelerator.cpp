@@ -38,7 +38,8 @@ const FabpMapping& Accelerator::load_encoded(EncodedQuery query) {
 }
 
 AcceleratorRun Accelerator::run(
-    const bio::PackedNucleotides& reference) const {
+    const bio::PackedNucleotides& reference,
+    const std::vector<Hit>* precomputed_hits) const {
   if (query_.empty())
     throw std::logic_error{"Accelerator: no query loaded"};
 
@@ -61,8 +62,11 @@ AcceleratorRun Accelerator::run(
   // to pure cycle accounting.  The LUT path keeps the element-by-element
   // evaluation through the generated comparator LUTs as the oracle.
   if (!config_.use_lut_path) {
-    out.hits = bitscan_hits(BitScanQuery{elements_},
-                            BitScanReference{reference}, config_.threshold);
+    out.hits = precomputed_hits
+                   ? *precomputed_hits
+                   : bitscan_hits(BitScanQuery{elements_},
+                                  BitScanReference{reference},
+                                  config_.threshold);
   }
 
   // Reference Stream buffer: previous L_q tail + the incoming 256 elements

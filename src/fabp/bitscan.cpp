@@ -1,15 +1,20 @@
 #include "fabp/core/bitscan.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "bitscan_kernel_impl.hpp"
+#include "fabp/util/cpuid.hpp"
 
 namespace fabp::core {
 
 namespace {
 
-// Vertical counter planes: enough bits for any practical query length
-// (count <= query length, so bit_width(qlen) planes carry it).
-constexpr unsigned kMaxCounterBits = 33;
+// Zero guard words past the last plane word: the widest kernel (AVX-512,
+// 8 words per vector) fetches plane[w .. w+8] for w up to word_count-1,
+// so 8 guard words keep every unaligned fetch in bounds.
+constexpr std::size_t kGuardWords = 8;
 
 // Kind indices shared with element_kind(); named where the compile step
 // needs to substitute a degenerate kind for missing history.
@@ -33,9 +38,7 @@ std::size_t element_kind(const BackElement& element) noexcept {
 BitScanReference::BitScanReference(const bio::NucleotideBitplanes& planes) {
   size_ = planes.size();
   const std::size_t words = planes.word_count();
-  // Two zero guard words: an unaligned fetch for the last block's last
-  // element reads up to 62 bits past the final plane word.
-  const std::size_t padded = words + 2;
+  const std::size_t padded = words + kGuardWords;
   for (auto& plane : planes_) plane.assign(padded, 0);
 
   const auto eq_a = planes.occurrence(bio::Nucleotide::A);
@@ -106,63 +109,55 @@ BitScanQuery::BitScanQuery(const EncodedQuery& query) {
   *this = BitScanQuery{elements};
 }
 
+// ---------------------------------------------------------------------------
+// Kernel dispatch.
+
+const ScanKernel* scan_kernel_for(ScanIsa isa) noexcept {
+  switch (isa) {
+    case ScanIsa::Scalar:
+      return detail::scalar_kernel();
+    case ScanIsa::Swar64:
+      return detail::swar64_kernel();
+    case ScanIsa::Avx2:
+      return util::cpu_has_avx2() ? detail::avx2_kernel() : nullptr;
+    case ScanIsa::Avx512:
+      return util::cpu_has_avx512f() ? detail::avx512_kernel() : nullptr;
+  }
+  return nullptr;
+}
+
+bool scan_isa_from_name(std::string_view name, ScanIsa& out) noexcept {
+  if (name == "scalar") out = ScanIsa::Scalar;
+  else if (name == "swar64") out = ScanIsa::Swar64;
+  else if (name == "avx2") out = ScanIsa::Avx2;
+  else if (name == "avx512") out = ScanIsa::Avx512;
+  else return false;
+  return true;
+}
+
+const ScanKernel& active_scan_kernel() noexcept {
+  static const ScanKernel* const chosen = [] {
+    if (const char* force = std::getenv("FABP_FORCE_ISA")) {
+      // Unknown names and ISAs the host cannot run fall through to
+      // auto-detection — the override is a test hook, not a way to crash.
+      ScanIsa isa;
+      if (scan_isa_from_name(force, isa))
+        if (const ScanKernel* kernel = scan_kernel_for(isa)) return kernel;
+    }
+    for (ScanIsa isa : {ScanIsa::Avx512, ScanIsa::Avx2})
+      if (const ScanKernel* kernel = scan_kernel_for(isa)) return kernel;
+    return scan_kernel_for(ScanIsa::Swar64);  // always present
+  }();
+  return *chosen;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points (all funnel into the active kernel).
+
 void bitscan_range(const BitScanQuery& query,
                    const BitScanReference& reference, std::uint32_t threshold,
                    std::size_t begin, std::size_t end, std::vector<Hit>& out) {
-  const std::size_t qlen = query.size();
-  if (qlen == 0 || reference.size() < qlen) return;
-  const std::size_t positions = reference.size() - qlen + 1;
-  end = std::min(end, positions);
-  if (begin >= end) return;
-  if (threshold > qlen) return;  // scores never exceed the element count
-
-  const unsigned nbits = static_cast<unsigned>(std::bit_width(qlen));
-  std::vector<const std::uint64_t*> planes(qlen);
-  const std::vector<std::uint8_t>& kinds = query.kinds();
-  for (std::size_t i = 0; i < qlen; ++i)
-    planes[i] = reference.plane(kinds[i]);
-
-  for (std::size_t base = begin; base < end; base += 64) {
-    const std::size_t block = std::min<std::size_t>(64, end - base);
-
-    // Accumulate per-position scores in vertical counters: lane j of
-    // counter plane b is bit b of the score at position base + j.
-    std::uint64_t counters[kMaxCounterBits] = {};
-    for (std::size_t i = 0; i < qlen; ++i) {
-      const std::size_t offset = base + i;
-      const std::uint64_t* plane = planes[i];
-      const std::size_t w = offset >> 6;
-      const unsigned s = static_cast<unsigned>(offset & 63);
-      std::uint64_t match = plane[w] >> s;
-      if (s != 0) match |= plane[w + 1] << (64 - s);
-
-      std::uint64_t carry = match;  // ripple-add 1 into every set lane
-      for (unsigned b = 0; carry != 0; ++b) {
-        const std::uint64_t overflow = counters[b] & carry;
-        counters[b] ^= carry;
-        carry = overflow;
-      }
-    }
-
-    // score >= threshold per lane: subtract the broadcast threshold and
-    // keep lanes with no borrow-out.
-    std::uint64_t borrow = 0;
-    for (unsigned b = 0; b < nbits; ++b) {
-      const std::uint64_t tb = ((threshold >> b) & 1u) ? ~0ULL : 0ULL;
-      borrow = (~counters[b] & (tb | borrow)) | (tb & borrow);
-    }
-    std::uint64_t hits = ~borrow;
-    if (block < 64) hits &= (1ULL << block) - 1;
-
-    while (hits != 0) {
-      const unsigned lane = static_cast<unsigned>(std::countr_zero(hits));
-      hits &= hits - 1;
-      std::uint32_t score = 0;
-      for (unsigned b = 0; b < nbits; ++b)
-        score |= static_cast<std::uint32_t>((counters[b] >> lane) & 1u) << b;
-      out.push_back(Hit{base + lane, score});
-    }
-  }
+  active_scan_kernel().range(query, reference, threshold, begin, end, out);
 }
 
 std::vector<Hit> bitscan_hits(const BitScanQuery& query,
@@ -202,6 +197,53 @@ std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
   for (const auto& chunk : chunks)
     hits.insert(hits.end(), chunk.begin(), chunk.end());
   return hits;
+}
+
+std::vector<std::vector<Hit>> bitscan_hits_batch(
+    std::span<const BitScanQuery> queries, const BitScanReference& reference,
+    std::span<const std::uint32_t> thresholds, util::ThreadPool* pool) {
+  if (queries.size() != thresholds.size())
+    throw std::invalid_argument{
+        "bitscan_hits_batch: one threshold per query required"};
+  std::vector<std::vector<Hit>> outs(queries.size());
+  if (queries.empty()) return outs;
+
+  // The shared position range spans the longest-scanning query; each
+  // query is clamped inside the kernel.
+  std::size_t positions = 0;
+  for (const BitScanQuery& query : queries)
+    if (!query.empty() && reference.size() >= query.size())
+      positions =
+          std::max(positions, reference.size() - query.size() + 1);
+  if (positions == 0) return outs;
+
+  const ScanKernel& kernel = active_scan_kernel();
+  if (pool == nullptr) {
+    kernel.range_batch(queries.data(), thresholds.data(), queries.size(),
+                       reference, 0, positions, outs.data());
+    return outs;
+  }
+
+  // Chunk positions over the pool; every chunk scans all queries (block
+  // caching still applies within the chunk), then per-query results are
+  // merged in chunk order — deterministic and identical to the serial
+  // batch, which is itself identical to per-query bitscan_hits.
+  std::vector<std::vector<std::vector<Hit>>> chunks(
+      pool->chunk_count(positions),
+      std::vector<std::vector<Hit>>(queries.size()));
+  pool->parallel_indexed_chunks(
+      0, positions, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        kernel.range_batch(queries.data(), thresholds.data(), queries.size(),
+                           reference, lo, hi, chunks[c].data());
+      });
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks) total += chunk[q].size();
+    outs[q].reserve(total);
+    for (auto& chunk : chunks)
+      outs[q].insert(outs[q].end(), chunk[q].begin(), chunk[q].end());
+  }
+  return outs;
 }
 
 }  // namespace fabp::core

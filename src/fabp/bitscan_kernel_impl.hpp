@@ -1,0 +1,191 @@
+#pragma once
+// Private, ISA-agnostic core of the scan kernels.  Each kernel TU
+// (bitscan_kernels_{swar,avx2,avx512}.cpp) defines a Traits type mapping
+// the vertical-counter algorithm onto its vector substrate and
+// instantiates scan_range_t / scan_batch_t with it.  This header contains
+// no intrinsics, so it compiles identically under every per-TU -m flag
+// set; all type names below are template parameters, which also keeps the
+// instantiations TU-local (no comdat function compiled with AVX flags can
+// be picked by the linker for a baseline caller).
+//
+// Traits contract (V = Traits::Vec holds kWords 64-bit lanes):
+//   static constexpr unsigned kWords;
+//   static V zero();
+//   static V broadcast(std::uint64_t x);          // x in every 64-bit lane
+//   static V load_bits(const std::uint64_t* plane, std::size_t w,
+//                      unsigned s);
+//     // 64*kWords plane bits starting at bit offset 64*w + s, i.e.
+//     // lane k = (plane[w+k] >> s) | (plane[w+k+1] << (64 - s));
+//     // reads plane[w .. w + kWords], which the BitScanReference guard
+//     // words keep in bounds.
+//   static V and_(V, V); or_(V, V); xor_(V, V);
+//   static V andnot(V a, V b);                    // ~a & b
+//   static V not_(V);
+//   static bool any(V);                           // any bit set
+//   static void store(std::uint64_t* dst, V);     // kWords words
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "fabp/core/bitscan.hpp"
+
+namespace fabp::core::detail {
+
+// Vertical counter planes: enough bits for any practical query length
+// (count <= query length, so bit_width(qlen) planes carry it).
+inline constexpr unsigned kMaxCounterBits = 33;
+
+// Accessors for the kernel-registration functions each TU exports; a TU
+// whose ISA is not compiled in returns nullptr.
+const ScanKernel* scalar_kernel() noexcept;
+const ScanKernel* swar64_kernel() noexcept;
+const ScanKernel* avx2_kernel() noexcept;
+const ScanKernel* avx512_kernel() noexcept;
+
+/// Scores one block of 64 * Traits::kWords candidate positions starting at
+/// `base` and appends the `block` leading lanes that reach the threshold.
+template <typename Traits>
+inline void score_block(const std::uint64_t* const* planes, std::size_t qlen,
+                        unsigned nbits, std::uint32_t threshold,
+                        std::size_t base, std::size_t block,
+                        std::vector<Hit>& out) {
+  using V = typename Traits::Vec;
+  constexpr unsigned kW = Traits::kWords;
+
+  // Accumulate per-position scores in vertical counters: lane j of
+  // counter plane b is bit b of the score at position base + j.  Scores
+  // never exceed qlen, so only the first nbits planes are ever touched.
+  V counters[kMaxCounterBits];
+  for (unsigned b = 0; b < nbits; ++b) counters[b] = Traits::zero();
+  for (std::size_t i = 0; i < qlen; ++i) {
+    const std::size_t offset = base + i;
+    V carry = Traits::load_bits(planes[i], offset >> 6,
+                                static_cast<unsigned>(offset & 63));
+    // Ripple-add 1 into every set lane.
+    for (unsigned b = 0; Traits::any(carry); ++b) {
+      const V overflow = Traits::and_(counters[b], carry);
+      counters[b] = Traits::xor_(counters[b], carry);
+      carry = overflow;
+    }
+  }
+
+  // score >= threshold per lane: subtract the broadcast threshold and
+  // keep lanes with no borrow-out.
+  V borrow = Traits::zero();
+  for (unsigned b = 0; b < nbits; ++b) {
+    const V tb =
+        Traits::broadcast(((threshold >> b) & 1u) ? ~0ULL : 0ULL);
+    borrow = Traits::or_(
+        Traits::andnot(counters[b], Traits::or_(tb, borrow)),
+        Traits::and_(tb, borrow));
+  }
+
+  std::uint64_t hit_words[kW];
+  Traits::store(hit_words, Traits::not_(borrow));
+
+  // Materialise Hit records word by word; counters are spilled at most
+  // once per block, and only when some lane actually hit.
+  std::uint64_t counter_words[kMaxCounterBits][kW];
+  bool spilled = false;
+  for (unsigned k = 0; k < kW; ++k) {
+    const std::size_t lane_base = 64ull * k;
+    if (lane_base >= block) break;
+    std::uint64_t hits = hit_words[k];
+    const std::size_t valid = std::min<std::size_t>(64, block - lane_base);
+    if (valid < 64) hits &= (1ULL << valid) - 1;
+    if (hits == 0) continue;
+    if (!spilled) {
+      for (unsigned b = 0; b < nbits; ++b)
+        Traits::store(counter_words[b], counters[b]);
+      spilled = true;
+    }
+    do {
+      const unsigned lane = static_cast<unsigned>(std::countr_zero(hits));
+      hits &= hits - 1;
+      std::uint32_t score = 0;
+      for (unsigned b = 0; b < nbits; ++b)
+        score |= static_cast<std::uint32_t>((counter_words[b][k] >> lane) &
+                                            1u)
+                 << b;
+      out.push_back(Hit{base + lane_base + lane, score});
+    } while (hits != 0);
+  }
+}
+
+/// One query prepared for the block loop: per-element plane pointers plus
+/// the clamped scan bounds.  A query the preamble rejects (empty, longer
+/// than the reference, threshold above qlen) gets end == begin and is
+/// skipped by the loops below.
+struct PreparedQuery {
+  std::vector<const std::uint64_t*> planes;
+  std::size_t qlen = 0;
+  unsigned nbits = 0;
+  std::uint32_t threshold = 0;
+  std::size_t end = 0;  // one past the last position to score
+};
+
+inline PreparedQuery prepare_query(const BitScanQuery& query,
+                                   const BitScanReference& reference,
+                                   std::uint32_t threshold, std::size_t begin,
+                                   std::size_t end) {
+  PreparedQuery p;
+  p.qlen = query.size();
+  p.threshold = threshold;
+  p.end = begin;
+  if (p.qlen == 0 || reference.size() < p.qlen) return p;
+  const std::size_t positions = reference.size() - p.qlen + 1;
+  end = std::min(end, positions);
+  if (begin >= end) return p;
+  if (threshold > p.qlen) return p;  // scores never exceed the element count
+  p.end = end;
+  p.nbits = static_cast<unsigned>(std::bit_width(p.qlen));
+  p.planes.resize(p.qlen);
+  const std::vector<std::uint8_t>& kinds = query.kinds();
+  for (std::size_t i = 0; i < p.qlen; ++i)
+    p.planes[i] = reference.plane(kinds[i]);
+  return p;
+}
+
+template <typename Traits>
+void scan_range_t(const BitScanQuery& query, const BitScanReference& reference,
+                  std::uint32_t threshold, std::size_t begin, std::size_t end,
+                  std::vector<Hit>& out) {
+  const PreparedQuery p = prepare_query(query, reference, threshold, begin,
+                                        end);
+  constexpr std::size_t kLanes = 64ull * Traits::kWords;
+  for (std::size_t base = begin; base < p.end; base += kLanes)
+    score_block<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold, base,
+                        std::min(kLanes, p.end - base), out);
+}
+
+template <typename Traits>
+void scan_batch_t(const BitScanQuery* queries, const std::uint32_t* thresholds,
+                  std::size_t count, const BitScanReference& reference,
+                  std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(count);
+  std::size_t max_end = begin;
+  for (std::size_t q = 0; q < count; ++q) {
+    prepared.push_back(
+        prepare_query(queries[q], reference, thresholds[q], begin, end));
+    max_end = std::max(max_end, prepared.back().end);
+  }
+
+  // One pass over the reference: every query is scored against the block
+  // while its plane words are still hot, instead of re-streaming all
+  // planes per query.  Blocks are aligned to `begin` exactly like the
+  // single-query loop, so each outs[q] matches a solo scan bit for bit.
+  constexpr std::size_t kLanes = 64ull * Traits::kWords;
+  for (std::size_t base = begin; base < max_end; base += kLanes) {
+    for (std::size_t q = 0; q < count; ++q) {
+      const PreparedQuery& p = prepared[q];
+      if (base >= p.end) continue;
+      score_block<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold,
+                          base, std::min(kLanes, p.end - base), outs[q]);
+    }
+  }
+}
+
+}  // namespace fabp::core::detail

@@ -1,0 +1,84 @@
+// AVX2 scan kernel: the vertical-counter block loop at 256 lanes.  This TU
+// is compiled with -mavx2 (see src/fabp/CMakeLists.txt) and must therefore
+// contain nothing the baseline build could link to accidentally — only the
+// Traits instantiation (TU-local via the unique Traits type) and the
+// registration function, which is reached solely through the runtime
+// dispatcher after util::cpu_has_avx2() proves the host can execute it.
+
+#include "bitscan_kernel_impl.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace fabp::core::detail {
+
+namespace {
+
+struct Avx2Traits {
+  using Vec = __m256i;
+  static constexpr unsigned kWords = 4;
+  static Vec zero() noexcept { return _mm256_setzero_si256(); }
+  static Vec broadcast(std::uint64_t x) noexcept {
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+  }
+  static Vec load_bits(const std::uint64_t* plane, std::size_t w,
+                       unsigned s) noexcept {
+    // lane k = (plane[w+k] >> s) | (plane[w+k+1] << (64-s)); VPSLLQ with a
+    // count >= 64 yields 0, so s == 0 needs no branch (unlike the C++
+    // shift in the SWAR kernel).
+    const Vec lo = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(plane + w));
+    const Vec hi = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(plane + w + 1));
+    return _mm256_or_si256(
+        _mm256_srli_epi64(lo, static_cast<int>(s)),
+        _mm256_slli_epi64(hi, static_cast<int>(64 - s)));
+  }
+  static Vec and_(Vec a, Vec b) noexcept { return _mm256_and_si256(a, b); }
+  static Vec or_(Vec a, Vec b) noexcept { return _mm256_or_si256(a, b); }
+  static Vec xor_(Vec a, Vec b) noexcept { return _mm256_xor_si256(a, b); }
+  static Vec andnot(Vec a, Vec b) noexcept {
+    return _mm256_andnot_si256(a, b);  // (~a) & b
+  }
+  static Vec not_(Vec a) noexcept {
+    return _mm256_xor_si256(a, _mm256_set1_epi64x(-1));
+  }
+  static bool any(Vec a) noexcept { return !_mm256_testz_si256(a, a); }
+  static void store(std::uint64_t* dst, Vec v) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst), v);
+  }
+};
+
+void avx2_range(const BitScanQuery& query, const BitScanReference& reference,
+                std::uint32_t threshold, std::size_t begin, std::size_t end,
+                std::vector<Hit>& out) {
+  scan_range_t<Avx2Traits>(query, reference, threshold, begin, end, out);
+}
+
+void avx2_batch(const BitScanQuery* queries, const std::uint32_t* thresholds,
+                std::size_t count, const BitScanReference& reference,
+                std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
+  scan_batch_t<Avx2Traits>(queries, thresholds, count, reference, begin, end,
+                           outs);
+}
+
+}  // namespace
+
+const ScanKernel* avx2_kernel() noexcept {
+  static constexpr ScanKernel kernel{ScanIsa::Avx2, "avx2", 256, &avx2_range,
+                                     &avx2_batch};
+  return &kernel;
+}
+
+}  // namespace fabp::core::detail
+
+#else  // !__AVX2__ — compiler or target cannot emit AVX2: register nothing.
+
+namespace fabp::core::detail {
+
+const ScanKernel* avx2_kernel() noexcept { return nullptr; }
+
+}  // namespace fabp::core::detail
+
+#endif

@@ -1,0 +1,89 @@
+// Portable scan kernels: the 64-lane uint64_t SWAR baseline (always
+// available, and the reference the SIMD TUs must match bit for bit) plus
+// the per-position scalar loop kept reachable for differential testing.
+
+#include "bitscan_kernel_impl.hpp"
+
+namespace fabp::core::detail {
+
+namespace {
+
+struct Swar64Traits {
+  using Vec = std::uint64_t;
+  static constexpr unsigned kWords = 1;
+  static Vec zero() noexcept { return 0; }
+  static Vec broadcast(std::uint64_t x) noexcept { return x; }
+  static Vec load_bits(const std::uint64_t* plane, std::size_t w,
+                       unsigned s) noexcept {
+    std::uint64_t match = plane[w] >> s;
+    if (s != 0) match |= plane[w + 1] << (64 - s);
+    return match;
+  }
+  static Vec and_(Vec a, Vec b) noexcept { return a & b; }
+  static Vec or_(Vec a, Vec b) noexcept { return a | b; }
+  static Vec xor_(Vec a, Vec b) noexcept { return a ^ b; }
+  static Vec andnot(Vec a, Vec b) noexcept { return ~a & b; }
+  static Vec not_(Vec a) noexcept { return ~a; }
+  static bool any(Vec a) noexcept { return a != 0; }
+  static void store(std::uint64_t* dst, Vec v) noexcept { dst[0] = v; }
+};
+
+void swar64_range(const BitScanQuery& query, const BitScanReference& reference,
+                  std::uint32_t threshold, std::size_t begin, std::size_t end,
+                  std::vector<Hit>& out) {
+  scan_range_t<Swar64Traits>(query, reference, threshold, begin, end, out);
+}
+
+void swar64_batch(const BitScanQuery* queries, const std::uint32_t* thresholds,
+                  std::size_t count, const BitScanReference& reference,
+                  std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
+  scan_batch_t<Swar64Traits>(queries, thresholds, count, reference, begin,
+                             end, outs);
+}
+
+// Scalar reference path: one position at a time, one plane-bit test per
+// query element — no vertical counters, no block structure.  Exists so
+// FABP_FORCE_ISA=scalar exercises the dispatch plumbing against the
+// simplest possible evaluation of the same planes.
+void scalar_position_range(const PreparedQuery& p, std::size_t begin,
+                           std::vector<Hit>& out) {
+  for (std::size_t pos = begin; pos < p.end; ++pos) {
+    std::uint32_t score = 0;
+    for (std::size_t i = 0; i < p.qlen; ++i) {
+      const std::size_t offset = pos + i;
+      score += static_cast<std::uint32_t>(
+          (p.planes[i][offset >> 6] >> (offset & 63)) & 1u);
+    }
+    if (score >= p.threshold) out.push_back(Hit{pos, score});
+  }
+}
+
+void scalar_range(const BitScanQuery& query, const BitScanReference& reference,
+                  std::uint32_t threshold, std::size_t begin, std::size_t end,
+                  std::vector<Hit>& out) {
+  scalar_position_range(prepare_query(query, reference, threshold, begin, end),
+                        begin, out);
+}
+
+void scalar_batch(const BitScanQuery* queries, const std::uint32_t* thresholds,
+                  std::size_t count, const BitScanReference& reference,
+                  std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
+  for (std::size_t q = 0; q < count; ++q)
+    scalar_range(queries[q], reference, thresholds[q], begin, end, outs[q]);
+}
+
+}  // namespace
+
+const ScanKernel* swar64_kernel() noexcept {
+  static constexpr ScanKernel kernel{ScanIsa::Swar64, "swar64", 64,
+                                     &swar64_range, &swar64_batch};
+  return &kernel;
+}
+
+const ScanKernel* scalar_kernel() noexcept {
+  static constexpr ScanKernel kernel{ScanIsa::Scalar, "scalar", 1,
+                                     &scalar_range, &scalar_batch};
+  return &kernel;
+}
+
+}  // namespace fabp::core::detail

@@ -16,7 +16,11 @@ void Session::upload_reference(const bio::NucleotideSequence& reference) {
 void Session::upload_reference(bio::PackedNucleotides reference) {
   reference_ = std::move(reference);
   reference_uploaded_ = true;
+  // Drop the compiled bit-planes of the previous reference: a scan after
+  // re-upload must never read stale planes (regression-tested in
+  // tests/core/host_test.cpp).
   bitscan_ready_ = false;
+  bitscan_reverse_ready_ = false;
   reverse_ = bio::PackedNucleotides{};
   if (config_.search_both_strands) {
     // Host-side preparation: the reverse-complement copy the card streams
@@ -29,6 +33,13 @@ void Session::upload_reference(bio::PackedNucleotides reference) {
 
 HostRunReport Session::align(const bio::ProteinSequence& query,
                              std::uint32_t threshold) {
+  return align_impl(query, threshold, nullptr, nullptr);
+}
+
+HostRunReport Session::align_impl(const bio::ProteinSequence& query,
+                                  std::uint32_t threshold,
+                                  const std::vector<Hit>* forward_hits,
+                                  const std::vector<Hit>* reverse_hits_in) {
   if (!reference_uploaded_)
     throw std::logic_error{"Session: no reference uploaded"};
 
@@ -36,11 +47,11 @@ HostRunReport Session::align(const bio::ProteinSequence& query,
   acc_config.threshold = threshold;
   Accelerator accelerator{acc_config};
   accelerator.load_query(query);
-  AcceleratorRun run = accelerator.run(reference_);
+  AcceleratorRun run = accelerator.run(reference_, forward_hits);
 
   std::vector<Hit> reverse_hits;
   if (config_.search_both_strands) {
-    AcceleratorRun rc_run = accelerator.run(reverse_);
+    AcceleratorRun rc_run = accelerator.run(reverse_, reverse_hits_in);
     // Map RC positions back to forward coordinates of the window start.
     const std::size_t lr = reference_.size();
     const std::size_t lq = accelerator.encoded_query().size();
@@ -75,10 +86,38 @@ Session::BatchReport Session::align_batch(
     double threshold_fraction) {
   BatchReport batch;
   batch.per_query.reserve(queries.size());
-  for (const bio::ProteinSequence& query : queries) {
-    const auto threshold = static_cast<std::uint32_t>(
-        threshold_fraction * static_cast<double>(query.size() * 3));
-    HostRunReport report = align(query, threshold);
+  if (queries.empty()) return batch;
+  if (!reference_uploaded_)
+    throw std::logic_error{"Session: no reference uploaded"};
+
+  std::vector<std::uint32_t> thresholds;
+  thresholds.reserve(queries.size());
+  for (const bio::ProteinSequence& query : queries)
+    thresholds.push_back(static_cast<std::uint32_t>(
+        threshold_fraction * static_cast<double>(query.size() * 3)));
+
+  // One multi-query pass over the cached reference planes produces every
+  // hit list up front (each block of plane words is scored against the
+  // whole batch while hot in cache); the per-query runs below then reduce
+  // to cycle/energy accounting.  The queries are compiled from their
+  // *encoded* form so the hits match what Accelerator::run would compute
+  // bit for bit.  The LUT oracle path keeps its own evaluation.
+  std::vector<std::vector<Hit>> forward, reverse;
+  const bool precompute = !config_.accelerator.use_lut_path;
+  if (precompute) {
+    std::vector<BitScanQuery> compiled;
+    compiled.reserve(queries.size());
+    for (const bio::ProteinSequence& query : queries)
+      compiled.emplace_back(encode_query(query));
+    forward = bitscan_hits_batch(compiled, forward_planes(), thresholds);
+    if (config_.search_both_strands)
+      reverse = bitscan_hits_batch(compiled, reverse_planes(), thresholds);
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    HostRunReport report = align_impl(
+        queries[i], thresholds[i], precompute ? &forward[i] : nullptr,
+        precompute && config_.search_both_strands ? &reverse[i] : nullptr);
     batch.total_s += report.total_s;
     batch.total_joules += report.joules;
     batch.total_hits += report.hits.size();
@@ -96,14 +135,38 @@ std::vector<Hit> Session::software_hits(const bio::ProteinSequence& query,
                                         util::ThreadPool* pool) {
   if (!reference_uploaded_)
     throw std::logic_error{"Session: no reference uploaded"};
+  const BitScanReference& planes = forward_planes();
+  const BitScanQuery compiled{back_translate(query)};
+  return pool ? bitscan_hits_parallel(compiled, planes, threshold, *pool)
+              : bitscan_hits(compiled, planes, threshold);
+}
+
+std::vector<std::vector<Hit>> Session::software_hits_batch(
+    std::span<const bio::ProteinSequence> queries,
+    std::span<const std::uint32_t> thresholds, util::ThreadPool* pool) {
+  if (!reference_uploaded_)
+    throw std::logic_error{"Session: no reference uploaded"};
+  std::vector<BitScanQuery> compiled;
+  compiled.reserve(queries.size());
+  for (const bio::ProteinSequence& query : queries)
+    compiled.emplace_back(back_translate(query));
+  return bitscan_hits_batch(compiled, forward_planes(), thresholds, pool);
+}
+
+const BitScanReference& Session::forward_planes() {
   if (!bitscan_ready_) {
     bitscan_reference_ = BitScanReference{reference_};
     bitscan_ready_ = true;
   }
-  const BitScanQuery compiled{back_translate(query)};
-  return pool ? bitscan_hits_parallel(compiled, bitscan_reference_,
-                                      threshold, *pool)
-              : bitscan_hits(compiled, bitscan_reference_, threshold);
+  return bitscan_reference_;
+}
+
+const BitScanReference& Session::reverse_planes() {
+  if (!bitscan_reverse_ready_) {
+    bitscan_reverse_ = BitScanReference{reverse_};
+    bitscan_reverse_ready_ = true;
+  }
+  return bitscan_reverse_;
 }
 
 HostRunReport Session::finish(const bio::ProteinSequence& query,

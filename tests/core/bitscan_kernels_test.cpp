@@ -1,0 +1,264 @@
+// Differential coverage of the ISA-dispatched scan kernels: every kernel
+// reachable on the host (scalar, swar64 and — CPU permitting — avx2,
+// avx512) must produce output bit-for-bit identical to the golden scalar
+// oracle on the same inputs, for single-query ranges and for multi-query
+// batches, including block-boundary, guard-word and size < 64 edge cases.
+// tools/check.sh additionally runs the whole suite under
+// FABP_FORCE_ISA=swar64 so the env-override dispatch path is exercised
+// end to end.
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/bitscan.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+
+std::vector<BackElement> random_elements(std::size_t n,
+                                         util::Xoshiro256& rng) {
+  std::vector<BackElement> q;
+  q.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.next() % 3) {
+      case 0:
+        q.push_back(BackElement::make_exact(bio::nucleotide_from_code(
+            static_cast<std::uint8_t>(rng.next() % 4))));
+        break;
+      case 1:
+        q.push_back(BackElement::make_conditional(
+            static_cast<Condition>(rng.next() % 4)));
+        break;
+      default:
+        q.push_back(BackElement::make_dependent(
+            static_cast<Function>(rng.next() % 4)));
+        break;
+    }
+  }
+  return q;
+}
+
+std::vector<const ScanKernel*> reachable_kernels() {
+  std::vector<const ScanKernel*> kernels;
+  for (ScanIsa isa : kAllScanIsas)
+    if (const ScanKernel* kernel = scan_kernel_for(isa))
+      kernels.push_back(kernel);
+  return kernels;
+}
+
+std::vector<Hit> kernel_hits(const ScanKernel& kernel,
+                             const BitScanQuery& query,
+                             const BitScanReference& reference,
+                             std::uint32_t threshold) {
+  std::vector<Hit> hits;
+  if (query.empty() || reference.size() < query.size()) return hits;
+  kernel.range(query, reference, threshold, 0,
+               reference.size() - query.size() + 1, hits);
+  return hits;
+}
+
+TEST(ScanKernels, PortableKernelsAlwaysReachable) {
+  EXPECT_NE(scan_kernel_for(ScanIsa::Scalar), nullptr);
+  EXPECT_NE(scan_kernel_for(ScanIsa::Swar64), nullptr);
+}
+
+TEST(ScanKernels, IsaNamesParse) {
+  ScanIsa isa;
+  EXPECT_TRUE(scan_isa_from_name("scalar", isa));
+  EXPECT_EQ(isa, ScanIsa::Scalar);
+  EXPECT_TRUE(scan_isa_from_name("swar64", isa));
+  EXPECT_EQ(isa, ScanIsa::Swar64);
+  EXPECT_TRUE(scan_isa_from_name("avx2", isa));
+  EXPECT_EQ(isa, ScanIsa::Avx2);
+  EXPECT_TRUE(scan_isa_from_name("avx512", isa));
+  EXPECT_EQ(isa, ScanIsa::Avx512);
+  EXPECT_FALSE(scan_isa_from_name("sse9", isa));
+  EXPECT_FALSE(scan_isa_from_name("", isa));
+}
+
+TEST(ScanKernels, ActiveKernelIsReachable) {
+  const ScanKernel& active = active_scan_kernel();
+  EXPECT_EQ(scan_kernel_for(active.isa), &active);
+  EXPECT_GE(active.lanes, 1u);
+}
+
+TEST(ScanKernels, EveryKernelMatchesGoldenOnRandomCases) {
+  util::Xoshiro256 rng{307};
+  const auto kernels = reachable_kernels();
+  ASSERT_GE(kernels.size(), 2u);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto query = random_elements(1 + rng.next() % 40, rng);
+    const NucleotideSequence ref =
+        bio::random_dna(query.size() + rng.next() % 1500, rng);
+    const BitScanQuery compiled{query};
+    const BitScanReference reference{ref};
+    for (std::uint32_t t :
+         {0u, static_cast<std::uint32_t>(query.size() / 2),
+          static_cast<std::uint32_t>(query.size())}) {
+      const auto golden = golden_hits(query, ref, t);
+      for (const ScanKernel* kernel : kernels)
+        EXPECT_EQ(kernel_hits(*kernel, compiled, reference, t), golden)
+            << kernel->name << " trial=" << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(ScanKernels, BlockBoundaryAndGuardWordSizes) {
+  // Reference sizes straddling every kernel's block width (64, 256, 512)
+  // and the word boundaries where the guard-word padding is what keeps
+  // the trailing unaligned fetches in bounds.
+  util::Xoshiro256 rng{311};
+  const auto kernels = reachable_kernels();
+  const auto query = random_elements(12, rng);
+  for (std::size_t size :
+       {12u, 13u, 63u, 64u, 65u, 75u, 127u, 128u, 129u, 255u, 256u, 257u,
+        320u, 511u, 512u, 513u, 575u, 576u, 1023u, 1024u, 1025u}) {
+    const NucleotideSequence ref = bio::random_dna(size, rng);
+    const BitScanQuery compiled{query};
+    const BitScanReference reference{ref};
+    for (std::uint32_t t : {0u, 6u, 12u}) {
+      const auto golden = golden_hits(query, ref, t);
+      for (const ScanKernel* kernel : kernels)
+        EXPECT_EQ(kernel_hits(*kernel, compiled, reference, t), golden)
+            << kernel->name << " size=" << size << " t=" << t;
+    }
+  }
+}
+
+TEST(ScanKernels, TinyReferencesUnderOneWord) {
+  // size < 64: a single partial block for every kernel.
+  util::Xoshiro256 rng{313};
+  for (std::size_t qlen : {1u, 2u, 5u}) {
+    const auto query = random_elements(qlen, rng);
+    for (std::size_t size = qlen; size < 64; size += 7) {
+      const NucleotideSequence ref = bio::random_dna(size, rng);
+      const BitScanQuery compiled{query};
+      const BitScanReference reference{ref};
+      for (std::uint32_t t : {0u, static_cast<std::uint32_t>(qlen)}) {
+        const auto golden = golden_hits(query, ref, t);
+        for (const ScanKernel* kernel : reachable_kernels())
+          EXPECT_EQ(kernel_hits(*kernel, compiled, reference, t), golden)
+              << kernel->name << " qlen=" << qlen << " size=" << size
+              << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ScanKernels, RangeSplitsAgreeAcrossKernels) {
+  // Chunked scans (the threaded path) must stitch identically whatever
+  // the kernel's block width — splits land mid-block for the wide ones.
+  util::Xoshiro256 rng{317};
+  const auto query = random_elements(10, rng);
+  const NucleotideSequence ref = bio::random_dna(1400, rng);
+  const BitScanQuery compiled{query};
+  const BitScanReference reference{ref};
+  const auto golden = golden_hits(query, ref, 5);
+  const std::size_t positions = ref.size() - query.size() + 1;
+  for (const ScanKernel* kernel : reachable_kernels()) {
+    for (std::size_t split : {1u, 63u, 64u, 255u, 257u, 512u, 700u}) {
+      std::vector<Hit> stitched;
+      kernel->range(compiled, reference, 5, 0, split, stitched);
+      kernel->range(compiled, reference, 5, split, positions, stitched);
+      EXPECT_EQ(stitched, golden) << kernel->name << " split=" << split;
+    }
+  }
+}
+
+TEST(ScanKernels, BatchMatchesPerQueryScans) {
+  util::Xoshiro256 rng{331};
+  const auto kernels = reachable_kernels();
+  const NucleotideSequence ref = bio::random_dna(3000, rng);
+  const BitScanReference reference{ref};
+
+  std::vector<BitScanQuery> queries;
+  std::vector<std::uint32_t> thresholds;
+  std::vector<std::vector<BackElement>> raw;
+  for (std::size_t q = 0; q < 9; ++q) {
+    raw.push_back(random_elements(1 + rng.next() % 50, rng));
+    queries.emplace_back(raw.back());
+    thresholds.push_back(
+        static_cast<std::uint32_t>(rng.next() % (raw.back().size() + 2)));
+  }
+
+  for (const ScanKernel* kernel : kernels) {
+    std::vector<std::vector<Hit>> outs(queries.size());
+    kernel->range_batch(queries.data(), thresholds.data(), queries.size(),
+                        reference, 0, ref.size(), outs.data());
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      EXPECT_EQ(outs[q], golden_hits(raw[q], ref, thresholds[q]))
+          << kernel->name << " q=" << q;
+  }
+}
+
+TEST(ScanKernels, BatchDispatchSerialAndPooledAreIdentical) {
+  util::Xoshiro256 rng{337};
+  const NucleotideSequence ref = bio::random_dna(4000, rng);
+  const BitScanReference reference{ref};
+
+  std::vector<BitScanQuery> queries;
+  std::vector<std::uint32_t> thresholds;
+  std::vector<std::vector<Hit>> expected;
+  for (std::size_t q = 0; q < 8; ++q) {
+    const ProteinSequence protein =
+        bio::random_protein(4 + rng.next() % 25, rng);
+    const auto elements = back_translate(protein);
+    const auto threshold =
+        static_cast<std::uint32_t>(elements.size() * 3 / 4);
+    queries.emplace_back(elements);
+    thresholds.push_back(threshold);
+    expected.push_back(bitscan_hits(queries.back(), reference, threshold));
+  }
+
+  EXPECT_EQ(bitscan_hits_batch(queries, reference, thresholds), expected);
+  for (std::size_t threads : {1u, 2u, 5u}) {
+    util::ThreadPool pool{threads};
+    EXPECT_EQ(bitscan_hits_batch(queries, reference, thresholds, &pool),
+              expected)
+        << threads;
+  }
+}
+
+TEST(ScanKernels, BatchHandlesDegenerateQueries) {
+  util::Xoshiro256 rng{347};
+  const NucleotideSequence ref = bio::random_dna(200, rng);
+  const BitScanReference reference{ref};
+
+  const auto longq = random_elements(ref.size() + 10, rng);  // > reference
+  const auto shortq = random_elements(8, rng);
+  std::vector<BitScanQuery> queries;
+  queries.emplace_back();        // empty query
+  queries.emplace_back(longq);   // longer than the reference
+  queries.emplace_back(shortq);  // threshold above qlen (below)
+  queries.emplace_back(shortq);  // normal
+  const std::vector<std::uint32_t> thresholds{0, 0, 9, 4};
+
+  const auto outs = bitscan_hits_batch(queries, reference, thresholds);
+  ASSERT_EQ(outs.size(), 4u);
+  EXPECT_TRUE(outs[0].empty());
+  EXPECT_TRUE(outs[1].empty());
+  EXPECT_TRUE(outs[2].empty());
+  EXPECT_EQ(outs[3], golden_hits(shortq, ref, 4));
+
+  EXPECT_THROW(
+      bitscan_hits_batch(queries, reference,
+                         std::vector<std::uint32_t>{0, 0}),
+      std::invalid_argument);
+  EXPECT_TRUE(bitscan_hits_batch({}, reference, {}).empty());
+}
+
+TEST(ScanKernels, WideKernelsImplyCpuSupport) {
+  // scan_kernel_for must never hand out a kernel the host cannot run.
+  if (const ScanKernel* kernel = scan_kernel_for(ScanIsa::Avx2)) {
+    EXPECT_EQ(kernel->lanes, 256u);
+  }
+  if (const ScanKernel* kernel = scan_kernel_for(ScanIsa::Avx512)) {
+    EXPECT_EQ(kernel->lanes, 512u);
+  }
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -115,6 +115,90 @@ TEST(Session, BatchAlignsEveryQuery) {
   EXPECT_NEAR(batch.total_s, sum, 1e-12);
 }
 
+TEST(Session, BatchIdenticalToPerQueryAligns) {
+  // align_batch precomputes every hit list in one pass over the cached
+  // reference planes; the reports must nonetheless be exactly what
+  // per-query align() produces — hits, order, and timing model included.
+  util::Xoshiro256 rng{194};
+  for (bool both_strands : {false, true}) {
+    HostConfig config;
+    config.search_both_strands = both_strands;
+    Session session{config};
+    session.upload_reference(bio::random_dna(6000, rng));
+    std::vector<ProteinSequence> queries;
+    for (int q = 0; q < 5; ++q)
+      queries.push_back(bio::random_protein(8 + rng.next() % 30, rng));
+
+    const double fraction = 0.7;
+    const Session::BatchReport batch = session.align_batch(queries, fraction);
+    ASSERT_EQ(batch.per_query.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const auto threshold = static_cast<std::uint32_t>(
+          fraction * static_cast<double>(queries[q].size() * 3));
+      const HostRunReport solo = session.align(queries[q], threshold);
+      EXPECT_EQ(batch.per_query[q].hits, solo.hits) << q;
+      EXPECT_EQ(batch.per_query[q].reverse_hits, solo.reverse_hits) << q;
+      EXPECT_EQ(batch.per_query[q].total_s, solo.total_s) << q;
+      EXPECT_EQ(batch.per_query[q].joules, solo.joules) << q;
+    }
+  }
+}
+
+TEST(Session, SoftwareHitsBatchMatchesPerQuery) {
+  util::Xoshiro256 rng{195};
+  Session session;
+  session.upload_reference(bio::random_dna(5000, rng));
+  std::vector<ProteinSequence> queries;
+  std::vector<std::uint32_t> thresholds;
+  for (int q = 0; q < 6; ++q) {
+    queries.push_back(bio::random_protein(5 + rng.next() % 25, rng));
+    thresholds.push_back(
+        static_cast<std::uint32_t>(queries.back().size() * 2));
+  }
+  const auto batch = session.software_hits_batch(queries, thresholds);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    EXPECT_EQ(batch[q], session.software_hits(queries[q], thresholds[q]))
+        << q;
+
+  util::ThreadPool pool{3};
+  EXPECT_EQ(session.software_hits_batch(queries, thresholds, &pool), batch);
+}
+
+TEST(Session, ReuploadInvalidatesBitscanPlanes) {
+  // Regression: software scans after a re-upload must see the new
+  // reference, never the stale compiled planes of the old one.
+  util::Xoshiro256 rng{196};
+  const ProteinSequence protein = bio::random_protein(15, rng);
+  const auto elements = back_translate(protein);
+  const NucleotideSequence ref_a = bio::random_dna(3000, rng);
+  NucleotideSequence ref_b = bio::random_dna(3000, rng);
+  // Plant the gene only in B so the hit lists provably differ.
+  const NucleotideSequence coding = random_template_coding(protein, rng);
+  for (std::size_t i = 0; i < coding.size(); ++i) ref_b[500 + i] = coding[i];
+  const auto threshold = static_cast<std::uint32_t>(elements.size());
+
+  Session session;
+  session.upload_reference(ref_a);
+  const auto hits_a = session.software_hits(protein, threshold);
+  session.upload_reference(ref_b);
+  const auto hits_b = session.software_hits(protein, threshold);
+
+  EXPECT_NE(hits_a, hits_b);
+  EXPECT_EQ(hits_a, golden_hits(elements, ref_a, threshold));
+  EXPECT_EQ(hits_b, golden_hits(elements, ref_b, threshold));
+  bool planted_found = false;
+  for (const Hit& h : hits_b)
+    if (h.position == 500 && h.score == threshold) planted_found = true;
+  EXPECT_TRUE(planted_found);
+
+  // align() goes through Accelerator and compiles planes per run, but the
+  // batch path reuses the session caches — check it too.
+  const auto batch = session.align_batch(std::vector{protein}, 1.0);
+  ASSERT_EQ(batch.per_query.size(), 1u);
+  EXPECT_EQ(batch.per_query[0].hits, hits_b);
+}
+
 TEST(Session, BothStrandsFindsReverseGene) {
   util::Xoshiro256 rng{199};
   const ProteinSequence protein = bio::random_protein(25, rng);

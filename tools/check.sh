@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command tier-1 verification, twice over:
+#
+#   1. default Release build + full ctest — exercises the runtime-dispatched
+#      scan kernel (the widest ISA this machine supports), and
+#   2. an AddressSanitizer build run with FABP_FORCE_ISA=swar64 — sanitizer
+#      coverage over the portable fallback kernel and the env-override
+#      dispatch path.
+#
+# Usage: tools/check.sh   (from anywhere; builds into build/ and build-asan/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "== check.sh: default build =="
+cmake -B build -S .
+cmake --build build -j"$jobs"
+ctest --test-dir build --output-on-failure -j"$jobs"
+
+echo "== check.sh: asan build, FABP_FORCE_ISA=swar64 =="
+cmake -B build-asan -S . -DFABP_SANITIZE=address
+cmake --build build-asan -j"$jobs"
+FABP_FORCE_ISA=swar64 ctest --test-dir build-asan --output-on-failure -j"$jobs"
+
+echo "== check.sh: all green (default + asan/swar64) =="
