@@ -9,13 +9,18 @@
 // speedups without scraping text.
 //
 //   bench_bitscan [bases] [query_residues] [reps] [json_path]
-//                 [batch_bases] [batch_residues]
+//                 [batch_bases] [batch_residues] [tiled_bases]
 //
 // Defaults: 4,000,000 bases, 20 residues, best-of-3, BENCH_bitscan.json.
 // The batch sweep defaults to its own 48 Mbp x 6 aa configuration: plane
 // amortisation pays off in the memory-bound regime (reference planes much
 // larger than L2, thin per-block compute), which a 4 Mbp reference on a
-// big-L3 server never enters.
+// big-L3 server never enters.  The tiled section defaults to a cold
+// 256 Mbp reference — large enough that the precompiled path's
+// whole-reference plane build and ~1.5 B/base re-stream are both far out
+// of cache, the regime the tile-fused path exists for.
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <cstdlib>
@@ -27,6 +32,7 @@
 
 #include "fabp/bio/generate.hpp"
 #include "fabp/core/bitscan.hpp"
+#include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/golden.hpp"
 #include "fabp/util/cpuid.hpp"
 #include "fabp/util/table.hpp"
@@ -54,6 +60,32 @@ struct BatchResult {
   double batch_speedup;  // sequential_s / batched_s
 };
 
+struct ThreadSweepResult {
+  std::size_t threads;  // actual pool width, not the request
+  double seconds;
+  double speedup_vs_1t;
+};
+
+struct TileSweepResult {
+  std::size_t tile_positions;
+  std::size_t scratch_bytes;
+  double seconds;
+};
+
+struct TiledSection {
+  std::size_t reference_bases = 0;
+  std::size_t tile_positions = 0;
+  std::size_t scratch_bytes = 0;
+  double cold_tiled_s = 0.0;          // fused compile+scan, nothing reused
+  double cold_planes_compile_s = 0.0; // BitScanReference build
+  double cold_planes_scan_s = 0.0;    // scan of the prebuilt planes
+  double fused_speedup = 0.0;         // (compile+scan) / tiled
+  long tiled_rss_delta_kb = 0;        // peak-RSS growth during tiled scan
+  long planes_rss_delta_kb = 0;       // peak-RSS growth during plane build
+  std::vector<ThreadSweepResult> thread_sweep;
+  std::vector<TileSweepResult> tile_sweep;
+};
+
 // Best-of-`reps` wall time; the result of the last repetition is kept so
 // the harness can cross-check the engines against each other.
 template <typename Out, typename Fn>
@@ -68,12 +100,19 @@ double best_of(int reps, Out& out, Fn&& fn) {
   return best;
 }
 
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
 void write_json(const std::string& path, std::size_t bases,
                 std::size_t residues, std::size_t elements,
                 std::uint32_t threshold, int reps, std::size_t batch_bases,
                 std::size_t batch_residues,
                 const std::vector<EngineResult>& results,
-                const std::vector<BatchResult>& batches) {
+                const std::vector<BatchResult>& batches,
+                const TiledSection& tiled) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"bitscan\",\n"
@@ -110,7 +149,38 @@ void write_json(const std::string& path, std::size_t bases,
        << ", \"batch_speedup\": " << b.batch_speedup << "}"
        << (i + 1 < batches.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n"
+     << "  \"tiled\": {\n"
+     << "    \"reference_bases\": " << tiled.reference_bases << ",\n"
+     << "    \"tile_positions\": " << tiled.tile_positions << ",\n"
+     << "    \"scratch_bytes\": " << tiled.scratch_bytes << ",\n"
+     << "    \"cold_tiled_seconds\": " << tiled.cold_tiled_s << ",\n"
+     << "    \"cold_planes_compile_seconds\": "
+     << tiled.cold_planes_compile_s << ",\n"
+     << "    \"cold_planes_scan_seconds\": " << tiled.cold_planes_scan_s
+     << ",\n"
+     << "    \"fused_speedup_vs_planes\": " << tiled.fused_speedup << ",\n"
+     << "    \"tiled_rss_delta_kb\": " << tiled.tiled_rss_delta_kb << ",\n"
+     << "    \"planes_rss_delta_kb\": " << tiled.planes_rss_delta_kb
+     << ",\n"
+     << "    \"thread_sweep\": [\n";
+  for (std::size_t i = 0; i < tiled.thread_sweep.size(); ++i) {
+    const ThreadSweepResult& t = tiled.thread_sweep[i];
+    os << "      {\"threads\": " << t.threads << ", \"seconds\": "
+       << t.seconds << ", \"speedup_vs_1t\": " << t.speedup_vs_1t << "}"
+       << (i + 1 < tiled.thread_sweep.size() ? "," : "") << "\n";
+  }
+  os << "    ],\n"
+     << "    \"tile_sweep\": [\n";
+  for (std::size_t i = 0; i < tiled.tile_sweep.size(); ++i) {
+    const TileSweepResult& t = tiled.tile_sweep[i];
+    os << "      {\"tile_positions\": " << t.tile_positions
+       << ", \"scratch_bytes\": " << t.scratch_bytes << ", \"seconds\": "
+       << t.seconds << "}"
+       << (i + 1 < tiled.tile_sweep.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n"
+     << "  }\n}\n";
 }
 
 }  // namespace
@@ -128,6 +198,8 @@ int main(int argc, char** argv) {
       argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 48'000'000;
   const std::size_t batch_residues =
       argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 6;
+  const std::size_t tiled_bases =
+      argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 256'000'000;
 
   util::Xoshiro256 rng{424242};
   const bio::ProteinSequence protein = bio::random_protein(residues, rng);
@@ -285,6 +357,139 @@ int main(int argc, char** argv) {
   }
   batch_table.print(std::cout);
 
+  // ------------------------------------------------------------------
+  // Tile-fused compile+scan vs the precompiled-plane path, cold: one
+  // query arrives against a reference nothing has been built for yet.
+  // The planes path must first compile 12 whole-reference planes
+  // (~1.5 B/base written, then re-streamed by the scan); the tiled path
+  // streams the 0.25 B/base packed words once, compiling and scoring one
+  // L2-resident tile at a time.  Peak-RSS deltas make the footprint gap
+  // visible: the tiled scan's working set is per-thread scratch only.
+  TiledSection tiled;
+  {
+    bio::NucleotideSequence tiled_reference =
+        bio::random_dna(tiled_bases, rng);
+    for (std::size_t g = 1;
+         g <= 8 && tiled_reference.size() >= 3 * residues; ++g) {
+      const auto coding = core::random_template_coding(protein, rng);
+      const std::size_t at = g * (tiled_bases / 9);
+      for (std::size_t i = 0; i < coding.size(); ++i)
+        tiled_reference[at + i] = coding[i];
+    }
+    const bio::PackedNucleotides tiled_packed{tiled_reference};
+    tiled_reference = bio::NucleotideSequence{};  // keep only 0.25 B/base
+
+    const core::TileScanner scanner{tiled_packed};
+    tiled.reference_bases = tiled_bases;
+    tiled.tile_positions = scanner.tile_positions();
+    tiled.scratch_bytes = scanner.scratch_bytes(elements.size());
+
+    std::cout << "\n  tile-fused vs precompiled planes, cold "
+              << tiled_bases / 1'000'000 << " Mbp x " << residues
+              << " aa (tile " << tiled.tile_positions << " positions, "
+              << tiled.scratch_bytes / 1024 << " KiB scratch/thread)\n\n";
+
+    const long rss_0 = peak_rss_kb();
+    std::vector<core::Hit> tiled_hits;
+    {
+      util::Timer timer;
+      tiled_hits = scanner.hits(compiled_query, threshold);
+      tiled.cold_tiled_s = timer.seconds();
+    }
+    tiled.tiled_rss_delta_kb = peak_rss_kb() - rss_0;
+
+    // Thread sweep over the tiled path (whole-tile chunks, deterministic
+    // merge).  Records the pool's actual width; on a machine with fewer
+    // cores the wider pools time-share, so the win saturates at the core
+    // count — the row still proves pooling never costs throughput.
+    for (std::size_t request : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      util::ThreadPool sweep_pool{request};
+      std::vector<core::Hit> pooled;
+      const double s = best_of(reps, pooled, [&] {
+        return scanner.hits(compiled_query, threshold, &sweep_pool);
+      });
+      mismatch |= pooled != tiled_hits;
+      tiled.thread_sweep.push_back(
+          {sweep_pool.size(), s,
+           tiled.thread_sweep.empty()
+               ? 1.0
+               : tiled.thread_sweep.front().seconds / s});
+    }
+
+    // Tile-size sweep: too small re-pays per-tile entry/exit overhead,
+    // too large spills the compiled planes out of L2 and the fused path
+    // degenerates toward the precompiled path's traffic pattern.
+    for (std::size_t tile : {std::size_t{32} * 1024, std::size_t{128} * 1024,
+                             std::size_t{512} * 1024,
+                             std::size_t{2048} * 1024}) {
+      const core::TileScanner swept{tiled_packed, {.tile_positions = tile}};
+      std::vector<core::Hit> hits;
+      const double s = best_of(reps, hits, [&] {
+        return swept.hits(compiled_query, threshold);
+      });
+      mismatch |= hits != tiled_hits;
+      tiled.tile_sweep.push_back(
+          {swept.tile_positions(), swept.scratch_bytes(elements.size()), s});
+    }
+
+    // Cold precompiled path: whole-reference plane build, then the scan.
+    const long rss_1 = peak_rss_kb();
+    std::vector<core::Hit> plane_path_hits;
+    {
+      util::Timer compile;
+      const core::BitScanReference planes{tiled_packed};
+      tiled.cold_planes_compile_s = compile.seconds();
+      tiled.planes_rss_delta_kb = peak_rss_kb() - rss_1;
+      util::Timer scan;
+      core::bitscan_range(compiled_query, planes, threshold, 0,
+                          tiled_packed.size() - elements.size() + 1,
+                          plane_path_hits);
+      tiled.cold_planes_scan_s = scan.seconds();
+    }
+    mismatch |= plane_path_hits != tiled_hits;
+    tiled.fused_speedup =
+        (tiled.cold_planes_compile_s + tiled.cold_planes_scan_s) /
+        tiled.cold_tiled_s;
+
+    util::Table tiled_table{{"path", "compile", "scan", "total", "speedup",
+                             "peak-RSS delta"}};
+    tiled_table.row()
+        .cell("planes (precompiled)")
+        .cell(util::time_text(tiled.cold_planes_compile_s))
+        .cell(util::time_text(tiled.cold_planes_scan_s))
+        .cell(util::time_text(tiled.cold_planes_compile_s +
+                              tiled.cold_planes_scan_s))
+        .cell(util::ratio_text(1.0))
+        .cell(std::to_string(tiled.planes_rss_delta_kb / 1024) + " MiB");
+    tiled_table.row()
+        .cell("tiled (fused)")
+        .cell("-")
+        .cell(util::time_text(tiled.cold_tiled_s))
+        .cell(util::time_text(tiled.cold_tiled_s))
+        .cell(util::ratio_text(tiled.fused_speedup))
+        .cell(std::to_string(tiled.tiled_rss_delta_kb / 1024) + " MiB");
+    tiled_table.print(std::cout);
+
+    std::cout << "\n";
+    util::Table sweep_table{{"tiled threads", "time", "speedup vs 1T"}};
+    for (const ThreadSweepResult& t : tiled.thread_sweep)
+      sweep_table.row()
+          .cell(t.threads)
+          .cell(util::time_text(t.seconds))
+          .cell(util::ratio_text(t.speedup_vs_1t));
+    sweep_table.print(std::cout);
+
+    std::cout << "\n";
+    util::Table tile_table{{"tile positions", "scratch/thread", "time"}};
+    for (const TileSweepResult& t : tiled.tile_sweep)
+      tile_table.row()
+          .cell(t.tile_positions)
+          .cell(std::to_string(t.scratch_bytes / 1024) + " KiB")
+          .cell(util::time_text(t.seconds));
+    tile_table.print(std::cout);
+  }
+
   if (mismatch) {
     std::cerr << "ENGINE MISMATCH: some kernel differs from the scalar"
                  " oracle\n";
@@ -293,7 +498,7 @@ int main(int argc, char** argv) {
   std::cout << "\n  hit lists identical across all engines and batches.\n";
 
   write_json(json_path, bases, residues, elements.size(), threshold, reps,
-             batch_bases, batch_residues, results, batches);
+             batch_bases, batch_residues, results, batches, tiled);
   std::cout << "  wrote " << json_path << "\n";
   return 0;
 }

@@ -49,6 +49,28 @@ inline constexpr std::size_t kElementKindCount = 12;
 /// ever produces for Type III).
 std::size_t element_kind(const BackElement& element) noexcept;
 
+/// Zero guard words every compiled plane carries past its last data word:
+/// the widest kernel (AVX-512, 8 words per vector) fetches
+/// plane[w .. w + 8] for w up to the last data word, so 8 guard words keep
+/// every unaligned fetch in bounds.
+inline constexpr std::size_t kScanGuardWords = 8;
+
+/// Non-owning view of the 12 compiled element-kind planes the scan kernels
+/// consume: bit j of planes[kind] answers "does an element of `kind` match
+/// at position j", for j in [0, size).  Each plane must stay readable for
+/// kScanGuardWords words past its last data word.  A BitScanReference
+/// converts implicitly; the tiled scanner builds views over per-tile
+/// scratch buffers instead, which is what lets one kernel implementation
+/// serve both the precompiled and the tile-fused paths.
+struct PlaneView {
+  std::array<const std::uint64_t*, kElementKindCount> planes{};
+  std::size_t size = 0;  // positions described by the planes
+
+  const std::uint64_t* plane(std::size_t kind) const noexcept {
+    return planes[kind];
+  }
+};
+
 /// A reference compiled for bit-sliced scanning: one match bitplane per
 /// element kind, padded with zero guard words sized for the widest kernel's
 /// unaligned fetches (an AVX-512 fetch reads up to 8 words past the last
@@ -70,6 +92,16 @@ class BitScanReference {
   const std::uint64_t* plane(std::size_t kind) const noexcept {
     return planes_[kind].data();
   }
+
+  /// The kernels' view of the compiled planes.
+  PlaneView view() const noexcept {
+    PlaneView v;
+    for (std::size_t k = 0; k < kElementKindCount; ++k)
+      v.planes[k] = planes_[k].data();
+    v.size = size_;
+    return v;
+  }
+  operator PlaneView() const noexcept { return view(); }  // NOLINT(google-explicit-constructor)
 
  private:
   std::size_t size_ = 0;
@@ -137,8 +169,11 @@ inline constexpr std::array<ScanIsa, kScanIsaCount> kAllScanIsas{
 
 /// One scan implementation: the per-block inner loop (plane fetch → SWAR
 /// counter add → borrow-propagate threshold compare) at a fixed lane
-/// width, plus its multi-query batch form.  All kernels produce output
-/// bit-for-bit identical to golden_hits (contents and order).
+/// width, plus its multi-query batch form.  Kernels operate on a PlaneView
+/// (a BitScanReference converts implicitly), so the same instantiation
+/// scores whole precompiled references and tile-scratch planes alike.  All
+/// kernels produce output bit-for-bit identical to golden_hits (contents
+/// and order).
 struct ScanKernel {
   ScanIsa isa;
   const char* name;     // "scalar" | "swar64" | "avx2" | "avx512"
@@ -146,7 +181,7 @@ struct ScanKernel {
 
   /// Appends hits with position in [begin, end), clamped to the valid
   /// range — same contract as bitscan_range.
-  void (*range)(const BitScanQuery& query, const BitScanReference& reference,
+  void (*range)(const BitScanQuery& query, const PlaneView& reference,
                 std::uint32_t threshold, std::size_t begin, std::size_t end,
                 std::vector<Hit>& out);
 
@@ -156,7 +191,7 @@ struct ScanKernel {
   /// (queries[q], thresholds[q]) over the same span.
   void (*range_batch)(const BitScanQuery* queries,
                       const std::uint32_t* thresholds, std::size_t count,
-                      const BitScanReference& reference, std::size_t begin,
+                      const PlaneView& reference, std::size_t begin,
                       std::size_t end, std::vector<Hit>* outs);
 };
 

@@ -1,0 +1,127 @@
+#pragma once
+// Tile-fused compile+scan: stream the 2-bit packed reference, not
+// precompiled match planes.
+//
+// The precompiled path (BitScanReference) trades DRAM capacity and
+// bandwidth for reuse: 12 whole-reference match planes (~1.5 B/base) are
+// built once from the 0.25 B/base packed store and re-streamed per scan —
+// ~6x the DRAM traffic of FabP's hardware regime, plus a full-reference
+// compile before the first hit.  The tiled path instead walks the packed
+// words in L2-resident tiles: for each tile it compiles the 12
+// element-kind planes into a reusable per-thread scratch buffer (the same
+// SWAR bit-compaction NucleotideBitplanes uses, fused with the
+// BitScanReference plane formulas into one pass, with the prev1/prev2
+// history bits carried across tile edges), immediately scores the tile
+// with the ISA-dispatched ScanKernel, then discards the scratch and moves
+// on.  A scan therefore streams 0.25 B/base from DRAM, needs no upfront
+// compile, and its working set beyond the packed store is O(tile) per
+// thread — independent of the reference size.
+//
+// Output is bit-for-bit identical (contents and order) to golden_hits and
+// to the precompiled-plane path under every kernel: tiles are scored in
+// position order and per-position scores are exact, so tiling never
+// reorders or perturbs hits (locked down by tests/core/
+// bitscan_tiled_test.cpp, including tile-edge history and multi-record
+// databases).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabp/bio/database.hpp"
+#include "fabp/bio/packed.hpp"
+#include "fabp/core/bitscan.hpp"
+
+namespace fabp::core {
+
+struct TileScanConfig {
+  /// Candidate positions scored per tile; rounded up to a whole number of
+  /// 64-element words (minimum one word).  The default keeps one tile's 12
+  /// compiled planes (12 * 2048 words = 192 KiB) plus its packed input
+  /// (32 KiB) L2-resident.
+  std::size_t tile_positions = 128 * 1024;
+};
+
+/// Which software scan path an entry point should take.
+enum class ScanPath {
+  Auto,    ///< FABP_SCAN_MODE=tiled|planes decides; tiled when unset.
+  Tiled,   ///< fused tile compile+scan (this header)
+  Planes,  ///< precompiled whole-reference planes (BitScanReference)
+};
+
+/// Resolves a requested path: explicit Tiled/Planes win; Auto follows the
+/// FABP_SCAN_MODE environment variable ("tiled" or "planes", read once per
+/// process) and defaults to the tiled path.  The Planes escape hatch keeps
+/// the precompiled path reachable for differential testing and perf
+/// comparison.
+bool use_tiled_scan(ScanPath requested = ScanPath::Auto) noexcept;
+
+/// Fused tile compile+scan over a 2-bit packed reference.  Non-owning: the
+/// packed store (or database) must outlive the scanner.  All entry points
+/// dispatch to the active ScanKernel unless a kernel is passed explicitly
+/// (differential tests sweep every reachable ISA that way).
+class TileScanner {
+ public:
+  TileScanner() = default;
+  explicit TileScanner(const bio::PackedNucleotides& packed,
+                       TileScanConfig config = {});
+  /// Scans the database's concatenated guarded store — one fused pass over
+  /// a whole multi-record database (record mapping via db.locate /
+  /// annotate_hits, exactly as for the precompiled path).
+  explicit TileScanner(const bio::ReferenceDatabase& database,
+                       TileScanConfig config = {});
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t tile_positions() const noexcept { return tile_positions_; }
+
+  /// Tiles a full scan of this reference walks.
+  std::size_t tile_count() const noexcept;
+
+  /// Per-thread scratch footprint of a scan whose longest query has
+  /// `query_elements` elements: O(tile + query), independent of the
+  /// reference size.  This (plus per-chunk hit vectors) is the entire scan
+  /// working set beyond the packed store.
+  std::size_t scratch_bytes(std::size_t query_elements) const noexcept;
+
+  /// Appends hits with position in [begin, end), clamped to the valid
+  /// range — the ScanKernel::range contract, fused over tiles.
+  void range(const BitScanQuery& query, std::uint32_t threshold,
+             std::size_t begin, std::size_t end, std::vector<Hit>& out) const;
+  void range(const ScanKernel& kernel, const BitScanQuery& query,
+             std::uint32_t threshold, std::size_t begin, std::size_t end,
+             std::vector<Hit>& out) const;
+
+  /// Batch form — every query is scored against each tile while its
+  /// freshly compiled planes are hot (the ScanKernel::range_batch
+  /// contract, fused over tiles).
+  void range_batch(const BitScanQuery* queries,
+                   const std::uint32_t* thresholds, std::size_t count,
+                   std::size_t begin, std::size_t end,
+                   std::vector<Hit>* outs) const;
+  void range_batch(const ScanKernel& kernel, const BitScanQuery* queries,
+                   const std::uint32_t* thresholds, std::size_t count,
+                   std::size_t begin, std::size_t end,
+                   std::vector<Hit>* outs) const;
+
+  /// All hits with score >= threshold — identical to bitscan_hits /
+  /// golden_hits on the same inputs.  With a pool, whole tiles are chunked
+  /// over the workers (each with its own scratch) and merged in tile
+  /// order, so the output is deterministic and exactly the serial scan's.
+  std::vector<Hit> hits(const BitScanQuery& query, std::uint32_t threshold,
+                        util::ThreadPool* pool = nullptr) const;
+
+  /// Batch scan; element [q] equals hits(queries[q], thresholds[q]).
+  /// thresholds.size() must equal queries.size().
+  std::vector<std::vector<Hit>> hits_batch(
+      std::span<const BitScanQuery> queries,
+      std::span<const std::uint32_t> thresholds,
+      util::ThreadPool* pool = nullptr) const;
+
+ private:
+  std::span<const std::uint64_t> words_;  // 2-bit packed reference words
+  std::size_t size_ = 0;                  // reference elements
+  std::size_t tile_positions_ = 0;        // multiple of 64
+};
+
+}  // namespace fabp::core

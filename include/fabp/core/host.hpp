@@ -14,6 +14,7 @@
 
 #include "fabp/core/accelerator.hpp"
 #include "fabp/core/bitscan.hpp"
+#include "fabp/core/bitscan_tiled.hpp"
 
 namespace fabp::core {
 
@@ -23,6 +24,13 @@ struct HostConfig {
   /// the card streams a pre-built RC copy of the database, doubling the
   /// kernel time).
   bool search_both_strands = false;
+  /// Software scan path: Auto (FABP_SCAN_MODE, tiled when unset) streams
+  /// the packed reference through the tile-fused compile+scan; Planes
+  /// keeps the precompiled whole-reference bit-planes (the escape hatch
+  /// for differential testing and perf comparison).
+  ScanPath scan_path = ScanPath::Auto;
+  /// Tile geometry for the tiled path.
+  TileScanConfig tile{};
   double pcie_bandwidth_bps = 12e9;   // host <-> card effective PCIe gen3 x16
   double invoke_overhead_s = 30e-6;   // kernel launch + fence
   bool reference_resident = true;     // DB transferred once, reused across
@@ -70,11 +78,14 @@ class Session {
   /// the card (the paper's deployment model: the database is transferred
   /// once, queries stream through).  Thresholds are per-query fractions of
   /// the query's element count.  The functional hit lists for the whole
-  /// batch are produced in one multi-query pass over the cached reference
-  /// bit-planes (bitscan_hits_batch) — each block of plane words is scored
-  /// against every query while it is hot in cache — and the per-query
-  /// accelerator runs reduce to cycle/energy accounting; reports are
-  /// bit-for-bit identical to calling align() per query.
+  /// batch are produced in one multi-query pass over the reference — on
+  /// the default tiled path each freshly compiled tile is scored against
+  /// every query while hot in cache; on the Planes path the same happens
+  /// per block of cached plane words — and the per-query accelerator runs
+  /// reduce to cycle/energy accounting; reports are bit-for-bit identical
+  /// to calling align() per query.  Pass a pool to chunk the batch scan
+  /// over threads (and, on the Planes path with search_both_strands, to
+  /// compile the two strands' planes concurrently).
   struct BatchReport {
     std::vector<HostRunReport> per_query;
     double total_s = 0.0;
@@ -83,20 +94,24 @@ class Session {
     double queries_per_second = 0.0;  // modeled card throughput
   };
   BatchReport align_batch(std::span<const bio::ProteinSequence> queries,
-                          double threshold_fraction);
+                          double threshold_fraction,
+                          util::ThreadPool* pool = nullptr);
 
   /// Pure-software scan of the resident reference through the bit-sliced
   /// engine (no accelerator timing model): returns exactly the hits
-  /// align() reports for the forward strand.  The reference planes are
-  /// compiled on first use and cached across queries; pass a pool to
-  /// chunk the scan over threads (output is identical either way).
+  /// align() reports for the forward strand.  On the default tiled path
+  /// the packed reference is streamed directly (nothing is compiled or
+  /// cached); the Planes path compiles the reference planes on first use
+  /// and caches them across queries.  Pass a pool to chunk the scan over
+  /// threads (output is identical either way).
   std::vector<Hit> software_hits(const bio::ProteinSequence& query,
                                  std::uint32_t threshold,
                                  util::ThreadPool* pool = nullptr);
 
   /// Batch form of software_hits: all queries are scored in one pass over
-  /// the cached reference planes (see bitscan_hits_batch); element [q] of
-  /// the result equals software_hits(queries[q], thresholds[q]) exactly.
+  /// the reference (tile-fused by default, cached planes on the Planes
+  /// path); element [q] of the result equals
+  /// software_hits(queries[q], thresholds[q]) exactly.
   /// thresholds.size() must equal queries.size().
   std::vector<std::vector<Hit>> software_hits_batch(
       std::span<const bio::ProteinSequence> queries,
@@ -108,6 +123,9 @@ class Session {
   }
   const HostConfig& config() const noexcept { return config_; }
 
+  /// True when this session's software scans take the tiled path.
+  bool tiled() const noexcept { return use_tiled_scan(config_.scan_path); }
+
  private:
   /// align() with optional precomputed forward/reverse hit lists (from a
   /// batch scan); null pointers fall back to scanning inside the run.
@@ -117,7 +135,11 @@ class Session {
                            const std::vector<Hit>* reverse_hits);
 
   /// Lazily compiled bit-planes of the resident reference (and its RC
-  /// copy); invalidated by upload_reference.
+  /// copy); invalidated by upload_reference.  ensure_planes compiles both
+  /// strands at once, overlapping the reverse compile on the pool with the
+  /// forward compile on the caller (Planes path only — the tiled path
+  /// never compiles whole-reference planes).
+  void ensure_planes(bool both_strands, util::ThreadPool* pool);
   const BitScanReference& forward_planes();
   const BitScanReference& reverse_planes();
 

@@ -69,6 +69,7 @@
 #include "fabp/core/array.hpp"
 #include "fabp/core/backtranslate.hpp"
 #include "fabp/core/bitscan.hpp"
+#include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/core/encoding.hpp"
 #include "fabp/core/golden.hpp"

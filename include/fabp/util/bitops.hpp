@@ -38,6 +38,21 @@ constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
   return (a + b - 1) / b;
 }
 
+/// Compacts the 32 even-indexed bits of `x` into the low half of the result
+/// (the classic Morton-decode half-shuffle).  Two of these turn a pair of
+/// 2-bit packed words into one 64-element code bitplane word — the SWAR
+/// bit-compaction step shared by the whole-reference bitplane builder and
+/// the tile-fused scan compiler.
+constexpr std::uint64_t compress_even_bits(std::uint64_t x) noexcept {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return x;
+}
+
 /// A growable LSB-first bit vector with word-level access; used for match
 /// masks and reference bit-streams.
 class BitVector {

@@ -4,6 +4,7 @@
 // functional stand-in.  Tasks are void() closures; parallel_for splits an
 // index range into contiguous chunks.
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -42,16 +43,36 @@ class ThreadPool {
 
   /// Like parallel_chunks but also passes the chunk index (0-based, in
   /// range order).  The chunk layout is a pure function of (begin, end,
-  /// size()), so callers can produce deterministic ordered merges by
-  /// writing into a per-chunk slot and concatenating in index order.
+  /// size(), granule), so callers can produce deterministic ordered merges
+  /// by writing into a per-chunk slot and concatenating in index order.
+  ///
+  /// `granule` rounds every chunk (except the last) up to a whole multiple
+  /// of that many indices — work whose natural unit is large (a scan tile,
+  /// hundreds of KiB of plane words) sets it so no worker is handed a
+  /// sliver that costs more to dispatch than to compute.
   void parallel_indexed_chunks(
       std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+      std::size_t granule = 1);
 
-  /// Number of chunks parallel_chunks/parallel_indexed_chunks will use for
-  /// a range of `total` indices.
-  std::size_t chunk_count(std::size_t total) const noexcept {
-    return std::min(total, size());
+  /// Exact number of chunks parallel_indexed_chunks will produce for a
+  /// range of `total` indices at the given granule.
+  std::size_t chunk_count(std::size_t total,
+                          std::size_t granule = 1) const noexcept {
+    return chunk_size(total, granule) == 0
+               ? 0
+               : (total + chunk_size(total, granule) - 1) /
+                     chunk_size(total, granule);
+  }
+
+  /// Indices per chunk (the last chunk may be shorter); 0 when total is 0.
+  std::size_t chunk_size(std::size_t total,
+                         std::size_t granule = 1) const noexcept {
+    if (total == 0) return 0;
+    if (granule == 0) granule = 1;
+    const std::size_t grains = (total + granule - 1) / granule;
+    const std::size_t chunks = std::min(grains, size());
+    return granule * ((grains + chunks - 1) / chunks);
   }
 
  private:

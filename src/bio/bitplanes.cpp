@@ -6,17 +6,7 @@ namespace fabp::bio {
 
 namespace {
 
-// Compacts the 32 even-indexed bits of `x` into the low half of the result
-// (the classic Morton-decode half-shuffle).
-std::uint64_t compress_even_bits(std::uint64_t x) noexcept {
-  x &= 0x5555555555555555ULL;
-  x = (x | (x >> 1)) & 0x3333333333333333ULL;
-  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
-  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
-  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
-  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
-  return x;
-}
+using util::compress_even_bits;
 
 // Shifts a plane towards higher positions by `by` bits: out[j] = in[j-by],
 // zero-filled at the bottom.  Operates over `words` logical words.

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "fabp/core/bitscan.hpp"
+#include "fabp/core/bitscan_tiled.hpp"
 
 namespace fabp::blast {
 
@@ -25,6 +26,21 @@ std::vector<bool> query_mask_for(const bio::ProteinSequence& query,
                                  const TblastnConfig& config) {
   return config.mask_query ? seg_mask(query, config.seg)
                            : std::vector<bool>(query.size(), false);
+}
+
+// Candidate-discovery scan of one strand.  The tiled default packs the
+// strand to 2 bits/base and fuses compile+scan per tile; the Planes
+// escape hatch (FABP_SCAN_MODE=planes) keeps the precompiled
+// whole-strand planes for differential runs.  Output is identical.
+std::vector<core::Hit> prefilter_scan(const core::BitScanQuery& compiled,
+                                      const bio::NucleotideSequence& strand,
+                                      std::uint32_t threshold) {
+  if (core::use_tiled_scan()) {
+    const bio::PackedNucleotides packed{strand};
+    return core::TileScanner{packed}.hits(compiled, threshold);
+  }
+  return core::bitscan_hits(compiled, core::BitScanReference{strand},
+                            threshold);
 }
 }  // namespace
 
@@ -60,14 +76,10 @@ TblastnResult Tblastn::search_prefiltered(
   // Forward hit at p covers bases [p, p + qbases); a hit at p on the
   // reverse complement covers forward bases [lr - p - qbases, lr - p).
   std::vector<std::pair<std::size_t, std::size_t>> intervals;
-  for (const core::Hit& hit :
-       core::bitscan_hits(compiled, core::BitScanReference{reference},
-                          threshold))
+  for (const core::Hit& hit : prefilter_scan(compiled, reference, threshold))
     intervals.emplace_back(hit.position, hit.position + qbases);
-  for (const core::Hit& hit :
-       core::bitscan_hits(
-           compiled, core::BitScanReference{reference.reverse_complement()},
-           threshold))
+  for (const core::Hit& hit : prefilter_scan(
+           compiled, reference.reverse_complement(), threshold))
     intervals.emplace_back(lr - hit.position - qbases, lr - hit.position);
 
   TblastnResult merged;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fabp/core/bitscan.hpp"
+#include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/util/bitops.hpp"
 
@@ -62,11 +63,19 @@ AcceleratorRun Accelerator::run(
   // to pure cycle accounting.  The LUT path keeps the element-by-element
   // evaluation through the generated comparator LUTs as the oracle.
   if (!config_.use_lut_path) {
-    out.hits = precomputed_hits
-                   ? *precomputed_hits
-                   : bitscan_hits(BitScanQuery{elements_},
-                                  BitScanReference{reference},
-                                  config_.threshold);
+    if (precomputed_hits) {
+      out.hits = *precomputed_hits;
+    } else if (use_tiled_scan()) {
+      // Tile-fused default: stream the 2-bit packed reference directly —
+      // no whole-reference plane compile before the first hit, and the
+      // run's working set beyond the packed store is one scan tile.
+      out.hits = TileScanner{reference}.hits(BitScanQuery{elements_},
+                                             config_.threshold);
+    } else {
+      out.hits = bitscan_hits(BitScanQuery{elements_},
+                              BitScanReference{reference},
+                              config_.threshold);
+    }
   }
 
   // Reference Stream buffer: previous L_q tail + the incoming 256 elements

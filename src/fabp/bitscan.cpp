@@ -11,15 +11,16 @@ namespace fabp::core {
 
 namespace {
 
-// Zero guard words past the last plane word: the widest kernel (AVX-512,
-// 8 words per vector) fetches plane[w .. w+8] for w up to word_count-1,
-// so 8 guard words keep every unaligned fetch in bounds.
-constexpr std::size_t kGuardWords = 8;
-
 // Kind indices shared with element_kind(); named where the compile step
 // needs to substitute a degenerate kind for missing history.
 constexpr std::uint8_t kKindAorG = 4 + static_cast<std::uint8_t>(Condition::AorG);
 constexpr std::uint8_t kKindAny = 8 + static_cast<std::uint8_t>(Function::AnyD);
+
+// Chunk granule for the pooled precompiled-plane scans: one default scan
+// tile's worth of positions, so no worker is handed a sliver whose
+// dispatch cost exceeds its compute (and so chunk layout matches the
+// tiled path's whole-tile chunks).
+constexpr std::size_t kParallelScanGranule = 128 * 1024;
 
 }  // namespace
 
@@ -38,7 +39,7 @@ std::size_t element_kind(const BackElement& element) noexcept {
 BitScanReference::BitScanReference(const bio::NucleotideBitplanes& planes) {
   size_ = planes.size();
   const std::size_t words = planes.word_count();
-  const std::size_t padded = words + kGuardWords;
+  const std::size_t padded = words + kScanGuardWords;
   for (auto& plane : planes_) plane.assign(padded, 0);
 
   const auto eq_a = planes.occurrence(bio::Nucleotide::A);
@@ -185,11 +186,14 @@ std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
   if (query.empty() || reference.size() < query.size()) return hits;
   const std::size_t positions = reference.size() - query.size() + 1;
 
-  std::vector<std::vector<Hit>> chunks(pool.chunk_count(positions));
+  std::vector<std::vector<Hit>> chunks(
+      pool.chunk_count(positions, kParallelScanGranule));
   pool.parallel_indexed_chunks(
-      0, positions, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+      0, positions,
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
         bitscan_range(query, reference, threshold, lo, hi, chunks[c]);
-      });
+      },
+      kParallelScanGranule);
 
   std::size_t total = 0;
   for (const auto& chunk : chunks) total += chunk.size();
@@ -229,13 +233,15 @@ std::vector<std::vector<Hit>> bitscan_hits_batch(
   // merged in chunk order — deterministic and identical to the serial
   // batch, which is itself identical to per-query bitscan_hits.
   std::vector<std::vector<std::vector<Hit>>> chunks(
-      pool->chunk_count(positions),
+      pool->chunk_count(positions, kParallelScanGranule),
       std::vector<std::vector<Hit>>(queries.size()));
   pool->parallel_indexed_chunks(
-      0, positions, [&](std::size_t c, std::size_t lo, std::size_t hi) {
+      0, positions,
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
         kernel.range_batch(queries.data(), thresholds.data(), queries.size(),
                            reference, lo, hi, chunks[c].data());
-      });
+      },
+      kParallelScanGranule);
   for (std::size_t q = 0; q < queries.size(); ++q) {
     std::size_t total = 0;
     for (const auto& chunk : chunks) total += chunk[q].size();

@@ -16,8 +16,8 @@
 //                      unsigned s);
 //     // 64*kWords plane bits starting at bit offset 64*w + s, i.e.
 //     // lane k = (plane[w+k] >> s) | (plane[w+k+1] << (64 - s));
-//     // reads plane[w .. w + kWords], which the BitScanReference guard
-//     // words keep in bounds.
+//     // reads plane[w .. w + kWords], which the kScanGuardWords padding
+//     // every PlaneView plane carries keeps in bounds.
 //   static V and_(V, V); or_(V, V); xor_(V, V);
 //   static V andnot(V a, V b);                    // ~a & b
 //   static V not_(V);
@@ -127,15 +127,15 @@ struct PreparedQuery {
 };
 
 inline PreparedQuery prepare_query(const BitScanQuery& query,
-                                   const BitScanReference& reference,
+                                   const PlaneView& reference,
                                    std::uint32_t threshold, std::size_t begin,
                                    std::size_t end) {
   PreparedQuery p;
   p.qlen = query.size();
   p.threshold = threshold;
   p.end = begin;
-  if (p.qlen == 0 || reference.size() < p.qlen) return p;
-  const std::size_t positions = reference.size() - p.qlen + 1;
+  if (p.qlen == 0 || reference.size < p.qlen) return p;
+  const std::size_t positions = reference.size - p.qlen + 1;
   end = std::min(end, positions);
   if (begin >= end) return p;
   if (threshold > p.qlen) return p;  // scores never exceed the element count
@@ -149,7 +149,7 @@ inline PreparedQuery prepare_query(const BitScanQuery& query,
 }
 
 template <typename Traits>
-void scan_range_t(const BitScanQuery& query, const BitScanReference& reference,
+void scan_range_t(const BitScanQuery& query, const PlaneView& reference,
                   std::uint32_t threshold, std::size_t begin, std::size_t end,
                   std::vector<Hit>& out) {
   const PreparedQuery p = prepare_query(query, reference, threshold, begin,
@@ -162,7 +162,7 @@ void scan_range_t(const BitScanQuery& query, const BitScanReference& reference,
 
 template <typename Traits>
 void scan_batch_t(const BitScanQuery* queries, const std::uint32_t* thresholds,
-                  std::size_t count, const BitScanReference& reference,
+                  std::size_t count, const PlaneView& reference,
                   std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
   std::vector<PreparedQuery> prepared;
   prepared.reserve(count);

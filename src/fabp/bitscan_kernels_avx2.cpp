@@ -50,14 +50,14 @@ struct Avx2Traits {
   }
 };
 
-void avx2_range(const BitScanQuery& query, const BitScanReference& reference,
+void avx2_range(const BitScanQuery& query, const PlaneView& reference,
                 std::uint32_t threshold, std::size_t begin, std::size_t end,
                 std::vector<Hit>& out) {
   scan_range_t<Avx2Traits>(query, reference, threshold, begin, end, out);
 }
 
 void avx2_batch(const BitScanQuery* queries, const std::uint32_t* thresholds,
-                std::size_t count, const BitScanReference& reference,
+                std::size_t count, const PlaneView& reference,
                 std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
   scan_batch_t<Avx2Traits>(queries, thresholds, count, reference, begin, end,
                            outs);

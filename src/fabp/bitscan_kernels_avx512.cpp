@@ -47,7 +47,7 @@ struct Avx512Traits {
   }
 };
 
-void avx512_range(const BitScanQuery& query, const BitScanReference& reference,
+void avx512_range(const BitScanQuery& query, const PlaneView& reference,
                   std::uint32_t threshold, std::size_t begin, std::size_t end,
                   std::vector<Hit>& out) {
   scan_range_t<Avx512Traits>(query, reference, threshold, begin, end, out);
@@ -55,7 +55,7 @@ void avx512_range(const BitScanQuery& query, const BitScanReference& reference,
 
 void avx512_batch(const BitScanQuery* queries,
                   const std::uint32_t* thresholds, std::size_t count,
-                  const BitScanReference& reference, std::size_t begin,
+                  const PlaneView& reference, std::size_t begin,
                   std::size_t end, std::vector<Hit>* outs) {
   scan_batch_t<Avx512Traits>(queries, thresholds, count, reference, begin,
                              end, outs);

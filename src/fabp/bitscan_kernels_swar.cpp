@@ -28,14 +28,14 @@ struct Swar64Traits {
   static void store(std::uint64_t* dst, Vec v) noexcept { dst[0] = v; }
 };
 
-void swar64_range(const BitScanQuery& query, const BitScanReference& reference,
+void swar64_range(const BitScanQuery& query, const PlaneView& reference,
                   std::uint32_t threshold, std::size_t begin, std::size_t end,
                   std::vector<Hit>& out) {
   scan_range_t<Swar64Traits>(query, reference, threshold, begin, end, out);
 }
 
 void swar64_batch(const BitScanQuery* queries, const std::uint32_t* thresholds,
-                  std::size_t count, const BitScanReference& reference,
+                  std::size_t count, const PlaneView& reference,
                   std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
   scan_batch_t<Swar64Traits>(queries, thresholds, count, reference, begin,
                              end, outs);
@@ -58,7 +58,7 @@ void scalar_position_range(const PreparedQuery& p, std::size_t begin,
   }
 }
 
-void scalar_range(const BitScanQuery& query, const BitScanReference& reference,
+void scalar_range(const BitScanQuery& query, const PlaneView& reference,
                   std::uint32_t threshold, std::size_t begin, std::size_t end,
                   std::vector<Hit>& out) {
   scalar_position_range(prepare_query(query, reference, threshold, begin, end),
@@ -66,7 +66,7 @@ void scalar_range(const BitScanQuery& query, const BitScanReference& reference,
 }
 
 void scalar_batch(const BitScanQuery* queries, const std::uint32_t* thresholds,
-                  std::size_t count, const BitScanReference& reference,
+                  std::size_t count, const PlaneView& reference,
                   std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
   for (std::size_t q = 0; q < count; ++q)
     scalar_range(queries[q], reference, thresholds[q], begin, end, outs[q]);

@@ -83,7 +83,7 @@ HostRunReport Session::estimate(const bio::ProteinSequence& query,
 
 Session::BatchReport Session::align_batch(
     std::span<const bio::ProteinSequence> queries,
-    double threshold_fraction) {
+    double threshold_fraction, util::ThreadPool* pool) {
   BatchReport batch;
   batch.per_query.reserve(queries.size());
   if (queries.empty()) return batch;
@@ -96,12 +96,14 @@ Session::BatchReport Session::align_batch(
     thresholds.push_back(static_cast<std::uint32_t>(
         threshold_fraction * static_cast<double>(query.size() * 3)));
 
-  // One multi-query pass over the cached reference planes produces every
-  // hit list up front (each block of plane words is scored against the
-  // whole batch while hot in cache); the per-query runs below then reduce
-  // to cycle/energy accounting.  The queries are compiled from their
-  // *encoded* form so the hits match what Accelerator::run would compute
-  // bit for bit.  The LUT oracle path keeps its own evaluation.
+  // One multi-query pass over the reference produces every hit list up
+  // front — on the default tiled path each freshly compiled tile is
+  // scored against the whole batch while hot in cache; the Planes escape
+  // hatch streams the cached whole-reference plane words instead.  The
+  // per-query runs below then reduce to cycle/energy accounting.  The
+  // queries are compiled from their *encoded* form so the hits match what
+  // Accelerator::run would compute bit for bit.  The LUT oracle path
+  // keeps its own evaluation.
   std::vector<std::vector<Hit>> forward, reverse;
   const bool precompute = !config_.accelerator.use_lut_path;
   if (precompute) {
@@ -109,9 +111,20 @@ Session::BatchReport Session::align_batch(
     compiled.reserve(queries.size());
     for (const bio::ProteinSequence& query : queries)
       compiled.emplace_back(encode_query(query));
-    forward = bitscan_hits_batch(compiled, forward_planes(), thresholds);
-    if (config_.search_both_strands)
-      reverse = bitscan_hits_batch(compiled, reverse_planes(), thresholds);
+    if (tiled()) {
+      forward = TileScanner{reference_, config_.tile}.hits_batch(
+          compiled, thresholds, pool);
+      if (config_.search_both_strands)
+        reverse = TileScanner{reverse_, config_.tile}.hits_batch(
+            compiled, thresholds, pool);
+    } else {
+      ensure_planes(config_.search_both_strands, pool);
+      forward = bitscan_hits_batch(compiled, forward_planes(), thresholds,
+                                   pool);
+      if (config_.search_both_strands)
+        reverse = bitscan_hits_batch(compiled, reverse_planes(), thresholds,
+                                     pool);
+    }
   }
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -135,8 +148,11 @@ std::vector<Hit> Session::software_hits(const bio::ProteinSequence& query,
                                         util::ThreadPool* pool) {
   if (!reference_uploaded_)
     throw std::logic_error{"Session: no reference uploaded"};
-  const BitScanReference& planes = forward_planes();
   const BitScanQuery compiled{back_translate(query)};
+  if (tiled())
+    return TileScanner{reference_, config_.tile}.hits(compiled, threshold,
+                                                      pool);
+  const BitScanReference& planes = forward_planes();
   return pool ? bitscan_hits_parallel(compiled, planes, threshold, *pool)
               : bitscan_hits(compiled, planes, threshold);
 }
@@ -150,7 +166,28 @@ std::vector<std::vector<Hit>> Session::software_hits_batch(
   compiled.reserve(queries.size());
   for (const bio::ProteinSequence& query : queries)
     compiled.emplace_back(back_translate(query));
+  if (tiled())
+    return TileScanner{reference_, config_.tile}.hits_batch(
+        compiled, thresholds, pool);
   return bitscan_hits_batch(compiled, forward_planes(), thresholds, pool);
+}
+
+void Session::ensure_planes(bool both_strands, util::ThreadPool* pool) {
+  // Overlap the strand compiles: the reverse planes build on a pool
+  // worker while the caller builds the forward planes — with both strands
+  // the compile wall-time halves (it vanishes entirely on the tiled path,
+  // which never calls this).
+  std::future<void> reverse_done;
+  if (both_strands && !bitscan_reverse_ready_ && pool)
+    reverse_done = pool->submit(
+        [this] { bitscan_reverse_ = BitScanReference{reverse_}; });
+  forward_planes();
+  if (reverse_done.valid()) {
+    reverse_done.get();
+    bitscan_reverse_ready_ = true;
+  } else if (both_strands) {
+    reverse_planes();
+  }
 }
 
 const BitScanReference& Session::forward_planes() {

@@ -62,17 +62,25 @@ void ThreadPool::parallel_chunks(
 
 void ThreadPool::parallel_indexed_chunks(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+    std::size_t granule) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t chunks = chunk_count(total);
-  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+  const std::size_t chunks = chunk_count(total, granule);
+  const std::size_t step = chunk_size(total, granule);
+  if (chunks <= 1) {
+    // A lone chunk gains nothing from the queue; run it in place so a
+    // 1-wide pool (or a range under one granule) costs exactly a serial
+    // call.
+    fn(0, begin, end);
+    return;
+  }
 
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(lo + chunk_size, end);
+    const std::size_t lo = begin + c * step;
+    const std::size_t hi = std::min(lo + step, end);
     if (lo >= hi) break;
     futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -84,6 +85,67 @@ TEST(ThreadPool, MoreChunksThanElements) {
   std::atomic<int> count{0};
   pool.parallel_for(0, 3, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, GranuleRoundsChunksToWholeMultiples) {
+  ThreadPool pool{3};
+  std::mutex m;
+  std::vector<std::array<std::size_t, 3>> seen;
+  pool.parallel_indexed_chunks(
+      0, 1000,
+      [&](std::size_t c, std::size_t lo, std::size_t hi) {
+        const std::lock_guard lock{m};
+        seen.push_back({c, lo, hi});
+      },
+      128);
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), pool.chunk_count(1000, 128));
+  EXPECT_EQ(seen.front()[1], 0u);
+  EXPECT_EQ(seen.back()[2], 1000u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i][0], i);  // chunk indices are dense and ordered
+    if (i > 0) EXPECT_EQ(seen[i][1], seen[i - 1][2]);
+    if (i + 1 < seen.size())  // every chunk but the last: whole granules
+      EXPECT_EQ((seen[i][2] - seen[i][1]) % 128, 0u);
+  }
+}
+
+TEST(ThreadPool, ChunkCountIsExactAndGranuleAware) {
+  ThreadPool pool{4};
+  // Exhaustively confirm chunk_count equals the chunks actually produced.
+  for (std::size_t total : {0u, 1u, 3u, 64u, 65u, 255u, 256u, 1000u}) {
+    for (std::size_t granule : {1u, 64u, 300u}) {
+      std::atomic<std::size_t> produced{0};
+      std::atomic<std::size_t> covered{0};
+      pool.parallel_indexed_chunks(
+          0, total,
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            ++produced;
+            covered += hi - lo;
+          },
+          granule);
+      EXPECT_EQ(produced.load(), pool.chunk_count(total, granule))
+          << "total=" << total << " granule=" << granule;
+      EXPECT_EQ(covered.load(), total);
+    }
+  }
+  // A range under one granule is a single chunk regardless of width.
+  EXPECT_EQ(pool.chunk_count(63, 64), 1u);
+  EXPECT_EQ(pool.chunk_count(64, 64), 1u);
+  EXPECT_EQ(pool.chunk_count(65, 64), 2u);
+}
+
+TEST(ThreadPool, SingleChunkRunsInline) {
+  // A lone chunk must execute on the calling thread (no queue round-trip)
+  // so 1-wide pools cost exactly a serial call.
+  ThreadPool pool{1};
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.parallel_indexed_chunks(0, 100, [&](std::size_t, std::size_t,
+                                           std::size_t) {
+    ran = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran, caller);
 }
 
 }  // namespace

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# One-command tier-1 verification, twice over:
+# One-command tier-1 verification, three times over:
 #
 #   1. default Release build + full ctest — exercises the runtime-dispatched
 #      scan kernel (the widest ISA this machine supports), and
 #   2. an AddressSanitizer build run with FABP_FORCE_ISA=swar64 — sanitizer
 #      coverage over the portable fallback kernel and the env-override
-#      dispatch path.
+#      dispatch path, and
+#   3. a ThreadSanitizer build running the pooled tiled-scan and thread-pool
+#      tests — race coverage over the tile-parallel merge and the
+#      concurrent strand-plane compile.
 #
-# Usage: tools/check.sh   (from anywhere; builds into build/ and build-asan/)
+# Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/
+# and build-tsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,4 +27,10 @@ cmake -B build-asan -S . -DFABP_SANITIZE=address
 cmake --build build-asan -j"$jobs"
 FABP_FORCE_ISA=swar64 ctest --test-dir build-asan --output-on-failure -j"$jobs"
 
-echo "== check.sh: all green (default + asan/swar64) =="
+echo "== check.sh: tsan build, pooled scan tests =="
+cmake -B build-tsan -S . -DFABP_SANITIZE=thread
+cmake --build build-tsan -j"$jobs" --target core_tests util_tests
+build-tsan/tests/core_tests --gtest_filter='TileScan*'
+build-tsan/tests/util_tests --gtest_filter='ThreadPool*'
+
+echo "== check.sh: all green (default + asan/swar64 + tsan) =="

@@ -2,6 +2,7 @@
 //
 //   fabp encode <protein>                      back-translate + encode
 //   fabp search <ref.fa> <queries.fa> [thr]    database search with reports
+//   fabp scan <ref.fa> <queries.fa> [thr] [t]  software tiled scan, t threads
 //   fabp tblastn <ref.fa> <queries.fa>         CPU-baseline search
 //   fabp map <residues> [kintex7|vu9p]         resource mapping (Table I)
 //   fabp rtl <out_dir> [elements]              export structural Verilog
@@ -25,6 +26,7 @@ int usage() {
       "usage:\n"
       "  fabp encode <protein>\n"
       "  fabp search <ref.fa> <queries.fa> [threshold-fraction]\n"
+      "  fabp scan <ref.fa> <queries.fa> [threshold-fraction] [threads]\n"
       "  fabp tblastn <ref.fa> <queries.fa>\n"
       "  fabp map <residues> [kintex7|vu9p]\n"
       "  fabp rtl <out_dir> [elements]\n";
@@ -80,6 +82,62 @@ int cmd_search(const std::string& ref_path, const std::string& query_path,
   }
   std::cerr << "modeled card time: " << util::time_text(batch.total_s)
             << " (" << batch.queries_per_second << " queries/s)\n";
+  return 0;
+}
+
+int cmd_scan(const std::string& ref_path, const std::string& query_path,
+             double threshold_fraction, std::size_t threads) {
+  // Pure-software database scan (no accelerator timing model): one
+  // tile-fused pass over the packed database per batch, chunked over the
+  // pool.  FABP_SCAN_MODE=planes switches to the precompiled-plane path
+  // for comparison; hits are identical either way.
+  const auto db =
+      bio::ReferenceDatabase::from_fasta(bio::read_fasta_file(ref_path));
+  std::cerr << "database: " << db.record_count() << " records, "
+            << db.total_bases() << " bases\n";
+
+  std::vector<bio::ProteinSequence> queries;
+  std::vector<std::string> names;
+  for (const auto& record : bio::read_fasta_file(query_path)) {
+    queries.push_back(bio::ProteinSequence::parse(record.sequence));
+    names.push_back(record.id);
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries\n";
+    return 1;
+  }
+
+  std::vector<core::BitScanQuery> compiled;
+  std::vector<std::uint32_t> thresholds;
+  for (const auto& query : queries) {
+    compiled.emplace_back(core::back_translate(query));
+    thresholds.push_back(static_cast<std::uint32_t>(
+        threshold_fraction * static_cast<double>(query.size() * 3)));
+  }
+
+  util::ThreadPool pool{threads};
+  util::Timer timer;
+  std::vector<std::vector<core::Hit>> outs;
+  if (core::use_tiled_scan()) {
+    const core::TileScanner scanner{db};
+    std::cerr << "scan path: tiled (" << scanner.tile_positions()
+              << " positions/tile, " << scanner.tile_count() << " tiles, "
+              << pool.size() << " threads)\n";
+    outs = scanner.hits_batch(compiled, thresholds, &pool);
+  } else {
+    std::cerr << "scan path: planes (" << pool.size() << " threads)\n";
+    const core::BitScanReference reference{db.packed()};
+    outs = core::bitscan_hits_batch(compiled, reference, thresholds, &pool);
+  }
+  const double seconds = timer.seconds();
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto annotated = core::annotate_hits(outs[q], db, queries[q]);
+    std::cout << names[q] << "\t" << annotated.size() << " hit(s)\n";
+    for (const auto& hit : annotated)
+      std::cout << "  " << core::to_string(hit, db) << '\n';
+  }
+  std::cerr << "scan time: " << util::time_text(seconds) << '\n';
   return 0;
 }
 
@@ -155,6 +213,11 @@ int main(int argc, char** argv) {
     if (command == "search" && (argc == 4 || argc == 5))
       return cmd_search(argv[2], argv[3],
                         argc == 5 ? std::strtod(argv[4], nullptr) : 0.85);
+    if (command == "scan" && argc >= 4 && argc <= 6)
+      return cmd_scan(argv[2], argv[3],
+                      argc >= 5 ? std::strtod(argv[4], nullptr) : 0.85,
+                      argc == 6 ? std::strtoull(argv[5], nullptr, 10)
+                                : std::thread::hardware_concurrency());
     if (command == "tblastn" && argc == 4)
       return cmd_tblastn(argv[2], argv[3]);
     if (command == "map" && (argc == 3 || argc == 4))
