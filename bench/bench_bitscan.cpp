@@ -34,6 +34,7 @@
 #include "fabp/core/bitscan.hpp"
 #include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/golden.hpp"
+#include "fabp/core/host.hpp"
 #include "fabp/util/cpuid.hpp"
 #include "fabp/util/table.hpp"
 #include "fabp/util/thread_pool.hpp"
@@ -70,6 +71,19 @@ struct TileSweepResult {
   std::size_t tile_positions;
   std::size_t scratch_bytes;
   double seconds;
+};
+
+struct FaultSection {
+  // Zero-fault Session overhead: the recovery layer must cost one branch
+  // when no faults are configured.  Both rows scan the same reference with
+  // the same query; the session row goes through align() and its clean
+  // fast-path gate.  The delta is align()'s query encode + accelerator
+  // timing model (which predate the fault layer), so the recorded overhead
+  // is an upper bound on what the recovery machinery adds.
+  double direct_s = 0.0;   // TileScanner::hits, no session
+  double session_s = 0.0;  // Session::align, all fault rates zero
+  double overhead = 0.0;   // session_s / direct_s - 1
+  bool hits_match = false;
 };
 
 struct TiledSection {
@@ -112,7 +126,7 @@ void write_json(const std::string& path, std::size_t bases,
                 std::size_t batch_residues,
                 const std::vector<EngineResult>& results,
                 const std::vector<BatchResult>& batches,
-                const TiledSection& tiled) {
+                const FaultSection& fault, const TiledSection& tiled) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"bitscan\",\n"
@@ -150,6 +164,13 @@ void write_json(const std::string& path, std::size_t bases,
        << (i + 1 < batches.size() ? "," : "") << "\n";
   }
   os << "  ],\n"
+     << "  \"fault\": {\n"
+     << "    \"direct_tiled_seconds\": " << fault.direct_s << ",\n"
+     << "    \"session_zero_fault_seconds\": " << fault.session_s << ",\n"
+     << "    \"session_overhead_frac\": " << fault.overhead << ",\n"
+     << "    \"hits_match\": " << (fault.hits_match ? "true" : "false")
+     << "\n"
+     << "  },\n"
      << "  \"tiled\": {\n"
      << "    \"reference_bases\": " << tiled.reference_bases << ",\n"
      << "    \"tile_positions\": " << tiled.tile_positions << ",\n"
@@ -295,6 +316,41 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n  reference compile (12 planes): "
             << util::time_text(compile_s) << " (amortised across queries)\n";
+
+  // Zero-fault Session overhead: with every fault rate zero, align() must
+  // take the clean fast path — its cost over a direct tiled scan is launch
+  // accounting plus one `enabled()` branch, and the recovery layer is
+  // perf-neutral (acceptance: under 2%).
+  FaultSection fault;
+  {
+    const bio::PackedNucleotides packed{reference};
+    const core::TileScanner scanner{packed};
+    std::vector<core::Hit> direct_hits;
+    fault.direct_s = best_of(reps, direct_hits, [&] {
+      return scanner.hits(compiled_query, threshold);
+    });
+    core::Session session;
+    session.upload_reference(packed);
+    std::vector<core::Hit> session_hits;
+    fault.session_s = best_of(reps, session_hits, [&] {
+      return session.align(protein, threshold).hits;
+    });
+    fault.overhead = fault.session_s / fault.direct_s - 1.0;
+    fault.hits_match = session_hits == direct_hits;
+    mismatch |= !fault.hits_match;
+
+    std::cout << "\n";
+    util::Table fault_table{{"path", "time", "overhead"}};
+    fault_table.row()
+        .cell("tiled scan (direct)")
+        .cell(util::time_text(fault.direct_s))
+        .cell("-");
+    fault_table.row()
+        .cell("session align, zero-fault")
+        .cell(util::time_text(fault.session_s))
+        .cell(util::percent_text(fault.overhead, 2));
+    fault_table.print(std::cout);
+  }
 
   // Batch sweep: B distinct queries against one compiled reference,
   // sequential per-query scans vs one batched pass per kernel.  The
@@ -498,7 +554,7 @@ int main(int argc, char** argv) {
   std::cout << "\n  hit lists identical across all engines and batches.\n";
 
   write_json(json_path, bases, residues, elements.size(), threshold, reps,
-             batch_bases, batch_residues, results, batches, tiled);
+             batch_bases, batch_residues, results, batches, fault, tiled);
   std::cout << "  wrote " << json_path << "\n";
   return 0;
 }

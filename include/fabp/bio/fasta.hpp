@@ -18,11 +18,29 @@ struct FastaRecord {
   bool operator==(const FastaRecord&) const = default;
 };
 
+/// Input-hardening policy for read_fasta.  The default is bit-compatible
+/// with the historical reader (raw bytes pass through untouched); lenient
+/// real-world dumps set fold_case, and anything fed untrusted files should
+/// set reject_control so binary garbage fails here with a line number
+/// instead of exploding later inside the typed sequence parsers.  (The
+/// N/ambiguity-code policy lives one layer down: parse the record text
+/// with bio::NucleotideSequence::parse_lenient, which folds IUPAC codes.)
+struct FastaReadOptions {
+  bool fold_case = false;      ///< fold sequence bytes to uppercase
+  bool reject_control = false; ///< throw on non-printable sequence bytes
+};
+
 /// Reads every record from a stream.  Throws std::runtime_error on content
-/// before the first header.  An empty stream yields an empty vector.
+/// before the first header (and, per options, on non-printable sequence
+/// bytes).  An empty stream yields an empty vector; CRLF line endings and
+/// blank lines are tolerated, header-only records yield empty sequences.
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    const FastaReadOptions& options);
 std::vector<FastaRecord> read_fasta(std::istream& in);
 
 /// Reads a FASTA file from disk; throws std::runtime_error if unreadable.
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         const FastaReadOptions& options);
 std::vector<FastaRecord> read_fasta_file(const std::string& path);
 
 /// Writes records, wrapping sequence lines at `width` columns.

@@ -25,6 +25,14 @@ class PackedNucleotides {
   /// Packs from raw bases.
   explicit PackedNucleotides(std::span<const Nucleotide> bases);
 
+  /// Adopts already-packed words (`elements` 2-bit elements, LSB-first):
+  /// the store exactly as it sits in DRAM.  Extra words beyond the element
+  /// count are dropped; bits past `elements` in the last kept word are
+  /// preserved as given.  Used by the fault layer to scan a corrupted copy
+  /// of a reference without a decode/re-encode round trip.
+  static PackedNucleotides from_words(std::vector<std::uint64_t> words,
+                                      std::size_t elements);
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
 

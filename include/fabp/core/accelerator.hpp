@@ -24,6 +24,7 @@
 #include "fabp/core/mapper.hpp"
 #include "fabp/hw/axi.hpp"
 #include "fabp/hw/device.hpp"
+#include "fabp/hw/fault.hpp"
 #include "fabp/hw/power.hpp"
 
 namespace fabp::core {
@@ -37,6 +38,12 @@ struct AcceleratorConfig {
   bool use_lut_path = false;       // evaluate matches through the LUT pair
   std::size_t pipeline_depth = 12; // fill latency, cycles
   std::size_t wb_bytes_per_hit = 8;  // position + score record
+
+  /// Optional fault injection on the AXI read channel: when set, run()
+  /// streams beats through a FaultyAxiStream so stall storms surface as
+  /// ordinary fifo-empty stalls (inflating kernel time, which is how the
+  /// host watchdog sees them).  Non-owning; null = clean channel.
+  hw::FaultInjector* fault_injector = nullptr;
 };
 
 struct AcceleratorRun {

@@ -15,8 +15,63 @@
 #include "fabp/core/accelerator.hpp"
 #include "fabp/core/bitscan.hpp"
 #include "fabp/core/bitscan_tiled.hpp"
+#include "fabp/core/error.hpp"
+#include "fabp/hw/fault.hpp"
 
 namespace fabp::core {
+
+/// Detection + bounded-retry policy for the session (the host side of the
+/// fault-tolerance layer; injection rates live in HostConfig::fault).
+struct RecoveryConfig {
+  /// Kernel attempts per strand before the invocation counts as failed.
+  std::size_t max_attempts = 4;
+  /// Retry backoff: attempt k waits backoff_base_s * 2^k (modeled time,
+  /// charged to RecoveryStats::recovery_s).
+  double backoff_base_s = 100e-6;
+  /// Watchdog deadline on one kernel attempt's modeled time; 0 disables.
+  /// Stall storms inflate kernel time, which is how a hung card surfaces.
+  double watchdog_s = 0.0;
+  /// Per-tile CRC32 of the streamed reference against the upload-time
+  /// checksums, plus a CRC over the readback hit buffer.  Detected tiles
+  /// are repaired by re-scanning only the affected reference range.
+  /// Turning this off delivers corrupted data as-is (the chaos suite uses
+  /// that to prove injected faults are real, not cosmetic).
+  bool verify_integrity = true;
+  /// Golden spot-check sampler: K windows (256 positions each) per strand
+  /// re-scored from the resident store and compared against the returned
+  /// hits.  Catches corruption even with CRC checking off.  0 disables.
+  std::size_t spot_check_samples = 0;
+  /// Consecutive failed invocations before the session health-state
+  /// machine degrades to the software path.
+  std::size_t degrade_after = 3;
+  /// Degraded sessions (and invocations that exhausted their attempts)
+  /// serve hits from the pure-software TileScanner path with zero card
+  /// time; with this off they return typed errors instead.
+  bool allow_software_fallback = true;
+};
+
+/// What the recovery machinery did for one run (or, merged, one batch).
+struct RecoveryStats {
+  std::size_t attempts = 0;          ///< kernel attempts (per strand)
+  std::size_t retries = 0;           ///< attempts after the first
+  std::size_t transfer_faults = 0;   ///< transient PCIe transfer failures
+  std::size_t timeouts = 0;          ///< watchdog-expired attempts
+  std::size_t crc_faults = 0;        ///< reference tiles failing CRC
+  std::size_t readback_faults = 0;   ///< corrupted readbacks (re-read)
+  std::size_t rescanned_tiles = 0;   ///< tiles repaired by range re-scan
+  std::size_t spot_checks = 0;       ///< golden spot-check windows sampled
+  std::size_t spot_check_faults = 0; ///< windows that failed and were fixed
+  std::size_t fallbacks = 0;         ///< strand runs served in software
+  bool degraded = false;             ///< session Degraded after this run
+  double recovery_s = 0.0;           ///< modeled time lost to recovery
+
+  void merge(const RecoveryStats& other) noexcept;
+};
+
+/// Session health-state machine: Healthy until `degrade_after` consecutive
+/// invocations exhaust their attempts, then Degraded (software path or
+/// DeviceLost errors, per RecoveryConfig::allow_software_fallback).
+enum class HealthState { Healthy, Degraded };
 
 struct HostConfig {
   AcceleratorConfig accelerator{};
@@ -35,6 +90,11 @@ struct HostConfig {
   double invoke_overhead_s = 30e-6;   // kernel launch + fence
   bool reference_resident = true;     // DB transferred once, reused across
                                       // queries (the paper's usage model)
+  /// Fault injection rates (all zero by default: the clean fast path takes
+  /// one `enabled()` branch and none of the recovery machinery runs).
+  hw::FaultConfig fault{};
+  /// Detection / retry / degradation policy (see RecoveryConfig).
+  RecoveryConfig recovery{};
 };
 
 struct HostRunReport {
@@ -52,6 +112,9 @@ struct HostRunReport {
 
   double watts = 0.0;
   double joules = 0.0;  // FPGA energy over total_s
+
+  /// What recovery did for this run; total_s includes recovery.recovery_s.
+  RecoveryStats recovery;
 };
 
 /// One attached "card": owns the reference database in FPGA DRAM and runs
@@ -65,9 +128,18 @@ class Session {
   void upload_reference(const bio::NucleotideSequence& reference);
   void upload_reference(bio::PackedNucleotides reference);
 
-  /// End-to-end aligned search of one protein query (functional).
+  /// End-to-end aligned search of one protein query (functional).  Under
+  /// an injected fault schedule the recovery machinery retries, repairs
+  /// and (if allowed) degrades so the returned hits are always bit-exact
+  /// with the golden model; throws FaultError only when the schedule is
+  /// unrecoverable (and std::logic_error never — use try_align for the
+  /// non-throwing boundary).
   HostRunReport align(const bio::ProteinSequence& query,
                       std::uint32_t threshold);
+
+  /// Non-throwing form of align(): the typed error surface.
+  Expected<HostRunReport> try_align(const bio::ProteinSequence& query,
+                                    std::uint32_t threshold);
 
   /// Timing-only estimate against a hypothetical reference of `bytes`
   /// bytes (2-bit packed), for database-scale projections.
@@ -92,10 +164,17 @@ class Session {
     double total_joules = 0.0;
     std::size_t total_hits = 0;
     double queries_per_second = 0.0;  // modeled card throughput
+    RecoveryStats recovery;           // merged over the whole batch
   };
   BatchReport align_batch(std::span<const bio::ProteinSequence> queries,
                           double threshold_fraction,
                           util::ThreadPool* pool = nullptr);
+
+  /// Non-throwing form of align_batch(); the first unrecoverable
+  /// per-query error aborts and is returned for the whole batch.
+  Expected<BatchReport> try_align_batch(
+      std::span<const bio::ProteinSequence> queries,
+      double threshold_fraction, util::ThreadPool* pool = nullptr);
 
   /// Pure-software scan of the resident reference through the bit-sliced
   /// engine (no accelerator timing model): returns exactly the hits
@@ -126,13 +205,42 @@ class Session {
   /// True when this session's software scans take the tiled path.
   bool tiled() const noexcept { return use_tiled_scan(config_.scan_path); }
 
+  /// Health-state machine position (degrades after repeated failures).
+  HealthState health() const noexcept { return health_; }
+
+  /// Every fault event injected over this session's lifetime, in draw
+  /// order — the replayable schedule a chaos failure is reported with.
+  const std::vector<hw::FaultEvent>& fault_log() const noexcept {
+    return fault_log_;
+  }
+
  private:
   /// align() with optional precomputed forward/reverse hit lists (from a
   /// batch scan); null pointers fall back to scanning inside the run.
-  HostRunReport align_impl(const bio::ProteinSequence& query,
-                           std::uint32_t threshold,
-                           const std::vector<Hit>* forward_hits,
-                           const std::vector<Hit>* reverse_hits);
+  Expected<HostRunReport> align_impl(const bio::ProteinSequence& query,
+                                     std::uint32_t threshold,
+                                     const std::vector<Hit>* forward_hits,
+                                     const std::vector<Hit>* reverse_hits);
+
+  /// One strand's kernel invocation under the fault schedule: bounded
+  /// retries for transfer failures / watchdog timeouts, CRC detection +
+  /// tile-granular repair for data corruption, readback verification and
+  /// the golden spot-check sampler.  On success `out` holds the final
+  /// (repaired) hits and the last attempt's timing; on failure fills
+  /// `error` and returns false.
+  bool faulty_strand_run(const EncodedQuery& encoded, std::uint32_t threshold,
+                         const bio::PackedNucleotides& store,
+                         bool reverse_strand,
+                         const std::vector<Hit>* precomputed,
+                         RecoveryStats& stats, Error& error,
+                         AcceleratorRun& out);
+
+  /// Per-tile CRC32 of the resident store (forward or RC), computed once
+  /// per upload on first use (fault paths only) and cached.
+  const std::vector<std::uint32_t>& tile_crcs(bool reverse_strand);
+
+  /// Packed words per integrity tile (the PR 3 tile geometry).
+  std::size_t tile_words() const noexcept;
 
   /// Lazily compiled bit-planes of the resident reference (and its RC
   /// copy); invalidated by upload_reference.  ensure_planes compiles both
@@ -154,6 +262,17 @@ class Session {
   bool bitscan_ready_ = false;
   BitScanReference bitscan_reverse_;  // lazy RC planes for batch aligns
   bool bitscan_reverse_ready_ = false;
+
+  // Fault-tolerance state: upload-time tile checksums (lazy, fault paths
+  // only), the health machine, and the session-lifetime fault schedule.
+  std::vector<std::uint32_t> ref_crcs_;
+  std::vector<std::uint32_t> rev_crcs_;
+  bool ref_crcs_ready_ = false;
+  bool rev_crcs_ready_ = false;
+  HealthState health_ = HealthState::Healthy;
+  std::size_t consecutive_failures_ = 0;
+  std::uint64_t invocation_ = 0;  // align_impl calls; seeds fault streams
+  std::vector<hw::FaultEvent> fault_log_;
 };
 
 }  // namespace fabp::core

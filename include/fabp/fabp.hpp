@@ -26,6 +26,7 @@
 //   perf/  cross-platform performance & energy models    (S6)
 
 #include "fabp/util/bitops.hpp"
+#include "fabp/util/crc32.hpp"
 #include "fabp/util/rng.hpp"
 #include "fabp/util/stats.hpp"
 #include "fabp/util/table.hpp"
@@ -46,6 +47,7 @@
 
 #include "fabp/hw/axi.hpp"
 #include "fabp/hw/device.hpp"
+#include "fabp/hw/fault.hpp"
 #include "fabp/hw/lut.hpp"
 #include "fabp/hw/netlist.hpp"
 #include "fabp/hw/optimize.hpp"
@@ -72,6 +74,7 @@
 #include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/core/encoding.hpp"
+#include "fabp/core/error.hpp"
 #include "fabp/core/golden.hpp"
 #include "fabp/core/host.hpp"
 #include "fabp/core/instance.hpp"

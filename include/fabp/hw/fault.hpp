@@ -1,0 +1,166 @@
+#pragma once
+// Deterministic fault injection for the accelerator + host pipeline.
+//
+// The paper's timing argument (§III-C) models the AXI read channel as a
+// deterministic, always-correct stream.  A deployed card is not: DRAM and
+// the PCIe link suffer transient bit flips, dropped/duplicated beats,
+// re-arbitration storms and outright transfer failures.  This header makes
+// those injectable — seeded, replayable, and composable with the existing
+// `AxiReadStream` — so the host runtime's detection and recovery machinery
+// (core/host.hpp) can be exercised and differentially tested against the
+// golden model.
+//
+// Everything is driven by util::Xoshiro256 sub-streams forked from one
+// seed, so a fault schedule is a pure function of (FaultConfig, stream
+// index): two injectors built alike draw the identical schedule, which is
+// what makes chaos failures replayable from a one-line seed report.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabp/hw/axi.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::hw {
+
+/// Width of one AXI data beat, as everywhere in the model (§III-C).
+inline constexpr std::size_t kAxiDataBits = 512;
+
+/// Fault rates.  All default to zero: a default FaultConfig injects
+/// nothing and the host runtime compiles the whole machinery down to one
+/// `enabled()` branch.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfab9u;  ///< schedule seed (forked per attempt)
+
+  /// Expected bit flips per *bit* streamed over AXI (DRAM/link soft-error
+  /// rate; realistic cards sit around 1e-12..1e-9, chaos tests crank it).
+  /// Sampled per beat with probability min(1, kAxiDataBits * flip_rate).
+  double flip_rate = 0.0;
+  double drop_rate = 0.0;  ///< per-beat probability the beat is lost
+  double dup_rate = 0.0;   ///< per-beat probability the beat is delivered twice
+
+  /// Per-delivered-beat probability of a stall storm (the DRAM controller
+  /// re-arbitrating away: `stall_cycles` dead cycles are inserted).
+  double stall_rate = 0.0;
+  std::size_t stall_cycles = 256;
+
+  double transfer_fail_rate = 0.0;  ///< per PCIe transfer, transient failure
+  double readback_flip_rate = 0.0;  ///< per readback, hit-buffer corruption
+
+  bool enabled() const noexcept {
+    return flip_rate > 0.0 || drop_rate > 0.0 || dup_rate > 0.0 ||
+           stall_rate > 0.0 || transfer_fail_rate > 0.0 ||
+           readback_flip_rate > 0.0;
+  }
+};
+
+enum class FaultKind : std::uint8_t {
+  BitFlip,       ///< one bit of a streamed beat inverted
+  DropBeat,      ///< a beat never delivered (stream realigns at a tile edge)
+  DupBeat,       ///< a beat delivered twice (ditto)
+  StallStorm,    ///< extra dead cycles on the AXI channel
+  TransferFail,  ///< a whole PCIe transfer failed transiently
+  ReadbackFlip,  ///< a bit of the readback hit buffer inverted
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// One injected fault, as recorded in the replayable schedule.
+struct FaultEvent {
+  FaultKind kind = FaultKind::BitFlip;
+  std::size_t beat = 0;     ///< AXI beat index (data/stall faults)
+  std::uint32_t bit = 0;    ///< bit within the beat / readback buffer
+  std::size_t cycles = 0;   ///< stall cycles (StallStorm only)
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// Draws a deterministic fault schedule from independent per-category
+/// sub-streams and logs every event it emits.  One injector models one
+/// kernel invocation attempt; the host forks a fresh stream index per
+/// attempt so retries see independent (but replayable) schedules.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config, std::uint64_t stream = 0);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// One PCIe transfer: true = this transfer transiently fails.
+  bool transfer_fails();
+
+  /// One result readback: true = the hit buffer arrives corrupted, with
+  /// `bit` set to the flipped bit index (callers clamp to the buffer).
+  bool readback_corrupts(std::uint32_t& bit);
+
+  /// Data-corruption events (flips, drops, dups) over a stream of `beats`
+  /// beats, in beat order.  Geometric skip-sampling: cost is O(events),
+  /// not O(beats), so a near-zero rate over a huge reference is free.
+  std::vector<FaultEvent> data_events(std::size_t beats);
+
+  /// Stall-storm draw for one delivered beat: 0 = clean, otherwise the
+  /// number of dead cycles to insert.  Consumed by FaultyAxiStream.
+  std::size_t storm_cycles(std::size_t beat);
+
+  /// Every event drawn so far — the replayable fault schedule.
+  const std::vector<FaultEvent>& log() const noexcept { return log_; }
+
+ private:
+  FaultConfig config_;
+  util::Xoshiro256 transfer_rng_;
+  util::Xoshiro256 data_rng_;
+  util::Xoshiro256 stall_rng_;
+  util::Xoshiro256 readback_rng_;
+  std::vector<FaultEvent> log_;
+};
+
+/// AxiReadStream composed with a FaultInjector: identical contract
+/// (advance() once per kernel clock, true when a beat lands), but a
+/// delivered beat may open a stall storm that holds the channel down for
+/// config().stall_cycles cycles.  With a null injector it behaves exactly
+/// like the wrapped stream (the zero-fault fast path).
+class FaultyAxiStream {
+ public:
+  explicit FaultyAxiStream(AxiTimingConfig config = {},
+                           FaultInjector* injector = nullptr) noexcept
+      : inner_{config}, injector_{injector} {}
+
+  /// One clock cycle; returns true when a beat of data is delivered.
+  bool advance();
+
+  std::size_t beats_delivered() const noexcept {
+    return inner_.beats_delivered();
+  }
+  std::size_t cycles_elapsed() const noexcept {
+    return inner_.cycles_elapsed() + injected_;
+  }
+  /// Storm cycles inserted so far on top of the deterministic pattern.
+  std::size_t injected_stall_cycles() const noexcept { return injected_; }
+
+  double efficiency() const noexcept {
+    const std::size_t cycles = cycles_elapsed();
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(beats_delivered()) /
+                             static_cast<double>(cycles);
+  }
+
+  void reset() noexcept;
+
+ private:
+  AxiReadStream inner_;
+  FaultInjector* injector_;
+  std::size_t pending_ = 0;   // storm cycles still to serve
+  std::size_t injected_ = 0;  // storm cycles served so far
+};
+
+/// Applies flip/drop/dup events to a copy of a 2-bit packed word stream.
+/// Drops and dups shift the remainder of the containing `tile_words`-word
+/// window (one beat = 8 words) and the stream realigns at the next tile
+/// boundary — the DMA-descriptor-per-tile behaviour of a real card.
+/// StallStorm/TransferFail/ReadbackFlip events are ignored here.
+std::vector<std::uint64_t> corrupt_words(std::span<const std::uint64_t> words,
+                                         std::span<const FaultEvent> events,
+                                         std::size_t tile_words);
+
+}  // namespace fabp::hw

@@ -27,11 +27,15 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; the returned future resolves when it completes.
+  /// Enqueue a task; the returned future resolves when it completes.  A
+  /// task that throws never escapes the worker thread: the exception is
+  /// captured into the future and rethrown from get().
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for every i in [begin, end), split into size() contiguous
   /// chunks; blocks until all chunks are done.  fn must be thread-safe.
+  /// If chunks throw, all chunks are still drained before the first
+  /// exception is rethrown on the caller (the pool stays usable).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

@@ -8,11 +8,14 @@
 
 namespace fabp::bio {
 
-std::vector<FastaRecord> read_fasta(std::istream& in) {
+std::vector<FastaRecord> read_fasta(std::istream& in,
+                                    const FastaReadOptions& options) {
   std::vector<FastaRecord> records;
   std::string line;
   bool have_record = false;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '>') {
@@ -31,17 +34,34 @@ std::vector<FastaRecord> read_fasta(std::istream& in) {
     }
     if (!have_record)
       throw std::runtime_error{"FASTA: sequence data before first header"};
-    for (char c : line)
-      if (!std::isspace(static_cast<unsigned char>(c)))
-        records.back().sequence.push_back(c);
+    for (char c : line) {
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (options.reject_control &&
+          !std::isprint(static_cast<unsigned char>(c)))
+        throw std::runtime_error{
+            "FASTA: non-printable byte in sequence data at line " +
+            std::to_string(line_no)};
+      if (options.fold_case)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      records.back().sequence.push_back(c);
+    }
   }
   return records;
 }
 
-std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+std::vector<FastaRecord> read_fasta(std::istream& in) {
+  return read_fasta(in, FastaReadOptions{});
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path,
+                                         const FastaReadOptions& options) {
   std::ifstream in{path};
   if (!in) throw std::runtime_error{"cannot open FASTA file: " + path};
-  return read_fasta(in);
+  return read_fasta(in, options);
+}
+
+std::vector<FastaRecord> read_fasta_file(const std::string& path) {
+  return read_fasta_file(path, FastaReadOptions{});
 }
 
 void write_fasta(std::ostream& out, const std::vector<FastaRecord>& records,

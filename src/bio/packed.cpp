@@ -17,6 +17,15 @@ PackedNucleotides::PackedNucleotides(std::span<const Nucleotide> bases) {
   }
 }
 
+PackedNucleotides PackedNucleotides::from_words(
+    std::vector<std::uint64_t> words, std::size_t elements) {
+  PackedNucleotides packed;
+  words.resize(util::ceil_div(elements, kElementsPerWord));
+  packed.words_ = std::move(words);
+  packed.size_ = elements;
+  return packed;
+}
+
 void PackedNucleotides::set(std::size_t i, Nucleotide n) noexcept {
   const unsigned shift = 2 * static_cast<unsigned>(i % kElementsPerWord);
   std::uint64_t& word = words_[i / kElementsPerWord];

@@ -82,7 +82,7 @@ AcceleratorRun Accelerator::run(
   // (§III-C: L_ref_stream = L_q + 256).  Front-padded with A for beat 0.
   std::vector<Nucleotide> window(lq + elements_per_beat, Nucleotide::A);
 
-  hw::AxiReadStream axi{config_.axi};
+  hw::FaultyAxiStream axi{config_.axi, config_.fault_injector};
   constexpr std::size_t kFifoDepth = 8;  // AXI read FIFO, in beat groups
   const std::size_t channels = std::max<std::size_t>(1, mapping_.channels);
   const std::size_t total_groups = util::ceil_div(total_beats, channels);

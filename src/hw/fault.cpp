@@ -1,0 +1,152 @@
+#include "fabp/hw/fault.hpp"
+
+#include <algorithm>
+
+namespace fabp::hw {
+
+namespace {
+
+constexpr std::size_t kWordsPerBeat = kAxiDataBits / 64;  // 8
+
+// Beat index of the next event for a per-beat Bernoulli(p), starting the
+// search at `from`: geometric skip-sampling, O(1) per event.
+std::size_t next_event_beat(util::Xoshiro256& rng, double p,
+                            std::size_t from) {
+  if (p <= 0.0) return ~std::size_t{0};
+  if (p >= 1.0) return from;
+  return from + rng.geometric(p);
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::BitFlip: return "bit-flip";
+    case FaultKind::DropBeat: return "drop-beat";
+    case FaultKind::DupBeat: return "dup-beat";
+    case FaultKind::StallStorm: return "stall-storm";
+    case FaultKind::TransferFail: return "transfer-fail";
+    case FaultKind::ReadbackFlip: return "readback-flip";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t stream)
+    : config_{config},
+      transfer_rng_{util::SplitMix64{config.seed ^ (stream * 4 + 0)}.next()},
+      data_rng_{util::SplitMix64{config.seed ^ (stream * 4 + 1)}.next()},
+      stall_rng_{util::SplitMix64{config.seed ^ (stream * 4 + 2)}.next()},
+      readback_rng_{util::SplitMix64{config.seed ^ (stream * 4 + 3)}.next()} {}
+
+bool FaultInjector::transfer_fails() {
+  if (!transfer_rng_.chance(config_.transfer_fail_rate)) return false;
+  log_.push_back(FaultEvent{FaultKind::TransferFail, 0, 0, 0});
+  return true;
+}
+
+bool FaultInjector::readback_corrupts(std::uint32_t& bit) {
+  if (!readback_rng_.chance(config_.readback_flip_rate)) return false;
+  bit = static_cast<std::uint32_t>(readback_rng_.next() & 0xFFFFFFFFu);
+  log_.push_back(FaultEvent{FaultKind::ReadbackFlip, 0, bit, 0});
+  return true;
+}
+
+std::vector<FaultEvent> FaultInjector::data_events(std::size_t beats) {
+  std::vector<FaultEvent> events;
+  const double flip_per_beat =
+      std::min(1.0, config_.flip_rate * static_cast<double>(kAxiDataBits));
+  struct Lane {
+    FaultKind kind;
+    double rate;
+    std::size_t next;
+  };
+  Lane lanes[3] = {
+      {FaultKind::BitFlip, flip_per_beat, 0},
+      {FaultKind::DropBeat, config_.drop_rate, 0},
+      {FaultKind::DupBeat, config_.dup_rate, 0},
+  };
+  for (Lane& lane : lanes)
+    lane.next = next_event_beat(data_rng_, lane.rate, 0);
+
+  // Merge the three lanes in beat order so the schedule (and therefore the
+  // RNG consumption) is a deterministic function of the seed alone.
+  for (;;) {
+    Lane* first = nullptr;
+    for (Lane& lane : lanes)
+      if (lane.next < beats && (first == nullptr || lane.next < first->next))
+        first = &lane;
+    if (first == nullptr) break;
+    FaultEvent event{first->kind, first->next, 0, 0};
+    if (first->kind == FaultKind::BitFlip)
+      event.bit = static_cast<std::uint32_t>(
+          data_rng_.bounded(kAxiDataBits));
+    events.push_back(event);
+    first->next = next_event_beat(data_rng_, first->rate, first->next + 1);
+  }
+  log_.insert(log_.end(), events.begin(), events.end());
+  return events;
+}
+
+std::size_t FaultInjector::storm_cycles(std::size_t beat) {
+  if (!stall_rng_.chance(config_.stall_rate)) return 0;
+  const std::size_t cycles = std::max<std::size_t>(1, config_.stall_cycles);
+  log_.push_back(FaultEvent{FaultKind::StallStorm, beat, 0, cycles});
+  return cycles;
+}
+
+bool FaultyAxiStream::advance() {
+  if (pending_ > 0) {
+    --pending_;
+    ++injected_;
+    return false;
+  }
+  const bool valid = inner_.advance();
+  if (valid && injector_ != nullptr)
+    pending_ = injector_->storm_cycles(inner_.beats_delivered() - 1);
+  return valid;
+}
+
+void FaultyAxiStream::reset() noexcept {
+  inner_.reset();
+  pending_ = 0;
+  injected_ = 0;
+}
+
+std::vector<std::uint64_t> corrupt_words(std::span<const std::uint64_t> words,
+                                         std::span<const FaultEvent> events,
+                                         std::size_t tile_words) {
+  std::vector<std::uint64_t> out{words.begin(), words.end()};
+  if (tile_words == 0) tile_words = out.size();
+  for (const FaultEvent& event : events) {
+    const std::size_t word0 = event.beat * kWordsPerBeat;
+    if (word0 >= out.size()) continue;
+    const std::size_t tile_begin = (word0 / tile_words) * tile_words;
+    const std::size_t tile_end = std::min(out.size(), tile_begin + tile_words);
+    switch (event.kind) {
+      case FaultKind::BitFlip: {
+        const std::size_t word = word0 + event.bit / 64;
+        if (word < out.size()) out[word] ^= 1ULL << (event.bit % 64);
+        break;
+      }
+      case FaultKind::DropBeat: {
+        // The beat vanishes: everything after it in the tile arrives one
+        // beat early, and the tile tail reads as zeros (decodes as 'A').
+        for (std::size_t w = word0; w < tile_end; ++w)
+          out[w] = w + kWordsPerBeat < tile_end ? out[w + kWordsPerBeat] : 0;
+        break;
+      }
+      case FaultKind::DupBeat: {
+        // The beat lands twice: the tile tail shifts one beat late and the
+        // last beat of the tile falls off the end of the window.
+        for (std::size_t w = tile_end; w-- > word0 + kWordsPerBeat;)
+          out[w] = out[w - kWordsPerBeat];
+        break;
+      }
+      default:
+        break;  // timing / transfer faults do not touch data
+    }
+  }
+  return out;
+}
+
+}  // namespace fabp::hw

@@ -1,0 +1,44 @@
+#include "fabp/util/crc32.hpp"
+
+#include <array>
+
+namespace fabp::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_words(std::span<const std::uint64_t> words,
+                          std::uint32_t crc) noexcept {
+  // Byte order must not depend on the host: hash each word's bytes
+  // little-endian-first explicitly.
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint64_t word : words)
+    for (int b = 0; b < 8; ++b)
+      c = kTable[(c ^ ((word >> (8 * b)) & 0xFFu)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace fabp::util

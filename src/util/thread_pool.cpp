@@ -1,6 +1,7 @@
 #include "fabp/util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace fabp::util {
 
@@ -84,7 +85,20 @@ void ThreadPool::parallel_indexed_chunks(
     if (lo >= hi) break;
     futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
   }
-  for (auto& f : futures) f.get();
+  // Drain *every* future before letting any exception out: rethrowing on
+  // the first failed get() would unwind the caller while queued tasks
+  // still hold a reference to `fn` on this stack frame.  The first
+  // exception wins; later ones are dropped (their chunks still ran to
+  // their own throw point).
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 }  // namespace fabp::util

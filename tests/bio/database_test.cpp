@@ -154,6 +154,66 @@ TEST(ReferenceDatabase, LoadRejectsGarbage) {
   EXPECT_THROW(ReferenceDatabase::load(truncated), std::runtime_error);
 }
 
+namespace {
+// A serialized single-record database for the malformed-stream pack.
+std::string serialized_db() {
+  util::Xoshiro256 rng{751};
+  ReferenceDatabase db;
+  db.add("contig", random_dna(200, rng));
+  std::stringstream buffer;
+  db.save(buffer);
+  return buffer.str();
+}
+
+void expect_load_error(const std::string& blob, const char* needle) {
+  std::stringstream in{blob};
+  try {
+    ReferenceDatabase::load(in);
+    FAIL() << "expected load to reject: " << needle;
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+}  // namespace
+
+TEST(ReferenceDatabase, LoadRejectsBadMagicPreciseMessage) {
+  std::string blob = serialized_db();
+  blob[0] ^= 0x20;  // corrupt the magic
+  expect_load_error(blob, "bad magic");
+}
+
+TEST(ReferenceDatabase, LoadRejectsTruncationAtEveryPrefix) {
+  // Every proper prefix beyond the magic must fail as a truncated stream
+  // (never crash, never return a half-parsed database).  Step through a
+  // spread of cut points including mid-word positions.
+  const std::string blob = serialized_db();
+  for (std::size_t cut = 8; cut < blob.size(); cut += 7) {
+    std::stringstream in{blob.substr(0, cut)};
+    EXPECT_THROW(ReferenceDatabase::load(in), std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(ReferenceDatabase, LoadRejectsImplausibleNameLength) {
+  // Patch the record-name length field (right after magic + record count)
+  // to something absurd, as a fuzzer or bit rot would.
+  std::string blob = serialized_db();
+  const std::size_t name_len_at = 8 + 8;  // magic, n_records
+  for (std::size_t b = 0; b < 8; ++b)
+    blob[name_len_at + b] = static_cast<char>(0xFF);
+  expect_load_error(blob, "implausible name length");
+}
+
+TEST(ReferenceDatabase, LoadRejectsOutOfBoundsRecord) {
+  // Grow the record's length field so it runs past the packed store.
+  std::string blob = serialized_db();
+  const std::size_t length_at = 8 + 8 + 8 + 6 + 8;  // ... name, begin
+  blob[length_at] = static_cast<char>(0xFF);
+  blob[length_at + 1] = static_cast<char>(0xFF);
+  expect_load_error(blob, "record out of bounds");
+}
+
 TEST(ReferenceDatabase, LoadMissingFileThrows) {
   EXPECT_THROW(ReferenceDatabase::load_file("/nonexistent/db.bin"),
                std::runtime_error);

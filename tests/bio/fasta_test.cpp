@@ -81,5 +81,75 @@ TEST(Fasta, MissingFileThrows) {
   EXPECT_THROW(read_fasta_file("/nonexistent/nope.fa"), std::runtime_error);
 }
 
+// ---- malformed-input pack + hardening options -------------------------
+
+TEST(Fasta, HeaderOnlyFileYieldsEmptySequence) {
+  std::istringstream in{">lonely header with words\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "lonely");
+  EXPECT_TRUE(records[0].sequence.empty());
+}
+
+TEST(Fasta, EmptyRecordsBetweenHeaders) {
+  std::istringstream in{">a\n>b\n>c\nAC\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_TRUE(records[0].sequence.empty());
+  EXPECT_TRUE(records[1].sequence.empty());
+  EXPECT_EQ(records[2].sequence, "AC");
+}
+
+TEST(Fasta, CrLfEverywhereIncludingBlankLines) {
+  std::istringstream in{">x desc\r\n\r\nAC\r\nGT\r\n\r\n>y\r\nTT\r\n"};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].sequence, "ACGT");
+  EXPECT_EQ(records[0].description, "desc");
+  EXPECT_EQ(records[1].sequence, "TT");
+}
+
+TEST(Fasta, FoldCaseUppercasesSequenceOnly) {
+  std::istringstream in{">MixedCase keep\nacgtACGT\nnnn\n"};
+  const auto records = read_fasta(in, FastaReadOptions{.fold_case = true});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "MixedCase");  // headers untouched
+  EXPECT_EQ(records[0].sequence, "ACGTACGTNNN");
+}
+
+TEST(Fasta, BinaryGarbagePassesByDefault) {
+  // Historical behaviour: raw bytes flow through (typed parsers decide).
+  std::istringstream in{std::string{">x\nAC\x01\x02GT\n"}};
+  const auto records = read_fasta(in);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence.size(), 6u);
+}
+
+TEST(Fasta, RejectControlCatchesBinaryGarbage) {
+  std::string blob = ">x\nACGT\n";
+  blob += std::string{"\x7f\x00\x01GT\n", 6};
+  std::istringstream in{blob};
+  try {
+    read_fasta(in, FastaReadOptions{.reject_control = true});
+    FAIL() << "binary garbage must be rejected";
+  } catch (const std::runtime_error& e) {
+    // Error message pinpoints the offending line.
+    EXPECT_NE(std::string{e.what()}.find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Fasta, RejectControlAcceptsCleanInput) {
+  std::istringstream in{">x\nacgtN-*\n"};
+  const auto records = read_fasta(
+      in, FastaReadOptions{.fold_case = true, .reject_control = true});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].sequence, "ACGTN-*");
+}
+
+TEST(Fasta, GarbageBeforeHeaderStillRejected) {
+  std::istringstream binary{std::string{"\x89PNG\r\n>x\nAC\n", 12}};
+  EXPECT_THROW(read_fasta(binary), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace fabp::bio

@@ -13,8 +13,28 @@ using bio::ProteinSequence;
 TEST(Session, RequiresUploadedReference) {
   Session session;
   util::Xoshiro256 rng{161};
-  EXPECT_THROW(session.align(bio::random_protein(10, rng), 0),
-               std::logic_error);
+  // Typed error boundary: try_align reports NoReference, align throws the
+  // exception form carrying the same payload.
+  const auto result = session.try_align(bio::random_protein(10, rng), 0);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, ErrorCode::NoReference);
+  try {
+    session.align(bio::random_protein(10, rng), 0);
+    FAIL() << "align without a reference must throw";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::NoReference);
+  }
+}
+
+TEST(Session, SoftwareHitsBatchRejectsMismatchedThresholds) {
+  util::Xoshiro256 rng{162};
+  Session session;
+  session.upload_reference(bio::random_dna(2000, rng));
+  const std::vector<ProteinSequence> queries{bio::random_protein(8, rng),
+                                             bio::random_protein(9, rng)};
+  const std::vector<std::uint32_t> thresholds{10};  // one short
+  EXPECT_THROW(session.software_hits_batch(queries, thresholds),
+               std::invalid_argument);
 }
 
 TEST(Session, EndToEndFindsPlantedGene) {

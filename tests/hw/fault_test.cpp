@@ -1,0 +1,165 @@
+#include "fabp/hw/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/bio/packed.hpp"
+
+namespace fabp::hw {
+namespace {
+
+TEST(FaultInjector, ZeroRatesInjectNothing) {
+  FaultInjector injector{FaultConfig{}};
+  EXPECT_FALSE(FaultConfig{}.enabled());
+  std::uint32_t bit = 0;
+  EXPECT_FALSE(injector.transfer_fails());
+  EXPECT_FALSE(injector.readback_corrupts(bit));
+  EXPECT_TRUE(injector.data_events(1'000'000).empty());
+  EXPECT_EQ(injector.storm_cycles(0), 0u);
+  EXPECT_TRUE(injector.log().empty());
+}
+
+TEST(FaultInjector, ScheduleIsReplayable) {
+  FaultConfig config;
+  config.seed = 42;
+  config.flip_rate = 1e-4;
+  config.drop_rate = 1e-3;
+  config.dup_rate = 1e-3;
+  FaultInjector a{config, 7};
+  FaultInjector b{config, 7};
+  EXPECT_EQ(a.data_events(10'000), b.data_events(10'000));
+  EXPECT_EQ(a.log(), b.log());
+}
+
+TEST(FaultInjector, DistinctStreamsDiverge) {
+  FaultConfig config;
+  config.flip_rate = 1e-3;
+  FaultInjector a{config, 0};
+  FaultInjector b{config, 1};
+  EXPECT_NE(a.data_events(100'000), b.data_events(100'000));
+}
+
+TEST(FaultInjector, EventRateTracksConfig) {
+  FaultConfig config;
+  config.drop_rate = 1e-3;
+  FaultInjector injector{config};
+  const auto events = injector.data_events(1'000'000);
+  // Binomial(1e6, 1e-3): ~1000 +- a few sigma.
+  EXPECT_GT(events.size(), 800u);
+  EXPECT_LT(events.size(), 1200u);
+  for (const FaultEvent& e : events) {
+    EXPECT_EQ(e.kind, FaultKind::DropBeat);
+    EXPECT_LT(e.beat, 1'000'000u);
+  }
+  // Events arrive in beat order (the merged schedule).
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].beat, events[i].beat);
+}
+
+TEST(FaultyAxiStream, NullInjectorMatchesCleanStream) {
+  AxiTimingConfig timing;
+  AxiReadStream clean{timing};
+  FaultyAxiStream faulty{timing, nullptr};
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_EQ(clean.advance(), faulty.advance());
+  EXPECT_EQ(faulty.beats_delivered(), clean.beats_delivered());
+  EXPECT_EQ(faulty.cycles_elapsed(), clean.cycles_elapsed());
+  EXPECT_EQ(faulty.injected_stall_cycles(), 0u);
+}
+
+TEST(FaultyAxiStream, StormsInsertDeadCycles) {
+  FaultConfig config;
+  config.stall_rate = 0.05;
+  config.stall_cycles = 16;
+  FaultInjector injector{config};
+  FaultyAxiStream stream{AxiTimingConfig{}, &injector};
+
+  std::size_t beats = 0;
+  std::size_t cycles = 0;
+  while (beats < 2000) {
+    if (stream.advance()) ++beats;
+    ++cycles;
+    ASSERT_LT(cycles, 1'000'000u) << "stream wedged";
+  }
+  EXPECT_GT(stream.injected_stall_cycles(), 0u);
+  EXPECT_EQ(stream.cycles_elapsed(), cycles);
+  // Every storm in the log accounts for stall_cycles dead cycles.
+  std::size_t logged = 0;
+  for (const FaultEvent& e : injector.log())
+    if (e.kind == FaultKind::StallStorm) logged += e.cycles;
+  EXPECT_GE(logged, stream.injected_stall_cycles());
+  // A faulty stream is strictly slower than a clean one for equal beats.
+  AxiReadStream clean{AxiTimingConfig{}};
+  std::size_t clean_cycles = 0;
+  for (std::size_t b = 0; b < 2000;) {
+    if (clean.advance()) ++b;
+    ++clean_cycles;
+  }
+  EXPECT_GT(cycles, clean_cycles);
+}
+
+TEST(CorruptWords, BitFlipFlipsExactlyOneBit) {
+  std::vector<std::uint64_t> words(64, 0);
+  const FaultEvent event{FaultKind::BitFlip, 2, 100, 0};
+  const auto out =
+      corrupt_words(words, std::span{&event, 1}, words.size());
+  // Beat 2 starts at word 16; bit 100 lands in word 17, bit 36.
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    if (w == 17)
+      EXPECT_EQ(out[w], 1ULL << 36);
+    else
+      EXPECT_EQ(out[w], 0u);
+  }
+}
+
+TEST(CorruptWords, DropShiftsTileTailUp) {
+  std::vector<std::uint64_t> words(32);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = i;
+  const FaultEvent event{FaultKind::DropBeat, 1, 0, 0};  // words 8..15
+  const auto out = corrupt_words(words, std::span{&event, 1}, 32);
+  for (std::size_t w = 0; w < 8; ++w) EXPECT_EQ(out[w], w);  // before: intact
+  for (std::size_t w = 8; w < 24; ++w) EXPECT_EQ(out[w], w + 8);  // shifted
+  for (std::size_t w = 24; w < 32; ++w) EXPECT_EQ(out[w], 0u);  // zero tail
+}
+
+TEST(CorruptWords, DupShiftsTileTailDown) {
+  std::vector<std::uint64_t> words(32);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = i;
+  const FaultEvent event{FaultKind::DupBeat, 1, 0, 0};
+  const auto out = corrupt_words(words, std::span{&event, 1}, 32);
+  for (std::size_t w = 0; w < 16; ++w) EXPECT_EQ(out[w], w);  // beat repeats
+  for (std::size_t w = 16; w < 32; ++w) EXPECT_EQ(out[w], w - 8);
+}
+
+TEST(CorruptWords, DropConfinedToTile) {
+  // Two 16-word tiles; a drop in tile 0 must not disturb tile 1 (the
+  // stream realigns at the descriptor boundary).
+  std::vector<std::uint64_t> words(32);
+  for (std::size_t i = 0; i < words.size(); ++i) words[i] = 1000 + i;
+  const FaultEvent event{FaultKind::DropBeat, 0, 0, 0};
+  const auto out = corrupt_words(words, std::span{&event, 1}, 16);
+  for (std::size_t w = 16; w < 32; ++w) EXPECT_EQ(out[w], 1000 + w);
+}
+
+TEST(CorruptWords, TimingEventsLeaveDataIntact) {
+  std::vector<std::uint64_t> words(16, 0xABCD);
+  const FaultEvent events[] = {
+      {FaultKind::StallStorm, 0, 0, 64},
+      {FaultKind::TransferFail, 0, 0, 0},
+      {FaultKind::ReadbackFlip, 0, 5, 0},
+  };
+  const auto out = corrupt_words(words, events, 16);
+  EXPECT_EQ(out, words);
+}
+
+TEST(FaultKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(FaultKind::BitFlip), "bit-flip");
+  EXPECT_STREQ(to_string(FaultKind::DropBeat), "drop-beat");
+  EXPECT_STREQ(to_string(FaultKind::DupBeat), "dup-beat");
+  EXPECT_STREQ(to_string(FaultKind::StallStorm), "stall-storm");
+  EXPECT_STREQ(to_string(FaultKind::TransferFail), "transfer-fail");
+  EXPECT_STREQ(to_string(FaultKind::ReadbackFlip), "readback-flip");
+}
+
+}  // namespace
+}  // namespace fabp::hw

@@ -1,0 +1,62 @@
+#include "fabp/util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace fabp::util {
+namespace {
+
+TEST(Crc32, CheckValue) {
+  // CRC-32/ISO-HDLC check value over the standard test vector.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32(data.data(), data.size());
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t head = crc32(data.data(), split);
+    const std::uint32_t both = crc32(data.data() + split, data.size() - split,
+                                     head);
+    EXPECT_EQ(both, whole) << "split=" << split;
+  }
+}
+
+TEST(Crc32, WordsMatchLittleEndianBytes) {
+  const std::vector<std::uint64_t> words{0x0123456789abcdefULL,
+                                         0xfedcba9876543210ULL};
+  std::vector<unsigned char> bytes(words.size() * 8);
+  for (std::size_t w = 0; w < words.size(); ++w)
+    for (int b = 0; b < 8; ++b)
+      bytes[w * 8 + static_cast<std::size_t>(b)] =
+          static_cast<unsigned char>((words[w] >> (8 * b)) & 0xFF);
+  EXPECT_EQ(crc32_words(words), crc32(bytes.data(), bytes.size()));
+}
+
+TEST(Crc32, SingleBitFlipChangesChecksum) {
+  std::vector<std::uint64_t> words(64, 0x5555555555555555ULL);
+  const std::uint32_t clean = crc32_words(words);
+  for (std::size_t bit : {0u, 63u, 64u, 1000u, 4095u}) {
+    auto flipped = words;
+    flipped[bit / 64] ^= 1ULL << (bit % 64);
+    EXPECT_NE(crc32_words(flipped), clean) << "bit=" << bit;
+  }
+}
+
+TEST(Crc32, ChainingWordsIsIncremental) {
+  const std::vector<std::uint64_t> words{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t whole = crc32_words(words);
+  const std::uint32_t head = crc32_words(std::span{words}.subspan(0, 3));
+  EXPECT_EQ(crc32_words(std::span{words}.subspan(3), head), whole);
+}
+
+}  // namespace
+}  // namespace fabp::util

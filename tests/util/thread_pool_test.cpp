@@ -104,9 +104,12 @@ TEST(ThreadPool, GranuleRoundsChunksToWholeMultiples) {
   EXPECT_EQ(seen.back()[2], 1000u);
   for (std::size_t i = 0; i < seen.size(); ++i) {
     EXPECT_EQ(seen[i][0], i);  // chunk indices are dense and ordered
-    if (i > 0) EXPECT_EQ(seen[i][1], seen[i - 1][2]);
-    if (i + 1 < seen.size())  // every chunk but the last: whole granules
+    if (i > 0) {
+      EXPECT_EQ(seen[i][1], seen[i - 1][2]);
+    }
+    if (i + 1 < seen.size()) {  // every chunk but the last: whole granules
       EXPECT_EQ((seen[i][2] - seen[i][1]) % 128, 0u);
+    }
   }
 }
 
@@ -133,6 +136,50 @@ TEST(ThreadPool, ChunkCountIsExactAndGranuleAware) {
   EXPECT_EQ(pool.chunk_count(63, 64), 1u);
   EXPECT_EQ(pool.chunk_count(64, 64), 1u);
   EXPECT_EQ(pool.chunk_count(65, 64), 2u);
+}
+
+TEST(ThreadPool, ParallelChunksSurfaceTaskExceptions) {
+  // A throwing chunk must reach the caller as an ordinary exception — not
+  // std::terminate on a worker, and not a rethrow while sibling chunks
+  // still reference the callable on the caller's stack.
+  ThreadPool pool{4};
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(0, 400, [&](std::size_t i) {
+      ++ran;
+      if (i == 123) throw std::runtime_error{"tile scan failed"};
+    });
+    FAIL() << "exception must propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "tile scan failed");
+  }
+  // Sibling chunks were drained before the rethrow — only the throwing
+  // chunk stops early, so at most one chunk's tail can be missing.
+  EXPECT_GE(ran.load(), 300);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndPoolStaysUsable) {
+  ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_chunks(0, 100,
+                                    [](std::size_t, std::size_t) {
+                                      throw std::logic_error{"each chunk"};
+                                    }),
+               std::logic_error);
+  // The pool survives and runs clean work afterwards.
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, InlineChunkAlsoPropagates) {
+  // The single-chunk fast path runs on the caller; exceptions flow as-is.
+  ThreadPool pool{1};
+  EXPECT_THROW(pool.parallel_indexed_chunks(
+                   0, 10,
+                   [](std::size_t, std::size_t, std::size_t) {
+                     throw std::invalid_argument{"inline"};
+                   }),
+               std::invalid_argument);
 }
 
 TEST(ThreadPool, SingleChunkRunsInline) {

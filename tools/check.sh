@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# One-command tier-1 verification, three times over:
+# One-command tier-1 verification, four times over:
 #
 #   1. default Release build + full ctest — exercises the runtime-dispatched
 #      scan kernel (the widest ISA this machine supports), and
@@ -8,10 +8,13 @@
 #      dispatch path, and
 #   3. a ThreadSanitizer build running the pooled tiled-scan and thread-pool
 #      tests — race coverage over the tile-parallel merge and the
-#      concurrent strand-plane compile.
+#      concurrent strand-plane compile, and
+#   4. an UndefinedBehaviorSanitizer build running the fault-injection and
+#      chaos suites — UB coverage over beat corruption, CRC repair and the
+#      retry/degrade state machine.
 #
-# Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/
-# and build-tsan/)
+# Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/,
+# build-tsan/ and build-ubsan/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,4 +36,10 @@ cmake --build build-tsan -j"$jobs" --target core_tests util_tests
 build-tsan/tests/core_tests --gtest_filter='TileScan*'
 build-tsan/tests/util_tests --gtest_filter='ThreadPool*'
 
-echo "== check.sh: all green (default + asan/swar64 + tsan) =="
+echo "== check.sh: ubsan build, fault + chaos suites =="
+cmake -B build-ubsan -S . -DFABP_SANITIZE=undefined
+cmake --build build-ubsan -j"$jobs" --target core_tests hw_tests
+build-ubsan/tests/hw_tests --gtest_filter='Fault*:CorruptWords*'
+build-ubsan/tests/core_tests --gtest_filter='Chaos*'
+
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos) =="

@@ -6,11 +6,14 @@
 //   fabp tblastn <ref.fa> <queries.fa>         CPU-baseline search
 //   fabp map <residues> [kintex7|vu9p]         resource mapping (Table I)
 //   fabp rtl <out_dir> [elements]              export structural Verilog
+//   fabp chaos [bases] [query-aa] [seeds] [rates...]
+//                                              fault-injection sweep vs golden
 //
 // Exit code 0 on success, 1 on usage/product errors.
 
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,7 +32,8 @@ int usage() {
       "  fabp scan <ref.fa> <queries.fa> [threshold-fraction] [threads]\n"
       "  fabp tblastn <ref.fa> <queries.fa>\n"
       "  fabp map <residues> [kintex7|vu9p]\n"
-      "  fabp rtl <out_dir> [elements]\n";
+      "  fabp rtl <out_dir> [elements]\n"
+      "  fabp chaos [bases] [query-aa] [seeds] [flip-rates...]\n";
   return 1;
 }
 
@@ -203,6 +207,76 @@ int cmd_rtl(const std::string& out_dir, std::size_t elements) {
   return 0;
 }
 
+int cmd_chaos(std::size_t bases, std::size_t query_aa, std::size_t seeds,
+              std::vector<double> rates) {
+  // Fault-injection sweep: align the same query under increasing per-bit
+  // flip rates (x `seeds` independent schedules each) and require the
+  // recovered hits to stay bit-identical to the zero-fault golden run.
+  if (rates.empty()) rates = {1e-9, 1e-8, 1e-7, 1e-6, 1e-5};
+
+  util::Xoshiro256 rng{4242};
+  const auto dna = bio::random_dna(bases, rng);
+  const auto query = bio::random_protein(query_aa, rng);
+  const auto threshold =
+      static_cast<std::uint32_t>(query_aa * 3 * 45 / 100);
+
+  core::Session golden_session;
+  golden_session.upload_reference(dna);
+  const auto golden = golden_session.align(query, threshold);
+  std::cerr << "reference " << bases << " bases, query " << query_aa
+            << " aa, threshold " << threshold << ", golden "
+            << golden.hits.size() << " hit(s) in "
+            << util::time_text(golden.total_s) << '\n';
+
+  std::cout << std::left << std::setw(11) << "flip-rate" << std::right
+            << std::setw(6) << "runs" << std::setw(7) << "crc"
+            << std::setw(8) << "rescan" << std::setw(9) << "retries"
+            << std::setw(10) << "fallback" << std::setw(12) << "recovery"
+            << std::setw(10) << "overhead" << "  match\n";
+
+  bool all_match = true;
+  for (const double rate : rates) {
+    core::RecoveryStats merged;
+    double swept_s = 0.0;
+    bool match = true;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      core::HostConfig config;
+      config.fault.seed = 0xc4a05c0deULL + s;
+      config.fault.flip_rate = rate;
+      core::Session session{config};
+      session.upload_reference(dna);
+      const auto result = session.try_align(query, threshold);
+      if (!result) {
+        std::cerr << "rate " << rate << " seed " << s << ": "
+                  << core::to_string(result.error().code) << ": "
+                  << result.error().message << '\n';
+        match = false;
+        continue;
+      }
+      merged.merge(result->recovery);
+      swept_s += result->total_s;
+      if (result->hits != golden.hits) match = false;
+    }
+    all_match = all_match && match;
+    const double overhead =
+        golden.total_s > 0.0
+            ? swept_s / (static_cast<double>(seeds) * golden.total_s) - 1.0
+            : 0.0;
+    std::cout << std::left << std::setw(11) << rate << std::right
+              << std::setw(6) << seeds << std::setw(7) << merged.crc_faults
+              << std::setw(8) << merged.rescanned_tiles << std::setw(9)
+              << merged.retries << std::setw(10) << merged.fallbacks
+              << std::setw(12) << util::time_text(merged.recovery_s)
+              << std::setw(10) << util::percent_text(overhead, 2)
+              << (match ? "  ok" : "  DIVERGED") << '\n';
+  }
+  if (!all_match) {
+    std::cerr << "chaos: recovered hits diverged from the golden run\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +300,16 @@ int main(int argc, char** argv) {
     if (command == "rtl" && (argc == 3 || argc == 4))
       return cmd_rtl(argv[2],
                      argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 36);
+    if (command == "chaos") {
+      std::vector<double> rates;
+      for (int i = 5; i < argc; ++i)
+        rates.push_back(std::strtod(argv[i], nullptr));
+      return cmd_chaos(
+          argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50000,
+          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 16,
+          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 3,
+          std::move(rates));
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
