@@ -1,0 +1,296 @@
+// E15 — serving engine: what queue-depth coalescing buys.  A closed-loop
+// client pool offers load to the Engine at increasing concurrency; the
+// harness records sustained queries/second, p50/p99 request latency and
+// the coalesced-batch occupancy the scheduler achieved, for the tiled
+// software backend and the full hw-sim card model.  The 1-client
+// sequential row (Session-facade path, no queue) is the baseline every
+// sweep point is compared against, and every completed request's hit
+// list is checked against that baseline — a throughput number from a
+// wrong answer is worthless.  Alongside the console tables the harness
+// writes BENCH_engine.json.
+//
+//   bench_engine [bases] [query_residues] [requests] [json_path]
+//
+// Defaults: 8,000,000 bases, 20 residues, 160 requests per sweep point,
+// BENCH_engine.json.  The reference defaults cache-cold-ish (2 MB packed)
+// so the tile-compile amortisation that coalescing buys is visible; tiny
+// references that live in L2 flatten the effect.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/engine.hpp"
+#include "fabp/util/cpuid.hpp"
+#include "fabp/util/rng.hpp"
+#include "fabp/util/table.hpp"
+#include "fabp/util/timer.hpp"
+
+namespace {
+
+using namespace fabp;
+using core::BackendKind;
+using core::Engine;
+using core::EngineConfig;
+using core::EngineStats;
+using core::Hit;
+using Clock = std::chrono::steady_clock;
+
+struct LoadPoint {
+  std::size_t clients = 0;  // 0 = sequential align_sync baseline
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double speedup = 1.0;  // qps / sequential qps
+  double occupancy = 0.0;
+  std::size_t batches = 0;
+  std::size_t largest_batch = 0;
+};
+
+struct BackendSection {
+  BackendKind kind = BackendKind::Tiled;
+  std::vector<LoadPoint> points;  // points[0] is the sequential baseline
+  bool hits_match = true;
+};
+
+double percentile_ms(std::vector<double>& latencies_s, double fraction) {
+  if (latencies_s.empty()) return 0.0;
+  std::sort(latencies_s.begin(), latencies_s.end());
+  const std::size_t last = latencies_s.size() - 1;
+  const std::size_t index = static_cast<std::size_t>(
+      static_cast<double>(last) * fraction + 0.5);
+  return latencies_s[std::min(index, last)] * 1e3;
+}
+
+EngineConfig engine_config(BackendKind kind, std::size_t requests) {
+  EngineConfig config;
+  config.backend = kind;
+  config.workers = 2;
+  config.queue_capacity = std::max<std::size_t>(requests, 256);
+  return config;
+}
+
+// Sequential baseline: the Session-facade path, one align_sync at a time
+// on a single thread.  No queue, no coalescing — per-request latency is
+// exactly one full scan.
+LoadPoint run_sequential(Engine& engine,
+                         const std::vector<bio::ProteinSequence>& queries,
+                         const std::vector<std::uint32_t>& thresholds,
+                         std::size_t requests,
+                         std::vector<std::vector<Hit>>& expected_out) {
+  expected_out.clear();
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    expected_out.push_back(
+        engine.align_sync(queries[q], thresholds[q])->hits);
+
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  util::Timer timer;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const std::size_t q = i % queries.size();
+    const Clock::time_point start = Clock::now();
+    const auto report = engine.align_sync(queries[q], thresholds[q]);
+    if (!report.has_value() || report->hits != expected_out[q])
+      std::abort();  // the baseline itself must be self-consistent
+    latencies.push_back(
+        std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  LoadPoint point;
+  point.clients = 0;
+  point.seconds = timer.seconds();
+  point.qps = static_cast<double>(requests) / point.seconds;
+  point.p50_ms = percentile_ms(latencies, 0.50);
+  point.p99_ms = percentile_ms(latencies, 0.99);
+  return point;
+}
+
+// One sweep point: `clients` closed-loop threads, each submitting and
+// waiting one request at a time, so the offered concurrency equals the
+// client count and the queue depth the scheduler sees is organic.
+LoadPoint run_load_point(BackendKind kind, const bio::NucleotideSequence& ref,
+                         const std::vector<bio::ProteinSequence>& queries,
+                         const std::vector<std::uint32_t>& thresholds,
+                         const std::vector<std::vector<Hit>>& expected,
+                         std::size_t clients, std::size_t requests,
+                         bool& hits_match) {
+  Engine engine{engine_config(kind, requests)};
+  engine.upload_reference(bio::NucleotideSequence{ref});
+
+  const std::size_t per_client = requests / clients;
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> mismatches{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  util::Timer timer;
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t q = (c * per_client + i) % queries.size();
+        const Clock::time_point start = Clock::now();
+        core::Ticket ticket = engine.submit(queries[q], thresholds[q]);
+        const auto report = ticket.wait();
+        latencies[c].push_back(
+            std::chrono::duration<double>(Clock::now() - start).count());
+        if (!report.has_value() || report->hits != expected[q]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& client : pool) client.join();
+  const double elapsed = timer.seconds();
+  if (mismatches.load() != 0) hits_match = false;
+
+  std::vector<double> all;
+  for (const std::vector<double>& client : latencies)
+    all.insert(all.end(), client.begin(), client.end());
+
+  const EngineStats stats = engine.stats();
+  LoadPoint point;
+  point.clients = clients;
+  point.seconds = elapsed;
+  point.qps = static_cast<double>(per_client * clients) / elapsed;
+  point.p50_ms = percentile_ms(all, 0.50);
+  point.p99_ms = percentile_ms(all, 0.99);
+  point.occupancy = stats.batch_occupancy();
+  point.batches = stats.coalesced_batches;
+  point.largest_batch = stats.largest_batch;
+  return point;
+}
+
+BackendSection run_backend(BackendKind kind, const bio::NucleotideSequence& ref,
+                           const std::vector<bio::ProteinSequence>& queries,
+                           const std::vector<std::uint32_t>& thresholds,
+                           std::size_t requests) {
+  BackendSection section;
+  section.kind = kind;
+
+  Engine baseline{engine_config(kind, requests)};
+  baseline.upload_reference(bio::NucleotideSequence{ref});
+  std::vector<std::vector<Hit>> expected;
+  section.points.push_back(
+      run_sequential(baseline, queries, thresholds, requests, expected));
+  const double sequential_qps = section.points.front().qps;
+
+  for (const std::size_t clients : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{16}}) {
+    LoadPoint point =
+        run_load_point(kind, ref, queries, thresholds, expected, clients,
+                       requests, section.hits_match);
+    point.speedup = point.qps / sequential_qps;
+    section.points.push_back(point);
+  }
+  return section;
+}
+
+void print_section(const BackendSection& section) {
+  util::banner(std::cout, std::string{"engine: "} + to_string(section.kind) +
+                              " backend");
+  util::Table table{{"clients", "time", "queries/s", "p50", "p99",
+                     "vs sequential", "occupancy", "batches"}};
+  for (const LoadPoint& p : section.points) {
+    table.row();
+    if (p.clients == 0)
+      table.cell("sequential");
+    else
+      table.cell(p.clients);
+    table.cell(util::time_text(p.seconds))
+        .cell(p.qps, 1)
+        .cell(util::time_text(p.p50_ms * 1e-3))
+        .cell(util::time_text(p.p99_ms * 1e-3))
+        .cell(util::ratio_text(p.speedup, 2))
+        .cell(p.occupancy, 2)
+        .cell(p.batches);
+  }
+  table.print(std::cout);
+  std::cout << "  hits identical to sequential baseline: "
+            << (section.hits_match ? "yes" : "NO — BUG") << "\n";
+}
+
+void write_json(const std::string& path, std::size_t bases,
+                std::size_t residues, std::size_t requests,
+                const std::vector<BackendSection>& sections) {
+  std::ofstream os{path};
+  os << "{\n"
+     << "  \"bench\": \"engine\",\n"
+     << "  \"config\": {\n"
+     << "    \"reference_bases\": " << bases << ",\n"
+     << "    \"query_residues\": " << residues << ",\n"
+     << "    \"requests_per_point\": " << requests << ",\n"
+     << "    \"workers\": 2,\n"
+     << "    \"max_coalesce\": " << EngineConfig{}.max_coalesce << ",\n"
+     << "    \"cpu_isa\": \"" << util::cpu_isa_summary() << "\"\n"
+     << "  },\n"
+     << "  \"backends\": [\n";
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    const BackendSection& section = sections[s];
+    os << "    {\"backend\": \"" << to_string(section.kind) << "\", "
+       << "\"hits_match_sequential\": "
+       << (section.hits_match ? "true" : "false") << ", \"points\": [\n";
+    for (std::size_t i = 0; i < section.points.size(); ++i) {
+      const LoadPoint& p = section.points[i];
+      os << "      {\"mode\": \""
+         << (p.clients == 0 ? "sequential" : "engine")
+         << "\", \"clients\": " << p.clients << ", \"seconds\": " << p.seconds
+         << ", \"queries_per_second\": " << p.qps
+         << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+         << ", \"speedup_vs_sequential\": " << p.speedup
+         << ", \"batch_occupancy\": " << p.occupancy
+         << ", \"coalesced_batches\": " << p.batches
+         << ", \"largest_batch\": " << p.largest_batch << "}"
+         << (i + 1 < section.points.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (s + 1 < sections.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t bases =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8'000'000;
+  const std::size_t residues =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20;
+  std::size_t requests =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 160;
+  const std::string json_path = argc > 4 ? argv[4] : "BENCH_engine.json";
+  requests = std::max<std::size_t>(requests - requests % 16, 16);
+
+  util::Xoshiro256 rng{0xE10};
+  const bio::NucleotideSequence ref = bio::random_dna(bases, rng);
+  std::vector<bio::ProteinSequence> queries;
+  std::vector<std::uint32_t> thresholds;
+  for (std::size_t q = 0; q < 8; ++q) {
+    queries.push_back(bio::random_protein(residues, rng));
+    // 65% of elements: selective on random DNA (median random score is
+    // ~45%), so latency measures scan cost, not hit-list copying.
+    thresholds.push_back(
+        static_cast<std::uint32_t>(queries.back().size() * 3 * 65 / 100));
+  }
+
+  std::cout << "bench_engine: " << bases << " bases, " << residues
+            << " aa queries, " << requests << " requests per point ("
+            << util::cpu_isa_summary() << ")\n";
+
+  std::vector<BackendSection> sections;
+  for (const BackendKind kind : {BackendKind::Tiled, BackendKind::HwSim}) {
+    sections.push_back(run_backend(kind, ref, queries, thresholds, requests));
+    print_section(sections.back());
+  }
+
+  write_json(json_path, bases, residues, requests, sections);
+  std::cout << "  wrote " << json_path << "\n";
+
+  for (const BackendSection& section : sections)
+    if (!section.hits_match) return 1;
+  return 0;
+}

@@ -1,0 +1,155 @@
+#pragma once
+// Backend layer of the serving engine (DESIGN.md §"Layered host runtime").
+//
+// A ScanBackend is one way of answering "all hits of this compiled query
+// against the uploaded reference": the tile-fused software scanner, the
+// precompiled whole-reference planes, or the cycle-accurate hardware
+// simulation (Accelerator) wrapped in the PR-4 fault-detection/recovery
+// machinery that used to live inside Session.  Every backend consumes a
+// CompiledQuery (the compile layer's artifact) and returns hits + per-run
+// stats through one uniform BackendRun, so the engine's coalescing
+// scheduler and the Session facade schedule them interchangeably — the
+// architecture ASAP and the FPGA-alignment surveys frame for alignment
+// accelerators behind a host runtime.
+//
+// Functional contract shared by all backends: the forward hit list, and
+// the reverse-strand list mapped to forward window coordinates, are
+// bit-for-bit what golden_hits computes (the software scanners by the
+// PR-1/PR-3 pinning, the hw-sim by the accelerator's own differential
+// tests, faults included — recovery repairs to golden or reports a typed
+// error).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "fabp/core/host.hpp"
+#include "fabp/core/query_compiler.hpp"
+
+namespace fabp::core {
+
+/// Backend selection: which implementation serves a request.
+enum class BackendKind : std::uint8_t {
+  HwSim,   ///< Accelerator model + fault recovery (the full card model)
+  Tiled,   ///< tile-fused software compile+scan (TileScanner)
+  Planes,  ///< precompiled whole-reference planes (BitScanReference)
+};
+
+const char* to_string(BackendKind kind) noexcept;
+
+/// The software backend matching a HostConfig's scan-path choice.
+BackendKind software_backend_kind(ScanPath path) noexcept;
+
+/// The "FPGA DRAM" of the model: the packed reference (and its
+/// reverse-complement copy when both strands are searched), shared by every
+/// backend of an engine.  upload() is the one mutation point; backends
+/// cache derived artifacts (planes, tile CRCs) and drop them on
+/// invalidate().
+struct ReferenceStore {
+  bio::PackedNucleotides forward;
+  bio::PackedNucleotides reverse;  ///< RC copy; empty unless both strands
+  bool uploaded = false;
+
+  void upload(bio::PackedNucleotides packed, bool both_strands);
+  const bio::PackedNucleotides& strand(bool reverse_strand) const noexcept {
+    return reverse_strand ? reverse : forward;
+  }
+};
+
+/// One backend invocation's raw result: both strands' hits plus the cycle/
+/// energy accounting and what recovery did.  Software backends report
+/// measured wall time in kernel_seconds and no card power; the hw-sim
+/// reports the modeled kernel.  finalize_run() turns this into the
+/// HostRunReport the public API ships.
+struct BackendRun {
+  std::vector<Hit> hits;          ///< forward strand, position order
+  std::vector<Hit> reverse_hits;  ///< forward window coords, sorted
+  FabpMapping mapping;            ///< empty for pure-software backends
+  std::size_t cycles = 0;
+  double kernel_seconds = 0.0;
+  double watts = 0.0;
+  RecoveryStats recovery;
+};
+
+/// One request as a backend sees it.  The precomputed lists come from a
+/// coalesced batch scan: forward_hits in forward coordinates, reverse_hits
+/// raw RC-strand positions (the backend maps them).  Null pointers mean
+/// "scan inside the run".
+struct BackendRequest {
+  const CompiledQuery* query = nullptr;
+  std::uint32_t threshold = 0;
+  const std::vector<Hit>* forward_hits = nullptr;
+  const std::vector<Hit>* reverse_hits = nullptr;
+  util::ThreadPool* pool = nullptr;  ///< chunks software scans; may be null
+};
+
+class ScanBackend {
+ public:
+  virtual ~ScanBackend() = default;
+
+  virtual BackendKind kind() const noexcept = 0;
+  std::string_view name() const noexcept { return to_string(kind()); }
+
+  /// The reference store changed (re-upload): drop every derived cache.
+  virtual void invalidate() = 0;
+
+  /// One aligned search (both strands when the config says so).  Typed
+  /// errors only — never throws for runtime failures.
+  virtual Expected<BackendRun> run(const BackendRequest& request) = 0;
+
+  /// Raw hit lists for a whole batch in one pass over one strand of the
+  /// reference — the coalescing scheduler's precompute hook.  Element [q]
+  /// is exactly the strand hit list run() would compute for
+  /// (queries[q], thresholds[q]); reverse-strand lists are returned in raw
+  /// RC coordinates (run() maps them).
+  virtual std::vector<std::vector<Hit>> scan_batch(
+      std::span<const CompiledQueryPtr> queries,
+      std::span<const std::uint32_t> thresholds, bool reverse_strand,
+      util::ThreadPool* pool) = 0;
+
+  /// Forward-strand hits through the pure software path (the
+  /// Session::software_hits contract: no accelerator timing model).
+  virtual std::vector<Hit> scan_one(const CompiledQuery& query,
+                                    std::uint32_t threshold,
+                                    util::ThreadPool* pool) = 0;
+
+  /// False when run() must evaluate element-by-element and ignores
+  /// precomputed hit lists (the LUT oracle path).
+  virtual bool supports_precomputed_hits() const noexcept { return true; }
+
+  /// Health machine position; software backends never degrade.
+  virtual HealthState health() const noexcept { return HealthState::Healthy; }
+
+  /// Injected fault events over this backend's lifetime (hw-sim only).
+  virtual const std::vector<hw::FaultEvent>& fault_log() const noexcept;
+};
+
+/// Constructs a backend over `store` for `kind`.  The store and config
+/// must outlive the backend (the engine/Session owns all three).
+std::unique_ptr<ScanBackend> make_backend(BackendKind kind,
+                                          const HostConfig& config,
+                                          const ReferenceStore& store);
+
+/// Turns a backend run into the public HostRunReport: adds the PCIe
+/// transfer model (query upload, readback, optional reference transfer),
+/// charges recovery time, and prices energy — exactly the accounting the
+/// pre-refactor Session::finish performed.
+HostRunReport finalize_run(const HostConfig& config,
+                           const CompiledQuery& query, BackendRun run,
+                           std::size_t reference_bytes);
+
+/// Timing-only projection against a hypothetical reference of `bytes`
+/// packed bytes (Session::estimate's engine).
+HostRunReport estimate_run(const HostConfig& config,
+                           const CompiledQuery& query, std::uint32_t threshold,
+                           std::size_t bytes);
+
+/// Typed construction-time validation of a HostConfig: zero/absurd tile
+/// sizes, non-positive bandwidths, zero retry budgets and out-of-range
+/// fault probabilities are rejected with ErrorCode::InvalidConfig before
+/// they can fail deep inside a scan.  Returns ErrorCode::None when valid.
+Error validate_host_config(const HostConfig& config) noexcept;
+
+}  // namespace fabp::core

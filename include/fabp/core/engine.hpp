@@ -1,0 +1,268 @@
+#pragma once
+// Engine layer of the serving runtime (DESIGN.md §"Layered host runtime").
+//
+// The Session facade answers one query at a time on the caller's thread.
+// A deployment answers many callers at once against one card: requests
+// arrive concurrently, wait in a bounded admission queue, and the scarce
+// resource — one pass over the resident reference — wants to be shared.
+// The Engine is that serving loop: submit() enqueues a request and hands
+// back a future-like Ticket; a small worker pool drains the queue, and
+// whenever more than one request is waiting it *coalesces* them into one
+// multi-query scan over the reference (the PR-2/PR-3 batch machinery), so
+// queue depth converts into per-query scan cost savings instead of pure
+// latency.  Requests carry optional deadlines and can be cancelled while
+// queued; every outcome — including queue-full rejection, cancellation,
+// deadline expiry and shutdown — is a typed core::Error, never a hang.
+//
+// Determinism contract: the hits of a coalesced request are bit-for-bit
+// the hits of Session::align on the same query/threshold (pinned by the
+// engine differential tests for all three backends).
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "fabp/core/backend.hpp"
+
+namespace fabp::core {
+
+struct EngineConfig {
+  HostConfig host{};
+  /// Which backend serves requests (the full card model by default).
+  BackendKind backend = BackendKind::HwSim;
+  /// Worker threads draining the queue.  Backend execution itself is
+  /// serialized (one modeled card), so extra workers only overlap claim /
+  /// bookkeeping; 1–2 is plenty.
+  std::size_t workers = 2;
+  /// Admission queue bound; submissions beyond it are rejected with
+  /// ErrorCode::QueueFull instead of growing latency without bound.
+  std::size_t queue_capacity = 256;
+  /// Most queued requests one coalesced batch may absorb.
+  std::size_t max_coalesce = 16;
+  /// QueryCompiler LRU capacity (compiled artifacts shared across requests).
+  std::size_t compiler_capacity = 128;
+  /// Spawn workers lazily on the first submit().  Turn off to hold the
+  /// queue closed until an explicit start() — requests then accumulate
+  /// (or reject) deterministically, which the queue/cancel/deadline tests
+  /// rely on.
+  bool autostart = true;
+};
+
+/// Per-request knobs.
+struct RequestOptions {
+  /// Seconds the request may wait in the queue before it is failed with
+  /// DeadlineExceeded instead of run; 0 = no deadline.  Checked when a
+  /// worker claims the request (queued-time deadline, not execution time).
+  double timeout_s = 0.0;
+};
+
+/// Monotonic counters over an engine's lifetime (snapshot via stats()).
+struct EngineStats {
+  std::size_t submitted = 0;         ///< accepted into the queue
+  std::size_t completed = 0;         ///< finished with a value
+  std::size_t failed = 0;            ///< finished with a typed error
+  std::size_t rejected = 0;          ///< refused at submit (queue full)
+  std::size_t cancelled = 0;         ///< cancelled while queued
+  std::size_t expired = 0;           ///< deadline passed while queued
+  std::size_t coalesced_batches = 0; ///< multi-query scans issued
+  std::size_t coalesced_requests = 0;///< requests served by those scans
+  std::size_t largest_batch = 0;     ///< widest coalesced scan so far
+
+  /// Mean requests per coalesced batch (0 when none formed).
+  double batch_occupancy() const noexcept {
+    return coalesced_batches == 0
+               ? 0.0
+               : static_cast<double>(coalesced_requests) /
+                     static_cast<double>(coalesced_batches);
+  }
+};
+
+namespace detail {
+
+/// Queue-entry lifecycle.  The atomic phase is the single arbitration
+/// point between the claiming worker and a concurrent cancel: whoever
+/// CASes Pending away owns the promise and fulfils it exactly once.
+enum class RequestPhase : int { Pending = 0, Claimed = 1, Cancelled = 2 };
+
+struct EngineCounters {
+  std::atomic<std::size_t> submitted{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> rejected{0};
+  std::atomic<std::size_t> cancelled{0};
+  std::atomic<std::size_t> expired{0};
+  std::atomic<std::size_t> coalesced_batches{0};
+  std::atomic<std::size_t> coalesced_requests{0};
+  std::atomic<std::size_t> largest_batch{0};
+};
+
+struct RequestState {
+  CompiledQueryPtr query;
+  std::uint32_t threshold = 0;
+  std::chrono::steady_clock::time_point deadline{};  // epoch = none
+  bool has_deadline = false;
+  std::atomic<int> phase{static_cast<int>(RequestPhase::Pending)};
+  std::promise<Expected<HostRunReport>> promise;
+  std::shared_ptr<EngineCounters> counters;  // outlives the engine
+
+  /// CAS Pending -> to; true means the caller now owns the promise.
+  bool claim(RequestPhase to) noexcept {
+    int expected = static_cast<int>(RequestPhase::Pending);
+    return phase.compare_exchange_strong(expected, static_cast<int>(to));
+  }
+};
+
+}  // namespace detail
+
+/// Handle to one submitted request.  wait() blocks for the outcome and
+/// may be called once; cancel() races the workers for a still-queued
+/// request.  Tickets share ownership of the request state, so they stay
+/// valid after the engine is destroyed (the outcome is then a
+/// ShuttingDown error if the request never ran).
+class Ticket {
+ public:
+  Ticket() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Blocks until the request finishes and consumes the outcome.
+  Expected<HostRunReport> wait() { return future_.get(); }
+
+  /// True once the outcome is available (wait() will not block).
+  bool ready() const {
+    return future_.valid() &&
+           future_.wait_for(std::chrono::seconds{0}) ==
+               std::future_status::ready;
+  }
+
+  /// Cancels the request if no worker has claimed it yet.  Returns true
+  /// when this call won the race (wait() then yields ErrorCode::Cancelled);
+  /// false when the request already ran, failed, or was cancelled before.
+  bool cancel();
+
+ private:
+  friend class Engine;
+  explicit Ticket(std::shared_ptr<detail::RequestState> state)
+      : state_{std::move(state)}, future_{state_->promise.get_future()} {}
+
+  std::shared_ptr<detail::RequestState> state_;
+  std::future<Expected<HostRunReport>> future_;
+};
+
+/// Construction-time validation of the engine knobs + the wrapped
+/// HostConfig (ErrorCode::None when valid, InvalidConfig otherwise).
+Error validate_engine_config(const EngineConfig& config) noexcept;
+
+class Engine {
+ public:
+  /// Throws FaultError{InvalidConfig} when validate_engine_config rejects
+  /// the configuration.  Worker threads start lazily on the first
+  /// submit(), so purely synchronous use (the Session facade) never
+  /// spawns a thread.
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- reference lifecycle ------------------------------------------------
+  void upload_reference(const bio::NucleotideSequence& reference);
+  void upload_reference(bio::PackedNucleotides reference);
+  bool has_reference() const noexcept { return store_.uploaded; }
+  const bio::PackedNucleotides& reference() const noexcept {
+    return store_.forward;
+  }
+
+  // --- asynchronous serving ----------------------------------------------
+  /// Enqueues one aligned search.  Never throws and never blocks beyond
+  /// the queue lock: a full queue, a compile failure (unencodable residue)
+  /// and shutdown all come back as already-failed tickets.
+  Ticket submit(const bio::ProteinSequence& query, std::uint32_t threshold,
+                RequestOptions options = {});
+
+  /// Spawns the worker pool if it is not running yet (no-op afterwards).
+  /// Only needed with autostart off.
+  void start();
+
+  // --- synchronous paths (the Session facade) ----------------------------
+  /// One aligned search on the caller's thread, exactly Session::try_align.
+  /// Optional precomputed strand hit lists come from a batch scan.
+  Expected<HostRunReport> align_sync(
+      const bio::ProteinSequence& query, std::uint32_t threshold,
+      const std::vector<Hit>* forward_hits = nullptr,
+      const std::vector<Hit>* reverse_hits = nullptr);
+
+  /// Batch align on the caller's thread: one multi-query scan precomputes
+  /// every hit list, then per-query runs reduce to accounting — exactly
+  /// Session::try_align_batch.
+  Expected<BatchReport> align_batch_sync(
+      std::span<const bio::ProteinSequence> queries, double threshold_fraction,
+      util::ThreadPool* pool = nullptr);
+
+  /// Timing-only projection (Session::estimate).
+  HostRunReport estimate(const bio::ProteinSequence& query,
+                         std::uint32_t threshold, std::size_t bytes) const;
+
+  /// Pure-software scans of the resident reference (Session::software_hits
+  /// contracts; caller must have uploaded a reference).
+  std::vector<Hit> software_hits(const bio::ProteinSequence& query,
+                                 std::uint32_t threshold,
+                                 util::ThreadPool* pool = nullptr);
+  std::vector<std::vector<Hit>> software_hits_batch(
+      std::span<const bio::ProteinSequence> queries,
+      std::span<const std::uint32_t> thresholds,
+      util::ThreadPool* pool = nullptr);
+
+  // --- introspection ------------------------------------------------------
+  const EngineConfig& config() const noexcept { return config_; }
+  const HostConfig& host_config() const noexcept { return config_.host; }
+  BackendKind backend_kind() const noexcept { return backend_->kind(); }
+  EngineStats stats() const noexcept;
+  QueryCompilerStats compiler_stats() const { return compiler_.stats(); }
+
+  /// Backend health / fault schedule.  Stable only while no worker is
+  /// executing (the single-threaded facade pattern, or after draining).
+  HealthState health() const noexcept { return backend_->health(); }
+  const std::vector<hw::FaultEvent>& fault_log() const noexcept {
+    return backend_->fault_log();
+  }
+
+ private:
+  using StatePtr = std::shared_ptr<detail::RequestState>;
+
+  void worker_loop();
+  void ensure_workers();
+  /// Runs one claimed batch (1..max_coalesce requests) on the backend.
+  void execute_batch(std::vector<StatePtr> batch);
+  /// run() + finalize for one request, precomputed lists optional.
+  Expected<HostRunReport> run_one(const detail::RequestState& state,
+                                  const std::vector<Hit>* forward_hits,
+                                  const std::vector<Hit>* reverse_hits);
+
+  EngineConfig config_;
+  ReferenceStore store_;
+  std::unique_ptr<ScanBackend> backend_;
+  mutable QueryCompiler compiler_;
+  std::shared_ptr<detail::EngineCounters> counters_;
+
+  /// Serializes every backend touch: one modeled card, plus backend-side
+  /// mutable state (fault log, lazy planes/CRCs) is not thread-safe.
+  std::mutex exec_mutex_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<StatePtr> queue_;
+  std::vector<std::thread> workers_;
+  bool workers_started_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace fabp::core

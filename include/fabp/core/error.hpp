@@ -27,6 +27,11 @@ enum class ErrorCode : std::uint8_t {
   Timeout,           ///< kernel watchdog deadline exceeded on every attempt
   IntegrityFailure,  ///< corruption detected and not repairable
   DeviceLost,        ///< health machine gave up and fallback is disabled
+  InvalidConfig,     ///< rejected at Session/Engine construction
+  QueueFull,         ///< engine admission queue at capacity
+  Cancelled,         ///< request cancelled before it started running
+  DeadlineExceeded,  ///< request deadline passed before it started running
+  ShuttingDown,      ///< engine destroyed with the request still queued
 };
 
 inline const char* to_string(ErrorCode code) noexcept {
@@ -38,6 +43,11 @@ inline const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::Timeout: return "timeout";
     case ErrorCode::IntegrityFailure: return "integrity-failure";
     case ErrorCode::DeviceLost: return "device-lost";
+    case ErrorCode::InvalidConfig: return "invalid-config";
+    case ErrorCode::QueueFull: return "queue-full";
+    case ErrorCode::Cancelled: return "cancelled";
+    case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::ShuttingDown: return "shutting-down";
   }
   return "unknown";
 }

@@ -1,0 +1,60 @@
+#pragma once
+// Chunk-ordered hit merging — the one deterministic-merge idiom every
+// parallel scan path shares.
+//
+// All pooled scans (golden oracle, precompiled planes, tile-fused) follow
+// the same recipe: split the position range into indexed chunks, let each
+// worker append its hits into a private per-chunk slot, then concatenate
+// the slots *in chunk index order*.  Because the chunk layout is a pure
+// function of (range, pool size, granule), the merged output is
+// structurally identical — contents and ordering — to the serial scan,
+// independent of worker scheduling.  These helpers are that concatenation
+// step, deduplicated out of golden.cpp / bitscan.cpp / bitscan_tiled.cpp
+// (the merge-order contract is pinned by tests/core/hitmerge_test.cpp).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "fabp/core/golden.hpp"
+
+namespace fabp::core {
+
+/// Appends every chunk's hits to `out` in chunk index order, reserving the
+/// exact total up front.  `out` need not be empty: existing hits keep their
+/// place ahead of the merged chunks.
+inline void merge_hit_chunks_into(std::span<const std::vector<Hit>> chunks,
+                                  std::vector<Hit>& out) {
+  std::size_t total = out.size();
+  for (const std::vector<Hit>& chunk : chunks) total += chunk.size();
+  out.reserve(total);
+  for (const std::vector<Hit>& chunk : chunks)
+    out.insert(out.end(), chunk.begin(), chunk.end());
+}
+
+/// Chunk-ordered concatenation into a fresh vector.
+inline std::vector<Hit> merge_hit_chunks(
+    std::span<const std::vector<Hit>> chunks) {
+  std::vector<Hit> out;
+  merge_hit_chunks_into(chunks, out);
+  return out;
+}
+
+/// Multi-query form: chunks[c][q] holds chunk c's hits for query q; the
+/// result's element [q] is the chunk-ordered concatenation over c —
+/// exactly what the single-query form produces per query.
+inline std::vector<std::vector<Hit>> merge_hit_chunks_batch(
+    std::span<const std::vector<std::vector<Hit>>> chunks,
+    std::size_t query_count) {
+  std::vector<std::vector<Hit>> outs(query_count);
+  for (std::size_t q = 0; q < query_count; ++q) {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks) total += chunk[q].size();
+    outs[q].reserve(total);
+    for (const auto& chunk : chunks)
+      outs[q].insert(outs[q].end(), chunk[q].begin(), chunk[q].end());
+  }
+  return outs;
+}
+
+}  // namespace fabp::core

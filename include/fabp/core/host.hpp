@@ -6,8 +6,19 @@
 // paper's measurement methodology ("we measured the end-to-end execution
 // time that includes reading both query and reference sequences from the
 // FPGA DRAM, aligning the sequences, and writing the results").
+//
+// Since the layering refactor (DESIGN.md §"Layered host runtime") the
+// machinery lives in three layers under this header's types:
+//   - compile:  core/query_compiler.hpp  (query -> CompiledQuery, LRU)
+//   - backend:  core/backend.hpp         (ScanBackend: hw-sim + recovery,
+//                                         tiled, planes)
+//   - engine:   core/engine.hpp          (queue, workers, coalescing)
+// `Session` remains the stable public API: a thin synchronous facade over
+// one Engine, with behavior bit-for-bit identical to the pre-refactor
+// monolith (pinned by tests/core/host_test.cpp and chaos_test.cpp).
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -19,6 +30,8 @@
 #include "fabp/hw/fault.hpp"
 
 namespace fabp::core {
+
+class Engine;
 
 /// Detection + bounded-retry policy for the session (the host side of the
 /// fault-tolerance layer; injection rates live in HostConfig::fault).
@@ -117,11 +130,32 @@ struct HostRunReport {
   RecoveryStats recovery;
 };
 
+/// Batch-align report (kept at namespace scope since the layering refactor
+/// — the Engine returns it too; Session::BatchReport aliases it for source
+/// compatibility).
+struct BatchReport {
+  std::vector<HostRunReport> per_query;
+  double total_s = 0.0;
+  double total_joules = 0.0;
+  std::size_t total_hits = 0;
+  double queries_per_second = 0.0;  // modeled card throughput
+  RecoveryStats recovery;           // merged over the whole batch
+};
+
 /// One attached "card": owns the reference database in FPGA DRAM and runs
-/// queries against it.
+/// queries against it.  A thin synchronous facade over core::Engine (which
+/// adds the admission queue, worker pool and request coalescing for
+/// concurrent serving; see core/engine.hpp) — everything here executes on
+/// the caller's thread and no worker threads are ever spawned.
 class Session {
  public:
+  /// Throws FaultError{InvalidConfig} when the configuration is rejected
+  /// by validate_host_config (zero tile sizes, zero retry budgets,
+  /// non-positive bandwidths, out-of-range fault rates, ...).
   explicit Session(HostConfig config = {});
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
 
   /// Transfers the reference database to FPGA DRAM (models the one-time
   /// cost; recorded and amortized per config.reference_resident).
@@ -158,14 +192,7 @@ class Session {
   /// to calling align() per query.  Pass a pool to chunk the batch scan
   /// over threads (and, on the Planes path with search_both_strands, to
   /// compile the two strands' planes concurrently).
-  struct BatchReport {
-    std::vector<HostRunReport> per_query;
-    double total_s = 0.0;
-    double total_joules = 0.0;
-    std::size_t total_hits = 0;
-    double queries_per_second = 0.0;  // modeled card throughput
-    RecoveryStats recovery;           // merged over the whole batch
-  };
+  using BatchReport = ::fabp::core::BatchReport;
   BatchReport align_batch(std::span<const bio::ProteinSequence> queries,
                           double threshold_fraction,
                           util::ThreadPool* pool = nullptr);
@@ -197,82 +224,26 @@ class Session {
       std::span<const std::uint32_t> thresholds,
       util::ThreadPool* pool = nullptr);
 
-  const bio::PackedNucleotides& reference() const noexcept {
-    return reference_;
-  }
-  const HostConfig& config() const noexcept { return config_; }
+  const bio::PackedNucleotides& reference() const noexcept;
+  const HostConfig& config() const noexcept;
 
   /// True when this session's software scans take the tiled path.
-  bool tiled() const noexcept { return use_tiled_scan(config_.scan_path); }
+  bool tiled() const noexcept;
 
   /// Health-state machine position (degrades after repeated failures).
-  HealthState health() const noexcept { return health_; }
+  HealthState health() const noexcept;
 
   /// Every fault event injected over this session's lifetime, in draw
   /// order — the replayable schedule a chaos failure is reported with.
-  const std::vector<hw::FaultEvent>& fault_log() const noexcept {
-    return fault_log_;
-  }
+  const std::vector<hw::FaultEvent>& fault_log() const noexcept;
+
+  /// The engine this facade wraps, for callers that want the asynchronous
+  /// serving surface (submit/Ticket) on top of the same card state.
+  Engine& engine() noexcept { return *engine_; }
+  const Engine& engine() const noexcept { return *engine_; }
 
  private:
-  /// align() with optional precomputed forward/reverse hit lists (from a
-  /// batch scan); null pointers fall back to scanning inside the run.
-  Expected<HostRunReport> align_impl(const bio::ProteinSequence& query,
-                                     std::uint32_t threshold,
-                                     const std::vector<Hit>* forward_hits,
-                                     const std::vector<Hit>* reverse_hits);
-
-  /// One strand's kernel invocation under the fault schedule: bounded
-  /// retries for transfer failures / watchdog timeouts, CRC detection +
-  /// tile-granular repair for data corruption, readback verification and
-  /// the golden spot-check sampler.  On success `out` holds the final
-  /// (repaired) hits and the last attempt's timing; on failure fills
-  /// `error` and returns false.
-  bool faulty_strand_run(const EncodedQuery& encoded, std::uint32_t threshold,
-                         const bio::PackedNucleotides& store,
-                         bool reverse_strand,
-                         const std::vector<Hit>* precomputed,
-                         RecoveryStats& stats, Error& error,
-                         AcceleratorRun& out);
-
-  /// Per-tile CRC32 of the resident store (forward or RC), computed once
-  /// per upload on first use (fault paths only) and cached.
-  const std::vector<std::uint32_t>& tile_crcs(bool reverse_strand);
-
-  /// Packed words per integrity tile (the PR 3 tile geometry).
-  std::size_t tile_words() const noexcept;
-
-  /// Lazily compiled bit-planes of the resident reference (and its RC
-  /// copy); invalidated by upload_reference.  ensure_planes compiles both
-  /// strands at once, overlapping the reverse compile on the pool with the
-  /// forward compile on the caller (Planes path only — the tiled path
-  /// never compiles whole-reference planes).
-  void ensure_planes(bool both_strands, util::ThreadPool* pool);
-  const BitScanReference& forward_planes();
-  const BitScanReference& reverse_planes();
-
-  HostRunReport finish(const bio::ProteinSequence& query,
-                       AcceleratorRun run, std::size_t reference_bytes) const;
-
-  HostConfig config_;
-  bio::PackedNucleotides reference_;
-  bio::PackedNucleotides reverse_;  // RC copy when search_both_strands
-  bool reference_uploaded_ = false;
-  BitScanReference bitscan_reference_;  // lazy, for software scans
-  bool bitscan_ready_ = false;
-  BitScanReference bitscan_reverse_;  // lazy RC planes for batch aligns
-  bool bitscan_reverse_ready_ = false;
-
-  // Fault-tolerance state: upload-time tile checksums (lazy, fault paths
-  // only), the health machine, and the session-lifetime fault schedule.
-  std::vector<std::uint32_t> ref_crcs_;
-  std::vector<std::uint32_t> rev_crcs_;
-  bool ref_crcs_ready_ = false;
-  bool rev_crcs_ready_ = false;
-  HealthState health_ = HealthState::Healthy;
-  std::size_t consecutive_failures_ = 0;
-  std::uint64_t invocation_ = 0;  // align_impl calls; seeds fault streams
-  std::vector<hw::FaultEvent> fault_log_;
+  std::unique_ptr<Engine> engine_;
 };
 
 }  // namespace fabp::core

@@ -69,15 +69,19 @@
 
 #include "fabp/core/accelerator.hpp"
 #include "fabp/core/array.hpp"
+#include "fabp/core/backend.hpp"
 #include "fabp/core/backtranslate.hpp"
 #include "fabp/core/bitscan.hpp"
 #include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/comparator.hpp"
 #include "fabp/core/encoding.hpp"
+#include "fabp/core/engine.hpp"
 #include "fabp/core/error.hpp"
 #include "fabp/core/golden.hpp"
+#include "fabp/core/hitmerge.hpp"
 #include "fabp/core/host.hpp"
 #include "fabp/core/instance.hpp"
+#include "fabp/core/query_compiler.hpp"
 #include "fabp/core/mapper.hpp"
 #include "fabp/core/maskonly.hpp"
 #include "fabp/core/querypack.hpp"

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bitscan_kernel_impl.hpp"
+#include "fabp/core/hitmerge.hpp"
 #include "fabp/util/cpuid.hpp"
 
 namespace fabp::core {
@@ -182,8 +183,7 @@ std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
                                        const BitScanReference& reference,
                                        std::uint32_t threshold,
                                        util::ThreadPool& pool) {
-  std::vector<Hit> hits;
-  if (query.empty() || reference.size() < query.size()) return hits;
+  if (query.empty() || reference.size() < query.size()) return {};
   const std::size_t positions = reference.size() - query.size() + 1;
 
   std::vector<std::vector<Hit>> chunks(
@@ -194,13 +194,7 @@ std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
         bitscan_range(query, reference, threshold, lo, hi, chunks[c]);
       },
       kParallelScanGranule);
-
-  std::size_t total = 0;
-  for (const auto& chunk : chunks) total += chunk.size();
-  hits.reserve(total);
-  for (const auto& chunk : chunks)
-    hits.insert(hits.end(), chunk.begin(), chunk.end());
-  return hits;
+  return merge_hit_chunks(chunks);
 }
 
 std::vector<std::vector<Hit>> bitscan_hits_batch(
@@ -242,14 +236,7 @@ std::vector<std::vector<Hit>> bitscan_hits_batch(
                            reference, lo, hi, chunks[c].data());
       },
       kParallelScanGranule);
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    std::size_t total = 0;
-    for (const auto& chunk : chunks) total += chunk[q].size();
-    outs[q].reserve(total);
-    for (auto& chunk : chunks)
-      outs[q].insert(outs[q].end(), chunk[q].begin(), chunk[q].end());
-  }
-  return outs;
+  return merge_hit_chunks_batch(chunks, queries.size());
 }
 
 }  // namespace fabp::core

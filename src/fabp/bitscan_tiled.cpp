@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "fabp/core/hitmerge.hpp"
 #include "fabp/util/bitops.hpp"
 #include "fabp/util/thread_pool.hpp"
 
@@ -257,12 +258,7 @@ std::vector<Hit> TileScanner::hits(const BitScanQuery& query,
         range(query, threshold, lo, hi, parts[c]);
       },
       tile_positions_);
-
-  std::size_t total = 0;
-  for (const auto& part : parts) total += part.size();
-  out.reserve(total);
-  for (const auto& part : parts)
-    out.insert(out.end(), part.begin(), part.end());
+  merge_hit_chunks_into(parts, out);
   return out;
 }
 
@@ -297,15 +293,7 @@ std::vector<std::vector<Hit>> TileScanner::hits_batch(
                     parts[c].data());
       },
       tile_positions_);
-
-  for (std::size_t q = 0; q < queries.size(); ++q) {
-    std::size_t total = 0;
-    for (const auto& part : parts) total += part[q].size();
-    outs[q].reserve(total);
-    for (auto& part : parts)
-      outs[q].insert(outs[q].end(), part[q].begin(), part[q].end());
-  }
-  return outs;
+  return merge_hit_chunks_batch(parts, queries.size());
 }
 
 }  // namespace fabp::core

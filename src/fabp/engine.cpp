@@ -1,0 +1,367 @@
+#include "fabp/core/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace fabp::core {
+
+using detail::RequestPhase;
+using detail::RequestState;
+
+bool Ticket::cancel() {
+  if (!state_) return false;
+  if (!state_->claim(RequestPhase::Cancelled)) return false;
+  // Counters are bumped before the promise is fulfilled, so a waiter that
+  // unblocks always observes its own request in stats().
+  state_->counters->cancelled.fetch_add(1, std::memory_order_relaxed);
+  state_->promise.set_value(
+      Error{ErrorCode::Cancelled, "request cancelled while queued"});
+  return true;
+}
+
+Error validate_engine_config(const EngineConfig& config) noexcept {
+  if (config.workers == 0)
+    return Error{ErrorCode::InvalidConfig, "engine.workers must be positive"};
+  if (config.workers > 1024)
+    return Error{ErrorCode::InvalidConfig,
+                 "engine.workers above 1024 is absurd"};
+  if (config.queue_capacity == 0)
+    return Error{ErrorCode::InvalidConfig,
+                 "engine.queue_capacity must be positive"};
+  if (config.max_coalesce == 0)
+    return Error{ErrorCode::InvalidConfig,
+                 "engine.max_coalesce must be positive"};
+  if (config.compiler_capacity == 0)
+    return Error{ErrorCode::InvalidConfig,
+                 "engine.compiler_capacity must be positive"};
+  return validate_host_config(config.host);
+}
+
+Engine::Engine(EngineConfig config)
+    : config_{std::move(config)},
+      compiler_{config_.compiler_capacity},
+      counters_{std::make_shared<detail::EngineCounters>()} {
+  if (Error error = validate_engine_config(config_);
+      error.code != ErrorCode::None)
+    throw FaultError{std::move(error)};
+  backend_ = make_backend(config_.backend, config_.host, store_);
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard lock{queue_mutex_};
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Whatever is still queued never ran: fail it with a typed outcome so
+  // every Ticket::wait() unblocks.
+  for (const StatePtr& state : queue_) {
+    if (!state->claim(RequestPhase::Cancelled)) continue;
+    counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    state->promise.set_value(Error{ErrorCode::ShuttingDown,
+                                   "engine destroyed before the request ran"});
+  }
+  queue_.clear();
+}
+
+void Engine::upload_reference(const bio::NucleotideSequence& reference) {
+  upload_reference(bio::PackedNucleotides{reference});
+}
+
+void Engine::upload_reference(bio::PackedNucleotides reference) {
+  std::lock_guard lock{exec_mutex_};
+  store_.upload(std::move(reference), config_.host.search_both_strands);
+  // A scan after re-upload must never read stale derived artifacts
+  // (planes, tile checksums) — regression-tested in host_test.cpp.
+  backend_->invalidate();
+}
+
+void Engine::ensure_workers() {
+  // Callers hold queue_mutex_.
+  if (workers_started_) return;
+  workers_started_ = true;
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Engine::start() {
+  std::lock_guard lock{queue_mutex_};
+  if (!stopping_) ensure_workers();
+}
+
+Ticket Engine::submit(const bio::ProteinSequence& query,
+                      std::uint32_t threshold, RequestOptions options) {
+  auto state = std::make_shared<RequestState>();
+  state->threshold = threshold;
+  state->counters = counters_;
+  Ticket ticket{state};
+
+  try {
+    state->query = compiler_.compile(query);
+  } catch (const std::exception& e) {
+    state->phase.store(static_cast<int>(RequestPhase::Claimed));
+    state->promise.set_value(Error{ErrorCode::BadArgument, e.what()});
+    counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    return ticket;
+  }
+  if (options.timeout_s > 0.0) {
+    state->has_deadline = true;
+    state->deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>{options.timeout_s});
+  }
+
+  {
+    std::lock_guard lock{queue_mutex_};
+    if (stopping_) {
+      state->phase.store(static_cast<int>(RequestPhase::Claimed));
+      state->promise.set_value(
+          Error{ErrorCode::ShuttingDown, "engine is shutting down"});
+      counters_->failed.fetch_add(1, std::memory_order_relaxed);
+      return ticket;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      state->phase.store(static_cast<int>(RequestPhase::Claimed));
+      state->promise.set_value(
+          Error{ErrorCode::QueueFull, "engine admission queue is full"});
+      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+      return ticket;
+    }
+    if (config_.autostart) ensure_workers();
+    queue_.push_back(state);
+    counters_->submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    std::vector<StatePtr> batch;
+    {
+      std::unique_lock lock{queue_mutex_};
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // destructor fails whatever is left
+      // Opportunistic coalescing: claim everything already waiting, up to
+      // the batch cap.  Under load the queue refills while the backend
+      // runs, so batches form without any artificial delay.
+      const std::size_t take =
+          std::min(queue_.size(), config_.max_coalesce);
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < take; ++i) {
+        StatePtr state = std::move(queue_.front());
+        queue_.pop_front();
+        if (!state->claim(RequestPhase::Claimed)) continue;  // cancelled
+        if (state->has_deadline && now >= state->deadline) {
+          counters_->expired.fetch_add(1, std::memory_order_relaxed);
+          state->promise.set_value(
+              Error{ErrorCode::DeadlineExceeded,
+                    "request deadline passed while queued"});
+          continue;
+        }
+        batch.push_back(std::move(state));
+      }
+    }
+    if (!batch.empty()) execute_batch(std::move(batch));
+  }
+}
+
+Expected<HostRunReport> Engine::run_one(const RequestState& state,
+                                        const std::vector<Hit>* forward_hits,
+                                        const std::vector<Hit>* reverse_hits) {
+  // Callers hold exec_mutex_.
+  BackendRequest request;
+  request.query = state.query.get();
+  request.threshold = state.threshold;
+  request.forward_hits = forward_hits;
+  request.reverse_hits = reverse_hits;
+  Expected<BackendRun> run = backend_->run(request);
+  if (!run) return run.error();
+  return finalize_run(config_.host, *state.query, std::move(run).value(),
+                      store_.forward.byte_size());
+}
+
+void Engine::execute_batch(std::vector<StatePtr> batch) {
+  const auto fulfil = [this](RequestState& state,
+                             Expected<HostRunReport> outcome) {
+    auto& counter = outcome ? counters_->completed : counters_->failed;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    state.promise.set_value(std::move(outcome));
+  };
+
+  std::lock_guard exec_lock{exec_mutex_};
+
+  // Coalesced path: one multi-query scan of each strand produces every
+  // request's hit list, and the per-request backend runs reduce to
+  // accounting — the same precompute contract align_batch_sync uses, so
+  // the results are bit-identical to sequential align_sync calls.
+  std::vector<std::vector<Hit>> forward, reverse;
+  bool precomputed = false;
+  if (batch.size() >= 2 && store_.uploaded &&
+      backend_->supports_precomputed_hits()) {
+    std::vector<CompiledQueryPtr> queries;
+    std::vector<std::uint32_t> thresholds;
+    queries.reserve(batch.size());
+    thresholds.reserve(batch.size());
+    for (const StatePtr& state : batch) {
+      queries.push_back(state->query);
+      thresholds.push_back(state->threshold);
+    }
+    try {
+      forward = backend_->scan_batch(queries, thresholds, false, nullptr);
+      if (config_.host.search_both_strands)
+        reverse = backend_->scan_batch(queries, thresholds, true, nullptr);
+      precomputed = true;
+      counters_->coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+      counters_->coalesced_requests.fetch_add(batch.size(),
+                                              std::memory_order_relaxed);
+      std::size_t prev =
+          counters_->largest_batch.load(std::memory_order_relaxed);
+      while (prev < batch.size() &&
+             !counters_->largest_batch.compare_exchange_weak(
+                 prev, batch.size(), std::memory_order_relaxed)) {
+      }
+    } catch (const std::exception&) {
+      precomputed = false;  // fall back to per-request scans
+    }
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    RequestState& state = *batch[i];
+    try {
+      fulfil(state,
+             run_one(state, precomputed ? &forward[i] : nullptr,
+                     precomputed && config_.host.search_both_strands
+                         ? &reverse[i]
+                         : nullptr));
+    } catch (const std::exception& e) {
+      fulfil(state, Error{ErrorCode::BadArgument, e.what()});
+    }
+  }
+}
+
+Expected<HostRunReport> Engine::align_sync(
+    const bio::ProteinSequence& query, std::uint32_t threshold,
+    const std::vector<Hit>* forward_hits,
+    const std::vector<Hit>* reverse_hits) {
+  // Compile failures (unencodable residues) propagate as the exceptions
+  // the pre-refactor Session::align threw.
+  CompiledQueryPtr compiled = compiler_.compile(query);
+  std::lock_guard lock{exec_mutex_};
+  BackendRequest request;
+  request.query = compiled.get();
+  request.threshold = threshold;
+  request.forward_hits = forward_hits;
+  request.reverse_hits = reverse_hits;
+  Expected<BackendRun> run = backend_->run(request);
+  if (!run) return run.error();
+  return finalize_run(config_.host, *compiled, std::move(run).value(),
+                      store_.forward.byte_size());
+}
+
+Expected<BatchReport> Engine::align_batch_sync(
+    std::span<const bio::ProteinSequence> queries, double threshold_fraction,
+    util::ThreadPool* pool) {
+  BatchReport batch;
+  batch.per_query.reserve(queries.size());
+  if (queries.empty()) return batch;
+  if (!store_.uploaded)
+    return Error{ErrorCode::NoReference, "Session: no reference uploaded"};
+
+  std::vector<CompiledQueryPtr> compiled;
+  std::vector<std::uint32_t> thresholds;
+  compiled.reserve(queries.size());
+  thresholds.reserve(queries.size());
+  for (const bio::ProteinSequence& query : queries) {
+    compiled.push_back(compiler_.compile(query));
+    thresholds.push_back(
+        compiled.back()->threshold_for_fraction(threshold_fraction));
+  }
+
+  std::lock_guard lock{exec_mutex_};
+
+  // One multi-query pass over the reference produces every hit list up
+  // front — on the default tiled path each freshly compiled tile is
+  // scored against the whole batch while hot in cache; the Planes escape
+  // hatch streams the cached whole-reference plane words instead.  The
+  // per-query runs below then reduce to cycle/energy accounting.  The LUT
+  // oracle path keeps its own evaluation.
+  std::vector<std::vector<Hit>> forward, reverse;
+  const bool precompute = backend_->supports_precomputed_hits();
+  if (precompute) {
+    forward = backend_->scan_batch(compiled, thresholds, false, pool);
+    if (config_.host.search_both_strands)
+      reverse = backend_->scan_batch(compiled, thresholds, true, pool);
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    BackendRequest request;
+    request.query = compiled[i].get();
+    request.threshold = thresholds[i];
+    request.forward_hits = precompute ? &forward[i] : nullptr;
+    request.reverse_hits =
+        precompute && config_.host.search_both_strands ? &reverse[i] : nullptr;
+    request.pool = pool;
+    Expected<BackendRun> run = backend_->run(request);
+    if (!run) return run.error();
+    HostRunReport report = finalize_run(
+        config_.host, *compiled[i], std::move(run).value(),
+        store_.forward.byte_size());
+    batch.total_s += report.total_s;
+    batch.total_joules += report.joules;
+    batch.total_hits += report.hits.size();
+    batch.recovery.merge(report.recovery);
+    batch.per_query.push_back(std::move(report));
+  }
+  batch.queries_per_second =
+      batch.total_s > 0.0
+          ? static_cast<double>(queries.size()) / batch.total_s
+          : 0.0;
+  return batch;
+}
+
+HostRunReport Engine::estimate(const bio::ProteinSequence& query,
+                               std::uint32_t threshold,
+                               std::size_t bytes) const {
+  return estimate_run(config_.host, *compile_query(query), threshold, bytes);
+}
+
+std::vector<Hit> Engine::software_hits(const bio::ProteinSequence& query,
+                                       std::uint32_t threshold,
+                                       util::ThreadPool* pool) {
+  CompiledQueryPtr compiled = compiler_.compile(query);
+  std::lock_guard lock{exec_mutex_};
+  return backend_->scan_one(*compiled, threshold, pool);
+}
+
+std::vector<std::vector<Hit>> Engine::software_hits_batch(
+    std::span<const bio::ProteinSequence> queries,
+    std::span<const std::uint32_t> thresholds, util::ThreadPool* pool) {
+  std::vector<CompiledQueryPtr> compiled;
+  compiled.reserve(queries.size());
+  for (const bio::ProteinSequence& query : queries)
+    compiled.push_back(compiler_.compile(query));
+  std::lock_guard lock{exec_mutex_};
+  return backend_->scan_batch(compiled, thresholds, false, pool);
+}
+
+EngineStats Engine::stats() const noexcept {
+  EngineStats out;
+  out.submitted = counters_->submitted.load(std::memory_order_relaxed);
+  out.completed = counters_->completed.load(std::memory_order_relaxed);
+  out.failed = counters_->failed.load(std::memory_order_relaxed);
+  out.rejected = counters_->rejected.load(std::memory_order_relaxed);
+  out.cancelled = counters_->cancelled.load(std::memory_order_relaxed);
+  out.expired = counters_->expired.load(std::memory_order_relaxed);
+  out.coalesced_batches =
+      counters_->coalesced_batches.load(std::memory_order_relaxed);
+  out.coalesced_requests =
+      counters_->coalesced_requests.load(std::memory_order_relaxed);
+  out.largest_batch = counters_->largest_batch.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace fabp::core

@@ -2,6 +2,7 @@
 
 #include "fabp/core/bitscan.hpp"
 #include "fabp/core/comparator.hpp"
+#include "fabp/core/hitmerge.hpp"
 
 namespace fabp::core {
 
@@ -58,13 +59,12 @@ std::vector<Hit> golden_hits_parallel(const std::vector<BackElement>& query,
                                       const bio::NucleotideSequence& ref,
                                       std::uint32_t threshold,
                                       util::ThreadPool& pool) {
-  std::vector<Hit> hits;
-  if (query.empty() || ref.size() < query.size()) return hits;
+  if (query.empty() || ref.size() < query.size()) return {};
   const std::size_t positions = ref.size() - query.size() + 1;
 
-  // Per-chunk slots concatenated in chunk order: the merged output is
-  // structurally identical (contents *and* ordering) to the serial scan,
-  // independent of worker scheduling.
+  // Per-chunk slots concatenated in chunk order (merge_hit_chunks): the
+  // merged output is structurally identical (contents *and* ordering) to
+  // the serial scan, independent of worker scheduling.
   std::vector<std::vector<Hit>> chunks(pool.chunk_count(positions));
   pool.parallel_indexed_chunks(
       0, positions, [&](std::size_t c, std::size_t lo, std::size_t hi) {
@@ -74,9 +74,7 @@ std::vector<Hit> golden_hits_parallel(const std::vector<BackElement>& query,
           if (score >= threshold) local.push_back(Hit{p, score});
         }
       });
-  for (const auto& chunk : chunks)
-    hits.insert(hits.end(), chunk.begin(), chunk.end());
-  return hits;
+  return merge_hit_chunks(chunks);
 }
 
 std::vector<Hit> align_protein(const bio::ProteinSequence& protein,

@@ -1,61 +1,11 @@
 #include "fabp/core/host.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
-#include "fabp/core/querypack.hpp"
-#include "fabp/util/crc32.hpp"
+#include "fabp/core/engine.hpp"
 
 namespace fabp::core {
-
-namespace {
-
-/// Half-open position range touched by corruption / a spot-check window.
-struct Interval {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-std::vector<Interval> merge_intervals(std::vector<Interval> v) {
-  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) {
-    return a.begin < b.begin;
-  });
-  std::vector<Interval> out;
-  for (const Interval& r : v) {
-    if (!out.empty() && r.begin <= out.back().end)
-      out.back().end = std::max(out.back().end, r.end);
-    else
-      out.push_back(r);
-  }
-  return out;
-}
-
-/// Replaces the hits falling in each range with a fresh range scan of
-/// `scanner`'s store.  Ranges must be sorted and disjoint; `hits` must be
-/// position-sorted (the scan order), and stays so.
-void splice_ranges(std::vector<Hit>& hits, const TileScanner& scanner,
-                   const BitScanQuery& compiled, std::uint32_t threshold,
-                   std::span<const Interval> ranges) {
-  std::vector<Hit> result;
-  result.reserve(hits.size());
-  std::size_t i = 0;
-  for (const Interval& r : ranges) {
-    while (i < hits.size() && hits[i].position < r.begin)
-      result.push_back(hits[i++]);
-    while (i < hits.size() && hits[i].position < r.end) ++i;  // replaced
-    scanner.range(compiled, threshold, r.begin, r.end, result);
-  }
-  while (i < hits.size()) result.push_back(hits[i++]);
-  hits = std::move(result);
-}
-
-bool data_fault(hw::FaultKind kind) noexcept {
-  return kind == hw::FaultKind::BitFlip || kind == hw::FaultKind::DropBeat ||
-         kind == hw::FaultKind::DupBeat;
-}
-
-}  // namespace
 
 void RecoveryStats::merge(const RecoveryStats& other) noexcept {
   attempts += other.attempts;
@@ -72,53 +22,25 @@ void RecoveryStats::merge(const RecoveryStats& other) noexcept {
   recovery_s += other.recovery_s;
 }
 
-Session::Session(HostConfig config) : config_{std::move(config)} {}
+// The facade: every call delegates to one Engine configured with the
+// hw-sim backend, executing synchronously on the caller's thread (the
+// Engine spawns workers only on its asynchronous submit() surface, which
+// this facade never touches).
+
+Session::Session(HostConfig config)
+    : engine_{std::make_unique<Engine>(
+          EngineConfig{.host = std::move(config)})} {}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
 
 void Session::upload_reference(const bio::NucleotideSequence& reference) {
-  upload_reference(bio::PackedNucleotides{reference});
+  engine_->upload_reference(reference);
 }
 
 void Session::upload_reference(bio::PackedNucleotides reference) {
-  reference_ = std::move(reference);
-  reference_uploaded_ = true;
-  // Drop the compiled bit-planes of the previous reference: a scan after
-  // re-upload must never read stale planes (regression-tested in
-  // tests/core/host_test.cpp).  Same for the upload-time tile checksums.
-  bitscan_ready_ = false;
-  bitscan_reverse_ready_ = false;
-  ref_crcs_ready_ = false;
-  rev_crcs_ready_ = false;
-  reverse_ = bio::PackedNucleotides{};
-  if (config_.search_both_strands) {
-    // Host-side preparation: the reverse-complement copy the card streams
-    // for the second pass.
-    bio::NucleotideSequence rc =
-        reference_.unpack(bio::SeqKind::Dna).reverse_complement();
-    reverse_ = bio::PackedNucleotides{rc};
-  }
-}
-
-std::size_t Session::tile_words() const noexcept {
-  // Same rounding as TileScanner: whole 64-position words, minimum one.
-  const std::size_t positions = std::max<std::size_t>(
-      64, (config_.tile.tile_positions + 63) / 64 * 64);
-  return positions / bio::kElementsPerWord;
-}
-
-const std::vector<std::uint32_t>& Session::tile_crcs(bool reverse_strand) {
-  auto& crcs = reverse_strand ? rev_crcs_ : ref_crcs_;
-  bool& ready = reverse_strand ? rev_crcs_ready_ : ref_crcs_ready_;
-  if (!ready) {
-    const std::span<const std::uint64_t> words =
-        (reverse_strand ? reverse_ : reference_).words();
-    const std::size_t tw = tile_words();
-    crcs.clear();
-    for (std::size_t wb = 0; wb < words.size(); wb += tw)
-      crcs.push_back(
-          util::crc32_words(words.subspan(wb, std::min(tw, words.size() - wb))));
-    ready = true;
-  }
-  return crcs;
+  engine_->upload_reference(std::move(reference));
 }
 
 HostRunReport Session::align(const bio::ProteinSequence& query,
@@ -128,499 +50,63 @@ HostRunReport Session::align(const bio::ProteinSequence& query,
 
 Expected<HostRunReport> Session::try_align(const bio::ProteinSequence& query,
                                            std::uint32_t threshold) {
-  return align_impl(query, threshold, nullptr, nullptr);
-}
-
-bool Session::faulty_strand_run(const EncodedQuery& encoded,
-                                std::uint32_t threshold,
-                                const bio::PackedNucleotides& store,
-                                bool reverse_strand,
-                                const std::vector<Hit>* precomputed,
-                                RecoveryStats& stats, Error& error,
-                                AcceleratorRun& out) {
-  const RecoveryConfig& rec = config_.recovery;
-  const std::size_t lq = encoded.size();
-  const std::size_t valid_positions =
-      store.size() >= lq ? store.size() - lq + 1 : 0;
-  const BitScanQuery compiled{encoded};
-  const std::size_t max_attempts = std::max<std::size_t>(1, rec.max_attempts);
-
-  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    ++stats.attempts;
-    // Stream index is a pure function of (invocation, attempt, strand):
-    // retries draw independent schedules, replays draw identical ones.
-    const std::uint64_t stream =
-        (invocation_ << 8) | (attempt << 1) | (reverse_strand ? 1u : 0u);
-    hw::FaultInjector injector{config_.fault, stream};
-
-    ErrorCode failure = ErrorCode::None;
-    AcceleratorRun run;
-    if (injector.transfer_fails()) {
-      failure = ErrorCode::TransferFailure;
-      ++stats.transfer_faults;
-    } else {
-      AcceleratorConfig acc_config = config_.accelerator;
-      acc_config.threshold = threshold;
-      acc_config.fault_injector = &injector;  // stall storms inflate time
-      Accelerator accelerator{acc_config};
-      accelerator.load_encoded(encoded);
-      run = accelerator.run(store, precomputed);
-      if (rec.watchdog_s > 0.0 && run.kernel_seconds > rec.watchdog_s) {
-        failure = ErrorCode::Timeout;
-        ++stats.timeouts;
-      }
-    }
-
-    if (failure != ErrorCode::None) {
-      const auto& log = injector.log();
-      fault_log_.insert(fault_log_.end(), log.begin(), log.end());
-      if (attempt + 1 < max_attempts) {
-        ++stats.retries;
-        stats.recovery_s +=
-            rec.backoff_base_s * static_cast<double>(std::uint64_t{1} << attempt);
-        continue;
-      }
-      error = Error{failure,
-                    failure == ErrorCode::Timeout
-                        ? "kernel watchdog deadline exceeded on every attempt"
-                        : "PCIe transfer failed on every attempt",
-                    stats.attempts};
-      return false;
-    }
-
-    // --- data-path corruption over the streamed reference -------------
-    // The schedule says which beats were hit; corruption lands on a copy
-    // of the packed store, per-tile CRCs against the upload-time
-    // checksums localise it, and detected tiles are repaired by
-    // re-scanning only the positions whose window can read a corrupted
-    // element.  With verify_integrity off the corrupted hits are
-    // delivered as-is — that is what the chaos divergence test observes.
-    const std::vector<hw::FaultEvent> events =
-        injector.data_events(store.beat_count());
-    if (!events.empty() && valid_positions > 0) {
-      const std::span<const std::uint64_t> words = store.words();
-      const std::size_t tw = tile_words();
-      std::vector<std::uint64_t> corrupted =
-          hw::corrupt_words(words, events, tw);
-
-      std::vector<std::size_t> tiles;
-      for (const hw::FaultEvent& event : events) {
-        const std::size_t w = event.beat * (hw::kAxiDataBits / 64);
-        if (data_fault(event.kind) && w < words.size())
-          tiles.push_back(w / tw);
-      }
-      std::sort(tiles.begin(), tiles.end());
-      tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
-
-      std::vector<Interval> corrupt_ranges, repair_ranges;
-      for (std::size_t t : tiles) {
-        const std::size_t wb = t * tw;
-        const std::size_t we = std::min(words.size(), wb + tw);
-        // A fault can be a data no-op (e.g. a duplicated beat identical
-        // to its successor): only tiles whose words actually changed
-        // affect the scan.
-        if (std::equal(words.begin() + static_cast<std::ptrdiff_t>(wb),
-                       words.begin() + static_cast<std::ptrdiff_t>(we),
-                       corrupted.begin() + static_cast<std::ptrdiff_t>(wb)))
-          continue;
-        const std::size_t el_begin = wb * bio::kElementsPerWord;
-        const std::size_t el_end =
-            std::min(store.size(), we * bio::kElementsPerWord);
-        const Interval range{el_begin > lq - 1 ? el_begin - (lq - 1) : 0,
-                             std::min(el_end, valid_positions)};
-        if (range.begin >= range.end) continue;
-        corrupt_ranges.push_back(range);
-        if (rec.verify_integrity) {
-          // Detection: the streamed tile's CRC vs the upload checksum.
-          const std::uint32_t got = util::crc32_words(
-              std::span{corrupted}.subspan(wb, we - wb));
-          if (got != tile_crcs(reverse_strand)[t]) {
-            ++stats.crc_faults;
-            ++stats.rescanned_tiles;
-            repair_ranges.push_back(range);
-            // Re-streaming the affected fraction of the reference.
-            stats.recovery_s += run.kernel_seconds *
-                                static_cast<double>(range.end - range.begin) /
-                                static_cast<double>(store.size());
-          }
-        }
-      }
-      corrupt_ranges = merge_intervals(std::move(corrupt_ranges));
-      repair_ranges = merge_intervals(std::move(repair_ranges));
-
-      if (!corrupt_ranges.empty()) {
-        // What the card actually delivered: hits scanned from the
-        // corrupted stream over every affected range.
-        const bio::PackedNucleotides corrupted_store =
-            bio::PackedNucleotides::from_words(std::move(corrupted),
-                                               store.size());
-        splice_ranges(run.hits, TileScanner{corrupted_store, config_.tile},
-                      compiled, threshold, corrupt_ranges);
-      }
-      if (!repair_ranges.empty()) {
-        // Chunk-granular repair: re-scan only the detected ranges from
-        // the resident (true) store.
-        splice_ranges(run.hits, TileScanner{store, config_.tile}, compiled,
-                      threshold, repair_ranges);
-      }
-    }
-
-    // --- readback integrity -------------------------------------------
-    std::uint32_t bit = 0;
-    if (injector.readback_corrupts(bit)) {
-      if (rec.verify_integrity) {
-        // The hit buffer's CRC fails on arrival; the DRAM copy is intact,
-        // so one re-read recovers it.
-        ++stats.readback_faults;
-        stats.recovery_s +=
-            (static_cast<double>(run.hits.size()) * 8.0 + 64.0) /
-            config_.pcie_bandwidth_bps;
-      } else if (!run.hits.empty()) {
-        Hit& victim = run.hits[bit % run.hits.size()];
-        victim.score ^= 1u << (bit % 8);
-      } else {
-        run.hits.push_back(Hit{0, threshold});  // spurious record
-      }
-    }
-
-    // --- golden spot-check sampler ------------------------------------
-    if (rec.spot_check_samples > 0 && valid_positions > 0) {
-      util::Xoshiro256 rng{
-          util::SplitMix64{config_.fault.seed ^ (0xfabc0de5ULL + stream)}
-              .next()};
-      const TileScanner scanner{store, config_.tile};
-      for (std::size_t k = 0; k < rec.spot_check_samples; ++k) {
-        ++stats.spot_checks;
-        const std::size_t begin = rng.bounded(valid_positions);
-        const std::size_t end = std::min(begin + 256, valid_positions);
-        std::vector<Hit> expected;
-        scanner.range(compiled, threshold, begin, end, expected);
-        const auto lo = std::lower_bound(
-            run.hits.begin(), run.hits.end(), begin,
-            [](const Hit& h, std::size_t p) { return h.position < p; });
-        const auto hi = std::lower_bound(
-            lo, run.hits.end(), end,
-            [](const Hit& h, std::size_t p) { return h.position < p; });
-        if (!std::equal(lo, hi, expected.begin(), expected.end())) {
-          ++stats.spot_check_faults;
-          const Interval window{begin, end};
-          splice_ranges(run.hits, scanner, compiled, threshold,
-                        std::span{&window, 1});
-        }
-      }
-    }
-
-    const auto& log = injector.log();
-    fault_log_.insert(fault_log_.end(), log.begin(), log.end());
-    out = std::move(run);
-    return true;
-  }
-  return false;  // unreachable: the loop returns on its last attempt
-}
-
-Expected<HostRunReport> Session::align_impl(
-    const bio::ProteinSequence& query, std::uint32_t threshold,
-    const std::vector<Hit>* forward_hits,
-    const std::vector<Hit>* reverse_hits_in) {
-  if (!reference_uploaded_)
-    return Error{ErrorCode::NoReference, "Session: no reference uploaded"};
-  ++invocation_;
-
-  AcceleratorConfig acc_config = config_.accelerator;
-  acc_config.threshold = threshold;
-
-  const bool chaos = config_.fault.enabled() ||
-                     config_.recovery.spot_check_samples > 0 ||
-                     health_ != HealthState::Healthy;
-  if (!chaos) {
-    // Clean fast path: exactly the pre-fault pipeline (one branch above is
-    // the entire zero-fault overhead of this layer).
-    Accelerator accelerator{acc_config};
-    accelerator.load_query(query);
-    AcceleratorRun run = accelerator.run(reference_, forward_hits);
-    RecoveryStats stats;
-    stats.attempts = 1;
-
-    std::vector<Hit> reverse_hits;
-    if (config_.search_both_strands) {
-      ++stats.attempts;
-      AcceleratorRun rc_run = accelerator.run(reverse_, reverse_hits_in);
-      // Map RC positions back to forward coordinates of the window start.
-      const std::size_t lr = reference_.size();
-      const std::size_t lq = accelerator.encoded_query().size();
-      for (const Hit& hit : rc_run.hits)
-        reverse_hits.push_back(Hit{lr - hit.position - lq, hit.score});
-      std::sort(reverse_hits.begin(), reverse_hits.end());
-      // Account the second pass in the kernel time.
-      run.cycles += rc_run.cycles;
-      run.kernel_seconds += rc_run.kernel_seconds;
-      run.joules += rc_run.joules;
-    }
-
-    HostRunReport report =
-        finish(query, std::move(run), reference_.byte_size());
-    report.reverse_hits = std::move(reverse_hits);
-    report.recovery = stats;
-    return report;
-  }
-
-  // Fault-tolerant path.
-  RecoveryStats stats;
-  const EncodedQuery encoded = encode_query(query);
-  Accelerator probe{acc_config};  // mapping + validation, no run
-  probe.load_encoded(encoded);
-  const FabpMapping mapping = probe.mapping();
-  const std::size_t lq = encoded.size();
-
-  // Degraded (or exhausted) strand runs are served by the pure-software
-  // tiled path against the resident store: zero card time, golden hits.
-  const auto fallback_strand = [&](const bio::PackedNucleotides& store,
-                                   const std::vector<Hit>* precomputed) {
-    AcceleratorRun run;
-    run.mapping = mapping;
-    run.hits = precomputed ? *precomputed
-                           : TileScanner{store, config_.tile}.hits(
-                                 BitScanQuery{encoded}, threshold);
-    ++stats.fallbacks;
-    return run;
-  };
-
-  const auto run_strand = [&](const bio::PackedNucleotides& store,
-                              bool reverse_strand,
-                              const std::vector<Hit>* precomputed,
-                              AcceleratorRun& out, Error& err) -> bool {
-    if (health_ == HealthState::Degraded) {
-      if (!config_.recovery.allow_software_fallback) {
-        err = Error{ErrorCode::DeviceLost,
-                    "session degraded and software fallback disabled", 0};
-        return false;
-      }
-      out = fallback_strand(store, precomputed);
-      return true;
-    }
-    Error strand_error;
-    if (faulty_strand_run(encoded, threshold, store, reverse_strand,
-                          precomputed, stats, strand_error, out)) {
-      consecutive_failures_ = 0;
-      return true;
-    }
-    ++consecutive_failures_;
-    if (consecutive_failures_ >=
-        std::max<std::size_t>(1, config_.recovery.degrade_after))
-      health_ = HealthState::Degraded;
-    if (config_.recovery.allow_software_fallback) {
-      out = fallback_strand(store, precomputed);
-      return true;
-    }
-    err = std::move(strand_error);
-    return false;
-  };
-
-  AcceleratorRun run;
-  Error error;
-  if (!run_strand(reference_, false, forward_hits, run, error))
-    return error;
-
-  std::vector<Hit> reverse_hits;
-  if (config_.search_both_strands) {
-    AcceleratorRun rc_run;
-    if (!run_strand(reverse_, true, reverse_hits_in, rc_run, error))
-      return error;
-    const std::size_t lr = reference_.size();
-    for (const Hit& hit : rc_run.hits)
-      reverse_hits.push_back(Hit{lr - hit.position - lq, hit.score});
-    std::sort(reverse_hits.begin(), reverse_hits.end());
-    run.cycles += rc_run.cycles;
-    run.kernel_seconds += rc_run.kernel_seconds;
-    run.joules += rc_run.joules;
-  }
-
-  stats.degraded = health_ == HealthState::Degraded;
-  HostRunReport report = finish(query, std::move(run), reference_.byte_size());
-  report.reverse_hits = std::move(reverse_hits);
-  report.recovery = stats;
-  report.total_s += stats.recovery_s;
-  report.joules = report.watts * report.total_s;
-  return report;
+  return engine_->align_sync(query, threshold);
 }
 
 HostRunReport Session::estimate(const bio::ProteinSequence& query,
                                 std::uint32_t threshold,
                                 std::size_t bytes) const {
-  AcceleratorConfig acc_config = config_.accelerator;
-  acc_config.threshold = threshold;
-  Accelerator accelerator{acc_config};
-  accelerator.load_query(query);
-  AcceleratorRun run = accelerator.estimate(bytes * 4 /* elements */);
-  return finish(query, std::move(run), bytes);
+  return engine_->estimate(query, threshold, bytes);
 }
 
 Session::BatchReport Session::align_batch(
-    std::span<const bio::ProteinSequence> queries,
-    double threshold_fraction, util::ThreadPool* pool) {
+    std::span<const bio::ProteinSequence> queries, double threshold_fraction,
+    util::ThreadPool* pool) {
   return try_align_batch(queries, threshold_fraction, pool).value_or_throw();
 }
 
 Expected<Session::BatchReport> Session::try_align_batch(
-    std::span<const bio::ProteinSequence> queries,
-    double threshold_fraction, util::ThreadPool* pool) {
-  BatchReport batch;
-  batch.per_query.reserve(queries.size());
-  if (queries.empty()) return batch;
-  if (!reference_uploaded_)
-    return Error{ErrorCode::NoReference, "Session: no reference uploaded"};
-
-  std::vector<std::uint32_t> thresholds;
-  thresholds.reserve(queries.size());
-  for (const bio::ProteinSequence& query : queries)
-    thresholds.push_back(static_cast<std::uint32_t>(
-        threshold_fraction * static_cast<double>(query.size() * 3)));
-
-  // One multi-query pass over the reference produces every hit list up
-  // front — on the default tiled path each freshly compiled tile is
-  // scored against the whole batch while hot in cache; the Planes escape
-  // hatch streams the cached whole-reference plane words instead.  The
-  // per-query runs below then reduce to cycle/energy accounting.  The
-  // queries are compiled from their *encoded* form so the hits match what
-  // Accelerator::run would compute bit for bit.  The LUT oracle path
-  // keeps its own evaluation.
-  std::vector<std::vector<Hit>> forward, reverse;
-  const bool precompute = !config_.accelerator.use_lut_path;
-  if (precompute) {
-    std::vector<BitScanQuery> compiled;
-    compiled.reserve(queries.size());
-    for (const bio::ProteinSequence& query : queries)
-      compiled.emplace_back(encode_query(query));
-    if (tiled()) {
-      forward = TileScanner{reference_, config_.tile}.hits_batch(
-          compiled, thresholds, pool);
-      if (config_.search_both_strands)
-        reverse = TileScanner{reverse_, config_.tile}.hits_batch(
-            compiled, thresholds, pool);
-    } else {
-      ensure_planes(config_.search_both_strands, pool);
-      forward = bitscan_hits_batch(compiled, forward_planes(), thresholds,
-                                   pool);
-      if (config_.search_both_strands)
-        reverse = bitscan_hits_batch(compiled, reverse_planes(), thresholds,
-                                     pool);
-    }
-  }
-
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    Expected<HostRunReport> result = align_impl(
-        queries[i], thresholds[i], precompute ? &forward[i] : nullptr,
-        precompute && config_.search_both_strands ? &reverse[i] : nullptr);
-    if (!result) return result.error();
-    HostRunReport report = std::move(result).value();
-    batch.total_s += report.total_s;
-    batch.total_joules += report.joules;
-    batch.total_hits += report.hits.size();
-    batch.recovery.merge(report.recovery);
-    batch.per_query.push_back(std::move(report));
-  }
-  batch.queries_per_second =
-      batch.total_s > 0.0
-          ? static_cast<double>(queries.size()) / batch.total_s
-          : 0.0;
-  return batch;
+    std::span<const bio::ProteinSequence> queries, double threshold_fraction,
+    util::ThreadPool* pool) {
+  return engine_->align_batch_sync(queries, threshold_fraction, pool);
 }
 
 std::vector<Hit> Session::software_hits(const bio::ProteinSequence& query,
                                         std::uint32_t threshold,
                                         util::ThreadPool* pool) {
-  if (!reference_uploaded_)
+  if (!engine_->has_reference())
     throw std::logic_error{"Session: no reference uploaded"};
-  const BitScanQuery compiled{back_translate(query)};
-  if (tiled())
-    return TileScanner{reference_, config_.tile}.hits(compiled, threshold,
-                                                      pool);
-  const BitScanReference& planes = forward_planes();
-  return pool ? bitscan_hits_parallel(compiled, planes, threshold, *pool)
-              : bitscan_hits(compiled, planes, threshold);
+  return engine_->software_hits(query, threshold, pool);
 }
 
 std::vector<std::vector<Hit>> Session::software_hits_batch(
     std::span<const bio::ProteinSequence> queries,
     std::span<const std::uint32_t> thresholds, util::ThreadPool* pool) {
-  if (!reference_uploaded_)
+  if (!engine_->has_reference())
     throw std::logic_error{"Session: no reference uploaded"};
   if (thresholds.size() != queries.size())
     throw std::invalid_argument{
         "Session::software_hits_batch: thresholds.size() must equal "
         "queries.size()"};
-  std::vector<BitScanQuery> compiled;
-  compiled.reserve(queries.size());
-  for (const bio::ProteinSequence& query : queries)
-    compiled.emplace_back(back_translate(query));
-  if (tiled())
-    return TileScanner{reference_, config_.tile}.hits_batch(
-        compiled, thresholds, pool);
-  return bitscan_hits_batch(compiled, forward_planes(), thresholds, pool);
+  return engine_->software_hits_batch(queries, thresholds, pool);
 }
 
-void Session::ensure_planes(bool both_strands, util::ThreadPool* pool) {
-  // Overlap the strand compiles: the reverse planes build on a pool
-  // worker while the caller builds the forward planes — with both strands
-  // the compile wall-time halves (it vanishes entirely on the tiled path,
-  // which never calls this).
-  std::future<void> reverse_done;
-  if (both_strands && !bitscan_reverse_ready_ && pool)
-    reverse_done = pool->submit(
-        [this] { bitscan_reverse_ = BitScanReference{reverse_}; });
-  forward_planes();
-  if (reverse_done.valid()) {
-    reverse_done.get();
-    bitscan_reverse_ready_ = true;
-  } else if (both_strands) {
-    reverse_planes();
-  }
+const bio::PackedNucleotides& Session::reference() const noexcept {
+  return engine_->reference();
 }
 
-const BitScanReference& Session::forward_planes() {
-  if (!bitscan_ready_) {
-    bitscan_reference_ = BitScanReference{reference_};
-    bitscan_ready_ = true;
-  }
-  return bitscan_reference_;
+const HostConfig& Session::config() const noexcept {
+  return engine_->host_config();
 }
 
-const BitScanReference& Session::reverse_planes() {
-  if (!bitscan_reverse_ready_) {
-    bitscan_reverse_ = BitScanReference{reverse_};
-    bitscan_reverse_ready_ = true;
-  }
-  return bitscan_reverse_;
+bool Session::tiled() const noexcept {
+  return use_tiled_scan(engine_->host_config().scan_path);
 }
 
-HostRunReport Session::finish(const bio::ProteinSequence& query,
-                              AcceleratorRun run,
-                              std::size_t reference_bytes) const {
-  HostRunReport report;
-  report.mapping = run.mapping;
-  report.hits = std::move(run.hits);
+HealthState Session::health() const noexcept { return engine_->health(); }
 
-  const double pcie = config_.pcie_bandwidth_bps;
-  const double ref_bytes = static_cast<double>(reference_bytes);
-  report.reference_transfer_s =
-      config_.reference_resident ? 0.0 : ref_bytes / pcie;
-
-  // Encoded query as transferred: 6-bit instructions packed into words.
-  const PackedQuery packed{encode_query(query)};
-  const auto query_bytes = static_cast<double>(packed.byte_size());
-  report.query_transfer_s = query_bytes / pcie + config_.invoke_overhead_s;
-
-  report.kernel_s = run.kernel_seconds;
-
-  const double result_bytes =
-      static_cast<double>(report.hits.size()) * 8.0 + 64.0;
-  report.readback_s = result_bytes / pcie;
-
-  report.total_s = report.reference_transfer_s + report.query_transfer_s +
-                   report.kernel_s + report.readback_s;
-  report.watts = run.watts;
-  report.joules = run.watts * report.total_s;
-  return report;
+const std::vector<hw::FaultEvent>& Session::fault_log() const noexcept {
+  return engine_->fault_log();
 }
 
 }  // namespace fabp::core

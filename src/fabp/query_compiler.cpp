@@ -1,0 +1,78 @@
+#include "fabp/core/query_compiler.hpp"
+
+#include <utility>
+
+#include "fabp/core/querypack.hpp"
+
+namespace fabp::core {
+
+std::uint32_t CompiledQuery::threshold_for_expected_hits(
+    std::size_t reference_elements, double expected_hits) const {
+  return core::threshold_for_expected_hits(elements, reference_elements,
+                                           expected_hits);
+}
+
+CompiledQueryPtr compile_query(const bio::ProteinSequence& protein) {
+  auto compiled = std::make_shared<CompiledQuery>();
+  compiled->protein = protein;
+  compiled->elements = back_translate(protein);
+  compiled->encoded = encode_elements(compiled->elements);
+  compiled->scan = BitScanQuery{compiled->elements};
+  compiled->packed_bytes = PackedQuery{compiled->encoded}.byte_size();
+  compiled->statistics = score_statistics(compiled->elements);
+  return compiled;
+}
+
+QueryCompiler::QueryCompiler(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(1, capacity)} {}
+
+CompiledQueryPtr QueryCompiler::compile(const bio::ProteinSequence& protein) {
+  std::string key = protein.to_string();
+  {
+    std::lock_guard lock{mutex_};
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      ++stats_.hits;
+      return it->second->second;
+    }
+  }
+
+  // Compile outside the lock: concurrent misses may compile the same query
+  // twice, but never block each other behind a long back-translation.
+  CompiledQueryPtr compiled = compile_query(protein);
+
+  std::lock_guard lock{mutex_};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Lost the race: keep the first entry (shared_ptr equality of results
+    // does not matter, the contents are identical).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->second;
+  }
+  ++stats_.misses;
+  lru_.emplace_front(key, compiled);
+  index_.emplace(std::move(key), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  return compiled;
+}
+
+QueryCompilerStats QueryCompiler::stats() const {
+  std::lock_guard lock{mutex_};
+  QueryCompilerStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void QueryCompiler::clear() {
+  std::lock_guard lock{mutex_};
+  lru_.clear();
+  index_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace fabp::core

@@ -1,0 +1,288 @@
+#include "fabp/core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "fabp/bio/generate.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+
+std::vector<ProteinSequence> make_queries(std::size_t count,
+                                          util::Xoshiro256& rng) {
+  std::vector<ProteinSequence> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    queries.push_back(bio::random_protein(6 + i % 6, rng));
+  return queries;
+}
+
+std::uint32_t half_threshold(const ProteinSequence& query) {
+  return static_cast<std::uint32_t>(query.size() * 3 / 2);
+}
+
+// The engine's core determinism contract: results of coalesced concurrent
+// submission are hit-for-hit identical to sequential Session::align of the
+// same queries — for every backend kind, both strands on.
+TEST(Engine, CoalescedEqualsSequentialAllBackends) {
+  util::Xoshiro256 rng{911};
+  const NucleotideSequence ref = bio::random_dna(30000, rng);
+  const std::vector<ProteinSequence> queries = make_queries(48, rng);
+
+  for (const BackendKind kind :
+       {BackendKind::HwSim, BackendKind::Tiled, BackendKind::Planes}) {
+    EngineConfig config;
+    config.host.search_both_strands = true;
+    config.backend = kind;
+    config.workers = 2;
+
+    // Sequential truth through the same backend kind.
+    Engine sequential{config};
+    sequential.upload_reference(NucleotideSequence{ref});
+    std::vector<std::vector<Hit>> expected_fwd, expected_rev;
+    for (const ProteinSequence& query : queries) {
+      Expected<HostRunReport> report =
+          sequential.align_sync(query, half_threshold(query));
+      ASSERT_TRUE(report.has_value()) << to_string(kind);
+      expected_fwd.push_back(report->hits);
+      expected_rev.push_back(report->reverse_hits);
+    }
+
+    // Concurrent submission; the workers coalesce whatever queues up.
+    Engine engine{config};
+    engine.upload_reference(NucleotideSequence{ref});
+    std::vector<Ticket> tickets;
+    tickets.reserve(queries.size());
+    for (const ProteinSequence& query : queries)
+      tickets.push_back(engine.submit(query, half_threshold(query)));
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      Expected<HostRunReport> report = tickets[i].wait();
+      ASSERT_TRUE(report.has_value()) << to_string(kind) << " query " << i;
+      EXPECT_EQ(report->hits, expected_fwd[i])
+          << to_string(kind) << " query " << i;
+      EXPECT_EQ(report->reverse_hits, expected_rev[i])
+          << to_string(kind) << " query " << i;
+    }
+
+    const EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.submitted, queries.size()) << to_string(kind);
+    EXPECT_EQ(stats.completed, queries.size()) << to_string(kind);
+    EXPECT_EQ(stats.failed + stats.cancelled + stats.expired, 0u)
+        << to_string(kind);
+  }
+}
+
+// Holding the workers off (autostart=false) makes queue behavior exact:
+// capacity bounds admissions and the overflow is rejected with QueueFull.
+TEST(Engine, QueueFullRejectsWithTypedError) {
+  util::Xoshiro256 rng{912};
+  EngineConfig config;
+  config.queue_capacity = 2;
+  config.autostart = false;
+  Engine engine{config};
+  engine.upload_reference(bio::random_dna(5000, rng));
+
+  const ProteinSequence query = bio::random_protein(8, rng);
+  Ticket a = engine.submit(query, half_threshold(query));
+  Ticket b = engine.submit(query, half_threshold(query));
+  Ticket rejected = engine.submit(query, half_threshold(query));
+
+  ASSERT_TRUE(rejected.ready());
+  const Expected<HostRunReport> outcome = rejected.wait();
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::QueueFull);
+  EXPECT_EQ(engine.stats().rejected, 1u);
+
+  engine.start();
+  EXPECT_TRUE(a.wait().has_value());
+  EXPECT_TRUE(b.wait().has_value());
+}
+
+TEST(Engine, CancelWhileQueuedWinsDeterministically) {
+  util::Xoshiro256 rng{913};
+  EngineConfig config;
+  config.autostart = false;
+  Engine engine{config};
+  engine.upload_reference(bio::random_dna(5000, rng));
+
+  const ProteinSequence query = bio::random_protein(8, rng);
+  Ticket ticket = engine.submit(query, half_threshold(query));
+  EXPECT_TRUE(ticket.cancel());
+  EXPECT_FALSE(ticket.cancel());  // second cancel loses
+  const Expected<HostRunReport> outcome = ticket.wait();
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::Cancelled);
+  EXPECT_EQ(engine.stats().cancelled, 1u);
+
+  // A cancelled entry must not poison the queue for later requests.
+  engine.start();
+  Ticket live = engine.submit(query, half_threshold(query));
+  EXPECT_TRUE(live.wait().has_value());
+}
+
+TEST(Engine, DeadlinePassedWhileQueuedExpires) {
+  util::Xoshiro256 rng{914};
+  EngineConfig config;
+  config.autostart = false;
+  Engine engine{config};
+  engine.upload_reference(bio::random_dna(5000, rng));
+
+  const ProteinSequence query = bio::random_protein(8, rng);
+  RequestOptions options;
+  options.timeout_s = 1e-4;
+  Ticket ticket = engine.submit(query, half_threshold(query), options);
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  engine.start();
+  const Expected<HostRunReport> outcome = ticket.wait();
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::DeadlineExceeded);
+  EXPECT_EQ(engine.stats().expired, 1u);
+}
+
+TEST(Engine, ShutdownFailsQueuedRequests) {
+  util::Xoshiro256 rng{915};
+  std::vector<Ticket> tickets;
+  {
+    EngineConfig config;
+    config.autostart = false;
+    Engine engine{config};
+    engine.upload_reference(bio::random_dna(5000, rng));
+    const ProteinSequence query = bio::random_protein(8, rng);
+    tickets.push_back(engine.submit(query, half_threshold(query)));
+    tickets.push_back(engine.submit(query, half_threshold(query)));
+  }  // destroyed with both requests still queued
+  for (Ticket& ticket : tickets) {
+    const Expected<HostRunReport> outcome = ticket.wait();
+    ASSERT_FALSE(outcome.has_value());
+    EXPECT_EQ(outcome.error().code, ErrorCode::ShuttingDown);
+  }
+}
+
+TEST(Engine, SubmitWithoutReferenceFailsTyped) {
+  Engine engine;
+  const ProteinSequence query = ProteinSequence::parse("MFSRW");
+  Ticket ticket = engine.submit(query, 1);
+  const Expected<HostRunReport> outcome = ticket.wait();
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::NoReference);
+}
+
+TEST(Engine, InvalidEngineConfigRejected) {
+  EngineConfig config;
+  config.workers = 0;
+  EXPECT_EQ(validate_engine_config(config).code, ErrorCode::InvalidConfig);
+  try {
+    Engine engine{config};
+    FAIL() << "invalid engine config must throw at construction";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::InvalidConfig);
+  }
+}
+
+TEST(Engine, CompilerCacheServesRepeatedQueries) {
+  util::Xoshiro256 rng{916};
+  Engine engine;
+  engine.upload_reference(bio::random_dna(5000, rng));
+  const ProteinSequence query = bio::random_protein(8, rng);
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(engine.align_sync(query, half_threshold(query)).has_value());
+  const QueryCompilerStats stats = engine.compiler_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+}
+
+// Concurrency stress: several client threads submitting, cancelling and
+// waiting at once against a small queue.  Run under tsan by the check.sh
+// engine leg; the invariants here are exact regardless of interleaving.
+TEST(Engine, StressConcurrentSubmitCancelWait) {
+  util::Xoshiro256 rng{917};
+  const NucleotideSequence ref = bio::random_dna(20000, rng);
+  const std::vector<ProteinSequence> queries = make_queries(8, rng);
+
+  EngineConfig config;
+  config.workers = 2;
+  config.queue_capacity = 64;
+  config.max_coalesce = 8;
+  Engine engine{config};
+  engine.upload_reference(NucleotideSequence{ref});
+
+  // Sequential truth per distinct query.
+  std::vector<std::vector<Hit>> expected;
+  for (const ProteinSequence& query : queries)
+    expected.push_back(
+        engine.align_sync(query, half_threshold(query))->hits);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 40;
+  std::atomic<std::size_t> wrong{0};
+  std::atomic<std::size_t> unexpected_errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t q = (c * kPerClient + i) % queries.size();
+        RequestOptions options;
+        if (i % 7 == 3) options.timeout_s = 1e-6;  // some expire
+        Ticket ticket =
+            engine.submit(queries[q], half_threshold(queries[q]), options);
+        const bool cancelled = (i % 5 == 2) && ticket.cancel();
+        Expected<HostRunReport> outcome = ticket.wait();
+        if (outcome.has_value()) {
+          if (cancelled || outcome->hits != expected[q]) ++wrong;
+        } else {
+          const ErrorCode code = outcome.error().code;
+          const bool acceptable =
+              (code == ErrorCode::Cancelled && cancelled) ||
+              code == ErrorCode::DeadlineExceeded ||
+              code == ErrorCode::QueueFull;
+          if (!acceptable) ++unexpected_errors;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(wrong.load(), 0u);
+  EXPECT_EQ(unexpected_errors.load(), 0u);
+  const EngineStats stats = engine.stats();
+  // Every accepted request resolved exactly once.
+  EXPECT_EQ(stats.completed + stats.failed + stats.cancelled + stats.expired,
+            stats.submitted);
+}
+
+// Under offered load the queue builds while the backend runs, so batches
+// must actually form (this is the mechanism bench_engine measures).
+TEST(Engine, CoalescingEngagesUnderBurstLoad) {
+  util::Xoshiro256 rng{918};
+  EngineConfig config;
+  config.workers = 1;
+  config.autostart = false;  // let the burst queue up deterministically
+  config.queue_capacity = 512;
+  Engine engine{config};
+  engine.upload_reference(bio::random_dna(20000, rng));
+
+  const std::vector<ProteinSequence> queries = make_queries(6, rng);
+  std::vector<Ticket> tickets;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const ProteinSequence& query = queries[i % queries.size()];
+    tickets.push_back(engine.submit(query, half_threshold(query)));
+  }
+  engine.start();
+  for (Ticket& ticket : tickets) ASSERT_TRUE(ticket.wait().has_value());
+
+  const EngineStats stats = engine.stats();
+  EXPECT_GT(stats.coalesced_batches, 0u);
+  EXPECT_GT(stats.batch_occupancy(), 1.0);
+  EXPECT_LE(stats.largest_batch, config.max_coalesce);
+}
+
+}  // namespace
+}  // namespace fabp::core

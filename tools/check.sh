@@ -6,12 +6,17 @@
 #   2. an AddressSanitizer build run with FABP_FORCE_ISA=swar64 — sanitizer
 #      coverage over the portable fallback kernel and the env-override
 #      dispatch path, and
-#   3. a ThreadSanitizer build running the pooled tiled-scan and thread-pool
-#      tests — race coverage over the tile-parallel merge and the
-#      concurrent strand-plane compile, and
+#   3. a ThreadSanitizer build running the pooled tiled-scan, thread-pool
+#      and serving-engine tests — race coverage over the tile-parallel
+#      merge, the concurrent strand-plane compile, and the engine's
+#      submit/cancel/coalesce machinery, and
 #   4. an UndefinedBehaviorSanitizer build running the fault-injection and
 #      chaos suites — UB coverage over beat corruption, CRC repair and the
-#      retry/degrade state machine.
+#      retry/degrade state machine, and
+#   5. the engine stress suite pinned to the swar64 kernel — a
+#      deterministic-ISA concurrency exercise of the coalescing scheduler
+#      (same kernel on every machine, so schedules differ but hit lists
+#      cannot).
 #
 # Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/,
 # build-tsan/ and build-ubsan/)
@@ -30,11 +35,12 @@ cmake -B build-asan -S . -DFABP_SANITIZE=address
 cmake --build build-asan -j"$jobs"
 FABP_FORCE_ISA=swar64 ctest --test-dir build-asan --output-on-failure -j"$jobs"
 
-echo "== check.sh: tsan build, pooled scan tests =="
+echo "== check.sh: tsan build, pooled scan + engine tests =="
 cmake -B build-tsan -S . -DFABP_SANITIZE=thread
-cmake --build build-tsan -j"$jobs" --target core_tests util_tests
+cmake --build build-tsan -j"$jobs" --target core_tests util_tests engine_tests
 build-tsan/tests/core_tests --gtest_filter='TileScan*'
 build-tsan/tests/util_tests --gtest_filter='ThreadPool*'
+build-tsan/tests/engine_tests
 
 echo "== check.sh: ubsan build, fault + chaos suites =="
 cmake -B build-ubsan -S . -DFABP_SANITIZE=undefined
@@ -42,4 +48,9 @@ cmake --build build-ubsan -j"$jobs" --target core_tests hw_tests
 build-ubsan/tests/hw_tests --gtest_filter='Fault*:CorruptWords*'
 build-ubsan/tests/core_tests --gtest_filter='Chaos*'
 
-echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos) =="
+echo "== check.sh: engine stress, FABP_FORCE_ISA=swar64 =="
+FABP_FORCE_ISA=swar64 build/tests/engine_tests \
+    --gtest_filter='Engine.Stress*:Engine.Coalesc*'
+FABP_FORCE_ISA=swar64 build/tools/fabp serve 50000 16 128 2 >/dev/null
+
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64) =="
