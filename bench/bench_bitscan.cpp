@@ -23,6 +23,7 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -35,6 +36,7 @@
 #include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/golden.hpp"
 #include "fabp/core/host.hpp"
+#include "fabp/util/benchenv.hpp"
 #include "fabp/util/cpuid.hpp"
 #include "fabp/util/table.hpp"
 #include "fabp/util/thread_pool.hpp"
@@ -100,6 +102,99 @@ struct TiledSection {
   std::vector<TileSweepResult> tile_sweep;
 };
 
+struct BandwidthRow {
+  std::size_t threads;      // actual pool width
+  double seconds;           // tiled scan wall time at that width
+  double scan_gbps;         // model bytes streamed / seconds
+  double frac_of_copy;      // scan_gbps / copy_gbps
+  double frac_of_read;      // scan_gbps / read_gbps
+};
+
+// Measured DRAM-bandwidth ceiling: a STREAM-style copy and a read-only
+// sweep over buffers far larger than any cache level give the machine's
+// achievable peak; the tiled scan's bytes-moved (the EXPERIMENTS.md
+// traffic model, reproduced tile-for-tile by scan_model_bytes below)
+// divided by its wall time places the scan on that roofline.
+struct BandwidthSection {
+  std::size_t buffer_bytes = 0;       // per-buffer size of the probes
+  double copy_gbps = 0.0;             // read+write, all pool threads
+  double read_gbps = 0.0;             // read-only, all pool threads
+  std::size_t reference_bases = 0;    // scan whose traffic is modelled
+  std::size_t model_bytes = 0;        // packed bytes the scan streams
+  std::size_t theoretical_bytes = 0;  // ceil(bases / 4): no tile overhang
+  double cores_to_saturate = 0.0;     // copy_gbps / 1-thread scan_gbps
+  std::vector<BandwidthRow> rows;
+};
+
+// Packed bytes a tiled scan actually streams: per tile the words
+// [first_word, last_word] are read once (two packed words per plane
+// word), with the inter-tile overhang re-read — exactly the walk
+// TileScanner::range_batch performs.
+std::size_t scan_model_bytes(std::size_t bases, std::size_t qlen,
+                             std::size_t tile_positions) {
+  if (bases < qlen || qlen == 0) return 0;
+  const std::size_t positions = bases - qlen + 1;
+  const std::size_t word_count = (bases + 63) / 64;
+  std::size_t bytes = 0;
+  std::size_t pos = 0;
+  while (pos < positions) {
+    const std::size_t tile_end =
+        std::min(positions, (pos / tile_positions + 1) * tile_positions);
+    const std::size_t first_word = pos >> 6;
+    const std::size_t last_word =
+        std::min(word_count - 1, (tile_end + qlen - 2) >> 6);
+    bytes += (last_word - first_word + 1) * 2 * sizeof(std::uint64_t);
+    pos = tile_end;
+  }
+  return bytes;
+}
+
+double measure_copy_gbps(util::ThreadPool& pool, std::size_t buffer_bytes,
+                         int reps) {
+  const std::size_t words = buffer_bytes / sizeof(std::uint64_t);
+  std::vector<std::uint64_t> src(words, 0x5555555555555555ULL);
+  std::vector<std::uint64_t> dst(words, 0);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    pool.parallel_indexed_chunks(
+        0, words,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          std::copy(src.begin() + static_cast<std::ptrdiff_t>(lo),
+                    src.begin() + static_cast<std::ptrdiff_t>(hi),
+                    dst.begin() + static_cast<std::ptrdiff_t>(lo));
+        },
+        64 * 1024);
+    const double s = timer.seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  // STREAM convention: count the read and the write.
+  return 2.0 * static_cast<double>(words) * sizeof(std::uint64_t) / best /
+         1e9;
+}
+
+double measure_read_gbps(util::ThreadPool& pool, std::size_t buffer_bytes,
+                         int reps) {
+  const std::size_t words = buffer_bytes / sizeof(std::uint64_t);
+  std::vector<std::uint64_t> src(words, 0x3333333333333333ULL);
+  std::atomic<std::uint64_t> sink{0};
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    pool.parallel_indexed_chunks(
+        0, words,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          std::uint64_t acc = 0;
+          for (std::size_t i = lo; i < hi; ++i) acc += src[i];
+          sink.fetch_add(acc, std::memory_order_relaxed);
+        },
+        64 * 1024);
+    const double s = timer.seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return static_cast<double>(words) * sizeof(std::uint64_t) / best / 1e9;
+}
+
 // Best-of-`reps` wall time; the result of the last repetition is kept so
 // the harness can cross-check the engines against each other.
 template <typename Out, typename Fn>
@@ -123,10 +218,11 @@ long peak_rss_kb() {
 void write_json(const std::string& path, std::size_t bases,
                 std::size_t residues, std::size_t elements,
                 std::uint32_t threshold, int reps, std::size_t batch_bases,
-                std::size_t batch_residues,
+                std::size_t batch_residues, const util::BenchEnv& env,
                 const std::vector<EngineResult>& results,
                 const std::vector<BatchResult>& batches,
-                const FaultSection& fault, const TiledSection& tiled) {
+                const FaultSection& fault, const TiledSection& tiled,
+                const BandwidthSection& bw) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"bitscan\",\n"
@@ -138,7 +234,14 @@ void write_json(const std::string& path, std::size_t bases,
      << "    \"repetitions\": " << reps << ",\n"
      << "    \"cpu_isa\": \"" << util::cpu_isa_summary() << "\",\n"
      << "    \"active_kernel\": \"" << core::active_scan_kernel().name
-     << "\"\n"
+     << "\",\n"
+     << "    \"environment\": {\n"
+     << "      \"hardware_threads\": " << env.hardware_threads << ",\n"
+     << "      \"affinity_cpus\": " << env.affinity_cpus << ",\n"
+     << "      \"effective_cores\": "
+     << std::min(env.hardware_threads, env.affinity_cpus) << ",\n"
+     << "      \"governor\": \"" << env.governor << "\"\n"
+     << "    }\n"
      << "  },\n"
      << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -201,6 +304,25 @@ void write_json(const std::string& path, std::size_t bases,
        << (i + 1 < tiled.tile_sweep.size() ? "," : "") << "\n";
   }
   os << "    ]\n"
+     << "  },\n"
+     << "  \"bandwidth\": {\n"
+     << "    \"buffer_bytes\": " << bw.buffer_bytes << ",\n"
+     << "    \"copy_gbps\": " << bw.copy_gbps << ",\n"
+     << "    \"read_gbps\": " << bw.read_gbps << ",\n"
+     << "    \"reference_bases\": " << bw.reference_bases << ",\n"
+     << "    \"scan_model_bytes\": " << bw.model_bytes << ",\n"
+     << "    \"theoretical_min_bytes\": " << bw.theoretical_bytes << ",\n"
+     << "    \"cores_to_saturate\": " << bw.cores_to_saturate << ",\n"
+     << "    \"scan\": [\n";
+  for (std::size_t i = 0; i < bw.rows.size(); ++i) {
+    const BandwidthRow& r = bw.rows[i];
+    os << "      {\"threads\": " << r.threads << ", \"seconds\": "
+       << r.seconds << ", \"scan_gbps\": " << r.scan_gbps
+       << ", \"frac_of_copy_peak\": " << r.frac_of_copy
+       << ", \"frac_of_read_peak\": " << r.frac_of_read << "}"
+       << (i + 1 < bw.rows.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n"
      << "  }\n}\n";
 }
 
@@ -239,12 +361,17 @@ int main(int argc, char** argv) {
   const auto threshold =
       static_cast<std::uint32_t>(elements.size() * 4 / 5);
 
+  const util::BenchEnv env = util::probe_bench_env();
   util::banner(std::cout, "Software scan engines, " +
                               std::to_string(bases / 1'000'000) + " Mbp x " +
                               std::to_string(residues) + " aa query");
   std::cout << "  cpu: " << util::cpu_isa_summary()
             << ", dispatched kernel: " << core::active_scan_kernel().name
-            << " (set FABP_FORCE_ISA=scalar|swar64|avx2|avx512 to pin)\n\n";
+            << "\n  (set FABP_FORCE_ISA=scalar|swar64|avx2|avx512|"
+               "avx512vpopcnt to pin)\n"
+            << "  host: " << env.hardware_threads << " hw threads, "
+            << env.affinity_cpus << " schedulable, governor "
+            << env.governor << "\n\n";
 
   // Reference compilation is part of the bit-sliced engines' setup cost —
   // report it, but time the scans against a prebuilt BitScanReference
@@ -268,8 +395,9 @@ int main(int argc, char** argv) {
 
   // Lane-width sweep: one row per SIMD-width kernel the host can run.
   std::vector<const core::ScanKernel*> kernels;
-  for (core::ScanIsa isa : {core::ScanIsa::Swar64, core::ScanIsa::Avx2,
-                            core::ScanIsa::Avx512})
+  for (core::ScanIsa isa :
+       {core::ScanIsa::Swar64, core::ScanIsa::Avx2, core::ScanIsa::Avx512,
+        core::ScanIsa::Avx512Vpopcnt})
     if (const core::ScanKernel* kernel = core::scan_kernel_for(isa))
       kernels.push_back(kernel);
 
@@ -546,6 +674,60 @@ int main(int argc, char** argv) {
     tile_table.print(std::cout);
   }
 
+  // ------------------------------------------------------------------
+  // Measured DRAM-bandwidth ceiling.  The copy/read probes stream buffers
+  // far larger than any cache level (512 MiB each — the build host's L3
+  // is 260 MiB), so they measure memory, not cache.  The scan rows reuse
+  // the tiled thread sweep's wall times: bytes-moved comes from the
+  // traffic model (0.25 B/base plus the inter-tile overhang), so
+  // scan_gbps is the packed-stream bandwidth the scan actually sustains,
+  // and frac-of-peak places it on the machine's roofline.  A low
+  // fraction at one thread means the scan is compute-bound there;
+  // cores_to_saturate says how many such cores the measured ceiling
+  // could feed before the scan turns memory-bound.
+  BandwidthSection bw;
+  {
+    constexpr std::size_t kBwBufferBytes = 512ull * 1024 * 1024;
+    bw.buffer_bytes = kBwBufferBytes;
+    bw.copy_gbps = measure_copy_gbps(pool, kBwBufferBytes, reps);
+    bw.read_gbps = measure_read_gbps(pool, kBwBufferBytes, reps);
+    bw.reference_bases = tiled.reference_bases;
+    bw.model_bytes = scan_model_bytes(tiled.reference_bases, elements.size(),
+                                      tiled.tile_positions);
+    bw.theoretical_bytes = (tiled.reference_bases + 3) / 4;
+    for (const ThreadSweepResult& t : tiled.thread_sweep) {
+      BandwidthRow row;
+      row.threads = t.threads;
+      row.seconds = t.seconds;
+      row.scan_gbps = static_cast<double>(bw.model_bytes) / t.seconds / 1e9;
+      row.frac_of_copy = bw.copy_gbps > 0 ? row.scan_gbps / bw.copy_gbps : 0;
+      row.frac_of_read = bw.read_gbps > 0 ? row.scan_gbps / bw.read_gbps : 0;
+      bw.rows.push_back(row);
+    }
+    if (!bw.rows.empty() && bw.rows.front().scan_gbps > 0)
+      bw.cores_to_saturate = bw.copy_gbps / bw.rows.front().scan_gbps;
+
+    std::cout << "\n  DRAM ceiling (" << kBwBufferBytes / (1024 * 1024)
+              << " MiB buffers, " << pool.size() << " threads): copy "
+              << bw.copy_gbps << " GB/s, read " << bw.read_gbps
+              << " GB/s\n  scan streams "
+              << static_cast<double>(bw.model_bytes) / 1e6 << " MB ("
+              << static_cast<double>(bw.model_bytes) /
+                     static_cast<double>(bw.theoretical_bytes)
+              << "x the 0.25 B/base floor); ~" << bw.cores_to_saturate
+              << " cores at 1-thread rate would saturate copy peak\n\n";
+    util::Table bw_table{{"scan threads", "time", "GB/s", "of copy peak",
+                          "of read peak"}};
+    for (const BandwidthRow& r : bw.rows)
+      bw_table.row()
+          .cell(r.threads)
+          .cell(util::time_text(r.seconds))
+          .cell(r.scan_gbps, 2)
+          .cell(util::percent_text(r.frac_of_copy, 1))
+          .cell(util::percent_text(r.frac_of_read, 1));
+    bw_table.print(std::cout);
+  }
+
   if (mismatch) {
     std::cerr << "ENGINE MISMATCH: some kernel differs from the scalar"
                  " oracle\n";
@@ -554,7 +736,8 @@ int main(int argc, char** argv) {
   std::cout << "\n  hit lists identical across all engines and batches.\n";
 
   write_json(json_path, bases, residues, elements.size(), threshold, reps,
-             batch_bases, batch_residues, results, batches, fault, tiled);
+             batch_bases, batch_residues, env, results, batches, fault, tiled,
+             bw);
   std::cout << "  wrote " << json_path << "\n";
   return 0;
 }

@@ -28,6 +28,7 @@
 
 #include "fabp/bio/generate.hpp"
 #include "fabp/core/engine.hpp"
+#include "fabp/util/benchenv.hpp"
 #include "fabp/util/cpuid.hpp"
 #include "fabp/util/rng.hpp"
 #include "fabp/util/table.hpp"
@@ -217,6 +218,7 @@ void print_section(const BackendSection& section) {
 
 void write_json(const std::string& path, std::size_t bases,
                 std::size_t residues, std::size_t requests,
+                const util::BenchEnv& env,
                 const std::vector<BackendSection>& sections) {
   std::ofstream os{path};
   os << "{\n"
@@ -227,7 +229,14 @@ void write_json(const std::string& path, std::size_t bases,
      << "    \"requests_per_point\": " << requests << ",\n"
      << "    \"workers\": 2,\n"
      << "    \"max_coalesce\": " << EngineConfig{}.max_coalesce << ",\n"
-     << "    \"cpu_isa\": \"" << util::cpu_isa_summary() << "\"\n"
+     << "    \"cpu_isa\": \"" << util::cpu_isa_summary() << "\",\n"
+     << "    \"environment\": {\n"
+     << "      \"hardware_threads\": " << env.hardware_threads << ",\n"
+     << "      \"affinity_cpus\": " << env.affinity_cpus << ",\n"
+     << "      \"effective_cores\": "
+     << std::min(env.hardware_threads, env.affinity_cpus) << ",\n"
+     << "      \"governor\": \"" << env.governor << "\"\n"
+     << "    }\n"
      << "  },\n"
      << "  \"backends\": [\n";
   for (std::size_t s = 0; s < sections.size(); ++s) {
@@ -287,7 +296,8 @@ int main(int argc, char** argv) {
     print_section(sections.back());
   }
 
-  write_json(json_path, bases, residues, requests, sections);
+  write_json(json_path, bases, residues, requests, util::probe_bench_env(),
+             sections);
   std::cout << "  wrote " << json_path << "\n";
 
   for (const BackendSection& section : sections)

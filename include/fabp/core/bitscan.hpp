@@ -23,10 +23,15 @@
 // The block loop is ISA-dispatched: the same vertical-counter algorithm is
 // instantiated at 64 lanes (portable uint64_t SWAR), 256 lanes (AVX2) and
 // 512 lanes (AVX-512F), each compiled in its own TU with the matching -m
-// flags so the binary stays runnable on any x86-64.  The widest kernel the
-// CPU + OS support is selected once at startup (util/cpuid.hpp); the
-// FABP_FORCE_ISA=scalar|swar64|avx2|avx512 environment variable overrides
-// the choice for testing (ignored when the named ISA is unavailable).
+// flags so the binary stays runnable on any x86-64.  A second 512-lane
+// variant (AVX-512 VPOPCNTDQ) replaces the per-element ripple-add with a
+// carry-save compressor step — the software shape of FabP's hardware
+// popcount/adder tree — plus a popcount-census infeasibility early exit.
+// The widest kernel the CPU + OS support is selected once at startup
+// (util/cpuid.hpp); the
+// FABP_FORCE_ISA=scalar|swar64|avx2|avx512|avx512vpopcnt environment
+// variable overrides the choice for testing (ignored when the named ISA
+// is unavailable).
 
 #include <array>
 #include <cstdint>
@@ -158,14 +163,18 @@ std::vector<Hit> bitscan_hits_parallel(const BitScanQuery& query,
 /// Instruction sets the block scan loop is instantiated for.  Scalar is a
 /// per-position reference loop over the same planes (no SWAR counters) —
 /// the slowest path, kept reachable for differential testing; Swar64 is
-/// the portable baseline, always available.
-enum class ScanIsa { Scalar, Swar64, Avx2, Avx512 };
+/// the portable baseline, always available.  Avx512Vpopcnt is the same
+/// 512-lane substrate as Avx512 with the carry-save accumulate and the
+/// VPOPCNTDQ-census early exit; it additionally requires the
+/// AVX512_VPOPCNTDQ CPUID bit.
+enum class ScanIsa { Scalar, Swar64, Avx2, Avx512, Avx512Vpopcnt };
 
-inline constexpr std::size_t kScanIsaCount = 4;
+inline constexpr std::size_t kScanIsaCount = 5;
 
-/// All ISA values, widest last — handy for test sweeps.
+/// All ISA values, widest/most specialised last — handy for test sweeps.
 inline constexpr std::array<ScanIsa, kScanIsaCount> kAllScanIsas{
-    ScanIsa::Scalar, ScanIsa::Swar64, ScanIsa::Avx2, ScanIsa::Avx512};
+    ScanIsa::Scalar, ScanIsa::Swar64, ScanIsa::Avx2, ScanIsa::Avx512,
+    ScanIsa::Avx512Vpopcnt};
 
 /// One scan implementation: the per-block inner loop (plane fetch → SWAR
 /// counter add → borrow-propagate threshold compare) at a fixed lane
@@ -176,7 +185,8 @@ inline constexpr std::array<ScanIsa, kScanIsaCount> kAllScanIsas{
 /// and order).
 struct ScanKernel {
   ScanIsa isa;
-  const char* name;     // "scalar" | "swar64" | "avx2" | "avx512"
+  const char* name;     // "scalar" | "swar64" | "avx2" | "avx512" |
+                        // "avx512vpopcnt"
   unsigned lanes;       // positions scored per block (1, 64, 256, 512)
 
   /// Appends hits with position in [begin, end), clamped to the valid
@@ -199,8 +209,8 @@ struct ScanKernel {
 /// CPU/OS cannot execute it.  Scalar and Swar64 never return nullptr.
 const ScanKernel* scan_kernel_for(ScanIsa isa) noexcept;
 
-/// Parses a FABP_FORCE_ISA value ("scalar", "swar64", "avx2", "avx512");
-/// returns false on unknown names.
+/// Parses a FABP_FORCE_ISA value ("scalar", "swar64", "avx2", "avx512",
+/// "avx512vpopcnt"); returns false on unknown names.
 bool scan_isa_from_name(std::string_view name, ScanIsa& out) noexcept;
 
 /// The kernel every bitscan_* entry point dispatches to: the widest ISA

@@ -34,12 +34,38 @@
 
 namespace fabp::core {
 
+/// How a pooled scan splits its tiles across workers.  Either way every
+/// run is a contiguous, tile-aligned span owned by exactly one worker:
+/// the worker compiles and scores the run's tiles in its own scratch,
+/// carries the prev1/prev2 history across tile edges within the run, and
+/// appends hits to a cache-line-isolated per-run slot — no shared-line
+/// writes, no per-tile task dispatch.
+enum class TilePartition {
+  Auto,      ///< Static when tiles >> workers, Stealing otherwise.
+  Static,    ///< min(workers, tiles) runs — one dispatch per worker, the
+             ///< fast path when every worker owns many whole tiles.
+  Stealing,  ///< finer runs (a few per worker) drained through the pool
+             ///< queue, so stragglers rebalance at run granularity.
+};
+
 struct TileScanConfig {
   /// Candidate positions scored per tile; rounded up to a whole number of
   /// 64-element words (minimum one word).  The default keeps one tile's 12
   /// compiled planes (12 * 2048 words = 192 KiB) plus its packed input
   /// (32 KiB) L2-resident.
   std::size_t tile_positions = 128 * 1024;
+
+  /// Software-prefetch distance in packed reference words: while tile k is
+  /// being compiled, the packed words this far ahead of the compile cursor
+  /// are prefetched (and the head of tile k+1 is prefetched while tile k
+  /// is being scored), hiding the DRAM latency of the 0.25 B/base stream
+  /// behind the plane compile + kernel compute.  0 disables prefetching.
+  /// The default (64 words = 512 B = 8 cache lines ahead) covers typical
+  /// DRAM latency at the compile loop's consumption rate.
+  std::size_t prefetch_distance = 64;
+
+  /// Pooled-scan partition policy (serial scans ignore it).
+  TilePartition partition = TilePartition::Auto;
 };
 
 /// Which software scan path an entry point should take.
@@ -78,6 +104,15 @@ class TileScanner {
   /// Tiles a full scan of this reference walks.
   std::size_t tile_count() const noexcept;
 
+  /// Contiguous tile runs a pooled scan over `positions` candidate
+  /// positions splits into for `workers` threads under the configured
+  /// partition policy: min(tiles, workers) for Static, a few runs per
+  /// worker for Stealing, and Auto picks Static once every worker owns
+  /// enough whole tiles that imbalance is bounded by a small fraction of
+  /// a run.  Exposed so tests and the bench can pin the layout.
+  std::size_t scan_runs(std::size_t positions,
+                        std::size_t workers) const noexcept;
+
   /// Per-thread scratch footprint of a scan whose longest query has
   /// `query_elements` elements: O(tile + query), independent of the
   /// reference size.  This (plus per-chunk hit vectors) is the entire scan
@@ -105,9 +140,11 @@ class TileScanner {
                    std::vector<Hit>* outs) const;
 
   /// All hits with score >= threshold — identical to bitscan_hits /
-  /// golden_hits on the same inputs.  With a pool, whole tiles are chunked
-  /// over the workers (each with its own scratch) and merged in tile
-  /// order, so the output is deterministic and exactly the serial scan's.
+  /// golden_hits on the same inputs.  With a pool, contiguous tile runs
+  /// (see TilePartition) are owned whole by workers — per-run scratch and
+  /// hit slots, history carried across tile edges inside the run — and
+  /// stitched in run order at the merge, so the output is deterministic
+  /// and exactly the serial scan's.
   std::vector<Hit> hits(const BitScanQuery& query, std::uint32_t threshold,
                         util::ThreadPool* pool = nullptr) const;
 
@@ -122,6 +159,8 @@ class TileScanner {
   std::span<const std::uint64_t> words_;  // 2-bit packed reference words
   std::size_t size_ = 0;                  // reference elements
   std::size_t tile_positions_ = 0;        // multiple of 64
+  std::size_t prefetch_distance_ = 0;     // packed words; 0 = off
+  TilePartition partition_ = TilePartition::Auto;
 };
 
 }  // namespace fabp::core

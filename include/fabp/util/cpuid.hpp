@@ -14,8 +14,13 @@ bool cpu_has_avx2() noexcept;
 /// CPU + OS support for AVX-512F (opmask + zmm state enabled in XCR0).
 bool cpu_has_avx512f() noexcept;
 
-/// Human-readable summary of the probes above, e.g. "avx2+avx512f",
-/// "avx2", or "baseline" — for bench/CLI banners.
+/// CPU + OS support for AVX-512 VPOPCNTDQ (per-lane 64-bit popcount);
+/// implies cpu_has_avx512f().
+bool cpu_has_avx512vpopcntdq() noexcept;
+
+/// Human-readable summary of the probes above, e.g.
+/// "avx2+avx512f+vpopcntdq", "avx2+avx512f", "avx2", or "baseline" — for
+/// bench/CLI banners.
 const char* cpu_isa_summary() noexcept;
 
 }  // namespace fabp::util

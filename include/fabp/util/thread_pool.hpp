@@ -47,36 +47,44 @@ class ThreadPool {
 
   /// Like parallel_chunks but also passes the chunk index (0-based, in
   /// range order).  The chunk layout is a pure function of (begin, end,
-  /// size(), granule), so callers can produce deterministic ordered merges
-  /// by writing into a per-chunk slot and concatenating in index order.
+  /// size(), granule, max_chunks), so callers can produce deterministic
+  /// ordered merges by writing into a per-chunk slot and concatenating in
+  /// index order.
   ///
-  /// `granule` rounds every chunk (except the last) up to a whole multiple
-  /// of that many indices — work whose natural unit is large (a scan tile,
-  /// hundreds of KiB of plane words) sets it so no worker is handed a
-  /// sliver that costs more to dispatch than to compute.
+  /// `granule` makes every chunk a whole multiple of that many indices
+  /// (the last chunk absorbs the remainder) — work whose natural unit is
+  /// large (a scan tile, hundreds of KiB of plane words) sets it so no
+  /// worker is handed a sliver that costs more to dispatch than to
+  /// compute.
+  ///
+  /// `max_chunks` caps the chunk count; 0 means size().  Values above
+  /// size() split finer than one chunk per worker, so stragglers rebalance
+  /// through the queue (the tiled scanner's work-stealing partition);
+  /// values below split coarser.
+  ///
+  /// Granules are spread in a balanced split — the first (grains % chunks)
+  /// chunks carry one extra granule — so the count is exactly
+  /// min(grains, cap) and a pool of N workers always sees N chunks when N
+  /// granules exist.  (A uniform rounded-up step would not: 9 granules
+  /// over 8 workers would collapse to 5 double-size chunks and strand 3
+  /// workers.)
   void parallel_indexed_chunks(
       std::size_t begin, std::size_t end,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
-      std::size_t granule = 1);
+      std::size_t granule = 1, std::size_t max_chunks = 0);
 
   /// Exact number of chunks parallel_indexed_chunks will produce for a
-  /// range of `total` indices at the given granule.
-  std::size_t chunk_count(std::size_t total,
-                          std::size_t granule = 1) const noexcept {
-    return chunk_size(total, granule) == 0
-               ? 0
-               : (total + chunk_size(total, granule) - 1) /
-                     chunk_size(total, granule);
-  }
-
-  /// Indices per chunk (the last chunk may be shorter); 0 when total is 0.
-  std::size_t chunk_size(std::size_t total,
-                         std::size_t granule = 1) const noexcept {
+  /// range of `total` indices at the given granule and cap: 0 when total
+  /// is 0, otherwise min(ceil(total / granule), max_chunks ? max_chunks
+  /// : size()).
+  std::size_t chunk_count(std::size_t total, std::size_t granule = 1,
+                          std::size_t max_chunks = 0) const noexcept {
     if (total == 0) return 0;
     if (granule == 0) granule = 1;
     const std::size_t grains = (total + granule - 1) / granule;
-    const std::size_t chunks = std::min(grains, size());
-    return granule * ((grains + chunks - 1) / chunks);
+    const std::size_t cap =
+        max_chunks == 0 ? size() : std::max<std::size_t>(1, max_chunks);
+    return std::min(grains, cap);
   }
 
  private:

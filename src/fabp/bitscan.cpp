@@ -124,6 +124,9 @@ const ScanKernel* scan_kernel_for(ScanIsa isa) noexcept {
       return util::cpu_has_avx2() ? detail::avx2_kernel() : nullptr;
     case ScanIsa::Avx512:
       return util::cpu_has_avx512f() ? detail::avx512_kernel() : nullptr;
+    case ScanIsa::Avx512Vpopcnt:
+      return util::cpu_has_avx512vpopcntdq() ? detail::avx512vpopcnt_kernel()
+                                             : nullptr;
   }
   return nullptr;
 }
@@ -133,6 +136,7 @@ bool scan_isa_from_name(std::string_view name, ScanIsa& out) noexcept {
   else if (name == "swar64") out = ScanIsa::Swar64;
   else if (name == "avx2") out = ScanIsa::Avx2;
   else if (name == "avx512") out = ScanIsa::Avx512;
+  else if (name == "avx512vpopcnt") out = ScanIsa::Avx512Vpopcnt;
   else return false;
   return true;
 }
@@ -146,7 +150,8 @@ const ScanKernel& active_scan_kernel() noexcept {
       if (scan_isa_from_name(force, isa))
         if (const ScanKernel* kernel = scan_kernel_for(isa)) return kernel;
     }
-    for (ScanIsa isa : {ScanIsa::Avx512, ScanIsa::Avx2})
+    for (ScanIsa isa :
+         {ScanIsa::Avx512Vpopcnt, ScanIsa::Avx512, ScanIsa::Avx2})
       if (const ScanKernel* kernel = scan_kernel_for(isa)) return kernel;
     return scan_kernel_for(ScanIsa::Swar64);  // always present
   }();

@@ -23,6 +23,12 @@
 //   static V not_(V);
 //   static bool any(V);                           // any bit set
 //   static void store(std::uint64_t* dst, V);     // kWords words
+//
+// Traits powering the carry-save scorer (scan_range_t/scan_batch_t with
+// kCsa = true) additionally provide:
+//   static void csa(V& high, V& low, V a, V b, V c);
+//     // bitwise full adder: low = a^b^c, high = majority(a,b,c)
+//   static unsigned popcount_total(V);            // set bits across lanes
 
 #include <algorithm>
 #include <bit>
@@ -43,50 +49,43 @@ const ScanKernel* scalar_kernel() noexcept;
 const ScanKernel* swar64_kernel() noexcept;
 const ScanKernel* avx2_kernel() noexcept;
 const ScanKernel* avx512_kernel() noexcept;
+const ScanKernel* avx512vpopcnt_kernel() noexcept;
 
-/// Scores one block of 64 * Traits::kWords candidate positions starting at
-/// `base` and appends the `block` leading lanes that reach the threshold.
+// Elements between feasibility checks in the carry-save scorer (must be a
+// power of two).  Each check costs one borrow-propagate over the counter
+// planes plus a lane census; every 16 elements it is well under 10% of
+// the accumulate work it can skip.
+inline constexpr std::size_t kCsaCheckStride = 16;
+
+/// Borrow-out of (score - value) per lane over the first nbits counter
+/// planes: a lane's borrow bit is set iff its score < value.
 template <typename Traits>
-inline void score_block(const std::uint64_t* const* planes, std::size_t qlen,
-                        unsigned nbits, std::uint32_t threshold,
-                        std::size_t base, std::size_t block,
-                        std::vector<Hit>& out) {
+inline typename Traits::Vec counter_borrow(
+    const typename Traits::Vec* counters, unsigned nbits,
+    std::uint32_t value) {
   using V = typename Traits::Vec;
-  constexpr unsigned kW = Traits::kWords;
-
-  // Accumulate per-position scores in vertical counters: lane j of
-  // counter plane b is bit b of the score at position base + j.  Scores
-  // never exceed qlen, so only the first nbits planes are ever touched.
-  V counters[kMaxCounterBits];
-  for (unsigned b = 0; b < nbits; ++b) counters[b] = Traits::zero();
-  for (std::size_t i = 0; i < qlen; ++i) {
-    const std::size_t offset = base + i;
-    V carry = Traits::load_bits(planes[i], offset >> 6,
-                                static_cast<unsigned>(offset & 63));
-    // Ripple-add 1 into every set lane.
-    for (unsigned b = 0; Traits::any(carry); ++b) {
-      const V overflow = Traits::and_(counters[b], carry);
-      counters[b] = Traits::xor_(counters[b], carry);
-      carry = overflow;
-    }
-  }
-
-  // score >= threshold per lane: subtract the broadcast threshold and
-  // keep lanes with no borrow-out.
   V borrow = Traits::zero();
   for (unsigned b = 0; b < nbits; ++b) {
-    const V tb =
-        Traits::broadcast(((threshold >> b) & 1u) ? ~0ULL : 0ULL);
+    const V tb = Traits::broadcast(((value >> b) & 1u) ? ~0ULL : 0ULL);
     borrow = Traits::or_(
         Traits::andnot(counters[b], Traits::or_(tb, borrow)),
         Traits::and_(tb, borrow));
   }
+  return borrow;
+}
 
+/// Materialises Hit records for every set lane of hit_mask below `block`,
+/// reading each hit's score back out of the vertical counters.  Counters
+/// are spilled at most once, and only when some lane actually hit.
+template <typename Traits>
+inline void emit_block_hits(const typename Traits::Vec* counters,
+                            unsigned nbits, typename Traits::Vec hit_mask,
+                            std::size_t base, std::size_t block,
+                            std::vector<Hit>& out) {
+  constexpr unsigned kW = Traits::kWords;
   std::uint64_t hit_words[kW];
-  Traits::store(hit_words, Traits::not_(borrow));
+  Traits::store(hit_words, hit_mask);
 
-  // Materialise Hit records word by word; counters are spilled at most
-  // once per block, and only when some lane actually hit.
   std::uint64_t counter_words[kMaxCounterBits][kW];
   bool spilled = false;
   for (unsigned k = 0; k < kW; ++k) {
@@ -112,6 +111,106 @@ inline void score_block(const std::uint64_t* const* planes, std::size_t qlen,
       out.push_back(Hit{base + lane_base + lane, score});
     } while (hits != 0);
   }
+}
+
+/// Scores one block of 64 * Traits::kWords candidate positions starting at
+/// `base` and appends the `block` leading lanes that reach the threshold.
+template <typename Traits>
+inline void score_block(const std::uint64_t* const* planes, std::size_t qlen,
+                        unsigned nbits, std::uint32_t threshold,
+                        std::size_t base, std::size_t block,
+                        std::vector<Hit>& out) {
+  using V = typename Traits::Vec;
+
+  // Accumulate per-position scores in vertical counters: lane j of
+  // counter plane b is bit b of the score at position base + j.  Scores
+  // never exceed qlen, so only the first nbits planes are ever touched.
+  V counters[kMaxCounterBits];
+  for (unsigned b = 0; b < nbits; ++b) counters[b] = Traits::zero();
+  for (std::size_t i = 0; i < qlen; ++i) {
+    const std::size_t offset = base + i;
+    V carry = Traits::load_bits(planes[i], offset >> 6,
+                                static_cast<unsigned>(offset & 63));
+    // Ripple-add 1 into every set lane.
+    for (unsigned b = 0; Traits::any(carry); ++b) {
+      const V overflow = Traits::and_(counters[b], carry);
+      counters[b] = Traits::xor_(counters[b], carry);
+      carry = overflow;
+    }
+  }
+
+  // score >= threshold per lane: no borrow-out of (score - threshold).
+  const V borrow = counter_borrow<Traits>(counters, nbits, threshold);
+  emit_block_hits<Traits>(counters, nbits, Traits::not_(borrow), base, block,
+                          out);
+}
+
+/// Carry-save variant of score_block for Traits with csa/popcount_total:
+/// elements are folded two per step through a bitwise full adder (the
+/// software shape of FabP's hardware popcount/compressor tree), halving
+/// the ripple passes through the counter planes, and every
+/// kCsaCheckStride elements a feasibility census abandons the block when
+/// no lane can still reach the threshold — exact, because a lane whose
+/// partial score plus all remaining elements stays below the threshold
+/// can never produce a hit.  Output is bit-identical to score_block.
+template <typename Traits>
+inline void score_block_csa(const std::uint64_t* const* planes,
+                            std::size_t qlen, unsigned nbits,
+                            std::uint32_t threshold, std::size_t base,
+                            std::size_t block, std::vector<Hit>& out) {
+  using V = typename Traits::Vec;
+
+  V counters[kMaxCounterBits];
+  for (unsigned b = 0; b < nbits; ++b) counters[b] = Traits::zero();
+
+  std::size_t i = 0;
+  for (; i + 1 < qlen; i += 2) {
+    const std::size_t o0 = base + i;
+    const std::size_t o1 = o0 + 1;
+    const V e0 = Traits::load_bits(planes[i], o0 >> 6,
+                                   static_cast<unsigned>(o0 & 63));
+    const V e1 = Traits::load_bits(planes[i + 1], o1 >> 6,
+                                   static_cast<unsigned>(o1 & 63));
+    // One full adder folds both elements and counter bit 0; only the
+    // compressed carry ripples into the higher planes.
+    V carry, sum;
+    Traits::csa(carry, sum, counters[0], e0, e1);
+    counters[0] = sum;
+    for (unsigned b = 1; Traits::any(carry); ++b) {
+      const V overflow = Traits::and_(counters[b], carry);
+      counters[b] = Traits::xor_(counters[b], carry);
+      carry = overflow;
+    }
+
+    const std::size_t done = i + 2;
+    if ((done & (kCsaCheckStride - 1)) == 0 && done < qlen) {
+      // A lane can still hit iff partial + remaining >= threshold.  When
+      // even a perfect tail cannot save any lane, the whole block is
+      // provably hitless: skip the rest of the query.
+      const std::size_t remaining = qlen - done;
+      if (threshold > remaining) {
+        const std::uint32_t need =
+            threshold - static_cast<std::uint32_t>(remaining);
+        const V alive = Traits::not_(
+            counter_borrow<Traits>(counters, nbits, need));
+        if (Traits::popcount_total(alive) == 0) return;
+      }
+    }
+  }
+  if (i < qlen) {  // odd element count: plain ripple-add for the last one
+    const std::size_t offset = base + i;
+    V carry = Traits::load_bits(planes[i], offset >> 6,
+                                static_cast<unsigned>(offset & 63));
+    for (unsigned b = 0; Traits::any(carry); ++b) {
+      const V overflow = Traits::and_(counters[b], carry);
+      counters[b] = Traits::xor_(counters[b], carry);
+      carry = overflow;
+    }
+  }
+
+  const V borrow = counter_borrow<Traits>(counters, nbits, threshold);
+  emit_block_hits<Traits>(counters, nbits, Traits::not_(borrow), base, block,
+                          out);
 }
 
 /// One query prepared for the block loop: per-element plane pointers plus
@@ -148,19 +247,27 @@ inline PreparedQuery prepare_query(const BitScanQuery& query,
   return p;
 }
 
-template <typename Traits>
+// kCsa selects the carry-save scorer (score_block_csa) — only valid for
+// Traits providing the csa/popcount_total extensions.
+template <typename Traits, bool kCsa = false>
 void scan_range_t(const BitScanQuery& query, const PlaneView& reference,
                   std::uint32_t threshold, std::size_t begin, std::size_t end,
                   std::vector<Hit>& out) {
   const PreparedQuery p = prepare_query(query, reference, threshold, begin,
                                         end);
   constexpr std::size_t kLanes = 64ull * Traits::kWords;
-  for (std::size_t base = begin; base < p.end; base += kLanes)
-    score_block<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold, base,
-                        std::min(kLanes, p.end - base), out);
+  for (std::size_t base = begin; base < p.end; base += kLanes) {
+    const std::size_t block = std::min(kLanes, p.end - base);
+    if constexpr (kCsa)
+      score_block_csa<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold,
+                              base, block, out);
+    else
+      score_block<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold,
+                          base, block, out);
+  }
 }
 
-template <typename Traits>
+template <typename Traits, bool kCsa = false>
 void scan_batch_t(const BitScanQuery* queries, const std::uint32_t* thresholds,
                   std::size_t count, const PlaneView& reference,
                   std::size_t begin, std::size_t end, std::vector<Hit>* outs) {
@@ -182,8 +289,13 @@ void scan_batch_t(const BitScanQuery* queries, const std::uint32_t* thresholds,
     for (std::size_t q = 0; q < count; ++q) {
       const PreparedQuery& p = prepared[q];
       if (base >= p.end) continue;
-      score_block<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold,
-                          base, std::min(kLanes, p.end - base), outs[q]);
+      const std::size_t block = std::min(kLanes, p.end - base);
+      if constexpr (kCsa)
+        score_block_csa<Traits>(p.planes.data(), p.qlen, p.nbits,
+                                p.threshold, base, block, outs[q]);
+      else
+        score_block<Traits>(p.planes.data(), p.qlen, p.nbits, p.threshold,
+                            base, block, outs[q]);
     }
   }
 }

@@ -1,0 +1,105 @@
+// AVX-512 VPOPCNTDQ scan kernel: the carry-save scorer at 512 lanes.
+//
+// Same vector substrate as the AVX-512F kernel, but the per-element
+// ripple-add is replaced by score_block_csa's compressor step — a single
+// VPTERNLOGQ full adder (imm 0x96 = XOR3 for the sum, 0xE8 = MAJ for the
+// carry) folds two query elements and counter bit 0 at once, the software
+// shape of FabP's hardware popcount/adder tree — and VPOPCNTDQ powers the
+// lane census behind the feasibility early exit (abandon a 512-position
+// block as soon as no lane can still reach the threshold; a real win at
+// the high thresholds tblastn-style scans run at).
+//
+// Compiled with -mavx512f -mavx512vpopcntdq (see src/fabp/CMakeLists.txt);
+// same TU-isolation rules as the other wide kernels — reached only through
+// the runtime dispatcher after util::cpu_has_avx512vpopcntdq() proves CPU
+// + OS support.
+
+#include "bitscan_kernel_impl.hpp"
+
+#if defined(__AVX512F__) && defined(__AVX512VPOPCNTDQ__)
+
+#include <immintrin.h>
+
+namespace fabp::core::detail {
+
+namespace {
+
+struct Avx512VpopcntTraits {
+  using Vec = __m512i;
+  static constexpr unsigned kWords = 8;
+  static Vec zero() noexcept { return _mm512_setzero_si512(); }
+  static Vec broadcast(std::uint64_t x) noexcept {
+    return _mm512_set1_epi64(static_cast<long long>(x));
+  }
+  static Vec load_bits(const std::uint64_t* plane, std::size_t w,
+                       unsigned s) noexcept {
+    // lane k = (plane[w+k] >> s) | (plane[w+k+1] << (64-s)); shift counts
+    // >= 64 yield 0, so s == 0 needs no branch.
+    const Vec lo = _mm512_loadu_si512(plane + w);
+    const Vec hi = _mm512_loadu_si512(plane + w + 1);
+    return _mm512_or_si512(
+        _mm512_srli_epi64(lo, static_cast<unsigned>(s)),
+        _mm512_slli_epi64(hi, static_cast<unsigned>(64 - s)));
+  }
+  static Vec and_(Vec a, Vec b) noexcept { return _mm512_and_si512(a, b); }
+  static Vec or_(Vec a, Vec b) noexcept { return _mm512_or_si512(a, b); }
+  static Vec xor_(Vec a, Vec b) noexcept { return _mm512_xor_si512(a, b); }
+  static Vec andnot(Vec a, Vec b) noexcept {
+    return _mm512_andnot_si512(a, b);  // (~a) & b
+  }
+  static Vec not_(Vec a) noexcept {
+    return _mm512_ternarylogic_epi64(a, a, a, 0x55);  // ~a
+  }
+  static bool any(Vec a) noexcept {
+    return _mm512_test_epi64_mask(a, a) != 0;
+  }
+  static void store(std::uint64_t* dst, Vec v) noexcept {
+    _mm512_storeu_si512(dst, v);
+  }
+  static void csa(Vec& high, Vec& low, Vec a, Vec b, Vec c) noexcept {
+    // One VPTERNLOGQ each: 0x96 = a^b^c, 0xE8 = majority(a, b, c).
+    low = _mm512_ternarylogic_epi64(a, b, c, 0x96);
+    high = _mm512_ternarylogic_epi64(a, b, c, 0xE8);
+  }
+  static unsigned popcount_total(Vec v) noexcept {
+    return static_cast<unsigned>(
+        _mm512_reduce_add_epi64(_mm512_popcnt_epi64(v)));
+  }
+};
+
+void avx512vpopcnt_range(const BitScanQuery& query,
+                         const PlaneView& reference, std::uint32_t threshold,
+                         std::size_t begin, std::size_t end,
+                         std::vector<Hit>& out) {
+  scan_range_t<Avx512VpopcntTraits, true>(query, reference, threshold, begin,
+                                          end, out);
+}
+
+void avx512vpopcnt_batch(const BitScanQuery* queries,
+                         const std::uint32_t* thresholds, std::size_t count,
+                         const PlaneView& reference, std::size_t begin,
+                         std::size_t end, std::vector<Hit>* outs) {
+  scan_batch_t<Avx512VpopcntTraits, true>(queries, thresholds, count,
+                                          reference, begin, end, outs);
+}
+
+}  // namespace
+
+const ScanKernel* avx512vpopcnt_kernel() noexcept {
+  static constexpr ScanKernel kernel{ScanIsa::Avx512Vpopcnt, "avx512vpopcnt",
+                                     512, &avx512vpopcnt_range,
+                                     &avx512vpopcnt_batch};
+  return &kernel;
+}
+
+}  // namespace fabp::core::detail
+
+#else  // compiler or target cannot emit VPOPCNTDQ: register nothing.
+
+namespace fabp::core::detail {
+
+const ScanKernel* avx512vpopcnt_kernel() noexcept { return nullptr; }
+
+}  // namespace fabp::core::detail
+
+#endif

@@ -5,7 +5,6 @@
 #include <stdexcept>
 #include <string_view>
 
-#include "fabp/core/hitmerge.hpp"
 #include "fabp/util/bitops.hpp"
 #include "fabp/util/thread_pool.hpp"
 
@@ -15,6 +14,26 @@ namespace {
 
 using util::ceil_div;
 using util::compress_even_bits;
+
+// Stealing mode splits the scan into this many runs per worker: fine
+// enough that one slow worker sheds load through the queue, coarse enough
+// that dispatch and scratch setup stay amortised over many tiles.
+constexpr std::size_t kStealingRunsPerWorker = 4;
+
+// Auto picks the static partition once every worker owns at least this
+// many whole tiles — the end-of-scan imbalance is then bounded by one
+// tile per run, a small fraction of each worker's share.
+constexpr std::size_t kStaticTilesPerWorker = 8;
+
+// Read-prefetch into a streaming cache level; a no-op compiler-side when
+// the builtin is unavailable (the hardware prefetcher still works).
+inline void prefetch_ro(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/0);
+#else
+  (void)p;
+#endif
+}
 
 // One tile's compiled planes: a single allocation holding all 12 kind
 // planes at a fixed stride, reused across every tile of a scan.  Plane k
@@ -62,26 +81,40 @@ CodeWord code_word(std::span<const std::uint64_t> packed,
 // [first_word, first_word + data_words) into scratch indices
 // [0, data_words), fusing the NucleotideBitplanes SWAR compaction and the
 // BitScanReference plane formulas into one pass over the packed words.
-// The prev1/prev2 history bits are seeded from the word before the tile,
-// so planes are bit-for-bit what the whole-reference compile produces for
-// the same words.  Scratch words in [data_words, stride) are zeroed — the
-// guard padding kernel fetches rely on.
-void compile_tile(std::span<const std::uint64_t> packed, std::size_t ref_size,
-                  std::size_t first_word, std::size_t data_words,
-                  TileScratch& scratch) {
+// The prev1/prev2 history bits are seeded from `entry` — the code word of
+// first_word - 1, which the caller either carries over from the previous
+// tile of its run or (at a run boundary) re-derives from the packed store
+// — so planes are bit-for-bit what the whole-reference compile produces
+// for the same words.  Scratch words in [data_words, stride) are zeroed —
+// the guard padding kernel fetches rely on.
+//
+// Returns the code word observed at global word `capture_w` (the entry
+// history of the run's next tile); pass SIZE_MAX on the last tile.  With
+// prefetch_words != 0 the packed words that far ahead of the compile
+// cursor are software-prefetched, one line per 4 plane words.
+CodeWord compile_tile(std::span<const std::uint64_t> packed,
+                      std::size_t ref_size, std::size_t first_word,
+                      std::size_t data_words, std::size_t capture_w,
+                      CodeWord entry, std::size_t prefetch_words,
+                      TileScratch& scratch) {
   const std::size_t word_count = ceil_div(ref_size, 64);
   const unsigned tail = static_cast<unsigned>(ref_size & 63);
 
-  // History carried across the tile edge: the code bits of the last two
-  // elements before the tile live in the previous word's plane bits.
-  CodeWord prev;  // zero when the tile starts at the reference start
-  if (first_word > 0) prev = code_word(packed, first_word - 1);
-
+  CodeWord prev = entry;
+  CodeWord captured;
   std::uint64_t* const p = scratch.buffer.data();
   const std::size_t stride = scratch.stride;
   for (std::size_t i = 0; i < data_words; ++i) {
     const std::size_t w = first_word + i;
+    if (prefetch_words != 0 && (i & 3) == 0) {
+      // The loop consumes 2 packed words per iteration; touch the line
+      // `prefetch_words` packed words ahead once per 4 iterations (one
+      // 64-byte line = 8 words).
+      const std::size_t ahead = 2 * w + prefetch_words;
+      if (ahead < packed.size()) prefetch_ro(packed.data() + ahead);
+    }
     const CodeWord c = code_word(packed, w);
+    if (w == capture_w) captured = c;
     std::uint64_t valid = ~0ULL;
     if (w + 1 == word_count && tail != 0) valid = (1ULL << tail) - 1;
     if (w >= word_count) valid = 0;
@@ -115,6 +148,7 @@ void compile_tile(std::span<const std::uint64_t> packed, std::size_t ref_size,
   // and kernel guard fetches past the tile's last data word must see 0.
   for (std::size_t k = 0; k < kElementKindCount; ++k)
     std::fill(p + k * stride + data_words, p + (k + 1) * stride, 0);
+  return captured;
 }
 
 // Scratch words per plane for a scan whose longest query has qlen
@@ -138,7 +172,10 @@ bool use_tiled_scan(ScanPath requested) noexcept {
 
 TileScanner::TileScanner(const bio::PackedNucleotides& packed,
                          TileScanConfig config)
-    : words_{packed.words()}, size_{packed.size()} {
+    : words_{packed.words()},
+      size_{packed.size()},
+      prefetch_distance_{config.prefetch_distance},
+      partition_{config.partition} {
   tile_positions_ = std::max<std::size_t>(config.tile_positions, 1);
   tile_positions_ = 64 * ceil_div(tile_positions_, 64);
 }
@@ -149,6 +186,23 @@ TileScanner::TileScanner(const bio::ReferenceDatabase& database,
 
 std::size_t TileScanner::tile_count() const noexcept {
   return tile_positions_ == 0 ? 0 : ceil_div(size_, tile_positions_);
+}
+
+std::size_t TileScanner::scan_runs(std::size_t positions,
+                                   std::size_t workers) const noexcept {
+  if (positions == 0 || workers <= 1 || tile_positions_ == 0) return 1;
+  const std::size_t tiles = ceil_div(positions, tile_positions_);
+  switch (partition_) {
+    case TilePartition::Static:
+      return std::min(tiles, workers);
+    case TilePartition::Stealing:
+      return std::min(tiles, workers * kStealingRunsPerWorker);
+    case TilePartition::Auto:
+      break;
+  }
+  return tiles >= workers * kStaticTilesPerWorker
+             ? std::min(tiles, workers)
+             : std::min(tiles, workers * kStealingRunsPerWorker);
 }
 
 std::size_t TileScanner::scratch_bytes(
@@ -200,7 +254,15 @@ void TileScanner::range_batch(const ScanKernel& kernel,
   const std::size_t word_count = ceil_div(size_, 64);
   std::vector<std::size_t> before(count);
 
+  // Entry history of the first tile of this span; from here on the code
+  // word at each tile's entry edge is captured during the previous tile's
+  // compile pass instead of re-read from the packed store — the whole
+  // span (a worker's owned run in pooled scans) streams every packed word
+  // exactly once, plus the inter-tile overhang.
   std::size_t pos = begin;
+  CodeWord entry;  // zero at the reference start
+  if ((pos >> 6) > 0) entry = code_word(words_, (pos >> 6) - 1);
+
   while (pos < scan_end) {
     // Tiles sit on the absolute grid, so a chunked parallel scan compiles
     // exactly the words a serial scan would for the same positions.
@@ -219,7 +281,26 @@ void TileScanner::range_batch(const ScanKernel& kernel,
     if (data_words + kScanGuardWords > scratch.stride)
       throw std::logic_error{
           "TileScanner: tile scratch underestimates the working set"};
-    compile_tile(words_, size_, first_word, data_words, scratch);
+    // The next tile starts at word tile_end/64 (tile ends are 64-aligned
+    // except the final clamp); its entry history is the code word just
+    // before, which this tile's compile pass walks over.
+    const bool last_tile = tile_end >= scan_end;
+    const std::size_t capture_w =
+        last_tile ? static_cast<std::size_t>(-1) : (tile_end >> 6) - 1;
+    const CodeWord next_entry =
+        compile_tile(words_, size_, first_word, data_words, capture_w, entry,
+                     prefetch_distance_, scratch);
+
+    // While this tile is being *scored* the packed stream sits idle; pull
+    // the head of the next tile's packed words in so the next compile
+    // does not stall on DRAM.
+    if (prefetch_distance_ != 0 && !last_tile) {
+      const std::size_t next_first = 2 * (tile_end >> 6);
+      const std::size_t limit =
+          std::min(words_.size(), next_first + prefetch_distance_);
+      for (std::size_t a = next_first; a < limit; a += 8)
+        prefetch_ro(words_.data() + a);
+    }
 
     // Score the tile in local coordinates (plane bit j = reference
     // position local_base + j), then rebase the appended hits; the scores
@@ -233,6 +314,7 @@ void TileScanner::range_batch(const ScanKernel& kernel,
       for (std::size_t h = before[q]; h < outs[q].size(); ++h)
         outs[q][h].position += local_base;
     pos = tile_end;
+    entry = next_entry;
   }
 }
 
@@ -247,18 +329,31 @@ std::vector<Hit> TileScanner::hits(const BitScanQuery& query,
     return out;
   }
 
-  // Chunk whole tiles over the pool — each worker compiles and scores its
-  // own tiles in its own scratch — and merge in tile order: deterministic
-  // and bit-identical to the serial scan.
-  const std::size_t chunks = pool->chunk_count(positions, tile_positions_);
-  std::vector<std::vector<Hit>> parts(chunks);
+  // Partition the tile grid into contiguous runs (see TilePartition): each
+  // run is compiled and scored whole by one worker — its own scratch, its
+  // own cache-line-isolated hit slot, history carried across its tile
+  // edges — then the slots are stitched in run order: deterministic and
+  // bit-identical to the serial scan.
+  const std::size_t runs = scan_runs(positions, pool->size());
+  if (runs <= 1) {
+    range(query, threshold, 0, positions, out);
+    return out;
+  }
+  struct alignas(64) RunSlot {
+    std::vector<Hit> hits;
+  };
+  std::vector<RunSlot> slots(runs);
   pool->parallel_indexed_chunks(
       0, positions,
       [&](std::size_t c, std::size_t lo, std::size_t hi) {
-        range(query, threshold, lo, hi, parts[c]);
+        range(query, threshold, lo, hi, slots[c].hits);
       },
-      tile_positions_);
-  merge_hit_chunks_into(parts, out);
+      tile_positions_, runs);
+  std::size_t total = 0;
+  for (const RunSlot& slot : slots) total += slot.hits.size();
+  out.reserve(total);
+  for (const RunSlot& slot : slots)
+    out.insert(out.end(), slot.hits.begin(), slot.hits.end());
   return out;
 }
 
@@ -283,17 +378,33 @@ std::vector<std::vector<Hit>> TileScanner::hits_batch(
     return outs;
   }
 
-  const std::size_t chunks = pool->chunk_count(positions, tile_positions_);
-  std::vector<std::vector<std::vector<Hit>>> parts(
-      chunks, std::vector<std::vector<Hit>>(queries.size()));
+  const std::size_t runs = scan_runs(positions, pool->size());
+  if (runs <= 1) {
+    range_batch(queries.data(), thresholds.data(), queries.size(), 0,
+                positions, outs.data());
+    return outs;
+  }
+  struct alignas(64) RunSlot {
+    std::vector<std::vector<Hit>> hits;
+  };
+  std::vector<RunSlot> slots(runs);
+  for (RunSlot& slot : slots)
+    slot.hits = std::vector<std::vector<Hit>>(queries.size());
   pool->parallel_indexed_chunks(
       0, positions,
       [&](std::size_t c, std::size_t lo, std::size_t hi) {
         range_batch(queries.data(), thresholds.data(), queries.size(), lo, hi,
-                    parts[c].data());
+                    slots[c].hits.data());
       },
-      tile_positions_);
-  return merge_hit_chunks_batch(parts, queries.size());
+      tile_positions_, runs);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::size_t total = 0;
+    for (const RunSlot& slot : slots) total += slot.hits[q].size();
+    outs[q].reserve(total);
+    for (const RunSlot& slot : slots)
+      outs[q].insert(outs[q].end(), slot.hits[q].begin(), slot.hits[q].end());
+  }
+  return outs;
 }
 
 }  // namespace fabp::core

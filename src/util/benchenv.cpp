@@ -1,0 +1,44 @@
+#include "fabp/util/benchenv.hpp"
+
+#include <fstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace fabp::util {
+
+namespace {
+
+std::size_t probe_affinity(std::size_t fallback) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  return fallback;
+}
+
+std::string probe_governor() {
+  std::ifstream in{
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"};
+  std::string governor;
+  if (in && std::getline(in, governor) && !governor.empty()) return governor;
+  return "unknown";
+}
+
+}  // namespace
+
+BenchEnv probe_bench_env() {
+  BenchEnv env;
+  env.hardware_threads = std::thread::hardware_concurrency();
+  env.affinity_cpus = probe_affinity(env.hardware_threads);
+  env.governor = probe_governor();
+  return env;
+}
+
+}  // namespace fabp::util

@@ -23,6 +23,7 @@ std::uint64_t xcr0() noexcept {
 struct Features {
   bool avx2 = false;
   bool avx512f = false;
+  bool avx512vpopcntdq = false;
 };
 
 Features probe() noexcept {
@@ -37,6 +38,9 @@ Features probe() noexcept {
   if (!__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) return f;
   f.avx2 = ymm_ok && (ebx & (1u << 5)) != 0;       // leaf 7.0 EBX.AVX2
   f.avx512f = zmm_ok && (ebx & (1u << 16)) != 0;   // leaf 7.0 EBX.AVX512F
+  // Leaf 7.0 ECX.AVX512_VPOPCNTDQ; gated on AVX512F so the implication in
+  // the header holds even on hypothetical CPUID combinations.
+  f.avx512vpopcntdq = f.avx512f && (ecx & (1u << 14)) != 0;
   return f;
 }
 
@@ -45,6 +49,7 @@ Features probe() noexcept {
 struct Features {
   bool avx2 = false;
   bool avx512f = false;
+  bool avx512vpopcntdq = false;
 };
 
 Features probe() noexcept { return {}; }
@@ -62,8 +67,13 @@ bool cpu_has_avx2() noexcept { return features().avx2; }
 
 bool cpu_has_avx512f() noexcept { return features().avx512f; }
 
+bool cpu_has_avx512vpopcntdq() noexcept {
+  return features().avx512vpopcntdq;
+}
+
 const char* cpu_isa_summary() noexcept {
   const Features& f = features();
+  if (f.avx512vpopcntdq) return "avx2+avx512f+vpopcntdq";
   if (f.avx512f) return "avx2+avx512f";
   if (f.avx2) return "avx2";
   return "baseline";

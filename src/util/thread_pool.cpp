@@ -64,11 +64,11 @@ void ThreadPool::parallel_chunks(
 void ThreadPool::parallel_indexed_chunks(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
-    std::size_t granule) {
+    std::size_t granule, std::size_t max_chunks) {
   if (begin >= end) return;
+  if (granule == 0) granule = 1;
   const std::size_t total = end - begin;
-  const std::size_t chunks = chunk_count(total, granule);
-  const std::size_t step = chunk_size(total, granule);
+  const std::size_t chunks = chunk_count(total, granule, max_chunks);
   if (chunks <= 1) {
     // A lone chunk gains nothing from the queue; run it in place so a
     // 1-wide pool (or a range under one granule) costs exactly a serial
@@ -77,13 +77,21 @@ void ThreadPool::parallel_indexed_chunks(
     return;
   }
 
+  // Balanced granule split: the first `rem` chunks carry one extra
+  // granule, so exactly `chunks` non-empty chunks are produced and no
+  // chunk exceeds its siblings by more than one granule.
+  const std::size_t grains = (total + granule - 1) / granule;
+  const std::size_t base_grains = grains / chunks;
+  const std::size_t rem = grains % chunks;
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
+  std::size_t grain = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * step;
-    const std::size_t hi = std::min(lo + step, end);
-    if (lo >= hi) break;
+    const std::size_t next = grain + base_grains + (c < rem ? 1 : 0);
+    const std::size_t lo = begin + grain * granule;
+    const std::size_t hi = std::min(begin + next * granule, end);
     futures.push_back(submit([&fn, c, lo, hi] { fn(c, lo, hi); }));
+    grain = next;
   }
   // Drain *every* future before letting any exception out: rethrowing on
   // the first failed get() would unwind the caller while queued tasks

@@ -75,6 +75,8 @@ TEST(ScanKernels, IsaNamesParse) {
   EXPECT_EQ(isa, ScanIsa::Avx2);
   EXPECT_TRUE(scan_isa_from_name("avx512", isa));
   EXPECT_EQ(isa, ScanIsa::Avx512);
+  EXPECT_TRUE(scan_isa_from_name("avx512vpopcnt", isa));
+  EXPECT_EQ(isa, ScanIsa::Avx512Vpopcnt);
   EXPECT_FALSE(scan_isa_from_name("sse9", isa));
   EXPECT_FALSE(scan_isa_from_name("", isa));
 }
@@ -257,6 +259,11 @@ TEST(ScanKernels, WideKernelsImplyCpuSupport) {
   }
   if (const ScanKernel* kernel = scan_kernel_for(ScanIsa::Avx512)) {
     EXPECT_EQ(kernel->lanes, 512u);
+  }
+  if (const ScanKernel* kernel = scan_kernel_for(ScanIsa::Avx512Vpopcnt)) {
+    // Implies the plain AVX-512 path too: vpopcnt is a superset.
+    EXPECT_EQ(kernel->lanes, 512u);
+    EXPECT_NE(scan_kernel_for(ScanIsa::Avx512), nullptr);
   }
 }
 

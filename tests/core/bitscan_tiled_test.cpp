@@ -10,6 +10,7 @@
 
 #include "fabp/bio/database.hpp"
 #include "fabp/bio/generate.hpp"
+#include "fabp/core/backend.hpp"
 #include "fabp/core/bitscan.hpp"
 #include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/util/thread_pool.hpp"
@@ -239,6 +240,129 @@ TEST(TileScan, BatchMatchesPerQueryIncludingDegenerates) {
   EXPECT_EQ(pooled, serial);
   EXPECT_THROW(scanner.hits_batch(queries, {thresholds.data(), 2}),
                std::invalid_argument);
+}
+
+TEST(TileScan, PrefetchDistanceNeverChangesHits) {
+  // Prefetching is a pure latency hint: every distance — off, shorter than
+  // a tile, the default, and far past the next tile — must yield the exact
+  // serial and pooled hit lists.
+  util::Xoshiro256 rng{449};
+  const auto raw = random_elements(13, rng);
+  const NucleotideSequence ref = bio::random_dna(30'000, rng);
+  const bio::PackedNucleotides packed{ref};
+  const BitScanQuery query{raw};
+  const auto golden = golden_hits(raw, ref, 6);
+  util::ThreadPool pool{3};
+  for (std::size_t distance : {0u, 8u, 64u, 1024u}) {
+    const TileScanner scanner{
+        packed, {.tile_positions = 512, .prefetch_distance = distance}};
+    EXPECT_EQ(scanner.hits(query, 6), golden) << "distance=" << distance;
+    EXPECT_EQ(scanner.hits(query, 6, &pool), golden)
+        << "distance=" << distance;
+  }
+}
+
+TEST(TileScan, PartitionPoliciesAgreeWithSerial) {
+  // Static, Stealing and Auto runs must all stitch to the serial scan's
+  // exact hit list, single-query and batch, at pool widths that divide the
+  // tile count unevenly.
+  util::Xoshiro256 rng{457};
+  const auto raw = random_elements(10, rng);
+  const NucleotideSequence ref = bio::random_dna(40'000, rng);
+  const bio::PackedNucleotides packed{ref};
+  const BitScanQuery query{raw};
+
+  std::vector<BitScanQuery> queries;
+  std::vector<std::vector<BackElement>> raws;
+  std::vector<std::uint32_t> thresholds;
+  for (std::size_t q = 0; q < 4; ++q) {
+    raws.push_back(random_elements(5 + 7 * q, rng));
+    queries.emplace_back(raws.back());
+    thresholds.push_back(static_cast<std::uint32_t>(raws.back().size() / 2));
+  }
+
+  for (TilePartition partition :
+       {TilePartition::Auto, TilePartition::Static, TilePartition::Stealing}) {
+    const TileScanner scanner{
+        packed, {.tile_positions = 512, .partition = partition}};
+    const auto serial = scanner.hits(query, 5);
+    EXPECT_EQ(serial, golden_hits(raw, ref, 5));
+    const auto serial_batch = scanner.hits_batch(queries, thresholds);
+    for (std::size_t width : {2u, 5u}) {
+      util::ThreadPool pool{width};
+      EXPECT_EQ(scanner.hits(query, 5, &pool), serial)
+          << "partition=" << static_cast<int>(partition)
+          << " width=" << width;
+      EXPECT_EQ(scanner.hits_batch(queries, thresholds, &pool), serial_batch)
+          << "partition=" << static_cast<int>(partition)
+          << " width=" << width;
+    }
+  }
+}
+
+TEST(TileScan, ScanRunsFollowPartitionPolicy) {
+  util::Xoshiro256 rng{461};
+  const bio::PackedNucleotides packed{bio::random_dna(64 * 100, rng)};
+  const std::size_t positions = packed.size();  // 100 tiles of 64
+  auto runs = [&](TilePartition p, std::size_t workers) {
+    const TileScanner scanner{packed,
+                              {.tile_positions = 64, .partition = p}};
+    return scanner.scan_runs(positions, workers);
+  };
+  // Serial or empty scans are always one run.
+  EXPECT_EQ(runs(TilePartition::Static, 1), 1u);
+  EXPECT_EQ(runs(TilePartition::Stealing, 0), 1u);
+  // Static: one run per worker, capped by the tile count.
+  EXPECT_EQ(runs(TilePartition::Static, 4), 4u);
+  EXPECT_EQ(runs(TilePartition::Static, 300), 100u);
+  // Stealing: a few runs per worker, capped by the tile count.
+  EXPECT_EQ(runs(TilePartition::Stealing, 4), 16u);
+  EXPECT_EQ(runs(TilePartition::Stealing, 64), 100u);
+  // Auto: static once every worker owns many whole tiles (100 tiles over
+  // 4 workers = 25 each), stealing-grained when workers are tile-starved.
+  EXPECT_EQ(runs(TilePartition::Auto, 4), 4u);
+  EXPECT_EQ(runs(TilePartition::Auto, 32), 100u);
+  // Never more runs than tiles, even for sub-tile scans.
+  const TileScanner scanner{
+      packed, {.tile_positions = 64, .partition = TilePartition::Stealing}};
+  EXPECT_EQ(scanner.scan_runs(30, 8), 1u);
+}
+
+TEST(TileScan, PartitionIdentityAcrossBackends) {
+  // The partition knob rides HostConfig::tile into every backend; all
+  // three kinds must return identical hits whichever policy is set,
+  // pooled or not.
+  util::Xoshiro256 rng{463};
+  const NucleotideSequence ref = bio::random_dna(25'000, rng);
+  const bio::ProteinSequence protein = bio::random_protein(9, rng);
+  const CompiledQueryPtr query = compile_query(protein);
+  const std::uint32_t threshold =
+      static_cast<std::uint32_t>(query->size() / 2);
+  const std::vector<Hit> expected =
+      golden_hits(query->elements, ref, threshold);
+
+  util::ThreadPool pool{4};
+  for (const BackendKind kind :
+       {BackendKind::HwSim, BackendKind::Tiled, BackendKind::Planes}) {
+    for (TilePartition partition :
+         {TilePartition::Static, TilePartition::Stealing}) {
+      HostConfig config;
+      config.tile.tile_positions = 1024;
+      config.tile.partition = partition;
+      ReferenceStore store;
+      store.upload(bio::PackedNucleotides{ref}, config.search_both_strands);
+      const std::unique_ptr<ScanBackend> backend =
+          make_backend(kind, config, store);
+      BackendRequest request;
+      request.query = query.get();
+      request.threshold = threshold;
+      request.pool = &pool;
+      Expected<BackendRun> run = backend->run(request);
+      ASSERT_TRUE(run.has_value()) << to_string(kind);
+      EXPECT_EQ(run->hits, expected)
+          << to_string(kind) << " partition=" << static_cast<int>(partition);
+    }
+  }
 }
 
 TEST(TileScan, ScratchFootprintIsIndependentOfReferenceSize) {

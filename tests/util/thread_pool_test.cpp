@@ -138,6 +138,71 @@ TEST(ThreadPool, ChunkCountIsExactAndGranuleAware) {
   EXPECT_EQ(pool.chunk_count(65, 64), 2u);
 }
 
+TEST(ThreadPool, NoWorkerStrandedOnUnevenGranuleCounts) {
+  // Regression: the old uniform rounded-up step collapsed grains=N+1 over
+  // N workers to about N/2 double-size chunks (9 grains on 8 workers gave
+  // 5 chunks), stranding workers on multi-tile scans.  The balanced split
+  // must produce exactly min(grains, N) chunks — every worker of a pool
+  // narrower than the grain count observes at least one chunk.
+  for (std::size_t threads : {2u, 3u, 4u, 8u}) {
+    ThreadPool pool{threads};
+    for (std::size_t grains : {threads - 1, threads, threads + 1,
+                               2 * threads - 1, 2 * threads + 1}) {
+      const std::size_t granule = 64;
+      const std::size_t total = grains * granule;
+      std::atomic<std::size_t> produced{0};
+      std::atomic<std::size_t> covered{0};
+      pool.parallel_indexed_chunks(
+          0, total,
+          [&](std::size_t, std::size_t lo, std::size_t hi) {
+            ++produced;
+            covered += hi - lo;
+          },
+          granule);
+      EXPECT_EQ(produced.load(), std::min(grains, threads))
+          << "threads=" << threads << " grains=" << grains;
+      EXPECT_EQ(produced.load(), pool.chunk_count(total, granule));
+      EXPECT_EQ(covered.load(), total);
+    }
+  }
+}
+
+TEST(ThreadPool, BalancedChunksDifferByAtMostOneGranule) {
+  ThreadPool pool{4};
+  const std::size_t granule = 100;
+  for (std::size_t total : {700u, 1000u, 1100u, 1501u}) {
+    std::mutex m;
+    std::vector<std::size_t> sizes;
+    pool.parallel_indexed_chunks(
+        0, total,
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          const std::lock_guard lock{m};
+          sizes.push_back(hi - lo);
+        },
+        granule);
+    const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+    EXPECT_LE(*hi - *lo, granule) << "total=" << total;
+  }
+}
+
+TEST(ThreadPool, MaxChunksOverridesPoolWidth) {
+  ThreadPool pool{2};
+  const std::size_t granule = 10;
+  // Finer than the pool (the work-stealing partition): 8 chunks drain
+  // through 2 workers.
+  std::atomic<std::size_t> produced{0};
+  pool.parallel_indexed_chunks(
+      0, 100, [&](std::size_t, std::size_t, std::size_t) { ++produced; },
+      granule, 8);
+  EXPECT_EQ(produced.load(), 8u);
+  EXPECT_EQ(pool.chunk_count(100, granule, 8), 8u);
+  // Coarser than the pool, and never more chunks than granules.
+  EXPECT_EQ(pool.chunk_count(100, granule, 1), 1u);
+  EXPECT_EQ(pool.chunk_count(100, granule, 64), 10u);
+  // 0 keeps the pool-width default.
+  EXPECT_EQ(pool.chunk_count(100, granule, 0), 2u);
+}
+
 TEST(ThreadPool, ParallelChunksSurfaceTaskExceptions) {
   // A throwing chunk must reach the caller as an ordinary exception — not
   // std::terminate on a worker, and not a rethrow while sibling chunks

@@ -16,7 +16,12 @@
 #   5. the engine stress suite pinned to the swar64 kernel — a
 #      deterministic-ISA concurrency exercise of the coalescing scheduler
 #      (same kernel on every machine, so schedules differ but hit lists
-#      cannot).
+#      cannot), and
+#   6. the kernel differential suites once per forced ISA the host can
+#      actually run (swar64|avx2|avx512|avx512vpopcnt, probed via
+#      `fabp isa`; unsupported ISAs are skipped) — every SIMD kernel is
+#      held to the scalar oracle through the same env-override path users
+#      would pin it with.
 #
 # Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/,
 # build-tsan/ and build-ubsan/)
@@ -53,4 +58,15 @@ FABP_FORCE_ISA=swar64 build/tests/engine_tests \
     --gtest_filter='Engine.Stress*:Engine.Coalesc*'
 FABP_FORCE_ISA=swar64 build/tools/fabp serve 50000 16 128 2 >/dev/null
 
-echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64) =="
+echo "== check.sh: kernel differential suites per forced ISA =="
+for isa in swar64 avx2 avx512 avx512vpopcnt; do
+  if build/tools/fabp isa | grep -qx "$isa"; then
+    echo "-- FABP_FORCE_ISA=$isa"
+    FABP_FORCE_ISA="$isa" build/tests/core_tests \
+        --gtest_filter='ScanKernels*:ScanCsa*:TileScan*'
+  else
+    echo "-- $isa not reachable on this host, skipped"
+  fi
+done
+
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + per-isa) =="

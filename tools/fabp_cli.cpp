@@ -38,8 +38,19 @@ int usage() {
       "  fabp map <residues> [kintex7|vu9p]\n"
       "  fabp rtl <out_dir> [elements]\n"
       "  fabp chaos [bases] [query-aa] [seeds] [flip-rates...]\n"
+      "  fabp isa\n"
       "  fabp serve [bases] [query-aa] [requests] [workers]\n";
   return 1;
+}
+
+// Reachable scan-kernel names, one per line, dispatch-priority last so
+// `fabp isa | tail -1` is the kernel a plain scan would use.  check.sh
+// uses this to skip FABP_FORCE_ISA legs the host cannot run.
+int cmd_isa() {
+  for (core::ScanIsa isa : core::kAllScanIsas)
+    if (const core::ScanKernel* kernel = core::scan_kernel_for(isa))
+      std::cout << kernel->name << "\n";
+  return 0;
 }
 
 int cmd_encode(const std::string& text) {
@@ -362,6 +373,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    if (command == "isa" && argc == 2) return cmd_isa();
     if (command == "encode" && argc == 3) return cmd_encode(argv[2]);
     if (command == "search" && (argc == 4 || argc == 5))
       return cmd_search(argv[2], argv[3],
