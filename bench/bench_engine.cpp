@@ -62,6 +62,18 @@ struct BackendSection {
   bool hits_match = true;
 };
 
+// One device batch scheduler configuration of the hw-sim card model
+// (DESIGN.md §4d): modeled sustained throughput of packed invocations at
+// a given PE count and DMA buffer depth, checked hit-for-hit against the
+// serial hw-sim path.
+struct PipelinePoint {
+  std::size_t pe_count = 1;
+  std::size_t buffer_depth = 1;
+  core::DevicePipelineStats stats;
+  double speedup = 1.0;  // modeled qps vs the (pe=1, depth=1) baseline
+  bool hits_match = true;
+};
+
 double percentile_ms(std::vector<double>& latencies_s, double fraction) {
   if (latencies_s.empty()) return 0.0;
   std::sort(latencies_s.begin(), latencies_s.end());
@@ -192,6 +204,90 @@ BackendSection run_backend(BackendKind kind, const bio::NucleotideSequence& ref,
   return section;
 }
 
+// Modeled device pipeline sweep: 64 requests packed 8-to-an-invocation
+// (8 invocations — deep enough for the ping/pong pipe to reach steady
+// state) through the hw-sim backend's run_many at each (PE count, buffer
+// depth) shape.  Throughput is the *model's* sustained rate
+// (tasks / pipelined makespan), so the sweep isolates what double
+// buffering and reference slicing buy in modeled time, independent of
+// host wall-clock noise.
+std::vector<PipelinePoint> run_hwsim_pipeline(
+    const bio::NucleotideSequence& ref,
+    const std::vector<bio::ProteinSequence>& queries,
+    const std::vector<std::uint32_t>& thresholds) {
+  constexpr std::size_t kRequests = 64;
+  core::ReferenceStore store;
+  store.upload(bio::PackedNucleotides{ref}, false);
+
+  std::vector<core::CompiledQueryPtr> compiled;
+  for (const bio::ProteinSequence& query : queries)
+    compiled.push_back(core::compile_query(query));
+  std::vector<core::BackendRequest> requests;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    core::BackendRequest request;
+    request.query = compiled[i % compiled.size()].get();
+    request.threshold = thresholds[i % thresholds.size()];
+    requests.push_back(request);
+  }
+
+  // Serial hw-sim truth: one run() per request.
+  const core::HostConfig serial_config;
+  const auto serial =
+      core::make_backend(BackendKind::HwSim, serial_config, store);
+  std::vector<std::vector<Hit>> expected;
+  for (const core::BackendRequest& request : requests) {
+    auto run = serial->run(request);
+    if (!run.has_value()) std::abort();
+    expected.push_back(std::move(run->hits));
+  }
+
+  std::vector<PipelinePoint> points;
+  const std::size_t shapes[][2] = {{1, 1}, {1, 2}, {2, 1}, {2, 2}, {4, 2}};
+  for (const auto& shape : shapes) {
+    core::HostConfig config;
+    config.device_batch.invocation_tasks = 8;
+    config.device_batch.pe_count = shape[0];
+    config.device_batch.buffer_depth = shape[1];
+    const auto backend = core::make_backend(BackendKind::HwSim, config, store);
+    const auto results = backend->run_many(requests);
+
+    PipelinePoint point;
+    point.pe_count = shape[0];
+    point.buffer_depth = shape[1];
+    for (std::size_t q = 0; q < results.size(); ++q)
+      if (!results[q].has_value() || results[q]->hits != expected[q])
+        point.hits_match = false;
+    point.stats = backend->pipeline_stats();
+    if (!points.empty() && points.front().stats.modeled_qps() > 0.0)
+      point.speedup =
+          point.stats.modeled_qps() / points.front().stats.modeled_qps();
+    points.push_back(point);
+  }
+  return points;
+}
+
+void print_pipeline(const std::vector<PipelinePoint>& points) {
+  util::banner(std::cout, "engine: hw-sim device batch pipeline (modeled)");
+  util::Table table{{"PEs", "depth", "invocations", "modeled q/s",
+                     "occupancy", "overlap", "PE util", "vs single-buffer"}};
+  for (const PipelinePoint& p : points) {
+    table.row();
+    table.cell(p.pe_count)
+        .cell(p.buffer_depth)
+        .cell(p.stats.invocations)
+        .cell(p.stats.modeled_qps(), 1)
+        .cell(p.stats.occupancy(), 2)
+        .cell(p.stats.overlap_efficiency(), 2)
+        .cell(p.stats.pe_utilization(), 2)
+        .cell(util::ratio_text(p.speedup, 2));
+  }
+  table.print(std::cout);
+  bool all_match = true;
+  for (const PipelinePoint& p : points) all_match &= p.hits_match;
+  std::cout << "  hits identical to serial hw-sim: "
+            << (all_match ? "yes" : "NO — BUG") << "\n";
+}
+
 void print_section(const BackendSection& section) {
   util::banner(std::cout, std::string{"engine: "} + to_string(section.kind) +
                               " backend");
@@ -219,7 +315,8 @@ void print_section(const BackendSection& section) {
 void write_json(const std::string& path, std::size_t bases,
                 std::size_t residues, std::size_t requests,
                 const util::BenchEnv& env,
-                const std::vector<BackendSection>& sections) {
+                const std::vector<BackendSection>& sections,
+                const std::vector<PipelinePoint>& pipeline) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"engine\",\n"
@@ -259,6 +356,26 @@ void write_json(const std::string& path, std::size_t bases,
     }
     os << "    ]}" << (s + 1 < sections.size() ? "," : "") << "\n";
   }
+  os << "  ],\n"
+     << "  \"hwsim_pipeline\": [\n";
+  for (std::size_t i = 0; i < pipeline.size(); ++i) {
+    const PipelinePoint& p = pipeline[i];
+    os << "    {\"pe_count\": " << p.pe_count
+       << ", \"buffer_depth\": " << p.buffer_depth
+       << ", \"invocations\": " << p.stats.invocations
+       << ", \"tasks\": " << p.stats.tasks
+       << ", \"transfer_s\": " << p.stats.transfer_s
+       << ", \"compute_s\": " << p.stats.compute_s
+       << ", \"serial_s\": " << p.stats.serial_s
+       << ", \"pipelined_s\": " << p.stats.pipelined_s
+       << ", \"modeled_qps\": " << p.stats.modeled_qps()
+       << ", \"occupancy\": " << p.stats.occupancy()
+       << ", \"overlap_efficiency\": " << p.stats.overlap_efficiency()
+       << ", \"pe_utilization\": " << p.stats.pe_utilization()
+       << ", \"speedup_vs_single_buffer\": " << p.speedup
+       << ", \"hits_match_serial\": " << (p.hits_match ? "true" : "false")
+       << "}" << (i + 1 < pipeline.size() ? "," : "") << "\n";
+  }
   os << "  ]\n}\n";
 }
 
@@ -296,11 +413,17 @@ int main(int argc, char** argv) {
     print_section(sections.back());
   }
 
+  const std::vector<PipelinePoint> pipeline =
+      run_hwsim_pipeline(ref, queries, thresholds);
+  print_pipeline(pipeline);
+
   write_json(json_path, bases, residues, requests, util::probe_bench_env(),
-             sections);
+             sections, pipeline);
   std::cout << "  wrote " << json_path << "\n";
 
   for (const BackendSection& section : sections)
     if (!section.hits_match) return 1;
+  for (const PipelinePoint& point : pipeline)
+    if (!point.hits_match) return 1;
   return 0;
 }

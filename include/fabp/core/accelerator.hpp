@@ -62,6 +62,25 @@ struct AcceleratorRun {
   double joules = 0.0;
 };
 
+/// Raw cycle accounting of streaming `total_beats` through the
+/// FIFO-overlapped datapath: beats arrive in lockstep groups of `channels`
+/// per cycle through the AXI burst model (optionally fault-injected stall
+/// storms), and a `segments`-segment datapath occupies the pipe for
+/// `segments` cycles per group.  This is exactly the accounting loop of
+/// Accelerator::run's non-LUT path, shared with the device batch scheduler
+/// so a per-PE reference slice is priced bit-identically to a full run.
+struct StreamBeatTiming {
+  std::size_t beats = 0;
+  std::size_t stall_cycles = 0;
+  std::size_t compute_cycles = 0;
+};
+
+StreamBeatTiming stream_beat_timing(const hw::AxiTimingConfig& axi,
+                                    hw::FaultInjector* injector,
+                                    std::size_t total_beats,
+                                    std::size_t channels,
+                                    std::size_t segments);
+
 class Accelerator {
  public:
   explicit Accelerator(AcceleratorConfig config = {});

@@ -85,6 +85,45 @@ struct BackendRequest {
   util::ThreadPool* pool = nullptr;  ///< chunks software scans; may be null
 };
 
+/// Cumulative device-pipeline accounting of a backend that schedules work
+/// as packed device invocations (DESIGN.md §4d).  Software backends report
+/// all-zero stats.  Times are modeled seconds over the backend's lifetime;
+/// serial_s is what the same invocations would have cost with a single
+/// buffer and no transfer/compute overlap, so serial_s / pipelined_s is the
+/// modeled double-buffering + multi-PE speedup.
+struct DevicePipelineStats {
+  std::size_t invocations = 0;         ///< packed device calls issued
+  std::size_t tasks = 0;               ///< queries carried by those calls
+  std::size_t retried_invocations = 0; ///< re-enqueued after a fault
+  std::size_t pe_count = 0;
+  std::size_t buffer_depth = 0;
+  std::size_t largest_invocation = 0;  ///< max tasks packed into one call
+  double transfer_s = 0.0;             ///< DMA busy time (ctrl + payload)
+  double compute_s = 0.0;              ///< PE-array busy time (max over PEs)
+  double serial_s = 0.0;               ///< depth-1 single-buffer baseline
+  double pipelined_s = 0.0;            ///< modeled makespan with overlap
+  double pe_busy_s = 0.0;              ///< sum of per-PE busy time
+
+  double occupancy() const noexcept {
+    return pipelined_s > 0.0 ? compute_s / pipelined_s : 0.0;
+  }
+  /// Fraction of the overlappable time actually hidden: 1.0 = perfect
+  /// double buffering, 0.0 = fully serial.
+  double overlap_efficiency() const noexcept {
+    const double hideable = transfer_s < compute_s ? transfer_s : compute_s;
+    if (hideable <= 0.0 || pipelined_s <= 0.0) return 0.0;
+    const double hidden = serial_s - pipelined_s;
+    return hidden <= 0.0 ? 0.0 : (hidden >= hideable ? 1.0 : hidden / hideable);
+  }
+  double pe_utilization() const noexcept {
+    const double cap = compute_s * static_cast<double>(pe_count);
+    return cap > 0.0 ? pe_busy_s / cap : 0.0;
+  }
+  double modeled_qps() const noexcept {
+    return pipelined_s > 0.0 ? static_cast<double>(tasks) / pipelined_s : 0.0;
+  }
+};
+
 class ScanBackend {
  public:
   virtual ~ScanBackend() = default;
@@ -98,6 +137,17 @@ class ScanBackend {
   /// One aligned search (both strands when the config says so).  Typed
   /// errors only — never throws for runtime failures.
   virtual Expected<BackendRun> run(const BackendRequest& request) = 0;
+
+  /// A coalesced batch as one call, in request order: element [i] is the
+  /// result for requests[i].  The default forwards to run() serially; the
+  /// hw-sim backend overrides it with the device batch scheduler (packed
+  /// invocations, double-buffered DMA, multi-PE slices — DESIGN.md §4d)
+  /// and keeps every element bit-identical to the serial path.
+  virtual std::vector<Expected<BackendRun>> run_many(
+      std::span<const BackendRequest> requests);
+
+  /// Lifetime device-pipeline accounting (all-zero for software backends).
+  virtual DevicePipelineStats pipeline_stats() const noexcept { return {}; }
 
   /// Raw hit lists for a whole batch in one pass over one strand of the
   /// reference — the coalescing scheduler's precompute hook.  Element [q]

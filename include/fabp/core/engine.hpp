@@ -235,17 +235,21 @@ class Engine {
     return backend_->fault_log();
   }
 
+  /// Device batch scheduler accounting of the backend (all-zero for the
+  /// software backends).  Takes the execution lock for a stable snapshot.
+  DevicePipelineStats pipeline_stats() const {
+    std::lock_guard lock{exec_mutex_};
+    return backend_->pipeline_stats();
+  }
+
  private:
   using StatePtr = std::shared_ptr<detail::RequestState>;
 
   void worker_loop();
   void ensure_workers();
-  /// Runs one claimed batch (1..max_coalesce requests) on the backend.
+  /// Runs one claimed batch (1..max_coalesce requests) on the backend as
+  /// a single run_many call (the hw-sim device batch scheduler's unit).
   void execute_batch(std::vector<StatePtr> batch);
-  /// run() + finalize for one request, precomputed lists optional.
-  Expected<HostRunReport> run_one(const detail::RequestState& state,
-                                  const std::vector<Hit>* forward_hits,
-                                  const std::vector<Hit>* reverse_hits);
 
   EngineConfig config_;
   ReferenceStore store_;
@@ -255,7 +259,7 @@ class Engine {
 
   /// Serializes every backend touch: one modeled card, plus backend-side
   /// mutable state (fault log, lazy planes/CRCs) is not thread-safe.
-  std::mutex exec_mutex_;
+  mutable std::mutex exec_mutex_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -28,6 +28,7 @@
 #include "fabp/core/bitscan_tiled.hpp"
 #include "fabp/core/error.hpp"
 #include "fabp/hw/fault.hpp"
+#include "fabp/hw/scheduler.hpp"
 
 namespace fabp::core {
 
@@ -108,6 +109,11 @@ struct HostConfig {
   hw::FaultConfig fault{};
   /// Detection / retry / degradation policy (see RecoveryConfig).
   RecoveryConfig recovery{};
+  /// Device batch scheduler shape for the hw-sim backend (DESIGN.md §4d):
+  /// how many compiled queries pack into one device invocation, how many
+  /// ping/pong DMA buffers the card holds, and how many PE arrays split
+  /// the reference.  Ignored by the software backends.
+  hw::DeviceBatchConfig device_batch{};
 };
 
 struct HostRunReport {

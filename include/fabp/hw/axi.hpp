@@ -42,6 +42,14 @@ class AxiReadStream {
   /// Closed-form steady-state efficiency of the configured pattern.
   static double steady_state_efficiency(const AxiTimingConfig& c) noexcept;
 
+  /// Closed-form cycle count to deliver exactly `beats`: what
+  /// cycles_elapsed() reads after advance() has returned true that many
+  /// times.  The device batch scheduler prices the on-card DMA of each
+  /// packed invocation with this instead of stepping a stream
+  /// (equivalence is pinned by tests/hw/axi_test.cpp).
+  static std::size_t cycles_for_beats(const AxiTimingConfig& c,
+                                      std::size_t beats) noexcept;
+
   void reset() noexcept;
 
  private:

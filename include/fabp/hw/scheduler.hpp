@@ -1,0 +1,122 @@
+#pragma once
+// Device batch scheduler primitives (DESIGN.md §4d).
+//
+// A card is not called once per query: the host packs variable-size tasks
+// into fixed-capacity *device invocations* — a control-record table plus a
+// concatenated payload buffer sized to the on-card query SRAM — and the
+// device unpacks the records to serve every task in one pass over the
+// streamed reference (the memory-scheduler pattern UCLA-VAST's
+// minimap2-acceleration uses for its kernel dispatch).  While invocation k
+// computes, the DMA engine stages invocation k+1 into the other half of a
+// ping/pong buffer pair, so transfer hides behind compute up to
+// `buffer_depth` invocations in flight.
+//
+// This header is layer-pure hardware modeling: packing works on abstract
+// task descriptors (index, payload bytes, threshold) and the pipeline
+// timeline on per-invocation (transfer, compute) stage times.  The core
+// backend layer owns the mapping from compiled queries to descriptors and
+// from per-PE hit streams back to per-task outputs.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fabp::hw {
+
+/// Shape of one device invocation and of the DMA pipeline feeding it.
+struct DeviceBatchConfig {
+  /// Control-record slots per invocation: the most tasks one kernel call
+  /// can serve.  The engine's coalescing cap derives from this.
+  std::size_t invocation_tasks = 8;
+  /// On-card query buffer per invocation (one half of the ping/pong pair);
+  /// packing closes an invocation when the next task's payload would not
+  /// fit.  A single oversized task still gets an invocation of its own
+  /// (streamed through the buffer rather than resident).
+  std::size_t invocation_payload_bytes = 8192;
+  /// Parallel PE arrays per card, each owning a memory channel and
+  /// scanning a contiguous slice of the reference (plus an L_q-1 halo).
+  std::size_t pe_count = 1;
+  /// DMA buffers in flight: 1 = transfer and compute strictly serialize,
+  /// 2 = classic ping/pong (transfer of k+1 overlaps compute of k).
+  std::size_t buffer_depth = 2;
+  /// DMA size of one control record (task id, offset, length, threshold).
+  std::size_t control_record_bytes = 16;
+};
+
+/// What the caller hands the packer per task.
+struct DeviceTaskDesc {
+  std::uint32_t task = 0;           ///< caller's index, echoed in records
+  std::uint32_t payload_bytes = 0;  ///< packed query bytes
+  std::uint32_t threshold = 0;
+};
+
+/// One slot of an invocation's control table: where the task's query
+/// bytes sit in the payload buffer and the threshold its PEs compare
+/// against.  The descheduler routes the device's per-task hit streams
+/// back to the caller through `task`.
+struct ControlRecord {
+  std::uint32_t task = 0;
+  std::uint32_t offset_bytes = 0;
+  std::uint32_t length_bytes = 0;
+  std::uint32_t threshold = 0;
+};
+
+/// One packed kernel call.
+struct DeviceInvocation {
+  std::vector<ControlRecord> records;
+  std::size_t payload_bytes = 0;  ///< sum of record lengths
+
+  /// Bytes the DMA engine moves host -> card for this invocation.
+  std::size_t transfer_bytes(const DeviceBatchConfig& config) const noexcept {
+    return records.size() * config.control_record_bytes + payload_bytes;
+  }
+};
+
+/// Packs tasks *in order* into the fewest invocations that respect both
+/// the record capacity and the payload buffer; order is preserved within
+/// and across invocations (descheduling and fault-schedule replay rely on
+/// it).  A task larger than the whole payload buffer gets a dedicated
+/// invocation instead of being rejected.
+std::vector<DeviceInvocation> pack_invocations(
+    std::span<const DeviceTaskDesc> tasks, const DeviceBatchConfig& config);
+
+/// One invocation's stage times as the pipeline model sees them.
+struct PipelineStage {
+  double transfer_s = 0.0;  ///< DMA: records + payload up, hits back
+  double compute_s = 0.0;   ///< kernel: reference stream through the PEs
+};
+
+/// Timeline of a run of invocations through the double-buffered pipe.
+struct PipelineTimeline {
+  double total_s = 0.0;          ///< makespan at the modeled buffer depth
+  double serial_s = 0.0;         ///< sum of stages (single-buffer makespan)
+  double transfer_busy_s = 0.0;  ///< DMA engine busy time
+  double compute_busy_s = 0.0;   ///< PE array busy time
+  double compute_stall_s = 0.0;  ///< PE idle, waiting on a buffer
+
+  /// Fraction of the makespan the PE array computes.
+  double occupancy() const noexcept {
+    return total_s > 0.0 ? compute_busy_s / total_s : 0.0;
+  }
+  /// Fraction of the hideable stage time actually hidden: 1 when every
+  /// overlappable transfer ran behind compute, 0 at buffer depth 1.
+  double overlap_efficiency() const noexcept {
+    const double hideable =
+        transfer_busy_s < compute_busy_s ? transfer_busy_s : compute_busy_s;
+    if (hideable <= 0.0) return 0.0;
+    const double hidden = serial_s - total_s;
+    if (hidden <= 0.0) return 0.0;
+    return hidden >= hideable ? 1.0 : hidden / hideable;
+  }
+};
+
+/// Deterministic timeline of `stages` through a `buffer_depth`-deep
+/// ping/pong pipe: one DMA engine, one compute engine, transfers in
+/// order, transfer k waits for a free buffer (compute of k-depth done),
+/// compute k waits for its transfer and for compute k-1.  Depth 1
+/// degenerates to the serial sum.
+PipelineTimeline pipeline_timeline(std::span<const PipelineStage> stages,
+                                   std::size_t buffer_depth);
+
+}  // namespace fabp::hw

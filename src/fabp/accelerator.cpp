@@ -13,6 +13,51 @@ namespace fabp::core {
 
 using bio::Nucleotide;
 
+StreamBeatTiming stream_beat_timing(const hw::AxiTimingConfig& axi_config,
+                                    hw::FaultInjector* injector,
+                                    std::size_t total_beats,
+                                    std::size_t channels,
+                                    std::size_t segments) {
+  StreamBeatTiming out;
+  hw::FaultyAxiStream axi{axi_config, injector};
+  constexpr std::size_t kFifoDepth = 8;  // AXI read FIFO, in beat groups
+  const std::size_t ch = std::max<std::size_t>(1, channels);
+  const std::size_t total_groups = util::ceil_div(total_beats, ch);
+  std::size_t fetched_groups = 0, fifo = 0, busy = 0;
+
+  for (std::size_t beat = 0; beat < total_beats; ++beat) {
+    // Beats arrive in lockstep groups of `channels` per cycle; the AXI
+    // side refills the FIFO every cycle it can, so when the datapath is
+    // segmented (busy cycles) DRAM stalls hide behind compute.  Cycle
+    // accounting happens once per group; one iteration of the inner loop
+    // = one cycle.
+    if (beat % ch == 0) {
+      for (;;) {
+        if (fetched_groups < total_groups && fifo < kFifoDepth &&
+            axi.advance()) {
+          ++fifo;
+          ++fetched_groups;
+        }
+        if (busy > 0) {
+          --busy;
+          ++out.compute_cycles;
+          continue;
+        }
+        if (fifo == 0) {
+          ++out.stall_cycles;
+          continue;
+        }
+        break;  // a group is ready and the datapath is free: consume it
+      }
+      --fifo;
+      busy = segments - 1;
+    }
+    ++out.beats;
+  }
+  out.compute_cycles += busy;  // drain the last beat's segment cycles
+  return out;
+}
+
 Accelerator::Accelerator(AcceleratorConfig config)
     : config_{std::move(config)} {}
 
@@ -59,8 +104,9 @@ AcceleratorRun Accelerator::run(
 
   // Default functional path: the bit-sliced scan engine produces the hit
   // list up front (bit-exact with the per-position behavioral evaluation —
-  // see tests/core/bitscan_test.cpp), and the beat loop below is reduced
-  // to pure cycle accounting.  The LUT path keeps the element-by-element
+  // see tests/core/bitscan_test.cpp), and the beat loop degenerates to
+  // pure cycle accounting — shared with the device batch scheduler as
+  // stream_beat_timing().  The LUT path keeps the element-by-element
   // evaluation through the generated comparator LUTs as the oracle.
   if (!config_.use_lut_path) {
     if (precomputed_hits) {
@@ -76,6 +122,14 @@ AcceleratorRun Accelerator::run(
                               BitScanReference{reference},
                               config_.threshold);
     }
+    const StreamBeatTiming timing =
+        stream_beat_timing(config_.axi, config_.fault_injector, total_beats,
+                           mapping_.channels, mapping_.segments);
+    out.beats = timing.beats;
+    out.stall_cycles = timing.stall_cycles;
+    out.compute_cycles = timing.compute_cycles;
+    finalize_timing(out, lr);
+    return out;
   }
 
   // Reference Stream buffer: previous L_q tail + the incoming 256 elements
@@ -116,7 +170,6 @@ AcceleratorRun Accelerator::run(
       busy = mapping_.segments - 1;
     }
     ++out.beats;
-    if (!config_.use_lut_path) continue;  // hits already computed bit-sliced
 
     // Shift the tail and load the 256 new elements from the beat words.
     std::copy(window.end() - static_cast<std::ptrdiff_t>(lq), window.end(),

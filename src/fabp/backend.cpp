@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <utility>
 
+#include "fabp/core/hitmerge.hpp"
+#include "fabp/hw/scheduler.hpp"
+#include "fabp/util/bitops.hpp"
 #include "fabp/util/crc32.hpp"
 #include "fabp/util/thread_pool.hpp"
 #include "fabp/util/timer.hpp"
@@ -69,6 +73,47 @@ std::vector<Hit> map_reverse_hits(const std::vector<Hit>& raw,
         Hit{reference_size - hit.position - query_elements, hit.score});
   std::sort(mapped.begin(), mapped.end());
   return mapped;
+}
+
+// ---------------------------------------------------------------------------
+// Device batch scheduler timing (DESIGN.md §4d).
+
+/// Invocation kernel timing of one strand: the reference splits into
+/// `pe_count` contiguous slices — each PE array streams its slice through
+/// the same FIFO-overlapped cycle model as a serial Accelerator::run, with
+/// an L_q-1 element halo appended to every slice but the last so alignment
+/// windows spanning a boundary are covered — and the invocation retires
+/// when the slowest PE drains, plus write-back and pipeline fill.  With
+/// pe_count == 1 this is cycle-identical to Accelerator::finalize_timing.
+struct InvocationStrandTiming {
+  std::size_t cycles = 0;         ///< makespan: slowest PE + wb + fill
+  std::size_t pe_busy_cycles = 0; ///< sum of per-PE busy cycles
+  double seconds = 0.0;
+};
+
+InvocationStrandTiming invocation_strand_timing(
+    const AcceleratorConfig& acc, hw::FaultInjector* injector,
+    std::size_t total_beats, std::size_t channels, std::size_t segments,
+    std::size_t pe_count, std::size_t halo_beats, std::size_t total_hits) {
+  InvocationStrandTiming out;
+  const std::size_t pes = std::max<std::size_t>(1, pe_count);
+  const std::size_t ch = std::max<std::size_t>(1, channels);
+  std::size_t slowest = 0;
+  for (std::size_t p = 0; p < pes; ++p) {
+    std::size_t beats = (p + 1) * total_beats / pes - p * total_beats / pes;
+    if (p + 1 < pes) beats += halo_beats;
+    if (beats == 0) continue;
+    const StreamBeatTiming t =
+        stream_beat_timing(acc.axi, injector, beats, ch, segments);
+    const std::size_t cycles =
+        util::ceil_div(t.beats, ch) + t.stall_cycles + t.compute_cycles;
+    out.pe_busy_cycles += cycles;
+    slowest = std::max(slowest, cycles);
+  }
+  const std::size_t wb = util::ceil_div(total_hits * acc.wb_bytes_per_hit, 64);
+  out.cycles = slowest + wb + acc.pipeline_depth;
+  out.seconds = static_cast<double>(out.cycles) / acc.device.clock_hz;
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -268,7 +313,47 @@ class HwSimBackend final : public ScanBackend {
 
   Expected<BackendRun> run(const BackendRequest& request) override;
 
+  /// Device batch scheduler (DESIGN.md §4d): packs the coalesced requests
+  /// into fixed-capacity device invocations, stages the next invocations'
+  /// clean hit lists concurrently (the ping/pong DMA buffers), commits in
+  /// order with invocation-granular fault machinery, and deschedules
+  /// per-PE hit streams back per request — bit-identical to serial run().
+  std::vector<Expected<BackendRun>> run_many(
+      std::span<const BackendRequest> requests) override;
+
+  DevicePipelineStats pipeline_stats() const noexcept override {
+    return pipeline_;
+  }
+
  private:
+  /// Clean per-task strand hit lists of one packed invocation, built from
+  /// per-PE reference slices and descheduled by chunk-ordered
+  /// concatenation.  Safe to build concurrently with an earlier
+  /// invocation's commit: only the const store and compiled queries are
+  /// touched, never the injector or any mutable backend state.
+  struct PreparedTask {
+    std::vector<Hit> forward;  ///< position order
+    std::vector<Hit> reverse;  ///< raw RC coordinates
+  };
+
+  std::vector<Hit> prepared_strand(const BackendRequest& request,
+                                   bool reverse_strand) const;
+  std::vector<PreparedTask> prepare_invocation(
+      std::span<const BackendRequest> requests,
+      const hw::DeviceInvocation& invocation) const;
+  bool faulty_invocation_run(std::span<const hw::ControlRecord> records,
+                             std::span<const BackendRequest> requests,
+                             bool reverse_strand, std::size_t channels,
+                             std::size_t segments, std::size_t lq_max,
+                             std::vector<std::vector<Hit>>& hits,
+                             RecoveryStats& stats, Error& error,
+                             InvocationStrandTiming& timing);
+  void commit_invocation(std::span<const BackendRequest> requests,
+                         const hw::DeviceInvocation& invocation,
+                         std::vector<PreparedTask> prepared,
+                         std::vector<Expected<BackendRun>>& results,
+                         std::vector<hw::PipelineStage>& stages);
+
   bool faulty_strand_run(const CompiledQuery& query, std::uint32_t threshold,
                          const bio::PackedNucleotides& store,
                          bool reverse_strand,
@@ -313,8 +398,13 @@ class HwSimBackend final : public ScanBackend {
   bool rev_crcs_ready_ = false;
   HealthState health_ = HealthState::Healthy;
   std::size_t consecutive_failures_ = 0;
-  std::uint64_t invocation_ = 0;  // run() calls; seeds fault streams
+  /// Device invocations issued: serial run() calls and packed batches
+  /// share the counter, and it seeds the fault streams — so a replay with
+  /// the same request sequence draws the same schedules at any batch
+  /// capacity or buffer depth.
+  std::uint64_t invocation_ = 0;
   std::vector<hw::FaultEvent> fault_log_;
+  DevicePipelineStats pipeline_;  ///< lifetime scheduler accounting
 };
 
 bool HwSimBackend::faulty_strand_run(const CompiledQuery& query,
@@ -625,6 +715,517 @@ Expected<BackendRun> HwSimBackend::run(const BackendRequest& request) {
   return out;
 }
 
+// --- device batch scheduler (DESIGN.md §4d) --------------------------------
+
+std::vector<Hit> HwSimBackend::prepared_strand(const BackendRequest& request,
+                                               bool reverse_strand) const {
+  const CompiledQuery& query = *request.query;
+  const bio::PackedNucleotides& store = store_.strand(reverse_strand);
+  const std::size_t lq = query.encoded.size();
+  const std::size_t valid = store.size() >= lq ? store.size() - lq + 1 : 0;
+  const std::size_t pes =
+      std::max<std::size_t>(1, config_.device_batch.pe_count);
+  const std::vector<Hit>* precomputed =
+      reverse_strand ? request.reverse_hits : request.forward_hits;
+
+  // PE p evaluates the alignment windows starting in its contiguous slice
+  // of the position range (the slice's element stream carries the L_q-1
+  // halo; see invocation_strand_timing).  Because the slices partition the
+  // range in ascending order, chunk-ordered concatenation of the per-PE
+  // hit streams — the descheduler — is structurally identical to the
+  // serial scan.
+  std::vector<std::vector<Hit>> chunks(pes);
+  const TileScanner scanner{store, config_.tile};
+  for (std::size_t p = 0; p < pes; ++p) {
+    const std::size_t begin = p * valid / pes;
+    const std::size_t end = (p + 1) * valid / pes;
+    if (begin >= end) continue;
+    if (precomputed) {
+      const auto lo = std::lower_bound(
+          precomputed->begin(), precomputed->end(), begin,
+          [](const Hit& h, std::size_t pos) { return h.position < pos; });
+      const auto hi = std::lower_bound(
+          lo, precomputed->end(), end,
+          [](const Hit& h, std::size_t pos) { return h.position < pos; });
+      chunks[p].assign(lo, hi);
+    } else {
+      scanner.range(query.scan, request.threshold, begin, end, chunks[p]);
+    }
+  }
+  return merge_hit_chunks(chunks);
+}
+
+std::vector<HwSimBackend::PreparedTask> HwSimBackend::prepare_invocation(
+    std::span<const BackendRequest> requests,
+    const hw::DeviceInvocation& invocation) const {
+  std::vector<PreparedTask> prepared;
+  prepared.reserve(invocation.records.size());
+  for (const hw::ControlRecord& record : invocation.records) {
+    const BackendRequest& request = requests[record.task];
+    PreparedTask task;
+    task.forward = prepared_strand(request, false);
+    if (config_.search_both_strands)
+      task.reverse = prepared_strand(request, true);
+    prepared.push_back(std::move(task));
+  }
+  return prepared;
+}
+
+bool HwSimBackend::faulty_invocation_run(
+    std::span<const hw::ControlRecord> records,
+    std::span<const BackendRequest> requests, bool reverse_strand,
+    std::size_t channels, std::size_t segments, std::size_t lq_max,
+    std::vector<std::vector<Hit>>& hits, RecoveryStats& stats, Error& error,
+    InvocationStrandTiming& timing) {
+  const RecoveryConfig& rec = config_.recovery;
+  const bio::PackedNucleotides& store = store_.strand(reverse_strand);
+  const std::size_t max_attempts = std::max<std::size_t>(1, rec.max_attempts);
+  const std::size_t halo_beats =
+      util::ceil_div(lq_max > 0 ? lq_max - 1 : 0, bio::kElementsPerBeat);
+  std::size_t clean_hits = 0;
+  for (const std::vector<Hit>& h : hits) clean_hits += h.size();
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++stats.attempts;
+    // Same stream keying as the serial path — the invocation counter makes
+    // a packed batch draw exactly the schedule a serial run in the same
+    // device-call position would (the depth-1 == depth-8 replay contract).
+    const std::uint64_t stream =
+        (invocation_ << 8) | (attempt << 1) | (reverse_strand ? 1u : 0u);
+    hw::FaultInjector injector{config_.fault, stream};
+
+    ErrorCode failure = ErrorCode::None;
+    InvocationStrandTiming run{};
+    if (injector.transfer_fails()) {
+      failure = ErrorCode::TransferFailure;
+      ++stats.transfer_faults;
+    } else {
+      run = invocation_strand_timing(
+          config_.accelerator, &injector, store.beat_count(), channels,
+          segments, config_.device_batch.pe_count, halo_beats, clean_hits);
+      if (rec.watchdog_s > 0.0 && run.seconds > rec.watchdog_s) {
+        failure = ErrorCode::Timeout;
+        ++stats.timeouts;
+      }
+    }
+
+    if (failure != ErrorCode::None) {
+      const auto& log = injector.log();
+      fault_log_.insert(fault_log_.end(), log.begin(), log.end());
+      if (attempt + 1 < max_attempts) {
+        ++stats.retries;
+        stats.recovery_s += rec.backoff_base_s *
+                            static_cast<double>(std::uint64_t{1} << attempt);
+        continue;
+      }
+      error = Error{failure,
+                    failure == ErrorCode::Timeout
+                        ? "kernel watchdog deadline exceeded on every attempt"
+                        : "PCIe transfer failed on every attempt",
+                    stats.attempts};
+      return false;
+    }
+
+    // --- data-path corruption over the streamed reference -------------
+    // The invocation streams the reference once, shared by every packed
+    // task: the event schedule, the changed-tile set and the CRC verdicts
+    // are per invocation (detection and the repair charge happen once),
+    // while the affected position ranges — and the corrupt/repair splices
+    // — are per task, since each query's window width L_q differs.
+    const std::vector<hw::FaultEvent> events =
+        injector.data_events(store.beat_count());
+    if (!events.empty() && store.size() > 0) {
+      const std::span<const std::uint64_t> words = store.words();
+      const std::size_t tw = tile_words();
+      std::vector<std::uint64_t> corrupted =
+          hw::corrupt_words(words, events, tw);
+
+      std::vector<std::size_t> tiles;
+      for (const hw::FaultEvent& event : events) {
+        const std::size_t w = event.beat * (hw::kAxiDataBits / 64);
+        if (data_fault(event.kind) && w < words.size())
+          tiles.push_back(w / tw);
+      }
+      std::sort(tiles.begin(), tiles.end());
+      tiles.erase(std::unique(tiles.begin(), tiles.end()), tiles.end());
+
+      std::vector<std::size_t> changed;
+      std::vector<bool> repair_tile;
+      for (std::size_t t : tiles) {
+        const std::size_t wb = t * tw;
+        const std::size_t we = std::min(words.size(), wb + tw);
+        if (std::equal(words.begin() + static_cast<std::ptrdiff_t>(wb),
+                       words.begin() + static_cast<std::ptrdiff_t>(we),
+                       corrupted.begin() + static_cast<std::ptrdiff_t>(wb)))
+          continue;
+        changed.push_back(t);
+        bool repair = false;
+        if (rec.verify_integrity) {
+          const std::uint32_t got =
+              util::crc32_words(std::span{corrupted}.subspan(wb, we - wb));
+          if (got != tile_crcs(reverse_strand)[t]) {
+            ++stats.crc_faults;
+            ++stats.rescanned_tiles;
+            repair = true;
+            // Re-streaming the affected fraction once covers every packed
+            // task; charge the widest window's range.
+            const std::size_t el_begin = wb * bio::kElementsPerWord;
+            const std::size_t el_end =
+                std::min(store.size(), we * bio::kElementsPerWord);
+            const std::size_t r_begin =
+                el_begin > lq_max - 1 ? el_begin - (lq_max - 1) : 0;
+            stats.recovery_s += run.seconds *
+                                static_cast<double>(el_end - r_begin) /
+                                static_cast<double>(store.size());
+          }
+        }
+        repair_tile.push_back(repair);
+      }
+
+      if (!changed.empty()) {
+        const bio::PackedNucleotides corrupted_store =
+            bio::PackedNucleotides::from_words(std::move(corrupted),
+                                               store.size());
+        const TileScanner corrupt_scanner{corrupted_store, config_.tile};
+        const TileScanner clean_scanner{store, config_.tile};
+        for (std::size_t i = 0; i < records.size(); ++i) {
+          const CompiledQuery& query = *requests[records[i].task].query;
+          const std::size_t lq = query.encoded.size();
+          const std::size_t valid =
+              store.size() >= lq ? store.size() - lq + 1 : 0;
+          if (valid == 0) continue;
+          std::vector<Interval> corrupt_ranges, repair_ranges;
+          for (std::size_t k = 0; k < changed.size(); ++k) {
+            const std::size_t wb = changed[k] * tw;
+            const std::size_t we = std::min(words.size(), wb + tw);
+            const std::size_t el_begin = wb * bio::kElementsPerWord;
+            const std::size_t el_end =
+                std::min(store.size(), we * bio::kElementsPerWord);
+            const Interval range{el_begin > lq - 1 ? el_begin - (lq - 1) : 0,
+                                 std::min(el_end, valid)};
+            if (range.begin >= range.end) continue;
+            corrupt_ranges.push_back(range);
+            if (repair_tile[k]) repair_ranges.push_back(range);
+          }
+          corrupt_ranges = merge_intervals(std::move(corrupt_ranges));
+          repair_ranges = merge_intervals(std::move(repair_ranges));
+          if (!corrupt_ranges.empty())
+            splice_ranges(hits[i], corrupt_scanner, query.scan,
+                          records[i].threshold, corrupt_ranges);
+          if (!repair_ranges.empty())
+            splice_ranges(hits[i], clean_scanner, query.scan,
+                          records[i].threshold, repair_ranges);
+        }
+      }
+    }
+
+    // --- readback integrity (one packed hit buffer per invocation) ----
+    std::uint32_t bit = 0;
+    if (injector.readback_corrupts(bit)) {
+      std::size_t delivered = 0;
+      for (const std::vector<Hit>& h : hits) delivered += h.size();
+      if (rec.verify_integrity) {
+        ++stats.readback_faults;
+        stats.recovery_s +=
+            (static_cast<double>(delivered) * 8.0 + 64.0) /
+            config_.pcie_bandwidth_bps;
+      } else if (delivered > 0) {
+        // The victim record indexes the packed readback buffer: walk the
+        // per-task streams in control-record order.
+        std::size_t index = bit % delivered;
+        for (std::vector<Hit>& h : hits) {
+          if (index < h.size()) {
+            h[index].score ^= 1u << (bit % 8);
+            break;
+          }
+          index -= h.size();
+        }
+      } else {
+        const std::size_t victim = bit % hits.size();
+        hits[victim].push_back(Hit{0, records[victim].threshold});
+      }
+    }
+
+    // --- golden spot-check sampler (shared rng, task order) ------------
+    if (rec.spot_check_samples > 0) {
+      util::Xoshiro256 rng{
+          util::SplitMix64{config_.fault.seed ^ (0xfabc0de5ULL + stream)}
+              .next()};
+      const TileScanner scanner{store, config_.tile};
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        const CompiledQuery& query = *requests[records[i].task].query;
+        const std::size_t lq = query.encoded.size();
+        const std::size_t valid =
+            store.size() >= lq ? store.size() - lq + 1 : 0;
+        if (valid == 0) continue;
+        for (std::size_t k = 0; k < rec.spot_check_samples; ++k) {
+          ++stats.spot_checks;
+          const std::size_t begin = rng.bounded(valid);
+          const std::size_t end = std::min(begin + 256, valid);
+          std::vector<Hit> expected;
+          scanner.range(query.scan, records[i].threshold, begin, end,
+                        expected);
+          const auto lo = std::lower_bound(
+              hits[i].begin(), hits[i].end(), begin,
+              [](const Hit& h, std::size_t p) { return h.position < p; });
+          const auto hi = std::lower_bound(
+              lo, hits[i].end(), end,
+              [](const Hit& h, std::size_t p) { return h.position < p; });
+          if (!std::equal(lo, hi, expected.begin(), expected.end())) {
+            ++stats.spot_check_faults;
+            const Interval window{begin, end};
+            splice_ranges(hits[i], scanner, query.scan, records[i].threshold,
+                          std::span{&window, 1});
+          }
+        }
+      }
+    }
+
+    const auto& log = injector.log();
+    fault_log_.insert(fault_log_.end(), log.begin(), log.end());
+    timing = run;
+    return true;
+  }
+  return false;  // unreachable: the loop returns on its last attempt
+}
+
+void HwSimBackend::commit_invocation(
+    std::span<const BackendRequest> requests,
+    const hw::DeviceInvocation& invocation,
+    std::vector<PreparedTask> prepared,
+    std::vector<Expected<BackendRun>>& results,
+    std::vector<hw::PipelineStage>& stages) {
+  ++invocation_;
+  const std::size_t n = invocation.records.size();
+  const double clock = config_.accelerator.device.clock_hz;
+
+  // Per-task mapping probes, plus the representative stream shape: the
+  // packed queries share each PE's reference stream, so the most segmented
+  // query throttles the beat rate and the narrowest channel allocation
+  // bounds the fetch width.
+  std::vector<FabpMapping> mappings;
+  mappings.reserve(n);
+  std::size_t segments = 1;
+  std::size_t channels = std::numeric_limits<std::size_t>::max();
+  std::size_t lq_max = 1;
+  for (const hw::ControlRecord& record : invocation.records) {
+    const BackendRequest& request = requests[record.task];
+    AcceleratorConfig acc = config_.accelerator;
+    acc.threshold = record.threshold;
+    Accelerator probe{acc};
+    probe.load_encoded(request.query->encoded);
+    mappings.push_back(probe.mapping());
+    segments = std::max(segments, mappings.back().segments);
+    channels = std::min(channels,
+                        std::max<std::size_t>(1, mappings.back().channels));
+    lq_max = std::max(lq_max, request.query->encoded.size());
+  }
+
+  std::vector<std::vector<Hit>> fwd(n), rev(n);
+  std::size_t fwd_hits = 0, rev_hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd[i] = std::move(prepared[i].forward);
+    rev[i] = std::move(prepared[i].reverse);
+    fwd_hits += fwd[i].size();
+    rev_hits += rev[i].size();
+  }
+
+  const std::size_t halo_beats = util::ceil_div(lq_max - 1,
+                                                bio::kElementsPerBeat);
+  const auto clean_timing = [&](const bio::PackedNucleotides& store,
+                                std::size_t total_hits) {
+    return invocation_strand_timing(
+        config_.accelerator, nullptr, store.beat_count(), channels, segments,
+        config_.device_batch.pe_count, halo_beats, total_hits);
+  };
+
+  RecoveryStats stats;
+  InvocationStrandTiming fwd_timing{}, rev_timing{};
+  Error error;
+  bool failed = false;
+  const bool chaos = config_.fault.enabled() ||
+                     config_.recovery.spot_check_samples > 0 ||
+                     health_ != HealthState::Healthy;
+
+  if (!chaos) {
+    // Clean fast path: prepared hits are the delivered hits; only the
+    // cycle accounting runs.
+    fwd_timing = clean_timing(store_.forward, fwd_hits);
+    stats.attempts = 1;
+    if (config_.search_both_strands) {
+      rev_timing = clean_timing(store_.reverse, rev_hits);
+      ++stats.attempts;
+    }
+  } else {
+    // Fault-tolerant path: the retry unit is the whole invocation per
+    // strand — a failed attempt re-enqueues exactly this invocation's
+    // tasks, never the rest of the batch.
+    const auto strand = [&](bool reverse_strand,
+                            std::vector<std::vector<Hit>>& hits,
+                            InvocationStrandTiming& timing) -> bool {
+      if (health_ == HealthState::Degraded) {
+        if (!config_.recovery.allow_software_fallback) {
+          error = Error{ErrorCode::DeviceLost,
+                        "session degraded and software fallback disabled", 0};
+          return false;
+        }
+        ++stats.fallbacks;  // prepared clean hits served, zero card time
+        return true;
+      }
+      Error strand_error;
+      if (faulty_invocation_run(invocation.records, requests, reverse_strand,
+                                channels, segments, lq_max, hits, stats,
+                                strand_error, timing)) {
+        consecutive_failures_ = 0;
+        return true;
+      }
+      ++consecutive_failures_;
+      if (consecutive_failures_ >=
+          std::max<std::size_t>(1, config_.recovery.degrade_after))
+        health_ = HealthState::Degraded;
+      if (config_.recovery.allow_software_fallback) {
+        // Failed attempts never touched the hit lists, so the prepared
+        // clean hits — the software TileScanner scan — serve the fallback.
+        ++stats.fallbacks;
+        timing = InvocationStrandTiming{};
+        return true;
+      }
+      error = std::move(strand_error);
+      return false;
+    };
+
+    if (!strand(false, fwd, fwd_timing))
+      failed = true;
+    else if (config_.search_both_strands && !strand(true, rev, rev_timing))
+      failed = true;
+  }
+  stats.degraded = health_ == HealthState::Degraded;
+
+  // DMA leg of the invocation: control records + packed queries over PCIe,
+  // then the on-card AXI burst that stages the ping/pong buffer.
+  const std::size_t bytes = invocation.transfer_bytes(config_.device_batch);
+  const double dma_s =
+      static_cast<double>(bytes) / config_.pcie_bandwidth_bps +
+      static_cast<double>(hw::AxiReadStream::cycles_for_beats(
+          config_.accelerator.axi,
+          util::ceil_div(bytes, hw::kAxiDataBits / 8))) /
+          clock;
+
+  if (failed) {
+    for (std::size_t i = 0; i < n; ++i) results.push_back(error);
+    stages.push_back(hw::PipelineStage{dma_s, 0.0});
+    pipeline_.invocations += 1;
+    pipeline_.tasks += n;
+    pipeline_.largest_invocation = std::max(pipeline_.largest_invocation, n);
+    if (stats.retries > 0) pipeline_.retried_invocations += 1;
+    return;
+  }
+
+  const std::size_t total_cycles = fwd_timing.cycles + rev_timing.cycles;
+  const double total_seconds = fwd_timing.seconds + rev_timing.seconds;
+  const std::size_t base_cycles = total_cycles / n;
+  const std::size_t cycle_rem = total_cycles % n;
+  const hw::FpgaPowerModel power{config_.accelerator.power};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const BackendRequest& request = requests[invocation.records[i].task];
+    BackendRun out;
+    out.hits = std::move(fwd[i]);
+    if (config_.search_both_strands)
+      out.reverse_hits = map_reverse_hits(rev[i], store_.forward.size(),
+                                          request.query->encoded.size());
+    out.mapping = mappings[i];
+    // The invocation's kernel time is shared: apportion it equally (the
+    // remainder cycles land on the leading tasks so the sum stays exact).
+    out.cycles = base_cycles + (i < cycle_rem ? 1 : 0);
+    out.kernel_seconds = total_seconds / static_cast<double>(n);
+    out.watts = power.watts(config_.accelerator.device, mappings[i].used,
+                            mappings[i].channels);
+    // Invocation-level recovery accounting rides on the first task, so
+    // batch-merged stats count each invocation's work exactly once.
+    if (i == 0)
+      out.recovery = stats;
+    else
+      out.recovery.degraded = stats.degraded;
+    results.push_back(std::move(out));
+  }
+
+  stages.push_back(hw::PipelineStage{dma_s, total_seconds});
+  pipeline_.invocations += 1;
+  pipeline_.tasks += n;
+  pipeline_.largest_invocation = std::max(pipeline_.largest_invocation, n);
+  if (stats.retries > 0) pipeline_.retried_invocations += 1;
+  pipeline_.pe_busy_s +=
+      static_cast<double>(fwd_timing.pe_busy_cycles +
+                          rev_timing.pe_busy_cycles) /
+      clock;
+}
+
+std::vector<Expected<BackendRun>> HwSimBackend::run_many(
+    std::span<const BackendRequest> requests) {
+  std::vector<Expected<BackendRun>> results;
+  if (requests.empty()) return results;
+  // The LUT oracle path evaluates element by element and cannot share one
+  // reference stream between packed queries — keep the serial loop.
+  if (config_.accelerator.use_lut_path) return ScanBackend::run_many(requests);
+  if (!store_.uploaded) {
+    results.reserve(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      results.push_back(
+          Error{ErrorCode::NoReference, "Session: no reference uploaded"});
+    return results;
+  }
+
+  const hw::DeviceBatchConfig& batch = config_.device_batch;
+  std::vector<hw::DeviceTaskDesc> descs;
+  descs.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    descs.push_back(hw::DeviceTaskDesc{
+        static_cast<std::uint32_t>(i),
+        static_cast<std::uint32_t>(requests[i].query->packed_bytes),
+        requests[i].threshold});
+  const std::vector<hw::DeviceInvocation> invocations =
+      hw::pack_invocations(descs, batch);
+  const std::size_t depth = std::max<std::size_t>(1, batch.buffer_depth);
+
+  // Ping/pong staging: while invocation k commits on this thread (every
+  // fault draw, every piece of mutable backend state), the clean hit
+  // lists of the next depth-1 invocations build concurrently — the host
+  // analogue of filling the idle DMA buffer during compute.  prepare
+  // touches only the const store and compiled queries, so commit order
+  // (and with it the fault stream sequence) is independent of depth.
+  std::vector<std::future<std::vector<PreparedTask>>> staged(
+      invocations.size());
+  std::vector<hw::PipelineStage> stages;
+  stages.reserve(invocations.size());
+  results.reserve(requests.size());
+  for (std::size_t k = 0; k < invocations.size(); ++k) {
+    const std::size_t horizon = std::min(invocations.size(), k + depth);
+    for (std::size_t j = k; j < horizon; ++j) {
+      if (staged[j].valid()) continue;
+      staged[j] = std::async(std::launch::async,
+                             [this, requests, &invocations, j] {
+                               return prepare_invocation(requests,
+                                                         invocations[j]);
+                             });
+    }
+    commit_invocation(requests, invocations[k], staged[k].get(), results,
+                      stages);
+  }
+
+  // Modeled pipeline: the same invocations through the ping/pong timeline
+  // at the configured depth, against the depth-1 single-buffer baseline.
+  const hw::PipelineTimeline pipelined = hw::pipeline_timeline(stages, depth);
+  const hw::PipelineTimeline serial = hw::pipeline_timeline(stages, 1);
+  pipeline_.pe_count = std::max<std::size_t>(1, batch.pe_count);
+  pipeline_.buffer_depth = depth;
+  pipeline_.transfer_s += pipelined.transfer_busy_s;
+  pipeline_.compute_s += pipelined.compute_busy_s;
+  pipeline_.serial_s += serial.total_s;
+  pipeline_.pipelined_s += pipelined.total_s;
+  return results;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -646,6 +1247,15 @@ BackendKind software_backend_kind(ScanPath path) noexcept {
 const std::vector<hw::FaultEvent>& ScanBackend::fault_log() const noexcept {
   static const std::vector<hw::FaultEvent> kEmpty;
   return kEmpty;
+}
+
+std::vector<Expected<BackendRun>> ScanBackend::run_many(
+    std::span<const BackendRequest> requests) {
+  std::vector<Expected<BackendRun>> results;
+  results.reserve(requests.size());
+  for (const BackendRequest& request : requests)
+    results.push_back(run(request));
+  return results;
 }
 
 void ReferenceStore::upload(bio::PackedNucleotides packed, bool both_strands) {
@@ -756,6 +1366,25 @@ Error validate_host_config(const HostConfig& config) noexcept {
     return invalid("recovery.backoff_base_s must be non-negative");
   if (!std::isfinite(rec.watchdog_s) || rec.watchdog_s < 0.0)
     return invalid("recovery.watchdog_s must be non-negative");
+
+  const hw::DeviceBatchConfig& batch = config.device_batch;
+  if (batch.invocation_tasks == 0)
+    return invalid("device_batch.invocation_tasks must be positive");
+  if (batch.invocation_tasks > 4096)
+    return invalid("device_batch.invocation_tasks above 4096 is absurd");
+  if (batch.invocation_payload_bytes == 0)
+    return invalid("device_batch.invocation_payload_bytes must be positive");
+  if (batch.buffer_depth == 0)
+    return invalid("device_batch.buffer_depth must be positive");
+  if (batch.buffer_depth > 64)
+    return invalid("device_batch.buffer_depth above 64 is absurd");
+  if (batch.pe_count == 0)
+    return invalid("device_batch.pe_count must be positive");
+  if (batch.pe_count > 256)
+    return invalid("device_batch.pe_count above 256 is absurd");
+  if (batch.control_record_bytes < sizeof(hw::ControlRecord))
+    return invalid(
+        "device_batch.control_record_bytes smaller than the packed record");
 
   const hw::FaultConfig& fault = config.fault;
   if (!std::isfinite(fault.flip_rate) || fault.flip_rate < 0.0)

@@ -35,6 +35,17 @@ Error validate_engine_config(const EngineConfig& config) noexcept {
   if (config.compiler_capacity == 0)
     return Error{ErrorCode::InvalidConfig,
                  "engine.compiler_capacity must be positive"};
+  if (config.backend == BackendKind::HwSim) {
+    // A coalesced claim wider than the device's in-flight window
+    // (invocation capacity x ping/pong buffers) would stall the pipeline
+    // on the card: reject the shape instead of silently queueing.
+    const hw::DeviceBatchConfig& batch = config.host.device_batch;
+    if (batch.invocation_tasks != 0 && batch.buffer_depth != 0 &&
+        config.max_coalesce > batch.invocation_tasks * batch.buffer_depth)
+      return Error{ErrorCode::InvalidConfig,
+                   "engine.max_coalesce exceeds the device batch window "
+                   "(device_batch.invocation_tasks * buffer_depth)"};
+  }
   return validate_host_config(config.host);
 }
 
@@ -169,21 +180,6 @@ void Engine::worker_loop() {
   }
 }
 
-Expected<HostRunReport> Engine::run_one(const RequestState& state,
-                                        const std::vector<Hit>* forward_hits,
-                                        const std::vector<Hit>* reverse_hits) {
-  // Callers hold exec_mutex_.
-  BackendRequest request;
-  request.query = state.query.get();
-  request.threshold = state.threshold;
-  request.forward_hits = forward_hits;
-  request.reverse_hits = reverse_hits;
-  Expected<BackendRun> run = backend_->run(request);
-  if (!run) return run.error();
-  return finalize_run(config_.host, *state.query, std::move(run).value(),
-                      store_.forward.byte_size());
-}
-
 void Engine::execute_batch(std::vector<StatePtr> batch) {
   const auto fulfil = [this](RequestState& state,
                              Expected<HostRunReport> outcome) {
@@ -229,14 +225,48 @@ void Engine::execute_batch(std::vector<StatePtr> batch) {
     }
   }
 
+  // The whole claimed batch goes to the backend as one run_many call: the
+  // hw-sim backend packs it into device invocations and pipelines them
+  // (double-buffered DMA + multi-PE, DESIGN.md §4d); software backends
+  // keep the serial default.  Outcomes stay per request.
+  std::vector<BackendRequest> requests;
+  requests.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    BackendRequest request;
+    request.query = batch[i]->query.get();
+    request.threshold = batch[i]->threshold;
+    request.forward_hits = precomputed ? &forward[i] : nullptr;
+    request.reverse_hits = precomputed && config_.host.search_both_strands
+                               ? &reverse[i]
+                               : nullptr;
+    requests.push_back(request);
+  }
+
+  std::vector<Expected<BackendRun>> runs;
+  try {
+    runs = backend_->run_many(requests);
+  } catch (const std::exception& e) {
+    const Error error{ErrorCode::BadArgument, e.what()};
+    for (const StatePtr& state : batch) fulfil(*state, error);
+    return;
+  }
+
   for (std::size_t i = 0; i < batch.size(); ++i) {
     RequestState& state = *batch[i];
+    if (i >= runs.size()) {
+      fulfil(state, Error{ErrorCode::BadArgument,
+                          "backend returned a short batch"});
+      continue;
+    }
+    if (!runs[i]) {
+      fulfil(state, runs[i].error());
+      continue;
+    }
     try {
       fulfil(state,
-             run_one(state, precomputed ? &forward[i] : nullptr,
-                     precomputed && config_.host.search_both_strands
-                         ? &reverse[i]
-                         : nullptr));
+             finalize_run(config_.host, *state.query,
+                          std::move(runs[i]).value(),
+                          store_.forward.byte_size()));
     } catch (const std::exception& e) {
       fulfil(state, Error{ErrorCode::BadArgument, e.what()});
     }

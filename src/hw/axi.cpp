@@ -38,6 +38,32 @@ double AxiReadStream::steady_state_efficiency(
   return beats / (beats + gap_cycles);
 }
 
+std::size_t AxiReadStream::cycles_for_beats(const AxiTimingConfig& c,
+                                            std::size_t beats) noexcept {
+  if (beats == 0) return 0;
+  // Stalls are scheduled *after* the beat that closes a burst or a page
+  // (see advance()), so only events after beats 1..N-1 delay beat N.  The
+  // burst counter restarts after every stall event, which realigns bursts
+  // at each page boundary: within a page of P beats there are (P-1)/B
+  // inter-burst gaps (the page penalty replaces the gap when P | B aligns)
+  // plus the page penalty itself.
+  const std::size_t closed = beats - 1;
+  std::size_t stalls = 0;
+  if (c.page_beats != 0) {
+    const std::size_t gaps_per_page =
+        c.burst_beats != 0 ? (c.page_beats - 1) / c.burst_beats : 0;
+    const std::size_t full_pages = closed / c.page_beats;
+    stalls += full_pages *
+              (gaps_per_page * c.inter_burst_gap + c.page_miss_penalty);
+    const std::size_t rem = closed % c.page_beats;
+    if (c.burst_beats != 0)
+      stalls += (rem / c.burst_beats) * c.inter_burst_gap;
+  } else if (c.burst_beats != 0) {
+    stalls += (closed / c.burst_beats) * c.inter_burst_gap;
+  }
+  return beats + stalls;
+}
+
 void AxiReadStream::reset() noexcept {
   beats_ = 0;
   cycles_ = 0;

@@ -1,0 +1,59 @@
+#include "fabp/hw/scheduler.hpp"
+
+#include <algorithm>
+
+namespace fabp::hw {
+
+std::vector<DeviceInvocation> pack_invocations(
+    std::span<const DeviceTaskDesc> tasks, const DeviceBatchConfig& config) {
+  const std::size_t slots = std::max<std::size_t>(1, config.invocation_tasks);
+  const std::size_t payload_cap =
+      std::max<std::size_t>(1, config.invocation_payload_bytes);
+
+  std::vector<DeviceInvocation> out;
+  for (const DeviceTaskDesc& task : tasks) {
+    const bool oversized = task.payload_bytes > payload_cap;
+    const bool open =
+        !out.empty() && out.back().records.size() < slots &&
+        out.back().payload_bytes + task.payload_bytes <= payload_cap;
+    if (!open || oversized) out.emplace_back();
+    DeviceInvocation& inv = out.back();
+    inv.records.push_back(ControlRecord{
+        task.task, static_cast<std::uint32_t>(inv.payload_bytes),
+        task.payload_bytes, task.threshold});
+    inv.payload_bytes += task.payload_bytes;
+    // An oversized task streams through the buffer alone: its payload
+    // already exceeds the cap, so the next task cannot join it.
+  }
+  return out;
+}
+
+PipelineTimeline pipeline_timeline(std::span<const PipelineStage> stages,
+                                   std::size_t buffer_depth) {
+  PipelineTimeline out;
+  const std::size_t depth = std::max<std::size_t>(1, buffer_depth);
+  std::vector<double> transfer_end(stages.size(), 0.0);
+  std::vector<double> compute_end(stages.size(), 0.0);
+
+  for (std::size_t k = 0; k < stages.size(); ++k) {
+    const PipelineStage& stage = stages[k];
+    out.serial_s += stage.transfer_s + stage.compute_s;
+    out.transfer_busy_s += stage.transfer_s;
+    out.compute_busy_s += stage.compute_s;
+
+    // The DMA engine is serial and needs a free buffer: the one invocation
+    // k reuses is released when compute of k-depth retires.
+    double t_start = k > 0 ? transfer_end[k - 1] : 0.0;
+    if (k >= depth) t_start = std::max(t_start, compute_end[k - depth]);
+    transfer_end[k] = t_start + stage.transfer_s;
+
+    const double ready = k > 0 ? compute_end[k - 1] : 0.0;
+    const double c_start = std::max(transfer_end[k], ready);
+    out.compute_stall_s += c_start - ready;
+    compute_end[k] = c_start + stage.compute_s;
+  }
+  out.total_s = stages.empty() ? 0.0 : compute_end.back();
+  return out;
+}
+
+}  // namespace fabp::hw

@@ -1,0 +1,195 @@
+#include "fabp/hw/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fabp/hw/axi.hpp"
+
+namespace fabp::hw {
+namespace {
+
+DeviceTaskDesc task(std::uint32_t id, std::uint32_t bytes,
+                    std::uint32_t threshold = 5) {
+  return DeviceTaskDesc{id, bytes, threshold};
+}
+
+TEST(PackInvocations, EmptyTaskListPacksNothing) {
+  EXPECT_TRUE(pack_invocations({}, DeviceBatchConfig{}).empty());
+}
+
+TEST(PackInvocations, PreservesOrderAndAssignsOffsets) {
+  DeviceBatchConfig config;
+  config.invocation_tasks = 4;
+  config.invocation_payload_bytes = 1000;
+  const std::vector<DeviceTaskDesc> tasks{task(0, 100, 7), task(1, 200, 9),
+                                          task(2, 50, 3)};
+  const auto invocations = pack_invocations(tasks, config);
+  ASSERT_EQ(invocations.size(), 1u);
+  const DeviceInvocation& inv = invocations[0];
+  ASSERT_EQ(inv.records.size(), 3u);
+  EXPECT_EQ(inv.payload_bytes, 350u);
+  std::uint32_t offset = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(inv.records[i].task, tasks[i].task);
+    EXPECT_EQ(inv.records[i].offset_bytes, offset);
+    EXPECT_EQ(inv.records[i].length_bytes, tasks[i].payload_bytes);
+    EXPECT_EQ(inv.records[i].threshold, tasks[i].threshold);
+    offset += tasks[i].payload_bytes;
+  }
+}
+
+TEST(PackInvocations, SlotCapacityClosesInvocations) {
+  DeviceBatchConfig config;
+  config.invocation_tasks = 3;
+  config.invocation_payload_bytes = 1'000'000;
+  std::vector<DeviceTaskDesc> tasks;
+  for (std::uint32_t i = 0; i < 7; ++i) tasks.push_back(task(i, 10));
+  const auto invocations = pack_invocations(tasks, config);
+  ASSERT_EQ(invocations.size(), 3u);
+  EXPECT_EQ(invocations[0].records.size(), 3u);
+  EXPECT_EQ(invocations[1].records.size(), 3u);
+  EXPECT_EQ(invocations[2].records.size(), 1u);
+  // Global task order is preserved across the invocation boundaries.
+  std::uint32_t next = 0;
+  for (const DeviceInvocation& inv : invocations)
+    for (const ControlRecord& record : inv.records)
+      EXPECT_EQ(record.task, next++);
+}
+
+TEST(PackInvocations, PayloadCapacityClosesInvocations) {
+  DeviceBatchConfig config;
+  config.invocation_tasks = 8;
+  config.invocation_payload_bytes = 100;
+  const std::vector<DeviceTaskDesc> tasks{task(0, 40), task(1, 40),
+                                          task(2, 40)};
+  const auto invocations = pack_invocations(tasks, config);
+  ASSERT_EQ(invocations.size(), 2u);
+  EXPECT_EQ(invocations[0].records.size(), 2u);
+  EXPECT_EQ(invocations[0].payload_bytes, 80u);
+  EXPECT_EQ(invocations[1].records.size(), 1u);
+}
+
+TEST(PackInvocations, OversizedTaskGetsDedicatedInvocation) {
+  DeviceBatchConfig config;
+  config.invocation_tasks = 8;
+  config.invocation_payload_bytes = 100;
+  const std::vector<DeviceTaskDesc> tasks{task(0, 10), task(1, 500),
+                                          task(2, 10), task(3, 10)};
+  const auto invocations = pack_invocations(tasks, config);
+  ASSERT_EQ(invocations.size(), 3u);
+  EXPECT_EQ(invocations[0].records.size(), 1u);
+  ASSERT_EQ(invocations[1].records.size(), 1u);
+  EXPECT_EQ(invocations[1].records[0].task, 1u);
+  EXPECT_EQ(invocations[1].payload_bytes, 500u);
+  // Nothing joins the oversized call; the tail packs together again.
+  EXPECT_EQ(invocations[2].records.size(), 2u);
+}
+
+TEST(DeviceInvocation, TransferBytesCountsRecordsAndPayload) {
+  DeviceBatchConfig config;
+  config.control_record_bytes = 16;
+  DeviceInvocation inv;
+  inv.records.resize(3);
+  inv.payload_bytes = 250;
+  EXPECT_EQ(inv.transfer_bytes(config), 3u * 16u + 250u);
+}
+
+// ---------------------------------------------------------------------------
+// Double-buffered pipeline timeline.
+
+TEST(PipelineTimeline, EmptyRunIsAllZero) {
+  const PipelineTimeline t = pipeline_timeline({}, 2);
+  EXPECT_EQ(t.total_s, 0.0);
+  EXPECT_EQ(t.serial_s, 0.0);
+  EXPECT_EQ(t.occupancy(), 0.0);
+  EXPECT_EQ(t.overlap_efficiency(), 0.0);
+}
+
+TEST(PipelineTimeline, DepthOneIsTheSerialSum) {
+  const std::vector<PipelineStage> stages{{1.0, 3.0}, {2.0, 1.0}, {0.5, 4.0}};
+  const PipelineTimeline t = pipeline_timeline(stages, 1);
+  EXPECT_DOUBLE_EQ(t.total_s, 11.5);
+  EXPECT_DOUBLE_EQ(t.serial_s, 11.5);
+  EXPECT_DOUBLE_EQ(t.transfer_busy_s, 3.5);
+  EXPECT_DOUBLE_EQ(t.compute_busy_s, 8.0);
+  EXPECT_EQ(t.overlap_efficiency(), 0.0);
+}
+
+TEST(PipelineTimeline, DepthTwoHidesTransferBehindCompute) {
+  // transfer 1, compute 2, four invocations: only the first transfer is
+  // exposed, the rest run behind compute.
+  const std::vector<PipelineStage> stages(4, PipelineStage{1.0, 2.0});
+  const PipelineTimeline t = pipeline_timeline(stages, 2);
+  EXPECT_DOUBLE_EQ(t.total_s, 1.0 + 4 * 2.0);
+  EXPECT_DOUBLE_EQ(t.serial_s, 12.0);
+  // hidden = 3 of hideable = min(4, 8) transfer seconds.
+  EXPECT_DOUBLE_EQ(t.overlap_efficiency(), 0.75);
+  EXPECT_DOUBLE_EQ(t.occupancy(), 8.0 / 9.0);
+  EXPECT_GT(t.serial_s / t.total_s, 1.3);
+}
+
+TEST(PipelineTimeline, TransferWaitsForBufferRelease) {
+  // Depth 2 and slow compute: the DMA engine may run at most one
+  // invocation ahead — transfer k starts only after compute k-2 frees its
+  // half of the ping/pong pair.
+  const std::vector<PipelineStage> stages(3, PipelineStage{1.0, 10.0});
+  const PipelineTimeline depth2 = pipeline_timeline(stages, 2);
+  // transfers end at 1, 2, then 12 (waits for compute 0 at t=11);
+  // computes run back-to-back 1..31.
+  EXPECT_DOUBLE_EQ(depth2.total_s, 31.0);
+  // A deeper pipe cannot beat the compute-bound floor.
+  const PipelineTimeline depth3 = pipeline_timeline(stages, 3);
+  EXPECT_DOUBLE_EQ(depth3.total_s, 31.0);
+}
+
+TEST(PipelineTimeline, DeeperBuffersNeverSlowTheRun) {
+  const std::vector<PipelineStage> stages{
+      {1.0, 2.0}, {3.0, 1.0}, {0.5, 0.5}, {2.0, 2.0}, {1.0, 4.0}};
+  double previous = pipeline_timeline(stages, 1).total_s;
+  for (std::size_t depth = 2; depth <= 5; ++depth) {
+    const double total = pipeline_timeline(stages, depth).total_s;
+    EXPECT_LE(total, previous + 1e-12) << "depth " << depth;
+    previous = total;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form DMA pricing: cycles_for_beats must read exactly what a
+// stepped AxiReadStream's cycle counter shows once that many beats landed
+// (the scheduler prices invocation DMA without stepping a stream).
+
+std::size_t stepped_cycles(const AxiTimingConfig& config, std::size_t beats) {
+  AxiReadStream axi{config};
+  while (axi.beats_delivered() < beats) axi.advance();
+  return axi.cycles_elapsed();
+}
+
+TEST(CyclesForBeats, MatchesSteppedStreamAcrossConfigs) {
+  const std::vector<AxiTimingConfig> configs{
+      AxiTimingConfig{},                  // defaults (page multiple of burst)
+      AxiTimingConfig{4, 2, 1'000'000, 0},  // burst gaps only
+      AxiTimingConfig{1'000'000, 0, 4, 3},  // page penalty only
+      AxiTimingConfig{4, 2, 6, 3},        // page NOT a multiple of the burst
+      AxiTimingConfig{3, 1, 7, 5},        // ragged everything
+      AxiTimingConfig{64, 0, 2048, 0},    // perfect stream
+  };
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const AxiTimingConfig& config = configs[c];
+    for (const std::size_t beats :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+          std::size_t{5}, std::size_t{64}, std::size_t{65}, std::size_t{100},
+          std::size_t{2048}, std::size_t{2049}, std::size_t{5000}}) {
+      EXPECT_EQ(AxiReadStream::cycles_for_beats(config, beats),
+                stepped_cycles(config, beats))
+          << "config " << c << " beats " << beats;
+    }
+  }
+}
+
+TEST(CyclesForBeats, ZeroBeatsCostZeroCycles) {
+  EXPECT_EQ(AxiReadStream::cycles_for_beats({}, 0), 0u);
+}
+
+}  // namespace
+}  // namespace fabp::hw

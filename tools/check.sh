@@ -17,7 +17,12 @@
 #      deterministic-ISA concurrency exercise of the coalescing scheduler
 #      (same kernel on every machine, so schedules differ but hit lists
 #      cannot), and
-#   6. the kernel differential suites once per forced ISA the host can
+#   6. the device batch scheduler chaos leg — the DeviceScheduler
+#      differential/fault suite (packed invocations, multi-PE slicing,
+#      depth-replay, retry/degrade at batch granularity) plus a
+#      `fabp serve --backend hwsim` smoke run that must report the
+#      pipeline stats line in its metrics dump, and
+#   7. the kernel differential suites once per forced ISA the host can
 #      actually run (swar64|avx2|avx512|avx512vpopcnt, probed via
 #      `fabp isa`; unsupported ISAs are skipped) — every SIMD kernel is
 #      held to the scalar oracle through the same env-override path users
@@ -58,6 +63,14 @@ FABP_FORCE_ISA=swar64 build/tests/engine_tests \
     --gtest_filter='Engine.Stress*:Engine.Coalesc*'
 FABP_FORCE_ISA=swar64 build/tools/fabp serve 50000 16 128 2 >/dev/null
 
+echo "== check.sh: device batch scheduler chaos suite =="
+build/tests/engine_tests --gtest_filter='DeviceScheduler.*'
+build/tests/hw_tests \
+    --gtest_filter='PackInvocations*:PipelineTimeline*:CyclesForBeats*'
+build/tools/fabp serve 50000 16 128 2 --backend hwsim \
+    | grep -q '^pipeline: invocations=' \
+    || { echo "serve --backend hwsim printed no pipeline stats"; exit 1; }
+
 echo "== check.sh: kernel differential suites per forced ISA =="
 for isa in swar64 avx2 avx512 avx512vpopcnt; do
   if build/tools/fabp isa | grep -qx "$isa"; then
@@ -69,4 +82,4 @@ for isa in swar64 avx2 avx512 avx512vpopcnt; do
   fi
 done
 
-echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + per-isa) =="
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa) =="

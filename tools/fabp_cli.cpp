@@ -9,9 +9,12 @@
 //   fabp chaos [bases] [query-aa] [seeds] [rates...]
 //                                              fault-injection sweep vs golden
 //   fabp serve [bases] [query-aa] [requests] [workers]
+//              [--backend hwsim|tiled|planes]
 //                                              engine serving demo: burst of
 //                                              concurrent requests, coalesced,
-//                                              checked against sequential
+//                                              checked against sequential;
+//                                              hwsim prints the device batch
+//                                              pipeline stats
 //
 // Exit code 0 on success, 1 on usage/product errors.
 
@@ -39,8 +42,17 @@ int usage() {
       "  fabp rtl <out_dir> [elements]\n"
       "  fabp chaos [bases] [query-aa] [seeds] [flip-rates...]\n"
       "  fabp isa\n"
-      "  fabp serve [bases] [query-aa] [requests] [workers]\n";
+      "  fabp serve [bases] [query-aa] [requests] [workers]"
+      " [--backend hwsim|tiled|planes]\n";
   return 1;
+}
+
+core::BackendKind backend_kind_from(const std::string& name) {
+  if (name == "hwsim") return core::BackendKind::HwSim;
+  if (name == "tiled") return core::BackendKind::Tiled;
+  if (name == "planes") return core::BackendKind::Planes;
+  throw std::runtime_error{"unknown backend: " + name +
+                           " (expected hwsim, tiled or planes)"};
 }
 
 // Reachable scan-kernel names, one per line, dispatch-priority last so
@@ -294,7 +306,7 @@ int cmd_chaos(std::size_t bases, std::size_t query_aa, std::size_t seeds,
 }
 
 int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
-              std::size_t workers) {
+              std::size_t workers, const std::string& backend) {
   // Serving-engine demo: a burst of concurrent align requests against one
   // resident reference, drained by the worker pool with request
   // coalescing, self-checked hit-for-hit against sequential execution.
@@ -311,13 +323,14 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
   };
 
   core::EngineConfig config;
+  config.backend = backend_kind_from(backend);
   config.workers = workers;
   config.queue_capacity = std::max<std::size_t>(requests, 64);
   core::Engine engine{config};
   engine.upload_reference(dna);
   std::cerr << "reference " << bases << " bases, " << queries.size()
             << " distinct queries x " << requests << " requests, "
-            << workers << " worker(s)\n";
+            << workers << " worker(s), backend " << backend << "\n";
 
   // Sequential truth (and baseline wall time) on the same engine state.
   std::vector<std::vector<core::Hit>> expected;
@@ -360,6 +373,16 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
             << stats.batch_occupancy() << ", largest "
             << stats.largest_batch << ", compiler hits "
             << engine.compiler_stats().hits << "\n";
+  const core::DevicePipelineStats pipe = engine.pipeline_stats();
+  if (pipe.invocations > 0)
+    std::cout << "pipeline: invocations=" << pipe.invocations
+              << " tasks=" << pipe.tasks << " retried="
+              << pipe.retried_invocations << " pe=" << pipe.pe_count
+              << " depth=" << pipe.buffer_depth << " largest="
+              << pipe.largest_invocation << " occupancy="
+              << pipe.occupancy() << " overlap=" << pipe.overlap_efficiency()
+              << " pe_util=" << pipe.pe_utilization() << " modeled_qps="
+              << pipe.modeled_qps() << "\n";
   if (!match) {
     std::cerr << "serve: coalesced results diverged from sequential\n";
     return 1;
@@ -401,12 +424,32 @@ int main(int argc, char** argv) {
           argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 3,
           std::move(rates));
     }
-    if (command == "serve" && argc >= 2 && argc <= 6)
-      return cmd_serve(
-          argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000,
-          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 16,
-          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 256,
-          argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2);
+    if (command == "serve") {
+      std::string backend = "hwsim";
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--backend" && i + 1 < argc)
+          backend = argv[++i];
+        else
+          positional.push_back(arg);
+      }
+      if (positional.size() <= 4)
+        return cmd_serve(
+            !positional.empty()
+                ? std::strtoull(positional[0].c_str(), nullptr, 10)
+                : 100000,
+            positional.size() > 1
+                ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                : 16,
+            positional.size() > 2
+                ? std::strtoull(positional[2].c_str(), nullptr, 10)
+                : 256,
+            positional.size() > 3
+                ? std::strtoull(positional[3].c_str(), nullptr, 10)
+                : 2,
+            backend);
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
