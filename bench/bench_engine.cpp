@@ -28,6 +28,8 @@
 
 #include "fabp/bio/generate.hpp"
 #include "fabp/core/engine.hpp"
+#include "fabp/net/loadgen.hpp"
+#include "fabp/net/server.hpp"
 #include "fabp/util/benchenv.hpp"
 #include "fabp/util/cpuid.hpp"
 #include "fabp/util/rng.hpp"
@@ -125,18 +127,16 @@ LoadPoint run_sequential(Engine& engine,
   return point;
 }
 
-// One sweep point: `clients` closed-loop threads, each submitting and
-// waiting one request at a time, so the offered concurrency equals the
-// client count and the queue depth the scheduler sees is organic.
-LoadPoint run_load_point(BackendKind kind, const bio::NucleotideSequence& ref,
-                         const std::vector<bio::ProteinSequence>& queries,
-                         const std::vector<std::uint32_t>& thresholds,
-                         const std::vector<std::vector<Hit>>& expected,
-                         std::size_t clients, std::size_t requests,
-                         bool& hits_match) {
-  Engine engine{engine_config(kind, requests)};
-  engine.upload_reference(bio::NucleotideSequence{ref});
-
+// Closed loop against an existing engine: `clients` threads, each
+// submitting and waiting one request at a time, so the offered
+// concurrency equals the client count and the queue depth the scheduler
+// sees is organic.
+LoadPoint closed_loop(Engine& engine,
+                      const std::vector<bio::ProteinSequence>& queries,
+                      const std::vector<std::uint32_t>& thresholds,
+                      const std::vector<std::vector<Hit>>& expected,
+                      std::size_t clients, std::size_t requests,
+                      bool& hits_match) {
   const std::size_t per_client = requests / clients;
   std::vector<std::vector<double>> latencies(clients);
   std::atomic<std::size_t> mismatches{0};
@@ -177,6 +177,19 @@ LoadPoint run_load_point(BackendKind kind, const bio::NucleotideSequence& ref,
   point.batches = stats.coalesced_batches;
   point.largest_batch = stats.largest_batch;
   return point;
+}
+
+// One sweep point over a fresh engine of the given backend kind.
+LoadPoint run_load_point(BackendKind kind, const bio::NucleotideSequence& ref,
+                         const std::vector<bio::ProteinSequence>& queries,
+                         const std::vector<std::uint32_t>& thresholds,
+                         const std::vector<std::vector<Hit>>& expected,
+                         std::size_t clients, std::size_t requests,
+                         bool& hits_match) {
+  Engine engine{engine_config(kind, requests)};
+  engine.upload_reference(bio::NucleotideSequence{ref});
+  return closed_loop(engine, queries, thresholds, expected, clients, requests,
+                     hits_match);
 }
 
 BackendSection run_backend(BackendKind kind, const bio::NucleotideSequence& ref,
@@ -266,6 +279,149 @@ std::vector<PipelinePoint> run_hwsim_pipeline(
   return points;
 }
 
+// One (shard count, client count) point of the scatter/gather router
+// sweep (DESIGN.md §4e): the engine routes every batch through N modeled
+// cards, each holding 1/N of the reference (+ halo).  Wall QPS on this
+// host is bounded by the software simulation of all N cards sharing the
+// CPU, so the headline scaling number is the *merged modeled* throughput
+// (tasks / slowest-card pipelined makespan) — the same modeled-time
+// methodology as the device batch pipeline sweep above.
+struct ShardPoint {
+  std::size_t shards = 1;
+  std::size_t clients = 1;
+  double seconds = 0.0;
+  double qps = 0.0;             // host wall clock
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double modeled_qps = 0.0;     // merged cross-card pipeline view
+  double modeled_speedup = 1.0; // vs the 1-shard point at same clients
+  double scatter_gather_s = 0.0;
+  bool hits_match = true;
+};
+
+std::vector<ShardPoint> run_shard_sweep(
+    const bio::NucleotideSequence& ref,
+    const std::vector<bio::ProteinSequence>& queries,
+    const std::vector<std::uint32_t>& thresholds, std::size_t requests) {
+  // Unsharded truth: every sweep point's hits must match these.
+  Engine baseline{engine_config(BackendKind::HwSim, requests)};
+  baseline.upload_reference(bio::NucleotideSequence{ref});
+  std::vector<std::vector<Hit>> expected;
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    expected.push_back(baseline.align_sync(queries[q], thresholds[q])->hits);
+
+  std::vector<ShardPoint> points;
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    for (const std::size_t clients :
+         {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      EngineConfig config = engine_config(BackendKind::HwSim, requests);
+      config.shard.shard_count = shards;
+      Engine engine{config};
+      engine.upload_reference(bio::NucleotideSequence{ref});
+
+      ShardPoint point;
+      point.shards = shards;
+      point.clients = clients;
+      const LoadPoint load = closed_loop(engine, queries, thresholds,
+                                         expected, clients, requests,
+                                         point.hits_match);
+      point.seconds = load.seconds;
+      point.qps = load.qps;
+      point.p50_ms = load.p50_ms;
+      point.p99_ms = load.p99_ms;
+      point.modeled_qps = engine.pipeline_stats().modeled_qps();
+      point.scatter_gather_s = engine.shard_overhead_seconds();
+      points.push_back(point);
+    }
+  }
+  for (ShardPoint& point : points)
+    for (const ShardPoint& base : points)
+      if (base.shards == 1 && base.clients == point.clients &&
+          base.modeled_qps > 0.0)
+        point.modeled_speedup = point.modeled_qps / base.modeled_qps;
+  return points;
+}
+
+void print_shard_sweep(const std::vector<ShardPoint>& points) {
+  util::banner(std::cout,
+               "engine: shard router sweep (hw-sim, N modeled cards)");
+  util::Table table{{"shards", "clients", "wall q/s", "p50", "p99",
+                     "modeled q/s", "vs 1 shard", "scatter+gather"}};
+  for (const ShardPoint& p : points) {
+    table.row();
+    table.cell(p.shards)
+        .cell(p.clients)
+        .cell(p.qps, 1)
+        .cell(util::time_text(p.p50_ms * 1e-3))
+        .cell(util::time_text(p.p99_ms * 1e-3))
+        .cell(p.modeled_qps, 1)
+        .cell(util::ratio_text(p.modeled_speedup, 2))
+        .cell(util::time_text(p.scatter_gather_s));
+  }
+  table.print(std::cout);
+  bool all_match = true;
+  for (const ShardPoint& p : points) all_match &= p.hits_match;
+  std::cout << "  hits identical to unsharded baseline: "
+            << (all_match ? "yes" : "NO — BUG") << "\n";
+}
+
+// End-to-end TCP measurement: a real WireServer over a sharded engine,
+// hit by the closed-loop loadgen client over localhost.  This prices the
+// whole serving stack — framing, sockets, engine queue, scatter/gather —
+// not just the engine core.
+struct TcpPoint {
+  std::size_t shards = 1;
+  std::size_t clients = 1;
+  net::LoadgenReport report;
+};
+
+std::vector<TcpPoint> run_tcp_sweep(const bio::NucleotideSequence& ref,
+                                    std::size_t residues,
+                                    std::size_t requests) {
+  std::vector<TcpPoint> points;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    EngineConfig config = engine_config(BackendKind::HwSim, requests);
+    config.shard.shard_count = shards;
+    Engine engine{config};
+    engine.upload_reference(bio::NucleotideSequence{ref});
+    net::WireServer server{engine, {}};
+    std::thread accept_thread{[&server] { server.serve(); }};
+    for (const std::size_t clients :
+         {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      net::LoadgenConfig load;
+      load.port = server.port();
+      load.clients = clients;
+      load.requests = requests;
+      load.query_residues = residues;
+      TcpPoint point;
+      point.shards = shards;
+      point.clients = clients;
+      point.report = net::run_loadgen(load);
+      points.push_back(point);
+    }
+    server.shutdown();
+    accept_thread.join();
+  }
+  return points;
+}
+
+void print_tcp_sweep(const std::vector<TcpPoint>& points) {
+  util::banner(std::cout, "engine: TCP serve/loadgen over localhost");
+  util::Table table{{"shards", "clients", "q/s", "p50", "p99",
+                     "errors"}};
+  for (const TcpPoint& p : points) {
+    table.row();
+    table.cell(p.shards)
+        .cell(p.clients)
+        .cell(p.report.qps, 1)
+        .cell(util::time_text(p.report.p50_ms * 1e-3))
+        .cell(util::time_text(p.report.p99_ms * 1e-3))
+        .cell(p.report.errors + p.report.transport_failures);
+  }
+  table.print(std::cout);
+}
+
 void print_pipeline(const std::vector<PipelinePoint>& points) {
   util::banner(std::cout, "engine: hw-sim device batch pipeline (modeled)");
   util::Table table{{"PEs", "depth", "invocations", "modeled q/s",
@@ -316,7 +472,9 @@ void write_json(const std::string& path, std::size_t bases,
                 std::size_t residues, std::size_t requests,
                 const util::BenchEnv& env,
                 const std::vector<BackendSection>& sections,
-                const std::vector<PipelinePoint>& pipeline) {
+                const std::vector<PipelinePoint>& pipeline,
+                const std::vector<ShardPoint>& sharded,
+                const std::vector<TcpPoint>& tcp) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"engine\",\n"
@@ -376,6 +534,35 @@ void write_json(const std::string& path, std::size_t bases,
        << ", \"hits_match_serial\": " << (p.hits_match ? "true" : "false")
        << "}" << (i + 1 < pipeline.size() ? "," : "") << "\n";
   }
+  os << "  ],\n"
+     << "  \"sharded\": [\n";
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    const ShardPoint& p = sharded[i];
+    os << "    {\"shards\": " << p.shards << ", \"clients\": " << p.clients
+       << ", \"seconds\": " << p.seconds
+       << ", \"wall_queries_per_second\": " << p.qps
+       << ", \"p50_ms\": " << p.p50_ms << ", \"p99_ms\": " << p.p99_ms
+       << ", \"modeled_qps\": " << p.modeled_qps
+       << ", \"modeled_speedup_vs_1_shard\": " << p.modeled_speedup
+       << ", \"scatter_gather_s\": " << p.scatter_gather_s
+       << ", \"hits_match_unsharded\": " << (p.hits_match ? "true" : "false")
+       << "}" << (i + 1 < sharded.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"tcp\": [\n";
+  for (std::size_t i = 0; i < tcp.size(); ++i) {
+    const TcpPoint& p = tcp[i];
+    os << "    {\"shards\": " << p.shards << ", \"clients\": " << p.clients
+       << ", \"requests\": " << p.report.sent
+       << ", \"completed\": " << p.report.completed
+       << ", \"errors\": " << p.report.errors
+       << ", \"transport_failures\": " << p.report.transport_failures
+       << ", \"wall_s\": " << p.report.wall_s
+       << ", \"queries_per_second\": " << p.report.qps
+       << ", \"p50_ms\": " << p.report.p50_ms
+       << ", \"p99_ms\": " << p.report.p99_ms << "}"
+       << (i + 1 < tcp.size() ? "," : "") << "\n";
+  }
   os << "  ]\n}\n";
 }
 
@@ -417,13 +604,24 @@ int main(int argc, char** argv) {
       run_hwsim_pipeline(ref, queries, thresholds);
   print_pipeline(pipeline);
 
+  const std::vector<ShardPoint> sharded =
+      run_shard_sweep(ref, queries, thresholds, requests);
+  print_shard_sweep(sharded);
+
+  const std::vector<TcpPoint> tcp = run_tcp_sweep(ref, residues, requests);
+  print_tcp_sweep(tcp);
+
   write_json(json_path, bases, residues, requests, util::probe_bench_env(),
-             sections, pipeline);
+             sections, pipeline, sharded, tcp);
   std::cout << "  wrote " << json_path << "\n";
 
   for (const BackendSection& section : sections)
     if (!section.hits_match) return 1;
   for (const PipelinePoint& point : pipeline)
     if (!point.hits_match) return 1;
+  for (const ShardPoint& point : sharded)
+    if (!point.hits_match) return 1;
+  for (const TcpPoint& point : tcp)
+    if (!point.report.clean()) return 1;
   return 0;
 }

@@ -62,6 +62,13 @@ class PackedNucleotides {
   /// Unpacks the whole store back into a sequence of the given kind.
   NucleotideSequence unpack(SeqKind kind) const;
 
+  /// The contiguous sub-range [begin, begin + count) as its own packed
+  /// store — a shard's slice of "card DRAM".  Pure word-level extraction
+  /// (cross-word 2-bit shift, trailing bits of the last word zeroed), no
+  /// decode/re-encode round trip.  Throws std::out_of_range when the range
+  /// exceeds size().
+  PackedNucleotides slice(std::size_t begin, std::size_t count) const;
+
   std::span<const std::uint64_t> words() const noexcept { return words_; }
 
   bool operator==(const PackedNucleotides&) const = default;

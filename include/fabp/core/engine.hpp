@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "fabp/core/backend.hpp"
+#include "fabp/core/shard.hpp"
 
 namespace fabp::core {
 
@@ -38,6 +39,11 @@ struct EngineConfig {
   HostConfig host{};
   /// Which backend serves requests (the full card model by default).
   BackendKind backend = BackendKind::HwSim;
+  /// Reference sharding (DESIGN.md §4e).  shard_count == 1 keeps the
+  /// single-card path; > 1 routes through a ShardedBackend: N backend
+  /// instances each holding a contiguous slice of card DRAM (+ halo),
+  /// per-shard admission queues, scatter/gather with global rebase.
+  ShardConfig shard{};
   /// Worker threads draining the queue.  Backend execution itself is
   /// serialized (one modeled card), so extra workers only overlap claim /
   /// bookkeeping; 1–2 is plenty.
@@ -236,10 +242,32 @@ class Engine {
   }
 
   /// Device batch scheduler accounting of the backend (all-zero for the
-  /// software backends).  Takes the execution lock for a stable snapshot.
+  /// software backends).  With sharding this is the *merged* cross-card
+  /// view (counts summed, makespans max'ed — see ShardedBackend).  Takes
+  /// the execution lock for a stable snapshot.
   DevicePipelineStats pipeline_stats() const {
     std::lock_guard lock{exec_mutex_};
     return backend_->pipeline_stats();
+  }
+
+  /// Per-shard router view (owned ranges, health, queue depths, recovery,
+  /// per-card pipeline stats).  Empty when shard_count == 1 (no router).
+  /// Takes the execution lock for a stable snapshot.
+  std::vector<ShardStatus> shard_status() const {
+    std::lock_guard lock{exec_mutex_};
+    return sharded_ != nullptr ? sharded_->shard_status()
+                               : std::vector<ShardStatus>{};
+  }
+  std::size_t shard_count() const noexcept {
+    return sharded_ != nullptr ? sharded_->shard_count() : 1;
+  }
+  /// Router scatter/gather wall time (0 when unsharded).  Execution-lock
+  /// stable like pipeline_stats().
+  double shard_overhead_seconds() const {
+    std::lock_guard lock{exec_mutex_};
+    return sharded_ != nullptr
+               ? sharded_->scatter_seconds() + sharded_->gather_seconds()
+               : 0.0;
   }
 
  private:
@@ -254,6 +282,7 @@ class Engine {
   EngineConfig config_;
   ReferenceStore store_;
   std::unique_ptr<ScanBackend> backend_;
+  ShardedBackend* sharded_ = nullptr;  ///< backend_ downcast when sharded
   mutable QueryCompiler compiler_;
   std::shared_ptr<detail::EngineCounters> counters_;
 

@@ -24,6 +24,7 @@
 //   core/  back-translation, encoding, comparator,
 //          accelerator simulator, mapper, host runtime   (the paper, S5)
 //   perf/  cross-platform performance & energy models    (S6)
+//   net/   TCP front-end: wire protocol, server, loadgen (serving)
 
 #include "fabp/util/bitops.hpp"
 #include "fabp/util/crc32.hpp"
@@ -86,4 +87,9 @@
 #include "fabp/core/maskonly.hpp"
 #include "fabp/core/querypack.hpp"
 #include "fabp/core/report.hpp"
+#include "fabp/core/shard.hpp"
 #include "fabp/core/threshold.hpp"
+
+#include "fabp/net/loadgen.hpp"
+#include "fabp/net/server.hpp"
+#include "fabp/net/wire.hpp"

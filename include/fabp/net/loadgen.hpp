@@ -1,0 +1,46 @@
+#pragma once
+// Closed-loop TCP load generator for the wire protocol: N client threads
+// each hold one connection and issue align requests back-to-back (a new
+// request the moment the previous response lands), the standard way to
+// measure a serving stack's throughput/latency trade-off as concurrency
+// grows.  Queries are deterministic random proteins (seeded), thresholds
+// a fixed fraction of the query length.
+
+#include <cstdint>
+#include <string>
+
+#include "fabp/net/wire.hpp"
+
+namespace fabp::net {
+
+struct LoadgenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t clients = 1;        ///< concurrent connections
+  std::size_t requests = 64;      ///< total, split across clients
+  std::size_t query_residues = 24;
+  double threshold_fraction = 0.6; ///< of 3 * query_residues elements
+  std::uint64_t seed = 42;
+};
+
+struct LoadgenReport {
+  std::size_t sent = 0;
+  std::size_t completed = 0;       ///< responses with ok status
+  std::size_t errors = 0;          ///< typed error statuses
+  std::size_t transport_failures = 0;  ///< broken connections / frames
+  std::size_t total_hits = 0;      ///< forward + reverse, all responses
+  double wall_s = 0.0;
+  double qps = 0.0;                ///< completed / wall_s
+  double p50_ms = 0.0;             ///< client-observed round-trip
+  double p99_ms = 0.0;
+
+  bool clean() const noexcept {
+    return transport_failures == 0 && errors == 0;
+  }
+};
+
+/// Runs the closed loop to completion.  Throws std::runtime_error when a
+/// connection cannot be established at all (server not listening).
+LoadgenReport run_loadgen(const LoadgenConfig& config);
+
+}  // namespace fabp::net

@@ -1,0 +1,122 @@
+#pragma once
+// TCP front-end over the serving engine (DESIGN.md §4e).
+//
+// WireServer binds a listening socket at construction (port 0 lets the
+// kernel pick — the smoke tests and in-process benchmarks rely on it),
+// then serve() accepts connections on the caller's thread and answers
+// each one from a dedicated connection thread: AlignRequest frames run
+// through Engine::submit (so concurrent clients coalesce into shared
+// scans exactly like in-process callers), StatsRequest frames return the
+// engine's formatted stats dump.  shutdown() is the graceful-drain path:
+// stop accepting, wake every blocked connection read via ::shutdown on
+// the tracked fds, join the connection threads (in-flight requests
+// finish and their responses are sent first), then return.  Per-request
+// wall latencies are recorded for the p50/p99 dump.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabp/core/engine.hpp"
+#include "fabp/net/wire.hpp"
+
+namespace fabp::net {
+
+/// RAII POSIX socket fd.  Move-only; close on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_{fd} {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_{other.fd_} { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  /// ::shutdown(SHUT_RDWR): unblocks a peer thread stuck in recv without
+  /// racing the fd number (close alone could let it be reused mid-read).
+  void interrupt() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Blocking frame I/O over a connected socket.  read_frame returns false
+/// on clean EOF, a broken connection, or a length prefix above
+/// `max_bytes` (clients pass the default response bound; the server
+/// reads with kMaxRequestFrameBytes); write_frame returns false on a
+/// broken connection.
+bool read_frame(int fd, std::string& payload,
+                std::uint32_t max_bytes = kMaxFrameBytes);
+bool write_frame(int fd, std::string_view payload);
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned (see port())
+};
+
+/// Aggregate request metrics, snapshot via WireServer::metrics().
+struct ServerMetrics {
+  std::size_t connections = 0;
+  std::size_t requests = 0;        ///< align requests answered
+  std::size_t errors = 0;          ///< answered with a non-ok status
+  std::size_t malformed = 0;       ///< frames that failed to decode
+  double p50_ms = 0.0;             ///< server-side align latency
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class WireServer {
+ public:
+  /// Binds and listens immediately; throws std::runtime_error when the
+  /// address is unavailable.  `stats_text` supplies the StatsResponse
+  /// body (the CLI passes its stats-dump formatter).
+  WireServer(core::Engine& engine, ServerConfig config,
+             std::function<std::string()> stats_text = {});
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  /// The bound port (resolved after a port-0 bind).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept loop on the caller's thread; returns after shutdown().
+  void serve();
+
+  /// Graceful drain: stop accepting, interrupt blocked connection reads,
+  /// join every connection thread (in-flight responses are sent first).
+  /// Idempotent and callable from any thread (the CLI's signal thread).
+  void shutdown();
+
+  ServerMetrics metrics() const;
+
+ private:
+  void handle_connection(Socket conn);
+  void record_latency(double seconds);
+
+  core::Engine& engine_;
+  ServerConfig config_;
+  std::function<std::string()> stats_text_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mutex_;
+  bool stopping_ = false;
+  std::vector<std::thread> connections_;
+  std::vector<int> live_fds_;           ///< open conn fds, for interrupt
+  std::vector<double> latencies_s_;
+  std::size_t accepted_ = 0;
+  std::size_t requests_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t malformed_ = 0;
+};
+
+}  // namespace fabp::net

@@ -1,0 +1,91 @@
+#pragma once
+// Wire protocol of the fabp TCP front-end (DESIGN.md §4e).
+//
+// Framing: every message is a little-endian u32 payload length followed by
+// that many payload bytes; payload byte 0 is the MessageType, byte 1 the
+// protocol version.  Frames above kMaxFrameBytes are rejected before any
+// allocation (a garbage length prefix must not OOM the server).
+//
+//   AlignRequest   = type | ver | id u64 | threshold u32 | len u32 | protein
+//   AlignResponse  = type | ver | id u64 | status u8 | server_seconds f64
+//                  | error string | hit list | reverse hit list
+//   StatsRequest   = type | ver
+//   StatsResponse  = type | ver | text string
+//
+// Strings are u32 length + bytes; hit lists are u32 count + (u64 position,
+// u32 score) pairs.  Encode/decode are pure byte-vector transforms with no
+// socket dependency, so the protocol is unit-testable without I/O; the
+// decoders bounds-check every read and fail soft (false + untouched
+// output) on truncated or alien payloads.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fabp/core/golden.hpp"
+
+namespace fabp::net {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Per-direction frame bounds.  Client->server frames carry queries and
+/// are tiny, so the server rejects anything above 1 MiB before
+/// allocating (a garbage length prefix must not OOM the server).
+/// Server->client frames carry hit lists, which scale with the
+/// reference (a permissive threshold over a multi-megabase reference
+/// yields millions of hits at 12 bytes each), so clients accept up to
+/// 256 MiB; the server refuses to emit anything larger with a typed
+/// error response instead of a half-written frame.
+inline constexpr std::uint32_t kMaxRequestFrameBytes = 1u << 20;
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+
+enum class MessageType : std::uint8_t {
+  AlignRequest = 1,
+  AlignResponse = 2,
+  StatsRequest = 3,
+  StatsResponse = 4,
+};
+
+struct AlignRequest {
+  std::uint64_t id = 0;          ///< echoed in the response
+  std::uint32_t threshold = 0;   ///< matching elements required
+  std::string protein;           ///< one-letter residue codes
+};
+
+struct AlignResponse {
+  std::uint64_t id = 0;
+  std::uint8_t status = 0;       ///< core::ErrorCode numeric value; 0 = ok
+  double server_seconds = 0.0;   ///< server-side latency (queue + scan)
+  std::string error;             ///< human-readable, when status != 0
+  std::vector<core::Hit> hits;
+  std::vector<core::Hit> reverse_hits;
+
+  bool ok() const noexcept { return status == 0; }
+};
+
+struct StatsResponse {
+  std::string text;  ///< the server's formatted stats dump
+};
+
+// --- encoding (payload only; frame() adds the length prefix) ------------
+
+std::string encode(const AlignRequest& message);
+std::string encode(const AlignResponse& message);
+std::string encode_stats_request();
+std::string encode(const StatsResponse& message);
+
+/// Length-prefixes a payload into a ready-to-send frame.
+std::string frame(std::string_view payload);
+
+// --- decoding ------------------------------------------------------------
+
+/// The message type of a payload (first byte), or 0 for an empty payload.
+MessageType peek_type(std::string_view payload) noexcept;
+
+/// Each decoder returns false (leaving `out` untouched) on a payload that
+/// is truncated, oversized, of the wrong type, or of an alien version.
+bool decode(std::string_view payload, AlignRequest& out);
+bool decode(std::string_view payload, AlignResponse& out);
+bool decode(std::string_view payload, StatsResponse& out);
+
+}  // namespace fabp::net

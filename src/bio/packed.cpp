@@ -1,5 +1,7 @@
 #include "fabp/bio/packed.hpp"
 
+#include <stdexcept>
+
 #include "fabp/util/bitops.hpp"
 
 namespace fabp::bio {
@@ -57,6 +59,28 @@ std::size_t PackedNucleotides::beat_elements(std::size_t beat) const noexcept {
   if (begin >= size_) return 0;
   const std::size_t remaining = size_ - begin;
   return remaining < kElementsPerBeat ? remaining : kElementsPerBeat;
+}
+
+PackedNucleotides PackedNucleotides::slice(std::size_t begin,
+                                           std::size_t count) const {
+  if (begin > size_ || count > size_ - begin)
+    throw std::out_of_range{"PackedNucleotides::slice: range exceeds size()"};
+  PackedNucleotides out;
+  out.size_ = count;
+  out.words_.assign(util::ceil_div(count, kElementsPerWord), 0);
+  const std::size_t first = begin / kElementsPerWord;
+  const unsigned shift = 2 * static_cast<unsigned>(begin % kElementsPerWord);
+  for (std::size_t w = 0; w < out.words_.size(); ++w) {
+    std::uint64_t word = words_[first + w] >> shift;
+    if (shift != 0 && first + w + 1 < words_.size())
+      word |= words_[first + w + 1] << (64 - shift);
+    out.words_[w] = word;
+  }
+  // Zero the tail so equal slices compare equal regardless of what
+  // neighboured them in the source store.
+  const unsigned tail = 2 * static_cast<unsigned>(count % kElementsPerWord);
+  if (tail != 0) out.words_.back() &= (std::uint64_t{1} << tail) - 1;
+  return out;
 }
 
 NucleotideSequence PackedNucleotides::unpack(SeqKind kind) const {

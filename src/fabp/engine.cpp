@@ -46,6 +46,9 @@ Error validate_engine_config(const EngineConfig& config) noexcept {
                    "engine.max_coalesce exceeds the device batch window "
                    "(device_batch.invocation_tasks * buffer_depth)"};
   }
+  if (Error error = validate_shard_config(config.shard);
+      error.code != ErrorCode::None)
+    return error;
   return validate_host_config(config.host);
 }
 
@@ -56,7 +59,16 @@ Engine::Engine(EngineConfig config)
   if (Error error = validate_engine_config(config_);
       error.code != ErrorCode::None)
     throw FaultError{std::move(error)};
-  backend_ = make_backend(config_.backend, config_.host, store_);
+  if (config_.shard.shard_count > 1) {
+    // Multi-card scale-out: the router presents N per-slice backends as
+    // one ScanBackend, so every path below this point stays unchanged.
+    auto sharded = make_sharded_backend(config_.backend, config_.host, store_,
+                                        config_.shard);
+    sharded_ = sharded.get();
+    backend_ = std::move(sharded);
+  } else {
+    backend_ = make_backend(config_.backend, config_.host, store_);
+  }
 }
 
 Engine::~Engine() {

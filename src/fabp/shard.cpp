@@ -1,0 +1,592 @@
+#include "fabp/core/shard.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "fabp/util/timer.hpp"
+
+namespace fabp::core {
+
+namespace {
+
+// Per-card fault streams must be independent: the same seed on every card
+// would replay identical fault schedules in lockstep across the fleet.
+constexpr std::uint64_t kShardSeedStride = 0x9e3779b97f4a7c15ull;
+
+// Position of the first hit at or past `position` in a sorted hit list.
+std::vector<Hit>::const_iterator hit_lower_bound(const std::vector<Hit>& hits,
+                                                 std::size_t position) {
+  return std::lower_bound(
+      hits.begin(), hits.end(), position,
+      [](const Hit& hit, std::size_t value) { return hit.position < value; });
+}
+
+}  // namespace
+
+Error validate_shard_config(const ShardConfig& config) noexcept {
+  if (config.shard_count == 0)
+    return Error{ErrorCode::InvalidConfig, "shard.shard_count must be positive"};
+  if (config.shard_count > 64)
+    return Error{ErrorCode::InvalidConfig, "shard.shard_count above 64 is absurd"};
+  if (config.max_query_elements == 0)
+    return Error{ErrorCode::InvalidConfig,
+                 "shard.max_query_elements must be positive"};
+  if (config.fault_only_shard != ShardConfig::kAllShards &&
+      config.fault_only_shard >= config.shard_count)
+    return Error{ErrorCode::InvalidConfig,
+                 "shard.fault_only_shard is not a shard index"};
+  return Error{};
+}
+
+// One modeled card: its DRAM slice, its primary backend, a software
+// fallback over the same slice, and a single-threaded admission queue (the
+// card's command queue).  The queue fields are guarded by `mutex`; every
+// other field is touched only by the router with the engine's execution
+// lock held (the backend thread-safety contract), or by the worker while
+// the router is blocked on the job's future.
+struct ShardedBackend::Shard {
+  std::size_t index = 0;
+  std::size_t owned_begin = 0;  // global window-start ownership [begin, end)
+  std::size_t owned_end = 0;
+
+  HostConfig config;     // per-card fault stream / chaos gating
+  ReferenceStore store;  // this card's DRAM slice (owned range + halo)
+  std::unique_ptr<ScanBackend> primary;
+  std::unique_ptr<ScanBackend> fallback;  // software path over the same slice
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::packaged_task<void()>> jobs;
+  bool stopping = false;
+  std::size_t peak_queue_depth = 0;
+  std::thread worker;
+
+  // Router-side lifetime accounting.
+  bool routed_to_fallback = false;
+  std::size_t batches_executed = 0;
+  std::size_t fallback_batches = 0;
+  std::size_t fault_log_consumed = 0;
+  RecoveryStats recovery;
+
+  std::size_t owned_elements() const noexcept {
+    return owned_end - owned_begin;
+  }
+  std::size_t slice_elements() const noexcept { return store.forward.size(); }
+
+  std::future<void> enqueue(std::function<void()> fn) {
+    std::packaged_task<void()> task{std::move(fn)};
+    std::future<void> done = task.get_future();
+    {
+      std::lock_guard lock{mutex};
+      jobs.push_back(std::move(task));
+      peak_queue_depth = std::max(peak_queue_depth, jobs.size());
+    }
+    cv.notify_one();
+    return done;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::packaged_task<void()> job;
+      {
+        std::unique_lock lock{mutex};
+        cv.wait(lock, [this] { return stopping || !jobs.empty(); });
+        if (jobs.empty()) return;  // stopping, queue drained
+        job = std::move(jobs.front());
+        jobs.pop_front();
+      }
+      job();  // exceptions land in the future the router holds
+    }
+  }
+
+  /// The backend this batch routes to.  A Degraded primary sheds the slice
+  /// to the software fallback instead of stalling the queue on per-request
+  /// golden recoveries (or DeviceLost errors when fallback is disallowed).
+  ScanBackend* route(bool allow_fallback, bool& used_fallback) {
+    if (fallback && allow_fallback &&
+        primary->health() == HealthState::Degraded) {
+      used_fallback = true;
+      routed_to_fallback = true;
+      ++fallback_batches;
+      return fallback.get();
+    }
+    used_fallback = false;
+    return primary.get();
+  }
+};
+
+ShardedBackend::ShardedBackend(BackendKind kind, const HostConfig& config,
+                               const ReferenceStore& store,
+                               const ShardConfig& shard)
+    : kind_{kind}, config_{config}, store_{store}, shard_config_{shard} {
+  if (Error error = validate_shard_config(shard_config_);
+      error.code != ErrorCode::None)
+    throw FaultError{std::move(error)};
+  shards_.reserve(shard_config_.shard_count);
+  for (std::size_t s = 0; s < shard_config_.shard_count; ++s) {
+    auto sh = std::make_unique<Shard>();
+    sh->index = s;
+    sh->config = config_;
+    sh->config.fault.seed += kShardSeedStride * (s + 1);
+    if (shard_config_.fault_only_shard != ShardConfig::kAllShards &&
+        s != shard_config_.fault_only_shard) {
+      const std::uint64_t seed = sh->config.fault.seed;
+      sh->config.fault = hw::FaultConfig{};
+      sh->config.fault.seed = seed;
+    }
+    sh->primary = make_backend(kind_, sh->config, sh->store);
+    if (kind_ == BackendKind::HwSim)
+      sh->fallback = make_backend(software_backend_kind(sh->config.scan_path),
+                                  sh->config, sh->store);
+    shards_.push_back(std::move(sh));
+  }
+  reslice();
+  for (auto& sh : shards_)
+    sh->worker = std::thread{[shard_ptr = sh.get()] { shard_ptr->worker_loop(); }};
+}
+
+ShardedBackend::~ShardedBackend() {
+  for (auto& sh : shards_) {
+    {
+      std::lock_guard lock{sh->mutex};
+      sh->stopping = true;
+    }
+    sh->cv.notify_all();
+  }
+  for (auto& sh : shards_)
+    if (sh->worker.joinable()) sh->worker.join();
+}
+
+void ShardedBackend::reslice() {
+  const std::size_t total = store_.forward.size();
+  const std::size_t count = shards_.size();
+  const std::size_t halo = shard_config_.max_query_elements - 1;
+  for (auto& sp : shards_) {
+    Shard& sh = *sp;
+    // Natural ragged partition of window-start ownership: shard s owns
+    // [s*S/N, (s+1)*S/N); the resident slice extends `halo` elements past
+    // the owned range (clamped at the reference end) so every window
+    // starting in the owned range lies inside the slice.
+    sh.owned_begin = sh.index * total / count;
+    sh.owned_end = (sh.index + 1) * total / count;
+    if (store_.uploaded) {
+      const std::size_t slice_end = std::min(total, sh.owned_end + halo);
+      sh.store.upload(
+          store_.forward.slice(sh.owned_begin, slice_end - sh.owned_begin),
+          config_.search_both_strands);
+    } else {
+      sh.store = ReferenceStore{};
+    }
+    sh.primary->invalidate();
+    if (sh.fallback) sh.fallback->invalidate();
+  }
+}
+
+void ShardedBackend::invalidate() { reslice(); }
+
+std::size_t ShardedBackend::shard_count() const noexcept {
+  return shards_.size();
+}
+
+bool ShardedBackend::supports_precomputed_hits() const noexcept {
+  return shards_.front()->primary->supports_precomputed_hits();
+}
+
+HealthState ShardedBackend::health() const noexcept {
+  for (const auto& sh : shards_)
+    if (sh->primary->health() == HealthState::Degraded)
+      return HealthState::Degraded;
+  return HealthState::Healthy;
+}
+
+const std::vector<hw::FaultEvent>& ShardedBackend::fault_log()
+    const noexcept {
+  return merged_fault_log_;
+}
+
+void ShardedBackend::harvest_shard_stats(Shard& shard) {
+  const std::vector<hw::FaultEvent>& log = shard.primary->fault_log();
+  for (std::size_t i = shard.fault_log_consumed; i < log.size(); ++i)
+    merged_fault_log_.push_back(log[i]);
+  shard.fault_log_consumed = log.size();
+}
+
+Expected<BackendRun> ShardedBackend::run(const BackendRequest& request) {
+  std::vector<Expected<BackendRun>> out = run_many({&request, 1});
+  return std::move(out.front());
+}
+
+Expected<BackendRun> ShardedBackend::gather_request(
+    std::size_t request_index, std::size_t query_elements,
+    std::vector<std::vector<Expected<BackendRun>>>& per_shard) {
+  (void)query_elements;
+  // First shard error fails the request (the shards see identical request
+  // shapes, so the first error is the representative one).
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Expected<BackendRun>& result = per_shard[s][request_index];
+    if (!result) return result.error();
+  }
+  BackendRun out;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    const BackendRun& part = per_shard[s][request_index].value();
+    const std::size_t owned = sh.owned_elements();
+    // Ownership filter + rebase: keep hits whose window starts in the
+    // owned range (slice-local position < owned), lift them to global
+    // coordinates.  Halo hits are each owned by the next shard — dropping
+    // them here is the dedup.  Ascending-shard concatenation of sorted
+    // owned sub-lists reproduces the unsharded position order exactly; the
+    // reverse list is already mapped to slice-local *forward* coordinates
+    // by each shard's backend, so the same rule applies verbatim.
+    for (auto it = part.hits.begin(), end = hit_lower_bound(part.hits, owned);
+         it != end; ++it)
+      out.hits.push_back(Hit{it->position + sh.owned_begin, it->score});
+    for (auto it = part.reverse_hits.begin(),
+              end = hit_lower_bound(part.reverse_hits, owned);
+         it != end; ++it)
+      out.reverse_hits.push_back(Hit{it->position + sh.owned_begin, it->score});
+    // The cards run in parallel: makespan accounting is max over cards,
+    // energy is summed.
+    out.cycles = std::max(out.cycles, part.cycles);
+    out.kernel_seconds = std::max(out.kernel_seconds, part.kernel_seconds);
+    out.watts += part.watts;
+    if (s == 0) out.mapping = part.mapping;
+    out.recovery.merge(part.recovery);
+    sh.recovery.merge(part.recovery);
+  }
+  return out;
+}
+
+std::vector<Expected<BackendRun>> ShardedBackend::run_many(
+    std::span<const BackendRequest> requests) {
+  std::vector<Expected<BackendRun>> out;
+  out.reserve(requests.size());
+  if (requests.empty()) return out;
+  if (!store_.uploaded) {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      out.push_back(Error{ErrorCode::NoReference,
+                          "Session: no reference uploaded"});
+    return out;
+  }
+
+  util::Timer scatter_timer;
+  const std::size_t total = store_.forward.size();
+
+  // Admission check: a query longer than the halo supports would lose
+  // boundary hits silently — fail it typed without touching any card.
+  std::vector<std::size_t> routed;  // original indices that fan out
+  routed.reserve(requests.size());
+  std::vector<bool> oversized(requests.size(), false);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].query->size() > shard_config_.max_query_elements)
+      oversized[i] = true;
+    else
+      routed.push_back(i);
+  }
+
+  // Scatter: one request list per shard, precomputed hit lists narrowed to
+  // each slice (exactly what that shard's own scan would produce, so the
+  // precompute contract holds card-locally).
+  struct ShardBatch {
+    std::vector<std::vector<Hit>> forward_arena;
+    std::vector<std::vector<Hit>> reverse_arena;
+    std::vector<BackendRequest> requests;
+  };
+  std::vector<ShardBatch> batches(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    ShardBatch& batch = batches[s];
+    const std::size_t slice_begin = sh.owned_begin;
+    const std::size_t slice_end = slice_begin + sh.slice_elements();
+    batch.forward_arena.resize(routed.size());
+    batch.reverse_arena.resize(routed.size());
+    batch.requests.reserve(routed.size());
+    for (std::size_t j = 0; j < routed.size(); ++j) {
+      const BackendRequest& original = requests[routed[j]];
+      const std::size_t lq = original.query->size();
+      BackendRequest local;
+      local.query = original.query;
+      local.threshold = original.threshold;
+      local.pool = original.pool;
+      if (original.forward_hits != nullptr) {
+        // Slice-local forward list: global positions in [begin, end - lq],
+        // rebased by -begin.  (Positions past end - lq cannot start a
+        // window inside the slice and never appear slice-locally.)
+        const std::vector<Hit>& global = *original.forward_hits;
+        std::vector<Hit>& local_hits = batch.forward_arena[j];
+        const std::size_t last =
+            slice_end - slice_begin >= lq ? slice_end - lq + 1 : slice_begin;
+        for (auto it = hit_lower_bound(global, slice_begin),
+                  end = hit_lower_bound(global, last);
+             it != end; ++it)
+          local_hits.push_back(Hit{it->position - slice_begin, it->score});
+        local.forward_hits = &local_hits;
+      }
+      if (original.reverse_hits != nullptr) {
+        // Raw RC coordinates: the global raw position q maps to forward
+        // start f = S - lq - q; the slice sees windows with f in
+        // [begin, end - lq], i.e. q in [S - end, S - lq - begin], shifted
+        // by -(S - end) into the slice's own RC frame.  The global list is
+        // ascending in q, so the kept subrange stays ascending locally.
+        const std::vector<Hit>& global = *original.reverse_hits;
+        std::vector<Hit>& local_hits = batch.reverse_arena[j];
+        if (slice_end - slice_begin >= lq && total >= slice_end) {
+          const std::size_t shift = total - slice_end;
+          const std::size_t hi = total - lq - slice_begin;  // inclusive
+          for (auto it = hit_lower_bound(global, shift),
+                    end = hit_lower_bound(global, hi + 1);
+               it != end; ++it)
+            local_hits.push_back(Hit{it->position - shift, it->score});
+        }
+        local.reverse_hits = &local_hits;
+      }
+      batch.requests.push_back(local);
+    }
+  }
+  scatter_s_ += scatter_timer.seconds();
+
+  // Fan out: ONE run_many per shard through its admission queue — the
+  // hw-sim cards each pack the whole batch into device invocations over
+  // their own slice.  Wait for every card before surfacing any failure.
+  std::vector<std::vector<Expected<BackendRun>>> shard_results(shards_.size());
+  if (!routed.empty()) {
+    std::vector<std::future<void>> done;
+    done.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& sh = *shards_[s];
+      ++sh.batches_executed;
+      bool used_fallback = false;
+      ScanBackend* target =
+          sh.route(config_.recovery.allow_software_fallback, used_fallback);
+      const bool both_strands = config_.search_both_strands;
+      done.push_back(sh.enqueue([target, used_fallback, both_strands,
+                                 &batch = batches[s],
+                                 &results = shard_results[s]] {
+        results = target->run_many(batch.requests);
+        if (used_fallback) {
+          // Keep the degraded-path accounting the primary would have
+          // produced: these strand runs were served in software.
+          for (Expected<BackendRun>& result : results) {
+            if (!result) continue;
+            result->recovery.fallbacks += both_strands ? 2 : 1;
+            result->recovery.degraded = true;
+          }
+        }
+      }));
+    }
+    std::exception_ptr first_failure;
+    for (std::future<void>& future : done) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  util::Timer gather_timer;
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (oversized[i]) {
+      out.push_back(Error{
+          ErrorCode::BadArgument,
+          "query exceeds shard.max_query_elements (halo too small for it)"});
+      continue;
+    }
+    out.push_back(gather_request(j++, requests[i].query->size(),
+                                 shard_results));
+  }
+  for (auto& sh : shards_) harvest_shard_stats(*sh);
+  gather_s_ += gather_timer.seconds();
+  return out;
+}
+
+std::vector<std::vector<Hit>> ShardedBackend::scan_batch(
+    std::span<const CompiledQueryPtr> queries,
+    std::span<const std::uint32_t> thresholds, bool reverse_strand,
+    util::ThreadPool* pool) {
+  std::vector<std::vector<Hit>> out(queries.size());
+  if (queries.empty() || !store_.uploaded) return out;
+  for (const CompiledQueryPtr& query : queries)
+    if (query->size() > shard_config_.max_query_elements)
+      throw std::invalid_argument{
+          "ShardedBackend::scan_batch: query exceeds shard.max_query_elements"};
+
+  // Fan out: one scan_batch per shard through its admission queue.
+  std::vector<std::vector<std::vector<Hit>>> shard_hits(shards_.size());
+  {
+    std::vector<std::future<void>> done;
+    done.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& sh = *shards_[s];
+      ++sh.batches_executed;
+      bool used_fallback = false;
+      ScanBackend* target =
+          sh.route(config_.recovery.allow_software_fallback, used_fallback);
+      done.push_back(sh.enqueue(
+          [target, queries, thresholds, reverse_strand, pool,
+           &results = shard_hits[s]] {
+            results = target->scan_batch(queries, thresholds, reverse_strand,
+                                         pool);
+          }));
+    }
+    std::exception_ptr first_failure;
+    for (std::future<void>& future : done) {
+      try {
+        future.get();
+      } catch (...) {
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    }
+    if (first_failure) std::rethrow_exception(first_failure);
+  }
+
+  util::Timer gather_timer;
+  const std::size_t total = store_.forward.size();
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const std::size_t lq = queries[q]->size();
+    std::vector<Hit>& merged = out[q];
+    if (!reverse_strand) {
+      // Ascending shards, owned-range filter, +owned_begin rebase: the
+      // unsharded forward list in position order.
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        Shard& sh = *shards_[s];
+        const std::vector<Hit>& local = shard_hits[s][q];
+        for (auto it = local.begin(),
+                  end = hit_lower_bound(local, sh.owned_elements());
+             it != end; ++it)
+          merged.push_back(Hit{it->position + sh.owned_begin, it->score});
+      }
+    } else {
+      // Raw RC coordinates ascend as forward coordinates *descend*, so the
+      // globally sorted raw list is the descending-shard concatenation.
+      // Slice-local raw j maps to local forward start L - lq - j; it is
+      // owned iff that is < owned, i.e. j >= L - lq - owned + 1; the
+      // global raw coordinate is j + (S - slice_end).
+      for (std::size_t s = shards_.size(); s-- > 0;) {
+        Shard& sh = *shards_[s];
+        const std::vector<Hit>& local = shard_hits[s][q];
+        const std::size_t slice = sh.slice_elements();
+        if (slice < lq) continue;
+        const std::size_t owned = sh.owned_elements();
+        const std::size_t lo =
+            slice - lq + 1 > owned ? slice - lq + 1 - owned : 0;
+        const std::size_t shift = total - (sh.owned_begin + slice);
+        for (auto it = hit_lower_bound(local, lo); it != local.end(); ++it)
+          merged.push_back(Hit{it->position + shift, it->score});
+      }
+    }
+  }
+  gather_s_ += gather_timer.seconds();
+  return out;
+}
+
+std::vector<Hit> ShardedBackend::scan_one(const CompiledQuery& query,
+                                          std::uint32_t threshold,
+                                          util::ThreadPool* pool) {
+  if (query.size() > shard_config_.max_query_elements)
+    throw std::invalid_argument{
+        "ShardedBackend::scan_one: query exceeds shard.max_query_elements"};
+  std::vector<std::vector<Hit>> shard_hits(shards_.size());
+  std::vector<std::future<void>> done;
+  done.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    bool used_fallback = false;
+    ScanBackend* target =
+        sh.route(config_.recovery.allow_software_fallback, used_fallback);
+    done.push_back(
+        sh.enqueue([target, &query, threshold, pool, &results = shard_hits[s]] {
+          results = target->scan_one(query, threshold, pool);
+        }));
+  }
+  std::exception_ptr first_failure;
+  for (std::future<void>& future : done) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_failure) first_failure = std::current_exception();
+    }
+  }
+  if (first_failure) std::rethrow_exception(first_failure);
+
+  std::vector<Hit> merged;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    const std::vector<Hit>& local = shard_hits[s];
+    for (auto it = local.begin(),
+              end = hit_lower_bound(local, sh.owned_elements());
+         it != end; ++it)
+      merged.push_back(Hit{it->position + sh.owned_begin, it->score});
+  }
+  return merged;
+}
+
+DevicePipelineStats ShardedBackend::pipeline_stats() const noexcept {
+  DevicePipelineStats out;
+  for (const auto& sh : shards_) {
+    const DevicePipelineStats part = sh->primary->pipeline_stats();
+    out.invocations += part.invocations;
+    // Every routed request reaches every card: "tasks served by the
+    // fleet" is the busiest card's count, not the N-fold sum — so
+    // modeled_qps() stays requests/second, not shard-requests/second.
+    out.tasks = std::max(out.tasks, part.tasks);
+    out.retried_invocations += part.retried_invocations;
+    out.pe_count += part.pe_count;
+    out.buffer_depth = std::max(out.buffer_depth, part.buffer_depth);
+    out.largest_invocation =
+        std::max(out.largest_invocation, part.largest_invocation);
+    // The cards transfer and compute in parallel: busy totals sum, the
+    // system makespan is the slowest card's, and the serial baseline is
+    // the one-card sum (what a single buffer-depth-1 card would take).
+    out.transfer_s += part.transfer_s;
+    out.compute_s = std::max(out.compute_s, part.compute_s);
+    out.serial_s += part.serial_s;
+    out.pipelined_s = std::max(out.pipelined_s, part.pipelined_s);
+    out.pe_busy_s += part.pe_busy_s;
+  }
+  return out;
+}
+
+std::vector<ShardStatus> ShardedBackend::shard_status() const {
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardStatus status;
+    status.index = sh->index;
+    status.owned_begin = sh->owned_begin;
+    status.owned_end = sh->owned_end;
+    status.slice_elements = sh->slice_elements();
+    status.health = sh->primary->health();
+    status.routed_to_fallback = sh->routed_to_fallback;
+    {
+      std::lock_guard lock{sh->mutex};
+      status.queue_depth = sh->jobs.size();
+      status.peak_queue_depth = sh->peak_queue_depth;
+    }
+    status.batches_executed = sh->batches_executed;
+    status.fallback_batches = sh->fallback_batches;
+    status.fault_events = sh->primary->fault_log().size();
+    status.recovery = sh->recovery;
+    status.pipeline = sh->primary->pipeline_stats();
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::unique_ptr<ShardedBackend> make_sharded_backend(
+    BackendKind kind, const HostConfig& config, const ReferenceStore& store,
+    const ShardConfig& shard) {
+  return std::make_unique<ShardedBackend>(kind, config, store, shard);
+}
+
+}  // namespace fabp::core

@@ -1,0 +1,141 @@
+#include "fabp/net/loadgen.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/net/server.hpp"
+#include "fabp/util/rng.hpp"
+#include "fabp/util/stats.hpp"
+
+namespace fabp::net {
+namespace {
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!sock.valid()) throw std::runtime_error{"socket() failed"};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error{"bad host address: " + host};
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0)
+    throw std::runtime_error{"connect() failed to " + host + ":" +
+                             std::to_string(port)};
+  return sock;
+}
+
+struct ClientTally {
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  std::size_t errors = 0;
+  std::size_t transport_failures = 0;
+  std::size_t total_hits = 0;
+  std::vector<double> latencies_s;
+};
+
+}  // namespace
+
+LoadgenReport run_loadgen(const LoadgenConfig& config) {
+  const std::size_t clients = std::max<std::size_t>(1, config.clients);
+
+  // Pre-generate every query so client threads only do I/O; queries are
+  // deterministic in the seed for reproducible benchmark runs.
+  std::vector<std::string> proteins;
+  proteins.reserve(config.requests);
+  util::Xoshiro256 rng{config.seed};
+  for (std::size_t i = 0; i < config.requests; ++i)
+    proteins.push_back(
+        bio::random_protein(config.query_residues, rng).to_string());
+  const auto threshold = static_cast<std::uint32_t>(
+      static_cast<double>(3 * config.query_residues) *
+      config.threshold_fraction);
+
+  // Probe connection first so a dead server is a typed failure, not N
+  // threads' worth of identical errors.
+  connect_to(config.host, config.port);
+
+  std::vector<ClientTally> tallies(clients);
+  std::atomic<std::size_t> next{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientTally& tally = tallies[c];
+        Socket conn;
+        try {
+          conn = connect_to(config.host, config.port);
+        } catch (const std::exception&) {
+          ++tally.transport_failures;
+          return;
+        }
+        std::string payload;
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= proteins.size()) break;
+          AlignRequest request;
+          request.id = i;
+          request.threshold = threshold;
+          request.protein = proteins[i];
+          ++tally.sent;
+          const auto start = std::chrono::steady_clock::now();
+          AlignResponse response;
+          if (!write_frame(conn.fd(), encode(request)) ||
+              !read_frame(conn.fd(), payload) ||
+              !decode(payload, response) || response.id != request.id) {
+            ++tally.transport_failures;
+            return;  // connection is unusable past a framing error
+          }
+          tally.latencies_s.push_back(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          if (response.ok()) {
+            ++tally.completed;
+            tally.total_hits +=
+                response.hits.size() + response.reverse_hits.size();
+          } else {
+            ++tally.errors;
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  LoadgenReport report;
+  report.wall_s = wall_s;
+  std::vector<double> latencies;
+  for (const ClientTally& tally : tallies) {
+    report.sent += tally.sent;
+    report.completed += tally.completed;
+    report.errors += tally.errors;
+    report.transport_failures += tally.transport_failures;
+    report.total_hits += tally.total_hits;
+    latencies.insert(latencies.end(), tally.latencies_s.begin(),
+                     tally.latencies_s.end());
+  }
+  if (wall_s > 0.0)
+    report.qps = static_cast<double>(report.completed) / wall_s;
+  if (!latencies.empty()) {
+    report.p50_ms = 1e3 * util::percentile(latencies, 50.0);
+    report.p99_ms = 1e3 * util::percentile(latencies, 99.0);
+  }
+  return report;
+}
+
+}  // namespace fabp::net

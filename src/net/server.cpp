@@ -1,0 +1,253 @@
+#include "fabp/net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "fabp/util/stats.hpp"
+
+namespace fabp::net {
+namespace {
+
+bool read_exact(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n <= 0) return false;  // EOF or error (EINTR is not expected:
+                               // signals are routed to a sigwait thread)
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::interrupt() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  char prefix[4];
+  if (!read_exact(fd, prefix, sizeof prefix)) return false;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(prefix[i]))
+              << (8 * i);
+  if (length > max_bytes) return false;
+  payload.resize(length);
+  return length == 0 || read_exact(fd, payload.data(), length);
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  const std::string framed = frame(payload);
+  return write_exact(fd, framed.data(), framed.size());
+}
+
+WireServer::WireServer(core::Engine& engine, ServerConfig config,
+                       std::function<std::string()> stats_text)
+    : engine_{engine},
+      config_{std::move(config)},
+      stats_text_{std::move(stats_text)} {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!sock.valid()) throw std::runtime_error{"socket() failed"};
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error{"bad bind address: " + config_.bind_address};
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    throw std::runtime_error{"bind() failed on " + config_.bind_address};
+  if (::listen(sock.fd(), 64) != 0)
+    throw std::runtime_error{"listen() failed"};
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0)
+    throw std::runtime_error{"getsockname() failed"};
+  port_ = ntohs(bound.sin_port);
+  listener_ = std::move(sock);
+}
+
+WireServer::~WireServer() { shutdown(); }
+
+void WireServer::serve() {
+  for (;;) {
+    Socket conn{::accept(listener_.fd(), nullptr, nullptr)};
+    {
+      std::lock_guard lock{mutex_};
+      if (stopping_) break;  // shutdown() interrupted the accept
+      if (!conn.valid()) continue;
+      ++accepted_;
+      live_fds_.push_back(conn.fd());
+      connections_.emplace_back(
+          [this, c = std::make_shared<Socket>(std::move(conn))]() mutable {
+            handle_connection(std::move(*c));
+          });
+    }
+  }
+}
+
+void WireServer::shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard lock{mutex_};
+    if (stopping_) return;
+    stopping_ = true;
+    listener_.interrupt();
+    // Wake every connection thread parked in recv; their reads fail and
+    // the threads run to completion (responses in flight are sent first
+    // on the write half-closing only after send returns).
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RD);
+    to_join.swap(connections_);
+  }
+  for (std::thread& t : to_join)
+    if (t.joinable()) t.join();
+  // The listener fd stays open (but shutdown) until destruction: closing
+  // it here could race a serve() thread still parked in accept() with a
+  // reused fd number.
+}
+
+ServerMetrics WireServer::metrics() const {
+  std::lock_guard lock{mutex_};
+  ServerMetrics m;
+  m.connections = accepted_;
+  m.requests = requests_;
+  m.errors = errors_;
+  m.malformed = malformed_;
+  if (!latencies_s_.empty()) {
+    m.p50_ms = 1e3 * util::percentile(latencies_s_, 50.0);
+    m.p99_ms = 1e3 * util::percentile(latencies_s_, 99.0);
+    m.max_ms =
+        1e3 * *std::max_element(latencies_s_.begin(), latencies_s_.end());
+  }
+  return m;
+}
+
+void WireServer::record_latency(double seconds) {
+  std::lock_guard lock{mutex_};
+  latencies_s_.push_back(seconds);
+}
+
+void WireServer::handle_connection(Socket conn) {
+  std::string payload;
+  while (read_frame(conn.fd(), payload, kMaxRequestFrameBytes)) {
+    switch (peek_type(payload)) {
+      case MessageType::AlignRequest: {
+        AlignRequest request;
+        AlignResponse response;
+        if (!decode(payload, request)) {
+          std::lock_guard lock{mutex_};
+          ++malformed_;
+          // Unparseable align frame: answer with BadArgument rather than
+          // hanging the client, then keep the connection.
+          response.status =
+              static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+          response.error = "malformed align request";
+          if (!write_frame(conn.fd(), encode(response))) goto done;
+          break;
+        }
+        response.id = request.id;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+          const auto protein = bio::ProteinSequence::parse(request.protein);
+          // Route through submit() so concurrent connections coalesce
+          // into shared scans like in-process engine callers.
+          auto outcome =
+              engine_.submit(protein, request.threshold).wait();
+          if (outcome.has_value()) {
+            response.hits = std::move(outcome.value().hits);
+            response.reverse_hits = std::move(outcome.value().reverse_hits);
+          } else {
+            response.status =
+                static_cast<std::uint8_t>(outcome.error().code);
+            response.error = outcome.error().message;
+          }
+        } catch (const std::exception& e) {
+          response.status =
+              static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+          response.error = e.what();
+        }
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        response.server_seconds = seconds;
+        record_latency(seconds);
+        std::string encoded = encode(response);
+        if (encoded.size() > kMaxFrameBytes) {
+          // The wire contract forbids emitting this; answer with the
+          // typed error instead of a frame the client must reject.
+          response.hits.clear();
+          response.reverse_hits.clear();
+          response.status =
+              static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+          response.error = "hit list exceeds the response frame limit";
+          encoded = encode(response);
+        }
+        {
+          std::lock_guard lock{mutex_};
+          ++requests_;
+          if (response.status != 0) ++errors_;
+        }
+        if (!write_frame(conn.fd(), encoded)) goto done;
+        break;
+      }
+      case MessageType::StatsRequest: {
+        StatsResponse stats;
+        stats.text = stats_text_ ? stats_text_() : std::string{};
+        if (!write_frame(conn.fd(), encode(stats))) goto done;
+        break;
+      }
+      default: {
+        std::lock_guard lock{mutex_};
+        ++malformed_;
+        goto done;  // alien frame: drop the connection
+      }
+    }
+  }
+done:
+  std::lock_guard lock{mutex_};
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), conn.fd()),
+                  live_fds_.end());
+}
+
+}  // namespace fabp::net

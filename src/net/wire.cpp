@@ -1,0 +1,227 @@
+#include "fabp/net/wire.hpp"
+
+#include <cstring>
+
+namespace fabp::net {
+namespace {
+
+// Little-endian append/read helpers.  memcpy keeps them alignment-safe;
+// the reader tracks a cursor and fails soft past the end.
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void put_hits(std::string& out, const std::vector<core::Hit>& hits) {
+  put_u32(out, static_cast<std::uint32_t>(hits.size()));
+  for (const core::Hit& h : hits) {
+    put_u64(out, h.position);
+    put_u32(out, h.score);
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_{data} {}
+
+  bool u8(std::uint8_t& v) {
+    if (data_.size() - pos_ < 1) return fail();
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (data_.size() - pos_ < 4) return fail();
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    if (data_.size() - pos_ < 8) return fail();
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+
+  bool string(std::string& v) {
+    std::uint32_t n = 0;
+    if (!u32(n) || data_.size() - pos_ < n) return fail();
+    v.assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  bool hits(std::vector<core::Hit>& v) {
+    std::uint32_t n = 0;
+    if (!u32(n)) return false;
+    // 12 bytes per entry; a lying count must not reserve gigabytes.
+    if (data_.size() - pos_ < std::size_t{n} * 12) return fail();
+    v.clear();
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      core::Hit h;
+      std::uint64_t pos = 0;
+      if (!u64(pos) || !u32(h.score)) return false;
+      h.position = static_cast<std::size_t>(pos);
+      v.push_back(h);
+    }
+    return true;
+  }
+
+  /// A well-formed payload is consumed exactly; trailing garbage is a
+  /// framing bug worth rejecting.
+  bool exhausted() const noexcept { return ok_ && pos_ == data_.size(); }
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  bool fail() noexcept {
+    ok_ = false;
+    return false;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool read_header(Reader& r, MessageType expected) {
+  std::uint8_t type = 0;
+  std::uint8_t version = 0;
+  return r.u8(type) && r.u8(version) &&
+         type == static_cast<std::uint8_t>(expected) &&
+         version == kProtocolVersion;
+}
+
+void put_header(std::string& out, MessageType type) {
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u8(out, kProtocolVersion);
+}
+
+}  // namespace
+
+std::string encode(const AlignRequest& message) {
+  std::string out;
+  out.reserve(2 + 8 + 4 + 4 + message.protein.size());
+  put_header(out, MessageType::AlignRequest);
+  put_u64(out, message.id);
+  put_u32(out, message.threshold);
+  put_string(out, message.protein);
+  return out;
+}
+
+std::string encode(const AlignResponse& message) {
+  std::string out;
+  out.reserve(2 + 8 + 1 + 8 + 4 + message.error.size() +
+              12 * (message.hits.size() + message.reverse_hits.size()) + 8);
+  put_header(out, MessageType::AlignResponse);
+  put_u64(out, message.id);
+  put_u8(out, message.status);
+  put_f64(out, message.server_seconds);
+  put_string(out, message.error);
+  put_hits(out, message.hits);
+  put_hits(out, message.reverse_hits);
+  return out;
+}
+
+std::string encode_stats_request() {
+  std::string out;
+  put_header(out, MessageType::StatsRequest);
+  return out;
+}
+
+std::string encode(const StatsResponse& message) {
+  std::string out;
+  out.reserve(2 + 4 + message.text.size());
+  put_header(out, MessageType::StatsResponse);
+  put_string(out, message.text);
+  return out;
+}
+
+std::string frame(std::string_view payload) {
+  std::string out;
+  out.reserve(4 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+MessageType peek_type(std::string_view payload) noexcept {
+  return payload.empty()
+             ? static_cast<MessageType>(0)
+             : static_cast<MessageType>(
+                   static_cast<std::uint8_t>(payload.front()));
+}
+
+bool decode(std::string_view payload, AlignRequest& out) {
+  if (payload.size() > kMaxRequestFrameBytes) return false;
+  Reader r{payload};
+  AlignRequest m;
+  if (!read_header(r, MessageType::AlignRequest) || !r.u64(m.id) ||
+      !r.u32(m.threshold) || !r.string(m.protein) || !r.exhausted())
+    return false;
+  out = std::move(m);
+  return true;
+}
+
+bool decode(std::string_view payload, AlignResponse& out) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  Reader r{payload};
+  AlignResponse m;
+  if (!read_header(r, MessageType::AlignResponse) || !r.u64(m.id) ||
+      !r.u8(m.status) || !r.f64(m.server_seconds) || !r.string(m.error) ||
+      !r.hits(m.hits) || !r.hits(m.reverse_hits) || !r.exhausted())
+    return false;
+  out = std::move(m);
+  return true;
+}
+
+bool decode(std::string_view payload, StatsResponse& out) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  Reader r{payload};
+  StatsResponse m;
+  if (!read_header(r, MessageType::StatsResponse) || !r.string(m.text) ||
+      !r.exhausted())
+    return false;
+  out = std::move(m);
+  return true;
+}
+
+}  // namespace fabp::net

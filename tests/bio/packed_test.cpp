@@ -96,6 +96,30 @@ TEST(Packed, PaddingDecodesAsA) {
   EXPECT_EQ((words[0] >> 4) & 3, 0u);
 }
 
+TEST(Packed, SliceMatchesElementwiseExtraction) {
+  util::Xoshiro256 rng{11};
+  const NucleotideSequence seq = random_dna(517, rng);
+  const PackedNucleotides p{seq};
+  // Word-aligned, cross-word-shifted, word-straddling, whole, and empty
+  // ranges — a slice must be byte-identical to packing the sub-sequence.
+  const std::size_t cases[][2] = {{0, 517},  {0, 64},   {32, 64}, {33, 64},
+                                  {63, 2},   {100, 0},  {1, 516}, {511, 6},
+                                  {129, 31}, {256, 261}};
+  for (const auto& [begin, count] : cases) {
+    const PackedNucleotides sliced = p.slice(begin, count);
+    ASSERT_EQ(sliced.size(), count);
+    for (std::size_t i = 0; i < count; ++i)
+      EXPECT_EQ(sliced.get(i), seq[begin + i]) << begin << "+" << i;
+    // Trailing bits zeroed: equal content compares equal regardless of
+    // source neighbourhood.
+    std::vector<Nucleotide> sub{seq.bases().begin() + begin,
+                                seq.bases().begin() + begin + count};
+    EXPECT_EQ(sliced, PackedNucleotides{std::span<const Nucleotide>{sub}});
+  }
+  EXPECT_THROW(p.slice(510, 10), std::out_of_range);
+  EXPECT_THROW(p.slice(518, 0), std::out_of_range);
+}
+
 TEST(Packed, ConstantsAreConsistent) {
   EXPECT_EQ(kElementsPerWord, 32u);
   EXPECT_EQ(kElementsPerBeat, 256u);

@@ -1,0 +1,507 @@
+// Shard router differential suite (DESIGN.md §4e): the sharded backend
+// must be hit-for-hit identical to the unsharded backend for every shard
+// count, backend kind and strand — with exact-match windows planted
+// *straddling every shard boundary* so the halo/rebase math is actually
+// exercised, not just the easy interior.  Plus fault isolation: one bad
+// card must not perturb its peers, and a degraded card's slice falls back
+// to software with correct global offsets.
+
+#include "fabp/core/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "fabp/bio/codon.hpp"
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/engine.hpp"
+
+namespace fabp::core {
+namespace {
+
+using bio::NucleotideSequence;
+using bio::ProteinSequence;
+
+// One concrete DNA realization of the query: the first codon of every
+// residue.  By the back-translation wildcard construction every position's
+// element class contains this base, so the planted window scores the full
+// 3 x residues elements.
+std::vector<bio::Nucleotide> realization(const ProteinSequence& query) {
+  std::vector<bio::Nucleotide> bases;
+  bases.reserve(query.size() * 3);
+  for (const bio::AminoAcid aa : query) {
+    const bio::Codon codon = bio::codons_for(aa)[0];
+    bases.push_back(codon.first);
+    bases.push_back(codon.second);
+    bases.push_back(codon.third);
+  }
+  return bases;
+}
+
+void plant(NucleotideSequence& ref, const std::vector<bio::Nucleotide>& dna,
+           std::size_t position) {
+  for (std::size_t i = 0; i < dna.size(); ++i)
+    ref.bases()[position + i] = dna[i];
+}
+
+void plant_reverse(NucleotideSequence& ref,
+                   const std::vector<bio::Nucleotide>& dna,
+                   std::size_t position) {
+  // Writing RC(dna) at forward position p puts `dna` on the RC strand with
+  // mapped forward window coordinate exactly p.
+  const NucleotideSequence rc =
+      NucleotideSequence{bio::SeqKind::Dna, dna}.reverse_complement();
+  for (std::size_t i = 0; i < rc.size(); ++i)
+    ref.bases()[position + i] = rc[i];
+}
+
+// A reference with exact-match windows planted around every boundary of an
+// N-shard partition: windows starting just before a boundary (straddling
+// into the next shard's slice via the halo), exactly at it, and mid-window
+// across it — plus the very first and very last window of the reference.
+// Returns the forward planted positions that survived overlap dropping.
+std::vector<std::size_t> plant_boundaries(NucleotideSequence& ref,
+                                          const ProteinSequence& query,
+                                          std::size_t shard_count) {
+  const std::vector<bio::Nucleotide> dna = realization(query);
+  const std::size_t window = dna.size();
+  const std::size_t total = ref.size();
+  std::vector<std::size_t> wanted{0, total - window};
+  for (std::size_t s = 1; s < shard_count; ++s) {
+    const std::size_t boundary = s * total / shard_count;
+    if (boundary >= window) wanted.push_back(boundary - 1);
+    if (boundary >= window / 2) wanted.push_back(boundary - window / 2);
+    if (boundary + window <= total) wanted.push_back(boundary);
+  }
+  std::sort(wanted.begin(), wanted.end());
+  std::vector<std::size_t> planted;
+  for (const std::size_t position : wanted) {
+    if (!planted.empty() && position < planted.back() + window)
+      continue;  // overlapping plantings would clobber each other
+    plant(ref, dna, position);
+    planted.push_back(position);
+  }
+  return planted;
+}
+
+std::uint32_t exactish_threshold(const ProteinSequence& query) {
+  // 90% of elements: planted exact windows (full score) always clear it,
+  // random background rarely does — both engines see the same reference,
+  // so equality is exact either way.
+  return static_cast<std::uint32_t>(query.size() * 3 * 9 / 10);
+}
+
+EngineConfig sharded_config(BackendKind kind, std::size_t shard_count) {
+  EngineConfig config;
+  config.backend = kind;
+  config.host.search_both_strands = true;
+  config.shard.shard_count = shard_count;
+  config.shard.max_query_elements = 64;  // small halo: boundaries matter
+  return config;
+}
+
+// --- halo/rebase differential -------------------------------------------
+
+TEST(Shard, BoundaryStraddlingAllBackendsAllCounts) {
+  util::Xoshiro256 rng{4242};
+  const ProteinSequence query = bio::random_protein(10, rng);  // 30 elements
+  const ProteinSequence other = bio::random_protein(7, rng);
+
+  for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{3}, std::size_t{8}}) {
+    // 6007 elements: every shard slice is ragged, the last one short.
+    NucleotideSequence ref = bio::random_dna(6007, rng);
+    const std::vector<std::size_t> planted =
+        plant_boundaries(ref, query, shard_count);
+    // Reverse-strand boundary coverage: an RC window straddling the middle
+    // boundary (away from the forward plantings).
+    const std::size_t rc_position = 6007 / 2 + 211;
+    plant_reverse(ref, realization(query), rc_position);
+
+    for (const BackendKind kind :
+         {BackendKind::HwSim, BackendKind::Tiled, BackendKind::Planes}) {
+      EngineConfig unsharded = sharded_config(kind, 1);
+      unsharded.shard.shard_count = 1;
+      Engine truth{unsharded};
+      truth.upload_reference(NucleotideSequence{ref});
+
+      Engine engine{sharded_config(kind, shard_count)};
+      engine.upload_reference(NucleotideSequence{ref});
+      EXPECT_EQ(engine.shard_count(), shard_count);
+
+      for (const ProteinSequence& q : {query, other}) {
+        Expected<HostRunReport> expected =
+            truth.align_sync(q, exactish_threshold(q));
+        Expected<HostRunReport> actual =
+            engine.align_sync(q, exactish_threshold(q));
+        ASSERT_TRUE(expected.has_value());
+        ASSERT_TRUE(actual.has_value())
+            << to_string(kind) << " shards=" << shard_count;
+        EXPECT_EQ(actual->hits, expected->hits)
+            << to_string(kind) << " shards=" << shard_count;
+        EXPECT_EQ(actual->reverse_hits, expected->reverse_hits)
+            << to_string(kind) << " shards=" << shard_count;
+      }
+
+      // The planted boundary windows actually surfaced (halo coverage).
+      Expected<HostRunReport> report =
+          engine.align_sync(query, exactish_threshold(query));
+      ASSERT_TRUE(report.has_value());
+      for (const std::size_t position : planted)
+        EXPECT_TRUE(std::any_of(report->hits.begin(), report->hits.end(),
+                                [&](const Hit& hit) {
+                                  return hit.position == position;
+                                }))
+            << "missing planted hit at " << position << " kind "
+            << to_string(kind) << " shards=" << shard_count;
+      EXPECT_TRUE(std::any_of(report->reverse_hits.begin(),
+                              report->reverse_hits.end(), [&](const Hit& hit) {
+                                return hit.position == rc_position;
+                              }))
+          << "missing planted RC hit, kind " << to_string(kind)
+          << " shards=" << shard_count;
+    }
+  }
+}
+
+TEST(Shard, BatchPrecomputePathsMatchUnsharded) {
+  util::Xoshiro256 rng{515};
+  NucleotideSequence ref = bio::random_dna(8192, rng);
+  std::vector<ProteinSequence> queries;
+  for (std::size_t i = 0; i < 6; ++i)
+    queries.push_back(bio::random_protein(6 + i, rng));
+  plant_boundaries(ref, queries[0], 3);
+
+  for (const BackendKind kind : {BackendKind::Tiled, BackendKind::HwSim}) {
+    Engine truth{sharded_config(kind, 1)};
+    truth.upload_reference(NucleotideSequence{ref});
+    Engine engine{sharded_config(kind, 3)};
+    engine.upload_reference(NucleotideSequence{ref});
+
+    // align_batch_sync: scan_batch precompute + scattered precomputed
+    // lists through run().
+    Expected<BatchReport> expected = truth.align_batch_sync(queries, 0.5);
+    Expected<BatchReport> actual = engine.align_batch_sync(queries, 0.5);
+    ASSERT_TRUE(expected.has_value());
+    ASSERT_TRUE(actual.has_value()) << to_string(kind);
+    ASSERT_EQ(actual->per_query.size(), expected->per_query.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(actual->per_query[i].hits, expected->per_query[i].hits)
+          << to_string(kind) << " query " << i;
+      EXPECT_EQ(actual->per_query[i].reverse_hits,
+                expected->per_query[i].reverse_hits)
+          << to_string(kind) << " query " << i;
+    }
+
+    // software_hits / software_hits_batch (scan_one + forward scan_batch).
+    std::vector<std::uint32_t> thresholds;
+    for (const ProteinSequence& q : queries)
+      thresholds.push_back(static_cast<std::uint32_t>(q.size() * 3 / 2));
+    EXPECT_EQ(engine.software_hits_batch(queries, thresholds),
+              truth.software_hits_batch(queries, thresholds))
+        << to_string(kind);
+    EXPECT_EQ(engine.software_hits(queries[0], thresholds[0]),
+              truth.software_hits(queries[0], thresholds[0]))
+        << to_string(kind);
+  }
+}
+
+// Raw RC coordinates (the precompute contract): the sharded scan_batch
+// must reproduce the unsharded raw reverse list — descending-shard
+// concatenation with the S - slice_end shift.
+TEST(Shard, RawReverseScanBatchMatchesUnsharded) {
+  util::Xoshiro256 rng{616};
+  const NucleotideSequence ref = bio::random_dna(5000, rng);
+  const bio::PackedNucleotides packed{ref};
+
+  std::vector<CompiledQueryPtr> queries;
+  std::vector<std::uint32_t> thresholds;
+  for (std::size_t i = 0; i < 4; ++i) {
+    queries.push_back(compile_query(bio::random_protein(5 + i, rng)));
+    thresholds.push_back(
+        static_cast<std::uint32_t>(queries.back()->size() / 2));
+  }
+
+  HostConfig config;
+  config.search_both_strands = true;
+  ReferenceStore store;
+  store.upload(packed, true);
+  std::unique_ptr<ScanBackend> unsharded =
+      make_backend(BackendKind::Tiled, config, store);
+
+  for (const std::size_t shard_count : {std::size_t{1}, std::size_t{2},
+                                        std::size_t{3}, std::size_t{8}}) {
+    ShardConfig shard;
+    shard.shard_count = shard_count;
+    shard.max_query_elements = 64;
+    ReferenceStore sharded_store;
+    std::unique_ptr<ShardedBackend> sharded = make_sharded_backend(
+        BackendKind::Tiled, config, sharded_store, shard);
+    sharded_store.upload(packed, true);
+    sharded->invalidate();
+
+    for (const bool reverse : {false, true})
+      EXPECT_EQ(sharded->scan_batch(queries, thresholds, reverse, nullptr),
+                unsharded->scan_batch(queries, thresholds, reverse, nullptr))
+          << "shards=" << shard_count << " reverse=" << reverse;
+  }
+}
+
+// Concurrent coalesced serving through the router — the tsan leg target.
+TEST(Shard, CoalescedConcurrentSubmitMatchesSequential) {
+  util::Xoshiro256 rng{717};
+  const NucleotideSequence ref = bio::random_dna(20000, rng);
+  std::vector<ProteinSequence> queries;
+  for (std::size_t i = 0; i < 8; ++i)
+    queries.push_back(bio::random_protein(6 + i % 5, rng));
+  const auto threshold = [](const ProteinSequence& q) {
+    return static_cast<std::uint32_t>(q.size() * 3 / 2);
+  };
+
+  Engine truth{sharded_config(BackendKind::HwSim, 1)};
+  truth.upload_reference(NucleotideSequence{ref});
+  std::vector<std::vector<Hit>> expected_fwd, expected_rev;
+  for (const ProteinSequence& q : queries) {
+    Expected<HostRunReport> report = truth.align_sync(q, threshold(q));
+    ASSERT_TRUE(report.has_value());
+    expected_fwd.push_back(report->hits);
+    expected_rev.push_back(report->reverse_hits);
+  }
+
+  Engine engine{sharded_config(BackendKind::HwSim, 3)};
+  engine.upload_reference(NucleotideSequence{ref});
+  constexpr std::size_t kRequests = 48;
+  std::vector<Ticket> tickets;
+  tickets.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const ProteinSequence& q = queries[i % queries.size()];
+    tickets.push_back(engine.submit(q, threshold(q)));
+  }
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Expected<HostRunReport> outcome = tickets[i].wait();
+    ASSERT_TRUE(outcome.has_value()) << "request " << i;
+    EXPECT_EQ(outcome->hits, expected_fwd[i % queries.size()]);
+    EXPECT_EQ(outcome->reverse_hits, expected_rev[i % queries.size()]);
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.completed, kRequests);
+
+  // Router status after draining: every shard executed work, queues empty.
+  const std::vector<ShardStatus> status = engine.shard_status();
+  ASSERT_EQ(status.size(), 3u);
+  for (const ShardStatus& shard : status) {
+    EXPECT_GT(shard.batches_executed, 0u) << "shard " << shard.index;
+    EXPECT_EQ(shard.queue_depth, 0u) << "shard " << shard.index;
+    EXPECT_GE(shard.peak_queue_depth, 1u) << "shard " << shard.index;
+  }
+}
+
+// --- typed errors --------------------------------------------------------
+
+TEST(Shard, OversizedQueryIsTypedBadArgument) {
+  util::Xoshiro256 rng{818};
+  const NucleotideSequence ref = bio::random_dna(4000, rng);
+  EngineConfig config = sharded_config(BackendKind::Tiled, 2);
+  config.shard.max_query_elements = 30;  // 10 residues
+  Engine engine{config};
+  engine.upload_reference(NucleotideSequence{ref});
+
+  const ProteinSequence big = bio::random_protein(20, rng);  // 60 elements
+  Expected<HostRunReport> outcome = engine.align_sync(big, 10);
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, ErrorCode::BadArgument);
+  EXPECT_THROW(engine.software_hits(big, 10), std::invalid_argument);
+
+  // A query that fits still works.
+  const ProteinSequence small = bio::random_protein(8, rng);
+  EXPECT_TRUE(engine.align_sync(small, 10).has_value());
+}
+
+TEST(Shard, ConfigValidation) {
+  EXPECT_EQ(validate_shard_config(ShardConfig{}).code, ErrorCode::None);
+  ShardConfig zero;
+  zero.shard_count = 0;
+  EXPECT_EQ(validate_shard_config(zero).code, ErrorCode::InvalidConfig);
+  ShardConfig absurd;
+  absurd.shard_count = 65;
+  EXPECT_EQ(validate_shard_config(absurd).code, ErrorCode::InvalidConfig);
+  ShardConfig bad_halo;
+  bad_halo.max_query_elements = 0;
+  EXPECT_EQ(validate_shard_config(bad_halo).code, ErrorCode::InvalidConfig);
+  ShardConfig bad_chaos;
+  bad_chaos.shard_count = 2;
+  bad_chaos.fault_only_shard = 2;
+  EXPECT_EQ(validate_shard_config(bad_chaos).code, ErrorCode::InvalidConfig);
+
+  EngineConfig config;
+  config.shard.shard_count = 0;
+  EXPECT_THROW(Engine{config}, FaultError);
+}
+
+TEST(Shard, UnshardedEngineHasNoRouter) {
+  Engine engine{EngineConfig{}};
+  EXPECT_EQ(engine.shard_count(), 1u);
+  EXPECT_TRUE(engine.shard_status().empty());
+  EXPECT_EQ(engine.shard_overhead_seconds(), 0.0);
+}
+
+// --- chaos ---------------------------------------------------------------
+
+// Faults injected into ONE shard's stream: results stay golden (recovery
+// repairs them) and the other shards' cards log zero fault events.
+TEST(ShardChaos, FaultIsolationSingleShard) {
+  util::Xoshiro256 rng{919};
+  const NucleotideSequence ref = bio::random_dna(12000, rng);
+  std::vector<ProteinSequence> queries;
+  for (std::size_t i = 0; i < 4; ++i)
+    queries.push_back(bio::random_protein(8, rng));
+
+  Engine truth{sharded_config(BackendKind::Tiled, 1)};
+  truth.upload_reference(NucleotideSequence{ref});
+
+  EngineConfig config = sharded_config(BackendKind::HwSim, 3);
+  config.host.fault.flip_rate = 3e-4;
+  config.host.fault.drop_rate = 1e-3;
+  config.shard.fault_only_shard = 1;
+  Engine engine{config};
+  engine.upload_reference(NucleotideSequence{ref});
+
+  for (const ProteinSequence& q : queries) {
+    const std::uint32_t threshold =
+        static_cast<std::uint32_t>(q.size() * 3 / 2);
+    Expected<HostRunReport> expected = truth.align_sync(q, threshold);
+    Expected<HostRunReport> actual = engine.align_sync(q, threshold);
+    ASSERT_TRUE(expected.has_value());
+    ASSERT_TRUE(actual.has_value());
+    EXPECT_EQ(actual->hits, expected->hits);
+    EXPECT_EQ(actual->reverse_hits, expected->reverse_hits);
+  }
+
+  const std::vector<ShardStatus> status = engine.shard_status();
+  ASSERT_EQ(status.size(), 3u);
+  EXPECT_GT(status[1].fault_events, 0u) << "chaos shard saw no faults";
+  EXPECT_EQ(status[0].fault_events, 0u) << "fault leaked to shard 0";
+  EXPECT_EQ(status[2].fault_events, 0u) << "fault leaked to shard 2";
+  EXPECT_GT(status[1].recovery.retries + status[1].recovery.crc_faults +
+                status[1].recovery.rescanned_tiles,
+            0u);
+  EXPECT_EQ(status[0].health, HealthState::Healthy);
+  EXPECT_EQ(status[2].health, HealthState::Healthy);
+}
+
+// A shard whose card dies degrades and its slice is shed to the software
+// fallback: requests keep succeeding with correct *global* offsets (a hit
+// planted inside the degraded shard's owned range must surface), while the
+// healthy shards keep serving their slices on the primary path.
+TEST(ShardChaos, DegradedShardFallsBackToSoftware) {
+  util::Xoshiro256 rng{1020};
+  const ProteinSequence query = bio::random_protein(10, rng);
+  NucleotideSequence ref = bio::random_dna(9000, rng);
+  // Inside shard 1 of 3's owned range [3000, 6000).
+  const std::size_t planted_position = 4444;
+  plant(ref, realization(query), planted_position);
+
+  Engine truth{sharded_config(BackendKind::Tiled, 1)};
+  truth.upload_reference(NucleotideSequence{ref});
+
+  EngineConfig config = sharded_config(BackendKind::HwSim, 3);
+  config.host.fault.transfer_fail_rate = 1.0;  // the card never transfers
+  config.shard.fault_only_shard = 1;
+  config.host.recovery.max_attempts = 2;
+  config.host.recovery.degrade_after = 1;
+  Engine engine{config};
+  engine.upload_reference(NucleotideSequence{ref});
+
+  for (std::size_t round = 0; round < 3; ++round) {
+    Expected<HostRunReport> expected =
+        truth.align_sync(query, exactish_threshold(query));
+    Expected<HostRunReport> actual =
+        engine.align_sync(query, exactish_threshold(query));
+    ASSERT_TRUE(expected.has_value());
+    ASSERT_TRUE(actual.has_value()) << "round " << round;
+    EXPECT_EQ(actual->hits, expected->hits) << "round " << round;
+    EXPECT_EQ(actual->reverse_hits, expected->reverse_hits)
+        << "round " << round;
+    EXPECT_TRUE(std::any_of(
+        actual->hits.begin(), actual->hits.end(),
+        [&](const Hit& hit) { return hit.position == planted_position; }))
+        << "round " << round;
+    if (round > 0) EXPECT_GT(actual->recovery.fallbacks, 0u);
+  }
+
+  const std::vector<ShardStatus> status = engine.shard_status();
+  ASSERT_EQ(status.size(), 3u);
+  EXPECT_EQ(status[1].health, HealthState::Degraded);
+  EXPECT_TRUE(status[1].routed_to_fallback);
+  EXPECT_GT(status[1].fallback_batches, 0u);
+  EXPECT_EQ(status[0].health, HealthState::Healthy);
+  EXPECT_EQ(status[2].health, HealthState::Healthy);
+  EXPECT_EQ(status[0].fallback_batches, 0u);
+  EXPECT_EQ(status[2].fallback_batches, 0u);
+  EXPECT_EQ(engine.health(), HealthState::Degraded);
+}
+
+TEST(ShardChaos, DegradedWithoutFallbackIsDeviceLost) {
+  util::Xoshiro256 rng{1121};
+  const NucleotideSequence ref = bio::random_dna(6000, rng);
+  EngineConfig config = sharded_config(BackendKind::HwSim, 2);
+  config.host.fault.transfer_fail_rate = 1.0;
+  config.shard.fault_only_shard = 0;
+  config.host.recovery.allow_software_fallback = false;
+  config.host.recovery.max_attempts = 2;
+  config.host.recovery.degrade_after = 1;
+  Engine engine{config};
+  engine.upload_reference(NucleotideSequence{ref});
+
+  const ProteinSequence query = bio::random_protein(8, rng);
+  Expected<HostRunReport> first = engine.align_sync(query, 12);
+  ASSERT_FALSE(first.has_value());
+  Expected<HostRunReport> second = engine.align_sync(query, 12);
+  ASSERT_FALSE(second.has_value());
+  EXPECT_EQ(second.error().code, ErrorCode::DeviceLost);
+}
+
+// --- stats aggregation ---------------------------------------------------
+
+TEST(ShardStats, PipelineAggregatesAcrossShards) {
+  util::Xoshiro256 rng{1222};
+  const NucleotideSequence ref = bio::random_dna(16000, rng);
+  std::vector<ProteinSequence> queries;
+  for (std::size_t i = 0; i < 8; ++i)
+    queries.push_back(bio::random_protein(6 + i % 4, rng));
+
+  Engine engine{sharded_config(BackendKind::HwSim, 4)};
+  engine.upload_reference(NucleotideSequence{ref});
+  Expected<BatchReport> batch = engine.align_batch_sync(queries, 0.5);
+  ASSERT_TRUE(batch.has_value());
+
+  const DevicePipelineStats merged = engine.pipeline_stats();
+  const std::vector<ShardStatus> status = engine.shard_status();
+  ASSERT_EQ(status.size(), 4u);
+
+  std::size_t invocations = 0, tasks = 0, pe = 0;
+  double serial = 0.0, pipelined = 0.0, transfer = 0.0;
+  for (const ShardStatus& shard : status) {
+    invocations += shard.pipeline.invocations;
+    tasks = std::max(tasks, shard.pipeline.tasks);
+    pe += shard.pipeline.pe_count;
+    serial += shard.pipeline.serial_s;
+    transfer += shard.pipeline.transfer_s;
+    pipelined = std::max(pipelined, shard.pipeline.pipelined_s);
+    EXPECT_GT(shard.pipeline.invocations, 0u) << "shard " << shard.index;
+  }
+  EXPECT_EQ(merged.invocations, invocations);
+  EXPECT_EQ(merged.tasks, tasks);
+  EXPECT_EQ(merged.tasks, queries.size());
+  EXPECT_EQ(merged.pe_count, pe);
+  EXPECT_DOUBLE_EQ(merged.serial_s, serial);
+  EXPECT_DOUBLE_EQ(merged.transfer_s, transfer);
+  EXPECT_DOUBLE_EQ(merged.pipelined_s, pipelined);
+  EXPECT_GT(merged.modeled_qps(), 0.0);
+  EXPECT_GE(engine.shard_overhead_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace fabp::core

@@ -1,0 +1,283 @@
+#include "fabp/net/wire.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/engine.hpp"
+#include "fabp/net/loadgen.hpp"
+#include "fabp/net/server.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::net {
+namespace {
+
+// --- pure protocol tests (no sockets) -----------------------------------
+
+TEST(Wire, AlignRequestRoundTrip) {
+  AlignRequest in;
+  in.id = 0x0123456789abcdefULL;
+  in.threshold = 42;
+  in.protein = "MFSRW";
+  AlignRequest out;
+  ASSERT_TRUE(decode(encode(in), out));
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.threshold, in.threshold);
+  EXPECT_EQ(out.protein, in.protein);
+  EXPECT_EQ(peek_type(encode(in)), MessageType::AlignRequest);
+}
+
+TEST(Wire, AlignResponseRoundTrip) {
+  AlignResponse in;
+  in.id = 7;
+  in.status = static_cast<std::uint8_t>(core::ErrorCode::Timeout);
+  in.server_seconds = 0.125;
+  in.error = "watchdog";
+  in.hits = {{0, 3}, {1234567890123ULL, 48}};
+  in.reverse_hits = {{17, 9}};
+  AlignResponse out;
+  ASSERT_TRUE(decode(encode(in), out));
+  EXPECT_EQ(out.id, in.id);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.server_seconds, in.server_seconds);
+  EXPECT_EQ(out.error, in.error);
+  EXPECT_EQ(out.hits, in.hits);
+  EXPECT_EQ(out.reverse_hits, in.reverse_hits);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(Wire, StatsRoundTrip) {
+  EXPECT_EQ(peek_type(encode_stats_request()), MessageType::StatsRequest);
+  StatsResponse in;
+  in.text = "shard 0: healthy\nshard 1: degraded\n";
+  StatsResponse out;
+  ASSERT_TRUE(decode(encode(in), out));
+  EXPECT_EQ(out.text, in.text);
+}
+
+TEST(Wire, RejectsTruncatedPayloads) {
+  AlignResponse full;
+  full.id = 9;
+  full.hits = {{100, 5}};
+  full.error = "e";
+  const std::string payload = encode(full);
+  // Every strict prefix must fail soft, never crash or mis-parse.
+  for (std::size_t n = 0; n < payload.size(); ++n) {
+    AlignResponse out;
+    EXPECT_FALSE(decode(std::string_view{payload.data(), n}, out)) << n;
+  }
+}
+
+TEST(Wire, RejectsAlienTypeVersionAndTrailingGarbage) {
+  AlignRequest request;
+  request.protein = "MK";
+  std::string payload = encode(request);
+
+  AlignResponse wrong_type;
+  EXPECT_FALSE(decode(payload, wrong_type));  // request bytes as response
+
+  std::string bad_version = payload;
+  bad_version[1] = static_cast<char>(kProtocolVersion + 1);
+  AlignRequest out;
+  EXPECT_FALSE(decode(bad_version, out));
+
+  std::string trailing = payload + "x";
+  EXPECT_FALSE(decode(trailing, out));
+
+  // A lying hit count larger than the remaining bytes must be rejected
+  // before any allocation.
+  AlignResponse response;
+  std::string resp = encode(response);
+  resp[resp.size() - 8] = static_cast<char>(0xff);  // forward hit count
+  AlignResponse decoded;
+  EXPECT_FALSE(decode(resp, decoded));
+}
+
+TEST(Wire, RequestLimitIsTighterThanResponseLimit) {
+  // Queries are tiny; hit lists are not.  A request payload above the
+  // 1 MiB inbound bound is rejected even if perfectly well-formed, while
+  // responses may legitimately carry megabytes of hits.
+  ASSERT_LT(kMaxRequestFrameBytes, kMaxFrameBytes);
+  AlignRequest big;
+  big.protein.assign(kMaxRequestFrameBytes, 'M');
+  AlignRequest out;
+  EXPECT_FALSE(decode(encode(big), out));
+
+  AlignResponse hits;
+  hits.hits.assign(200'000, core::Hit{1, 2});  // ~2.4 MB payload
+  AlignResponse round;
+  ASSERT_TRUE(decode(encode(hits), round));
+  EXPECT_EQ(round.hits.size(), 200'000u);
+}
+
+TEST(Wire, FrameAddsLittleEndianLengthPrefix) {
+  const std::string framed = frame("abc");
+  ASSERT_EQ(framed.size(), 7u);
+  EXPECT_EQ(framed[0], 3);
+  EXPECT_EQ(framed[1], 0);
+  EXPECT_EQ(framed[2], 0);
+  EXPECT_EQ(framed[3], 0);
+  EXPECT_EQ(framed.substr(4), "abc");
+}
+
+// --- end-to-end over localhost ------------------------------------------
+
+Socket connect_local(std::uint16_t port) {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  EXPECT_TRUE(sock.valid());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  return sock;
+}
+
+/// Engine + WireServer on port 0 with serve() on a background thread;
+/// shuts down and joins on destruction.  Sharded (2 cards) so the TCP
+/// path exercises the full scatter/gather router.
+struct ServerFixture {
+  ServerFixture() : engine{make_config()}, server{engine, {}, [] {
+                      return std::string{"stats-body"};
+                    }} {
+    util::Xoshiro256 rng{321};
+    engine.upload_reference(bio::random_dna(6000, rng));
+    accept_thread = std::thread{[this] { server.serve(); }};
+  }
+
+  ~ServerFixture() {
+    server.shutdown();
+    accept_thread.join();
+  }
+
+  static core::EngineConfig make_config() {
+    core::EngineConfig config;
+    config.backend = core::BackendKind::HwSim;
+    config.host.search_both_strands = true;
+    config.shard.shard_count = 2;
+    return config;
+  }
+
+  core::Engine engine;
+  WireServer server;
+  std::thread accept_thread;
+};
+
+TEST(Server, AlignOverLocalhostMatchesAlignSync) {
+  ServerFixture fx;
+  util::Xoshiro256 rng{99};
+  const auto query = bio::random_protein(12, rng);
+  const auto threshold =
+      static_cast<std::uint32_t>(query.size() * 3 * 55 / 100);
+  auto expected = fx.engine.align_sync(query, threshold);
+  ASSERT_TRUE(expected.has_value());
+
+  Socket conn = connect_local(fx.server.port());
+  AlignRequest request;
+  request.id = 77;
+  request.threshold = threshold;
+  request.protein = query.to_string();
+  ASSERT_TRUE(write_frame(conn.fd(), encode(request)));
+
+  std::string payload;
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.id, 77u);
+  EXPECT_EQ(response.hits, expected->hits);
+  EXPECT_EQ(response.reverse_hits, expected->reverse_hits);
+  EXPECT_GE(response.server_seconds, 0.0);
+}
+
+TEST(Server, BadProteinIsTypedErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  Socket conn = connect_local(fx.server.port());
+
+  AlignRequest bad;
+  bad.id = 1;
+  bad.threshold = 5;
+  bad.protein = "NOT#APROTEIN!";
+  ASSERT_TRUE(write_frame(conn.fd(), encode(bad)));
+  std::string payload;
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_EQ(response.status,
+            static_cast<std::uint8_t>(core::ErrorCode::BadArgument));
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_TRUE(response.hits.empty());
+
+  // The connection stays usable after a rejected request.
+  AlignRequest good;
+  good.id = 2;
+  good.threshold = 30;
+  good.protein = "MKWVTFISLL";
+  ASSERT_TRUE(write_frame(conn.fd(), encode(good)));
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok());
+  EXPECT_EQ(response.id, 2u);
+}
+
+TEST(Server, StatsRequestReturnsFormatterText) {
+  ServerFixture fx;
+  Socket conn = connect_local(fx.server.port());
+  ASSERT_TRUE(write_frame(conn.fd(), encode_stats_request()));
+  std::string payload;
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  StatsResponse stats;
+  ASSERT_TRUE(decode(payload, stats));
+  EXPECT_EQ(stats.text, "stats-body");
+}
+
+TEST(Server, LoadgenClosedLoopIsCleanAndCounted) {
+  ServerFixture fx;
+  LoadgenConfig config;
+  config.port = fx.server.port();
+  config.clients = 4;
+  config.requests = 24;
+  config.query_residues = 10;
+  const LoadgenReport report = run_loadgen(config);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.sent, 24u);
+  EXPECT_EQ(report.completed, 24u);
+  EXPECT_GT(report.qps, 0.0);
+  EXPECT_GE(report.p99_ms, report.p50_ms);
+
+  const ServerMetrics metrics = fx.server.metrics();
+  EXPECT_EQ(metrics.requests, 24u);
+  EXPECT_EQ(metrics.errors, 0u);
+  EXPECT_GE(metrics.p99_ms, metrics.p50_ms);
+}
+
+TEST(Server, ShutdownDrainsWithIdleConnectionOpen) {
+  auto fx = std::make_unique<ServerFixture>();
+  // An idle connected client parked in the server's recv must not block
+  // the drain: shutdown interrupts the read and joins the handler.
+  Socket idle = connect_local(fx->server.port());
+  fx->server.shutdown();
+  fx.reset();  // joins serve(); hangs here = drain bug
+  SUCCEED();
+}
+
+TEST(Server, OversizedFramePrefixDropsConnection) {
+  ServerFixture fx;
+  Socket conn = connect_local(fx.server.port());
+  // 0xffffffff length prefix: the server must reject without allocating
+  // and close; the client read then fails instead of hanging.
+  const char bogus[4] = {'\xff', '\xff', '\xff', '\xff'};
+  ASSERT_EQ(::send(conn.fd(), bogus, sizeof bogus, 0), 4);
+  std::string payload;
+  EXPECT_FALSE(read_frame(conn.fd(), payload));
+}
+
+}  // namespace
+}  // namespace fabp::net

@@ -26,7 +26,10 @@
 #      actually run (swar64|avx2|avx512|avx512vpopcnt, probed via
 #      `fabp isa`; unsupported ISAs are skipped) — every SIMD kernel is
 #      held to the scalar oracle through the same env-override path users
-#      would pin it with.
+#      would pin it with, and
+#   8. the shard router leg — the sharded-vs-unsharded differential, the
+#      shard chaos/fault-isolation suite and the TCP serve smoke
+#      (spawn server, loadgen over localhost, SIGTERM, clean drain).
 #
 # Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/,
 # build-tsan/ and build-ubsan/)
@@ -45,12 +48,17 @@ cmake -B build-asan -S . -DFABP_SANITIZE=address
 cmake --build build-asan -j"$jobs"
 FABP_FORCE_ISA=swar64 ctest --test-dir build-asan --output-on-failure -j"$jobs"
 
-echo "== check.sh: tsan build, pooled scan + engine tests =="
+echo "== check.sh: tsan build, pooled scan + engine + shard tests =="
 cmake -B build-tsan -S . -DFABP_SANITIZE=thread
-cmake --build build-tsan -j"$jobs" --target core_tests util_tests engine_tests
+cmake --build build-tsan -j"$jobs" \
+    --target core_tests util_tests engine_tests shard_tests net_tests
 build-tsan/tests/core_tests --gtest_filter='TileScan*'
 build-tsan/tests/util_tests --gtest_filter='ThreadPool*'
 build-tsan/tests/engine_tests
+# Race coverage over the shard router's per-shard worker queues and the
+# TCP server's connection threads (sharded differential + chaos + net).
+build-tsan/tests/shard_tests
+build-tsan/tests/net_tests
 
 echo "== check.sh: ubsan build, fault + chaos suites =="
 cmake -B build-ubsan -S . -DFABP_SANITIZE=undefined
@@ -82,4 +90,9 @@ for isa in swar64 avx2 avx512 avx512vpopcnt; do
   fi
 done
 
-echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa) =="
+echo "== check.sh: shard router leg =="
+build/tests/shard_tests
+build/tests/net_tests
+tools/serve_tcp_smoke.sh build/tools/fabp
+
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa + shard) =="

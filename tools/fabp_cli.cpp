@@ -9,19 +9,32 @@
 //   fabp chaos [bases] [query-aa] [seeds] [rates...]
 //                                              fault-injection sweep vs golden
 //   fabp serve [bases] [query-aa] [requests] [workers]
-//              [--backend hwsim|tiled|planes]
+//              [--backend hwsim|tiled|planes] [--shards N] [--tcp [port]]
 //                                              engine serving demo: burst of
 //                                              concurrent requests, coalesced,
 //                                              checked against sequential;
 //                                              hwsim prints the device batch
-//                                              pipeline stats
+//                                              pipeline stats.  --shards routes
+//                                              through the shard router (N
+//                                              modeled cards); --tcp turns the
+//                                              demo into a real TCP server
+//                                              (length-prefixed wire protocol,
+//                                              port 0 = kernel-assigned,
+//                                              SIGTERM/SIGINT = graceful drain)
+//   fabp loadgen <host> <port> [requests] [clients] [query-aa]
+//                                              closed-loop TCP client against
+//                                              a `fabp serve --tcp` server;
+//                                              prints QPS and p50/p99 latency
 //
 // Exit code 0 on success, 1 on usage/product errors.
 
+#include <cctype>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,7 +56,8 @@ int usage() {
       "  fabp chaos [bases] [query-aa] [seeds] [flip-rates...]\n"
       "  fabp isa\n"
       "  fabp serve [bases] [query-aa] [requests] [workers]"
-      " [--backend hwsim|tiled|planes]\n";
+      " [--backend hwsim|tiled|planes] [--shards N] [--tcp [port]]\n"
+      "  fabp loadgen <host> <port> [requests] [clients] [query-aa]\n";
   return 1;
 }
 
@@ -305,8 +319,99 @@ int cmd_chaos(std::size_t bases, std::size_t query_aa, std::size_t seeds,
   return 0;
 }
 
+// Formatted engine/pipeline/shard stats, shared by the burst demo's stdout
+// dump and the TCP server's StatsResponse.  The "pipeline: invocations="
+// line is load-bearing: the cli_serve_hwsim smoke test greps for it.
+std::string serve_stats_text(core::Engine& engine) {
+  std::ostringstream out;
+  const core::EngineStats stats = engine.stats();
+  out << "engine: submitted=" << stats.submitted << " completed="
+      << stats.completed << " failed=" << stats.failed << " batches="
+      << stats.coalesced_batches << " occupancy=" << stats.batch_occupancy()
+      << " largest=" << stats.largest_batch << "\n";
+  const core::DevicePipelineStats pipe = engine.pipeline_stats();
+  if (pipe.invocations > 0)
+    out << "pipeline: invocations=" << pipe.invocations << " tasks="
+        << pipe.tasks << " retried=" << pipe.retried_invocations << " pe="
+        << pipe.pe_count << " depth=" << pipe.buffer_depth << " largest="
+        << pipe.largest_invocation << " occupancy=" << pipe.occupancy()
+        << " overlap=" << pipe.overlap_efficiency() << " pe_util="
+        << pipe.pe_utilization() << " modeled_qps=" << pipe.modeled_qps()
+        << "\n";
+  for (const core::ShardStatus& shard : engine.shard_status())
+    out << "shard " << shard.index << ": owned=[" << shard.owned_begin << ","
+        << shard.owned_end << ") slice=" << shard.slice_elements
+        << " health="
+        << (shard.health == core::HealthState::Degraded ? "degraded"
+                                                        : "healthy")
+        << (shard.routed_to_fallback ? "(fallback)" : "") << " queue="
+        << shard.queue_depth << " peak=" << shard.peak_queue_depth
+        << " batches=" << shard.batches_executed << " fallback-batches="
+        << shard.fallback_batches << " faults=" << shard.fault_events
+        << " retries=" << shard.recovery.retries << " rescans="
+        << shard.recovery.rescanned_tiles << " fallbacks="
+        << shard.recovery.fallbacks << "\n";
+  if (engine.shard_count() > 1)
+    out << "router: shards=" << engine.shard_count()
+        << " scatter+gather=" << util::time_text(
+               engine.shard_overhead_seconds())
+        << "\n";
+  return out.str();
+}
+
+sigset_t drain_signal_set() {
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGTERM);
+  sigaddset(&mask, SIGINT);
+  return mask;
+}
+
+// Real TCP server over the engine: accept loop on this thread, graceful
+// drain on SIGTERM/SIGINT via a dedicated sigwait thread.  The caller
+// must have blocked drain_signal_set() *before spawning any thread* (the
+// shard router's workers start in the Engine constructor) — a single
+// unmasked thread would take the default fatal action instead.
+int cmd_serve_tcp(core::Engine& engine, std::uint16_t port) {
+  const sigset_t mask = drain_signal_set();
+  net::ServerConfig server_config;
+  server_config.port = port;
+  net::WireServer server{engine, server_config,
+                         [&engine] { return serve_stats_text(engine); }};
+  // Parsed by tools/serve_tcp_smoke.sh and human eyes alike; flush so a
+  // piped reader sees the port before the first connection.
+  std::cout << "listening on " << server_config.bind_address << ":"
+            << server.port() << std::endl;
+
+  std::thread signal_thread{[&mask, &server] {
+    int sig = 0;
+    sigwait(&mask, &sig);
+    std::cerr << "signal " << sig << ": draining\n";
+    server.shutdown();
+  }};
+  server.serve();
+  signal_thread.join();
+
+  const net::ServerMetrics metrics = server.metrics();
+  std::cout << "server: connections=" << metrics.connections << " requests="
+            << metrics.requests << " errors=" << metrics.errors
+            << " malformed=" << metrics.malformed << " p50="
+            << metrics.p50_ms << "ms p99=" << metrics.p99_ms << "ms max="
+            << metrics.max_ms << "ms\n"
+            << serve_stats_text(engine) << "drained\n";
+  return 0;
+}
+
 int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
-              std::size_t workers, const std::string& backend) {
+              std::size_t workers, const std::string& backend,
+              std::size_t shards, bool tcp, std::uint16_t tcp_port) {
+  if (tcp) {
+    // Must precede the Engine (and its shard worker threads): every
+    // thread inherits this mask, routing SIGTERM/SIGINT to the sigwait
+    // drain thread instead of the default fatal disposition.
+    const sigset_t mask = drain_signal_set();
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+  }
   // Serving-engine demo: a burst of concurrent align requests against one
   // resident reference, drained by the worker pool with request
   // coalescing, self-checked hit-for-hit against sequential execution.
@@ -326,11 +431,15 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
   config.backend = backend_kind_from(backend);
   config.workers = workers;
   config.queue_capacity = std::max<std::size_t>(requests, 64);
+  config.shard.shard_count = shards;
   core::Engine engine{config};
   engine.upload_reference(dna);
   std::cerr << "reference " << bases << " bases, " << queries.size()
             << " distinct queries x " << requests << " requests, "
-            << workers << " worker(s), backend " << backend << "\n";
+            << workers << " worker(s), backend " << backend << ", "
+            << shards << " shard(s)\n";
+
+  if (tcp) return cmd_serve_tcp(engine, tcp_port);
 
   // Sequential truth (and baseline wall time) on the same engine state.
   std::vector<std::vector<core::Hit>> expected;
@@ -372,22 +481,36 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
             << "batches " << stats.coalesced_batches << ", occupancy "
             << stats.batch_occupancy() << ", largest "
             << stats.largest_batch << ", compiler hits "
-            << engine.compiler_stats().hits << "\n";
-  const core::DevicePipelineStats pipe = engine.pipeline_stats();
-  if (pipe.invocations > 0)
-    std::cout << "pipeline: invocations=" << pipe.invocations
-              << " tasks=" << pipe.tasks << " retried="
-              << pipe.retried_invocations << " pe=" << pipe.pe_count
-              << " depth=" << pipe.buffer_depth << " largest="
-              << pipe.largest_invocation << " occupancy="
-              << pipe.occupancy() << " overlap=" << pipe.overlap_efficiency()
-              << " pe_util=" << pipe.pe_utilization() << " modeled_qps="
-              << pipe.modeled_qps() << "\n";
+            << engine.compiler_stats().hits << "\n"
+            << serve_stats_text(engine);
   if (!match) {
     std::cerr << "serve: coalesced results diverged from sequential\n";
     return 1;
   }
   return 0;
+}
+
+int cmd_loadgen(const std::string& host, std::uint16_t port,
+                std::size_t requests, std::size_t clients,
+                std::size_t query_aa) {
+  net::LoadgenConfig config;
+  config.host = host;
+  config.port = port;
+  config.requests = requests;
+  config.clients = clients;
+  config.query_residues = query_aa;
+  std::cerr << "loadgen: " << requests << " requests x " << clients
+            << " client(s), " << query_aa << " aa queries -> " << host << ":"
+            << port << "\n";
+  const net::LoadgenReport report = net::run_loadgen(config);
+  std::cout << "loadgen: sent=" << report.sent << " completed="
+            << report.completed << " errors=" << report.errors
+            << " transport-failures=" << report.transport_failures
+            << " hits=" << report.total_hits << "\n"
+            << "loadgen: wall=" << util::time_text(report.wall_s) << " qps="
+            << report.qps << " p50=" << report.p50_ms << "ms p99="
+            << report.p99_ms << "ms\n";
+  return report.clean() && report.completed == report.sent ? 0 : 1;
 }
 
 }  // namespace
@@ -426,13 +549,25 @@ int main(int argc, char** argv) {
     }
     if (command == "serve") {
       std::string backend = "hwsim";
+      std::size_t shards = 1;
+      bool tcp = false;
+      std::uint16_t tcp_port = 0;
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--backend" && i + 1 < argc)
+        if (arg == "--backend" && i + 1 < argc) {
           backend = argv[++i];
-        else
+        } else if (arg == "--shards" && i + 1 < argc) {
+          shards = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--tcp") {
+          tcp = true;
+          // Optional port operand (0 = kernel-assigned).
+          if (i + 1 < argc && std::isdigit(argv[i + 1][0]))
+            tcp_port = static_cast<std::uint16_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else {
           positional.push_back(arg);
+        }
       }
       if (positional.size() <= 4)
         return cmd_serve(
@@ -448,8 +583,15 @@ int main(int argc, char** argv) {
             positional.size() > 3
                 ? std::strtoull(positional[3].c_str(), nullptr, 10)
                 : 2,
-            backend);
+            backend, shards, tcp, tcp_port);
     }
+    if (command == "loadgen" && argc >= 4 && argc <= 7)
+      return cmd_loadgen(
+          argv[2],
+          static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)),
+          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64,
+          argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 4,
+          argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 16);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the TCP front-end: spawn `fabp serve --tcp` on a
+# kernel-assigned port (sharded, hw-sim backend), fire one loadgen burst
+# over localhost, SIGTERM the server, and require a clean graceful drain
+# (the "drained" marker plus per-shard stats in the final dump).
+# Usage: serve_tcp_smoke.sh <path-to-fabp-binary>
+set -euo pipefail
+
+FABP="${1:?usage: serve_tcp_smoke.sh <path-to-fabp>}"
+out="$(mktemp)"
+pid=""
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -f "$out"' EXIT
+
+"$FABP" serve 20000 12 64 2 --backend hwsim --shards 2 --tcp 0 \
+  >"$out" 2>/dev/null &
+pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out")"
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died before listening"; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "server never reported its port"; exit 1; }
+
+"$FABP" loadgen 127.0.0.1 "$port" 16 2 12
+
+kill -TERM "$pid"
+wait "$pid"
+
+grep -q '^drained$' "$out" || { echo "no clean drain marker"; cat "$out"; exit 1; }
+grep -q 'requests=16' "$out" || { echo "server miscounted requests"; cat "$out"; exit 1; }
+grep -q '^shard 1:' "$out" || { echo "no per-shard stats in dump"; cat "$out"; exit 1; }
+echo "serve_tcp smoke ok"
