@@ -406,6 +406,78 @@ std::vector<TcpPoint> run_tcp_sweep(const bio::NucleotideSequence& ref,
   return points;
 }
 
+// Resilience sweep (DESIGN.md §4f): offered load pushed past capacity —
+// one engine worker, client counts far above it — with edge shedding off
+// vs on.  Every request carries a deadline and rides the retrying
+// net::Client, so the sweep prices exactly what a saturated deployment
+// sees: completed-QPS and p50/p99 of the *successful* calls, the typed
+// refusal/expiry counts, and the retry-amplification factor (mean wire
+// attempts per request) the client pool pays to get its work through.
+struct ResiliencePoint {
+  bool shedding = false;
+  std::size_t clients = 1;
+  net::LoadgenReport report;
+};
+
+std::vector<ResiliencePoint> run_resilience_sweep(
+    const bio::NucleotideSequence& ref, std::size_t residues,
+    std::size_t requests) {
+  std::vector<ResiliencePoint> points;
+  for (const bool shedding : {false, true}) {
+    EngineConfig config = engine_config(BackendKind::HwSim, requests);
+    config.workers = 1;  // capacity ~1 coalesced batch at a time
+    Engine engine{config};
+    engine.upload_reference(bio::NucleotideSequence{ref});
+    net::ServerConfig server_config;
+    if (shedding) server_config.shed_queue_depth = 4;
+    net::WireServer server{engine, server_config};
+    std::thread accept_thread{[&server] { server.serve(); }};
+    for (const std::size_t clients :
+         {std::size_t{4}, std::size_t{8}, std::size_t{16}}) {
+      net::LoadgenConfig load;
+      load.port = server.port();
+      load.clients = clients;
+      load.requests = requests;
+      load.query_residues = residues;
+      load.deadline_s = 2.0;
+      load.retry.max_attempts = 4;
+      ResiliencePoint point;
+      point.shedding = shedding;
+      point.clients = clients;
+      point.report = net::run_loadgen(load);
+      points.push_back(point);
+    }
+    server.shutdown();
+    accept_thread.join();
+  }
+  return points;
+}
+
+void print_resilience_sweep(const std::vector<ResiliencePoint>& points) {
+  util::banner(std::cout,
+               "engine: overload resilience (1 worker, 2 s deadlines)");
+  util::Table table{{"shedding", "clients", "ok q/s", "p50", "p99",
+                     "refused", "expired", "timeouts", "amplification"}};
+  for (const ResiliencePoint& p : points) {
+    table.row();
+    table.cell(p.shedding ? "on" : "off")
+        .cell(p.clients)
+        .cell(p.report.qps, 1)
+        .cell(util::time_text(p.report.p50_ms * 1e-3))
+        .cell(util::time_text(p.report.p99_ms * 1e-3))
+        .cell(p.report.refused)
+        .cell(p.report.expired)
+        .cell(p.report.timeouts)
+        .cell(util::ratio_text(p.report.retry_amplification(), 2));
+  }
+  table.print(std::cout);
+  bool all_terminal = true;
+  for (const ResiliencePoint& p : points)
+    all_terminal &= p.report.all_terminal();
+  std::cout << "  every request reached a typed terminal outcome: "
+            << (all_terminal ? "yes" : "NO — BUG") << "\n";
+}
+
 void print_tcp_sweep(const std::vector<TcpPoint>& points) {
   util::banner(std::cout, "engine: TCP serve/loadgen over localhost");
   util::Table table{{"shards", "clients", "q/s", "p50", "p99",
@@ -474,7 +546,8 @@ void write_json(const std::string& path, std::size_t bases,
                 const std::vector<BackendSection>& sections,
                 const std::vector<PipelinePoint>& pipeline,
                 const std::vector<ShardPoint>& sharded,
-                const std::vector<TcpPoint>& tcp) {
+                const std::vector<TcpPoint>& tcp,
+                const std::vector<ResiliencePoint>& resilience) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"engine\",\n"
@@ -563,6 +636,30 @@ void write_json(const std::string& path, std::size_t bases,
        << ", \"p99_ms\": " << p.report.p99_ms << "}"
        << (i + 1 < tcp.size() ? "," : "") << "\n";
   }
+  os << "  ],\n"
+     << "  \"resilience\": [\n";
+  for (std::size_t i = 0; i < resilience.size(); ++i) {
+    const ResiliencePoint& p = resilience[i];
+    os << "    {\"shedding\": " << (p.shedding ? "true" : "false")
+       << ", \"clients\": " << p.clients
+       << ", \"deadline_s\": 2.0"
+       << ", \"sent\": " << p.report.sent
+       << ", \"completed\": " << p.report.completed
+       << ", \"refused\": " << p.report.refused
+       << ", \"expired\": " << p.report.expired
+       << ", \"resets\": " << p.report.resets
+       << ", \"timeouts\": " << p.report.timeouts
+       << ", \"attempts\": " << p.report.attempts
+       << ", \"retries\": " << p.report.retries
+       << ", \"retry_amplification\": " << p.report.retry_amplification()
+       << ", \"wall_s\": " << p.report.wall_s
+       << ", \"completed_queries_per_second\": " << p.report.qps
+       << ", \"p50_ms\": " << p.report.p50_ms
+       << ", \"p99_ms\": " << p.report.p99_ms
+       << ", \"all_terminal\": "
+       << (p.report.all_terminal() ? "true" : "false") << "}"
+       << (i + 1 < resilience.size() ? "," : "") << "\n";
+  }
   os << "  ]\n}\n";
 }
 
@@ -611,8 +708,12 @@ int main(int argc, char** argv) {
   const std::vector<TcpPoint> tcp = run_tcp_sweep(ref, residues, requests);
   print_tcp_sweep(tcp);
 
+  const std::vector<ResiliencePoint> resilience =
+      run_resilience_sweep(ref, residues, requests);
+  print_resilience_sweep(resilience);
+
   write_json(json_path, bases, residues, requests, util::probe_bench_env(),
-             sections, pipeline, sharded, tcp);
+             sections, pipeline, sharded, tcp, resilience);
   std::cout << "  wrote " << json_path << "\n";
 
   for (const BackendSection& section : sections)
@@ -623,5 +724,7 @@ int main(int argc, char** argv) {
     if (!point.hits_match) return 1;
   for (const TcpPoint& point : tcp)
     if (!point.report.clean()) return 1;
+  for (const ResiliencePoint& point : resilience)
+    if (!point.report.all_terminal()) return 1;
   return 0;
 }

@@ -64,9 +64,12 @@ struct EngineConfig {
 
 /// Per-request knobs.
 struct RequestOptions {
-  /// Seconds the request may wait in the queue before it is failed with
+  /// Seconds the request may wait before it is failed with
   /// DeadlineExceeded instead of run; 0 = no deadline.  Checked when a
-  /// worker claims the request (queued-time deadline, not execution time).
+  /// worker claims the request *and again* at the device dispatch point
+  /// (after the claiming batch wins the execution lock), so a request
+  /// that expired behind a long-running batch never rides into a device
+  /// invocation and inflates batch latency for live requests.
   double timeout_s = 0.0;
 };
 
@@ -125,6 +128,13 @@ struct RequestState {
     return phase.compare_exchange_strong(expected, static_cast<int>(to));
   }
 };
+
+/// Fails every already-claimed batch entry whose deadline is at or past
+/// `now` with DeadlineExceeded (bumping the expired counter) and drops it
+/// from the batch.  Called by execute_batch once it holds the execution
+/// lock — the second deadline checkpoint after the claim-time one.
+void drop_expired(std::vector<std::shared_ptr<RequestState>>& batch,
+                  std::chrono::steady_clock::time_point now);
 
 }  // namespace detail
 
@@ -228,6 +238,13 @@ class Engine {
       util::ThreadPool* pool = nullptr);
 
   // --- introspection ------------------------------------------------------
+  /// Requests currently waiting for a worker claim.  The service edge
+  /// (net::WireServer) sheds on this before enqueueing more work.
+  std::size_t queue_depth() const {
+    std::lock_guard lock{queue_mutex_};
+    return queue_.size();
+  }
+
   const EngineConfig& config() const noexcept { return config_; }
   const HostConfig& host_config() const noexcept { return config_.host; }
   BackendKind backend_kind() const noexcept { return backend_->kind(); }
@@ -290,7 +307,7 @@ class Engine {
   /// mutable state (fault log, lazy planes/CRCs) is not thread-safe.
   mutable std::mutex exec_mutex_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<StatePtr> queue_;
   std::vector<std::thread> workers_;

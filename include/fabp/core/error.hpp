@@ -32,6 +32,7 @@ enum class ErrorCode : std::uint8_t {
   Cancelled,         ///< request cancelled before it started running
   DeadlineExceeded,  ///< request deadline passed before it started running
   ShuttingDown,      ///< engine destroyed with the request still queued
+  Overloaded,        ///< shed at the service edge before admission
 };
 
 inline const char* to_string(ErrorCode code) noexcept {
@@ -48,6 +49,7 @@ inline const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::Cancelled: return "cancelled";
     case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::ShuttingDown: return "shutting-down";
+    case ErrorCode::Overloaded: return "overloaded";
   }
   return "unknown";
 }

@@ -1,0 +1,95 @@
+#pragma once
+// Resilient wire-protocol client (DESIGN.md §4f).
+//
+// The raw frame helpers (read_frame/write_frame) treat every failure as
+// fatal, which is correct for a protocol test but wrong for a client of
+// a shared service: a typed Overloaded refusal or a reset connection is
+// an invitation to back off and try again — up to a bounded number of
+// attempts, never past the caller's deadline.  Client wraps one logical
+// connection with exactly that policy: bounded exponential backoff with
+// jitter, retry-after hints honored, reconnect after transport faults,
+// and the caller's remaining budget propagated to the server as
+// AlignRequest::deadline_ms on every attempt.  Every call terminates
+// with a typed CallStatus — the error taxonomy `fabp loadgen` reports.
+
+#include <cstdint>
+#include <string>
+
+#include "fabp/net/fault.hpp"
+#include "fabp/net/server.hpp"
+#include "fabp/net/wire.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::net {
+
+/// Connects a blocking TCP socket to host:port; throws std::runtime_error
+/// when the peer is unreachable.
+Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// Bounded exponential backoff.  A retry-after hint from the server
+/// raises the computed backoff when larger; jitter spreads concurrent
+/// retriers so a shed burst does not re-arrive as a synchronized wave.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;      ///< total wire attempts per call
+  double initial_backoff_ms = 5.0;   ///< first retry sleep
+  double multiplier = 2.0;           ///< per-retry growth
+  double max_backoff_ms = 200.0;     ///< sleep ceiling
+  double jitter = 0.5;               ///< uniform +/- fraction per sleep
+};
+
+/// Terminal outcome taxonomy of one resilient call.
+enum class CallStatus : std::uint8_t {
+  Ok = 0,
+  Refused,  ///< typed refusal stood after every allowed retry
+            ///< (Overloaded/QueueFull exhausted, or non-retryable codes)
+  Expired,  ///< the server answered DeadlineExceeded
+  Reset,    ///< transport failed on every allowed attempt
+  Timeout,  ///< the caller's budget ran out before a terminal response
+};
+
+const char* to_string(CallStatus status) noexcept;
+
+struct CallResult {
+  CallStatus status = CallStatus::Ok;
+  AlignResponse response;    ///< valid when a response frame landed
+  std::size_t attempts = 0;  ///< wire attempts consumed
+  std::size_t retries = 0;   ///< attempts beyond the first
+
+  bool ok() const noexcept { return status == CallStatus::Ok; }
+};
+
+class Client {
+ public:
+  /// `injector`, when non-null, corrupts this client's outbound frames
+  /// (chaos tests); the retry machinery then doubles as the recovery
+  /// path under test.  The seed drives backoff jitter only.
+  Client(std::string host, std::uint16_t port, RetryPolicy policy = {},
+         std::uint64_t seed = 0x5eedfab9u, FaultInjector* injector = nullptr);
+
+  /// One resilient align call.  `deadline_s` is the total budget across
+  /// all attempts and backoff sleeps (0 = unbounded); the remaining
+  /// budget is re-encoded into request.deadline_ms per attempt and also
+  /// bounds the socket receive wait, so a hung server surfaces as a
+  /// typed Timeout, never a hang.
+  CallResult align(AlignRequest request, double deadline_s = 0.0);
+
+  /// Drops the connection (the next call reconnects).
+  void disconnect() noexcept { conn_.close(); }
+
+ private:
+  bool ensure_connected() noexcept;
+  /// Jittered, hint-aware sleep before attempt `attempt` (1-based retry
+  /// count), truncated to the remaining budget.  Returns false when the
+  /// budget is already gone (caller must stop retrying).
+  bool backoff(std::size_t attempt, std::uint32_t hint_ms,
+               double remaining_s);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  RetryPolicy policy_;
+  Socket conn_;
+  util::Xoshiro256 rng_;
+  FaultInjector* injector_ = nullptr;
+};
+
+}  // namespace fabp::net

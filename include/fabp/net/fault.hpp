@@ -1,0 +1,135 @@
+#pragma once
+// Deterministic network fault injection for the TCP service edge.
+//
+// PR 4 made the device path chaos-testable (hw/fault.hpp); this header
+// does the same for the network path.  A real service sees peers that
+// stall mid-frame, links that corrupt bytes, kernels that RST under
+// memory pressure, and middleboxes that replay segments.  The resilience
+// suite needs those injectable — seeded, replayable, composable on both
+// the server and loadgen sockets — so the chaos tests can prove the
+// server never hangs and keeps serving healthy connections while faults
+// rage on sick ones.
+//
+// Faults are drawn per *frame* (the protocol unit), not per byte: each
+// outbound frame gets a FramePlan saying whether it is delayed,
+// corrupted, duplicated, truncated-then-cut, or replaced by an abortive
+// reset.  Like hw::FaultInjector, every category draws from its own
+// Xoshiro256 sub-stream forked off one seed, so a schedule is a pure
+// function of (FaultConfig, stream index) and any chaos failure replays
+// from a one-line seed report.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fabp/util/rng.hpp"
+
+namespace fabp::net {
+
+/// Fault rates, all per outbound frame and all defaulting to zero: a
+/// default FaultConfig injects nothing and the frame-write path reduces
+/// to one `enabled()` branch.
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfab9u;  ///< schedule seed (forked per stream)
+
+  double corrupt_rate = 0.0;   ///< one payload byte flipped in transit
+  double truncate_rate = 0.0;  ///< frame cut short, then connection reset
+  double reset_rate = 0.0;     ///< abortive RST instead of the frame
+  double dup_rate = 0.0;       ///< frame delivered twice back-to-back
+  double delay_rate = 0.0;     ///< frame held for delay_ms before sending
+  std::size_t delay_ms = 5;    ///< hold time for delayed frames
+
+  bool enabled() const noexcept {
+    return corrupt_rate > 0.0 || truncate_rate > 0.0 || reset_rate > 0.0 ||
+           dup_rate > 0.0 || delay_rate > 0.0;
+  }
+};
+
+enum class NetFaultKind : std::uint8_t {
+  CorruptByte,     ///< a payload byte XORed with a non-zero mask
+  TruncateFrame,   ///< only a prefix of the wire frame sent, then reset
+  Reset,           ///< abortive close (RST) instead of the frame
+  DuplicateFrame,  ///< the whole wire frame sent twice
+  Delay,           ///< delay_ms sleep before the frame goes out
+};
+
+const char* to_string(NetFaultKind kind) noexcept;
+
+/// One injected fault, as recorded in the replayable schedule.
+struct NetFaultEvent {
+  NetFaultKind kind = NetFaultKind::Delay;
+  std::size_t frame = 0;   ///< outbound frame index on this stream
+  std::size_t offset = 0;  ///< byte offset (corrupt / truncate cut point)
+
+  bool operator==(const NetFaultEvent&) const = default;
+};
+
+/// What to do with one outbound wire frame (length prefix included).
+/// `kills_connection()` plans leave the stream desynchronised, so the
+/// caller must stop using the socket after executing them.
+struct FramePlan {
+  std::size_t delay_ms = 0;       ///< sleep before sending; 0 = none
+  bool duplicate = false;         ///< send the full frame twice
+  bool reset = false;             ///< abortive close, no bytes sent
+  /// Bytes of the wire frame to send before cutting the connection;
+  /// negative = send the whole frame.  May land inside the length
+  /// prefix — a truncated prefix is exactly the malformed input the
+  /// reader must survive.
+  std::ptrdiff_t truncate_at = -1;
+  std::size_t corrupt_offset = 0;  ///< payload byte to flip (mask != 0)
+  std::uint8_t corrupt_mask = 0;   ///< XOR mask; 0 = no corruption
+
+  bool kills_connection() const noexcept {
+    return reset || truncate_at >= 0;
+  }
+  bool clean() const noexcept {
+    return delay_ms == 0 && !duplicate && !kills_connection() &&
+           corrupt_mask == 0;
+  }
+};
+
+/// Draws a deterministic per-frame fault schedule from independent
+/// per-category sub-streams and logs every event.  One injector models
+/// one direction of one connection; callers fork a distinct stream index
+/// per connection so concurrent sockets draw independent (but
+/// replayable) schedules and never share RNG state across threads.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config, std::uint64_t stream = 0);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// The plan for the next outbound wire frame of `frame_bytes` bytes
+  /// (length prefix included).  Advances the frame index.
+  FramePlan plan_frame(std::size_t frame_bytes);
+
+  /// Every event drawn so far — the replayable fault schedule.
+  const std::vector<NetFaultEvent>& log() const noexcept { return log_; }
+
+ private:
+  FaultConfig config_;
+  util::Xoshiro256 corrupt_rng_;
+  util::Xoshiro256 truncate_rng_;
+  util::Xoshiro256 reset_rng_;
+  util::Xoshiro256 dup_rng_;
+  util::Xoshiro256 delay_rng_;
+  std::size_t frame_ = 0;
+  std::vector<NetFaultEvent> log_;
+};
+
+/// Arms an abortive close: SO_LINGER{on, 0} makes the next close() send
+/// RST instead of FIN, which is how mid-frame connection resets reach
+/// the peer as ECONNRESET rather than a clean EOF.
+void arm_reset(int fd) noexcept;
+
+/// Sends `payload` as a length-prefixed frame through `injector`'s plan
+/// for it (delay, duplicate, corrupt, truncate, reset).  Returns true
+/// when the connection is still usable afterwards; false when the plan
+/// killed it (the fd is armed for RST — the caller must close it and
+/// stop using it) or the kernel reported a send failure.  A null or
+/// disabled injector degrades to plain write_frame.
+bool write_frame_with_faults(int fd, std::string_view payload,
+                             FaultInjector* injector);
+
+}  // namespace fabp::net

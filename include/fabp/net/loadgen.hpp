@@ -5,10 +5,21 @@
 // measure a serving stack's throughput/latency trade-off as concurrency
 // grows.  Queries are deterministic random proteins (seeded), thresholds
 // a fixed fraction of the query length.
+//
+// The resilience knobs turn the same loop into a chaos driver: each
+// request carries a deadline budget and runs through the retrying
+// net::Client (typed refused/expired/reset/timeout taxonomy, retry
+// amplification measured), and a configurable fraction of the
+// connections become *attackers* — fault-injected sockets spraying
+// corrupted, truncated, duplicated and reset frames at the server for
+// the duration of the run, tallied separately so a clean healthy-side
+// report still means something.
 
 #include <cstdint>
 #include <string>
 
+#include "fabp/net/client.hpp"
+#include "fabp/net/fault.hpp"
 #include "fabp/net/wire.hpp"
 
 namespace fabp::net {
@@ -16,26 +27,65 @@ namespace fabp::net {
 struct LoadgenConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
-  std::size_t clients = 1;        ///< concurrent connections
-  std::size_t requests = 64;      ///< total, split across clients
+  std::size_t clients = 1;        ///< concurrent healthy connections
+  std::size_t requests = 64;      ///< total, split across healthy clients
   std::size_t query_residues = 24;
   double threshold_fraction = 0.6; ///< of 3 * query_residues elements
   std::uint64_t seed = 42;
+
+  // --- resilience ---------------------------------------------------------
+  double deadline_s = 0.0;  ///< per-request budget (0 = unbounded)
+  RetryPolicy retry{};      ///< max_attempts = 1 disables retries
+  /// Fraction of `clients` replaced by attacker connections that spray
+  /// fault-injected frames (see `fault`) instead of measured requests;
+  /// at least one healthy client always remains.
+  double faulty_fraction = 0.0;
+  FaultConfig fault{};      ///< attacker-side frame fault schedule
 };
 
 struct LoadgenReport {
   std::size_t sent = 0;
   std::size_t completed = 0;       ///< responses with ok status
-  std::size_t errors = 0;          ///< typed error statuses
-  std::size_t transport_failures = 0;  ///< broken connections / frames
+  std::size_t errors = 0;          ///< typed terminal errors (refused+expired)
+  std::size_t transport_failures = 0;  ///< healthy-side terminal resets
   std::size_t total_hits = 0;      ///< forward + reverse, all responses
+
+  // --- terminal outcome taxonomy (healthy clients) -----------------------
+  std::size_t refused = 0;   ///< typed refusal stood after retries
+  std::size_t expired = 0;   ///< server answered DeadlineExceeded
+  std::size_t resets = 0;    ///< transport failed on every attempt
+  std::size_t timeouts = 0;  ///< budget ran out before a terminal answer
+  std::size_t attempts = 0;  ///< wire attempts across all requests
+  std::size_t retries = 0;   ///< attempts beyond each request's first
+
+  // --- attacker side ------------------------------------------------------
+  std::size_t attackers = 0;      ///< connections run as fault sprayers
+  std::size_t attack_frames = 0;  ///< frames (whole or cut) they sent
+
   double wall_s = 0.0;
   double qps = 0.0;                ///< completed / wall_s
-  double p50_ms = 0.0;             ///< client-observed round-trip
+  double p50_ms = 0.0;             ///< client-observed round-trip (ok calls)
   double p99_ms = 0.0;
 
+  /// Mean wire attempts per request — the retry-amplification factor an
+  /// overloaded deployment pays for client-side retries.
+  double retry_amplification() const noexcept {
+    return sent == 0 ? 0.0
+                     : static_cast<double>(attempts) /
+                           static_cast<double>(sent);
+  }
+
+  /// Every healthy request reached a typed ok outcome: nothing refused,
+  /// nothing expired, no transport loss, no budget overrun.
   bool clean() const noexcept {
-    return transport_failures == 0 && errors == 0;
+    return transport_failures == 0 && errors == 0 && timeouts == 0;
+  }
+
+  /// Weaker invariant for overload/chaos runs: every request reached a
+  /// *typed terminal* outcome (ok/refused/expired/reset/timeout) —
+  /// nothing hung and nothing vanished untallied.
+  bool all_terminal() const noexcept {
+    return completed + refused + expired + resets + timeouts == sent;
   }
 };
 

@@ -1,26 +1,45 @@
 #pragma once
-// TCP front-end over the serving engine (DESIGN.md §4e).
+// TCP front-end over the serving engine (DESIGN.md §4e, resilience §4f).
 //
 // WireServer binds a listening socket at construction (port 0 lets the
 // kernel pick — the smoke tests and in-process benchmarks rely on it),
 // then serve() accepts connections on the caller's thread and answers
-// each one from a dedicated connection thread: AlignRequest frames run
+// each one from a dedicated connection thread.  AlignRequest frames run
 // through Engine::submit (so concurrent clients coalesce into shared
-// scans exactly like in-process callers), StatsRequest frames return the
-// engine's formatted stats dump.  shutdown() is the graceful-drain path:
-// stop accepting, wake every blocked connection read via ::shutdown on
-// the tracked fds, join the connection threads (in-flight requests
-// finish and their responses are sent first), then return.  Per-request
-// wall latencies are recorded for the p50/p99 dump.
+// scans exactly like in-process callers); StatsRequest frames return the
+// engine's formatted stats dump.
+//
+// The service edge is where overload and misbehaving peers are bounded:
+//  - Requests carry a deadline budget (AlignRequest::deadline_ms) that
+//    maps onto the engine deadline; expiry comes back as a typed
+//    DeadlineExceeded response, never a hang.
+//  - Admission is shed *before* enqueue when the engine queue is deeper
+//    than shed_queue_depth or the recent p99 exceeds shed_p99_ms: the
+//    client gets a typed Overloaded refusal with a retry-after hint.
+//  - Each connection pipelines at most max_inflight_per_connection
+//    requests (responses stay in request order); connection I/O runs
+//    nonblocking under poll() so an idle peer (idle_timeout_s) or a
+//    stalled one mid-frame / mid-response (io_timeout_s — slow-loris
+//    hardening) is reaped instead of pinning the thread forever.
+//  - shutdown() drains gracefully but boundedly: after drain_timeout_s
+//    still-queued requests are force-cancelled through the Ticket
+//    cancel path and the sockets are torn down.
+//  - A FaultConfig on the server injects response-path network faults
+//    (per connection, deterministic streams) for the chaos suite.
 
+#include <array>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fabp/core/engine.hpp"
+#include "fabp/net/fault.hpp"
 #include "fabp/net/wire.hpp"
 
 namespace fabp::net {
@@ -52,7 +71,8 @@ class Socket {
 /// on clean EOF, a broken connection, or a length prefix above
 /// `max_bytes` (clients pass the default response bound; the server
 /// reads with kMaxRequestFrameBytes); write_frame returns false on a
-/// broken connection.
+/// broken connection.  Both resume short transfers and EINTR — a signal
+/// delivered mid-send must not masquerade as a peer failure.
 bool read_frame(int fd, std::string& payload,
                 std::uint32_t max_bytes = kMaxFrameBytes);
 bool write_frame(int fd, std::string_view payload);
@@ -60,6 +80,34 @@ bool write_frame(int fd, std::string_view payload);
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = kernel-assigned (see port())
+
+  // --- overload shedding (0 = that trigger disabled) ---------------------
+  /// Refuse new aligns (typed Overloaded) once the engine admission queue
+  /// is at least this deep.
+  std::size_t shed_queue_depth = 0;
+  /// Refuse new aligns once the p99 over the recent-latency window
+  /// exceeds this many milliseconds.
+  double shed_p99_ms = 0.0;
+
+  // --- connection supervision --------------------------------------------
+  /// Pipelined requests one connection may have outstanding; further
+  /// frames wait in the socket buffer (backpressure, not refusal).
+  std::size_t max_inflight_per_connection = 4;
+  /// Reap a connection with no traffic and no outstanding work after
+  /// this many seconds (0 = idle connections live forever).
+  double idle_timeout_s = 0.0;
+  /// Reap a connection stalled mid-frame — inbound bytes that stop
+  /// flowing inside a frame, or a peer draining its responses too slowly
+  /// — after this many seconds (0 = off).  Slow-loris hardening.
+  double io_timeout_s = 0.0;
+
+  // --- graceful drain ------------------------------------------------------
+  /// shutdown() waits this long for in-flight work, then force-cancels
+  /// still-queued requests through Ticket::cancel and tears sockets down.
+  double drain_timeout_s = 5.0;
+
+  /// Response-path fault injection (chaos suite); disabled by default.
+  FaultConfig fault{};
 };
 
 /// Aggregate request metrics, snapshot via WireServer::metrics().
@@ -68,6 +116,9 @@ struct ServerMetrics {
   std::size_t requests = 0;        ///< align requests answered
   std::size_t errors = 0;          ///< answered with a non-ok status
   std::size_t malformed = 0;       ///< frames that failed to decode
+  std::size_t shed = 0;            ///< refused with Overloaded pre-enqueue
+  std::size_t io_timeouts = 0;     ///< connections reaped as idle/stalled
+  std::size_t force_cancelled = 0; ///< requests cancelled at drain deadline
   double p50_ms = 0.0;             ///< server-side align latency
   double p99_ms = 0.0;
   double max_ms = 0.0;
@@ -91,16 +142,46 @@ class WireServer {
   /// Accept loop on the caller's thread; returns after shutdown().
   void serve();
 
-  /// Graceful drain: stop accepting, interrupt blocked connection reads,
-  /// join every connection thread (in-flight responses are sent first).
-  /// Idempotent and callable from any thread (the CLI's signal thread).
+  /// Bounded graceful drain: stop accepting, half-close every connection
+  /// read side, wait up to drain_timeout_s for in-flight responses to go
+  /// out, then force-cancel still-queued requests and tear the sockets
+  /// down.  Idempotent and callable from any thread (the CLI's signal
+  /// thread).
   void shutdown();
 
   ServerMetrics metrics() const;
 
  private:
-  void handle_connection(Socket conn);
+  /// One pipelined slot: either a live engine ticket or an
+  /// already-encoded reply (shed refusals, malformed-frame answers,
+  /// stats) held so responses leave in request order.
+  struct PendingReply {
+    std::uint64_t id = 0;
+    std::chrono::steady_clock::time_point t0{};
+    bool has_ticket = false;
+    core::Ticket ticket;
+    std::string ready_payload;  ///< encoded, when !has_ticket
+  };
+
+  /// Shared between a connection handler and shutdown(): the handler
+  /// owns the queue; the drain-deadline pass walks it to cancel tickets.
+  struct ConnState {
+    int fd = -1;
+    std::mutex m;
+    std::deque<PendingReply> pending;
+  };
+
+  void handle_connection(Socket conn, std::shared_ptr<ConnState> state,
+                         std::uint64_t stream);
+  /// Decode + admit one inbound frame; appends the reply (or the live
+  /// ticket) to state->pending.  Returns false when the connection must
+  /// close (alien/oversized frame).
+  bool process_frame(std::string_view payload, ConnState& state);
+  /// Consume a finished ticket into an encoded AlignResponse payload.
+  std::string finish_align(PendingReply& slot);
   void record_latency(double seconds);
+  double recent_percentile_ms(double pct) const;  // callers hold mutex_
+  std::uint32_t retry_hint_ms(std::size_t depth) const;
 
   core::Engine& engine_;
   ServerConfig config_;
@@ -109,14 +190,23 @@ class WireServer {
   std::uint16_t port_ = 0;
 
   mutable std::mutex mutex_;
+  std::condition_variable drain_cv_;
   bool stopping_ = false;
+  std::size_t active_handlers_ = 0;
   std::vector<std::thread> connections_;
-  std::vector<int> live_fds_;           ///< open conn fds, for interrupt
+  std::vector<std::shared_ptr<ConnState>> conns_;  ///< live, for drain
   std::vector<double> latencies_s_;
+  /// Sliding window feeding the p99 shed trigger and retry-after hints.
+  std::array<double, 64> recent_ms_{};
+  std::size_t recent_count_ = 0;
+  std::size_t recent_next_ = 0;
   std::size_t accepted_ = 0;
   std::size_t requests_ = 0;
   std::size_t errors_ = 0;
   std::size_t malformed_ = 0;
+  std::size_t shed_ = 0;
+  std::size_t io_timeouts_ = 0;
+  std::size_t force_cancelled_ = 0;
 };
 
 }  // namespace fabp::net

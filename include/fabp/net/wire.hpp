@@ -6,11 +6,18 @@
 // protocol version.  Frames above kMaxFrameBytes are rejected before any
 // allocation (a garbage length prefix must not OOM the server).
 //
-//   AlignRequest   = type | ver | id u64 | threshold u32 | len u32 | protein
-//   AlignResponse  = type | ver | id u64 | status u8 | server_seconds f64
-//                  | error string | hit list | reverse hit list
+//   AlignRequest   = type | ver | id u64 | threshold u32 | deadline_ms u32
+//                  | len u32 | protein
+//   AlignResponse  = type | ver | id u64 | status u8 | retry_after_ms u32
+//                  | server_seconds f64 | error string | hit list
+//                  | reverse hit list
 //   StatsRequest   = type | ver
 //   StatsResponse  = type | ver | text string
+//
+// Version 2 added deadline propagation (requests carry their remaining
+// budget in ms; the server maps it onto the engine deadline) and the
+// retry-after hint typed refusals carry back (Overloaded/QueueFull tell
+// the client how long to back off before the next attempt).
 //
 // Strings are u32 length + bytes; hit lists are u32 count + (u64 position,
 // u32 score) pairs.  Encode/decode are pure byte-vector transforms with no
@@ -27,7 +34,7 @@
 
 namespace fabp::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Per-direction frame bounds.  Client->server frames carry queries and
 /// are tiny, so the server rejects anything above 1 MiB before
 /// allocating (a garbage length prefix must not OOM the server).
@@ -49,14 +56,20 @@ enum class MessageType : std::uint8_t {
 struct AlignRequest {
   std::uint64_t id = 0;          ///< echoed in the response
   std::uint32_t threshold = 0;   ///< matching elements required
+  std::uint32_t deadline_ms = 0; ///< remaining budget; 0 = no deadline.
+                                 ///< The server fails the request with
+                                 ///< DeadlineExceeded instead of running
+                                 ///< it once the budget is gone.
   std::string protein;           ///< one-letter residue codes
 };
 
 struct AlignResponse {
   std::uint64_t id = 0;
-  std::uint8_t status = 0;       ///< core::ErrorCode numeric value; 0 = ok
-  double server_seconds = 0.0;   ///< server-side latency (queue + scan)
-  std::string error;             ///< human-readable, when status != 0
+  std::uint8_t status = 0;        ///< core::ErrorCode numeric value; 0 = ok
+  std::uint32_t retry_after_ms = 0;  ///< back-off hint on typed refusals
+                                     ///< (Overloaded/QueueFull); 0 = none
+  double server_seconds = 0.0;    ///< server-side latency (queue + scan)
+  std::string error;              ///< human-readable, when status != 0
   std::vector<core::Hit> hits;
   std::vector<core::Hit> reverse_hits;
 

@@ -20,6 +20,28 @@ bool Ticket::cancel() {
   return true;
 }
 
+namespace detail {
+
+void drop_expired(std::vector<std::shared_ptr<RequestState>>& batch,
+                  std::chrono::steady_clock::time_point now) {
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    RequestState& state = *batch[i];
+    if (state.has_deadline && now >= state.deadline) {
+      state.counters->expired.fetch_add(1, std::memory_order_relaxed);
+      state.promise.set_value(
+          Error{ErrorCode::DeadlineExceeded,
+                "request deadline passed before device dispatch"});
+      continue;
+    }
+    if (keep != i) batch[keep] = std::move(batch[i]);
+    ++keep;
+  }
+  batch.resize(keep);
+}
+
+}  // namespace detail
+
 Error validate_engine_config(const EngineConfig& config) noexcept {
   if (config.workers == 0)
     return Error{ErrorCode::InvalidConfig, "engine.workers must be positive"};
@@ -201,6 +223,14 @@ void Engine::execute_batch(std::vector<StatePtr> batch) {
   };
 
   std::lock_guard exec_lock{exec_mutex_};
+
+  // Second deadline checkpoint: the claim-time check above ran before
+  // this batch won the execution lock, and a long-running predecessor
+  // batch may have burned a claimed request's whole budget in between.
+  // Fail those now instead of letting a dead request widen the device
+  // invocation and inflate latency for the live ones.
+  detail::drop_expired(batch, std::chrono::steady_clock::now());
+  if (batch.empty()) return;
 
   // Coalesced path: one multi-query scan of each strand produces every
   // request's hit list, and the per-request backend runs reduce to

@@ -1,0 +1,188 @@
+#include "fabp/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "fabp/core/error.hpp"
+
+namespace fabp::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bounds how long one recv may park when the call has a budget, so a
+/// hung or stalled server becomes a transport failure the retry loop
+/// can classify, instead of a blocked client thread.
+void set_io_timeout(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0.0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - std::floor(seconds)) * 1e6);
+    // A zero timeval means "no timeout" to the kernel; round up instead.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1000;
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool retryable_status(std::uint8_t status) noexcept {
+  return status == static_cast<std::uint8_t>(core::ErrorCode::Overloaded) ||
+         status == static_cast<std::uint8_t>(core::ErrorCode::QueueFull);
+}
+
+}  // namespace
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!sock.valid()) throw std::runtime_error{"socket() failed"};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error{"bad host address: " + host};
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0)
+    throw std::runtime_error{"connect() failed to " + host + ":" +
+                             std::to_string(port)};
+  return sock;
+}
+
+const char* to_string(CallStatus status) noexcept {
+  switch (status) {
+    case CallStatus::Ok: return "ok";
+    case CallStatus::Refused: return "refused";
+    case CallStatus::Expired: return "expired";
+    case CallStatus::Reset: return "reset";
+    case CallStatus::Timeout: return "timeout";
+  }
+  return "unknown";
+}
+
+Client::Client(std::string host, std::uint16_t port, RetryPolicy policy,
+               std::uint64_t seed, FaultInjector* injector)
+    : host_{std::move(host)},
+      port_{port},
+      policy_{policy},
+      rng_{seed},
+      injector_{injector} {}
+
+bool Client::ensure_connected() noexcept {
+  if (conn_.valid()) return true;
+  try {
+    conn_ = connect_to(host_, port_);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool Client::backoff(std::size_t attempt, std::uint32_t hint_ms,
+                     double remaining_s) {
+  double sleep_ms =
+      policy_.initial_backoff_ms *
+      std::pow(policy_.multiplier, static_cast<double>(attempt - 1));
+  sleep_ms = std::min(sleep_ms, policy_.max_backoff_ms);
+  // The server's hint knows the queue; believe it when it asks for more.
+  sleep_ms = std::max(sleep_ms, static_cast<double>(hint_ms));
+  if (policy_.jitter > 0.0)
+    sleep_ms *= 1.0 + policy_.jitter * (2.0 * rng_.uniform() - 1.0);
+  sleep_ms = std::max(sleep_ms, 0.0);
+  if (remaining_s >= 0.0 && sleep_ms * 1e-3 >= remaining_s)
+    return false;  // the budget ends before the retry could land
+  if (sleep_ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  return true;
+}
+
+CallResult Client::align(AlignRequest request, double deadline_s) {
+  const bool bounded = deadline_s > 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(deadline_s));
+  const std::size_t max_attempts = std::max<std::size_t>(
+      policy_.max_attempts, 1);
+
+  CallResult result;
+  bool last_was_transport = false;
+  std::string payload;
+  while (result.attempts < max_attempts) {
+    double remaining_s = -1.0;
+    if (bounded) {
+      remaining_s =
+          std::chrono::duration<double>(deadline - Clock::now()).count();
+      if (remaining_s <= 0.0) {
+        result.status = CallStatus::Timeout;
+        return result;
+      }
+      // Propagate what is left of the budget, not the original total:
+      // time burned on earlier attempts and sleeps is gone.
+      request.deadline_ms = static_cast<std::uint32_t>(std::clamp(
+          std::ceil(remaining_s * 1e3), 1.0, 4.0e9));
+    }
+    ++result.attempts;
+
+    if (!ensure_connected()) {
+      last_was_transport = true;
+    } else {
+      if (bounded) set_io_timeout(conn_.fd(), remaining_s);
+      AlignResponse response;
+      const bool io_ok =
+          write_frame_with_faults(conn_.fd(), encode(request), injector_) &&
+          read_frame(conn_.fd(), payload) && decode(payload, response) &&
+          response.id == request.id;
+      if (io_ok) {
+        last_was_transport = false;
+        if (response.status == 0) {
+          result.status = CallStatus::Ok;
+          result.response = std::move(response);
+          return result;
+        }
+        if (response.status ==
+            static_cast<std::uint8_t>(core::ErrorCode::DeadlineExceeded)) {
+          result.status = CallStatus::Expired;
+          result.response = std::move(response);
+          return result;
+        }
+        if (!retryable_status(response.status)) {
+          result.status = CallStatus::Refused;
+          result.response = std::move(response);
+          return result;
+        }
+        result.response = std::move(response);  // keep the last refusal
+      } else {
+        // Desynchronized or broken stream: the connection is unusable.
+        conn_.close();
+        last_was_transport = true;
+      }
+    }
+
+    if (result.attempts >= max_attempts) break;
+    const std::uint32_t hint =
+        last_was_transport ? 0 : result.response.retry_after_ms;
+    if (bounded)
+      remaining_s =
+          std::chrono::duration<double>(deadline - Clock::now()).count();
+    if (!backoff(result.attempts, hint, remaining_s)) {
+      result.status = CallStatus::Timeout;
+      result.retries = result.attempts - 1;
+      return result;
+    }
+    ++result.retries;
+  }
+
+  result.status =
+      last_was_transport ? CallStatus::Reset : CallStatus::Refused;
+  return result;
+}
+
+}  // namespace fabp::net

@@ -1,0 +1,127 @@
+#include "fabp/net/fault.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "fabp/net/server.hpp"
+#include "fabp/net/wire.hpp"
+
+namespace fabp::net {
+
+namespace {
+
+// Blocking send loop, local to the fault path (the production write path
+// lives in server.cpp and is poll-supervised; fault writes come from
+// test harnesses and loadgen attacker threads, where blocking is fine).
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(NetFaultKind kind) noexcept {
+  switch (kind) {
+    case NetFaultKind::CorruptByte: return "corrupt-byte";
+    case NetFaultKind::TruncateFrame: return "truncate-frame";
+    case NetFaultKind::Reset: return "reset";
+    case NetFaultKind::DuplicateFrame: return "duplicate-frame";
+    case NetFaultKind::Delay: return "delay";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t stream)
+    : config_{config},
+      corrupt_rng_{util::SplitMix64{config.seed ^ (stream * 5 + 0)}.next()},
+      truncate_rng_{util::SplitMix64{config.seed ^ (stream * 5 + 1)}.next()},
+      reset_rng_{util::SplitMix64{config.seed ^ (stream * 5 + 2)}.next()},
+      dup_rng_{util::SplitMix64{config.seed ^ (stream * 5 + 3)}.next()},
+      delay_rng_{util::SplitMix64{config.seed ^ (stream * 5 + 4)}.next()} {}
+
+FramePlan FaultInjector::plan_frame(std::size_t frame_bytes) {
+  const std::size_t index = frame_++;
+  FramePlan plan;
+  if (delay_rng_.chance(config_.delay_rate)) {
+    plan.delay_ms = config_.delay_ms;
+    log_.push_back(NetFaultEvent{NetFaultKind::Delay, index, 0});
+  }
+  // Reset and truncate both kill the connection; reset wins when both
+  // fire (no bytes make it out).
+  if (reset_rng_.chance(config_.reset_rate)) {
+    plan.reset = true;
+    log_.push_back(NetFaultEvent{NetFaultKind::Reset, index, 0});
+    return plan;
+  }
+  if (frame_bytes > 0 && truncate_rng_.chance(config_.truncate_rate)) {
+    // Cut anywhere in the wire frame, including inside the 4-byte length
+    // prefix — a half-written prefix is precisely the malformed input
+    // the peer's reader has to fail soft on.
+    plan.truncate_at =
+        static_cast<std::ptrdiff_t>(truncate_rng_.bounded(frame_bytes));
+    log_.push_back(NetFaultEvent{NetFaultKind::TruncateFrame, index,
+                                 static_cast<std::size_t>(plan.truncate_at)});
+    return plan;
+  }
+  if (dup_rng_.chance(config_.dup_rate)) {
+    plan.duplicate = true;
+    log_.push_back(NetFaultEvent{NetFaultKind::DuplicateFrame, index, 0});
+  }
+  // Corruption stays inside the payload (offset >= 4): flipping a length
+  // prefix byte could announce bytes that never arrive, which is a hang,
+  // not a corruption — truncation covers the prefix-damage case with a
+  // cut that terminates the wait.
+  if (frame_bytes > 4 && corrupt_rng_.chance(config_.corrupt_rate)) {
+    plan.corrupt_offset = 4 + corrupt_rng_.bounded(frame_bytes - 4);
+    plan.corrupt_mask =
+        static_cast<std::uint8_t>(1u << corrupt_rng_.bounded(8));
+    log_.push_back(NetFaultEvent{NetFaultKind::CorruptByte, index,
+                                 plan.corrupt_offset});
+  }
+  return plan;
+}
+
+void arm_reset(int fd) noexcept {
+  const linger abort_on_close{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_on_close,
+               sizeof abort_on_close);
+}
+
+bool write_frame_with_faults(int fd, std::string_view payload,
+                             FaultInjector* injector) {
+  if (injector == nullptr || !injector->config().enabled())
+    return write_frame(fd, payload);
+
+  std::string framed = frame(payload);
+  const FramePlan plan = injector->plan_frame(framed.size());
+  if (plan.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+  if (plan.reset) {
+    arm_reset(fd);
+    return false;
+  }
+  if (plan.truncate_at >= 0) {
+    send_all(fd, framed.data(), static_cast<std::size_t>(plan.truncate_at));
+    arm_reset(fd);
+    return false;
+  }
+  if (plan.corrupt_mask != 0 && plan.corrupt_offset < framed.size())
+    framed[plan.corrupt_offset] = static_cast<char>(
+        static_cast<std::uint8_t>(framed[plan.corrupt_offset]) ^
+        plan.corrupt_mask);
+  if (!send_all(fd, framed.data(), framed.size())) return false;
+  if (plan.duplicate && !send_all(fd, framed.data(), framed.size()))
+    return false;
+  return true;
+}
+
+}  // namespace fabp::net

@@ -1,12 +1,11 @@
 #include "fabp/net/loadgen.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -19,34 +18,65 @@
 namespace fabp::net {
 namespace {
 
-Socket connect_to(const std::string& host, std::uint16_t port) {
-  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
-  if (!sock.valid()) throw std::runtime_error{"socket() failed"};
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
-    throw std::runtime_error{"bad host address: " + host};
-  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0)
-    throw std::runtime_error{"connect() failed to " + host + ":" +
-                             std::to_string(port)};
-  return sock;
-}
-
 struct ClientTally {
   std::size_t sent = 0;
   std::size_t completed = 0;
-  std::size_t errors = 0;
-  std::size_t transport_failures = 0;
+  std::size_t refused = 0;
+  std::size_t expired = 0;
+  std::size_t resets = 0;
+  std::size_t timeouts = 0;
+  std::size_t attempts = 0;
+  std::size_t retries = 0;
   std::size_t total_hits = 0;
+  std::size_t attack_frames = 0;
   std::vector<double> latencies_s;
 };
+
+/// One attacker connection: sprays fault-injected align frames at the
+/// server until the healthy side finishes.  Reconnects after every
+/// connection-killing fault; responses are drained opportunistically so
+/// the server's write side is exercised too (but a stalled drain is
+/// fine — the server's slow-write supervision owns that case).
+void attack_loop(const LoadgenConfig& config, std::uint64_t stream,
+                 const std::string& protein, std::uint32_t threshold,
+                 const std::atomic<bool>& done, ClientTally& tally) {
+  FaultInjector injector{config.fault, stream};
+  Socket conn;
+  std::string payload;
+  std::uint64_t id = 0;
+  while (!done.load(std::memory_order_relaxed)) {
+    if (!conn.valid()) {
+      try {
+        conn = connect_to(config.host, config.port);
+      } catch (const std::exception&) {
+        break;  // server gone; the healthy side will report it
+      }
+      // Never park forever on a drain: the loop must notice `done`.
+      timeval tv{0, 50 * 1000};
+      ::setsockopt(conn.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    }
+    AlignRequest request;
+    request.id = id++;
+    request.threshold = threshold;
+    request.protein = protein;
+    ++tally.attack_frames;
+    if (!write_frame_with_faults(conn.fd(), encode(request), &injector)) {
+      conn.close();  // fault plan killed the stream (RST on close)
+      continue;
+    }
+    read_frame(conn.fd(), payload);  // best-effort drain, timeout-bounded
+  }
+}
 
 }  // namespace
 
 LoadgenReport run_loadgen(const LoadgenConfig& config) {
-  const std::size_t clients = std::max<std::size_t>(1, config.clients);
+  const std::size_t total_clients = std::max<std::size_t>(1, config.clients);
+  std::size_t attackers = static_cast<std::size_t>(
+      static_cast<double>(total_clients) *
+      std::clamp(config.faulty_fraction, 0.0, 1.0));
+  attackers = std::min(attackers, total_clients - 1);  // >= 1 healthy
+  const std::size_t healthy = total_clients - attackers;
 
   // Pre-generate every query so client threads only do I/O; queries are
   // deterministic in the seed for reproducible benchmark runs.
@@ -59,28 +89,27 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
   const auto threshold = static_cast<std::uint32_t>(
       static_cast<double>(3 * config.query_residues) *
       config.threshold_fraction);
+  const std::string attack_protein =
+      proteins.empty()
+          ? bio::random_protein(config.query_residues, rng).to_string()
+          : proteins.front();
 
   // Probe connection first so a dead server is a typed failure, not N
   // threads' worth of identical errors.
   connect_to(config.host, config.port);
 
-  std::vector<ClientTally> tallies(clients);
+  std::vector<ClientTally> tallies(total_clients);
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> done{false};
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
-    threads.reserve(clients);
-    for (std::size_t c = 0; c < clients; ++c) {
+    threads.reserve(total_clients);
+    for (std::size_t c = 0; c < healthy; ++c) {
       threads.emplace_back([&, c] {
         ClientTally& tally = tallies[c];
-        Socket conn;
-        try {
-          conn = connect_to(config.host, config.port);
-        } catch (const std::exception&) {
-          ++tally.transport_failures;
-          return;
-        }
-        std::string payload;
+        Client client{config.host, config.port, config.retry,
+                      config.seed ^ (0x9e3779b97f4a7c15ULL * (c + 1))};
         for (;;) {
           const std::size_t i = next.fetch_add(1);
           if (i >= proteins.size()) break;
@@ -90,28 +119,38 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
           request.protein = proteins[i];
           ++tally.sent;
           const auto start = std::chrono::steady_clock::now();
-          AlignResponse response;
-          if (!write_frame(conn.fd(), encode(request)) ||
-              !read_frame(conn.fd(), payload) ||
-              !decode(payload, response) || response.id != request.id) {
-            ++tally.transport_failures;
-            return;  // connection is unusable past a framing error
-          }
-          tally.latencies_s.push_back(
-              std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start)
-                  .count());
-          if (response.ok()) {
-            ++tally.completed;
-            tally.total_hits +=
-                response.hits.size() + response.reverse_hits.size();
-          } else {
-            ++tally.errors;
+          CallResult outcome = client.align(request, config.deadline_s);
+          tally.attempts += outcome.attempts;
+          tally.retries += outcome.retries;
+          switch (outcome.status) {
+            case CallStatus::Ok:
+              ++tally.completed;
+              tally.total_hits += outcome.response.hits.size() +
+                                  outcome.response.reverse_hits.size();
+              tally.latencies_s.push_back(
+                  std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+              break;
+            case CallStatus::Refused: ++tally.refused; break;
+            case CallStatus::Expired: ++tally.expired; break;
+            case CallStatus::Reset: ++tally.resets; break;
+            case CallStatus::Timeout: ++tally.timeouts; break;
           }
         }
       });
     }
-    for (std::thread& t : threads) t.join();
+    for (std::size_t a = 0; a < attackers; ++a) {
+      threads.emplace_back([&, a] {
+        attack_loop(config, a + 1, attack_protein, threshold, done,
+                    tallies[healthy + a]);
+      });
+    }
+    // Healthy threads are the first `healthy` entries; once they drain
+    // the request queue, stop the attackers.
+    for (std::size_t c = 0; c < healthy; ++c) threads[c].join();
+    done.store(true, std::memory_order_relaxed);
+    for (std::size_t a = 0; a < attackers; ++a) threads[healthy + a].join();
   }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -119,16 +158,24 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
 
   LoadgenReport report;
   report.wall_s = wall_s;
+  report.attackers = attackers;
   std::vector<double> latencies;
   for (const ClientTally& tally : tallies) {
     report.sent += tally.sent;
     report.completed += tally.completed;
-    report.errors += tally.errors;
-    report.transport_failures += tally.transport_failures;
+    report.refused += tally.refused;
+    report.expired += tally.expired;
+    report.resets += tally.resets;
+    report.timeouts += tally.timeouts;
+    report.attempts += tally.attempts;
+    report.retries += tally.retries;
     report.total_hits += tally.total_hits;
+    report.attack_frames += tally.attack_frames;
     latencies.insert(latencies.end(), tally.latencies_s.begin(),
                      tally.latencies_s.end());
   }
+  report.errors = report.refused + report.expired;
+  report.transport_failures = report.resets;
   if (wall_s > 0.0)
     report.qps = static_cast<double>(report.completed) / wall_s;
   if (!latencies.empty()) {

@@ -139,10 +139,11 @@ void put_header(std::string& out, MessageType type) {
 
 std::string encode(const AlignRequest& message) {
   std::string out;
-  out.reserve(2 + 8 + 4 + 4 + message.protein.size());
+  out.reserve(2 + 8 + 4 + 4 + 4 + message.protein.size());
   put_header(out, MessageType::AlignRequest);
   put_u64(out, message.id);
   put_u32(out, message.threshold);
+  put_u32(out, message.deadline_ms);
   put_string(out, message.protein);
   return out;
 }
@@ -154,6 +155,7 @@ std::string encode(const AlignResponse& message) {
   put_header(out, MessageType::AlignResponse);
   put_u64(out, message.id);
   put_u8(out, message.status);
+  put_u32(out, message.retry_after_ms);
   put_f64(out, message.server_seconds);
   put_string(out, message.error);
   put_hits(out, message.hits);
@@ -195,7 +197,8 @@ bool decode(std::string_view payload, AlignRequest& out) {
   Reader r{payload};
   AlignRequest m;
   if (!read_header(r, MessageType::AlignRequest) || !r.u64(m.id) ||
-      !r.u32(m.threshold) || !r.string(m.protein) || !r.exhausted())
+      !r.u32(m.threshold) || !r.u32(m.deadline_ms) || !r.string(m.protein) ||
+      !r.exhausted())
     return false;
   out = std::move(m);
   return true;
@@ -206,7 +209,8 @@ bool decode(std::string_view payload, AlignResponse& out) {
   Reader r{payload};
   AlignResponse m;
   if (!read_header(r, MessageType::AlignResponse) || !r.u64(m.id) ||
-      !r.u8(m.status) || !r.f64(m.server_seconds) || !r.string(m.error) ||
+      !r.u8(m.status) || !r.u32(m.retry_after_ms) ||
+      !r.f64(m.server_seconds) || !r.string(m.error) ||
       !r.hits(m.hits) || !r.hits(m.reverse_hits) || !r.exhausted())
     return false;
   out = std::move(m);

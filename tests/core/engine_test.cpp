@@ -146,6 +146,47 @@ TEST(Engine, DeadlinePassedWhileQueuedExpires) {
   EXPECT_EQ(engine.stats().expired, 1u);
 }
 
+// Unit test for the second deadline checkpoint: drop_expired runs at
+// device-dispatch time (after the batch won the execution lock) and must
+// fail exactly the at-or-past-deadline entries, compact the batch in
+// order, and bump the expired counter.
+TEST(Engine, DropExpiredCompactsClaimedBatchAtDispatch) {
+  const auto now = std::chrono::steady_clock::now();
+  auto counters = std::make_shared<detail::EngineCounters>();
+  auto make_state = [&](double offset_s, bool has_deadline) {
+    auto state = std::make_shared<detail::RequestState>();
+    state->counters = counters;
+    state->has_deadline = has_deadline;
+    if (has_deadline)
+      state->deadline =
+          now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(offset_s));
+    return state;
+  };
+
+  std::vector<std::shared_ptr<detail::RequestState>> batch;
+  batch.push_back(make_state(-0.5, true));  // budget burned while claimed
+  batch.push_back(make_state(60.0, true));  // live deadline
+  batch.push_back(make_state(0.0, false));  // no deadline at all
+  batch.push_back(make_state(0.0, true));   // exactly `now` counts as past
+  const auto expired_a = batch[0];
+  const auto live = batch[1];
+  const auto unbounded = batch[2];
+  const auto expired_b = batch[3];
+
+  detail::drop_expired(batch, now);
+
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], live);       // survivors keep their order
+  EXPECT_EQ(batch[1], unbounded);
+  EXPECT_EQ(counters->expired.load(), 2u);
+  for (const auto& gone : {expired_a, expired_b}) {
+    Expected<HostRunReport> outcome = gone->promise.get_future().get();
+    ASSERT_FALSE(outcome.has_value());
+    EXPECT_EQ(outcome.error().code, ErrorCode::DeadlineExceeded);
+  }
+}
+
 TEST(Engine, ShutdownFailsQueuedRequests) {
   util::Xoshiro256 rng{915};
   std::vector<Ticket> tickets;

@@ -1,0 +1,488 @@
+// End-to-end service resilience suite (DESIGN.md §4f): deadline
+// propagation over the wire, typed overload shedding with retry-after
+// hints, malformed-frame hardening, partial-write/EINTR resume,
+// slow-loris reaping, bounded drain with force-cancel, and the chaos
+// runs — client-side attackers and server-side response faults — that
+// prove the server never hangs and keeps serving healthy connections.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <pthread.h>
+#include <sys/socket.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <memory>
+#include <thread>
+
+#include "fabp/bio/generate.hpp"
+#include "fabp/core/engine.hpp"
+#include "fabp/net/client.hpp"
+#include "fabp/net/fault.hpp"
+#include "fabp/net/loadgen.hpp"
+#include "fabp/net/server.hpp"
+#include "fabp/util/rng.hpp"
+
+namespace fabp::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+Socket connect_local(std::uint16_t port) {
+  Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  EXPECT_TRUE(sock.valid());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr),
+            0);
+  return sock;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Engine + WireServer on port 0 with serve() on a background thread and
+/// both configs injectable (the resilience knobs are the subject here).
+struct Fixture {
+  explicit Fixture(core::EngineConfig engine_config,
+                   ServerConfig server_config = {})
+      : engine{engine_config}, server{engine, std::move(server_config), [] {
+                                 return std::string{"stats-body"};
+                               }} {
+    util::Xoshiro256 rng{321};
+    engine.upload_reference(bio::random_dna(6000, rng));
+    accept_thread = std::thread{[this] { server.serve(); }};
+  }
+
+  ~Fixture() {
+    server.shutdown();
+    accept_thread.join();
+  }
+
+  static core::EngineConfig engine_config(bool autostart = true,
+                                          std::size_t workers = 2) {
+    core::EngineConfig config;
+    config.backend = core::BackendKind::HwSim;
+    config.host.search_both_strands = true;
+    config.workers = workers;
+    config.autostart = autostart;
+    return config;
+  }
+
+  /// Spin-waits for the engine admission queue to reach `depth` (the
+  /// connection handler thread races the test thread).
+  void wait_queue_depth(std::size_t depth) {
+    for (int i = 0; i < 1000 && engine.queue_depth() < depth; ++i)
+      std::this_thread::sleep_for(2ms);
+    ASSERT_GE(engine.queue_depth(), depth);
+  }
+
+  core::Engine engine;
+  WireServer server;
+  std::thread accept_thread;
+};
+
+AlignRequest make_request(std::uint64_t id, std::string protein = "MKWVTFISLL",
+                          std::uint32_t threshold = 18) {
+  AlignRequest request;
+  request.id = id;
+  request.threshold = threshold;
+  request.protein = std::move(protein);
+  return request;
+}
+
+// --- deadline propagation ------------------------------------------------
+
+TEST(Resilience, DeadlinePropagatesOverWire) {
+  // Engine held closed: the request waits out its wire budget in the
+  // queue, so the claim-time checkpoint must fail it with a typed
+  // DeadlineExceeded response — never a hang, never a dropped frame.
+  Fixture fx{Fixture::engine_config(/*autostart=*/false)};
+  Socket conn = connect_local(fx.server.port());
+
+  AlignRequest expiring = make_request(5);
+  expiring.deadline_ms = 40;
+  ASSERT_TRUE(write_frame(conn.fd(), encode(expiring)));
+  fx.wait_queue_depth(1);
+  std::this_thread::sleep_for(100ms);  // budget gone while queued
+  fx.engine.start();
+
+  std::string payload;
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_EQ(response.id, 5u);
+  EXPECT_EQ(response.status,
+            static_cast<std::uint8_t>(core::ErrorCode::DeadlineExceeded));
+  EXPECT_EQ(fx.engine.stats().expired, 1u);
+
+  // A budget-free request on the same connection still completes.
+  ASSERT_TRUE(write_frame(conn.fd(), encode(make_request(6))));
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok()) << response.error;
+}
+
+// --- overload shedding ---------------------------------------------------
+
+TEST(Resilience, OverloadShedsTypedWithRetryHint) {
+  ServerConfig server_config;
+  server_config.shed_queue_depth = 4;
+  server_config.max_inflight_per_connection = 16;
+  Fixture fx{Fixture::engine_config(/*autostart=*/false), server_config};
+  Socket conn = connect_local(fx.server.port());
+
+  // Fill the admission queue to the shed threshold (engine held closed).
+  for (std::uint64_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(write_frame(conn.fd(), encode(make_request(i))));
+  fx.wait_queue_depth(4);
+
+  // The fifth must be refused at the edge with a typed Overloaded and a
+  // usable retry-after hint, *before* it ever reaches the queue.
+  ASSERT_TRUE(write_frame(conn.fd(), encode(make_request(99))));
+  for (int i = 0; i < 1000 && fx.server.metrics().shed == 0; ++i)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_EQ(fx.server.metrics().shed, 1u);
+  EXPECT_EQ(fx.engine.queue_depth(), 4u);
+
+  fx.engine.start();
+  std::string payload;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(read_frame(conn.fd(), payload));
+    AlignResponse response;
+    ASSERT_TRUE(decode(payload, response));
+    EXPECT_EQ(response.id, i);
+    EXPECT_TRUE(response.ok()) << response.error;
+  }
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse refused;
+  ASSERT_TRUE(decode(payload, refused));
+  EXPECT_EQ(refused.id, 99u);
+  EXPECT_EQ(refused.status,
+            static_cast<std::uint8_t>(core::ErrorCode::Overloaded));
+  EXPECT_GE(refused.retry_after_ms, 1u);
+}
+
+// --- malformed frames ----------------------------------------------------
+
+TEST(Resilience, MalformedFramesNeverKillTheServer) {
+  Fixture fx{Fixture::engine_config()};
+  std::string payload;
+
+  {  // zero-length frame: no type byte to dispatch on -> clean close
+    Socket conn = connect_local(fx.server.port());
+    ASSERT_TRUE(write_frame(conn.fd(), std::string_view{}));
+    EXPECT_FALSE(read_frame(conn.fd(), payload));
+  }
+  {  // truncated length prefix, then EOF: server must not wait forever
+    Socket conn = connect_local(fx.server.port());
+    ASSERT_EQ(::send(conn.fd(), "\x08\x00", 2, MSG_NOSIGNAL), 2);
+  }
+  {  // length above the request bound: rejected before any allocation
+    Socket conn = connect_local(fx.server.port());
+    const char bogus[4] = {'\xff', '\xff', '\xff', '\xff'};
+    ASSERT_EQ(::send(conn.fd(), bogus, sizeof bogus, MSG_NOSIGNAL), 4);
+    EXPECT_FALSE(read_frame(conn.fd(), payload));
+  }
+  {  // garbage message tag -> dropped connection
+    Socket conn = connect_local(fx.server.port());
+    const char alien[2] = {'\x7f', static_cast<char>(kProtocolVersion)};
+    ASSERT_TRUE(write_frame(conn.fd(), std::string_view{alien, 2}));
+    EXPECT_FALSE(read_frame(conn.fd(), payload));
+  }
+
+  // The server took it all and keeps serving, hit-for-hit.
+  util::Xoshiro256 rng{44};
+  const auto query = bio::random_protein(10, rng);
+  const auto threshold =
+      static_cast<std::uint32_t>(query.size() * 3 * 55 / 100);
+  auto expected = fx.engine.align_sync(query, threshold);
+  ASSERT_TRUE(expected.has_value());
+  Socket conn = connect_local(fx.server.port());
+  ASSERT_TRUE(write_frame(
+      conn.fd(), encode(make_request(7, query.to_string(), threshold))));
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.hits, expected->hits);
+  EXPECT_GE(fx.server.metrics().malformed, 3u);
+}
+
+// --- partial writes and EINTR -------------------------------------------
+
+TEST(Resilience, ShortWritesResumeAcrossTinySendBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket writer_sock{fds[0]};
+  Socket reader_sock{fds[1]};
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(writer_sock.fd(), SOL_SOCKET, SO_SNDBUF, &tiny,
+                         sizeof tiny),
+            0);
+
+  std::string payload(512 * 1024, '\0');
+  util::Xoshiro256 rng{7};
+  for (char& ch : payload) ch = static_cast<char>('a' + rng.bounded(26));
+
+  std::thread writer{[&] {
+    // Far larger than SO_SNDBUF: ::send must return short repeatedly
+    // and write_frame must keep resuming from the right offset.
+    EXPECT_TRUE(write_frame(writer_sock.fd(), payload));
+  }};
+  std::this_thread::sleep_for(50ms);  // let the tiny buffer fill first
+  std::string got;
+  EXPECT_TRUE(read_frame(reader_sock.fd(), got));
+  writer.join();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(Resilience, FrameIoResumesAfterEintr) {
+  struct sigaction action{};
+  action.sa_handler = [](int) {};  // no SA_RESTART: syscalls fail EINTR
+  struct sigaction previous{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Socket writer_sock{fds[0]};
+  Socket reader_sock{fds[1]};
+  const int tiny = 4096;
+  ::setsockopt(writer_sock.fd(), SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny);
+
+  std::string payload(256 * 1024, 'q');
+  std::atomic<bool> writing{true};
+  std::thread writer{[&] {
+    EXPECT_TRUE(write_frame(writer_sock.fd(), payload));
+    writing.store(false);
+  }};
+  // Pepper the writer with signals while its send buffer is full, so
+  // blocked ::send calls wake with EINTR and must resume, not fail.
+  for (int i = 0; i < 40 && writing.load(); ++i) {
+    ::pthread_kill(writer.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(1ms);
+  }
+  std::string got;
+  EXPECT_TRUE(read_frame(reader_sock.fd(), got));
+  writer.join();
+  EXPECT_EQ(got, payload);
+  ::sigaction(SIGUSR1, &previous, nullptr);
+}
+
+// --- socket supervision --------------------------------------------------
+
+TEST(Resilience, SlowLorisIsReapedByIoTimeout) {
+  ServerConfig server_config;
+  server_config.io_timeout_s = 0.2;
+  Fixture fx{Fixture::engine_config(), server_config};
+
+  // Two bytes of a length prefix, then silence: the classic slow loris.
+  Socket conn = connect_local(fx.server.port());
+  ASSERT_EQ(::send(conn.fd(), "\x10\x00", 2, MSG_NOSIGNAL), 2);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string payload;
+  EXPECT_FALSE(read_frame(conn.fd(), payload));  // server reaps us
+  EXPECT_LT(seconds_since(t0), 5.0);
+  EXPECT_GE(fx.server.metrics().io_timeouts, 1u);
+
+  // A well-behaved connection is untouched by the supervision.
+  Socket good = connect_local(fx.server.port());
+  ASSERT_TRUE(write_frame(good.fd(), encode(make_request(1))));
+  ASSERT_TRUE(read_frame(good.fd(), payload));
+}
+
+TEST(Resilience, IdleConnectionsAreReapedWhenConfigured) {
+  ServerConfig server_config;
+  server_config.idle_timeout_s = 0.2;
+  Fixture fx{Fixture::engine_config(), server_config};
+  Socket conn = connect_local(fx.server.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string payload;
+  EXPECT_FALSE(read_frame(conn.fd(), payload));  // reaped, not hung
+  EXPECT_LT(seconds_since(t0), 5.0);
+  EXPECT_GE(fx.server.metrics().io_timeouts, 1u);
+}
+
+// --- bounded drain -------------------------------------------------------
+
+TEST(Resilience, DrainDeadlineForceCancelsQueuedRequests) {
+  ServerConfig server_config;
+  server_config.drain_timeout_s = 0.2;
+  server_config.max_inflight_per_connection = 8;
+  auto fx = std::make_unique<Fixture>(
+      Fixture::engine_config(/*autostart=*/false), server_config);
+  Socket conn = connect_local(fx->server.port());
+  for (std::uint64_t i = 0; i < 3; ++i)
+    ASSERT_TRUE(write_frame(conn.fd(), encode(make_request(i))));
+  fx->wait_queue_depth(3);
+
+  // The engine never starts, so a graceful drain cannot finish: the
+  // drain deadline must fire and cancel the queued work instead of
+  // hanging shutdown forever.
+  const auto t0 = std::chrono::steady_clock::now();
+  fx->server.shutdown();
+  EXPECT_LT(seconds_since(t0), 4.0);
+  EXPECT_EQ(fx->server.metrics().force_cancelled, 3u);
+  fx.reset();  // joins serve(); hangs here = drain bug
+}
+
+// --- chaos ---------------------------------------------------------------
+
+TEST(Resilience, AttackerConnectionsDoNotDisturbHealthyClients) {
+  ServerConfig server_config;
+  server_config.io_timeout_s = 1.0;
+  server_config.shed_queue_depth = 64;
+  Fixture fx{Fixture::engine_config(), server_config};
+
+  LoadgenConfig load;
+  load.port = fx.server.port();
+  load.clients = 6;
+  load.requests = 30;
+  load.query_residues = 10;
+  load.deadline_s = 30.0;
+  load.retry.max_attempts = 6;
+  load.faulty_fraction = 0.5;  // 3 of 6 connections attack
+  load.fault.seed = 9;
+  load.fault.corrupt_rate = 0.25;
+  load.fault.truncate_rate = 0.15;
+  load.fault.reset_rate = 0.10;
+  load.fault.dup_rate = 0.10;
+  load.fault.delay_rate = 0.05;
+  load.fault.delay_ms = 2;
+  const LoadgenReport report = run_loadgen(load);
+
+  // Healthy clients ride through the storm: every request reaches a
+  // typed terminal outcome and in fact completes (their connections
+  // carry no faults; the attackers' damage stays on attacker sockets).
+  EXPECT_EQ(report.attackers, 3u);
+  EXPECT_GT(report.attack_frames, 0u);
+  EXPECT_TRUE(report.all_terminal());
+  EXPECT_EQ(report.completed, report.sent);
+  EXPECT_EQ(report.resets, 0u);
+  EXPECT_EQ(report.timeouts, 0u);
+
+  // And the server still answers hit-for-hit after the chaos.
+  util::Xoshiro256 rng{17};
+  const auto query = bio::random_protein(10, rng);
+  const auto threshold =
+      static_cast<std::uint32_t>(query.size() * 3 * 55 / 100);
+  auto expected = fx.engine.align_sync(query, threshold);
+  ASSERT_TRUE(expected.has_value());
+  Socket conn = connect_local(fx.server.port());
+  ASSERT_TRUE(write_frame(
+      conn.fd(), encode(make_request(1234, query.to_string(), threshold))));
+  std::string payload;
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.hits, expected->hits);
+  EXPECT_EQ(response.reverse_hits, expected->reverse_hits);
+}
+
+TEST(Resilience, ServerSideResponseFaultsAreSurvivedByRetries) {
+  // Faults on the *response* path this time: every connection's replies
+  // can be delayed, corrupted, duplicated, truncated or reset.  The
+  // retrying client must converge to typed terminal outcomes for every
+  // call — no hang, no crash — even though individual attempts keep
+  // dying.  (Corruption can strike hit payloads of otherwise decodable
+  // frames; end-to-end integrity is a protocol-checksum follow-up, so
+  // this test asserts liveness and typed-ness, not hit equality.)
+  ServerConfig server_config;
+  server_config.fault.seed = 11;
+  server_config.fault.corrupt_rate = 0.15;
+  server_config.fault.truncate_rate = 0.10;
+  server_config.fault.reset_rate = 0.05;
+  server_config.fault.dup_rate = 0.10;
+  server_config.fault.delay_rate = 0.05;
+  server_config.fault.delay_ms = 2;
+  Fixture fx{Fixture::engine_config(), server_config};
+
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ms = 1.0;
+  policy.max_backoff_ms = 20.0;
+  Client client{"127.0.0.1", fx.server.port(), policy, 1234};
+  std::size_t ok = 0;
+  std::size_t terminal = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const CallResult outcome = client.align(make_request(i), 20.0);
+    ++terminal;  // align() returned: by construction a typed outcome
+    if (outcome.ok()) ++ok;
+  }
+  EXPECT_EQ(terminal, 20u);
+  EXPECT_GT(ok, 0u);  // retries do land completed calls through the storm
+  EXPECT_LT(seconds_since(t0), 100.0);
+}
+
+TEST(Resilience, ClientDeadlineBoundsAnUnresponsiveServer) {
+  ServerConfig server_config;
+  server_config.drain_timeout_s = 0.1;
+  Fixture fx{Fixture::engine_config(/*autostart=*/false), server_config};
+
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Client client{"127.0.0.1", fx.server.port(), policy};
+  const auto t0 = std::chrono::steady_clock::now();
+  const CallResult outcome = client.align(make_request(1), 0.4);
+  // The engine never runs the request, so no response ever comes: the
+  // client must give up by its own deadline (+ scheduling grace), with
+  // a typed transport-ish status — never a hang.
+  EXPECT_LT(seconds_since(t0), 3.0);
+  EXPECT_TRUE(outcome.status == CallStatus::Timeout ||
+              outcome.status == CallStatus::Reset)
+      << to_string(outcome.status);
+}
+
+// --- fault injector determinism -----------------------------------------
+
+TEST(Resilience, FaultSchedulesAreReplayableFromSeed) {
+  FaultConfig config;
+  config.seed = 77;
+  config.corrupt_rate = 0.3;
+  config.truncate_rate = 0.2;
+  config.reset_rate = 0.1;
+  config.dup_rate = 0.2;
+  config.delay_rate = 0.1;
+  FaultInjector a{config, 3};
+  FaultInjector b{config, 3};
+  FaultInjector other_stream{config, 4};
+  bool diverged = false;
+  for (std::size_t frame = 0; frame < 64; ++frame) {
+    const FramePlan pa = a.plan_frame(100 + frame);
+    const FramePlan pb = b.plan_frame(100 + frame);
+    EXPECT_EQ(pa.delay_ms, pb.delay_ms);
+    EXPECT_EQ(pa.duplicate, pb.duplicate);
+    EXPECT_EQ(pa.reset, pb.reset);
+    EXPECT_EQ(pa.truncate_at, pb.truncate_at);
+    EXPECT_EQ(pa.corrupt_offset, pb.corrupt_offset);
+    EXPECT_EQ(pa.corrupt_mask, pb.corrupt_mask);
+    const FramePlan pc = other_stream.plan_frame(100 + frame);
+    diverged = diverged || pc.reset != pa.reset ||
+               pc.truncate_at != pa.truncate_at ||
+               pc.corrupt_offset != pa.corrupt_offset;
+  }
+  EXPECT_EQ(a.log(), b.log());
+  EXPECT_TRUE(diverged);  // distinct streams draw distinct schedules
+  EXPECT_FALSE(a.log().empty());
+}
+
+TEST(Resilience, DisabledInjectorPlansCleanFrames) {
+  FaultInjector injector{FaultConfig{}, 0};
+  EXPECT_FALSE(injector.config().enabled());
+  for (std::size_t frame = 0; frame < 16; ++frame)
+    EXPECT_TRUE(injector.plan_frame(64).clean());
+  EXPECT_TRUE(injector.log().empty());
+}
+
+}  // namespace
+}  // namespace fabp::net

@@ -23,11 +23,13 @@ TEST(Wire, AlignRequestRoundTrip) {
   AlignRequest in;
   in.id = 0x0123456789abcdefULL;
   in.threshold = 42;
+  in.deadline_ms = 1500;
   in.protein = "MFSRW";
   AlignRequest out;
   ASSERT_TRUE(decode(encode(in), out));
   EXPECT_EQ(out.id, in.id);
   EXPECT_EQ(out.threshold, in.threshold);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
   EXPECT_EQ(out.protein, in.protein);
   EXPECT_EQ(peek_type(encode(in)), MessageType::AlignRequest);
 }
@@ -36,6 +38,7 @@ TEST(Wire, AlignResponseRoundTrip) {
   AlignResponse in;
   in.id = 7;
   in.status = static_cast<std::uint8_t>(core::ErrorCode::Timeout);
+  in.retry_after_ms = 250;
   in.server_seconds = 0.125;
   in.error = "watchdog";
   in.hits = {{0, 3}, {1234567890123ULL, 48}};
@@ -44,6 +47,7 @@ TEST(Wire, AlignResponseRoundTrip) {
   ASSERT_TRUE(decode(encode(in), out));
   EXPECT_EQ(out.id, in.id);
   EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.retry_after_ms, in.retry_after_ms);
   EXPECT_EQ(out.server_seconds, in.server_seconds);
   EXPECT_EQ(out.error, in.error);
   EXPECT_EQ(out.hits, in.hits);

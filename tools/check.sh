@@ -29,7 +29,13 @@
 #      would pin it with, and
 #   8. the shard router leg — the sharded-vs-unsharded differential, the
 #      shard chaos/fault-isolation suite and the TCP serve smoke
-#      (spawn server, loadgen over localhost, SIGTERM, clean drain).
+#      (spawn server, loadgen over localhost, SIGTERM, clean drain), and
+#   9. the net-chaos leg — the service-resilience suite (deadline
+#      propagation, typed shedding, malformed frames, EINTR/short-write
+#      resume, slow-loris reaping, bounded drain, fault-injected chaos
+#      runs) under tsan, plus the overload smoke: offered load past
+#      capacity must shed typed Overloaded, keep p99 bounded and drain
+#      cleanly with zero crashes.
 #
 # Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/,
 # build-tsan/ and build-ubsan/)
@@ -51,7 +57,8 @@ FABP_FORCE_ISA=swar64 ctest --test-dir build-asan --output-on-failure -j"$jobs"
 echo "== check.sh: tsan build, pooled scan + engine + shard tests =="
 cmake -B build-tsan -S . -DFABP_SANITIZE=thread
 cmake --build build-tsan -j"$jobs" \
-    --target core_tests util_tests engine_tests shard_tests net_tests
+    --target core_tests util_tests engine_tests shard_tests net_tests \
+             resilience_tests
 build-tsan/tests/core_tests --gtest_filter='TileScan*'
 build-tsan/tests/util_tests --gtest_filter='ThreadPool*'
 build-tsan/tests/engine_tests
@@ -95,4 +102,12 @@ build/tests/shard_tests
 build/tests/net_tests
 tools/serve_tcp_smoke.sh build/tools/fabp
 
-echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa + shard) =="
+echo "== check.sh: net-chaos leg (resilience under tsan + overload smoke) =="
+# Race coverage over the fault-injected connection handlers, the retrying
+# client, drain force-cancel vs in-flight tickets, and the attacker
+# threads in the chaos loadgen runs.
+build-tsan/tests/resilience_tests
+build/tests/resilience_tests
+tools/serve_tcp_overload_smoke.sh build/tools/fabp
+
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa + shard + net-chaos) =="

@@ -57,7 +57,12 @@ int usage() {
       "  fabp isa\n"
       "  fabp serve [bases] [query-aa] [requests] [workers]"
       " [--backend hwsim|tiled|planes] [--shards N] [--tcp [port]]\n"
-      "  fabp loadgen <host> <port> [requests] [clients] [query-aa]\n";
+      "             [--shed-depth N] [--shed-p99 MS] [--max-inflight N]\n"
+      "             [--idle-timeout S] [--io-timeout S] [--drain-timeout S]\n"
+      "             [--net-fault-rate R] [--net-fault-seed S]\n"
+      "  fabp loadgen <host> <port> [requests] [clients] [query-aa]\n"
+      "             [--deadline-ms N] [--retries N] [--faulty-fraction F]\n"
+      "             [--net-fault-rate R] [--net-fault-seed S]\n";
   return 1;
 }
 
@@ -372,10 +377,8 @@ sigset_t drain_signal_set() {
 // must have blocked drain_signal_set() *before spawning any thread* (the
 // shard router's workers start in the Engine constructor) — a single
 // unmasked thread would take the default fatal action instead.
-int cmd_serve_tcp(core::Engine& engine, std::uint16_t port) {
+int cmd_serve_tcp(core::Engine& engine, net::ServerConfig server_config) {
   const sigset_t mask = drain_signal_set();
-  net::ServerConfig server_config;
-  server_config.port = port;
   net::WireServer server{engine, server_config,
                          [&engine] { return serve_stats_text(engine); }};
   // Parsed by tools/serve_tcp_smoke.sh and human eyes alike; flush so a
@@ -395,7 +398,9 @@ int cmd_serve_tcp(core::Engine& engine, std::uint16_t port) {
   const net::ServerMetrics metrics = server.metrics();
   std::cout << "server: connections=" << metrics.connections << " requests="
             << metrics.requests << " errors=" << metrics.errors
-            << " malformed=" << metrics.malformed << " p50="
+            << " malformed=" << metrics.malformed << " shed="
+            << metrics.shed << " io-timeouts=" << metrics.io_timeouts
+            << " force-cancelled=" << metrics.force_cancelled << " p50="
             << metrics.p50_ms << "ms p99=" << metrics.p99_ms << "ms max="
             << metrics.max_ms << "ms\n"
             << serve_stats_text(engine) << "drained\n";
@@ -404,7 +409,8 @@ int cmd_serve_tcp(core::Engine& engine, std::uint16_t port) {
 
 int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
               std::size_t workers, const std::string& backend,
-              std::size_t shards, bool tcp, std::uint16_t tcp_port) {
+              std::size_t shards, bool tcp,
+              const net::ServerConfig& server_config) {
   if (tcp) {
     // Must precede the Engine (and its shard worker threads): every
     // thread inherits this mask, routing SIGTERM/SIGINT to the sigwait
@@ -439,7 +445,7 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
             << workers << " worker(s), backend " << backend << ", "
             << shards << " shard(s)\n";
 
-  if (tcp) return cmd_serve_tcp(engine, tcp_port);
+  if (tcp) return cmd_serve_tcp(engine, server_config);
 
   // Sequential truth (and baseline wall time) on the same engine state.
   std::vector<std::vector<core::Hit>> expected;
@@ -490,26 +496,34 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
   return 0;
 }
 
-int cmd_loadgen(const std::string& host, std::uint16_t port,
-                std::size_t requests, std::size_t clients,
-                std::size_t query_aa) {
-  net::LoadgenConfig config;
-  config.host = host;
-  config.port = port;
-  config.requests = requests;
-  config.clients = clients;
-  config.query_residues = query_aa;
-  std::cerr << "loadgen: " << requests << " requests x " << clients
-            << " client(s), " << query_aa << " aa queries -> " << host << ":"
-            << port << "\n";
+int cmd_loadgen(net::LoadgenConfig config) {
+  std::cerr << "loadgen: " << config.requests << " requests x "
+            << config.clients << " client(s), " << config.query_residues
+            << " aa queries -> " << config.host << ":" << config.port
+            << "\n";
   const net::LoadgenReport report = net::run_loadgen(config);
   std::cout << "loadgen: sent=" << report.sent << " completed="
             << report.completed << " errors=" << report.errors
             << " transport-failures=" << report.transport_failures
             << " hits=" << report.total_hits << "\n"
-            << "loadgen: wall=" << util::time_text(report.wall_s) << " qps="
+            << "loadgen: refused=" << report.refused << " expired="
+            << report.expired << " resets=" << report.resets << " timeouts="
+            << report.timeouts << " attempts=" << report.attempts
+            << " retries=" << report.retries << " amplification="
+            << report.retry_amplification() << "\n";
+  if (report.attackers > 0)
+    std::cout << "loadgen: attackers=" << report.attackers
+              << " attack-frames=" << report.attack_frames << "\n";
+  std::cout << "loadgen: wall=" << util::time_text(report.wall_s) << " qps="
             << report.qps << " p50=" << report.p50_ms << "ms p99="
             << report.p99_ms << "ms\n";
+  // With resilience knobs on (a deadline or attackers), shed/expired
+  // outcomes are the point of the run: success means every request
+  // reached a *typed terminal* outcome and nothing hung or vanished.
+  // A plain run keeps the strict contract: all requests completed ok.
+  const bool resilience_run =
+      config.deadline_s > 0.0 || config.faulty_fraction > 0.0;
+  if (resilience_run) return report.all_terminal() ? 0 : 1;
   return report.clean() && report.completed == report.sent ? 0 : 1;
 }
 
@@ -551,7 +565,7 @@ int main(int argc, char** argv) {
       std::string backend = "hwsim";
       std::size_t shards = 1;
       bool tcp = false;
-      std::uint16_t tcp_port = 0;
+      net::ServerConfig server_config;
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -563,8 +577,31 @@ int main(int argc, char** argv) {
           tcp = true;
           // Optional port operand (0 = kernel-assigned).
           if (i + 1 < argc && std::isdigit(argv[i + 1][0]))
-            tcp_port = static_cast<std::uint16_t>(
+            server_config.port = static_cast<std::uint16_t>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--shed-depth" && i + 1 < argc) {
+          server_config.shed_queue_depth =
+              std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--shed-p99" && i + 1 < argc) {
+          server_config.shed_p99_ms = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--max-inflight" && i + 1 < argc) {
+          server_config.max_inflight_per_connection =
+              std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--idle-timeout" && i + 1 < argc) {
+          server_config.idle_timeout_s = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--io-timeout" && i + 1 < argc) {
+          server_config.io_timeout_s = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--drain-timeout" && i + 1 < argc) {
+          server_config.drain_timeout_s = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--net-fault-rate" && i + 1 < argc) {
+          const double rate = std::strtod(argv[++i], nullptr);
+          server_config.fault.corrupt_rate = rate;
+          server_config.fault.truncate_rate = rate;
+          server_config.fault.reset_rate = rate;
+          server_config.fault.dup_rate = rate;
+          server_config.fault.delay_rate = rate;
+        } else if (arg == "--net-fault-seed" && i + 1 < argc) {
+          server_config.fault.seed = std::strtoull(argv[++i], nullptr, 10);
         } else {
           positional.push_back(arg);
         }
@@ -583,15 +620,53 @@ int main(int argc, char** argv) {
             positional.size() > 3
                 ? std::strtoull(positional[3].c_str(), nullptr, 10)
                 : 2,
-            backend, shards, tcp, tcp_port);
+            backend, shards, tcp, server_config);
     }
-    if (command == "loadgen" && argc >= 4 && argc <= 7)
-      return cmd_loadgen(
-          argv[2],
-          static_cast<std::uint16_t>(std::strtoul(argv[3], nullptr, 10)),
-          argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 64,
-          argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 4,
-          argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 16);
+    if (command == "loadgen" && argc >= 4) {
+      net::LoadgenConfig config;
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--deadline-ms" && i + 1 < argc) {
+          config.deadline_s = std::strtod(argv[++i], nullptr) / 1e3;
+        } else if (arg == "--retries" && i + 1 < argc) {
+          // N retries = N + 1 total wire attempts; 0 disables retrying.
+          config.retry.max_attempts =
+              std::strtoull(argv[++i], nullptr, 10) + 1;
+        } else if (arg == "--faulty-fraction" && i + 1 < argc) {
+          config.faulty_fraction = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--net-fault-rate" && i + 1 < argc) {
+          const double rate = std::strtod(argv[++i], nullptr);
+          config.fault.corrupt_rate = rate;
+          config.fault.truncate_rate = rate;
+          config.fault.reset_rate = rate;
+          config.fault.dup_rate = rate;
+          config.fault.delay_rate = rate;
+        } else if (arg == "--net-fault-seed" && i + 1 < argc) {
+          config.fault.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+          positional.push_back(arg);
+        }
+      }
+      if (positional.size() >= 2 && positional.size() <= 5) {
+        config.host = positional[0];
+        config.port = static_cast<std::uint16_t>(
+            std::strtoul(positional[1].c_str(), nullptr, 10));
+        config.requests =
+            positional.size() > 2
+                ? std::strtoull(positional[2].c_str(), nullptr, 10)
+                : 64;
+        config.clients =
+            positional.size() > 3
+                ? std::strtoull(positional[3].c_str(), nullptr, 10)
+                : 4;
+        config.query_residues =
+            positional.size() > 4
+                ? std::strtoull(positional[4].c_str(), nullptr, 10)
+                : 16;
+        return cmd_loadgen(std::move(config));
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Overload smoke of the TCP front-end: spawn `fabp serve --tcp` with a
+# deliberately tiny shed threshold and one worker, then offer ~8x that
+# concurrency through the retrying loadgen.  The server must shed with
+# typed Overloaded refusals (shed counter > 0 in the final dump), every
+# loadgen request must reach a typed terminal outcome (loadgen exit 0),
+# client-observed p99 must stay bounded by the request deadline, and the
+# server must still drain cleanly on SIGTERM — zero crashes past the
+# shed threshold.
+# Usage: serve_tcp_overload_smoke.sh <path-to-fabp-binary>
+set -euo pipefail
+
+FABP="${1:?usage: serve_tcp_overload_smoke.sh <path-to-fabp>}"
+out="$(mktemp)"
+load_out="$(mktemp)"
+pid=""
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -f "$out" "$load_out"' EXIT
+
+# 500k bases + one worker: each coalesced batch takes long enough that
+# the admission queue visibly builds past the shed threshold of 2.
+"$FABP" serve 500000 12 64 1 --backend hwsim --tcp 0 \
+  --shed-depth 2 --max-inflight 8 --drain-timeout 2 \
+  >"$out" 2>/dev/null &
+pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out")"
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died before listening"; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "server never reported its port"; exit 1; }
+
+# 8 clients against 1 worker and shed-depth 2: offered load is well past
+# capacity.  --deadline-ms makes this a resilience run (exit 0 iff every
+# request reached a typed terminal outcome); --retries exercises the
+# Overloaded -> backoff -> retry path against real shed refusals.
+deadline_ms=8000
+"$FABP" loadgen 127.0.0.1 "$port" 64 8 12 \
+  --deadline-ms "$deadline_ms" --retries 3 | tee "$load_out" \
+  || { echo "loadgen saw a hung or untyped request"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "server crashed under overload"; exit 1; }
+
+grep -q '^drained$' "$out" || { echo "no clean drain marker"; cat "$out"; exit 1; }
+shed="$(sed -n 's/.* shed=\([0-9]*\) .*/\1/p' "$out")"
+[ -n "$shed" ] || { echo "no shed counter in server dump"; cat "$out"; exit 1; }
+[ "$shed" -gt 0 ] || { echo "server never shed past the threshold"; cat "$out"; exit 1; }
+
+# Client-observed p99 must stay bounded by the deadline budget: nothing
+# waited past deadline + grace, shed or not.
+p99="$(sed -n 's/.* p99=\([0-9.]*\)ms$/\1/p' "$load_out")"
+[ -n "$p99" ] || { echo "no p99 in loadgen output"; cat "$load_out"; exit 1; }
+awk -v p99="$p99" -v cap="$deadline_ms" 'BEGIN { exit !(p99 + 0 < cap + 500) }' \
+  || { echo "p99 ${p99}ms not bounded by deadline ${deadline_ms}ms"; exit 1; }
+
+echo "serve_tcp overload smoke ok (shed=$shed p99=${p99}ms)"
