@@ -453,6 +453,137 @@ std::vector<ResiliencePoint> run_resilience_sweep(
   return points;
 }
 
+// Two-tenant fairness sweep (DESIGN.md §4g): tenants "heavy" (weight 4)
+// and "light" (weight 1) each keep a closed-loop client pool saturating
+// their queue; the stride scheduler must hand heavy 4x light's
+// throughput — within 10% — while both stay backlogged.  Run once with
+// quotas off and once with a tight queue quota on light, which converts
+// light's excess offered load into typed TenantQuotaExceeded refusals
+// without disturbing the 4:1 split of executed work.
+struct FairnessPoint {
+  bool quota_on = false;
+  double window_s = 0.0;
+  std::size_t heavy_completed = 0;  // inside the measurement window
+  std::size_t light_completed = 0;
+  double heavy_qps = 0.0;
+  double light_qps = 0.0;
+  double ratio = 0.0;  // heavy_qps / light_qps; ideal = 4.0
+  double heavy_p50_ms = 0.0;
+  double light_p50_ms = 0.0;
+  std::size_t quota_rejections = 0;
+  bool hits_match = true;
+};
+
+std::vector<FairnessPoint> run_fairness_sweep(
+    const bio::NucleotideSequence& ref,
+    const std::vector<bio::ProteinSequence>& queries,
+    const std::vector<std::uint32_t>& thresholds) {
+  // Truth hits once, against the same backend kind.
+  std::vector<std::vector<Hit>> expected;
+  {
+    Engine truth{engine_config(BackendKind::HwSim, 16)};
+    truth.upload_reference(bio::NucleotideSequence{ref});
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      expected.push_back(truth.align_sync(queries[q], thresholds[q])->hits);
+  }
+
+  std::vector<FairnessPoint> points;
+  for (const bool quota_on : {false, true}) {
+    EngineConfig config = engine_config(BackendKind::HwSim, 16);
+    config.workers = 1;       // one modeled card: tenants truly compete
+    config.max_coalesce = 1;  // one dequeue per pick: exact stride shares
+    config.tenants = {{"heavy", 4.0, 0},
+                      {"light", 1.0, quota_on ? std::size_t{2} : 0}};
+    Engine engine{config};
+    engine.upload_reference(bio::NucleotideSequence{ref});
+
+    constexpr std::size_t kClientsPerTenant = 6;
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> mismatches{0};
+    std::atomic<std::size_t> quota_rejections{0};
+    std::vector<std::thread> pool;
+    for (const char* tenant : {"heavy", "light"}) {
+      for (std::size_t c = 0; c < kClientsPerTenant; ++c) {
+        pool.emplace_back([&, tenant, c] {
+          core::RequestOptions options;
+          options.tenant = tenant;
+          std::size_t i = c;
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::size_t q = i++ % queries.size();
+            core::Ticket ticket =
+                engine.submit(queries[q], thresholds[q], options);
+            const auto report = ticket.wait();
+            if (report.has_value()) {
+              if (report->hits != expected[q]) ++mismatches;
+            } else if (report.error().code ==
+                       core::ErrorCode::TenantQuotaExceeded) {
+              ++quota_rejections;
+              std::this_thread::sleep_for(std::chrono::microseconds{200});
+            }
+          }
+        });
+      }
+    }
+
+    const auto snapshot = [&engine](const std::string& name) {
+      for (const core::TenantStatus& tenant : engine.tenant_status())
+        if (tenant.name == name) return tenant;
+      return core::TenantStatus{};
+    };
+    // Warm up until both pools are saturated, then measure a fixed window
+    // of the backlogged steady state.
+    std::this_thread::sleep_for(std::chrono::milliseconds{250});
+    const core::TenantStatus heavy0 = snapshot("heavy");
+    const core::TenantStatus light0 = snapshot("light");
+    const Clock::time_point t0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds{1000});
+    const core::TenantStatus heavy1 = snapshot("heavy");
+    const core::TenantStatus light1 = snapshot("light");
+    const double window =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& client : pool) client.join();
+
+    FairnessPoint point;
+    point.quota_on = quota_on;
+    point.window_s = window;
+    point.heavy_completed = heavy1.completed - heavy0.completed;
+    point.light_completed = light1.completed - light0.completed;
+    point.heavy_qps = static_cast<double>(point.heavy_completed) / window;
+    point.light_qps = static_cast<double>(point.light_completed) / window;
+    if (point.light_qps > 0.0) point.ratio = point.heavy_qps / point.light_qps;
+    point.heavy_p50_ms = heavy1.p50_ms;
+    point.light_p50_ms = light1.p50_ms;
+    point.quota_rejections = quota_rejections.load();
+    point.hits_match = mismatches.load() == 0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+void print_fairness_sweep(const std::vector<FairnessPoint>& points) {
+  util::banner(std::cout,
+               "engine: two-tenant fairness, weights 4:1 (1 worker)");
+  util::Table table{{"quota", "heavy q/s", "light q/s", "ratio",
+                     "heavy p50", "light p50", "quota-rejections"}};
+  for (const FairnessPoint& p : points) {
+    table.row();
+    table.cell(p.quota_on ? "light<=2" : "off")
+        .cell(p.heavy_qps, 1)
+        .cell(p.light_qps, 1)
+        .cell(util::ratio_text(p.ratio, 2))
+        .cell(util::time_text(p.heavy_p50_ms * 1e-3))
+        .cell(util::time_text(p.light_p50_ms * 1e-3))
+        .cell(p.quota_rejections);
+  }
+  table.print(std::cout);
+  bool within = true;
+  for (const FairnessPoint& p : points)
+    within &= p.ratio >= 3.6 && p.ratio <= 4.4;
+  std::cout << "  throughput split within 10% of 4:1: "
+            << (within ? "yes" : "NO — BUG") << "\n";
+}
+
 void print_resilience_sweep(const std::vector<ResiliencePoint>& points) {
   util::banner(std::cout,
                "engine: overload resilience (1 worker, 2 s deadlines)");
@@ -547,7 +678,8 @@ void write_json(const std::string& path, std::size_t bases,
                 const std::vector<PipelinePoint>& pipeline,
                 const std::vector<ShardPoint>& sharded,
                 const std::vector<TcpPoint>& tcp,
-                const std::vector<ResiliencePoint>& resilience) {
+                const std::vector<ResiliencePoint>& resilience,
+                const std::vector<FairnessPoint>& fairness) {
   std::ofstream os{path};
   os << "{\n"
      << "  \"bench\": \"engine\",\n"
@@ -660,6 +792,24 @@ void write_json(const std::string& path, std::size_t bases,
        << (p.report.all_terminal() ? "true" : "false") << "}"
        << (i + 1 < resilience.size() ? "," : "") << "\n";
   }
+  os << "  ],\n"
+     << "  \"fairness\": [\n";
+  for (std::size_t i = 0; i < fairness.size(); ++i) {
+    const FairnessPoint& p = fairness[i];
+    os << "    {\"weights\": \"4:1\", \"light_quota\": "
+       << (p.quota_on ? 2 : 0)
+       << ", \"window_s\": " << p.window_s
+       << ", \"heavy_completed\": " << p.heavy_completed
+       << ", \"light_completed\": " << p.light_completed
+       << ", \"heavy_queries_per_second\": " << p.heavy_qps
+       << ", \"light_queries_per_second\": " << p.light_qps
+       << ", \"throughput_ratio\": " << p.ratio
+       << ", \"heavy_p50_ms\": " << p.heavy_p50_ms
+       << ", \"light_p50_ms\": " << p.light_p50_ms
+       << ", \"quota_rejections\": " << p.quota_rejections
+       << ", \"hits_match\": " << (p.hits_match ? "true" : "false") << "}"
+       << (i + 1 < fairness.size() ? "," : "") << "\n";
+  }
   os << "  ]\n}\n";
 }
 
@@ -712,8 +862,12 @@ int main(int argc, char** argv) {
       run_resilience_sweep(ref, residues, requests);
   print_resilience_sweep(resilience);
 
+  const std::vector<FairnessPoint> fairness =
+      run_fairness_sweep(ref, queries, thresholds);
+  print_fairness_sweep(fairness);
+
   write_json(json_path, bases, residues, requests, util::probe_bench_env(),
-             sections, pipeline, sharded, tcp, resilience);
+             sections, pipeline, sharded, tcp, resilience, fairness);
   std::cout << "  wrote " << json_path << "\n";
 
   for (const BackendSection& section : sections)
@@ -726,5 +880,7 @@ int main(int argc, char** argv) {
     if (!point.report.clean()) return 1;
   for (const ResiliencePoint& point : resilience)
     if (!point.report.all_terminal()) return 1;
+  for (const FairnessPoint& point : fairness)
+    if (!point.hits_match) return 1;
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -56,6 +57,71 @@ struct ReferenceStore {
   const bio::PackedNucleotides& strand(bool reverse_strand) const noexcept {
     return reverse_strand ? reverse : forward;
   }
+};
+
+// --- versioned reference management (DESIGN.md §4g) ----------------------
+//
+// A service cannot mutate the store a scan is reading.  The versioned path
+// wraps each uploaded database generation in an immutable, refcounted
+// snapshot: in-flight work pins the generation it was admitted under via
+// shared_ptr, a swap publishes a *new* snapshot (with its own backend set
+// built over it) and retires the old one, and the retired generation's
+// memory — packed strands, shard slices, per-backend caches — is reclaimed
+// by the last pin dropping, never by an explicit free racing a scan.
+// Epoch-style reclamation with the shared_ptr control block as the epoch
+// counter.
+
+/// One immutable generation of a database's reference.  The store is
+/// filled at construction and never mutated afterwards; everything built
+/// over it (backends, shard plans, plane caches) hangs off the subclassing
+/// owner and dies with the snapshot.  Polymorphic so the engine can attach
+/// its per-generation backend set while the reclamation layer tracks only
+/// this base.
+struct ReferenceSnapshot {
+  std::uint64_t generation = 0;  ///< monotonically increasing per database
+  ReferenceStore store;
+
+  virtual ~ReferenceSnapshot() = default;
+};
+
+/// Publication point + reclamation ledger for one database's snapshots.
+/// publish() retires the previously active generation onto a weak_ptr
+/// ledger; status() prunes entries whose last pin has dropped and counts
+/// them as reclaimed.  Thread-safe; the returned shared_ptrs are the pins.
+class VersionedStore {
+ public:
+  struct GenerationStatus {
+    std::uint64_t generation = 0;
+    long pins = 0;       ///< live shared_ptr count (active incl. the store's)
+    bool active = false; ///< false = retired, still pinned by in-flight work
+  };
+
+  /// The currently active snapshot (never null once publish() ran).
+  std::shared_ptr<const ReferenceSnapshot> active() const;
+
+  /// Publishes `next` as the active generation and retires the previous
+  /// one.  Returns the generation id assigned to `next` (caller sets the
+  /// field before publishing; this just echoes it).
+  std::uint64_t publish(std::shared_ptr<const ReferenceSnapshot> next);
+
+  /// Next generation id to assign (starts at 1; 0 is the empty pre-upload
+  /// generation).
+  std::uint64_t next_generation();
+
+  /// Active + still-pinned retired generations, pruning reclaimed ones.
+  std::vector<GenerationStatus> status() const;
+
+  /// Retired generations whose last pin has dropped (cumulative).
+  std::size_t reclaimed() const;
+
+ private:
+  void prune_locked() const;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const ReferenceSnapshot> active_;
+  mutable std::vector<std::weak_ptr<const ReferenceSnapshot>> retired_;
+  std::uint64_t next_generation_ = 1;
+  mutable std::size_t reclaimed_ = 0;
 };
 
 /// One backend invocation's raw result: both strands' hits plus the cycle/

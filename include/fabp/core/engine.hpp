@@ -14,9 +14,20 @@
 // queued; every outcome — including queue-full rejection, cancellation,
 // deadline expiry and shutdown — is a typed core::Error, never a hang.
 //
+// Multi-tenant reference management (DESIGN.md §4g): the engine hosts any
+// number of *named databases*, each a sequence of immutable, refcounted
+// reference generations with their own backend set (shard plans rebuilt
+// per generation).  upload_database() publishes a new generation while
+// in-flight requests finish on the one they were admitted under; the old
+// snapshot is reclaimed when its last pin drops (epoch-style, see
+// VersionedStore).  Admission is tenant-aware: per-tenant queues drained
+// by a weighted stride scheduler (fair share ∝ weight), per-tenant
+// queue-depth quotas, and typed UnknownDatabase / TenantQuotaExceeded
+// refusals.
+//
 // Determinism contract: the hits of a coalesced request are bit-for-bit
-// the hits of Session::align on the same query/threshold (pinned by the
-// engine differential tests for all three backends).
+// the hits of Session::align on the same query/threshold and generation
+// (pinned by the engine differential tests for all three backends).
 
 #include <atomic>
 #include <chrono>
@@ -24,9 +35,11 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,6 +47,20 @@
 #include "fabp/core/shard.hpp"
 
 namespace fabp::core {
+
+/// Admission-time identity and share of one tenant.  Unregistered tenant
+/// names fall back to the EngineConfig defaults, so registration is only
+/// needed to differentiate weights or quotas.
+struct TenantConfig {
+  std::string name;
+  /// Fair-share weight: the stride scheduler dequeues tenants' requests
+  /// in proportion to their weights whenever both have work queued.
+  double weight = 1.0;
+  /// Most requests this tenant may have waiting at once; submissions
+  /// beyond it fail typed TenantQuotaExceeded.  0 = bounded only by the
+  /// engine-wide queue_capacity.
+  std::size_t queue_quota = 0;
+};
 
 struct EngineConfig {
   HostConfig host{};
@@ -43,13 +70,17 @@ struct EngineConfig {
   /// single-card path; > 1 routes through a ShardedBackend: N backend
   /// instances each holding a contiguous slice of card DRAM (+ halo),
   /// per-shard admission queues, scatter/gather with global rebase.
+  /// Applied per database generation — a swap rebuilds the shard plans
+  /// over the new snapshot.
   ShardConfig shard{};
   /// Worker threads draining the queue.  Backend execution itself is
-  /// serialized (one modeled card), so extra workers only overlap claim /
-  /// bookkeeping; 1–2 is plenty.
+  /// serialized per database (one modeled card each), so extra workers
+  /// only overlap claim / bookkeeping — unless multiple databases are
+  /// resident, which execute genuinely in parallel.
   std::size_t workers = 2;
-  /// Admission queue bound; submissions beyond it are rejected with
-  /// ErrorCode::QueueFull instead of growing latency without bound.
+  /// Admission queue bound across all tenants; submissions beyond it are
+  /// rejected with ErrorCode::QueueFull instead of growing latency
+  /// without bound.
   std::size_t queue_capacity = 256;
   /// Most queued requests one coalesced batch may absorb.
   std::size_t max_coalesce = 16;
@@ -60,6 +91,11 @@ struct EngineConfig {
   /// (or reject) deterministically, which the queue/cancel/deadline tests
   /// rely on.
   bool autostart = true;
+  /// Pre-registered tenants (weight/quota overrides).  Unlisted tenant
+  /// names are admitted with the defaults below.
+  std::vector<TenantConfig> tenants;
+  double default_tenant_weight = 1.0;
+  std::size_t default_tenant_quota = 0;
 };
 
 /// Per-request knobs.
@@ -71,6 +107,11 @@ struct RequestOptions {
   /// that expired behind a long-running batch never rides into a device
   /// invocation and inflates batch latency for live requests.
   double timeout_s = 0.0;
+  /// Named database to search; empty = Engine::kDefaultDatabase.  An
+  /// unknown name fails typed UnknownDatabase at submit.
+  std::string database;
+  /// Tenant the request is billed to; empty = the default tenant.
+  std::string tenant;
 };
 
 /// Monotonic counters over an engine's lifetime (snapshot via stats()).
@@ -78,7 +119,7 @@ struct EngineStats {
   std::size_t submitted = 0;         ///< accepted into the queue
   std::size_t completed = 0;         ///< finished with a value
   std::size_t failed = 0;            ///< finished with a typed error
-  std::size_t rejected = 0;          ///< refused at submit (queue full)
+  std::size_t rejected = 0;          ///< refused at submit (queue/quota full)
   std::size_t cancelled = 0;         ///< cancelled while queued
   std::size_t expired = 0;           ///< deadline passed while queued
   std::size_t coalesced_batches = 0; ///< multi-query scans issued
@@ -92,6 +133,41 @@ struct EngineStats {
                : static_cast<double>(coalesced_requests) /
                      static_cast<double>(coalesced_batches);
   }
+};
+
+/// Point-in-time view of one resident database (database_status()).
+struct DatabaseStatus {
+  std::string name;
+  std::uint64_t active_generation = 0;
+  std::size_t swaps = 0;          ///< uploads published over the lifetime
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  double qps = 0.0;               ///< completed / engine uptime
+  double p50_ms = 0.0;            ///< admit-to-outcome latency percentiles
+  double p99_ms = 0.0;
+  bool degraded = false;          ///< whole-database fallback engaged
+  std::size_t fallback_batches = 0;
+  std::size_t reclaimed_generations = 0;
+  /// Active + still-pinned retired generations with live refcounts.
+  std::vector<VersionedStore::GenerationStatus> generations;
+};
+
+/// Point-in-time view of one tenant (tenant_status()).
+struct TenantStatus {
+  std::string name;
+  double weight = 1.0;
+  std::size_t quota = 0;          ///< 0 = engine queue bound only
+  std::size_t queue_depth = 0;
+  std::size_t peak_depth = 0;
+  std::size_t submitted = 0;
+  std::size_t dequeued = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t quota_rejections = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 namespace detail {
@@ -113,6 +189,85 @@ struct EngineCounters {
   std::atomic<std::size_t> largest_batch{0};
 };
 
+/// One resident generation of a database: the immutable snapshot plus the
+/// backend set built over it.  Constructing the backends over a fresh
+/// snapshot is what "shard plans rebuilt per generation" means — the
+/// ShardedBackend constructor reslices the new store immediately — and it
+/// also guarantees no stale derived artifacts (planes, tile CRCs) can
+/// survive a swap.  Requests pin this whole object for their lifetime;
+/// the last pin dropping reclaims strands, slices and caches in one sweep
+/// (see VersionedStore).
+struct Generation final : ReferenceSnapshot {
+  std::unique_ptr<ScanBackend> backend;
+  ShardedBackend* sharded = nullptr;  ///< backend downcast when sharded
+  /// Whole-database software fallback (engaged only on the async serving
+  /// path): built lazily when the primary degrades beyond what per-shard
+  /// shedding can absorb.
+  std::unique_ptr<ScanBackend> fallback;
+  bool fallback_engaged = false;  ///< guarded by the owning db's exec mutex
+  std::atomic<std::size_t> fallback_batches{0};
+};
+
+/// Small mutex-guarded circular window of request latencies (ms), shared
+/// shape for per-database and per-tenant percentile reporting.
+struct LatencyRing {
+  static constexpr std::size_t kCapacity = 1024;
+
+  void record(double value_ms);
+  std::vector<double> snapshot() const;  ///< valid samples, unordered
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> ms_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// One named database resident in the engine.  Never destroyed while the
+/// engine lives, so raw pointers into the map are stable.
+struct Database {
+  std::string name;
+  /// Guards the active-generation pointer and publication order.
+  mutable std::mutex swap_mutex;
+  /// Serializes backend touches for this database (one modeled card per
+  /// database; backend-side mutable state is not thread-safe).  Distinct
+  /// databases execute in parallel.
+  mutable std::mutex exec_mutex;
+  std::shared_ptr<Generation> active;  ///< typed pin; same control block
+                                       ///< the VersionedStore tracks
+  VersionedStore versions;
+
+  std::atomic<std::size_t> submitted{0};
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> swaps{0};
+  std::atomic<bool> degraded{false};
+  LatencyRing latency;
+};
+
+struct RequestState;
+
+/// One tenant's admission queue + stride-scheduler state.  Queue, pass
+/// and the plain counters are guarded by the engine's queue mutex; the
+/// completion counters and latency ring are touched at fulfil time.
+struct TenantQueue {
+  std::string name;
+  double weight = 1.0;
+  std::size_t quota = 0;
+  std::deque<std::shared_ptr<RequestState>> waiting;
+  /// Stride virtual time: each executed request advances it by 1/weight,
+  /// so a weight-4 tenant is picked 4x as often as a weight-1 one while
+  /// both have work queued.
+  double pass = 0.0;
+  std::size_t submitted = 0;
+  std::size_t dequeued = 0;
+  std::size_t quota_rejections = 0;
+  std::size_t peak_depth = 0;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> failed{0};
+  LatencyRing latency;
+};
+
 struct RequestState {
   CompiledQueryPtr query;
   std::uint32_t threshold = 0;
@@ -121,6 +276,14 @@ struct RequestState {
   std::atomic<int> phase{static_cast<int>(RequestPhase::Pending)};
   std::promise<Expected<HostRunReport>> promise;
   std::shared_ptr<EngineCounters> counters;  // outlives the engine
+
+  /// The generation this request was admitted under.  The shared_ptr IS
+  /// the epoch pin: as long as any in-flight request holds it, the
+  /// snapshot (strands, shard slices, caches) cannot be reclaimed.
+  std::shared_ptr<Generation> generation;
+  Database* database = nullptr;     // stable for the engine's lifetime
+  TenantQueue* tenant = nullptr;    // stable for the engine's lifetime
+  std::chrono::steady_clock::time_point enqueued{};
 
   /// CAS Pending -> to; true means the caller now owns the promise.
   bool claim(RequestPhase to) noexcept {
@@ -179,6 +342,12 @@ Error validate_engine_config(const EngineConfig& config) noexcept;
 
 class Engine {
  public:
+  /// The database upload_reference() publishes to and requests with no
+  /// database name are routed to (the single-database facade view).
+  static constexpr const char* kDefaultDatabase = "default";
+  /// The tenant unlabelled requests are billed to.
+  static constexpr const char* kDefaultTenant = "default";
+
   /// Throws FaultError{InvalidConfig} when validate_engine_config rejects
   /// the configuration.  Worker threads start lazily on the first
   /// submit(), so purely synchronous use (the Session facade) never
@@ -190,17 +359,36 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   // --- reference lifecycle ------------------------------------------------
+  /// Single-database facade (the Session path): publishes a new generation
+  /// of kDefaultDatabase.  In-flight requests finish on the snapshot they
+  /// were admitted under; fresh backends per generation preserve the
+  /// "no stale planes/CRCs after re-upload" contract byte-compatibly.
   void upload_reference(const bio::NucleotideSequence& reference);
   void upload_reference(bio::PackedNucleotides reference);
-  bool has_reference() const noexcept { return store_.uploaded; }
-  const bio::PackedNucleotides& reference() const noexcept {
-    return store_.forward;
-  }
+
+  /// Publishes a new generation of the named database, creating the
+  /// database on first upload.  The whole new snapshot — RC strand,
+  /// backend set, shard plans — is built off-lock while the old
+  /// generation keeps serving; the swap itself is a pointer publication.
+  /// Returns the generation id just published.
+  std::uint64_t upload_database(const std::string& name,
+                                const bio::NucleotideSequence& reference);
+  std::uint64_t upload_database(const std::string& name,
+                                bio::PackedNucleotides reference);
+
+  bool has_database(const std::string& name) const;
+  std::vector<std::string> database_names() const;
+
+  bool has_reference() const;
+  /// The default database's active forward strand.  Stable until the next
+  /// upload to the default database.
+  const bio::PackedNucleotides& reference() const;
 
   // --- asynchronous serving ----------------------------------------------
   /// Enqueues one aligned search.  Never throws and never blocks beyond
-  /// the queue lock: a full queue, a compile failure (unencodable residue)
-  /// and shutdown all come back as already-failed tickets.
+  /// the queue lock: a full queue, an exhausted tenant quota, an unknown
+  /// database, a compile failure (unencodable residue) and shutdown all
+  /// come back as already-failed tickets with typed errors.
   Ticket submit(const bio::ProteinSequence& query, std::uint32_t threshold,
                 RequestOptions options = {});
 
@@ -210,7 +398,8 @@ class Engine {
 
   // --- synchronous paths (the Session facade) ----------------------------
   /// One aligned search on the caller's thread, exactly Session::try_align.
-  /// Optional precomputed strand hit lists come from a batch scan.
+  /// Optional precomputed strand hit lists come from a batch scan.  Runs
+  /// against the default database's active generation.
   Expected<HostRunReport> align_sync(
       const bio::ProteinSequence& query, std::uint32_t threshold,
       const std::vector<Hit>* forward_hits = nullptr,
@@ -238,78 +427,99 @@ class Engine {
       util::ThreadPool* pool = nullptr);
 
   // --- introspection ------------------------------------------------------
-  /// Requests currently waiting for a worker claim.  The service edge
-  /// (net::WireServer) sheds on this before enqueueing more work.
+  /// Requests currently waiting for a worker claim, across all tenants.
+  /// The service edge (net::WireServer) sheds on this before enqueueing
+  /// more work.
   std::size_t queue_depth() const {
     std::lock_guard lock{queue_mutex_};
-    return queue_.size();
+    return queued_total_;
   }
 
   const EngineConfig& config() const noexcept { return config_; }
   const HostConfig& host_config() const noexcept { return config_.host; }
-  BackendKind backend_kind() const noexcept { return backend_->kind(); }
+  BackendKind backend_kind() const noexcept { return config_.backend; }
   EngineStats stats() const noexcept;
   QueryCompilerStats compiler_stats() const { return compiler_.stats(); }
 
-  /// Backend health / fault schedule.  Stable only while no worker is
-  /// executing (the single-threaded facade pattern, or after draining).
-  HealthState health() const noexcept { return backend_->health(); }
-  const std::vector<hw::FaultEvent>& fault_log() const noexcept {
-    return backend_->fault_log();
-  }
+  /// Per-database and per-tenant observability (QPS, latency percentiles,
+  /// queue depths, per-generation refcounts) — the `fabp serve` stats
+  /// dump renders these.
+  std::vector<DatabaseStatus> database_status() const;
+  std::vector<TenantStatus> tenant_status() const;
+  double uptime_seconds() const;
 
-  /// Device batch scheduler accounting of the backend (all-zero for the
-  /// software backends).  With sharding this is the *merged* cross-card
-  /// view (counts summed, makespans max'ed — see ShardedBackend).  Takes
-  /// the execution lock for a stable snapshot.
-  DevicePipelineStats pipeline_stats() const {
-    std::lock_guard lock{exec_mutex_};
-    return backend_->pipeline_stats();
-  }
+  /// Backend health / fault schedule of the default database's active
+  /// generation.  Stable only while no worker is executing (the
+  /// single-threaded facade pattern, or after draining) and until the
+  /// next upload.
+  HealthState health() const;
+  const std::vector<hw::FaultEvent>& fault_log() const;
+
+  /// Device batch scheduler accounting of the default database's active
+  /// backend (all-zero for the software backends).  With sharding this is
+  /// the *merged* cross-card view (counts summed, makespans max'ed — see
+  /// ShardedBackend).  Takes the execution lock for a stable snapshot.
+  DevicePipelineStats pipeline_stats() const;
 
   /// Per-shard router view (owned ranges, health, queue depths, recovery,
-  /// per-card pipeline stats).  Empty when shard_count == 1 (no router).
-  /// Takes the execution lock for a stable snapshot.
-  std::vector<ShardStatus> shard_status() const {
-    std::lock_guard lock{exec_mutex_};
-    return sharded_ != nullptr ? sharded_->shard_status()
-                               : std::vector<ShardStatus>{};
-  }
+  /// per-card pipeline stats) of the default database's active generation.
+  /// Empty when shard_count == 1 (no router).  Takes the execution lock
+  /// for a stable snapshot.
+  std::vector<ShardStatus> shard_status() const;
   std::size_t shard_count() const noexcept {
-    return sharded_ != nullptr ? sharded_->shard_count() : 1;
+    return config_.shard.shard_count > 1 ? config_.shard.shard_count : 1;
   }
-  /// Router scatter/gather wall time (0 when unsharded).  Execution-lock
-  /// stable like pipeline_stats().
-  double shard_overhead_seconds() const {
-    std::lock_guard lock{exec_mutex_};
-    return sharded_ != nullptr
-               ? sharded_->scatter_seconds() + sharded_->gather_seconds()
-               : 0.0;
-  }
+  /// Router scatter/gather wall time of the active generation (0 when
+  /// unsharded).  Execution-lock stable like pipeline_stats().
+  double shard_overhead_seconds() const;
 
  private:
   using StatePtr = std::shared_ptr<detail::RequestState>;
 
   void worker_loop();
   void ensure_workers();
-  /// Runs one claimed batch (1..max_coalesce requests) on the backend as
-  /// a single run_many call (the hw-sim device batch scheduler's unit).
+  /// Runs one claimed batch (1..max_coalesce requests, all pinned to the
+  /// same generation) on that generation's backend as a single run_many
+  /// call (the hw-sim device batch scheduler's unit).
   void execute_batch(std::vector<StatePtr> batch);
 
+  /// Looks up a resident database (nullptr when unknown).
+  detail::Database* find_database(const std::string& name) const;
+  /// Finds or creates a database (generation-0 backend set over an empty
+  /// store, matching the pre-upload engine of old).
+  detail::Database& ensure_database(const std::string& name);
+  /// Builds the backend set (sharded when configured) over gen's store.
+  void build_backends(detail::Generation& gen) const;
+  /// Pins the active generation of `db`.
+  static std::shared_ptr<detail::Generation> pin_active(detail::Database& db);
+  /// Finds or creates the tenant queue; caller holds queue_mutex_.
+  detail::TenantQueue& tenant_queue_locked(const std::string& name);
+  /// Min-pass non-empty tenant whose head request matches `match` (any
+  /// generation when null); caller holds queue_mutex_.
+  detail::TenantQueue* pick_tenant_locked(const detail::Generation* match);
+  /// The backend a batch should run on, engaging the whole-database
+  /// software fallback when the primary is beyond per-shard shedding.
+  /// Caller holds db.exec_mutex.
+  ScanBackend& route_backend(detail::Database& db, detail::Generation& gen);
+
   EngineConfig config_;
-  ReferenceStore store_;
-  std::unique_ptr<ScanBackend> backend_;
-  ShardedBackend* sharded_ = nullptr;  ///< backend_ downcast when sharded
   mutable QueryCompiler compiler_;
   std::shared_ptr<detail::EngineCounters> counters_;
+  std::chrono::steady_clock::time_point start_time_;
 
-  /// Serializes every backend touch: one modeled card, plus backend-side
-  /// mutable state (fault log, lazy planes/CRCs) is not thread-safe.
-  mutable std::mutex exec_mutex_;
+  /// Guards the database map's structure; Database objects themselves are
+  /// never destroyed while the engine lives.
+  mutable std::mutex db_mutex_;
+  std::map<std::string, std::unique_ptr<detail::Database>> databases_;
+  detail::Database* default_db_ = nullptr;  ///< always resident
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<StatePtr> queue_;
+  std::map<std::string, std::unique_ptr<detail::TenantQueue>> tenants_;
+  std::size_t queued_total_ = 0;
+  /// Pass of the most recently dequeued tenant; newly active tenants jump
+  /// here so an idle tenant cannot bank credit and burst.
+  double virtual_time_ = 0.0;
   std::vector<std::thread> workers_;
   bool workers_started_ = false;
   bool stopping_ = false;

@@ -33,6 +33,8 @@ enum class ErrorCode : std::uint8_t {
   DeadlineExceeded,  ///< request deadline passed before it started running
   ShuttingDown,      ///< engine destroyed with the request still queued
   Overloaded,        ///< shed at the service edge before admission
+  UnknownDatabase,   ///< request named a database that is not resident
+  TenantQuotaExceeded,  ///< tenant's queue-depth quota exhausted
 };
 
 inline const char* to_string(ErrorCode code) noexcept {
@@ -50,6 +52,8 @@ inline const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::DeadlineExceeded: return "deadline-exceeded";
     case ErrorCode::ShuttingDown: return "shutting-down";
     case ErrorCode::Overloaded: return "overloaded";
+    case ErrorCode::UnknownDatabase: return "unknown-database";
+    case ErrorCode::TenantQuotaExceeded: return "tenant-quota-exceeded";
   }
   return "unknown";
 }

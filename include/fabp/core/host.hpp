@@ -134,6 +134,11 @@ struct HostRunReport {
 
   /// What recovery did for this run; total_s includes recovery.recovery_s.
   RecoveryStats recovery;
+
+  /// Database generation the request was admitted under (0 before the
+  /// first upload).  Lets swap-under-load callers pin hit-for-hit results
+  /// to the snapshot that actually served them.
+  std::uint64_t generation = 0;
 };
 
 /// Batch-align report (kept at namespace scope since the layering refactor

@@ -54,6 +54,11 @@ struct CallResult {
   AlignResponse response;    ///< valid when a response frame landed
   std::size_t attempts = 0;  ///< wire attempts consumed
   std::size_t retries = 0;   ///< attempts beyond the first
+  /// CRC-detected corruption events across the attempts: responses whose
+  /// frame body failed the client-side check, plus typed
+  /// IntegrityFailure answers (the server caught *our* frame corrupted).
+  /// Both retry like transport faults.
+  std::size_t integrity_faults = 0;
 
   bool ok() const noexcept { return status == CallStatus::Ok; }
 };

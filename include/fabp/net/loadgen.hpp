@@ -32,6 +32,8 @@ struct LoadgenConfig {
   std::size_t query_residues = 24;
   double threshold_fraction = 0.6; ///< of 3 * query_residues elements
   std::uint64_t seed = 42;
+  std::string database;            ///< named database; empty = default
+  std::string tenant;              ///< tenant billed; empty = default
 
   // --- resilience ---------------------------------------------------------
   double deadline_s = 0.0;  ///< per-request budget (0 = unbounded)
@@ -57,6 +59,9 @@ struct LoadgenReport {
   std::size_t timeouts = 0;  ///< budget ran out before a terminal answer
   std::size_t attempts = 0;  ///< wire attempts across all requests
   std::size_t retries = 0;   ///< attempts beyond each request's first
+  /// CRC-detected corruption events (client-side BadCrc reads plus typed
+  /// IntegrityFailure answers), recovered by retry — see CallResult.
+  std::size_t integrity_faults = 0;
 
   // --- attacker side ------------------------------------------------------
   std::size_t attackers = 0;      ///< connections run as fault sprayers

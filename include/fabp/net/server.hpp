@@ -24,8 +24,15 @@
 //  - shutdown() drains gracefully but boundedly: after drain_timeout_s
 //    still-queued requests are force-cancelled through the Ticket
 //    cancel path and the sockets are torn down.
+//  - Every inbound frame body is CRC-verified before decoding (wire v3):
+//    a corrupted align frame is answered with a typed IntegrityFailure
+//    and the connection survives — the framing itself is still intact.
 //  - A FaultConfig on the server injects response-path network faults
 //    (per connection, deterministic streams) for the chaos suite.
+//
+// SwapDatabaseRequest frames route to the injected SwapHandler (the CLI
+// wires it to a reference-file loader + Engine::upload_database), which
+// publishes a new generation while in-flight scans finish on the old one.
 
 #include <array>
 #include <condition_variable>
@@ -67,12 +74,27 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Blocking frame I/O over a connected socket.  read_frame returns false
-/// on clean EOF, a broken connection, or a length prefix above
-/// `max_bytes` (clients pass the default response bound; the server
-/// reads with kMaxRequestFrameBytes); write_frame returns false on a
-/// broken connection.  Both resume short transfers and EINTR — a signal
+/// Outcome of one blocking frame read.  BadCrc is the interesting new
+/// case: the frame arrived whole and well-framed but its payload CRC32
+/// did not match, so the bytes were corrupted in transit — retryable on
+/// a fresh connection, unlike a desynchronized stream.
+enum class FrameRead : std::uint8_t {
+  Ok = 0,
+  Closed,    ///< clean EOF or broken connection
+  TooLarge,  ///< length prefix above max_bytes (never allocated)
+  BadCrc,    ///< frame body failed its CRC32 check
+};
+
+/// Blocking frame I/O over a connected socket.  read_frame_status reads
+/// one frame body, verifies the CRC32 trailer, and on Ok leaves the
+/// *payload* (trailer stripped) in `payload`.  `max_bytes` bounds the
+/// body length prefix (clients pass the default response bound; the
+/// server reads with kMaxRequestFrameBytes).  read_frame is the
+/// Ok-or-bust convenience wrapper; write_frame returns false on a broken
+/// connection.  All resume short transfers and EINTR — a signal
 /// delivered mid-send must not masquerade as a peer failure.
+FrameRead read_frame_status(int fd, std::string& payload,
+                            std::uint32_t max_bytes = kMaxFrameBytes);
 bool read_frame(int fd, std::string& payload,
                 std::uint32_t max_bytes = kMaxFrameBytes);
 bool write_frame(int fd, std::string_view payload);
@@ -116,6 +138,8 @@ struct ServerMetrics {
   std::size_t requests = 0;        ///< align requests answered
   std::size_t errors = 0;          ///< answered with a non-ok status
   std::size_t malformed = 0;       ///< frames that failed to decode
+  std::size_t integrity = 0;       ///< frames that failed their CRC32
+  std::size_t swaps = 0;           ///< SwapDatabase admin frames answered
   std::size_t shed = 0;            ///< refused with Overloaded pre-enqueue
   std::size_t io_timeouts = 0;     ///< connections reaped as idle/stalled
   std::size_t force_cancelled = 0; ///< requests cancelled at drain deadline
@@ -126,11 +150,18 @@ struct ServerMetrics {
 
 class WireServer {
  public:
+  /// Answers a SwapDatabaseRequest (the CLI wires this to a file loader
+  /// + Engine::upload_database).  Runs on the connection thread; a
+  /// default-constructed handler refuses swaps with BadArgument.
+  using SwapHandler =
+      std::function<SwapDatabaseResponse(const SwapDatabaseRequest&)>;
+
   /// Binds and listens immediately; throws std::runtime_error when the
   /// address is unavailable.  `stats_text` supplies the StatsResponse
   /// body (the CLI passes its stats-dump formatter).
   WireServer(core::Engine& engine, ServerConfig config,
-             std::function<std::string()> stats_text = {});
+             std::function<std::string()> stats_text = {},
+             SwapHandler swap_handler = {});
   ~WireServer();
 
   WireServer(const WireServer&) = delete;
@@ -186,6 +217,7 @@ class WireServer {
   core::Engine& engine_;
   ServerConfig config_;
   std::function<std::string()> stats_text_;
+  SwapHandler swap_handler_;
   Socket listener_;
   std::uint16_t port_ = 0;
 
@@ -204,6 +236,8 @@ class WireServer {
   std::size_t requests_ = 0;
   std::size_t errors_ = 0;
   std::size_t malformed_ = 0;
+  std::size_t integrity_ = 0;
+  std::size_t swaps_ = 0;
   std::size_t shed_ = 0;
   std::size_t io_timeouts_ = 0;
   std::size_t force_cancelled_ = 0;

@@ -1,23 +1,34 @@
 #pragma once
-// Wire protocol of the fabp TCP front-end (DESIGN.md §4e).
+// Wire protocol of the fabp TCP front-end (DESIGN.md §4e, §4g).
 //
-// Framing: every message is a little-endian u32 payload length followed by
-// that many payload bytes; payload byte 0 is the MessageType, byte 1 the
+// Framing: every message is a little-endian u32 *body* length followed by
+// that many body bytes, where the body is the payload plus a trailing
+// little-endian CRC32 of the payload (util/crc32, the same polynomial the
+// §4b tile checksums use).  Payload byte 0 is the MessageType, byte 1 the
 // protocol version.  Frames above kMaxFrameBytes are rejected before any
-// allocation (a garbage length prefix must not OOM the server).
+// allocation (a garbage length prefix must not OOM the server); frames
+// whose CRC does not match the payload are rejected with a typed
+// integrity error instead of being decoded — closing the PR 9 gap where
+// a corrupted-but-decodable frame was accepted.
 //
 //   AlignRequest   = type | ver | id u64 | threshold u32 | deadline_ms u32
-//                  | len u32 | protein
+//                  | protein string | database string | tenant string
 //   AlignResponse  = type | ver | id u64 | status u8 | retry_after_ms u32
-//                  | server_seconds f64 | error string | hit list
-//                  | reverse hit list
+//                  | server_seconds f64 | generation u64 | error string
+//                  | hit list | reverse hit list
 //   StatsRequest   = type | ver
 //   StatsResponse  = type | ver | text string
+//   SwapDatabase   = type | ver | name string | path string | bases string
+//   SwapDatabaseResponse = type | ver | status u8 | generation u64
+//                  | error string
 //
 // Version 2 added deadline propagation (requests carry their remaining
 // budget in ms; the server maps it onto the engine deadline) and the
-// retry-after hint typed refusals carry back (Overloaded/QueueFull tell
-// the client how long to back off before the next attempt).
+// retry-after hint typed refusals carry back.  Version 3 adds the payload
+// CRC32 trailer on every frame, the database/tenant routing fields on
+// AlignRequest, the generation echo on AlignResponse, and the
+// SwapDatabase admin message that publishes a new reference generation on
+// a live server (by server-side file `path`, or inline DNA `bases`).
 //
 // Strings are u32 length + bytes; hit lists are u32 count + (u64 position,
 // u32 score) pairs.  Encode/decode are pure byte-vector transforms with no
@@ -34,7 +45,7 @@
 
 namespace fabp::net {
 
-inline constexpr std::uint8_t kProtocolVersion = 2;
+inline constexpr std::uint8_t kProtocolVersion = 3;
 /// Per-direction frame bounds.  Client->server frames carry queries and
 /// are tiny, so the server rejects anything above 1 MiB before
 /// allocating (a garbage length prefix must not OOM the server).
@@ -45,12 +56,16 @@ inline constexpr std::uint8_t kProtocolVersion = 2;
 /// error response instead of a half-written frame.
 inline constexpr std::uint32_t kMaxRequestFrameBytes = 1u << 20;
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;
+/// Bytes the CRC32 trailer adds to every frame body.
+inline constexpr std::uint32_t kFrameCrcBytes = 4;
 
 enum class MessageType : std::uint8_t {
   AlignRequest = 1,
   AlignResponse = 2,
   StatsRequest = 3,
   StatsResponse = 4,
+  SwapDatabaseRequest = 5,
+  SwapDatabaseResponse = 6,
 };
 
 struct AlignRequest {
@@ -61,6 +76,8 @@ struct AlignRequest {
                                  ///< DeadlineExceeded instead of running
                                  ///< it once the budget is gone.
   std::string protein;           ///< one-letter residue codes
+  std::string database;          ///< named database; empty = default
+  std::string tenant;            ///< tenant billed; empty = default
 };
 
 struct AlignResponse {
@@ -69,6 +86,7 @@ struct AlignResponse {
   std::uint32_t retry_after_ms = 0;  ///< back-off hint on typed refusals
                                      ///< (Overloaded/QueueFull); 0 = none
   double server_seconds = 0.0;    ///< server-side latency (queue + scan)
+  std::uint64_t generation = 0;   ///< reference generation that served it
   std::string error;              ///< human-readable, when status != 0
   std::vector<core::Hit> hits;
   std::vector<core::Hit> reverse_hits;
@@ -80,15 +98,42 @@ struct StatsResponse {
   std::string text;  ///< the server's formatted stats dump
 };
 
-// --- encoding (payload only; frame() adds the length prefix) ------------
+/// Admin: publish a new generation of `name` on the live server.  Exactly
+/// one of `path` (server-side reference file: FASTA or raw ACGT) and
+/// `bases` (inline DNA, bounded by the 1 MiB request frame) should be
+/// non-empty.
+struct SwapDatabaseRequest {
+  std::string name;
+  std::string path;
+  std::string bases;
+};
+
+struct SwapDatabaseResponse {
+  std::uint8_t status = 0;       ///< core::ErrorCode numeric value; 0 = ok
+  std::uint64_t generation = 0;  ///< generation id the swap published
+  std::string error;
+
+  bool ok() const noexcept { return status == 0; }
+};
+
+// --- encoding (payload only; frame() adds length prefix + CRC) ----------
 
 std::string encode(const AlignRequest& message);
 std::string encode(const AlignResponse& message);
 std::string encode_stats_request();
 std::string encode(const StatsResponse& message);
+std::string encode(const SwapDatabaseRequest& message);
+std::string encode(const SwapDatabaseResponse& message);
 
-/// Length-prefixes a payload into a ready-to-send frame.
+/// Wraps a payload into a ready-to-send frame: u32 length of
+/// (payload + 4), the payload, then the payload's CRC32 (LE).
 std::string frame(std::string_view payload);
+
+/// Splits a received frame body (payload + CRC trailer) and verifies the
+/// checksum.  On success `payload` views into `body`; on a short body or
+/// CRC mismatch returns false — the caller surfaces a typed
+/// IntegrityFailure instead of decoding corrupted bytes.
+bool verify_frame_body(std::string_view body, std::string_view& payload);
 
 // --- decoding ------------------------------------------------------------
 
@@ -100,5 +145,7 @@ MessageType peek_type(std::string_view payload) noexcept;
 bool decode(std::string_view payload, AlignRequest& out);
 bool decode(std::string_view payload, AlignResponse& out);
 bool decode(std::string_view payload, StatsResponse& out);
+bool decode(std::string_view payload, SwapDatabaseRequest& out);
+bool decode(std::string_view payload, SwapDatabaseResponse& out);
 
 }  // namespace fabp::net

@@ -1271,6 +1271,56 @@ void ReferenceStore::upload(bio::PackedNucleotides packed, bool both_strands) {
   }
 }
 
+std::shared_ptr<const ReferenceSnapshot> VersionedStore::active() const {
+  std::lock_guard lock{mutex_};
+  return active_;
+}
+
+std::uint64_t VersionedStore::publish(
+    std::shared_ptr<const ReferenceSnapshot> next) {
+  std::lock_guard lock{mutex_};
+  if (active_ != nullptr) retired_.push_back(active_);
+  active_ = std::move(next);
+  prune_locked();
+  return active_->generation;
+}
+
+std::uint64_t VersionedStore::next_generation() {
+  std::lock_guard lock{mutex_};
+  return next_generation_++;
+}
+
+std::vector<VersionedStore::GenerationStatus> VersionedStore::status() const {
+  std::lock_guard lock{mutex_};
+  prune_locked();
+  std::vector<GenerationStatus> out;
+  for (const auto& weak : retired_) {
+    if (auto pinned = weak.lock())
+      out.push_back({pinned->generation,
+                     static_cast<long>(pinned.use_count() - 1), false});
+  }
+  if (active_ != nullptr)
+    out.push_back({active_->generation,
+                   static_cast<long>(active_.use_count()), true});
+  return out;
+}
+
+std::size_t VersionedStore::reclaimed() const {
+  std::lock_guard lock{mutex_};
+  prune_locked();
+  return reclaimed_;
+}
+
+void VersionedStore::prune_locked() const {
+  // Epoch sweep: a retired generation whose weak_ptr no longer locks has
+  // had its last pin dropped — its strands/backends are already freed.
+  std::erase_if(retired_, [this](const auto& weak) {
+    const bool gone = weak.expired();
+    if (gone) ++reclaimed_;
+    return gone;
+  });
+}
+
 std::unique_ptr<ScanBackend> make_backend(BackendKind kind,
                                           const HostConfig& config,
                                           const ReferenceStore& store) {

@@ -4,10 +4,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fabp/util/stats.hpp"
+
 namespace fabp::core {
 
+using detail::Database;
+using detail::Generation;
 using detail::RequestPhase;
 using detail::RequestState;
+using detail::TenantQueue;
 
 bool Ticket::cancel() {
   if (!state_) return false;
@@ -32,12 +37,26 @@ void drop_expired(std::vector<std::shared_ptr<RequestState>>& batch,
       state.promise.set_value(
           Error{ErrorCode::DeadlineExceeded,
                 "request deadline passed before device dispatch"});
+      state.generation.reset();  // settled: release the epoch pin
       continue;
     }
     if (keep != i) batch[keep] = std::move(batch[i]);
     ++keep;
   }
   batch.resize(keep);
+}
+
+void LatencyRing::record(double value_ms) {
+  std::lock_guard lock{mutex_};
+  if (ms_.empty()) ms_.resize(kCapacity, 0.0);
+  ms_[next_] = value_ms;
+  next_ = (next_ + 1) % kCapacity;
+  count_ = std::min(count_ + 1, kCapacity);
+}
+
+std::vector<double> LatencyRing::snapshot() const {
+  std::lock_guard lock{mutex_};
+  return {ms_.begin(), ms_.begin() + static_cast<std::ptrdiff_t>(count_)};
 }
 
 }  // namespace detail
@@ -57,6 +76,17 @@ Error validate_engine_config(const EngineConfig& config) noexcept {
   if (config.compiler_capacity == 0)
     return Error{ErrorCode::InvalidConfig,
                  "engine.compiler_capacity must be positive"};
+  if (!(config.default_tenant_weight > 0.0))
+    return Error{ErrorCode::InvalidConfig,
+                 "engine.default_tenant_weight must be positive"};
+  for (const TenantConfig& tenant : config.tenants) {
+    if (tenant.name.empty())
+      return Error{ErrorCode::InvalidConfig,
+                   "engine.tenants entries need non-empty names"};
+    if (!(tenant.weight > 0.0))
+      return Error{ErrorCode::InvalidConfig,
+                   "tenant '" + tenant.name + "' weight must be positive"};
+  }
   if (config.backend == BackendKind::HwSim) {
     // A coalesced claim wider than the device's in-flight window
     // (invocation capacity x ping/pong buffers) would stall the pipeline
@@ -77,20 +107,18 @@ Error validate_engine_config(const EngineConfig& config) noexcept {
 Engine::Engine(EngineConfig config)
     : config_{std::move(config)},
       compiler_{config_.compiler_capacity},
-      counters_{std::make_shared<detail::EngineCounters>()} {
+      counters_{std::make_shared<detail::EngineCounters>()},
+      start_time_{std::chrono::steady_clock::now()} {
   if (Error error = validate_engine_config(config_);
       error.code != ErrorCode::None)
     throw FaultError{std::move(error)};
-  if (config_.shard.shard_count > 1) {
-    // Multi-card scale-out: the router presents N per-slice backends as
-    // one ScanBackend, so every path below this point stays unchanged.
-    auto sharded = make_sharded_backend(config_.backend, config_.host, store_,
-                                        config_.shard);
-    sharded_ = sharded.get();
-    backend_ = std::move(sharded);
-  } else {
-    backend_ = make_backend(config_.backend, config_.host, store_);
-  }
+  default_db_ = &ensure_database(kDefaultDatabase);
+  // Pre-register configured tenants so the stats surface shows them (and
+  // their weights) before their first request arrives.
+  std::lock_guard lock{queue_mutex_};
+  tenant_queue_locked(kDefaultTenant);
+  for (const TenantConfig& tenant : config_.tenants)
+    tenant_queue_locked(tenant.name);
 }
 
 Engine::~Engine() {
@@ -102,13 +130,61 @@ Engine::~Engine() {
   for (std::thread& worker : workers_) worker.join();
   // Whatever is still queued never ran: fail it with a typed outcome so
   // every Ticket::wait() unblocks.
-  for (const StatePtr& state : queue_) {
-    if (!state->claim(RequestPhase::Cancelled)) continue;
-    counters_->failed.fetch_add(1, std::memory_order_relaxed);
-    state->promise.set_value(Error{ErrorCode::ShuttingDown,
-                                   "engine destroyed before the request ran"});
+  for (auto& [name, tenant] : tenants_) {
+    for (const StatePtr& state : tenant->waiting) {
+      if (state->claim(RequestPhase::Cancelled)) {
+        counters_->failed.fetch_add(1, std::memory_order_relaxed);
+        state->promise.set_value(
+            Error{ErrorCode::ShuttingDown,
+                  "engine destroyed before the request ran"});
+      }
+      state->generation.reset();  // workers joined; no scheduler reads
+    }
+    tenant->waiting.clear();
   }
-  queue_.clear();
+}
+
+void Engine::build_backends(Generation& gen) const {
+  if (config_.shard.shard_count > 1) {
+    // Multi-card scale-out: the router presents N per-slice backends as
+    // one ScanBackend.  Constructing it over the new snapshot reslices
+    // immediately — the per-generation shard plan rebuild.
+    auto sharded = make_sharded_backend(config_.backend, config_.host,
+                                        gen.store, config_.shard);
+    gen.sharded = sharded.get();
+    gen.backend = std::move(sharded);
+  } else {
+    gen.backend = make_backend(config_.backend, config_.host, gen.store);
+  }
+}
+
+Database* Engine::find_database(const std::string& name) const {
+  std::lock_guard lock{db_mutex_};
+  auto it = databases_.find(name);
+  return it != databases_.end() ? it->second.get() : nullptr;
+}
+
+Database& Engine::ensure_database(const std::string& name) {
+  std::lock_guard lock{db_mutex_};
+  auto it = databases_.find(name);
+  if (it != databases_.end()) return *it->second;
+  auto db = std::make_unique<Database>();
+  db->name = name;
+  // Generation 0: an empty store behind a live backend set, so pre-upload
+  // behavior (NoReference from scans, Healthy health) matches the
+  // single-store engine of old.
+  auto gen0 = std::make_shared<Generation>();
+  gen0->generation = 0;
+  build_backends(*gen0);
+  db->active = gen0;
+  db->versions.publish(gen0);
+  auto [pos, inserted] = databases_.emplace(name, std::move(db));
+  return *pos->second;
+}
+
+std::shared_ptr<Generation> Engine::pin_active(Database& db) {
+  std::lock_guard lock{db.swap_mutex};
+  return db.active;
 }
 
 void Engine::upload_reference(const bio::NucleotideSequence& reference) {
@@ -116,11 +192,59 @@ void Engine::upload_reference(const bio::NucleotideSequence& reference) {
 }
 
 void Engine::upload_reference(bio::PackedNucleotides reference) {
-  std::lock_guard lock{exec_mutex_};
-  store_.upload(std::move(reference), config_.host.search_both_strands);
-  // A scan after re-upload must never read stale derived artifacts
-  // (planes, tile checksums) — regression-tested in host_test.cpp.
-  backend_->invalidate();
+  upload_database(kDefaultDatabase, std::move(reference));
+}
+
+std::uint64_t Engine::upload_database(const std::string& name,
+                                      const bio::NucleotideSequence& reference) {
+  return upload_database(name, bio::PackedNucleotides{reference});
+}
+
+std::uint64_t Engine::upload_database(const std::string& name,
+                                      bio::PackedNucleotides reference) {
+  if (name.empty())
+    throw FaultError{
+        Error{ErrorCode::BadArgument, "database name must be non-empty"}};
+  Database& db = ensure_database(name);
+  // Build the entire new generation off-lock: packing the RC strand,
+  // constructing the backend set and recutting shard slices can be
+  // expensive, and in-flight scans keep serving the old snapshot the
+  // whole time.  A scan after the swap can never read stale derived
+  // artifacts (planes, tile checksums) because the new generation's
+  // backends were built over the new store — the invalidate-on-upload
+  // contract regression-tested in host_test.cpp, now by construction.
+  auto gen = std::make_shared<Generation>();
+  gen->generation = db.versions.next_generation();
+  const std::uint64_t published = gen->generation;
+  gen->store.upload(std::move(reference), config_.host.search_both_strands);
+  build_backends(*gen);
+  {
+    std::lock_guard swap_lock{db.swap_mutex};
+    db.active = gen;
+    db.versions.publish(std::move(gen));
+  }
+  db.swaps.fetch_add(1, std::memory_order_relaxed);
+  return published;
+}
+
+bool Engine::has_database(const std::string& name) const {
+  return find_database(name) != nullptr;
+}
+
+std::vector<std::string> Engine::database_names() const {
+  std::lock_guard lock{db_mutex_};
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+bool Engine::has_reference() const {
+  return pin_active(*default_db_)->store.uploaded;
+}
+
+const bio::PackedNucleotides& Engine::reference() const {
+  return pin_active(*default_db_)->store.forward;
 }
 
 void Engine::ensure_workers() {
@@ -137,6 +261,24 @@ void Engine::start() {
   if (!stopping_) ensure_workers();
 }
 
+TenantQueue& Engine::tenant_queue_locked(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) return *it->second;
+  auto tenant = std::make_unique<TenantQueue>();
+  tenant->name = name;
+  tenant->weight = config_.default_tenant_weight;
+  tenant->quota = config_.default_tenant_quota;
+  for (const TenantConfig& configured : config_.tenants) {
+    if (configured.name != name) continue;
+    tenant->weight = configured.weight;
+    tenant->quota = configured.queue_quota;
+    break;
+  }
+  tenant->pass = virtual_time_;
+  auto [pos, inserted] = tenants_.emplace(name, std::move(tenant));
+  return *pos->second;
+}
+
 Ticket Engine::submit(const bio::ProteinSequence& query,
                       std::uint32_t threshold, RequestOptions options) {
   auto state = std::make_shared<RequestState>();
@@ -144,12 +286,28 @@ Ticket Engine::submit(const bio::ProteinSequence& query,
   state->counters = counters_;
   Ticket ticket{state};
 
+  const auto fail = [&](ErrorCode code, std::string message,
+                        bool as_rejected) {
+    state->phase.store(static_cast<int>(RequestPhase::Claimed));
+    state->promise.set_value(Error{code, std::move(message)});
+    state->generation.reset();  // settled: release the epoch pin
+    auto& counter = as_rejected ? counters_->rejected : counters_->failed;
+    counter.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  const std::string& db_name =
+      options.database.empty() ? kDefaultDatabase : options.database;
+  Database* db = find_database(db_name);
+  if (db == nullptr) {
+    fail(ErrorCode::UnknownDatabase,
+         "no database named '" + db_name + "' is resident", false);
+    return ticket;
+  }
+
   try {
     state->query = compiler_.compile(query);
   } catch (const std::exception& e) {
-    state->phase.store(static_cast<int>(RequestPhase::Claimed));
-    state->promise.set_value(Error{ErrorCode::BadArgument, e.what()});
-    counters_->failed.fetch_add(1, std::memory_order_relaxed);
+    fail(ErrorCode::BadArgument, e.what(), false);
     return ticket;
   }
   if (options.timeout_s > 0.0) {
@@ -159,28 +317,60 @@ Ticket Engine::submit(const bio::ProteinSequence& query,
                           std::chrono::duration<double>{options.timeout_s});
   }
 
+  // Pin the generation *at admission*: a swap between here and execution
+  // must not move the request — hit-for-hit results belong to the
+  // snapshot the caller was admitted under.
+  state->database = db;
+  state->generation = pin_active(*db);
+
+  const std::string& tenant_name =
+      options.tenant.empty() ? kDefaultTenant : options.tenant;
   {
     std::lock_guard lock{queue_mutex_};
     if (stopping_) {
-      state->phase.store(static_cast<int>(RequestPhase::Claimed));
-      state->promise.set_value(
-          Error{ErrorCode::ShuttingDown, "engine is shutting down"});
-      counters_->failed.fetch_add(1, std::memory_order_relaxed);
+      fail(ErrorCode::ShuttingDown, "engine is shutting down", false);
       return ticket;
     }
-    if (queue_.size() >= config_.queue_capacity) {
-      state->phase.store(static_cast<int>(RequestPhase::Claimed));
-      state->promise.set_value(
-          Error{ErrorCode::QueueFull, "engine admission queue is full"});
-      counters_->rejected.fetch_add(1, std::memory_order_relaxed);
+    if (queued_total_ >= config_.queue_capacity) {
+      fail(ErrorCode::QueueFull, "engine admission queue is full", true);
+      return ticket;
+    }
+    TenantQueue& tenant = tenant_queue_locked(tenant_name);
+    if (tenant.quota > 0 && tenant.waiting.size() >= tenant.quota) {
+      ++tenant.quota_rejections;
+      fail(ErrorCode::TenantQuotaExceeded,
+           "tenant '" + tenant_name + "' queue quota exhausted", true);
       return ticket;
     }
     if (config_.autostart) ensure_workers();
-    queue_.push_back(state);
+    // A tenant going idle must not bank stride credit: on reactivation it
+    // rejoins at the scheduler's current virtual time.
+    if (tenant.waiting.empty()) tenant.pass = std::max(tenant.pass, virtual_time_);
+    state->tenant = &tenant;
+    state->enqueued = std::chrono::steady_clock::now();
+    tenant.waiting.push_back(state);
+    ++tenant.submitted;
+    tenant.peak_depth = std::max(tenant.peak_depth, tenant.waiting.size());
+    ++queued_total_;
     counters_->submitted.fetch_add(1, std::memory_order_relaxed);
+    db->submitted.fetch_add(1, std::memory_order_relaxed);
   }
   queue_cv_.notify_one();
   return ticket;
+}
+
+TenantQueue* Engine::pick_tenant_locked(const Generation* match) {
+  TenantQueue* best = nullptr;
+  for (auto& [name, tenant] : tenants_) {
+    if (tenant->waiting.empty()) continue;
+    // Coalescing constraint: one batch = one generation (one backend, one
+    // snapshot).  Cross-tenant coalescing is fine as long as the head
+    // requests agree on the generation.
+    if (match != nullptr && tenant->waiting.front()->generation.get() != match)
+      continue;
+    if (best == nullptr || tenant->pass < best->pass) best = tenant.get();
+  }
+  return best;
 }
 
 void Engine::worker_loop() {
@@ -188,25 +378,43 @@ void Engine::worker_loop() {
     std::vector<StatePtr> batch;
     {
       std::unique_lock lock{queue_mutex_};
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      queue_cv_.wait(lock, [this] { return stopping_ || queued_total_ > 0; });
       if (stopping_) return;  // destructor fails whatever is left
-      // Opportunistic coalescing: claim everything already waiting, up to
-      // the batch cap.  Under load the queue refills while the backend
-      // runs, so batches form without any artificial delay.
-      const std::size_t take =
-          std::min(queue_.size(), config_.max_coalesce);
+      // Opportunistic coalescing with weighted fair share: each pick
+      // dequeues from the lowest-pass tenant (stride scheduling, rate ∝
+      // weight) whose head request rides the batch's generation.  Under
+      // load the queues refill while the backend runs, so batches form
+      // without any artificial delay.
       const auto now = std::chrono::steady_clock::now();
-      for (std::size_t i = 0; i < take; ++i) {
-        StatePtr state = std::move(queue_.front());
-        queue_.pop_front();
-        if (!state->claim(RequestPhase::Claimed)) continue;  // cancelled
+      const Generation* match = nullptr;
+      while (batch.size() < config_.max_coalesce) {
+        TenantQueue* tenant = pick_tenant_locked(match);
+        if (tenant == nullptr) break;
+        StatePtr state = std::move(tenant->waiting.front());
+        tenant->waiting.pop_front();
+        --queued_total_;
+        if (!state->claim(RequestPhase::Claimed)) {
+          // Cancelled while queued: Ticket::cancel fulfilled the promise
+          // but deliberately left the generation pin alone (the scheduler
+          // reads it lock-free through waiting.front()); drop it here,
+          // under the queue lock, now that the entry is off the deque.
+          state->generation.reset();
+          continue;
+        }
         if (state->has_deadline && now >= state->deadline) {
           counters_->expired.fetch_add(1, std::memory_order_relaxed);
           state->promise.set_value(
               Error{ErrorCode::DeadlineExceeded,
                     "request deadline passed while queued"});
+          state->generation.reset();  // settled: release the epoch pin
           continue;
         }
+        // Only executed work advances a tenant's pass (cancelled/expired
+        // entries are free), and the scheduler clock follows the winner.
+        virtual_time_ = tenant->pass;
+        tenant->pass += 1.0 / tenant->weight;
+        ++tenant->dequeued;
+        if (match == nullptr) match = state->generation.get();
         batch.push_back(std::move(state));
       }
     }
@@ -214,15 +422,68 @@ void Engine::worker_loop() {
   }
 }
 
+ScanBackend& Engine::route_backend(Database& db, Generation& gen) {
+  // Whole-database fallback (DESIGN.md §4g): PR 8's router already sheds
+  // a single Degraded card's slice onto its per-shard software fallback,
+  // bit-identically.  Folding that up a level: when the primary as a
+  // whole is beyond per-shard shedding — the unsharded card is lost, or
+  // every card of the router is — route the database's batches to one
+  // software backend over the same snapshot instead of paying per-run
+  // recovery inside the dead primary.  Engaged only on the async serving
+  // path; the synchronous facade keeps the backend-internal fallback
+  // accounting byte-compatibly.
+  if (!config_.host.recovery.allow_software_fallback) return *gen.backend;
+  if (gen.fallback_engaged) {
+    gen.fallback_batches.fetch_add(1, std::memory_order_relaxed);
+    return *gen.fallback;
+  }
+  if (gen.backend->health() != HealthState::Degraded) return *gen.backend;
+  if (gen.sharded != nullptr) {
+    for (const ShardStatus& shard : gen.sharded->shard_status())
+      if (shard.health != HealthState::Degraded) return *gen.backend;
+  }
+  if (gen.fallback == nullptr)
+    gen.fallback = make_backend(
+        software_backend_kind(config_.host.scan_path), config_.host,
+        gen.store);
+  gen.fallback_engaged = true;
+  db.degraded.store(true, std::memory_order_relaxed);
+  gen.fallback_batches.fetch_add(1, std::memory_order_relaxed);
+  return *gen.fallback;
+}
+
 void Engine::execute_batch(std::vector<StatePtr> batch) {
-  const auto fulfil = [this](RequestState& state,
-                             Expected<HostRunReport> outcome) {
-    auto& counter = outcome ? counters_->completed : counters_->failed;
+  // The claim loop pinned every entry to the same generation; the batch
+  // holds the epoch pin until the last promise is fulfilled, so a
+  // concurrent swap cannot reclaim the snapshot under this scan.
+  Database& db = *batch.front()->database;
+  const std::shared_ptr<Generation> gen = batch.front()->generation;
+
+  const auto fulfil = [&](RequestState& state,
+                          Expected<HostRunReport> outcome) {
+    const bool ok = outcome.has_value();
+    auto& counter = ok ? counters_->completed : counters_->failed;
     counter.fetch_add(1, std::memory_order_relaxed);
+    (ok ? db.completed : db.failed).fetch_add(1, std::memory_order_relaxed);
+    if (state.tenant != nullptr) {
+      (ok ? state.tenant->completed : state.tenant->failed)
+          .fetch_add(1, std::memory_order_relaxed);
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>{
+              std::chrono::steady_clock::now() - state.enqueued}
+              .count();
+      state.tenant->latency.record(latency_ms);
+      db.latency.record(latency_ms);
+    }
     state.promise.set_value(std::move(outcome));
+    // Settle = unpin.  The batch-local `gen` keeps the snapshot alive for
+    // the remainder of this run; releasing the request's own pin here
+    // makes a retired generation reclaimable once its last ticket
+    // settles, rather than when the caller destroys the Ticket.
+    state.generation.reset();
   };
 
-  std::lock_guard exec_lock{exec_mutex_};
+  std::lock_guard exec_lock{db.exec_mutex};
 
   // Second deadline checkpoint: the claim-time check above ran before
   // this batch won the execution lock, and a long-running predecessor
@@ -232,14 +493,16 @@ void Engine::execute_batch(std::vector<StatePtr> batch) {
   detail::drop_expired(batch, std::chrono::steady_clock::now());
   if (batch.empty()) return;
 
+  ScanBackend& backend = route_backend(db, *gen);
+
   // Coalesced path: one multi-query scan of each strand produces every
   // request's hit list, and the per-request backend runs reduce to
   // accounting — the same precompute contract align_batch_sync uses, so
   // the results are bit-identical to sequential align_sync calls.
   std::vector<std::vector<Hit>> forward, reverse;
   bool precomputed = false;
-  if (batch.size() >= 2 && store_.uploaded &&
-      backend_->supports_precomputed_hits()) {
+  if (batch.size() >= 2 && gen->store.uploaded &&
+      backend.supports_precomputed_hits()) {
     std::vector<CompiledQueryPtr> queries;
     std::vector<std::uint32_t> thresholds;
     queries.reserve(batch.size());
@@ -249,9 +512,9 @@ void Engine::execute_batch(std::vector<StatePtr> batch) {
       thresholds.push_back(state->threshold);
     }
     try {
-      forward = backend_->scan_batch(queries, thresholds, false, nullptr);
+      forward = backend.scan_batch(queries, thresholds, false, nullptr);
       if (config_.host.search_both_strands)
-        reverse = backend_->scan_batch(queries, thresholds, true, nullptr);
+        reverse = backend.scan_batch(queries, thresholds, true, nullptr);
       precomputed = true;
       counters_->coalesced_batches.fetch_add(1, std::memory_order_relaxed);
       counters_->coalesced_requests.fetch_add(batch.size(),
@@ -286,7 +549,7 @@ void Engine::execute_batch(std::vector<StatePtr> batch) {
 
   std::vector<Expected<BackendRun>> runs;
   try {
-    runs = backend_->run_many(requests);
+    runs = backend.run_many(requests);
   } catch (const std::exception& e) {
     const Error error{ErrorCode::BadArgument, e.what()};
     for (const StatePtr& state : batch) fulfil(*state, error);
@@ -305,10 +568,11 @@ void Engine::execute_batch(std::vector<StatePtr> batch) {
       continue;
     }
     try {
-      fulfil(state,
-             finalize_run(config_.host, *state.query,
-                          std::move(runs[i]).value(),
-                          store_.forward.byte_size()));
+      HostRunReport report =
+          finalize_run(config_.host, *state.query, std::move(runs[i]).value(),
+                       gen->store.forward.byte_size());
+      report.generation = gen->generation;
+      fulfil(state, std::move(report));
     } catch (const std::exception& e) {
       fulfil(state, Error{ErrorCode::BadArgument, e.what()});
     }
@@ -322,16 +586,21 @@ Expected<HostRunReport> Engine::align_sync(
   // Compile failures (unencodable residues) propagate as the exceptions
   // the pre-refactor Session::align threw.
   CompiledQueryPtr compiled = compiler_.compile(query);
-  std::lock_guard lock{exec_mutex_};
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  std::lock_guard lock{db.exec_mutex};
   BackendRequest request;
   request.query = compiled.get();
   request.threshold = threshold;
   request.forward_hits = forward_hits;
   request.reverse_hits = reverse_hits;
-  Expected<BackendRun> run = backend_->run(request);
+  Expected<BackendRun> run = gen->backend->run(request);
   if (!run) return run.error();
-  return finalize_run(config_.host, *compiled, std::move(run).value(),
-                      store_.forward.byte_size());
+  HostRunReport report =
+      finalize_run(config_.host, *compiled, std::move(run).value(),
+                   gen->store.forward.byte_size());
+  report.generation = gen->generation;
+  return report;
 }
 
 Expected<BatchReport> Engine::align_batch_sync(
@@ -340,7 +609,9 @@ Expected<BatchReport> Engine::align_batch_sync(
   BatchReport batch;
   batch.per_query.reserve(queries.size());
   if (queries.empty()) return batch;
-  if (!store_.uploaded)
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  if (!gen->store.uploaded)
     return Error{ErrorCode::NoReference, "Session: no reference uploaded"};
 
   std::vector<CompiledQueryPtr> compiled;
@@ -353,7 +624,7 @@ Expected<BatchReport> Engine::align_batch_sync(
         compiled.back()->threshold_for_fraction(threshold_fraction));
   }
 
-  std::lock_guard lock{exec_mutex_};
+  std::lock_guard lock{db.exec_mutex};
 
   // One multi-query pass over the reference produces every hit list up
   // front — on the default tiled path each freshly compiled tile is
@@ -362,11 +633,11 @@ Expected<BatchReport> Engine::align_batch_sync(
   // per-query runs below then reduce to cycle/energy accounting.  The LUT
   // oracle path keeps its own evaluation.
   std::vector<std::vector<Hit>> forward, reverse;
-  const bool precompute = backend_->supports_precomputed_hits();
+  const bool precompute = gen->backend->supports_precomputed_hits();
   if (precompute) {
-    forward = backend_->scan_batch(compiled, thresholds, false, pool);
+    forward = gen->backend->scan_batch(compiled, thresholds, false, pool);
     if (config_.host.search_both_strands)
-      reverse = backend_->scan_batch(compiled, thresholds, true, pool);
+      reverse = gen->backend->scan_batch(compiled, thresholds, true, pool);
   }
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -377,11 +648,12 @@ Expected<BatchReport> Engine::align_batch_sync(
     request.reverse_hits =
         precompute && config_.host.search_both_strands ? &reverse[i] : nullptr;
     request.pool = pool;
-    Expected<BackendRun> run = backend_->run(request);
+    Expected<BackendRun> run = gen->backend->run(request);
     if (!run) return run.error();
     HostRunReport report = finalize_run(
         config_.host, *compiled[i], std::move(run).value(),
-        store_.forward.byte_size());
+        gen->store.forward.byte_size());
+    report.generation = gen->generation;
     batch.total_s += report.total_s;
     batch.total_joules += report.joules;
     batch.total_hits += report.hits.size();
@@ -405,8 +677,10 @@ std::vector<Hit> Engine::software_hits(const bio::ProteinSequence& query,
                                        std::uint32_t threshold,
                                        util::ThreadPool* pool) {
   CompiledQueryPtr compiled = compiler_.compile(query);
-  std::lock_guard lock{exec_mutex_};
-  return backend_->scan_one(*compiled, threshold, pool);
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  std::lock_guard lock{db.exec_mutex};
+  return gen->backend->scan_one(*compiled, threshold, pool);
 }
 
 std::vector<std::vector<Hit>> Engine::software_hits_batch(
@@ -416,8 +690,10 @@ std::vector<std::vector<Hit>> Engine::software_hits_batch(
   compiled.reserve(queries.size());
   for (const bio::ProteinSequence& query : queries)
     compiled.push_back(compiler_.compile(query));
-  std::lock_guard lock{exec_mutex_};
-  return backend_->scan_batch(compiled, thresholds, false, pool);
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  std::lock_guard lock{db.exec_mutex};
+  return gen->backend->scan_batch(compiled, thresholds, false, pool);
 }
 
 EngineStats Engine::stats() const noexcept {
@@ -434,6 +710,100 @@ EngineStats Engine::stats() const noexcept {
       counters_->coalesced_requests.load(std::memory_order_relaxed);
   out.largest_batch = counters_->largest_batch.load(std::memory_order_relaxed);
   return out;
+}
+
+double Engine::uptime_seconds() const {
+  return std::chrono::duration<double>{std::chrono::steady_clock::now() -
+                                       start_time_}
+      .count();
+}
+
+std::vector<DatabaseStatus> Engine::database_status() const {
+  const double uptime = std::max(uptime_seconds(), 1e-9);
+  std::vector<DatabaseStatus> out;
+  std::lock_guard lock{db_mutex_};
+  out.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) {
+    DatabaseStatus status;
+    status.name = name;
+    const std::shared_ptr<Generation> gen = pin_active(*db);
+    status.active_generation = gen->generation;
+    status.fallback_batches =
+        gen->fallback_batches.load(std::memory_order_relaxed);
+    status.swaps = db->swaps.load(std::memory_order_relaxed);
+    status.submitted = db->submitted.load(std::memory_order_relaxed);
+    status.completed = db->completed.load(std::memory_order_relaxed);
+    status.failed = db->failed.load(std::memory_order_relaxed);
+    status.qps = static_cast<double>(status.completed) / uptime;
+    const std::vector<double> window = db->latency.snapshot();
+    status.p50_ms = util::percentile(window, 50.0);
+    status.p99_ms = util::percentile(window, 99.0);
+    status.degraded = db->degraded.load(std::memory_order_relaxed);
+    status.reclaimed_generations = db->versions.reclaimed();
+    status.generations = db->versions.status();
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::vector<TenantStatus> Engine::tenant_status() const {
+  const double uptime = std::max(uptime_seconds(), 1e-9);
+  std::vector<TenantStatus> out;
+  std::lock_guard lock{queue_mutex_};
+  out.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) {
+    TenantStatus status;
+    status.name = name;
+    status.weight = tenant->weight;
+    status.quota = tenant->quota;
+    status.queue_depth = tenant->waiting.size();
+    status.peak_depth = tenant->peak_depth;
+    status.submitted = tenant->submitted;
+    status.dequeued = tenant->dequeued;
+    status.completed = tenant->completed.load(std::memory_order_relaxed);
+    status.failed = tenant->failed.load(std::memory_order_relaxed);
+    status.quota_rejections = tenant->quota_rejections;
+    status.qps = static_cast<double>(status.completed) / uptime;
+    const std::vector<double> window = tenant->latency.snapshot();
+    status.p50_ms = util::percentile(window, 50.0);
+    status.p99_ms = util::percentile(window, 99.0);
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+HealthState Engine::health() const {
+  return pin_active(*default_db_)->backend->health();
+}
+
+const std::vector<hw::FaultEvent>& Engine::fault_log() const {
+  // Stable until the next upload to the default database: the active
+  // generation (and its backend) is pinned by the database itself.
+  return pin_active(*default_db_)->backend->fault_log();
+}
+
+DevicePipelineStats Engine::pipeline_stats() const {
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  std::lock_guard lock{db.exec_mutex};
+  return gen->backend->pipeline_stats();
+}
+
+std::vector<ShardStatus> Engine::shard_status() const {
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  std::lock_guard lock{db.exec_mutex};
+  return gen->sharded != nullptr ? gen->sharded->shard_status()
+                                 : std::vector<ShardStatus>{};
+}
+
+double Engine::shard_overhead_seconds() const {
+  Database& db = *default_db_;
+  const std::shared_ptr<Generation> gen = pin_active(db);
+  std::lock_guard lock{db.exec_mutex};
+  return gen->sharded != nullptr
+             ? gen->sharded->scatter_seconds() + gen->sharded->gather_seconds()
+             : 0.0;
 }
 
 }  // namespace fabp::core

@@ -25,11 +25,22 @@ void RecoveryStats::merge(const RecoveryStats& other) noexcept {
 // The facade: every call delegates to one Engine configured with the
 // hw-sim backend, executing synchronously on the caller's thread (the
 // Engine spawns workers only on its asynchronous submit() surface, which
-// this facade never touches).
+// this facade never touches).  Uploads route through the versioned
+// snapshot path — each upload publishes a fresh generation with its own
+// backend set, which preserves the strand-plane-cache invalidation
+// semantics (the PR-2 regression) by construction.
+
+namespace {
+EngineConfig facade_engine_config(HostConfig config) {
+  EngineConfig engine;
+  engine.host = std::move(config);
+  return engine;
+}
+}  // namespace
 
 Session::Session(HostConfig config)
     : engine_{std::make_unique<Engine>(
-          EngineConfig{.host = std::move(config)})} {}
+          facade_engine_config(std::move(config)))} {}
 
 Session::~Session() = default;
 Session::Session(Session&&) noexcept = default;

@@ -136,11 +136,31 @@ CallResult Client::align(AlignRequest request, double deadline_s) {
     } else {
       if (bounded) set_io_timeout(conn_.fd(), remaining_s);
       AlignResponse response;
-      const bool io_ok =
-          write_frame_with_faults(conn_.fd(), encode(request), injector_) &&
-          read_frame(conn_.fd(), payload) && decode(payload, response) &&
-          response.id == request.id;
-      if (io_ok) {
+      bool io_ok = false;
+      bool integrity = false;
+      if (write_frame_with_faults(conn_.fd(), encode(request), injector_)) {
+        const FrameRead got = read_frame_status(conn_.fd(), payload);
+        if (got == FrameRead::BadCrc) {
+          // The response was corrupted in transit but the framing held:
+          // the stream is still synchronized, so keep the connection and
+          // retry like a transport fault.
+          integrity = true;
+        } else if (got == FrameRead::Ok && decode(payload, response)) {
+          if (response.status ==
+              static_cast<std::uint8_t>(
+                  core::ErrorCode::IntegrityFailure)) {
+            // The server saw *our* frame corrupted; its answer carries
+            // no usable request id.  Same recovery: retry.
+            integrity = true;
+          } else if (response.id == request.id) {
+            io_ok = true;
+          }
+        }
+      }
+      if (integrity) {
+        ++result.integrity_faults;
+        last_was_transport = true;
+      } else if (io_ok) {
         last_was_transport = false;
         if (response.status == 0) {
           result.status = CallStatus::Ok;

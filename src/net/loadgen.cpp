@@ -27,6 +27,7 @@ struct ClientTally {
   std::size_t timeouts = 0;
   std::size_t attempts = 0;
   std::size_t retries = 0;
+  std::size_t integrity_faults = 0;
   std::size_t total_hits = 0;
   std::size_t attack_frames = 0;
   std::vector<double> latencies_s;
@@ -117,11 +118,14 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
           request.id = i;
           request.threshold = threshold;
           request.protein = proteins[i];
+          request.database = config.database;
+          request.tenant = config.tenant;
           ++tally.sent;
           const auto start = std::chrono::steady_clock::now();
           CallResult outcome = client.align(request, config.deadline_s);
           tally.attempts += outcome.attempts;
           tally.retries += outcome.retries;
+          tally.integrity_faults += outcome.integrity_faults;
           switch (outcome.status) {
             case CallStatus::Ok:
               ++tally.completed;
@@ -169,6 +173,7 @@ LoadgenReport run_loadgen(const LoadgenConfig& config) {
     report.timeouts += tally.timeouts;
     report.attempts += tally.attempts;
     report.retries += tally.retries;
+    report.integrity_faults += tally.integrity_faults;
     report.total_hits += tally.total_hits;
     report.attack_frames += tally.attack_frames;
     latencies.insert(latencies.end(), tally.latencies_s.begin(),

@@ -83,13 +83,24 @@ void Socket::interrupt() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-bool read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+FrameRead read_frame_status(int fd, std::string& payload,
+                            std::uint32_t max_bytes) {
   char prefix[4];
-  if (!read_exact(fd, prefix, sizeof prefix)) return false;
+  if (!read_exact(fd, prefix, sizeof prefix)) return FrameRead::Closed;
   const std::uint32_t length = decode_length(prefix);
-  if (length > max_bytes) return false;
+  // `max_bytes` bounds the *payload*; the body carries 4 more CRC bytes.
+  if (length > max_bytes + kFrameCrcBytes) return FrameRead::TooLarge;
   payload.resize(length);
-  return length == 0 || read_exact(fd, payload.data(), length);
+  if (length > 0 && !read_exact(fd, payload.data(), length))
+    return FrameRead::Closed;
+  std::string_view verified;
+  if (!verify_frame_body(payload, verified)) return FrameRead::BadCrc;
+  payload.resize(verified.size());  // strip the CRC trailer in place
+  return FrameRead::Ok;
+}
+
+bool read_frame(int fd, std::string& payload, std::uint32_t max_bytes) {
+  return read_frame_status(fd, payload, max_bytes) == FrameRead::Ok;
 }
 
 bool write_frame(int fd, std::string_view payload) {
@@ -98,10 +109,12 @@ bool write_frame(int fd, std::string_view payload) {
 }
 
 WireServer::WireServer(core::Engine& engine, ServerConfig config,
-                       std::function<std::string()> stats_text)
+                       std::function<std::string()> stats_text,
+                       SwapHandler swap_handler)
     : engine_{engine},
       config_{std::move(config)},
-      stats_text_{std::move(stats_text)} {
+      stats_text_{std::move(stats_text)},
+      swap_handler_{std::move(swap_handler)} {
   Socket sock{::socket(AF_INET, SOCK_STREAM, 0)};
   if (!sock.valid()) throw std::runtime_error{"socket() failed"};
   const int one = 1;
@@ -205,6 +218,8 @@ ServerMetrics WireServer::metrics() const {
   m.requests = requests_;
   m.errors = errors_;
   m.malformed = malformed_;
+  m.integrity = integrity_;
+  m.swaps = swaps_;
   m.shed = shed_;
   m.io_timeouts = io_timeouts_;
   m.force_cancelled = force_cancelled_;
@@ -250,10 +265,13 @@ std::string WireServer::finish_align(PendingReply& slot) {
   if (outcome.has_value()) {
     response.hits = std::move(outcome.value().hits);
     response.reverse_hits = std::move(outcome.value().reverse_hits);
+    response.generation = outcome.value().generation;
   } else {
     response.status = static_cast<std::uint8_t>(outcome.error().code);
     response.error = outcome.error().message;
-    if (outcome.error().code == core::ErrorCode::QueueFull)
+    // Both refusal flavors are backpressure; give the back-off hint.
+    if (outcome.error().code == core::ErrorCode::QueueFull ||
+        outcome.error().code == core::ErrorCode::TenantQuotaExceeded)
       response.retry_after_ms = retry_hint_ms(engine_.queue_depth());
   }
   const double seconds = seconds_between(slot.t0, Clock::now());
@@ -341,6 +359,11 @@ bool WireServer::process_frame(std::string_view payload, ConnState& state) {
         // deadline, checked at claim and again at device dispatch.
         options.timeout_s =
             static_cast<double>(request.deadline_ms) / 1e3;
+        // Wire v3 routing: named database, billed tenant (empty = the
+        // engine defaults).  Unknown names come back as typed errors
+        // through the ticket, like any other admission refusal.
+        options.database = request.database;
+        options.tenant = request.tenant;
         // Route through submit() so concurrent connections coalesce
         // into shared scans like in-process engine callers.
         slot.ticket = engine_.submit(protein, request.threshold, options);
@@ -367,6 +390,34 @@ bool WireServer::process_frame(std::string_view payload, ConnState& state) {
       StatsResponse stats;
       stats.text = stats_text_ ? stats_text_() : std::string{};
       slot.ready_payload = encode(stats);
+      std::lock_guard state_lock{state.m};
+      state.pending.push_back(std::move(slot));
+      return true;
+    }
+    case MessageType::SwapDatabaseRequest: {
+      PendingReply slot;
+      SwapDatabaseResponse response;
+      SwapDatabaseRequest request;
+      if (!decode(payload, request)) {
+        std::lock_guard lock{mutex_};
+        ++malformed_;
+        return false;  // corrupted admin frame: drop the connection
+      }
+      if (!swap_handler_) {
+        response.status =
+            static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+        response.error = "this server does not accept database swaps";
+      } else {
+        // The handler compiles and publishes the new generation on this
+        // connection's thread; align traffic on other connections keeps
+        // flowing against the old generation meanwhile.
+        response = swap_handler_(request);
+      }
+      {
+        std::lock_guard lock{mutex_};
+        ++swaps_;
+      }
+      slot.ready_payload = encode(response);
       std::lock_guard state_lock{state.m};
       state.pending.push_back(std::move(slot));
       return true;
@@ -452,7 +503,7 @@ void WireServer::handle_connection(Socket conn,
     while (!dead && !close_after_flush && inflight < cap &&
            inbuf.size() >= 4) {
       const std::uint32_t length = decode_length(inbuf.data());
-      if (length > kMaxRequestFrameBytes) {
+      if (length > kMaxRequestFrameBytes + kFrameCrcBytes) {
         // Attacker-controlled length beyond the request bound: reject
         // before any allocation and drop the connection.
         std::lock_guard lock{mutex_};
@@ -461,8 +512,33 @@ void WireServer::handle_connection(Socket conn,
         break;
       }
       if (inbuf.size() < 4 + static_cast<std::size_t>(length)) break;
-      const std::string_view payload{inbuf.data() + 4, length};
-      if (!process_frame(payload, *state)) dead = true;
+      const std::string_view body{inbuf.data() + 4, length};
+      std::string_view payload;
+      if (!verify_frame_body(body, payload)) {
+        // Payload corrupted in transit (wire v3 CRC mismatch).  The
+        // framing itself held, so the stream is still synchronized:
+        // answer a typed IntegrityFailure and keep the connection.  (A
+        // flipped bit in the length prefix instead desyncs the stream
+        // and is caught by the malformed/oversized/io-timeout paths.)
+        {
+          std::lock_guard lock{mutex_};
+          ++integrity_;
+          ++requests_;
+          ++errors_;
+        }
+        AlignResponse response;
+        response.status =
+            static_cast<std::uint8_t>(core::ErrorCode::IntegrityFailure);
+        response.error = "frame payload failed its CRC32 check";
+        PendingReply slot;
+        slot.ready_payload = encode(response);
+        {
+          std::lock_guard state_lock{state->m};
+          state->pending.push_back(std::move(slot));
+        }
+      } else if (!process_frame(payload, *state)) {
+        dead = true;
+      }
       inbuf.erase(0, 4 + static_cast<std::size_t>(length));
       std::lock_guard state_lock{state->m};
       inflight = state->pending.size();

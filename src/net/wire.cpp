@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "fabp/util/crc32.hpp"
+
 namespace fabp::net {
 namespace {
 
@@ -139,12 +141,15 @@ void put_header(std::string& out, MessageType type) {
 
 std::string encode(const AlignRequest& message) {
   std::string out;
-  out.reserve(2 + 8 + 4 + 4 + 4 + message.protein.size());
+  out.reserve(2 + 8 + 4 + 4 + 12 + message.protein.size() +
+              message.database.size() + message.tenant.size());
   put_header(out, MessageType::AlignRequest);
   put_u64(out, message.id);
   put_u32(out, message.threshold);
   put_u32(out, message.deadline_ms);
   put_string(out, message.protein);
+  put_string(out, message.database);
+  put_string(out, message.tenant);
   return out;
 }
 
@@ -157,9 +162,31 @@ std::string encode(const AlignResponse& message) {
   put_u8(out, message.status);
   put_u32(out, message.retry_after_ms);
   put_f64(out, message.server_seconds);
+  put_u64(out, message.generation);
   put_string(out, message.error);
   put_hits(out, message.hits);
   put_hits(out, message.reverse_hits);
+  return out;
+}
+
+std::string encode(const SwapDatabaseRequest& message) {
+  std::string out;
+  out.reserve(2 + 12 + message.name.size() + message.path.size() +
+              message.bases.size());
+  put_header(out, MessageType::SwapDatabaseRequest);
+  put_string(out, message.name);
+  put_string(out, message.path);
+  put_string(out, message.bases);
+  return out;
+}
+
+std::string encode(const SwapDatabaseResponse& message) {
+  std::string out;
+  out.reserve(2 + 1 + 8 + 4 + message.error.size());
+  put_header(out, MessageType::SwapDatabaseResponse);
+  put_u8(out, message.status);
+  put_u64(out, message.generation);
+  put_string(out, message.error);
   return out;
 }
 
@@ -178,11 +205,31 @@ std::string encode(const StatsResponse& message) {
 }
 
 std::string frame(std::string_view payload) {
+  // Body = payload + CRC32(payload): corruption anywhere in the payload
+  // is detected end-to-end, whichever direction the frame travels.  (A
+  // flipped bit in the 4-byte length prefix still surfaces as a desync /
+  // oversized frame, which the existing malformed-frame hardening
+  // already drops.)
   std::string out;
-  out.reserve(4 + payload.size());
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.reserve(4 + payload.size() + kFrameCrcBytes);
+  put_u32(out,
+          static_cast<std::uint32_t>(payload.size()) + kFrameCrcBytes);
   out.append(payload);
+  put_u32(out, util::crc32(payload.data(), payload.size()));
   return out;
+}
+
+bool verify_frame_body(std::string_view body, std::string_view& payload) {
+  if (body.size() < kFrameCrcBytes) return false;
+  const std::string_view data = body.substr(0, body.size() - kFrameCrcBytes);
+  std::uint32_t carried = 0;
+  for (int i = 0; i < 4; ++i)
+    carried |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+                   body[body.size() - kFrameCrcBytes + i]))
+               << (8 * i);
+  if (carried != util::crc32(data.data(), data.size())) return false;
+  payload = data;
+  return true;
 }
 
 MessageType peek_type(std::string_view payload) noexcept {
@@ -198,7 +245,7 @@ bool decode(std::string_view payload, AlignRequest& out) {
   AlignRequest m;
   if (!read_header(r, MessageType::AlignRequest) || !r.u64(m.id) ||
       !r.u32(m.threshold) || !r.u32(m.deadline_ms) || !r.string(m.protein) ||
-      !r.exhausted())
+      !r.string(m.database) || !r.string(m.tenant) || !r.exhausted())
     return false;
   out = std::move(m);
   return true;
@@ -210,8 +257,33 @@ bool decode(std::string_view payload, AlignResponse& out) {
   AlignResponse m;
   if (!read_header(r, MessageType::AlignResponse) || !r.u64(m.id) ||
       !r.u8(m.status) || !r.u32(m.retry_after_ms) ||
-      !r.f64(m.server_seconds) || !r.string(m.error) ||
-      !r.hits(m.hits) || !r.hits(m.reverse_hits) || !r.exhausted())
+      !r.f64(m.server_seconds) || !r.u64(m.generation) ||
+      !r.string(m.error) || !r.hits(m.hits) || !r.hits(m.reverse_hits) ||
+      !r.exhausted())
+    return false;
+  out = std::move(m);
+  return true;
+}
+
+bool decode(std::string_view payload, SwapDatabaseRequest& out) {
+  if (payload.size() > kMaxRequestFrameBytes) return false;
+  Reader r{payload};
+  SwapDatabaseRequest m;
+  if (!read_header(r, MessageType::SwapDatabaseRequest) ||
+      !r.string(m.name) || !r.string(m.path) || !r.string(m.bases) ||
+      !r.exhausted())
+    return false;
+  out = std::move(m);
+  return true;
+}
+
+bool decode(std::string_view payload, SwapDatabaseResponse& out) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  Reader r{payload};
+  SwapDatabaseResponse m;
+  if (!read_header(r, MessageType::SwapDatabaseResponse) ||
+      !r.u8(m.status) || !r.u64(m.generation) || !r.string(m.error) ||
+      !r.exhausted())
     return false;
   out = std::move(m);
   return true;

@@ -393,9 +393,10 @@ TEST(Resilience, ServerSideResponseFaultsAreSurvivedByRetries) {
   // can be delayed, corrupted, duplicated, truncated or reset.  The
   // retrying client must converge to typed terminal outcomes for every
   // call — no hang, no crash — even though individual attempts keep
-  // dying.  (Corruption can strike hit payloads of otherwise decodable
-  // frames; end-to-end integrity is a protocol-checksum follow-up, so
-  // this test asserts liveness and typed-ness, not hit equality.)
+  // dying.  Since wire v3, corruption anywhere in a response body is
+  // caught by the payload CRC and retried like a transport fault, so
+  // every *accepted* response is bit-exact — the PR 9 gap where a
+  // corrupted-but-decodable hit list slipped through is closed.
   ServerConfig server_config;
   server_config.fault.seed = 11;
   server_config.fault.corrupt_rate = 0.15;
@@ -406,6 +407,10 @@ TEST(Resilience, ServerSideResponseFaultsAreSurvivedByRetries) {
   server_config.fault.delay_ms = 2;
   Fixture fx{Fixture::engine_config(), server_config};
 
+  auto expected = fx.engine.align_sync(
+      bio::ProteinSequence::parse("MKWVTFISLL"), 18);
+  ASSERT_TRUE(expected.has_value());
+
   RetryPolicy policy;
   policy.max_attempts = 8;
   policy.initial_backoff_ms = 1.0;
@@ -413,15 +418,65 @@ TEST(Resilience, ServerSideResponseFaultsAreSurvivedByRetries) {
   Client client{"127.0.0.1", fx.server.port(), policy, 1234};
   std::size_t ok = 0;
   std::size_t terminal = 0;
+  std::size_t integrity = 0;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < 20; ++i) {
     const CallResult outcome = client.align(make_request(i), 20.0);
     ++terminal;  // align() returned: by construction a typed outcome
-    if (outcome.ok()) ++ok;
+    integrity += outcome.integrity_faults;
+    if (outcome.ok()) {
+      ++ok;
+      EXPECT_EQ(outcome.response.hits, expected->hits);
+      EXPECT_EQ(outcome.response.reverse_hits, expected->reverse_hits);
+    }
   }
   EXPECT_EQ(terminal, 20u);
   EXPECT_GT(ok, 0u);  // retries do land completed calls through the storm
+  EXPECT_GT(integrity, 0u);  // and the CRC did catch corrupted responses
   EXPECT_LT(seconds_since(t0), 100.0);
+}
+
+TEST(Resilience, CorruptedRequestStreamIsCaughtByPayloadCrc) {
+  // The client's own outbound frames get corrupted in flight (satellite
+  // of the §4f corrupt-stream plan, now pointed at the v3 payload CRC):
+  // the server must answer a typed IntegrityFailure on a still-usable
+  // connection, the client must classify it as an integrity fault and
+  // retry, and no corrupted frame may ever be decoded as a request.
+  Fixture fx{Fixture::engine_config()};
+
+  util::Xoshiro256 rng{17};
+  const auto query = bio::random_protein(10, rng);
+  const auto threshold =
+      static_cast<std::uint32_t>(query.size() * 3 * 55 / 100);
+  auto expected = fx.engine.align_sync(query, threshold);
+  ASSERT_TRUE(expected.has_value());
+
+  FaultConfig fault;
+  fault.seed = 21;
+  fault.corrupt_rate = 0.5;  // half the outbound frames get a byte flip
+  FaultInjector injector{fault, 1};
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 1.0;
+  policy.max_backoff_ms = 10.0;
+  Client client{"127.0.0.1", fx.server.port(), policy, 55, &injector};
+
+  std::size_t ok = 0;
+  std::size_t integrity = 0;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const CallResult outcome = client.align(
+        make_request(i, query.to_string(), threshold), 20.0);
+    integrity += outcome.integrity_faults;
+    if (outcome.ok()) {
+      ++ok;
+      // CRC-verified requests can only have been served verbatim.
+      EXPECT_EQ(outcome.response.hits, expected->hits);
+      EXPECT_EQ(outcome.response.reverse_hits, expected->reverse_hits);
+    }
+  }
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(integrity, 0u);
+  EXPECT_GE(fx.server.metrics().integrity, 1u);
 }
 
 TEST(Resilience, ClientDeadlineBoundsAnUnresponsiveServer) {

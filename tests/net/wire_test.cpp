@@ -119,14 +119,91 @@ TEST(Wire, RequestLimitIsTighterThanResponseLimit) {
   EXPECT_EQ(round.hits.size(), 200'000u);
 }
 
-TEST(Wire, FrameAddsLittleEndianLengthPrefix) {
+TEST(Wire, FrameAddsLengthPrefixAndCrcTrailer) {
+  // v3 layout: u32 body length (payload + 4 CRC bytes), payload, CRC32.
   const std::string framed = frame("abc");
-  ASSERT_EQ(framed.size(), 7u);
-  EXPECT_EQ(framed[0], 3);
+  ASSERT_EQ(framed.size(), 11u);
+  EXPECT_EQ(framed[0], 7);  // 3 payload bytes + 4 CRC bytes
   EXPECT_EQ(framed[1], 0);
   EXPECT_EQ(framed[2], 0);
   EXPECT_EQ(framed[3], 0);
-  EXPECT_EQ(framed.substr(4), "abc");
+  EXPECT_EQ(framed.substr(4, 3), "abc");
+
+  std::string_view payload;
+  ASSERT_TRUE(verify_frame_body(std::string_view{framed}.substr(4), payload));
+  EXPECT_EQ(payload, "abc");
+}
+
+TEST(Wire, VerifyFrameBodyCatchesEveryOneByteCorruption) {
+  AlignRequest request;
+  request.id = 5;
+  request.protein = "MKWV";
+  request.database = "db-a";
+  request.tenant = "team-1";
+  const std::string framed = frame(encode(request));
+  const std::string_view body = std::string_view{framed}.substr(4);
+
+  std::string_view payload;
+  ASSERT_TRUE(verify_frame_body(body, payload));
+
+  // Flip each body byte in turn: the CRC must catch every single-bit
+  // corruption, whether it lands in the payload or the trailer itself.
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    std::string corrupted{body};
+    corrupted[i] = static_cast<char>(
+        static_cast<std::uint8_t>(corrupted[i]) ^ 0x40u);
+    std::string_view out;
+    EXPECT_FALSE(verify_frame_body(corrupted, out)) << "byte " << i;
+  }
+
+  // A body too short to even carry the trailer fails soft.
+  EXPECT_FALSE(verify_frame_body(std::string_view{"abc"}, payload));
+}
+
+TEST(Wire, AlignRequestCarriesDatabaseAndTenant) {
+  AlignRequest in;
+  in.id = 11;
+  in.threshold = 9;
+  in.protein = "MKW";
+  in.database = "genome-v2";
+  in.tenant = "acme";
+  AlignRequest out;
+  ASSERT_TRUE(decode(encode(in), out));
+  EXPECT_EQ(out.database, "genome-v2");
+  EXPECT_EQ(out.tenant, "acme");
+}
+
+TEST(Wire, AlignResponseCarriesGeneration) {
+  AlignResponse in;
+  in.id = 3;
+  in.generation = 42;
+  AlignResponse out;
+  ASSERT_TRUE(decode(encode(in), out));
+  EXPECT_EQ(out.generation, 42u);
+}
+
+TEST(Wire, SwapDatabaseRoundTrip) {
+  SwapDatabaseRequest in;
+  in.name = "genome-v2";
+  in.path = "/data/ref.fa";
+  in.bases = "ACGTACGT";
+  EXPECT_EQ(peek_type(encode(in)), MessageType::SwapDatabaseRequest);
+  SwapDatabaseRequest out;
+  ASSERT_TRUE(decode(encode(in), out));
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.path, in.path);
+  EXPECT_EQ(out.bases, in.bases);
+
+  SwapDatabaseResponse resp_in;
+  resp_in.status = static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+  resp_in.generation = 7;
+  resp_in.error = "no such file";
+  SwapDatabaseResponse resp_out;
+  ASSERT_TRUE(decode(encode(resp_in), resp_out));
+  EXPECT_EQ(resp_out.status, resp_in.status);
+  EXPECT_EQ(resp_out.generation, 7u);
+  EXPECT_EQ(resp_out.error, resp_in.error);
+  EXPECT_FALSE(resp_out.ok());
 }
 
 // --- end-to-end over localhost ------------------------------------------
@@ -281,6 +358,101 @@ TEST(Server, OversizedFramePrefixDropsConnection) {
   ASSERT_EQ(::send(conn.fd(), bogus, sizeof bogus, 0), 4);
   std::string payload;
   EXPECT_FALSE(read_frame(conn.fd(), payload));
+}
+
+TEST(Server, CorruptedFrameGetsTypedIntegrityErrorAndConnectionSurvives) {
+  ServerFixture fx;
+  Socket conn = connect_local(fx.server.port());
+
+  AlignRequest request;
+  request.id = 31;
+  request.threshold = 30;
+  request.protein = "MKWVTFISLL";
+  std::string framed = frame(encode(request));
+  framed[6] ^= 0x20;  // flip one payload byte after the length prefix
+  ASSERT_EQ(::send(conn.fd(), framed.data(), framed.size(), 0),
+            static_cast<ssize_t>(framed.size()));
+
+  std::string payload;
+  ASSERT_EQ(read_frame_status(conn.fd(), payload), FrameRead::Ok);
+  AlignResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_EQ(response.status,
+            static_cast<std::uint8_t>(core::ErrorCode::IntegrityFailure));
+
+  // The framing held, so the stream is still synchronized: the same
+  // connection serves the uncorrupted resend.
+  ASSERT_TRUE(write_frame(conn.fd(), encode(request)));
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_EQ(response.id, 31u);
+  EXPECT_GT(response.generation, 0u);
+
+  EXPECT_GE(fx.server.metrics().integrity, 1u);
+}
+
+TEST(Server, SwapDatabaseRoutesThroughHandler) {
+  core::EngineConfig config = ServerFixture::make_config();
+  core::Engine engine{config};
+  util::Xoshiro256 rng{321};
+  engine.upload_reference(bio::random_dna(6000, rng));
+  WireServer server{
+      engine, {}, {}, [&](const SwapDatabaseRequest& request) {
+        SwapDatabaseResponse response;
+        try {
+          response.generation = engine.upload_database(
+              request.name,
+              bio::NucleotideSequence::parse(bio::SeqKind::Dna,
+                                             request.bases));
+        } catch (const std::exception& e) {
+          response.status =
+              static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+          response.error = e.what();
+        }
+        return response;
+      }};
+  std::thread accept_thread{[&] { server.serve(); }};
+
+  Socket conn = connect_local(server.port());
+  SwapDatabaseRequest swap;
+  swap.name = "fresh";
+  swap.bases = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+  ASSERT_TRUE(write_frame(conn.fd(), encode(swap)));
+  std::string payload;
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  SwapDatabaseResponse response;
+  ASSERT_TRUE(decode(payload, response));
+  EXPECT_TRUE(response.ok()) << response.error;
+  EXPECT_GT(response.generation, 0u);
+  EXPECT_TRUE(engine.has_database("fresh"));
+  EXPECT_GE(server.metrics().swaps, 1u);
+
+  // An align routed at the new database over the same connection.
+  AlignRequest request;
+  request.id = 8;
+  request.threshold = 1;
+  request.protein = "MK";
+  request.database = "fresh";
+  ASSERT_TRUE(write_frame(conn.fd(), encode(request)));
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  AlignResponse align_response;
+  ASSERT_TRUE(decode(payload, align_response));
+  EXPECT_TRUE(align_response.ok()) << align_response.error;
+  EXPECT_EQ(align_response.generation, response.generation);
+
+  // And an unknown name comes back as the typed routing error.
+  request.id = 9;
+  request.database = "no-such-db";
+  ASSERT_TRUE(write_frame(conn.fd(), encode(request)));
+  ASSERT_TRUE(read_frame(conn.fd(), payload));
+  ASSERT_TRUE(decode(payload, align_response));
+  EXPECT_EQ(align_response.status,
+            static_cast<std::uint8_t>(core::ErrorCode::UnknownDatabase));
+
+  conn.close();
+  server.shutdown();
+  accept_thread.join();
 }
 
 }  // namespace

@@ -35,7 +35,13 @@
 #      resume, slow-loris reaping, bounded drain, fault-injected chaos
 #      runs) under tsan, plus the overload smoke: offered load past
 #      capacity must shed typed Overloaded, keep p99 bounded and drain
-#      cleanly with zero crashes.
+#      cleanly with zero crashes, and
+#  10. the tenant leg — versioned multi-tenant reference management
+#      (`ctest -L tenant`): named-database routing, quota/weight
+#      admission, hot swap under load (hit-for-hit vs the admitted
+#      generation) run again under tsan, epoch reclamation under asan,
+#      and the live-swap TCP smoke (SwapDatabase mid-loadgen, zero
+#      failed requests, retired generations reclaimed).
 #
 # Usage: tools/check.sh   (from anywhere; builds into build/, build-asan/,
 # build-tsan/ and build-ubsan/)
@@ -58,7 +64,7 @@ echo "== check.sh: tsan build, pooled scan + engine + shard tests =="
 cmake -B build-tsan -S . -DFABP_SANITIZE=thread
 cmake --build build-tsan -j"$jobs" \
     --target core_tests util_tests engine_tests shard_tests net_tests \
-             resilience_tests
+             resilience_tests tenant_tests
 build-tsan/tests/core_tests --gtest_filter='TileScan*'
 build-tsan/tests/util_tests --gtest_filter='ThreadPool*'
 build-tsan/tests/engine_tests
@@ -110,4 +116,16 @@ build-tsan/tests/resilience_tests
 build/tests/resilience_tests
 tools/serve_tcp_overload_smoke.sh build/tools/fabp
 
-echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa + shard + net-chaos) =="
+echo "== check.sh: tenant leg (multi-tenant swaps, tsan + asan + live smoke) =="
+ctest --test-dir build --output-on-failure -L tenant -j"$jobs"
+# Race coverage over concurrent submit/swap/status against the versioned
+# store, the stride scheduler and the per-generation backend sets.
+build-tsan/tests/tenant_tests
+# Leak/lifetime coverage over epoch reclamation: retired generations
+# (stores, shard slices, caches) must free exactly once, when the last
+# pinned request settles.
+cmake --build build-asan -j"$jobs" --target tenant_tests
+build-asan/tests/tenant_tests
+tools/serve_tcp_swap_smoke.sh build/tools/fabp
+
+echo "== check.sh: all green (default + asan/swar64 + tsan + ubsan/chaos + engine/swar64 + scheduler + per-isa + shard + net-chaos + tenant) =="

@@ -25,6 +25,16 @@
 //                                              closed-loop TCP client against
 //                                              a `fabp serve --tcp` server;
 //                                              prints QPS and p50/p99 latency
+//   fabp swap <host> <port> <name> <path>      publish a new generation of
+//                                              database <name> on a live
+//                                              server (server-side reference
+//                                              file; --inline sends the local
+//                                              file's bases over the wire)
+//
+// Multi-tenant serving (PR 10): `fabp serve` accepts repeatable
+// `--db name=path` (additional named databases resident next to the
+// default one) and `--tenant name=weight[:quota]` (weighted fair-share
+// admission); `fabp loadgen` routes with `--db name` / `--tenant name`.
 //
 // Exit code 0 on success, 1 on usage/product errors.
 
@@ -57,12 +67,15 @@ int usage() {
       "  fabp isa\n"
       "  fabp serve [bases] [query-aa] [requests] [workers]"
       " [--backend hwsim|tiled|planes] [--shards N] [--tcp [port]]\n"
+      "             [--db name=path]... [--tenant name=weight[:quota]]...\n"
       "             [--shed-depth N] [--shed-p99 MS] [--max-inflight N]\n"
       "             [--idle-timeout S] [--io-timeout S] [--drain-timeout S]\n"
       "             [--net-fault-rate R] [--net-fault-seed S]\n"
       "  fabp loadgen <host> <port> [requests] [clients] [query-aa]\n"
+      "             [--db name] [--tenant name]\n"
       "             [--deadline-ms N] [--retries N] [--faulty-fraction F]\n"
-      "             [--net-fault-rate R] [--net-fault-seed S]\n";
+      "             [--net-fault-rate R] [--net-fault-seed S]\n"
+      "  fabp swap <host> <port> <name> <path> [--inline]\n";
   return 1;
 }
 
@@ -72,6 +85,48 @@ core::BackendKind backend_kind_from(const std::string& name) {
   if (name == "planes") return core::BackendKind::Planes;
   throw std::runtime_error{"unknown backend: " + name +
                            " (expected hwsim, tiled or planes)"};
+}
+
+/// Loads a reference as FASTA (leading '>') or raw ACGT text (whitespace
+/// tolerated) — the formats `--db name=path` and `fabp swap` accept.
+bio::PackedNucleotides load_reference_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open reference file: " + path};
+  if (in.peek() == '>') {
+    const auto db = bio::ReferenceDatabase::from_fasta(bio::read_fasta(in));
+    return db.packed();
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  std::erase_if(text, [](unsigned char ch) { return std::isspace(ch); });
+  return bio::PackedNucleotides{
+      bio::NucleotideSequence::parse(bio::SeqKind::Dna, text)};
+}
+
+/// `name=value` splitter for --db and --tenant operands.
+std::pair<std::string, std::string> split_name_value(
+    const std::string& arg, const char* flag) {
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size())
+    throw std::runtime_error{std::string{flag} +
+                             " expects name=value, got: " + arg};
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+/// `--tenant name=weight[:quota]` parser.
+core::TenantConfig parse_tenant_flag(const std::string& arg) {
+  auto [name, spec] = split_name_value(arg, "--tenant");
+  core::TenantConfig tenant;
+  tenant.name = std::move(name);
+  const std::size_t colon = spec.find(':');
+  tenant.weight = std::strtod(spec.substr(0, colon).c_str(), nullptr);
+  if (colon != std::string::npos)
+    tenant.queue_quota =
+        std::strtoull(spec.substr(colon + 1).c_str(), nullptr, 10);
+  if (tenant.weight <= 0.0)
+    throw std::runtime_error{"--tenant weight must be > 0: " + arg};
+  return tenant;
 }
 
 // Reachable scan-kernel names, one per line, dispatch-priority last so
@@ -361,6 +416,31 @@ std::string serve_stats_text(core::Engine& engine) {
         << " scatter+gather=" << util::time_text(
                engine.shard_overhead_seconds())
         << "\n";
+  // Multi-tenant view: one line per resident database (with the live
+  // per-generation refcounts of the versioned store) and one per tenant.
+  // serve_tcp_swap_smoke.sh greps the database lines for generation= and
+  // reclaimed=.
+  for (const core::DatabaseStatus& db : engine.database_status()) {
+    out << "database " << db.name << ": generation=" << db.active_generation
+        << " swaps=" << db.swaps << " submitted=" << db.submitted
+        << " completed=" << db.completed << " failed=" << db.failed
+        << " qps=" << db.qps << " p50=" << db.p50_ms << "ms p99="
+        << db.p99_ms << "ms degraded=" << (db.degraded ? 1 : 0)
+        << " fallback-batches=" << db.fallback_batches << " reclaimed="
+        << db.reclaimed_generations << "\n";
+    for (const auto& gen : db.generations)
+      out << "  generation " << gen.generation << ": pins=" << gen.pins
+          << (gen.active ? " active" : " retired") << "\n";
+  }
+  for (const core::TenantStatus& tenant : engine.tenant_status())
+    out << "tenant " << tenant.name << ": weight=" << tenant.weight
+        << " quota=" << tenant.quota << " depth=" << tenant.queue_depth
+        << " peak=" << tenant.peak_depth << " submitted="
+        << tenant.submitted << " dequeued=" << tenant.dequeued
+        << " completed=" << tenant.completed << " failed=" << tenant.failed
+        << " quota-rejections=" << tenant.quota_rejections << " qps="
+        << tenant.qps << " p50=" << tenant.p50_ms << "ms p99="
+        << tenant.p99_ms << "ms\n";
   return out.str();
 }
 
@@ -379,8 +459,37 @@ sigset_t drain_signal_set() {
 // unmasked thread would take the default fatal action instead.
 int cmd_serve_tcp(core::Engine& engine, net::ServerConfig server_config) {
   const sigset_t mask = drain_signal_set();
+  // SwapDatabase admin frames publish a new generation on the live
+  // engine: by server-side file (FASTA or raw ACGT) or inline bases.
+  // In-flight aligns keep finishing on the generation they were admitted
+  // under; failures come back typed on the admin connection.
+  const auto swap_handler = [&engine](const net::SwapDatabaseRequest& req) {
+    net::SwapDatabaseResponse response;
+    try {
+      if (req.name.empty())
+        throw std::runtime_error{"swap: database name must be non-empty"};
+      if (req.path.empty() == req.bases.empty())
+        throw std::runtime_error{
+            "swap: exactly one of path and bases must be set"};
+      bio::PackedNucleotides packed =
+          req.path.empty()
+              ? bio::PackedNucleotides{bio::NucleotideSequence::parse(
+                    bio::SeqKind::Dna, req.bases)}
+              : load_reference_file(req.path);
+      response.generation =
+          engine.upload_database(req.name, std::move(packed));
+      std::cerr << "swap: database " << req.name << " -> generation "
+                << response.generation << "\n";
+    } catch (const std::exception& e) {
+      response.status =
+          static_cast<std::uint8_t>(core::ErrorCode::BadArgument);
+      response.error = e.what();
+    }
+    return response;
+  };
   net::WireServer server{engine, server_config,
-                         [&engine] { return serve_stats_text(engine); }};
+                         [&engine] { return serve_stats_text(engine); },
+                         swap_handler};
   // Parsed by tools/serve_tcp_smoke.sh and human eyes alike; flush so a
   // piped reader sees the port before the first connection.
   std::cout << "listening on " << server_config.bind_address << ":"
@@ -398,7 +507,8 @@ int cmd_serve_tcp(core::Engine& engine, net::ServerConfig server_config) {
   const net::ServerMetrics metrics = server.metrics();
   std::cout << "server: connections=" << metrics.connections << " requests="
             << metrics.requests << " errors=" << metrics.errors
-            << " malformed=" << metrics.malformed << " shed="
+            << " malformed=" << metrics.malformed << " integrity="
+            << metrics.integrity << " swaps=" << metrics.swaps << " shed="
             << metrics.shed << " io-timeouts=" << metrics.io_timeouts
             << " force-cancelled=" << metrics.force_cancelled << " p50="
             << metrics.p50_ms << "ms p99=" << metrics.p99_ms << "ms max="
@@ -410,7 +520,9 @@ int cmd_serve_tcp(core::Engine& engine, net::ServerConfig server_config) {
 int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
               std::size_t workers, const std::string& backend,
               std::size_t shards, bool tcp,
-              const net::ServerConfig& server_config) {
+              const net::ServerConfig& server_config,
+              const std::vector<std::pair<std::string, std::string>>& dbs,
+              std::vector<core::TenantConfig> tenants) {
   if (tcp) {
     // Must precede the Engine (and its shard worker threads): every
     // thread inherits this mask, routing SIGTERM/SIGINT to the sigwait
@@ -438,8 +550,15 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
   config.workers = workers;
   config.queue_capacity = std::max<std::size_t>(requests, 64);
   config.shard.shard_count = shards;
+  config.tenants = std::move(tenants);
   core::Engine engine{config};
   engine.upload_reference(dna);
+  for (const auto& [name, path] : dbs) {
+    const std::uint64_t generation =
+        engine.upload_database(name, load_reference_file(path));
+    std::cerr << "database " << name << ": " << path << " -> generation "
+              << generation << "\n";
+  }
   std::cerr << "reference " << bases << " bases, " << queries.size()
             << " distinct queries x " << requests << " requests, "
             << workers << " worker(s), backend " << backend << ", "
@@ -496,6 +615,46 @@ int cmd_serve(std::size_t bases, std::size_t query_aa, std::size_t requests,
   return 0;
 }
 
+/// Admin client for the SwapDatabase message: publish a new generation of
+/// `name` on a live server, by server-side path or (--inline) by reading
+/// the local file and shipping its bases over the wire.
+int cmd_swap(const std::string& host, std::uint16_t port,
+             const std::string& name, const std::string& path,
+             bool send_inline) {
+  net::SwapDatabaseRequest request;
+  request.name = name;
+  if (send_inline) {
+    std::ifstream in{path};
+    if (!in) throw std::runtime_error{"cannot open reference file: " + path};
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    request.bases = buffer.str();
+    std::erase_if(request.bases,
+                  [](unsigned char ch) { return std::isspace(ch); });
+  } else {
+    request.path = path;
+  }
+
+  net::Socket conn = net::connect_to(host, port);
+  if (!net::write_frame(conn.fd(), net::encode(request)))
+    throw std::runtime_error{"swap: failed to send the request"};
+  std::string payload;
+  if (!net::read_frame(conn.fd(), payload))
+    throw std::runtime_error{"swap: connection lost before the response"};
+  net::SwapDatabaseResponse response;
+  if (!net::decode(payload, response))
+    throw std::runtime_error{"swap: malformed response"};
+  if (!response.ok()) {
+    std::cerr << "swap failed: "
+              << core::to_string(static_cast<core::ErrorCode>(response.status))
+              << ": " << response.error << "\n";
+    return 1;
+  }
+  std::cout << "swapped " << name << " -> generation "
+            << response.generation << "\n";
+  return 0;
+}
+
 int cmd_loadgen(net::LoadgenConfig config) {
   std::cerr << "loadgen: " << config.requests << " requests x "
             << config.clients << " client(s), " << config.query_residues
@@ -509,7 +668,8 @@ int cmd_loadgen(net::LoadgenConfig config) {
             << "loadgen: refused=" << report.refused << " expired="
             << report.expired << " resets=" << report.resets << " timeouts="
             << report.timeouts << " attempts=" << report.attempts
-            << " retries=" << report.retries << " amplification="
+            << " retries=" << report.retries << " integrity-faults="
+            << report.integrity_faults << " amplification="
             << report.retry_amplification() << "\n";
   if (report.attackers > 0)
     std::cout << "loadgen: attackers=" << report.attackers
@@ -566,11 +726,17 @@ int main(int argc, char** argv) {
       std::size_t shards = 1;
       bool tcp = false;
       net::ServerConfig server_config;
+      std::vector<std::pair<std::string, std::string>> dbs;
+      std::vector<core::TenantConfig> tenants;
       std::vector<std::string> positional;
       for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--backend" && i + 1 < argc) {
           backend = argv[++i];
+        } else if (arg == "--db" && i + 1 < argc) {
+          dbs.push_back(split_name_value(argv[++i], "--db"));
+        } else if (arg == "--tenant" && i + 1 < argc) {
+          tenants.push_back(parse_tenant_flag(argv[++i]));
         } else if (arg == "--shards" && i + 1 < argc) {
           shards = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--tcp") {
@@ -620,7 +786,23 @@ int main(int argc, char** argv) {
             positional.size() > 3
                 ? std::strtoull(positional[3].c_str(), nullptr, 10)
                 : 2,
-            backend, shards, tcp, server_config);
+            backend, shards, tcp, server_config, dbs, std::move(tenants));
+    }
+    if (command == "swap" && argc >= 6) {
+      bool send_inline = false;
+      std::vector<std::string> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--inline")
+          send_inline = true;
+        else
+          positional.push_back(arg);
+      }
+      if (positional.size() == 4)
+        return cmd_swap(positional[0],
+                        static_cast<std::uint16_t>(
+                            std::strtoul(positional[1].c_str(), nullptr, 10)),
+                        positional[2], positional[3], send_inline);
     }
     if (command == "loadgen" && argc >= 4) {
       net::LoadgenConfig config;
@@ -629,6 +811,10 @@ int main(int argc, char** argv) {
         const std::string arg = argv[i];
         if (arg == "--deadline-ms" && i + 1 < argc) {
           config.deadline_s = std::strtod(argv[++i], nullptr) / 1e3;
+        } else if (arg == "--db" && i + 1 < argc) {
+          config.database = argv[++i];
+        } else if (arg == "--tenant" && i + 1 < argc) {
+          config.tenant = argv[++i];
         } else if (arg == "--retries" && i + 1 < argc) {
           // N retries = N + 1 total wire attempts; 0 disables retrying.
           config.retry.max_attempts =

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Hot-swap smoke of the TCP front-end: spawn `fabp serve --tcp`, run a
+# 16-client loadgen burst, and publish a new reference generation through
+# `fabp swap` while that burst is in flight.  The swap must be admitted
+# (generation 2 echoed to the swap client), every loadgen request must
+# complete (zero failures — in-flight requests finish on the generation
+# they were admitted under), and the final stats dump must show the
+# retired generations reclaimed once the last pinned request settled.
+# Usage: serve_tcp_swap_smoke.sh <path-to-fabp-binary>
+set -euo pipefail
+
+FABP="${1:?usage: serve_tcp_swap_smoke.sh <path-to-fabp>}"
+out="$(mktemp)"
+swap_out="$(mktemp)"
+ref2="$(mktemp)"
+pid=""
+load_pid=""
+trap 'kill -9 "$pid" "$load_pid" 2>/dev/null || true;
+      rm -f "$out" "$swap_out" "$ref2"' EXIT
+
+# 200k bases keeps each coalesced batch slow enough that the loadgen run
+# below spans the mid-flight swap.
+"$FABP" serve 200000 12 64 2 --backend hwsim --tcp 0 \
+  >"$out" 2>/dev/null &
+pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$out")"
+  [ -n "$port" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died before listening"; exit 1; }
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "server never reported its port"; exit 1; }
+
+# Strict-contract loadgen (no deadline, no attackers): exit 0 iff every
+# single request completed ok — a swap that failed or wedged even one
+# in-flight request fails the smoke.
+"$FABP" loadgen 127.0.0.1 "$port" 512 16 12 &
+load_pid=$!
+
+# Publish a new generation of the default database while the burst runs.
+(tr -dc 'ACGT' </dev/urandom || true) | head -c 200000 >"$ref2"
+sleep 0.3
+"$FABP" swap 127.0.0.1 "$port" default "$ref2" >"$swap_out" 2>&1 \
+  || { echo "swap request failed"; cat "$swap_out"; exit 1; }
+grep -q 'generation 2' "$swap_out" \
+  || { echo "swap did not publish generation 2"; cat "$swap_out"; exit 1; }
+
+wait "$load_pid" \
+  || { echo "loadgen saw failed requests across the swap"; exit 1; }
+# Give the worker that fulfilled the last request a beat to drop its
+# batch pin, then ask for the final stats dump.
+sleep 0.3
+
+kill -TERM "$pid"
+wait "$pid"
+
+grep -q '^drained$' "$out" || { echo "no clean drain marker"; cat "$out"; exit 1; }
+db_line="$(grep '^database default:' "$out")" \
+  || { echo "no database stats in dump"; cat "$out"; exit 1; }
+echo "$db_line" | grep -q 'generation=2' \
+  || { echo "server not serving generation 2"; cat "$out"; exit 1; }
+reclaimed="$(echo "$db_line" | sed -n 's/.* reclaimed=\([0-9]*\).*/\1/p')"
+# Generation 0 (empty) reclaims at the first upload, generation 1 when
+# the last request admitted under it settles.
+[ -n "$reclaimed" ] && [ "$reclaimed" -ge 2 ] \
+  || { echo "retired generation never reclaimed"; cat "$out"; exit 1; }
+
+echo "serve_tcp swap smoke ok ($db_line)"
